@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Ecr Experiments Hashtbl Instance Int Integrate Lazy List Measure Printf Query Staged String Sys Test Time Toolkit Workload

@@ -1,0 +1,140 @@
+(* The benchmark harness: regenerates every figure and screen of the
+   paper (experiments E1-E16, printed as sections) and times the
+   computational kernels with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe              runs everything
+     dune exec bench/main.exe -- e6 e7     runs selected experiments
+     dune exec bench/main.exe -- timings   runs only the Bechamel part *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel kernels: one per computational stage of the pipeline.      *)
+
+let kernel_workloads =
+  lazy
+    (List.map
+       (fun concepts ->
+         let w =
+           Workload.Generator.generate
+             {
+               Workload.Generator.default_params with
+               seed = 9000 + concepts;
+               concepts;
+               population = Int.max 150 (concepts * 10);
+             }
+         in
+         (concepts, w))
+       [ 10; 20; 40 ])
+
+let closure_test (concepts, w) =
+  Test.make
+    ~name:(Printf.sprintf "closure/%d-concepts" concepts)
+    (Staged.stage (fun () ->
+         let schemas = w.Workload.Generator.schemas in
+         let eq =
+           List.fold_left
+             (fun eq s -> Integrate.Equivalence.register_schema s eq)
+             Integrate.Equivalence.empty schemas
+         in
+         ignore eq;
+         (* seeding a matrix performs the structural closure *)
+         ignore (Integrate.Assertions.create schemas)))
+
+let ranking_test (concepts, w) =
+  let schemas = w.Workload.Generator.schemas in
+  let s1 = List.nth schemas 0 and s2 = List.nth schemas 1 in
+  let eq =
+    Integrate.Protocol.collect_equivalences
+      { Integrate.Protocol.defaults with exhaustive_attribute_pairs = true }
+      s1 s2 w.Workload.Generator.oracle Integrate.Equivalence.empty
+  in
+  Test.make
+    ~name:(Printf.sprintf "ranking/%d-concepts" concepts)
+    (Staged.stage (fun () ->
+         ignore (Integrate.Similarity.ranked_object_pairs s1 s2 eq)))
+
+let pipeline_test (concepts, w) =
+  Test.make
+    ~name:(Printf.sprintf "protocol+integrate/%d-concepts" concepts)
+    (Staged.stage (fun () ->
+         ignore
+           (Integrate.Protocol.run w.Workload.Generator.schemas
+              w.Workload.Generator.oracle)))
+
+let rewrite_test (_concepts, w) =
+  let result, _ =
+    Integrate.Protocol.run w.Workload.Generator.schemas
+      w.Workload.Generator.oracle
+  in
+  let s = List.hd w.Workload.Generator.schemas in
+  let cls = List.hd (Ecr.Schema.objects s) in
+  let q = Query.Ast.query (Ecr.Name.to_string cls.Ecr.Object_class.name) in
+  Test.make ~name:"rewrite/view-to-integrated"
+    (Staged.stage (fun () ->
+         ignore
+           (Query.Rewrite.to_integrated result.Integrate.Result.mapping ~view:s q)))
+
+let paper_test =
+  Test.make ~name:"paper/sc1+sc2-end-to-end"
+    (Staged.stage (fun () -> ignore (Workload.Paper.integrate_sc1_sc2 ())))
+
+let run_timings () =
+  Experiments.section "TIMINGS" "Bechamel micro-benchmarks (ns per run)";
+  let tests =
+    let sized = Lazy.force kernel_workloads in
+    [ paper_test ]
+    @ List.map closure_test sized
+    @ List.map ranking_test sized
+    @ List.map pipeline_test sized
+    @ [ rewrite_test (List.hd sized) ]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  Printf.printf "\n%-36s %16s %10s\n" "kernel" "ns/run" "r^2";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let results = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ e ] -> e
+            | _ -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with
+            | Some r -> r
+            | None -> nan
+          in
+          Printf.printf "%-36s %16.0f %10.4f\n" name estimate r2)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+      List.iter (fun e -> e ()) Experiments.all;
+      run_timings ()
+  | [ "timings" ] -> run_timings ()
+  | ids ->
+      List.iter
+        (fun id ->
+          match List.assoc_opt (String.lowercase_ascii id) Experiments.by_id with
+          | Some e -> e ()
+          | None when id = "timings" -> run_timings ()
+          | None ->
+              Printf.eprintf "unknown experiment %s (e1..e16, timings)\n" id;
+              exit 2)
+        ids

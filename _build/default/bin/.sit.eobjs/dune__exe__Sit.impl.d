@@ -1,0 +1,1 @@
+bin/sit.ml: Arg Cmd Cmdliner Ddl Dictionary Ecr Filename Integrate List Manpage Printf Term Tui

@@ -1,0 +1,1 @@
+bin/sit_batch.ml: Arg Cmd Cmdliner Ddl Dictionary Ecr Format Fun Instance Integrate List Option Printf Query String Term Tui

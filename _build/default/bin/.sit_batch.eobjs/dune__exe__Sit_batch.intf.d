@@ -1,0 +1,1 @@
+bin/sit_batch.mli:

@@ -1,0 +1,81 @@
+(* sit — the Schema Integration Tool, interactively.
+
+   Reproduces the menu/form tool of Sheth, Larson, Cornelio & Navathe
+   (ICDE 1988).  Component schemas can be pre-loaded from ECR DDL files
+   given on the command line; everything else happens through the
+   screens, exactly as in the paper: schema collection, attribute
+   equivalence specification, assertion specification with conflict
+   resolution, and browsing of the integrated schema. *)
+
+let load_file ws file =
+  if Filename.check_suffix file ".sitd" then
+    (* a data dictionary: schemas plus a recorded session *)
+    Dictionary.merge ws (Dictionary.load file)
+  else
+    let schemas = Ddl.Parser.schemas_of_file file in
+    List.fold_left
+      (fun ws s ->
+        match Ecr.Schema.validate s with
+        | [] -> Integrate.Workspace.add_schema s ws
+        | errors ->
+            List.iter
+              (fun e ->
+                Printf.eprintf "%s: %s\n" file (Ecr.Schema.error_to_string e))
+              errors;
+            exit 2)
+      ws schemas
+
+let run files save analyse =
+  let workspace =
+    List.fold_left load_file Integrate.Workspace.empty files
+  in
+  if analyse then
+    List.iter
+      (fun issue ->
+        Printf.printf "analysis: %s\n" (Integrate.Analysis.to_string issue))
+      (Integrate.Analysis.analyse workspace);
+  let final = Tui.Session.run ~workspace Tui.Session.stdio in
+  match save with
+  | Some path ->
+      Dictionary.save path final;
+      Printf.printf "session saved to %s\n" path
+  | None -> ()
+
+open Cmdliner
+
+let files =
+  let doc =
+    "ECR DDL files (or .sitd data dictionaries) to pre-load into the \
+     workspace."
+  in
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
+
+let save =
+  let doc = "Save the final workspace as a data dictionary to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+
+let analyse =
+  let doc = "Report schema-analysis incompatibilities before starting." in
+  Arg.(value & flag & info [ "analyse" ] ~doc)
+
+let cmd =
+  let doc = "interactive schema and view integration tool (ECR model)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "An interactive tool that assists database designers and \
+         administrators (DDAs) in integrating component schemas expressed \
+         in the Entity-Category-Relationship model into a single \
+         integrated schema, following the four-phase methodology of \
+         Sheth, Larson, Cornelio and Navathe (ICDE 1988): schema \
+         collection, schema analysis (attribute equivalences), assertion \
+         specification with automatic derivation and conflict detection, \
+         and integration with generated mappings.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "sit" ~version:"1.0.0" ~doc ~man)
+    Term.(const run $ files $ save $ analyse)
+
+let () = exit (Cmd.eval cmd)

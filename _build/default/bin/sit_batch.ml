@@ -1,0 +1,333 @@
+(* sit_batch — non-interactive schema integration.
+
+   Consumes ECR DDL files plus a session script and emits the integrated
+   schema (DDL), the generated mappings and a summary.  The script
+   format, one directive per line ('#' comments):
+
+     equiv  <schema.object.attr>  <schema.object.attr>
+     object <schema.object> <code> <schema.object>
+     rel    <schema.rel>    <code> <schema.rel>
+     name   <schema.structure> <schema.structure> <IntegratedName>
+
+   where <code> is the paper's assertion code: 1 equals, 2 contained-in,
+   3 contains, 4 disjoint-integrable, 5 may-be, 0 disjoint-nonintegrable. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+type directive =
+  | Equiv of Ecr.Qname.Attr.t * Ecr.Qname.Attr.t
+  | Object_assertion of Ecr.Qname.t * Integrate.Assertion.t * Ecr.Qname.t
+  | Rel_assertion of Ecr.Qname.t * Integrate.Assertion.t * Ecr.Qname.t
+  | Rename of Ecr.Qname.t * Ecr.Qname.t * string
+
+let parse_qattr s =
+  match String.split_on_char '.' s with
+  | [ a; b; c ] -> Ecr.Qname.Attr.v a b c
+  | _ -> fail "malformed qualified attribute: %s" s
+
+let parse_qname s =
+  match String.split_on_char '.' s with
+  | [ a; b ] -> Ecr.Qname.v a b
+  | _ -> fail "malformed qualified name: %s" s
+
+let parse_code s =
+  match Option.bind (int_of_string_opt s) Integrate.Assertion.of_code with
+  | Some a -> a
+  | None -> fail "unknown assertion code: %s" s
+
+let parse_script path =
+  let ic = open_in path in
+  let directives = ref [] in
+  (try
+     let lineno = ref 0 in
+     while true do
+       incr lineno;
+       let line = input_line ic in
+       let line =
+         match String.index_opt line '#' with
+         | Some i -> String.sub line 0 i
+         | None -> line
+       in
+       match
+         String.split_on_char ' ' (String.trim line)
+         |> List.filter (fun s -> s <> "")
+       with
+       | [] -> ()
+       | [ "equiv"; a; b ] ->
+           directives := Equiv (parse_qattr a, parse_qattr b) :: !directives
+       | [ "object"; a; code; b ] ->
+           directives :=
+             Object_assertion (parse_qname a, parse_code code, parse_qname b)
+             :: !directives
+       | [ "rel"; a; code; b ] ->
+           directives :=
+             Rel_assertion (parse_qname a, parse_code code, parse_qname b)
+             :: !directives
+       | [ "name"; a; b; forced ] ->
+           directives := Rename (parse_qname a, parse_qname b, forced) :: !directives
+       | _ -> fail "%s:%d: unparseable directive: %s" path !lineno line
+     done
+   with End_of_file -> close_in ic);
+  List.rev !directives
+
+let run files script out_ddl out_dot name analyse save_dict save_result data
+    updates queries global_queries =
+  let schemas = List.concat_map Ddl.Parser.schemas_of_file files in
+  List.iter
+    (fun s ->
+      match Ecr.Schema.validate s with
+      | [] -> ()
+      | errors ->
+          List.iter
+            (fun e -> prerr_endline (Ecr.Schema.error_to_string e))
+            errors;
+          exit 2)
+    schemas;
+  let directives = match script with Some p -> parse_script p | None -> [] in
+  let ws =
+    List.fold_left
+      (fun ws s -> Integrate.Workspace.add_schema s ws)
+      Integrate.Workspace.empty schemas
+  in
+  let ws =
+    List.fold_left
+      (fun ws d ->
+        match d with
+        | Equiv (a, b) -> Integrate.Workspace.declare_equivalent a b ws
+        | Object_assertion (a, assertion, b) -> (
+            match Integrate.Workspace.assert_object a assertion b ws with
+            | Ok ws -> ws
+            | Error conflict ->
+                print_string
+                  (Tui.Canvas.to_string (Tui.Screens.conflict_resolution conflict));
+                fail "conflicting assertion between %s and %s"
+                  (Ecr.Qname.to_string a) (Ecr.Qname.to_string b))
+        | Rel_assertion (a, assertion, b) -> (
+            match Integrate.Workspace.assert_relationship a assertion b ws with
+            | Ok ws -> ws
+            | Error _ ->
+                fail "conflicting relationship assertion between %s and %s"
+                  (Ecr.Qname.to_string a) (Ecr.Qname.to_string b))
+        | Rename (a, b, forced) ->
+            Integrate.Workspace.set_naming
+              (Integrate.Naming.with_override a b forced
+                 (Integrate.Workspace.naming ws))
+              ws)
+      ws directives
+  in
+  if analyse then
+    List.iter
+      (fun issue ->
+        Printf.printf "analysis: %s\n" (Integrate.Analysis.to_string issue))
+      (Integrate.Analysis.analyse ws);
+  (match save_dict with
+  | Some path -> Dictionary.save path ws
+  | None -> ());
+  let result = Integrate.Workspace.integrate ?name ws in
+  print_string (Ddl.Printer.to_string result.Integrate.Result.schema);
+  print_newline ();
+  print_endline (Integrate.Result.summary result);
+  List.iter (fun w -> Printf.printf "warning: %s\n" w) result.Integrate.Result.warnings;
+  print_newline ();
+  Format.printf "%a@." Integrate.Mapping.pp result.Integrate.Result.mapping;
+  (match out_ddl with
+  | Some path -> Ddl.Printer.save path [ result.Integrate.Result.schema ]
+  | None -> ());
+  (match out_dot with
+  | Some path -> Ecr.Dot.save path result.Integrate.Result.schema
+  | None -> ());
+  (match save_result with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Dictionary.result_to_string ws result))
+  | None -> ());
+  (* ---- optional: operational data and translated requests ---------- *)
+  if data <> None || updates <> [] || queries <> [] || global_queries <> []
+  then begin
+    let stores =
+      match data with
+      | Some path -> Instance.Loader.load_file ~schemas path
+      | None -> List.map (fun s -> (s, Instance.Store.create s)) schemas
+    in
+    let merged, report =
+      Query.Migrate.run result.Integrate.Result.mapping
+        ~integrated:result.Integrate.Result.schema stores
+    in
+    Printf.printf
+      "\nmigrated instance: %d entities in, %d out (%d fused), %d links\n"
+      report.Query.Migrate.entities_in report.Query.Migrate.entities_out
+      report.Query.Migrate.fused report.Query.Migrate.links_out;
+    List.iter
+      (fun v ->
+        Printf.printf "integrity: %s\n" (Instance.Store.violation_to_string v))
+      (Instance.Store.check merged);
+    let merged = ref merged in
+    List.iter
+      (fun spec ->
+        match String.index_opt spec ':' with
+        | None -> fail "--update expects \"<view>: <update>\", got %s" spec
+        | Some i ->
+            let view_name = String.trim (String.sub spec 0 i) in
+            let text = String.sub spec (i + 1) (String.length spec - i - 1) in
+            let view =
+              match
+                List.find_opt
+                  (fun s -> Ecr.Name.to_string (Ecr.Schema.name s) = view_name)
+                  schemas
+              with
+              | Some s -> s
+              | None -> fail "unknown view %s" view_name
+            in
+            let op = Query.Parser.update_of_string text in
+            let op' =
+              Query.Update.to_integrated result.Integrate.Result.mapping ~view op
+            in
+            Printf.printf "\nview update  : [%s] %s\n" view_name
+              (Query.Update.to_string op);
+            Printf.printf "translated   : %s\n" (Query.Update.to_string op');
+            let merged', n = Query.Update.apply op' !merged in
+            merged := merged';
+            Printf.printf "(%d entities affected)\n" n)
+      updates;
+    let merged = !merged in
+    List.iter
+      (fun spec ->
+        (* "<view>: <query text>" *)
+        match String.index_opt spec ':' with
+        | None -> fail "--query expects \"<view>: <query>\", got %s" spec
+        | Some i ->
+            let view_name = String.trim (String.sub spec 0 i) in
+            let text = String.sub spec (i + 1) (String.length spec - i - 1) in
+            let view =
+              match
+                List.find_opt
+                  (fun s ->
+                    Ecr.Name.to_string (Ecr.Schema.name s) = view_name)
+                  schemas
+              with
+              | Some s -> s
+              | None -> fail "unknown view %s" view_name
+            in
+            let q = Query.Parser.query_of_string text in
+            let q', back =
+              Query.Rewrite.to_integrated result.Integrate.Result.mapping
+                ~view q
+            in
+            Printf.printf "\nview query   : [%s] %s\n" view_name
+              (Query.Ast.to_string q);
+            Printf.printf "translated   : %s\n" (Query.Ast.to_string q');
+            let rows = back (Query.Eval.run q' merged) in
+            List.iter
+              (fun r -> Printf.printf "  %s\n" (Query.Eval.row_to_string r))
+              rows;
+            Printf.printf "(%d rows)\n" (List.length rows))
+      queries;
+    List.iter
+      (fun text ->
+        let q = Query.Parser.query_of_string text in
+        Printf.printf "\nglobal query : %s\n" (Query.Ast.to_string q);
+        List.iter
+          (fun part ->
+            Printf.printf "  unfolds to [%s] %s\n"
+              (Ecr.Name.to_string part.Query.Rewrite.component)
+              (Query.Ast.to_string part.Query.Rewrite.query))
+          (Query.Rewrite.to_components result.Integrate.Result.mapping
+             ~integrated:result.Integrate.Result.schema q);
+        let rows =
+          Query.Rewrite.run_global result.Integrate.Result.mapping
+            ~integrated:result.Integrate.Result.schema
+            ~stores:
+              (List.map
+                 (fun (s, st) -> (Ecr.Schema.name s, st))
+                 stores)
+            q
+        in
+        List.iter
+          (fun r -> Printf.printf "  %s\n" (Query.Eval.row_to_string r))
+          rows;
+        Printf.printf "(%d rows)\n" (List.length rows))
+      global_queries
+  end
+
+open Cmdliner
+
+let files =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"ECR DDL files.")
+
+let script =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "s"; "script" ] ~docv:"SCRIPT" ~doc:"Session script (equiv/object/rel/name directives).")
+
+let out_ddl =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"OUT" ~doc:"Write the integrated schema as DDL to $(docv).")
+
+let out_dot =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"DOT" ~doc:"Write the integrated schema as Graphviz to $(docv).")
+
+let integrated_name =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "n"; "name" ] ~docv:"NAME" ~doc:"Name of the integrated schema.")
+
+let analyse =
+  let doc = "Report schema-analysis incompatibilities before integrating." in
+  Arg.(value & flag & info [ "analyse" ] ~doc)
+
+let save_dict =
+  let doc = "Save the workspace as a data dictionary to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "save-dict" ] ~docv:"DICT" ~doc)
+
+let data =
+  let doc = "Instance data file (see Instance.Loader for the format)." in
+  Arg.(value & opt (some file) None & info [ "data" ] ~docv:"DATA" ~doc)
+
+let queries =
+  let doc =
+    "Run a view query against the migrated instance; format \"<view>: \
+     <query>\".  Repeatable."
+  in
+  Arg.(value & opt_all string [] & info [ "q"; "query" ] ~docv:"QUERY" ~doc)
+
+let global_queries =
+  let doc =
+    "Run a query against the integrated schema by unfolding it onto the \
+     component instances.  Repeatable."
+  in
+  Arg.(value & opt_all string [] & info [ "g"; "global" ] ~docv:"QUERY" ~doc)
+
+let save_result =
+  let doc =
+    "Save the full dictionary including the integrated schema and the \
+     generated mappings to $(docv)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "save-result" ] ~docv:"DICT" ~doc)
+
+let updates =
+  let doc =
+    "Apply a view update to the migrated instance before querying; format \
+     \"<view>: <update>\".  Repeatable."
+  in
+  Arg.(value & opt_all string [] & info [ "u"; "update" ] ~docv:"UPDATE" ~doc)
+
+let cmd =
+  Cmd.v
+    (Cmd.info "sit_batch" ~version:"1.0.0"
+       ~doc:"batch schema integration from DDL files and a session script")
+    Term.(
+      const run $ files $ script $ out_ddl $ out_dot $ integrated_name
+      $ analyse $ save_dict $ save_result $ data $ updates $ queries
+      $ global_queries)
+
+let () = exit (Cmd.eval cmd)

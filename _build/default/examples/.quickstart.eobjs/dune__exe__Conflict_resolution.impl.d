@@ -1,0 +1,1 @@
+examples/conflict_resolution.ml: Ddl Ecr Format Integrate List Qname Tui Workload

@@ -1,0 +1,1 @@
+examples/data_dictionary.ml: Attribute Ddl Dictionary Ecr Format Integrate List Name Object_class Qname Schema String Translate

@@ -1,0 +1,1 @@
+examples/federation.ml: Ddl Ecr Format Instance Integrate List Name Qname Query Translate

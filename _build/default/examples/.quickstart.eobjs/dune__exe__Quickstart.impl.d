@@ -1,0 +1,1 @@
+examples/quickstart.ml: Attribute Ddl Ecr Format Integrate List Name Object_class Qname Schema String Workload

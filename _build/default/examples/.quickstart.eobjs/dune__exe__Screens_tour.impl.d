@@ -1,0 +1,1 @@
+examples/screens_tour.ml: Buffer Format Integrate List Tui Workload

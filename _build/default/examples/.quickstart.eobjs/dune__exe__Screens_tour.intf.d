@@ -1,0 +1,1 @@
+examples/screens_tour.mli:

@@ -1,0 +1,1 @@
+examples/university_views.ml: Attribute Cardinality Ddl Ecr Format Instance Integrate List Name Object_class Qname Query Relationship Schema

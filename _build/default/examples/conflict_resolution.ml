@@ -1,0 +1,116 @@
+(* Assertion conflicts and their resolution (Screen 9).
+
+   Recreates the paper's sc3/sc4 scenario: the DDA has asserted that
+   every Instructor is a Grad_student, the schema itself says every
+   Grad_student is a Student, so the tool derives Instructor 'contained
+   in' Student by transitive composition.  When the DDA then tries to
+   declare Instructor and Student disjoint, the tool refuses and shows
+   the conflicting derivation; the DDA resolves it by weakening the
+   earlier assertion to "may be" — exactly the repair the paper
+   suggests.
+
+   Run with: dune exec examples/conflict_resolution.exe *)
+
+open Ecr
+
+let q = Qname.v
+
+let () =
+  let sc3 = Workload.Paper.sc3 and sc4 = Workload.Paper.sc4 in
+  Format.printf "=== Component schemas ===@.%s@.%s@.@."
+    (Ddl.Printer.to_string sc3) (Ddl.Printer.to_string sc4);
+
+  let ws =
+    Integrate.Workspace.(add_schema sc4 (add_schema sc3 empty))
+  in
+  (* the DDA asserts: every instructor is a grad student *)
+  let ws =
+    match
+      Integrate.Workspace.assert_object (q "sc3" "Instructor")
+        Integrate.Assertion.Contained_in
+        (q "sc4" "Grad_student") ws
+    with
+    | Ok ws -> ws
+    | Error _ -> failwith "unexpected conflict"
+  in
+  (* transitive composition has already derived more *)
+  let matrix = Integrate.Workspace.object_matrix ws in
+  List.iter
+    (fun (l, r, a) ->
+      Format.printf "derived: %s %s %s@." (Qname.to_string l)
+        (Integrate.Assertion.to_string a) (Qname.to_string r))
+    (Integrate.Assertions.derived_assertions matrix);
+  Format.printf "@.";
+
+  (* now the conflicting assertion *)
+  (match
+     Integrate.Workspace.assert_object (q "sc3" "Instructor")
+       Integrate.Assertion.Disjoint_nonintegrable (q "sc4" "Student") ws
+   with
+  | Ok _ -> failwith "the conflict was not detected!"
+  | Error conflict ->
+      Format.printf "=== Conflict detected (Screen 9) ===@.";
+      print_string (Tui.Canvas.to_string (Tui.Screens.conflict_resolution conflict)));
+
+  (* Resolution, as the paper suggests: "the DDA may change earlier
+     assertion in line 3 ... realizing that all instructors are not
+     grad_students".  Changing it to code 0 (disjoint) makes the whole
+     session consistent; note that code 5 (may be) would NOT be enough —
+     an instructor overlapping Grad_student necessarily intersects
+     Student, and the tool would (correctly) still refuse. *)
+  let ws =
+    Integrate.Workspace.retract_object (q "sc3" "Instructor")
+      (q "sc4" "Grad_student") ws
+  in
+  let ws =
+    match
+      Integrate.Workspace.assert_object (q "sc3" "Instructor")
+        Integrate.Assertion.Disjoint_nonintegrable
+        (q "sc4" "Grad_student") ws
+    with
+    | Ok ws -> ws
+    | Error _ -> failwith "resolution should be consistent"
+  in
+  let ws =
+    match
+      Integrate.Workspace.assert_object (q "sc3" "Instructor")
+        Integrate.Assertion.Disjoint_nonintegrable (q "sc4" "Student") ws
+    with
+    | Ok ws -> ws
+    | Error _ -> failwith "corrected session should accept the disjointness"
+  in
+  ignore ws;
+  Format.printf
+    "After changing the earlier assertion to 'disjoint', the new \
+     disjointness is accepted.@.";
+
+  (* Note: 'Instructor may-be Grad_student' plus 'Instructor disjoint
+     Student' is itself inconsistent set-theoretically (an overlap with
+     Grad_student lies inside Student), and the tool notices that too: *)
+  let ws2 =
+    Integrate.Workspace.(add_schema sc4 (add_schema sc3 empty))
+  in
+  let ws2 =
+    match
+      Integrate.Workspace.assert_object (q "sc3" "Instructor")
+        Integrate.Assertion.Disjoint_nonintegrable (q "sc4" "Student") ws2
+    with
+    | Ok ws -> ws
+    | Error _ -> failwith "fresh disjointness is consistent"
+  in
+  match
+    Integrate.Workspace.assert_object (q "sc3" "Instructor")
+      Integrate.Assertion.May_be
+      (q "sc4" "Grad_student") ws2
+  with
+  | Ok _ ->
+      Format.printf
+        "BUG: overlap with a subset of a disjoint class went undetected@."
+  | Error conflict ->
+      Format.printf
+        "@.Ordering does not matter: asserting the overlap after the \
+         disjointness is refused as well:@.";
+      Format.printf "  (%s, %s): still-possible relations %s@."
+        (Qname.to_string conflict.Integrate.Assertions.left)
+        (Qname.to_string conflict.Integrate.Assertions.right)
+        (Integrate.Rel.to_string conflict.Integrate.Assertions.current)

@@ -1,0 +1,1 @@
+lib/ddl/parser.ml: Attribute Cardinality Domain Ecr Fun Lexer List Name Object_class Printf Relationship Schema String

@@ -1,0 +1,1 @@
+lib/ddl/printer.ml: Attribute Cardinality Domain Ecr Format Fun List Name Object_class Relationship Schema String

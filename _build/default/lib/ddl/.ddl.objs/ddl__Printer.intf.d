@@ -1,0 +1,1 @@
+lib/ddl/printer.mli: Ecr Format

@@ -1,0 +1,107 @@
+type token =
+  | Ident of string
+  | Int of int
+  | Kw_schema
+  | Kw_entity
+  | Kw_category
+  | Kw_relationship
+  | Kw_of
+  | Kw_key
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Colon
+  | Semi
+  | Comma
+  | Eof
+
+type located = { token : token; line : int; col : int }
+
+exception Error of string * int * int
+
+let keyword = function
+  | "schema" -> Some Kw_schema
+  | "entity" -> Some Kw_entity
+  | "category" -> Some Kw_category
+  | "relationship" -> Some Kw_relationship
+  | "of" -> Some Kw_of
+  | "key" -> Some Kw_key
+  | _ -> None
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_body c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let emit token l c = tokens := { token; line = l; col = c } :: !tokens in
+  let rec scan i =
+    if i >= n then emit Eof !line !col
+    else
+      let c = src.[i] in
+      let l = !line and co = !col in
+      let advance k =
+        for j = i to i + k - 1 do
+          if src.[j] = '\n' then (incr line; col := 1) else incr col
+        done;
+        scan (i + k)
+      in
+      match c with
+      | ' ' | '\t' | '\r' | '\n' -> advance 1
+      | '-' when i + 1 < n && src.[i + 1] = '-' ->
+          (* line comment *)
+          let rec eol j = if j < n && src.[j] <> '\n' then eol (j + 1) else j in
+          let j = eol i in
+          col := !col + (j - i);
+          scan j
+      | '{' -> emit Lbrace l co; advance 1
+      | '}' -> emit Rbrace l co; advance 1
+      | '(' -> emit Lparen l co; advance 1
+      | ')' -> emit Rparen l co; advance 1
+      | ':' -> emit Colon l co; advance 1
+      | ';' -> emit Semi l co; advance 1
+      | ',' -> emit Comma l co; advance 1
+      | c when is_digit c ->
+          let rec forward j = if j < n && is_digit src.[j] then forward (j + 1) else j in
+          let j = forward i in
+          emit (Int (int_of_string (String.sub src i (j - i)))) l co;
+          advance (j - i)
+      | c when is_ident_start c ->
+          let rec forward j =
+            if j < n && is_ident_body src.[j] then forward (j + 1) else j
+          in
+          let j = forward i in
+          let word = String.sub src i (j - i) in
+          let token =
+            match keyword word with Some kw -> kw | None -> Ident word
+          in
+          emit token l co;
+          advance (j - i)
+      | c ->
+          raise (Error (Printf.sprintf "illegal character %C" c, l, co))
+  in
+  scan 0;
+  List.rev !tokens
+
+let token_to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int n -> Printf.sprintf "integer %d" n
+  | Kw_schema -> "'schema'"
+  | Kw_entity -> "'entity'"
+  | Kw_category -> "'category'"
+  | Kw_relationship -> "'relationship'"
+  | Kw_of -> "'of'"
+  | Kw_key -> "'key'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Colon -> "':'"
+  | Semi -> "';'"
+  | Comma -> "','"
+  | Eof -> "end of input"

@@ -1,0 +1,34 @@
+(** Lexer for the ECR data description language.
+
+    The DDL is the textual form of the schemas the tool's Schema
+    Collection screens build interactively; see {!Parser} for the
+    grammar.  Comments run from [--] to end of line. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Kw_schema
+  | Kw_entity
+  | Kw_category
+  | Kw_relationship
+  | Kw_of
+  | Kw_key
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Colon
+  | Semi
+  | Comma
+  | Eof
+
+type located = { token : token; line : int; col : int }
+
+exception Error of string * int * int
+(** [Error (message, line, col)] — lexical error with 1-based position. *)
+
+val tokenize : string -> located list
+(** Turns source text into a token stream ending with {!Eof}.
+    @raise Error on an illegal character. *)
+
+val token_to_string : token -> string

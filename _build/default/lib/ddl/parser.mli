@@ -1,0 +1,47 @@
+(** Recursive-descent parser for the ECR data description language.
+
+    Grammar (EBNF; [--] comments and whitespace are free):
+    {v
+    file         ::= schema* EOF
+    schema       ::= "schema" IDENT "{" structure* "}"
+    structure    ::= entity | category | relationship
+    entity       ::= "entity" IDENT body
+    category     ::= "category" IDENT "of" IDENT ("," IDENT)* body
+    relationship ::= "relationship" IDENT
+                     "(" participant ("," participant)* ")" body
+    participant  ::= (IDENT ":")? IDENT cardinality
+    cardinality  ::= "(" INT "," (INT | "N") ")"
+    body         ::= "{" attribute* "}" | ";"
+    attribute    ::= IDENT ":" domain ("key")? ";"
+    domain       ::= IDENT | IDENT "(" IDENT ("," IDENT)* ")"
+    v}
+
+    Example:
+    {v
+    schema sc1 {
+      entity Student {
+        Name : char key;
+        GPA  : real;
+      }
+      entity Department {
+        Name : char key;
+      }
+      relationship Majors (Student (1,1), Department (0,N)) {
+        Minor : char;
+      }
+    }
+    v} *)
+
+exception Error of string * int * int
+(** [Error (message, line, col)] — syntax error with 1-based position. *)
+
+val schemas_of_string : string -> Ecr.Schema.t list
+(** Parses a whole DDL file (zero or more schemas).
+    @raise Error on syntax errors
+    @raise Ecr.Name.Invalid never — identifiers are validated lexically *)
+
+val schema_of_string : string -> Ecr.Schema.t
+(** Parses exactly one schema.  @raise Error otherwise. *)
+
+val schemas_of_file : string -> Ecr.Schema.t list
+(** Reads and parses a file.  @raise Sys_error on IO failure. *)

@@ -1,0 +1,61 @@
+open Ecr
+
+let pp_attr fmt a =
+  Format.fprintf fmt "%s : %s%s;"
+    (Name.to_string a.Attribute.name)
+    (Domain.to_string a.Attribute.domain)
+    (if a.Attribute.key then " key" else "")
+
+let pp_body fmt attrs =
+  match attrs with
+  | [] -> Format.pp_print_string fmt ";"
+  | _ ->
+      Format.pp_print_string fmt " {";
+      List.iter (fun a -> Format.fprintf fmt "\n    %a" pp_attr a) attrs;
+      Format.pp_print_string fmt "\n  }"
+
+let pp_object fmt oc =
+  match oc.Object_class.kind with
+  | Object_class.Entity_set ->
+      Format.fprintf fmt "entity %s%a" (Name.to_string oc.Object_class.name)
+        pp_body oc.Object_class.attributes
+  | Object_class.Category parents ->
+      Format.fprintf fmt "category %s of %s%a"
+        (Name.to_string oc.Object_class.name)
+        (String.concat ", " (List.map Name.to_string parents))
+        pp_body oc.Object_class.attributes
+
+let pp_participant fmt p =
+  (match p.Relationship.role with
+  | Some role -> Format.fprintf fmt "%s: " (Name.to_string role)
+  | None -> ());
+  Format.fprintf fmt "%s %s"
+    (Name.to_string p.Relationship.obj)
+    (Cardinality.to_string p.Relationship.card)
+
+let pp_relationship fmt r =
+  Format.fprintf fmt "relationship %s (%a)%a"
+    (Name.to_string r.Relationship.name)
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       pp_participant)
+    r.Relationship.participants pp_body r.Relationship.attributes
+
+let pp fmt s =
+  Format.fprintf fmt "schema %s {" (Name.to_string (Schema.name s));
+  List.iter (fun oc -> Format.fprintf fmt "\n  %a" pp_object oc) (Schema.objects s);
+  List.iter
+    (fun r -> Format.fprintf fmt "\n  %a" pp_relationship r)
+    (Schema.relationships s);
+  Format.pp_print_string fmt "\n}"
+
+let to_string s = Format.asprintf "%a" pp s
+
+let schemas_to_string schemas =
+  String.concat "\n\n" (List.map to_string schemas) ^ "\n"
+
+let save path schemas =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (schemas_to_string schemas))

@@ -1,0 +1,15 @@
+(** Pretty-printer for the ECR data description language.
+
+    [Parser.schema_of_string (Printer.to_string s)] equals [s] for every
+    well-formed schema — the round-trip property tested in
+    [test/test_ddl.ml]. *)
+
+val to_string : Ecr.Schema.t -> string
+(** Renders one schema in the grammar accepted by {!Parser}. *)
+
+val schemas_to_string : Ecr.Schema.t list -> string
+
+val save : string -> Ecr.Schema.t list -> unit
+(** [save path schemas] writes a DDL file. *)
+
+val pp : Format.formatter -> Ecr.Schema.t -> unit

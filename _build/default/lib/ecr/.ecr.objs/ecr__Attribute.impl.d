@@ -1,0 +1,1 @@
+lib/ecr/attribute.ml: Bool Domain Format List Name

@@ -1,0 +1,1 @@
+lib/ecr/attribute.mli: Domain Format Name

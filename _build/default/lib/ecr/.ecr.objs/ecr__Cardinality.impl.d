@@ -1,0 +1,1 @@
+lib/ecr/cardinality.ml: Format Int Printf String

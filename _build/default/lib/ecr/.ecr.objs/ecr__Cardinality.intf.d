@@ -1,0 +1,1 @@
+lib/ecr/cardinality.mli: Format

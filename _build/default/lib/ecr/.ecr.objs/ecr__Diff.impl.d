@@ -1,0 +1,1 @@
+lib/ecr/diff.ml: Format List Object_class Relationship Schema

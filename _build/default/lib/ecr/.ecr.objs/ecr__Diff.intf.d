@@ -1,0 +1,1 @@
+lib/ecr/diff.mli: Format Schema

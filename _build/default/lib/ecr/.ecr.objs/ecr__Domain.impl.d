@@ -1,0 +1,1 @@
+lib/ecr/domain.ml: Format Int List Name Stdlib String

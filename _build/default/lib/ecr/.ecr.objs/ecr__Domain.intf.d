@@ -1,0 +1,1 @@
+lib/ecr/domain.mli: Format Name

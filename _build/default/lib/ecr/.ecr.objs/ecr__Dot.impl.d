@@ -1,0 +1,1 @@
+lib/ecr/dot.ml: Attribute Buffer Cardinality Domain Fun List Name Object_class Printf Relationship Schema String

@@ -1,0 +1,1 @@
+lib/ecr/dot.mli: Schema

@@ -1,0 +1,1 @@
+lib/ecr/name.ml: Format Map Set String

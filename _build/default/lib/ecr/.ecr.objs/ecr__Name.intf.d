@@ -1,0 +1,1 @@
+lib/ecr/name.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/ecr/object_class.ml: Attribute Format List Name Stdlib String

@@ -1,0 +1,1 @@
+lib/ecr/object_class.mli: Attribute Format Name

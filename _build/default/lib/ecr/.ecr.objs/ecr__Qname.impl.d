@@ -1,0 +1,1 @@
+lib/ecr/qname.ml: Format Name Stdlib String

@@ -1,0 +1,1 @@
+lib/ecr/qname.mli: Format Map Name Set Stdlib

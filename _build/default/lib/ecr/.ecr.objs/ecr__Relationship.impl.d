@@ -1,0 +1,1 @@
+lib/ecr/relationship.ml: Attribute Cardinality Format List Name Option Stdlib

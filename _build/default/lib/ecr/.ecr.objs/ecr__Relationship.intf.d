@@ -1,0 +1,1 @@
+lib/ecr/relationship.mli: Attribute Cardinality Format Name

@@ -1,0 +1,1 @@
+lib/ecr/schema.ml: Attribute Domain Format Fun List Name Object_class Option Printf Qname Relationship String

@@ -1,0 +1,1 @@
+lib/ecr/schema.mli: Attribute Format Name Object_class Qname Relationship

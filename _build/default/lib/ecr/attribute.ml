@@ -1,0 +1,35 @@
+type t = { name : Name.t; domain : Domain.t; key : bool }
+
+let make ?(key = false) name domain = { name; domain; key }
+let v ?key name domain = make ?key (Name.v name) (Domain.of_string domain)
+
+let equal a b =
+  Name.equal a.name b.name && Domain.equal a.domain b.domain && a.key = b.key
+
+let compare a b =
+  match Name.compare a.name b.name with
+  | 0 -> (
+      match Domain.compare a.domain b.domain with
+      | 0 -> Bool.compare a.key b.key
+      | c -> c)
+  | c -> c
+
+let rename name a = { a with name }
+
+let pp fmt a =
+  Format.fprintf fmt "%a : %a%s" Name.pp a.name Domain.pp a.domain
+    (if a.key then " !" else "")
+
+let find n attrs = List.find_opt (fun a -> Name.equal a.name n) attrs
+let names attrs = List.map (fun a -> a.name) attrs
+let keys attrs = List.filter (fun a -> a.key) attrs
+
+let well_formed attrs =
+  let rec check seen = function
+    | [] -> Ok ()
+    | a :: rest ->
+        if Name.Set.mem a.name seen then
+          Error ("duplicate attribute " ^ Name.to_string a.name)
+        else check (Name.Set.add a.name seen) rest
+  in
+  check Name.Set.empty attrs

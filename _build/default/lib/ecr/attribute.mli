@@ -1,0 +1,35 @@
+(** Attributes of object classes and relationship sets.
+
+    An attribute has a name, a domain, and a key flag (the "uniqueness"
+    property of Screen 5).  Attributes of a category are the ones
+    {e locally} declared on it; inherited attributes are computed by
+    {!Schema.all_attributes}. *)
+
+type t = { name : Name.t; domain : Domain.t; key : bool }
+
+val make : ?key:bool -> Name.t -> Domain.t -> t
+(** [make name domain] builds a non-key attribute; pass [~key:true] for
+    key attributes. *)
+
+val v : ?key:bool -> string -> string -> t
+(** [v name domain] builds an attribute from raw strings, e.g.
+    [v ~key:true "Name" "char"]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val rename : Name.t -> t -> t
+(** [rename n a] is [a] with its name replaced by [n]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints [name : domain] with a [!] suffix on keys, the convention used
+    by the DDL printer. *)
+
+val find : Name.t -> t list -> t option
+(** [find n attrs] looks an attribute up by name. *)
+
+val names : t list -> Name.t list
+val keys : t list -> t list
+
+val well_formed : t list -> (unit, string) result
+(** Checks that attribute names within one structure are unique. *)

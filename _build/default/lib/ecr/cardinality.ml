@@ -1,0 +1,87 @@
+type bound = Finite of int | Many
+
+type t = { min : int; max : bound }
+
+exception Invalid of string
+
+let bound_ok min = function
+  | Many -> true
+  | Finite n -> n > 0 && min <= n
+
+let make min max =
+  if min < 0 then raise (Invalid (Printf.sprintf "negative minimum %d" min));
+  if not (bound_ok min max) then
+    raise
+      (Invalid
+         (Printf.sprintf "bad maximum for (%d,%s)" min
+            (match max with Many -> "N" | Finite n -> string_of_int n)));
+  { min; max }
+
+let exactly_one = { min = 1; max = Finite 1 }
+let at_most_one = { min = 0; max = Finite 1 }
+let at_least_one = { min = 1; max = Many }
+let any = { min = 0; max = Many }
+let total c = c.min >= 1
+let functional c = c.max = Finite 1
+
+let bound_le a b =
+  match (a, b) with
+  | _, Many -> true
+  | Many, Finite _ -> false
+  | Finite x, Finite y -> x <= y
+
+let includes outer inner =
+  outer.min <= inner.min && bound_le inner.max outer.max
+
+let bound_max a b = if bound_le a b then b else a
+let bound_min a b = if bound_le a b then a else b
+
+let union a b = { min = Int.min a.min b.min; max = bound_max a.max b.max }
+
+let intersect a b =
+  let min = Int.max a.min b.min and max = bound_min a.max b.max in
+  if bound_ok min max then Some { min; max } else None
+
+let satisfied k c =
+  k >= c.min && (match c.max with Many -> true | Finite n -> k <= n)
+
+let equal a b = a.min = b.min && a.max = b.max
+
+let compare a b =
+  match Int.compare a.min b.min with
+  | 0 -> (
+      match (a.max, b.max) with
+      | Many, Many -> 0
+      | Many, Finite _ -> 1
+      | Finite _, Many -> -1
+      | Finite x, Finite y -> Int.compare x y)
+  | c -> c
+
+let bound_to_string = function Many -> "N" | Finite n -> string_of_int n
+
+let to_string c = "(" ^ string_of_int c.min ^ "," ^ bound_to_string c.max ^ ")"
+
+let of_string s =
+  let s = String.trim s in
+  let body =
+    if String.length s >= 2 && s.[0] = '(' && s.[String.length s - 1] = ')'
+    then String.sub s 1 (String.length s - 2)
+    else s
+  in
+  match String.split_on_char ',' body with
+  | [ lo; hi ] -> (
+      let lo = String.trim lo and hi = String.trim hi in
+      let max =
+        match String.uppercase_ascii hi with
+        | "N" | "M" | "*" -> Many
+        | _ -> (
+            match int_of_string_opt hi with
+            | Some n -> Finite n
+            | None -> raise (Invalid s))
+      in
+      match int_of_string_opt lo with
+      | Some min -> make min max
+      | None -> raise (Invalid s))
+  | _ -> raise (Invalid s)
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)

@@ -1,0 +1,55 @@
+(** Structural (cardinality) constraints on relationship participation.
+
+    The ECR model specifies, for each object class participating in a
+    relationship set, a pair [(i1, i2)] with [0 <= i1 <= i2] and
+    [i2 > 0]: every entity of the class participates in at least [i1]
+    and at most [i2] relationship instances. *)
+
+type bound = Finite of int | Many  (** [Many] is the paper's "N". *)
+
+type t = private { min : int; max : bound }
+
+exception Invalid of string
+
+val make : int -> bound -> t
+(** [make i1 i2] checks [0 <= i1], [i2 > 0] and [i1 <= i2].
+    @raise Invalid when the pair violates the ECR rules. *)
+
+val exactly_one : t  (** (1,1) — mandatory, functional *)
+
+val at_most_one : t  (** (0,1) — optional, functional *)
+
+val at_least_one : t  (** (1,N) — mandatory, multivalued *)
+
+val any : t  (** (0,N) — optional, multivalued *)
+
+val total : t -> bool
+(** [total c] is [true] when participation is mandatory ([min >= 1]). *)
+
+val functional : t -> bool
+(** [functional c] is [true] when [max = Finite 1]. *)
+
+val includes : t -> t -> bool
+(** [includes outer inner] is [true] when every participation count legal
+    under [inner] is legal under [outer]. *)
+
+val union : t -> t -> t
+(** Least constraint admitting the behaviours of both arguments; used
+    when merging relationship sets. *)
+
+val intersect : t -> t -> t option
+(** Greatest constraint admitted by both, or [None] when incompatible
+    (e.g. (2,2) vs (0,1)). *)
+
+val satisfied : int -> t -> bool
+(** [satisfied k c] is [true] when an entity with [k] participations
+    satisfies [c]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val of_string : string -> t
+(** Parses ["(1,N)"], ["(0,3)"], etc. @raise Invalid on bad syntax. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

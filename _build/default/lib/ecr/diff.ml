@@ -1,0 +1,52 @@
+type change =
+  | Added of Schema.structure
+  | Removed of Schema.structure
+  | Changed of Schema.structure * Schema.structure
+
+let structure_name = function
+  | Schema.Obj oc -> oc.Object_class.name
+  | Schema.Rel r -> r.Relationship.name
+
+let structure_equal a b =
+  match (a, b) with
+  | Schema.Obj x, Schema.Obj y -> Object_class.equal x y
+  | Schema.Rel x, Schema.Rel y -> Relationship.equal x y
+  | (Schema.Obj _ | Schema.Rel _), _ -> false
+
+let diff old_schema new_schema =
+  let olds = Schema.structures old_schema
+  and news = Schema.structures new_schema in
+  let removed_or_changed =
+    List.filter_map
+      (fun s ->
+        match Schema.find_structure (structure_name s) new_schema with
+        | None -> Some (Removed s)
+        | Some s' when structure_equal s s' -> None
+        | Some s' -> Some (Changed (s, s')))
+      olds
+  in
+  let added =
+    List.filter_map
+      (fun s ->
+        if Schema.mem (structure_name s) old_schema then None
+        else Some (Added s))
+      news
+  in
+  removed_or_changed @ added
+
+let is_empty = function [] -> true | _ :: _ -> false
+
+let pp_structure fmt = function
+  | Schema.Obj oc -> Object_class.pp fmt oc
+  | Schema.Rel r -> Relationship.pp fmt r
+
+let pp_change fmt = function
+  | Added s -> Format.fprintf fmt "+ %a" pp_structure s
+  | Removed s -> Format.fprintf fmt "- %a" pp_structure s
+  | Changed (before, after) ->
+      Format.fprintf fmt "~ %a => %a" pp_structure before pp_structure after
+
+let pp fmt changes =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_cut fmt ())
+    pp_change fmt changes

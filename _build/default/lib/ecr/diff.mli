@@ -1,0 +1,18 @@
+(** Structural comparison of two schemas.
+
+    Used by tests (golden comparisons of integrated schemas) and by the
+    tool's bookkeeping when a DDA edits a previously-defined schema. *)
+
+type change =
+  | Added of Schema.structure
+  | Removed of Schema.structure
+  | Changed of Schema.structure * Schema.structure  (** before, after *)
+
+val diff : Schema.t -> Schema.t -> change list
+(** [diff old_schema new_schema] lists per-structure differences, keyed
+    by structure name.  The schemas' own names are not compared. *)
+
+val is_empty : change list -> bool
+
+val pp_change : Format.formatter -> change -> unit
+val pp : Format.formatter -> change list -> unit

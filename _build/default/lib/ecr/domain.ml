@@ -1,0 +1,89 @@
+type t =
+  | Char_string
+  | Integer
+  | Real
+  | Boolean
+  | Date
+  | Enum of string list
+  | Named of Name.t
+
+let norm_enum values = List.sort_uniq String.compare values
+
+let equal a b =
+  match (a, b) with
+  | Char_string, Char_string
+  | Integer, Integer
+  | Real, Real
+  | Boolean, Boolean
+  | Date, Date ->
+      true
+  | Enum xs, Enum ys -> norm_enum xs = norm_enum ys
+  | Named x, Named y -> Name.equal x y
+  | (Char_string | Integer | Real | Boolean | Date | Enum _ | Named _), _ ->
+      false
+
+let rank = function
+  | Char_string -> 0
+  | Integer -> 1
+  | Real -> 2
+  | Boolean -> 3
+  | Date -> 4
+  | Enum _ -> 5
+  | Named _ -> 6
+
+let compare a b =
+  match (a, b) with
+  | Enum xs, Enum ys -> Stdlib.compare (norm_enum xs) (norm_enum ys)
+  | Named x, Named y -> Name.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let subset xs ys =
+  List.for_all (fun x -> List.exists (String.equal x) ys) xs
+
+let compatible a b =
+  equal a b
+  ||
+  match (a, b) with
+  | Integer, Real | Real, Integer -> true
+  | Enum xs, Enum ys -> subset xs ys || subset ys xs
+  | _ -> false
+
+let join a b =
+  if equal a b then Some a
+  else
+    match (a, b) with
+    | Integer, Real | Real, Integer -> Some Real
+    | Enum xs, Enum ys when subset xs ys || subset ys xs ->
+        Some (Enum (norm_enum (xs @ ys)))
+    | _ -> None
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "char" | "string" | "text" -> Char_string
+  | "int" | "integer" -> Integer
+  | "real" | "float" -> Real
+  | "bool" | "boolean" -> Boolean
+  | "date" -> Date
+  | low
+    when String.length low > 5
+         && String.sub low 0 5 = "enum("
+         && low.[String.length low - 1] = ')' ->
+      let body = String.sub s 5 (String.length s - 6) in
+      let values =
+        String.split_on_char ',' body
+        |> List.map String.trim
+        |> List.filter (fun v -> v <> "")
+      in
+      Enum (norm_enum values)
+  | _ -> Named (Name.of_string s)
+
+let to_string = function
+  | Char_string -> "char"
+  | Integer -> "int"
+  | Real -> "real"
+  | Boolean -> "bool"
+  | Date -> "date"
+  | Enum values -> "enum(" ^ String.concat "," values ^ ")"
+  | Named n -> Name.to_string n
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)

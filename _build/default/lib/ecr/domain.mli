@@ -1,0 +1,39 @@
+(** Attribute domains.
+
+    The paper's Attribute Information Collection Screen (Screen 5) records
+    a domain for every attribute ([char], [real], ...).  Domains matter to
+    integration in two ways: attributes declared equivalent should have
+    compatible domains, and the matching heuristics of section 4 use
+    domain compatibility as one resemblance signal. *)
+
+type t =
+  | Char_string  (** the paper's [char] — uninterpreted text *)
+  | Integer
+  | Real
+  | Boolean
+  | Date
+  | Enum of string list  (** a closed value set, e.g. support types *)
+  | Named of Name.t
+      (** a reference to an application-defined domain, opaque to the
+          tool; two [Named] domains are compatible iff equal *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val compatible : t -> t -> bool
+(** [compatible a b] is [true] when values of [a] and [b] can be merged
+    into one integrated attribute without conversion: equal domains,
+    [Integer]/[Real] (widening), or enums where one value set contains
+    the other. *)
+
+val join : t -> t -> t option
+(** [join a b] is the smallest domain containing both, when
+    {!compatible}: e.g. [join Integer Real = Some Real] and the join of
+    two enums is the union of their value sets. *)
+
+val of_string : string -> t
+(** Parses the DDL spelling, e.g. ["char"], ["int"], ["real"], ["bool"],
+    ["date"], ["enum(a,b,c)"]; anything else becomes [Named]. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let attr_lines attrs =
+  List.map
+    (fun a ->
+      Printf.sprintf "%s%s : %s"
+        (if a.Attribute.key then "*" else "")
+        (Name.to_string a.Attribute.name)
+        (Domain.to_string a.Attribute.domain))
+    attrs
+
+let node_label name attrs =
+  let header = Name.to_string name in
+  match attr_lines attrs with
+  | [] -> header
+  | lines -> header ^ "\\n" ^ String.concat "\\n" lines
+
+let to_dot ?(rankdir = "TB") s =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph %s {\n" (escape (Name.to_string (Schema.name s)));
+  out "  rankdir=%s;\n  node [fontsize=10];\n" rankdir;
+  List.iter
+    (fun oc ->
+      let n = Name.to_string oc.Object_class.name in
+      let shape, style =
+        if Object_class.is_entity oc then ("box", "solid")
+        else ("box", "rounded")
+      in
+      out "  \"%s\" [shape=%s, style=%s, label=\"%s\"];\n" (escape n) shape
+        style
+        (escape (node_label oc.Object_class.name oc.Object_class.attributes)))
+    (Schema.objects s);
+  List.iter
+    (fun oc ->
+      let n = Name.to_string oc.Object_class.name in
+      List.iter
+        (fun p ->
+          out "  \"%s\" -> \"%s\" [label=\"isa\", arrowhead=empty];\n"
+            (escape n)
+            (escape (Name.to_string p)))
+        (Object_class.parents oc))
+    (Schema.objects s);
+  List.iter
+    (fun r ->
+      let n = Name.to_string r.Relationship.name in
+      out "  \"%s\" [shape=diamond, label=\"%s\"];\n" (escape n)
+        (escape (node_label r.Relationship.name r.Relationship.attributes));
+      List.iter
+        (fun p ->
+          let label =
+            (match p.Relationship.role with
+            | Some role -> Name.to_string role ^ " "
+            | None -> "")
+            ^ Cardinality.to_string p.Relationship.card
+          in
+          out "  \"%s\" -> \"%s\" [dir=none, label=\"%s\"];\n" (escape n)
+            (escape (Name.to_string p.Relationship.obj))
+            (escape label))
+        r.Relationship.participants)
+    (Schema.relationships s);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot s))

@@ -1,0 +1,16 @@
+(** Graphviz export of ECR schemas.
+
+    The paper's figures draw schemas as ER diagrams (rectangles for
+    entity sets, diamonds for relationship sets, category links for
+    IS-A edges).  [to_dot] renders the same structure in Graphviz [dot]
+    syntax so the reproduced figures can be inspected visually. *)
+
+val to_dot : ?rankdir:string -> Schema.t -> string
+(** [to_dot s] is a complete [digraph] description of [s].  Entity sets
+    are boxes, categories are boxes with rounded corners linked to their
+    parents by [isa]-labelled edges, relationship sets are diamonds
+    linked to their participants with cardinality-labelled edges, and
+    attributes are listed inside each node (keys marked with [*]). *)
+
+val save : string -> Schema.t -> unit
+(** [save path s] writes [to_dot s] to [path]. *)

@@ -1,0 +1,32 @@
+type t = string
+
+exception Invalid of string
+
+let is_leading_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_body_char c = is_leading_char c || (c >= '0' && c <= '9')
+
+let is_valid s =
+  String.length s > 0
+  && is_leading_char s.[0]
+  && (let ok = ref true in
+      String.iter (fun c -> if not (is_body_char c) then ok := false) s;
+      !ok)
+
+let of_string s = if is_valid s then s else raise (Invalid s)
+let of_string_opt s = if is_valid s then Some s else None
+let to_string s = s
+let v = of_string
+let equal = String.equal
+let compare = String.compare
+let equal_ci a b = String.equal (String.lowercase_ascii a) (String.lowercase_ascii b)
+let concat ?(sep = "_") a b = a ^ sep ^ b
+
+let abbreviate n name =
+  if String.length name <= n then name else String.sub name 0 n
+
+let pp = Format.pp_print_string
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)

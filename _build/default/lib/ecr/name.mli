@@ -1,0 +1,47 @@
+(** Identifiers used throughout the ECR model.
+
+    A name is a non-empty string starting with a letter or underscore and
+    containing only letters, digits and underscores.  Names compare
+    case-sensitively: the paper's examples distinguish [Student] from
+    [student] only by convention, and we preserve the author's spelling. *)
+
+type t
+(** An identifier. *)
+
+exception Invalid of string
+(** Raised by {!of_string} on a malformed identifier; the payload is the
+    offending string. *)
+
+val of_string : string -> t
+(** [of_string s] validates [s] as an identifier.
+    @raise Invalid if [s] is empty or contains an illegal character. *)
+
+val of_string_opt : string -> t option
+(** Like {!of_string}, returning [None] instead of raising. *)
+
+val to_string : t -> string
+
+val v : string -> t
+(** Terse alias for {!of_string}, used pervasively when building schemas
+    in code. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val equal_ci : t -> t -> bool
+(** Case-insensitive equality, used only by matching heuristics. *)
+
+val is_valid : string -> bool
+(** [is_valid s] is [true] iff [of_string s] would succeed. *)
+
+val concat : ?sep:string -> t -> t -> t
+(** [concat a b] joins two names with [sep] (default ["_"]). *)
+
+val abbreviate : int -> t -> string
+(** [abbreviate n name] is the first [n] characters of [name], used when
+    synthesising derived-class names such as [D_Stud_Facu]. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,45 @@
+type kind = Entity_set | Category of Name.t list
+
+type t = { name : Name.t; kind : kind; attributes : Attribute.t list }
+
+let entity ?(attrs = []) name = { name; kind = Entity_set; attributes = attrs }
+
+let category ?(attrs = []) ~parents name =
+  { name; kind = Category parents; attributes = attrs }
+
+let is_entity oc = oc.kind = Entity_set
+let is_category oc = not (is_entity oc)
+let parents oc = match oc.kind with Entity_set -> [] | Category ps -> ps
+let attribute n oc = Attribute.find n oc.attributes
+let local_attributes oc = oc.attributes
+let kind_letter oc = match oc.kind with Entity_set -> 'e' | Category _ -> 'c'
+
+let equal_kind a b =
+  match (a, b) with
+  | Entity_set, Entity_set -> true
+  | Category xs, Category ys ->
+      List.length xs = List.length ys && List.for_all2 Name.equal xs ys
+  | (Entity_set | Category _), _ -> false
+
+let equal a b =
+  Name.equal a.name b.name
+  && equal_kind a.kind b.kind
+  && List.length a.attributes = List.length b.attributes
+  && List.for_all2 Attribute.equal a.attributes b.attributes
+
+let compare a b =
+  match Name.compare a.name b.name with
+  | 0 -> Stdlib.compare (a.kind, a.attributes) (b.kind, b.attributes)
+  | c -> c
+
+let pp fmt oc =
+  let kind_str =
+    match oc.kind with
+    | Entity_set -> "entity"
+    | Category ps ->
+        "category of " ^ String.concat ", " (List.map Name.to_string ps)
+  in
+  Format.fprintf fmt "@[<v 2>%s %a {%a@]@,}" kind_str Name.pp oc.name
+    (fun fmt attrs ->
+      List.iter (fun a -> Format.fprintf fmt "@,%a;" Attribute.pp a) attrs)
+    oc.attributes

@@ -1,0 +1,36 @@
+(** Object classes: entity sets and categories.
+
+    The ECR model classifies entities into disjoint {e entity sets}; a
+    {e category} is a subset of the entities of one or more object
+    classes (its parents), inheriting their attributes.  "Object class"
+    is the paper's collective term for both. *)
+
+type kind =
+  | Entity_set
+  | Category of Name.t list
+      (** parent object classes — the "entities and categories connected
+          to a category" of the Category Information Collection Screen.
+          Non-empty for well-formed categories. *)
+
+type t = { name : Name.t; kind : kind; attributes : Attribute.t list }
+
+val entity : ?attrs:Attribute.t list -> Name.t -> t
+val category : ?attrs:Attribute.t list -> parents:Name.t list -> Name.t -> t
+
+val is_entity : t -> bool
+val is_category : t -> bool
+
+val parents : t -> Name.t list
+(** [parents oc] is the (possibly empty) parent list. *)
+
+val attribute : Name.t -> t -> Attribute.t option
+(** Looks up a {e local} attribute. *)
+
+val local_attributes : t -> Attribute.t list
+
+val kind_letter : t -> char
+(** ['e'] or ['c'] — the Type(E/C/R) column of Screen 3. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,93 @@
+type t = { schema : Name.t; obj : Name.t }
+
+let make schema obj = { schema; obj }
+let v schema obj = { schema = Name.v schema; obj = Name.v obj }
+let equal a b = Name.equal a.schema b.schema && Name.equal a.obj b.obj
+
+let compare a b =
+  match Name.compare a.schema b.schema with
+  | 0 -> Name.compare a.obj b.obj
+  | c -> c
+
+let to_string q = Name.to_string q.schema ^ "." ^ Name.to_string q.obj
+
+let of_string s =
+  match String.index_opt s '.' with
+  | None -> raise (Name.Invalid s)
+  | Some i ->
+      v (String.sub s 0 i) (String.sub s (i + 1) (String.length s - i - 1))
+
+let pp fmt q = Format.pp_print_string fmt (to_string q)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Stdlib.Set.Make (Ord)
+module Map = Stdlib.Map.Make (Ord)
+
+module Attr = struct
+  type qname = t
+
+  type t = { owner : qname; attr : Name.t }
+
+  let make owner attr = { owner; attr }
+  let v schema obj attr = { owner = v schema obj; attr = Name.v attr }
+
+  let equal a b = equal a.owner b.owner && Name.equal a.attr b.attr
+
+  let compare a b =
+    match Ord.compare a.owner b.owner with
+    | 0 -> Name.compare a.attr b.attr
+    | c -> c
+
+  let to_string a = to_string a.owner ^ "." ^ Name.to_string a.attr
+  let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+  module Ord = struct
+    type nonrec t = t
+
+    let compare = compare
+  end
+
+  module Set = Stdlib.Set.Make (Ord)
+  module Map = Stdlib.Map.Make (Ord)
+end
+
+module Pair = struct
+  type qname = t
+
+  (* Invariant: [lo <= hi] in the global order, so structural comparison
+     of pairs is orientation-independent. *)
+  type t = { lo : qname; hi : qname }
+
+  let make a b = if Ord.compare a b <= 0 then { lo = a; hi = b } else { lo = b; hi = a }
+  let fst p = p.lo
+  let snd p = p.hi
+  let flipped a b = Ord.compare a b > 0
+
+  let other p q =
+    if equal p.lo q then p.hi
+    else if equal p.hi q then p.lo
+    else raise Not_found
+
+  let mem q p = equal p.lo q || equal p.hi q
+  let equal a b = equal a.lo b.lo && equal a.hi b.hi
+
+  let compare a b =
+    match Ord.compare a.lo b.lo with 0 -> Ord.compare a.hi b.hi | c -> c
+
+  let to_string p = "(" ^ to_string p.lo ^ ", " ^ to_string p.hi ^ ")"
+  let pp fmt p = Format.pp_print_string fmt (to_string p)
+
+  module Ord = struct
+    type nonrec t = t
+
+    let compare = compare
+  end
+
+  module Set = Stdlib.Set.Make (Ord)
+  module Map = Stdlib.Map.Make (Ord)
+end

@@ -1,0 +1,71 @@
+type participant = { role : Name.t option; obj : Name.t; card : Cardinality.t }
+
+type t = {
+  name : Name.t;
+  participants : participant list;
+  attributes : Attribute.t list;
+}
+
+let participant ?role obj card = { role; obj; card }
+
+let make ?(attrs = []) name participants =
+  { name; participants; attributes = attrs }
+
+let binary ?attrs name (obj1, card1) (obj2, card2) =
+  make ?attrs name [ participant obj1 card1; participant obj2 card2 ]
+
+let arity r = List.length r.participants
+let participates obj r = List.exists (fun p -> Name.equal p.obj obj) r.participants
+
+let participant_for ?role obj r =
+  let matches p =
+    Name.equal p.obj obj
+    &&
+    match role with
+    | None -> true
+    | Some want -> ( match p.role with Some h -> Name.equal h want | None -> false)
+  in
+  List.find_opt matches r.participants
+
+let roles r = List.map (fun p -> p.role) r.participants
+let objects r = List.map (fun p -> p.obj) r.participants
+let attribute n r = Attribute.find n r.attributes
+
+let rename_participant old_name new_name r =
+  let rename p =
+    if Name.equal p.obj old_name then { p with obj = new_name } else p
+  in
+  { r with participants = List.map rename r.participants }
+
+let equal_participant a b =
+  Option.equal Name.equal a.role b.role
+  && Name.equal a.obj b.obj
+  && Cardinality.equal a.card b.card
+
+let equal a b =
+  Name.equal a.name b.name
+  && List.length a.participants = List.length b.participants
+  && List.for_all2 equal_participant a.participants b.participants
+  && List.length a.attributes = List.length b.attributes
+  && List.for_all2 Attribute.equal a.attributes b.attributes
+
+let compare a b =
+  match Name.compare a.name b.name with
+  | 0 -> Stdlib.compare a b
+  | c -> c
+
+let pp_participant fmt p =
+  (match p.role with
+  | Some role -> Format.fprintf fmt "%a:" Name.pp role
+  | None -> ());
+  Format.fprintf fmt "%a %a" Name.pp p.obj Cardinality.pp p.card
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v 2>relationship %a (%a) {%a@]@,}" Name.pp r.name
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       pp_participant)
+    r.participants
+    (fun fmt attrs ->
+      List.iter (fun a -> Format.fprintf fmt "@,%a;" Attribute.pp a) attrs)
+    r.attributes

@@ -1,0 +1,52 @@
+(** Relationship sets.
+
+    A relationship set associates entities of two or more object classes;
+    each participation carries a structural (cardinality) constraint and
+    an optional role name (needed when the same object class participates
+    twice, e.g. a [Supervises] relationship between two [Employee]s). *)
+
+type participant = {
+  role : Name.t option;  (** distinguishes repeated participants *)
+  obj : Name.t;  (** the participating object class *)
+  card : Cardinality.t;
+      (** how entities of [obj] participate: at least [min], at most
+          [max] relationship instances *)
+}
+
+type t = { name : Name.t; participants : participant list; attributes : Attribute.t list }
+
+val participant : ?role:Name.t -> Name.t -> Cardinality.t -> participant
+
+val make :
+  ?attrs:Attribute.t list -> Name.t -> participant list -> t
+(** [make name participants] builds a relationship set.  Well-formedness
+    (arity >= 2, participants resolvable, roles unique) is checked by
+    {!Schema.validate}. *)
+
+val binary :
+  ?attrs:Attribute.t list ->
+  Name.t ->
+  Name.t * Cardinality.t ->
+  Name.t * Cardinality.t ->
+  t
+(** Convenience constructor for the overwhelmingly common binary case. *)
+
+val arity : t -> int
+val participates : Name.t -> t -> bool
+
+val participant_for : ?role:Name.t -> Name.t -> t -> participant option
+(** [participant_for obj r] finds the participation of [obj]
+    (disambiguated by [role] if given). *)
+
+val roles : t -> Name.t option list
+val objects : t -> Name.t list
+val attribute : Name.t -> t -> Attribute.t option
+
+val rename_participant : Name.t -> Name.t -> t -> t
+(** [rename_participant old_name new_name r] redirects every
+    participation of [old_name] to [new_name]; used when integration
+    replaces an object class with its integrated counterpart. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,379 @@
+type structure = Obj of Object_class.t | Rel of Relationship.t
+
+type t = {
+  name : Name.t;
+  (* Insertion order matters to the screens, so we keep ordered lists and
+     rebuild the by-name index on every edit.  Schemas are small (tens to
+     a few hundred structures); clarity wins over an incremental index. *)
+  objects : Object_class.t list;
+  relationships : Relationship.t list;
+  index : structure Name.Map.t;
+}
+
+let structure_name = function
+  | Obj oc -> oc.Object_class.name
+  | Rel r -> r.Relationship.name
+
+let build_index objects relationships =
+  let add index s =
+    let n = structure_name s in
+    if Name.Map.mem n index then
+      invalid_arg ("Schema: duplicate structure " ^ Name.to_string n)
+    else Name.Map.add n s index
+  in
+  let index =
+    List.fold_left (fun acc oc -> add acc (Obj oc)) Name.Map.empty objects
+  in
+  List.fold_left (fun acc r -> add acc (Rel r)) index relationships
+
+let empty name = { name; objects = []; relationships = []; index = Name.Map.empty }
+
+let make name ~objects ~relationships =
+  { name; objects; relationships; index = build_index objects relationships }
+
+let add_object oc s =
+  let objects = s.objects @ [ oc ] in
+  { s with objects; index = build_index objects s.relationships }
+
+let add_relationship r s =
+  let relationships = s.relationships @ [ r ] in
+  { s with relationships; index = build_index s.objects relationships }
+
+let remove_structure n s =
+  let objects =
+    List.filter (fun oc -> not (Name.equal oc.Object_class.name n)) s.objects
+  and relationships =
+    List.filter (fun r -> not (Name.equal r.Relationship.name n)) s.relationships
+  in
+  { s with objects; relationships; index = build_index objects relationships }
+
+let replace_object oc s =
+  let n = oc.Object_class.name in
+  if Name.Map.mem n s.index then
+    let objects =
+      List.map
+        (fun o -> if Name.equal o.Object_class.name n then oc else o)
+        s.objects
+    in
+    { s with objects; index = build_index objects s.relationships }
+  else add_object oc s
+
+let replace_relationship r s =
+  let n = r.Relationship.name in
+  if Name.Map.mem n s.index then
+    let relationships =
+      List.map
+        (fun x -> if Name.equal x.Relationship.name n then r else x)
+        s.relationships
+    in
+    { s with relationships; index = build_index s.objects relationships }
+  else add_relationship r s
+
+let rename name s = { s with name }
+let name s = s.name
+let objects s = s.objects
+let relationships s = s.relationships
+
+let structures s =
+  List.map (fun oc -> Obj oc) s.objects
+  @ List.map (fun r -> Rel r) s.relationships
+
+let entities s = List.filter Object_class.is_entity s.objects
+let categories s = List.filter Object_class.is_category s.objects
+
+let find_structure n s = Name.Map.find_opt n s.index
+
+let find_object n s =
+  match find_structure n s with Some (Obj oc) -> Some oc | _ -> None
+
+let find_relationship n s =
+  match find_structure n s with Some (Rel r) -> Some r | _ -> None
+
+let mem n s = Name.Map.mem n s.index
+let size s = List.length s.objects + List.length s.relationships
+
+let ancestors s obj =
+  (* Breadth-first over parent edges, nearest first; cycles (which are
+     validation errors) are cut by the [queued] set. *)
+  let rec walk queued acc = function
+    | [] -> List.rev acc
+    | n :: queue ->
+        let parents =
+          match find_object n s with
+          | Some oc -> Object_class.parents oc
+          | None -> []
+        in
+        let fresh = List.filter (fun p -> not (Name.Set.mem p queued)) parents in
+        let queued = List.fold_left (fun set p -> Name.Set.add p set) queued fresh in
+        walk queued (List.rev_append fresh acc) (queue @ fresh)
+  in
+  walk (Name.Set.singleton obj) [] [ obj ]
+
+let all_attributes s obj =
+  match find_object obj s with
+  | None -> raise Not_found
+  | Some oc ->
+      let chain = oc :: List.filter_map (fun n -> find_object n s) (ancestors s obj) in
+      let add (seen, acc) a =
+        if Name.Set.mem a.Attribute.name seen then (seen, acc)
+        else (Name.Set.add a.Attribute.name seen, a :: acc)
+      in
+      let _, acc =
+        List.fold_left
+          (fun state c -> List.fold_left add state c.Object_class.attributes)
+          (Name.Set.empty, []) chain
+      in
+      List.rev acc
+
+let children s obj =
+  List.filter_map
+    (fun oc ->
+      if List.exists (Name.equal obj) (Object_class.parents oc) then
+        Some oc.Object_class.name
+      else None)
+    s.objects
+
+let descendants s obj =
+  let rec walk queued = function
+    | [] -> []
+    | n :: queue ->
+        let kids =
+          List.filter (fun k -> not (Name.Set.mem k queued)) (children s n)
+        in
+        let queued = List.fold_left (fun set k -> Name.Set.add k set) queued kids in
+        kids @ walk queued (queue @ kids)
+  in
+  walk (Name.Set.singleton obj) [ obj ]
+
+let is_ancestor s ~ancestor obj = List.exists (Name.equal ancestor) (ancestors s obj)
+
+let relationships_of s obj =
+  List.filter (Relationship.participates obj) s.relationships
+
+let roots s = List.filter (fun oc -> Object_class.parents oc = []) s.objects
+
+type error =
+  | Duplicate_structure of Name.t
+  | Duplicate_attribute of Name.t * Name.t
+  | Unknown_parent of Name.t * Name.t
+  | Parent_is_relationship of Name.t * Name.t
+  | Category_without_parent of Name.t
+  | Cyclic_categories of Name.t list
+  | Unknown_participant of Name.t * Name.t
+  | Participant_is_relationship of Name.t * Name.t
+  | Relationship_arity of Name.t * int
+  | Ambiguous_roles of Name.t
+  | Attribute_shadows_inherited of Name.t * Name.t
+
+let error_to_string = function
+  | Duplicate_structure n -> "duplicate structure " ^ Name.to_string n
+  | Duplicate_attribute (s, a) ->
+      Printf.sprintf "duplicate attribute %s.%s" (Name.to_string s)
+        (Name.to_string a)
+  | Unknown_parent (c, p) ->
+      Printf.sprintf "category %s references unknown parent %s"
+        (Name.to_string c) (Name.to_string p)
+  | Parent_is_relationship (c, p) ->
+      Printf.sprintf "category %s uses relationship %s as parent"
+        (Name.to_string c) (Name.to_string p)
+  | Category_without_parent c ->
+      "category " ^ Name.to_string c ^ " has no parent"
+  | Cyclic_categories cycle ->
+      "cyclic categories: "
+      ^ String.concat " -> " (List.map Name.to_string cycle)
+  | Unknown_participant (r, o) ->
+      Printf.sprintf "relationship %s references unknown class %s"
+        (Name.to_string r) (Name.to_string o)
+  | Participant_is_relationship (r, o) ->
+      Printf.sprintf "relationship %s uses relationship %s as participant"
+        (Name.to_string r) (Name.to_string o)
+  | Relationship_arity (r, n) ->
+      Printf.sprintf "relationship %s has arity %d (needs >= 2)"
+        (Name.to_string r) n
+  | Ambiguous_roles r ->
+      Printf.sprintf
+        "relationship %s repeats a participant without distinct roles"
+        (Name.to_string r)
+  | Attribute_shadows_inherited (c, a) ->
+      Printf.sprintf
+        "category %s redeclares inherited attribute %s with an incompatible \
+         domain"
+        (Name.to_string c) (Name.to_string a)
+
+let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
+
+let check_attributes errs owner attrs =
+  match Attribute.well_formed attrs with
+  | Ok () -> errs
+  | Error _ ->
+      (* Report every duplicated name precisely. *)
+      let rec dups seen acc = function
+        | [] -> List.rev acc
+        | a :: rest ->
+            let n = a.Attribute.name in
+            if Name.Set.mem n seen then dups seen (Duplicate_attribute (owner, n) :: acc) rest
+            else dups (Name.Set.add n seen) acc rest
+      in
+      errs @ dups Name.Set.empty [] attrs
+
+let find_category_cycle s =
+  (* Depth-first search over parent edges looking for a back edge. *)
+  let rec visit path visiting visited n =
+    if Name.Set.mem n visited then (visited, None)
+    else if Name.Set.mem n visiting then
+      let cycle =
+        let rec take = function
+          | [] -> []
+          | x :: rest -> if Name.equal x n then [ x ] else x :: take rest
+        in
+        (visited, Some (List.rev (take path)))
+      in
+      cycle
+    else
+      let parents =
+        match find_object n s with
+        | Some oc -> Object_class.parents oc
+        | None -> []
+      in
+      let rec loop visited = function
+        | [] -> (Name.Set.add n visited, None)
+        | p :: rest -> (
+            match visit (p :: path) (Name.Set.add n visiting) visited p with
+            | (_, Some _) as found -> found
+            | visited, None -> loop visited rest)
+      in
+      loop visited parents
+  in
+  let rec scan visited = function
+    | [] -> None
+    | oc :: rest -> (
+        let n = oc.Object_class.name in
+        match visit [ n ] Name.Set.empty visited n with
+        | _, Some cycle -> Some cycle
+        | visited, None -> scan visited rest)
+  in
+  scan Name.Set.empty s.objects
+
+let shadowing_errors s oc =
+  let name = oc.Object_class.name in
+  match oc.Object_class.kind with
+  | Object_class.Entity_set -> []
+  | Object_class.Category _ ->
+      let inherited =
+        List.concat_map
+          (fun p ->
+            match find_object p s with
+            | Some _ -> ( try all_attributes s p with Not_found -> [])
+            | None -> [])
+          (Object_class.parents oc)
+      in
+      List.filter_map
+        (fun a ->
+          match Attribute.find a.Attribute.name inherited with
+          | Some inh
+            when not (Domain.compatible inh.Attribute.domain a.Attribute.domain)
+            ->
+              Some (Attribute_shadows_inherited (name, a.Attribute.name))
+          | _ -> None)
+        oc.Object_class.attributes
+
+let validate s =
+  let errs = [] in
+  (* Attribute uniqueness inside every structure. *)
+  let errs =
+    List.fold_left
+      (fun errs oc ->
+        check_attributes errs oc.Object_class.name oc.Object_class.attributes)
+      errs s.objects
+  in
+  let errs =
+    List.fold_left
+      (fun errs r ->
+        check_attributes errs r.Relationship.name r.Relationship.attributes)
+      errs s.relationships
+  in
+  (* Category parents. *)
+  let errs =
+    List.fold_left
+      (fun errs oc ->
+        let n = oc.Object_class.name in
+        match oc.Object_class.kind with
+        | Object_class.Entity_set -> errs
+        | Object_class.Category [] -> errs @ [ Category_without_parent n ]
+        | Object_class.Category parents ->
+            errs
+            @ List.filter_map
+                (fun p ->
+                  match find_structure p s with
+                  | None -> Some (Unknown_parent (n, p))
+                  | Some (Rel _) -> Some (Parent_is_relationship (n, p))
+                  | Some (Obj _) -> None)
+                parents)
+      errs s.objects
+  in
+  let errs =
+    match find_category_cycle s with
+    | Some cycle -> errs @ [ Cyclic_categories cycle ]
+    | None -> errs
+  in
+  (* Shadowing with incompatible domains. *)
+  let errs = errs @ List.concat_map (shadowing_errors s) s.objects in
+  (* Relationships. *)
+  let errs =
+    List.fold_left
+      (fun errs r ->
+        let n = r.Relationship.name in
+        let errs =
+          if Relationship.arity r >= 2 then errs
+          else errs @ [ Relationship_arity (n, Relationship.arity r) ]
+        in
+        let errs =
+          errs
+          @ List.filter_map
+              (fun p ->
+                let o = p.Relationship.obj in
+                match find_structure o s with
+                | None -> Some (Unknown_participant (n, o))
+                | Some (Rel _) -> Some (Participant_is_relationship (n, o))
+                | Some (Obj _) -> None)
+              r.Relationship.participants
+        in
+        (* Repeated participant without distinguishing roles? *)
+        let by_obj =
+          List.fold_left
+            (fun m p ->
+              let k = p.Relationship.obj in
+              let cur = Option.value ~default:[] (Name.Map.find_opt k m) in
+              Name.Map.add k (p.Relationship.role :: cur) m)
+            Name.Map.empty r.Relationship.participants
+        in
+        let ambiguous =
+          Name.Map.exists
+            (fun _ roles ->
+              List.length roles > 1
+              &&
+              let named = List.filter_map Fun.id roles in
+              List.length (List.sort_uniq Name.compare named)
+              <> List.length roles)
+            by_obj
+        in
+        if ambiguous then errs @ [ Ambiguous_roles n ] else errs)
+      errs s.relationships
+  in
+  errs
+
+let equal a b =
+  Name.equal a.name b.name
+  && List.length a.objects = List.length b.objects
+  && List.for_all2 Object_class.equal a.objects b.objects
+  && List.length a.relationships = List.length b.relationships
+  && List.for_all2 Relationship.equal a.relationships b.relationships
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v 2>schema %a {" Name.pp s.name;
+  List.iter (fun oc -> Format.fprintf fmt "@,%a" Object_class.pp oc) s.objects;
+  List.iter (fun r -> Format.fprintf fmt "@,%a" Relationship.pp r) s.relationships;
+  Format.fprintf fmt "@]@,}"
+
+let qname s obj = Qname.make s.name obj
+let attr_qname s obj attr = Qname.Attr.make (qname s obj) attr

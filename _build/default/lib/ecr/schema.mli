@@ -1,0 +1,120 @@
+(** ECR schemas.
+
+    A schema is a named collection of structures: entity sets, categories
+    and relationship sets, all sharing one namespace (the Structure
+    Information Collection Screen lists them in one table).  The module
+    offers pure construction and editing operations — the interactive
+    collection phase of the tool is a thin layer over [add_*] /
+    [remove_structure] / [update_*] — plus the derived views integration
+    needs: inherited attributes, the IS-A graph, and validation. *)
+
+type t
+
+type structure =
+  | Obj of Object_class.t
+  | Rel of Relationship.t
+
+(** {1 Construction} *)
+
+val empty : Name.t -> t
+(** [empty name] is a schema with no structures. *)
+
+val make :
+  Name.t -> objects:Object_class.t list -> relationships:Relationship.t list -> t
+(** [make name ~objects ~relationships] builds a schema in one step.
+    @raise Invalid_argument on duplicate structure names. *)
+
+val add_object : Object_class.t -> t -> t
+(** @raise Invalid_argument if the name is already used. *)
+
+val add_relationship : Relationship.t -> t -> t
+(** @raise Invalid_argument if the name is already used. *)
+
+val remove_structure : Name.t -> t -> t
+(** Removes an object class or relationship set; a no-op when absent.
+    Dangling references this creates are reported by {!validate}. *)
+
+val replace_object : Object_class.t -> t -> t
+(** Replaces the object class with the same name (adds when absent). *)
+
+val replace_relationship : Relationship.t -> t -> t
+
+val rename : Name.t -> t -> t
+(** Renames the schema itself. *)
+
+(** {1 Access} *)
+
+val name : t -> Name.t
+val objects : t -> Object_class.t list
+(** In insertion order, matching the screens' listing order. *)
+
+val relationships : t -> Relationship.t list
+val structures : t -> structure list
+val entities : t -> Object_class.t list
+val categories : t -> Object_class.t list
+
+val find_object : Name.t -> t -> Object_class.t option
+val find_relationship : Name.t -> t -> Relationship.t option
+val find_structure : Name.t -> t -> structure option
+val mem : Name.t -> t -> bool
+
+val size : t -> int
+(** Number of structures. *)
+
+(** {1 Derived views} *)
+
+val all_attributes : t -> Name.t -> Attribute.t list
+(** [all_attributes s obj] is the local attributes of [obj] followed by
+    the attributes inherited from its ancestors (each inherited name
+    appearing once, nearest declaration winning).
+    @raise Not_found when [obj] names no object class. *)
+
+val children : t -> Name.t -> Name.t list
+(** Categories having [obj] among their parents. *)
+
+val ancestors : t -> Name.t -> Name.t list
+(** Transitive parents, nearest first, without duplicates. *)
+
+val descendants : t -> Name.t -> Name.t list
+
+val is_ancestor : t -> ancestor:Name.t -> Name.t -> bool
+
+val relationships_of : t -> Name.t -> Relationship.t list
+(** Relationship sets in which the object class participates directly. *)
+
+val roots : t -> Object_class.t list
+(** Object classes with no parents (i.e. all entity sets, plus malformed
+    parentless categories). *)
+
+(** {1 Validation} *)
+
+type error =
+  | Duplicate_structure of Name.t
+  | Duplicate_attribute of Name.t * Name.t  (** structure, attribute *)
+  | Unknown_parent of Name.t * Name.t  (** category, missing parent *)
+  | Parent_is_relationship of Name.t * Name.t
+  | Category_without_parent of Name.t
+  | Cyclic_categories of Name.t list
+  | Unknown_participant of Name.t * Name.t  (** relationship, missing class *)
+  | Participant_is_relationship of Name.t * Name.t
+  | Relationship_arity of Name.t * int  (** must be >= 2 *)
+  | Ambiguous_roles of Name.t
+      (** same class participates twice without distinguishing roles *)
+  | Attribute_shadows_inherited of Name.t * Name.t
+      (** category redeclares an inherited attribute with an
+          incompatible domain *)
+
+val validate : t -> error list
+(** All well-formedness violations; the empty list means the schema is a
+    legal ECR schema. *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val qname : t -> Name.t -> Qname.t
+(** [qname s obj] qualifies a structure name with this schema's name. *)
+
+val attr_qname : t -> Name.t -> Name.t -> Qname.Attr.t

@@ -1,0 +1,1 @@
+lib/heuristics/construct.ml: Attribute Ecr Float Int List Name Object_class Qname Relationship Resemblance Schema

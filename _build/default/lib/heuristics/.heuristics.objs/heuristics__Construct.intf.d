@@ -1,0 +1,1 @@
+lib/heuristics/construct.mli: Ecr Resemblance

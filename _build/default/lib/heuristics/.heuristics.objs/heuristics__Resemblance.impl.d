@@ -1,0 +1,1 @@
+lib/heuristics/resemblance.ml: Attribute Domain Ecr Float Int List Name Object_class Schema Strings Synonyms

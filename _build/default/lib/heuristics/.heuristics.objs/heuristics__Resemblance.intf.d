@@ -1,0 +1,1 @@
+lib/heuristics/resemblance.mli: Ecr Synonyms

@@ -1,0 +1,1 @@
+lib/heuristics/schema_resemblance.ml: Ecr Float List Resemblance Schema

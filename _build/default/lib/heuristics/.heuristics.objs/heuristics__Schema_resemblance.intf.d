@@ -1,0 +1,1 @@
+lib/heuristics/schema_resemblance.mli: Ecr Resemblance

@@ -1,0 +1,1 @@
+lib/heuristics/strings.ml: Array Buffer Char Float Fun Hashtbl Int List Option Set String

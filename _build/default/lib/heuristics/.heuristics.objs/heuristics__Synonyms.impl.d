@@ -1,0 +1,1 @@
+lib/heuristics/synonyms.ml: Float Int List Map Set String Strings

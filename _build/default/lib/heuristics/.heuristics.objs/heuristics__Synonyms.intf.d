@@ -1,0 +1,1 @@
+lib/heuristics/synonyms.mli:

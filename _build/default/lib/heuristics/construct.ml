@@ -1,0 +1,72 @@
+open Ecr
+
+type candidate = {
+  entity_side : Qname.t;
+  relationship_side : Qname.t;
+  shared_attributes : (Name.t * Name.t * float) list;
+  score : float;
+}
+
+let matching weighted attrs1 attrs2 threshold =
+  let candidates =
+    List.concat_map
+      (fun a ->
+        List.map
+          (fun b -> (a, b, Resemblance.attribute_score weighted a b))
+          attrs2)
+      attrs1
+  in
+  let sorted =
+    List.sort (fun (_, _, x) (_, _, y) -> Float.compare y x) candidates
+  in
+  let rec pick used1 used2 acc = function
+    | [] -> List.rev acc
+    | (a, b, s) :: rest ->
+        if
+          s < threshold
+          || List.exists (Attribute.equal a) used1
+          || List.exists (Attribute.equal b) used2
+        then pick used1 used2 acc rest
+        else pick (a :: used1) (b :: used2) ((a, b, s) :: acc) rest
+  in
+  pick [] [] [] sorted
+
+let candidate weighted threshold (s_obj, oc) (s_rel, r) =
+  let matches =
+    matching weighted oc.Object_class.attributes r.Relationship.attributes
+      threshold
+  in
+  if List.length matches < 2 then None
+  else begin
+    let smaller =
+      Int.min
+        (List.length oc.Object_class.attributes)
+        (List.length r.Relationship.attributes)
+    in
+    let score =
+      if smaller = 0 then 0.0
+      else float_of_int (List.length matches) /. float_of_int smaller
+    in
+    Some
+      {
+        entity_side = Schema.qname s_obj oc.Object_class.name;
+        relationship_side = Schema.qname s_rel r.Relationship.name;
+        shared_attributes =
+          List.map
+            (fun (a, b, s) -> (a.Attribute.name, b.Attribute.name, s))
+            matches;
+        score;
+      }
+  end
+
+let detect ?(threshold = 0.6) weighted s1 s2 =
+  let one_direction s_obj s_rel =
+    List.concat_map
+      (fun oc ->
+        List.filter_map
+          (fun r -> candidate weighted threshold (s_obj, oc) (s_rel, r))
+          (Schema.relationships s_rel))
+      (Schema.objects s_obj)
+  in
+  one_direction s1 s2 @ one_direction s2 s1
+  |> List.sort (fun a b -> Float.compare b.score a.score)

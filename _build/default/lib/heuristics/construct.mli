@@ -1,0 +1,28 @@
+(** Cross-construct correspondence detection.
+
+    Section 4 ("semantic processing enhancements"): a concept modelled as
+    an entity set in one schema may appear as a relationship set in
+    another — the paper's example is a [Marriage] entity set vs a
+    [Marriage] relationship between [Male] and [Female].  Following
+    [Larson et al 87], two constructs of different types are flagged as
+    candidates for correspondence when they share several common
+    attributes. *)
+
+type candidate = {
+  entity_side : Ecr.Qname.t;  (** the object class *)
+  relationship_side : Ecr.Qname.t;  (** the relationship set *)
+  shared_attributes : (Ecr.Name.t * Ecr.Name.t * float) list;
+  score : float;  (** fraction of the smaller attribute list matched *)
+}
+
+val detect :
+  ?threshold:float ->
+  Resemblance.weighted ->
+  Ecr.Schema.t ->
+  Ecr.Schema.t ->
+  candidate list
+(** [detect weighted s1 s2] pairs every object class of one schema with
+    every relationship set of the other (both directions) and keeps the
+    pairs whose attribute lists greedily match with mean signal score at
+    or above [threshold] (default 0.6) on at least two attributes,
+    sorted by decreasing score. *)

@@ -1,0 +1,107 @@
+open Ecr
+
+type attr_signal = {
+  signal_name : string;
+  score : Attribute.t -> Attribute.t -> float;
+}
+
+let name_signal =
+  {
+    signal_name = "name";
+    score =
+      (fun a b ->
+        Strings.name_similarity
+          (Name.to_string a.Attribute.name)
+          (Name.to_string b.Attribute.name));
+  }
+
+let synonym_signal dict =
+  {
+    signal_name = "synonym";
+    score =
+      (fun a b ->
+        Synonyms.token_similarity dict
+          (Name.to_string a.Attribute.name)
+          (Name.to_string b.Attribute.name));
+  }
+
+let domain_signal =
+  {
+    signal_name = "domain";
+    score =
+      (fun a b ->
+        if Domain.equal a.Attribute.domain b.Attribute.domain then 1.0
+        else if Domain.compatible a.Attribute.domain b.Attribute.domain then 0.7
+        else 0.0);
+  }
+
+let key_signal =
+  {
+    signal_name = "key";
+    score = (fun a b -> if a.Attribute.key = b.Attribute.key then 1.0 else 0.0);
+  }
+
+type weighted = (float * attr_signal) list
+
+let default_weights dict =
+  [
+    (0.45, name_signal);
+    (0.25, synonym_signal dict);
+    (0.2, domain_signal);
+    (0.1, key_signal);
+  ]
+
+let attribute_score weighted a b =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 weighted in
+  if total <= 0.0 then 0.0
+  else
+    List.fold_left (fun acc (w, s) -> acc +. (w *. s.score a b)) 0.0 weighted
+    /. total
+
+(* Greedy best-first one-to-one matching over the cross product. *)
+let greedy_matching weighted attrs1 attrs2 =
+  let candidates =
+    List.concat_map
+      (fun a ->
+        List.map (fun b -> (a, b, attribute_score weighted a b)) attrs2)
+      attrs1
+  in
+  let sorted =
+    List.sort (fun (_, _, x) (_, _, y) -> Float.compare y x) candidates
+  in
+  let rec pick used1 used2 acc = function
+    | [] -> List.rev acc
+    | (a, b, s) :: rest ->
+        if
+          List.exists (Attribute.equal a) used1
+          || List.exists (Attribute.equal b) used2
+        then pick used1 used2 acc rest
+        else pick (a :: used1) (b :: used2) ((a, b, s) :: acc) rest
+  in
+  pick [] [] [] sorted
+
+let suggest_equivalences ?(threshold = 0.55) weighted (s1, oc1) (s2, oc2) =
+  greedy_matching weighted oc1.Object_class.attributes oc2.Object_class.attributes
+  |> List.filter (fun (_, _, s) -> s >= threshold)
+  |> List.map (fun (a, b, s) ->
+         ( Schema.attr_qname s1 oc1.Object_class.name a.Attribute.name,
+           Schema.attr_qname s2 oc2.Object_class.name b.Attribute.name,
+           s ))
+
+let object_score weighted oc1 oc2 =
+  let class_name_sim =
+    Strings.name_similarity
+      (Name.to_string oc1.Object_class.name)
+      (Name.to_string oc2.Object_class.name)
+  in
+  let attrs1 = oc1.Object_class.attributes
+  and attrs2 = oc2.Object_class.attributes in
+  let attr_mass =
+    match greedy_matching weighted attrs1 attrs2 with
+    | [] -> 0.0
+    | matches ->
+        let mass = List.fold_left (fun acc (_, _, s) -> acc +. s) 0.0 matches in
+        let smaller = Int.min (List.length attrs1) (List.length attrs2) in
+        if smaller = 0 then 0.0 else mass /. float_of_int smaller
+  in
+  (class_name_sim +. attr_mass) /. 2.0

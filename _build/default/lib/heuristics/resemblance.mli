@@ -1,0 +1,50 @@
+(** Composable resemblance functions over attribute and object pairs.
+
+    The paper's core tool uses a single resemblance function (the
+    attribute ratio over DDA-declared equivalences, implemented in the
+    integration engine).  Section 4 proposes, after SIS (de Souza 86),
+    {e several} resemblance functions combined as a weighted sum of
+    products; this module provides that machinery.  Scores are in
+    [0, 1]. *)
+
+type attr_signal = {
+  signal_name : string;
+  score : Ecr.Attribute.t -> Ecr.Attribute.t -> float;
+}
+
+val name_signal : attr_signal
+(** {!Strings.name_similarity} on attribute names. *)
+
+val synonym_signal : Synonyms.t -> attr_signal
+(** {!Synonyms.token_similarity} on attribute names. *)
+
+val domain_signal : attr_signal
+(** 1.0 on equal domains, 0.7 on compatible, 0.0 otherwise. *)
+
+val key_signal : attr_signal
+(** 1.0 when the key flags agree, 0.0 otherwise ("uniqueness" in the
+    paper's list of attribute characteristics). *)
+
+type weighted = (float * attr_signal) list
+
+val default_weights : Synonyms.t -> weighted
+(** name 0.45, synonyms 0.25, domain 0.2, key 0.1. *)
+
+val attribute_score : weighted -> Ecr.Attribute.t -> Ecr.Attribute.t -> float
+(** Weighted sum, normalised by total weight. *)
+
+val suggest_equivalences :
+  ?threshold:float ->
+  weighted ->
+  Ecr.Schema.t * Ecr.Object_class.t ->
+  Ecr.Schema.t * Ecr.Object_class.t ->
+  (Ecr.Qname.Attr.t * Ecr.Qname.Attr.t * float) list
+(** Greedy one-to-one matching of the two classes' attributes with
+    scores at or above [threshold] (default 0.55), best-first: the
+    candidate attribute equivalences the tool proposes to the DDA. *)
+
+val object_score :
+  weighted -> Ecr.Object_class.t -> Ecr.Object_class.t -> float
+(** Object-level resemblance: mean of name similarity of the class
+    names and the greedy attribute-matching mass, following the SIS
+    "weighted sum of products" suggestion. *)

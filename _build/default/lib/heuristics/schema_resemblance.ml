@@ -1,0 +1,44 @@
+open Ecr
+
+let score weighted s1 s2 =
+  let objs1 = Schema.objects s1 and objs2 = Schema.objects s2 in
+  let small, large =
+    if List.length objs1 <= List.length objs2 then (objs1, objs2)
+    else (objs2, objs1)
+  in
+  match small with
+  | [] -> 0.0
+  | _ ->
+      let best oc =
+        List.fold_left
+          (fun acc other -> Float.max acc (Resemblance.object_score weighted oc other))
+          0.0 large
+      in
+      List.fold_left (fun acc oc -> acc +. best oc) 0.0 small
+      /. float_of_int (List.length small)
+
+let rank_pairs weighted schemas =
+  let rec pairs = function
+    | [] -> []
+    | s :: rest -> List.map (fun s' -> (s, s')) rest @ pairs rest
+  in
+  pairs schemas
+  |> List.map (fun (a, b) -> (Schema.name a, Schema.name b, score weighted a b))
+  |> List.sort (fun (_, _, x) (_, _, y) -> Float.compare y x)
+
+let most_similar_pair weighted schemas =
+  let rec pairs = function
+    | [] -> []
+    | s :: rest -> List.map (fun s' -> (s, s')) rest @ pairs rest
+  in
+  match pairs schemas with
+  | [] -> None
+  | all ->
+      let best =
+        List.fold_left
+          (fun (bp, bs) (a, b) ->
+            let sc = score weighted a b in
+            if sc > bs then (Some (a, b), sc) else (bp, bs))
+          (None, -1.0) all
+      in
+      fst best

@@ -1,0 +1,23 @@
+(** Schema-level resemblance.
+
+    The paper's section 4: "The resemblance function among objects could
+    possibly be extended to derive a resemblance function [between]
+    schemas, which could be particularly useful in picking similar
+    schemas for integration in a binary approach."  Used by the binary
+    integration strategies in the benchmark harness to pick the next
+    pair of schemas to merge. *)
+
+val score : Resemblance.weighted -> Ecr.Schema.t -> Ecr.Schema.t -> float
+(** Mean of the best object-level resemblance of every object class of
+    the smaller schema against the other schema's classes; in [0, 1]. *)
+
+val rank_pairs :
+  Resemblance.weighted ->
+  Ecr.Schema.t list ->
+  (Ecr.Name.t * Ecr.Name.t * float) list
+(** All unordered schema pairs ordered by decreasing resemblance. *)
+
+val most_similar_pair :
+  Resemblance.weighted -> Ecr.Schema.t list -> (Ecr.Schema.t * Ecr.Schema.t) option
+(** The pair a similarity-guided binary strategy should integrate
+    next; [None] when fewer than two schemas remain. *)

@@ -1,0 +1,196 @@
+let is_alnum c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let normalize s =
+  let buf = Buffer.create (String.length s) in
+  String.iter (fun c -> if is_alnum c then Buffer.add_char buf (Char.lowercase_ascii c)) s;
+  Buffer.contents buf
+
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_lower c = c >= 'a' && c <= 'z'
+let is_digit c = c >= '0' && c <= '9'
+
+let tokens s =
+  let n = String.length s in
+  let out = ref [] and buf = Buffer.create 8 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := String.lowercase_ascii (Buffer.contents buf) :: !out;
+      Buffer.clear buf
+    end
+  in
+  for i = 0 to n - 1 do
+    let c = s.[i] in
+    if not (is_alnum c) then flush ()
+    else begin
+      (* case boundary: lower->Upper, or Upper followed by lower after a
+         run of uppers (e.g. "HTTPServer" -> "http", "server") *)
+      let boundary =
+        i > 0
+        && ((is_lower s.[i - 1] && is_upper c)
+           || (is_digit c && not (is_digit s.[i - 1]))
+           || ((not (is_digit c)) && is_digit s.[i - 1])
+           || (i + 1 < n && is_upper s.[i - 1] && is_upper c && is_lower s.[i + 1]))
+      in
+      if boundary then flush ();
+      Buffer.add_char buf c
+    end
+  done;
+  flush ();
+  List.rev !out
+
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    let prev = Array.init (lb + 1) Fun.id in
+    let cur = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      cur.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        cur.(j) <-
+          Int.min (Int.min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+let levenshtein_similarity a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 && lb = 0 then 1.0
+  else 1.0 -. (float_of_int (levenshtein a b) /. float_of_int (Int.max la lb))
+
+let bigrams s =
+  let n = String.length s in
+  if n < 2 then (if n = 0 then [] else [ s ])
+  else List.init (n - 1) (fun i -> String.sub s i 2)
+
+let dice_bigrams a b =
+  let ba = bigrams a and bb = bigrams b in
+  if ba = [] && bb = [] then 1.0
+  else if ba = [] || bb = [] then 0.0
+  else begin
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun g -> Hashtbl.replace tbl g (1 + Option.value ~default:0 (Hashtbl.find_opt tbl g)))
+      ba;
+    let matches = ref 0 in
+    List.iter
+      (fun g ->
+        match Hashtbl.find_opt tbl g with
+        | Some k when k > 0 ->
+            incr matches;
+            Hashtbl.replace tbl g (k - 1)
+        | _ -> ())
+      bb;
+    2.0 *. float_of_int !matches /. float_of_int (List.length ba + List.length bb)
+  end
+
+let jaro a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 && lb = 0 then 1.0
+  else if la = 0 || lb = 0 then 0.0
+  else begin
+    let window = Int.max 0 ((Int.max la lb / 2) - 1) in
+    let matched_a = Array.make la false and matched_b = Array.make lb false in
+    let matches = ref 0 in
+    for i = 0 to la - 1 do
+      let lo = Int.max 0 (i - window) and hi = Int.min (lb - 1) (i + window) in
+      let rec look j =
+        if j > hi then ()
+        else if (not matched_b.(j)) && a.[i] = b.[j] then begin
+          matched_a.(i) <- true;
+          matched_b.(j) <- true;
+          incr matches
+        end
+        else look (j + 1)
+      in
+      look lo
+    done;
+    if !matches = 0 then 0.0
+    else begin
+      (* transpositions: compare matched characters in order *)
+      let seq arr s =
+        let out = ref [] in
+        Array.iteri (fun i m -> if m then out := s.[i] :: !out) arr;
+        List.rev !out
+      in
+      let sa = seq matched_a a and sb = seq matched_b b in
+      let transpositions =
+        List.fold_left2
+          (fun acc x y -> if x <> y then acc + 1 else acc)
+          0 sa sb
+        / 2
+      in
+      let m = float_of_int !matches in
+      (m /. float_of_int la
+      +. m /. float_of_int lb
+      +. (m -. float_of_int transpositions) /. m)
+      /. 3.0
+    end
+  end
+
+let jaro_winkler ?(prefix_scale = 0.1) a b =
+  let j = jaro a b in
+  let max_prefix = 4 in
+  let rec prefix i =
+    if i < max_prefix && i < String.length a && i < String.length b && a.[i] = b.[i]
+    then 1 + prefix (i + 1)
+    else 0
+  in
+  let l = float_of_int (prefix 0) in
+  j +. (l *. prefix_scale *. (1.0 -. j))
+
+module StringSet = Set.Make (String)
+
+let token_overlap a b =
+  let ta = StringSet.of_list (tokens a) and tb = StringSet.of_list (tokens b) in
+  if StringSet.is_empty ta && StringSet.is_empty tb then 1.0
+  else
+    let inter = StringSet.cardinal (StringSet.inter ta tb)
+    and union = StringSet.cardinal (StringSet.union ta tb) in
+    if union = 0 then 0.0 else float_of_int inter /. float_of_int union
+
+let is_prefix short long =
+  String.length short <= String.length long
+  && String.sub long 0 (String.length short) = short
+
+let initials_subsequence short long =
+  (* every character of [short] appears in [long] in order, with the
+     first characters agreeing (so "gpa" matches "gradepointaverage") *)
+  let ls = String.length short and ll = String.length long in
+  if ls = 0 || ll = 0 || short.[0] <> long.[0] then false
+  else begin
+    let rec walk i j =
+      if i >= ls then true
+      else if j >= ll then false
+      else if short.[i] = long.[j] then walk (i + 1) (j + 1)
+      else walk i (j + 1)
+    in
+    walk 0 0
+  end
+
+let abbreviation_of a b =
+  let na = normalize a and nb = normalize b in
+  let short, long = if String.length na <= String.length nb then (na, nb) else (nb, na) in
+  String.length short >= 2
+  && String.length long > String.length short
+  && (is_prefix short long || initials_subsequence short long)
+
+let name_similarity a b =
+  if abbreviation_of a b then 1.0
+  else begin
+    let na = normalize a and nb = normalize b in
+    let scores =
+      [
+        levenshtein_similarity na nb;
+        dice_bigrams na nb;
+        jaro_winkler na nb;
+        token_overlap a b;
+      ]
+    in
+    List.fold_left Float.max 0.0 scores
+  end

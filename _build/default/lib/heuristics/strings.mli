@@ -1,0 +1,42 @@
+(** String-matching primitives for the "syntactic processing
+    enhancements" of the paper's section 4: heuristics that surface
+    candidate pairs of equivalent attributes from their names. *)
+
+val normalize : string -> string
+(** Lower-cases and strips non-alphanumeric characters, so that
+    ["Grad_Student"], ["GRADSTUDENT"] and ["grad-student"] normalise
+    identically. *)
+
+val tokens : string -> string list
+(** Splits an identifier on underscores, hyphens and case boundaries:
+    ["Grad_studentGPA"] becomes [["grad"; "student"; "gpa"]]. *)
+
+val levenshtein : string -> string -> int
+(** Edit distance (insert/delete/substitute, unit costs). *)
+
+val levenshtein_similarity : string -> string -> float
+(** [1 - distance / max length], in [0, 1]; 1.0 on equal strings and on
+    two empty strings. *)
+
+val dice_bigrams : string -> string -> float
+(** Sørensen–Dice coefficient on character bigrams, in [0, 1]. *)
+
+val jaro : string -> string -> float
+(** Jaro similarity, in [0, 1]. *)
+
+val jaro_winkler : ?prefix_scale:float -> string -> string -> float
+(** Jaro–Winkler: Jaro boosted by common prefix length (up to 4), with
+    [prefix_scale] defaulting to 0.1. *)
+
+val token_overlap : string -> string -> float
+(** Jaccard coefficient of the {!tokens} sets after {!normalize}. *)
+
+val abbreviation_of : string -> string -> bool
+(** [abbreviation_of a b] is [true] when the shorter string is a prefix
+    or a subsequence-of-initials of the longer (e.g. ["dept"]/
+    ["department"], ["gpa"]/["grade_point_average"]). *)
+
+val name_similarity : string -> string -> float
+(** The combined per-name score used by default: the maximum of
+    {!levenshtein_similarity}, {!dice_bigrams}, {!jaro_winkler} and
+    {!token_overlap}, forced to 1.0 by {!abbreviation_of}. *)

@@ -1,0 +1,124 @@
+module StringMap = Map.Make (String)
+module StringSet = Set.Make (String)
+
+type t = {
+  ring_of : int StringMap.t;  (** word -> ring id (index into [members]) *)
+  members : StringSet.t list;
+  antonyms : (string * string) list;
+}
+
+let empty = { ring_of = StringMap.empty; members = []; antonyms = [] }
+
+let norm = Strings.normalize
+
+let ring_members dict id = List.nth dict.members id
+
+let add_synonyms words dict =
+  let words = List.map norm words |> List.filter (fun w -> w <> "") in
+  match words with
+  | [] -> dict
+  | _ ->
+      let existing_ids =
+        List.filter_map (fun w -> StringMap.find_opt w dict.ring_of) words
+        |> List.sort_uniq Int.compare
+      in
+      let merged =
+        List.fold_left
+          (fun acc id -> StringSet.union acc (ring_members dict id))
+          (StringSet.of_list words) existing_ids
+      in
+      (* rebuild: drop merged rings, append the union *)
+      let kept =
+        List.filteri (fun i _ -> not (List.mem i existing_ids)) dict.members
+      in
+      let members = kept @ [ merged ] in
+      let ring_of =
+        List.fold_left
+          (fun acc (i, set) ->
+            StringSet.fold (fun w acc -> StringMap.add w i acc) set acc)
+          StringMap.empty
+          (List.mapi (fun i set -> (i, set)) members)
+      in
+      { dict with ring_of; members }
+
+let add_antonyms a b dict = { dict with antonyms = (norm a, norm b) :: dict.antonyms }
+
+let of_groups ?(antonyms = []) groups =
+  let dict = List.fold_left (fun d g -> add_synonyms g d) empty groups in
+  List.fold_left (fun d (a, b) -> add_antonyms a b d) dict antonyms
+
+let synonyms w dict =
+  let w = norm w in
+  match StringMap.find_opt w dict.ring_of with
+  | None -> []
+  | Some id ->
+      StringSet.elements (StringSet.remove w (ring_members dict id))
+
+let are_synonyms a b dict =
+  let a = norm a and b = norm b in
+  a = b
+  ||
+  match (StringMap.find_opt a dict.ring_of, StringMap.find_opt b dict.ring_of) with
+  | Some x, Some y -> x = y
+  | _ -> false
+
+let are_antonyms a b dict =
+  let a = norm a and b = norm b in
+  List.exists
+    (fun (x, y) -> (x = a && y = b) || (x = b && y = a))
+    dict.antonyms
+
+let token_similarity dict a b =
+  let ta = Strings.tokens a and tb = Strings.tokens b in
+  if ta = [] || tb = [] then 0.0
+  else begin
+    let short, long =
+      if List.length ta <= List.length tb then (ta, tb) else (tb, ta)
+    in
+    let score =
+      List.fold_left
+        (fun acc t ->
+          if List.exists (fun u -> are_synonyms t u dict) long then acc +. 1.0
+          else if List.exists (fun u -> are_antonyms t u dict) long then acc -. 1.0
+          else acc)
+        0.0 short
+    in
+    Float.max 0.0 (Float.min 1.0 (score /. float_of_int (List.length short)))
+  end
+
+let default =
+  of_groups
+    ~antonyms:
+      [
+        ("undergraduate", "graduate");
+        ("min", "max");
+        ("start", "end");
+        ("first", "last");
+      ]
+    [
+      [ "name"; "title"; "label" ];
+      [ "dept"; "department"; "division" ];
+      [ "id"; "identifier"; "number"; "num"; "no" ];
+      [ "ssn"; "socialsecuritynumber" ];
+      [ "salary"; "pay"; "wage"; "compensation" ];
+      [ "gpa"; "gradepointaverage"; "grade" ];
+      [ "phone"; "telephone"; "tel" ];
+      [ "addr"; "address"; "location"; "loc" ];
+      [ "dob"; "birthdate"; "birthday" ];
+      [ "emp"; "employee"; "worker"; "staff" ];
+      [ "mgr"; "manager"; "supervisor"; "boss" ];
+      [ "student"; "pupil" ];
+      [ "faculty"; "instructor"; "professor"; "teacher"; "lecturer" ];
+      [ "course"; "class"; "subject" ];
+      [ "project"; "proj" ];
+      [ "budget"; "funds"; "funding" ];
+      [ "office"; "room" ];
+      [ "major"; "specialization"; "concentration" ];
+      [ "advisor"; "adviser"; "mentor" ];
+      [ "date"; "day" ];
+      [ "type"; "kind"; "category" ];
+      [ "support"; "funding" ];
+      [ "works"; "employedby"; "employment" ];
+    ]
+
+let size dict = StringMap.cardinal dict.ring_of

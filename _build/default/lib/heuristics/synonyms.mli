@@ -1,0 +1,42 @@
+(** Synonym/antonym dictionary — the paper's section 4 proposes "a
+    dictionary of synonyms and antonyms ... useful in detecting candidate
+    pairs of equivalent attributes".
+
+    A dictionary groups words into synonym rings and records antonym
+    pairs; lookups are performed on normalised tokens, so
+    ["Dept_Name"]/["DepartmentTitle"] match via the [dept]/[department]
+    and [name]/[title] entries. *)
+
+type t
+
+val empty : t
+
+val add_synonyms : string list -> t -> t
+(** [add_synonyms words dict] places all [words] in one synonym ring
+    (merging rings that share a word). *)
+
+val add_antonyms : string -> string -> t -> t
+
+val of_groups : ?antonyms:(string * string) list -> string list list -> t
+
+val synonyms : string -> t -> string list
+(** All words in the ring of the given word, itself excluded. *)
+
+val are_synonyms : string -> string -> t -> bool
+(** True when the two (normalised) words share a ring or are equal. *)
+
+val are_antonyms : string -> string -> t -> bool
+
+val token_similarity : t -> string -> string -> float
+(** Fraction of tokens of the shorter identifier that have a synonym (or
+    equal token) among the other identifier's tokens; antonymous tokens
+    contribute -1, clamped to [0, 1]. *)
+
+val default : t
+(** A dictionary seeded with common database-design vocabulary
+    (name/title, dept/department, salary/pay/wage, ...), sufficient for
+    the university and company domains used by the examples and
+    benchmarks. *)
+
+val size : t -> int
+(** Number of words known to the dictionary. *)

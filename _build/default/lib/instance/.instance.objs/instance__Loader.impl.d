@@ -1,0 +1,1 @@
+lib/instance/loader.ml: Buffer Ecr Fun Hashtbl List Name Option Printf Relationship Schema Store String Value

@@ -1,0 +1,1 @@
+lib/instance/loader.mli: Ecr Store

@@ -1,0 +1,1 @@
+lib/instance/store.ml: Attribute Cardinality Ecr Format Hashtbl Int List Name Object_class Option Printf Relationship Schema Stdlib Value

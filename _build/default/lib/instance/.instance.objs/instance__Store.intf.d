@@ -1,0 +1,1 @@
+lib/instance/store.mli: Ecr Format Stdlib Value

@@ -1,0 +1,1 @@
+lib/instance/value.ml: Bool Ecr Float Format Int List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/instance/value.mli: Ecr Format

@@ -1,0 +1,42 @@
+(** A textual format for instance data.
+
+    Lets the command-line tools load the operational databases the paper
+    assumes, so integration can be demonstrated end to end (schemas +
+    data + session → integrated schema + migrated instance + translated
+    queries) without writing OCaml.
+
+    Format, one [instance] block per schema ([--] comments allowed):
+    {v
+    instance sc1 {
+      Student { Name = "Ann", GPA = 3.9 } as ann
+      Student { Name = "Ben", GPA = 2.5 } as ben
+      Department { Name = "CS" } as cs
+      in Grad_student: ann
+      Majors (ann, cs) { Since = 2020-09-01 }
+    }
+    v}
+
+    - [Class { attr = value, ... } as label] inserts an entity and binds
+      a label for later reference;
+    - [in Category: label] additionally classifies a bound entity;
+    - [Rel (label, label, ...) { attr = value, ... }] adds a relationship
+      instance (the attribute block may be omitted);
+    - values are numbers, single/double-quoted strings, [true], [false],
+      [null], or bare dates [YYYY-MM-DD]. *)
+
+exception Error of string
+(** Syntax errors, unknown labels, or references to structures the
+    schema does not declare (messages carry the line number). *)
+
+val load_string :
+  schemas:Ecr.Schema.t list -> string -> (Ecr.Schema.t * Store.t) list
+(** Parses every [instance] block, resolving each against the named
+    schema.  Schemas without a block get an empty store. *)
+
+val load_file :
+  schemas:Ecr.Schema.t list -> string -> (Ecr.Schema.t * Store.t) list
+
+val to_string : Ecr.Schema.t -> Store.t -> string
+(** Serialises a store back to the format (labels are synthesised as
+    [e<oid>]); [load_string] of the output reproduces the store up to
+    oid renumbering. *)

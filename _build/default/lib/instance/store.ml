@@ -1,0 +1,285 @@
+open Ecr
+
+module Oid = struct
+  type t = int
+
+  let equal = Int.equal
+  let compare = Int.compare
+  let to_int oid = oid
+  let pp fmt oid = Format.fprintf fmt "#%d" oid
+
+  module Set = Stdlib.Set.Make (Int)
+  module Map = Stdlib.Map.Make (Int)
+end
+
+type tuple = Value.t Name.Map.t
+
+let tuple bindings =
+  List.fold_left
+    (fun m (k, v) -> Name.Map.add (Name.v k) v m)
+    Name.Map.empty bindings
+
+type link = { participants : Oid.t list; values : tuple }
+
+type t = {
+  schema : Schema.t;
+  next_oid : int;
+  (* Direct membership: class name -> oids placed in the class itself
+     (extent queries add the members of descendants). *)
+  members : Oid.Set.t Name.Map.t;
+  values : tuple Oid.Map.t;
+  links : link list Name.Map.t;
+}
+
+exception Violation of string
+
+let violation fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt
+
+let create schema =
+  {
+    schema;
+    next_oid = 1;
+    members = Name.Map.empty;
+    values = Oid.Map.empty;
+    links = Name.Map.empty;
+  }
+
+let schema store = store.schema
+
+let require_class store cls =
+  match Schema.find_object cls store.schema with
+  | Some oc -> oc
+  | None -> violation "unknown object class %s" (Name.to_string cls)
+
+let direct_members store cls =
+  Option.value ~default:Oid.Set.empty (Name.Map.find_opt cls store.members)
+
+let add_member cls oid store =
+  let set = Oid.Set.add oid (direct_members store cls) in
+  { store with members = Name.Map.add cls set store.members }
+
+(* Membership propagates up the IS-A chain: an entity placed in a
+   category belongs to every ancestor class. *)
+let place oid cls store =
+  let ancestors = Schema.ancestors store.schema cls in
+  List.fold_left (fun st c -> add_member c oid st) (add_member cls oid store)
+    ancestors
+
+let insert cls values store =
+  ignore (require_class store cls);
+  let oid = store.next_oid in
+  let store = { store with next_oid = oid + 1 } in
+  let store = place oid cls store in
+  ({ store with values = Oid.Map.add oid values store.values }, oid)
+
+let classify oid cls store =
+  ignore (require_class store cls);
+  if not (Oid.Map.mem oid store.values) then
+    violation "unknown entity #%d" oid
+  else place oid cls store
+
+let set_value oid attr v store =
+  match Oid.Map.find_opt oid store.values with
+  | None -> violation "unknown entity #%d" oid
+  | Some tup ->
+      { store with values = Oid.Map.add oid (Name.Map.add attr v tup) store.values }
+
+let relate rel oids values store =
+  match Schema.find_relationship rel store.schema with
+  | None -> violation "unknown relationship %s" (Name.to_string rel)
+  | Some r ->
+      let arity = Relationship.arity r in
+      if List.length oids <> arity then
+        violation "relationship %s expects %d participants, got %d"
+          (Name.to_string rel) arity (List.length oids)
+      else
+        let existing =
+          Option.value ~default:[] (Name.Map.find_opt rel store.links)
+        in
+        let entry = { participants = oids; values } in
+        { store with links = Name.Map.add rel (entry :: existing) store.links }
+
+let remove_entity oid store =
+  if not (Oid.Map.mem oid store.values) then store
+  else
+    {
+      store with
+      members = Name.Map.map (Oid.Set.remove oid) store.members;
+      values = Oid.Map.remove oid store.values;
+      links =
+        Name.Map.map
+          (List.filter (fun l -> not (List.exists (Oid.equal oid) l.participants)))
+          store.links;
+    }
+
+let remove_links rel keep store =
+  if Schema.find_relationship rel store.schema = None then
+    violation "unknown relationship %s" (Name.to_string rel)
+  else
+    {
+      store with
+      links =
+        Name.Map.update rel
+          (Option.map (List.filter keep))
+          store.links;
+    }
+
+let extent cls store =
+  ignore (require_class store cls);
+  let below = cls :: Schema.descendants store.schema cls in
+  List.fold_left
+    (fun acc c -> Oid.Set.union acc (direct_members store c))
+    Oid.Set.empty below
+
+let tuple_of oid store =
+  Option.value ~default:Name.Map.empty (Oid.Map.find_opt oid store.values)
+
+let value oid attr store =
+  Option.value ~default:Value.Null (Name.Map.find_opt attr (tuple_of oid store))
+
+let links rel store =
+  if Schema.find_relationship rel store.schema = None then
+    violation "unknown relationship %s" (Name.to_string rel)
+  else List.rev (Option.value ~default:[] (Name.Map.find_opt rel store.links))
+
+let entities store = List.map fst (Oid.Map.bindings store.values)
+
+let classes_of oid store =
+  Name.Map.fold
+    (fun cls members acc -> if Oid.Set.mem oid members then cls :: acc else acc)
+    store.members []
+  |> List.rev
+let cardinality_of cls store = Oid.Set.cardinal (extent cls store)
+
+type violation =
+  | Bad_domain of Oid.t * Name.t * Value.t
+  | Duplicate_key of Name.t * Name.t * Value.t
+  | Not_in_parent of Oid.t * Name.t * Name.t
+  | Cardinality_violation of Name.t * Name.t * Oid.t * int
+  | Dangling_participant of Name.t * Oid.t
+
+let check_domains store =
+  List.concat_map
+    (fun oc ->
+      let cls = oc.Object_class.name in
+      let attrs = Schema.all_attributes store.schema cls in
+      Oid.Set.fold
+        (fun oid acc ->
+          List.fold_left
+            (fun acc a ->
+              let v = value oid a.Attribute.name store in
+              if Value.conforms v a.Attribute.domain then acc
+              else Bad_domain (oid, a.Attribute.name, v) :: acc)
+            acc attrs)
+        (direct_members store cls)
+        [])
+    (Schema.objects store.schema)
+
+let check_keys store =
+  List.concat_map
+    (fun oc ->
+      let cls = oc.Object_class.name in
+      let keys = Attribute.keys (Schema.all_attributes store.schema cls) in
+      List.concat_map
+        (fun key ->
+          let attr = key.Attribute.name in
+          let seen = Hashtbl.create 16 in
+          Oid.Set.fold
+            (fun oid acc ->
+              let v = value oid attr store in
+              if Value.equal v Value.Null then acc
+              else
+                let repr = Value.to_string v in
+                if Hashtbl.mem seen repr then
+                  Duplicate_key (cls, attr, v) :: acc
+                else begin
+                  Hashtbl.add seen repr ();
+                  acc
+                end)
+            (extent cls store) [])
+        keys)
+    (Schema.entities store.schema)
+
+let check_category_subset store =
+  List.concat_map
+    (fun oc ->
+      let cls = oc.Object_class.name in
+      List.concat_map
+        (fun parent ->
+          match Schema.find_object parent store.schema with
+          | None -> []
+          | Some _ ->
+              Oid.Set.fold
+                (fun oid acc ->
+                  if Oid.Set.mem oid (extent parent store) then acc
+                  else Not_in_parent (oid, cls, parent) :: acc)
+                (extent cls store) [])
+        (Object_class.parents oc))
+    (Schema.categories store.schema)
+
+let check_links store =
+  List.concat_map
+    (fun r ->
+      let rel = r.Relationship.name in
+      let instances = links rel store in
+      (* Dangling participants. *)
+      let dangling =
+        List.concat_map
+          (fun { participants; _ } ->
+            List.concat
+              (List.map2
+                 (fun p oid ->
+                   if Oid.Set.mem oid (extent p.Relationship.obj store) then []
+                   else [ Dangling_participant (rel, oid) ])
+                 r.Relationship.participants participants))
+          instances
+      in
+      (* Per-participant cardinality: every member of the class must
+         appear in between min and max instances. *)
+      let cardinality =
+        List.concat
+          (List.mapi
+             (fun pos p ->
+               let counts = Hashtbl.create 64 in
+               List.iter
+                 (fun { participants; _ } ->
+                   let oid = List.nth participants pos in
+                   Hashtbl.replace counts oid
+                     (1 + Option.value ~default:0 (Hashtbl.find_opt counts oid)))
+                 instances;
+               Oid.Set.fold
+                 (fun oid acc ->
+                   let k = Option.value ~default:0 (Hashtbl.find_opt counts oid) in
+                   if Cardinality.satisfied k p.Relationship.card then acc
+                   else
+                     Cardinality_violation (rel, p.Relationship.obj, oid, k)
+                     :: acc)
+                 (extent p.Relationship.obj store)
+                 [])
+             r.Relationship.participants)
+      in
+      dangling @ cardinality)
+    (Schema.relationships store.schema)
+
+let check store =
+  check_domains store @ check_keys store @ check_category_subset store
+  @ check_links store
+
+let violation_to_string = function
+  | Bad_domain (oid, attr, v) ->
+      Printf.sprintf "entity #%d: value %s outside domain of %s"
+        (Oid.to_int oid) (Value.to_string v) (Name.to_string attr)
+  | Duplicate_key (cls, attr, v) ->
+      Printf.sprintf "entity set %s: duplicate key %s = %s"
+        (Name.to_string cls) (Name.to_string attr) (Value.to_string v)
+  | Not_in_parent (oid, cat, parent) ->
+      Printf.sprintf "entity #%d in category %s but not in parent %s"
+        (Oid.to_int oid) (Name.to_string cat) (Name.to_string parent)
+  | Cardinality_violation (rel, cls, oid, k) ->
+      Printf.sprintf
+        "relationship %s: entity #%d of %s participates %d times, outside its \
+         structural constraint"
+        (Name.to_string rel) (Oid.to_int oid) (Name.to_string cls) k
+  | Dangling_participant (rel, oid) ->
+      Printf.sprintf "relationship %s references #%d outside participant class"
+        (Name.to_string rel) (Oid.to_int oid)

@@ -1,0 +1,1 @@
+lib/integrate/analysis.ml: Assertion Attribute Cardinality Domain Ecr Equivalence Format Heuristics List Name Object_class Option Printf Qname Relationship Schema Workspace

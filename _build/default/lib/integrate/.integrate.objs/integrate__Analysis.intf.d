@@ -1,0 +1,1 @@
+lib/integrate/analysis.mli: Ecr Format Heuristics Workspace

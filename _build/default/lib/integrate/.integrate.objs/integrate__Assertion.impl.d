@@ -1,0 +1,1 @@
+lib/integrate/assertion.ml: Format Int

@@ -1,0 +1,1 @@
+lib/integrate/assertion.mli: Format

@@ -1,0 +1,1 @@
+lib/integrate/assertions.ml: Assertion Ecr List Object_class Option Qname Queue Rel Relationship Schema

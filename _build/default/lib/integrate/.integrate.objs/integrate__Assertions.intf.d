@@ -1,0 +1,1 @@
+lib/integrate/assertions.mli: Assertion Ecr Rel

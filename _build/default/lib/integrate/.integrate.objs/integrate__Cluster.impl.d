@@ -1,0 +1,1 @@
+lib/integrate/cluster.ml: Assertions Ecr Format Hashtbl List Option Qname String

@@ -1,0 +1,1 @@
+lib/integrate/cluster.mli: Assertions Ecr Format

@@ -1,0 +1,1 @@
+lib/integrate/dda.ml: Assertion Assertions Attribute Ecr List Qname

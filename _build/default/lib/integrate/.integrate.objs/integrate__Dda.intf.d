@@ -1,0 +1,1 @@
+lib/integrate/dda.mli: Assertion Assertions Ecr

@@ -1,0 +1,1 @@
+lib/integrate/equivalence.ml: Attribute Ecr Int List Object_class Option Qname Relationship Schema

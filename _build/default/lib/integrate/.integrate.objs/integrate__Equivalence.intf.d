@@ -1,0 +1,1 @@
+lib/integrate/equivalence.mli: Ecr

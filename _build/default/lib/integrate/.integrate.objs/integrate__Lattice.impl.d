@@ -1,0 +1,1 @@
+lib/integrate/lattice.ml: Assertion Assertions Attribute Domain Ecr Equivalence Hashtbl Int List Name Naming Object_class Option Printf Qname Schema

@@ -1,0 +1,1 @@
+lib/integrate/lattice.mli: Assertions Ecr Equivalence Naming

@@ -1,0 +1,1 @@
+lib/integrate/mapping.ml: Ecr Format List Name Option Qname

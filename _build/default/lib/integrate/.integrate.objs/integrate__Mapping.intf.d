@@ -1,0 +1,1 @@
+lib/integrate/mapping.mli: Ecr Format

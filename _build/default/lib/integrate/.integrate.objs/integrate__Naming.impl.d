@@ -1,0 +1,1 @@
+lib/integrate/naming.ml: Ecr List Name Qname String

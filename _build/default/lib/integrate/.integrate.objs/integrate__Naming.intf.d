@@ -1,0 +1,1 @@
+lib/integrate/naming.mli: Ecr

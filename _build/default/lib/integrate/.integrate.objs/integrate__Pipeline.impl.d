@@ -1,0 +1,1 @@
+lib/integrate/pipeline.ml: Assertions Attribute Ecr Equivalence Hashtbl Lattice List Mapping Name Naming Object_class Option Qname Rel_merge Relationship Result Schema

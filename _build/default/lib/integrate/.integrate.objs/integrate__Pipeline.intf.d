@@ -1,0 +1,1 @@
+lib/integrate/pipeline.mli: Assertion Assertions Ecr Equivalence Naming Result

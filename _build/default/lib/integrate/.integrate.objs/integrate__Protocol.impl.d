@@ -1,0 +1,1 @@
+lib/integrate/protocol.ml: Assertions Attribute Dda Ecr Equivalence Heuristics List Object_class Pipeline Qname Relationship Schema Similarity

@@ -1,0 +1,1 @@
+lib/integrate/protocol.mli: Assertions Dda Ecr Equivalence Heuristics Naming Result

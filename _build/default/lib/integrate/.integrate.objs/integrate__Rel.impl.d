@@ -1,0 +1,1 @@
+lib/integrate/rel.ml: Assertion Format List String

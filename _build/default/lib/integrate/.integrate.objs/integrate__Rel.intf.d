@@ -1,0 +1,1 @@
+lib/integrate/rel.mli: Assertion Format

@@ -1,0 +1,1 @@
+lib/integrate/rel_merge.ml: Assertion Assertions Attribute Cardinality Domain Ecr Equivalence Hashtbl Int Lattice List Name Naming Option Printf Qname Relationship Schema

@@ -1,0 +1,1 @@
+lib/integrate/rel_merge.mli: Assertions Ecr Equivalence Lattice Naming

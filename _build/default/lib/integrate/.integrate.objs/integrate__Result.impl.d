@@ -1,0 +1,1 @@
+lib/integrate/result.ml: Ecr Format List Mapping Name Option Printf Qname Schema

@@ -1,0 +1,1 @@
+lib/integrate/result.mli: Ecr Format Mapping

@@ -1,0 +1,1 @@
+lib/integrate/similarity.ml: Ecr Equivalence Float Int List Object_class Qname Relationship Schema

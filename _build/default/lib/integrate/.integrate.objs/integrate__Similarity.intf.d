@@ -1,0 +1,1 @@
+lib/integrate/similarity.mli: Ecr Equivalence

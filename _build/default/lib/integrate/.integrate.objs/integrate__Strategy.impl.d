@@ -1,0 +1,1 @@
+lib/integrate/strategy.ml: Ecr Heuristics List Name Option Printf Protocol Result Schema

@@ -1,0 +1,1 @@
+lib/integrate/strategy.mli: Dda Ecr Heuristics Naming Protocol Result

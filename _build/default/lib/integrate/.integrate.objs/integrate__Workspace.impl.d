@@ -1,0 +1,1 @@
+lib/integrate/workspace.ml: Assertion Assertions Ecr Equivalence List Name Naming Pipeline Qname Schema Similarity

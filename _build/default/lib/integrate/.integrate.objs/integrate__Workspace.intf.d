@@ -1,0 +1,1 @@
+lib/integrate/workspace.mli: Assertion Assertions Ecr Equivalence Naming Result Similarity

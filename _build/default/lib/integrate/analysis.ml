@@ -1,0 +1,189 @@
+open Ecr
+
+type issue =
+  | Homonym of Qname.Attr.t * Qname.Attr.t
+  | Synonym_suspect of Qname.Attr.t * Qname.Attr.t
+  | Domain_conflict of Qname.Attr.t * Domain.t * Qname.Attr.t * Domain.t
+  | Key_conflict of Qname.Attr.t * Qname.Attr.t
+  | Cardinality_conflict of Qname.t * Qname.t * Cardinality.t * Cardinality.t
+  | Construct_mismatch of Qname.t * Qname.t * float
+
+(* Every attribute of every object class of a schema, with definition. *)
+let schema_attributes s =
+  List.concat_map
+    (fun oc ->
+      List.map
+        (fun (at : Attribute.t) ->
+          (Qname.Attr.make (Schema.qname s oc.Object_class.name) at.Attribute.name, at))
+        oc.Object_class.attributes)
+    (Schema.objects s)
+  @ List.concat_map
+      (fun r ->
+        List.map
+          (fun (at : Attribute.t) ->
+            (Qname.Attr.make (Schema.qname s r.Relationship.name) at.Attribute.name, at))
+          r.Relationship.attributes)
+      (Schema.relationships s)
+
+let rec schema_pairs = function
+  | [] -> []
+  | s :: rest -> List.map (fun s' -> (s, s')) rest @ schema_pairs rest
+
+let homonyms ws =
+  let eq = Workspace.equivalence ws in
+  List.concat_map
+    (fun (s1, s2) ->
+      let attrs1 = schema_attributes s1 and attrs2 = schema_attributes s2 in
+      List.concat_map
+        (fun (qa1, _) ->
+          List.filter_map
+            (fun (qa2, _) ->
+              if
+                Name.equal_ci qa1.Qname.Attr.attr qa2.Qname.Attr.attr
+                && not (Equivalence.equivalent qa1 qa2 eq)
+              then Some (Homonym (qa1, qa2))
+              else None)
+            attrs2)
+        attrs1)
+    (schema_pairs (Workspace.schemas ws))
+
+let find_attr ws qa =
+  Option.bind (Workspace.find_schema qa.Qname.Attr.owner.Qname.schema ws)
+    (fun s ->
+      match Schema.find_structure qa.Qname.Attr.owner.Qname.obj s with
+      | Some (Schema.Obj oc) ->
+          Attribute.find qa.Qname.Attr.attr oc.Object_class.attributes
+      | Some (Schema.Rel r) ->
+          Attribute.find qa.Qname.Attr.attr r.Relationship.attributes
+      | None -> None)
+
+let class_issues ws =
+  let eq = Workspace.equivalence ws in
+  List.concat_map
+    (fun cls ->
+      let defined =
+        List.filter_map
+          (fun qa -> Option.map (fun d -> (qa, d)) (find_attr ws qa))
+          cls
+      in
+      let rec pairs = function
+        | [] -> []
+        | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+      in
+      List.concat_map
+        (fun (((qa1, d1) : _ * Attribute.t), ((qa2, d2) : _ * Attribute.t)) ->
+          let domain_issue =
+            if Domain.compatible d1.Attribute.domain d2.Attribute.domain then []
+            else
+              [
+                Domain_conflict
+                  (qa1, d1.Attribute.domain, qa2, d2.Attribute.domain);
+              ]
+          in
+          let key_issue =
+            if d1.Attribute.key = d2.Attribute.key then []
+            else [ Key_conflict (qa1, qa2) ]
+          in
+          let suspect =
+            if
+              Heuristics.Strings.name_similarity
+                (Name.to_string qa1.Qname.Attr.attr)
+                (Name.to_string qa2.Qname.Attr.attr)
+              < 0.2
+              && not
+                   (Heuristics.Synonyms.are_synonyms
+                      (Name.to_string qa1.Qname.Attr.attr)
+                      (Name.to_string qa2.Qname.Attr.attr)
+                      Heuristics.Synonyms.default)
+            then [ Synonym_suspect (qa1, qa2) ]
+            else []
+          in
+          domain_issue @ key_issue @ suspect)
+        (pairs defined))
+    (Equivalence.nontrivial_classes eq)
+
+let cardinality_issues ws =
+  List.concat_map
+    (fun (l, assertion, r) ->
+      if assertion <> Assertion.Equal then []
+      else
+        match
+          ( Workspace.find_schema l.Qname.schema ws,
+            Workspace.find_schema r.Qname.schema ws )
+        with
+        | Some s1, Some s2 -> (
+            match
+              ( Schema.find_relationship l.Qname.obj s1,
+                Schema.find_relationship r.Qname.obj s2 )
+            with
+            | Some r1, Some r2
+              when Relationship.arity r1 = Relationship.arity r2 ->
+                List.concat
+                  (List.map2
+                     (fun p1 p2 ->
+                       match
+                         Cardinality.intersect p1.Relationship.card
+                           p2.Relationship.card
+                       with
+                       | Some _ -> []
+                       | None ->
+                           [
+                             Cardinality_conflict
+                               (l, r, p1.Relationship.card, p2.Relationship.card);
+                           ])
+                     r1.Relationship.participants r2.Relationship.participants)
+            | _ -> [])
+        | _ -> [])
+    (Workspace.relationship_facts ws)
+
+let construct_issues weights ws =
+  List.concat_map
+    (fun (s1, s2) ->
+      List.map
+        (fun c ->
+          Construct_mismatch
+            ( c.Heuristics.Construct.entity_side,
+              c.Heuristics.Construct.relationship_side,
+              c.Heuristics.Construct.score ))
+        (Heuristics.Construct.detect weights s1 s2))
+    (schema_pairs (Workspace.schemas ws))
+
+let analyse
+    ?(weights = Heuristics.Resemblance.default_weights Heuristics.Synonyms.default)
+    ws =
+  homonyms ws @ class_issues ws @ cardinality_issues ws
+  @ construct_issues weights ws
+
+let to_string = function
+  | Homonym (a, b) ->
+      Printf.sprintf
+        "homonym: %s and %s share a name but are not declared equivalent"
+        (Qname.Attr.to_string a) (Qname.Attr.to_string b)
+  | Synonym_suspect (a, b) ->
+      Printf.sprintf
+        "suspect: %s and %s are declared equivalent but their names are \
+         entirely dissimilar"
+        (Qname.Attr.to_string a) (Qname.Attr.to_string b)
+  | Domain_conflict (a, da, b, db) ->
+      Printf.sprintf
+        "domain conflict: %s : %s is declared equivalent to %s : %s"
+        (Qname.Attr.to_string a) (Domain.to_string da)
+        (Qname.Attr.to_string b) (Domain.to_string db)
+  | Key_conflict (a, b) ->
+      Printf.sprintf
+        "key conflict: %s and %s are declared equivalent but disagree on \
+         uniqueness"
+        (Qname.Attr.to_string a) (Qname.Attr.to_string b)
+  | Cardinality_conflict (l, r, cl, cr) ->
+      Printf.sprintf
+        "cardinality conflict: %s %s vs %s %s have no common structural \
+         constraint"
+        (Qname.to_string l) (Cardinality.to_string cl) (Qname.to_string r)
+        (Cardinality.to_string cr)
+  | Construct_mismatch (e, r, score) ->
+      Printf.sprintf
+        "construct mismatch: entity %s may correspond to relationship %s \
+         (score %.2f)"
+        (Qname.to_string e) (Qname.to_string r) score
+
+let pp fmt issue = Format.pp_print_string fmt (to_string issue)

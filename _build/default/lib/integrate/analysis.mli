@@ -1,0 +1,41 @@
+(** Schema analysis: the incompatibility checks of Phase 2.
+
+    "Other incompatibilities that may need to be considered during
+    schema analysis are differences in naming conventions, scales/units,
+    domain constraints, and other factors."  The tool cannot resolve
+    these automatically (the paper's tool sends the DDA back to Phase 1)
+    but it can {e find} them.  [analyse] inspects a workspace and
+    reports:
+
+    - {e homonyms}: attributes with the same (case-insensitive) name in
+      different schemas that the DDA has {e not} declared equivalent —
+      candidates for either an equivalence or a rename;
+    - {e synonym suspects}: attributes the DDA declared equivalent whose
+      names share no similarity at all — worth double-checking;
+    - {e domain conflicts}: declared-equivalent attributes with
+      incompatible domains (the scales/units problem);
+    - {e key conflicts}: declared-equivalent attributes whose uniqueness
+      properties disagree;
+    - {e cardinality conflicts}: relationship sets asserted equal whose
+      corresponding structural constraints have an empty intersection;
+    - {e construct mismatches}: a concept modelled as an entity in one
+      schema and as a relationship in another (the paper's marriage
+      example), surfaced by the section-4 heuristics. *)
+
+type issue =
+  | Homonym of Ecr.Qname.Attr.t * Ecr.Qname.Attr.t
+  | Synonym_suspect of Ecr.Qname.Attr.t * Ecr.Qname.Attr.t
+  | Domain_conflict of Ecr.Qname.Attr.t * Ecr.Domain.t * Ecr.Qname.Attr.t * Ecr.Domain.t
+  | Key_conflict of Ecr.Qname.Attr.t * Ecr.Qname.Attr.t
+  | Cardinality_conflict of
+      Ecr.Qname.t * Ecr.Qname.t * Ecr.Cardinality.t * Ecr.Cardinality.t
+  | Construct_mismatch of Ecr.Qname.t * Ecr.Qname.t * float
+      (** entity-side, relationship-side, resemblance score *)
+
+val analyse :
+  ?weights:Heuristics.Resemblance.weighted -> Workspace.t -> issue list
+(** All issues, homonyms first.  [weights] drives the construct-mismatch
+    detector (default: the standard weighted signals). *)
+
+val to_string : issue -> string
+val pp : Format.formatter -> issue -> unit

@@ -1,0 +1,60 @@
+type t =
+  | Equal
+  | Contained_in
+  | Contains
+  | Disjoint_integrable
+  | May_be
+  | Disjoint_nonintegrable
+
+let code = function
+  | Equal -> 1
+  | Contained_in -> 2
+  | Contains -> 3
+  | Disjoint_integrable -> 4
+  | May_be -> 5
+  | Disjoint_nonintegrable -> 0
+
+let of_code = function
+  | 1 -> Some Equal
+  | 2 -> Some Contained_in
+  | 3 -> Some Contains
+  | 4 -> Some Disjoint_integrable
+  | 5 -> Some May_be
+  | 0 -> Some Disjoint_nonintegrable
+  | _ -> None
+
+let converse = function
+  | Contained_in -> Contains
+  | Contains -> Contained_in
+  | (Equal | Disjoint_integrable | May_be | Disjoint_nonintegrable) as a -> a
+
+let is_disjoint = function
+  | Disjoint_integrable | Disjoint_nonintegrable -> true
+  | Equal | Contained_in | Contains | May_be -> false
+
+let integrable = function
+  | Disjoint_nonintegrable -> false
+  | Equal | Contained_in | Contains | Disjoint_integrable | May_be -> true
+
+let equal a b = a = b
+let compare a b = Int.compare (code a) (code b)
+
+let to_string = function
+  | Equal -> "equals"
+  | Contained_in -> "contained in"
+  | Contains -> "contains"
+  | Disjoint_integrable -> "disjoint integrable"
+  | May_be -> "may be"
+  | Disjoint_nonintegrable -> "disjoint nonintegrable"
+
+let describe = function
+  | Equal -> "OB_CL_name_1 'equals' OB_CL_name_2"
+  | Contained_in -> "OB_CL_name_1 'contained in' OB_CL_name_2"
+  | Contains -> "OB_CL_name_1 'contains' OB_CL_name_2"
+  | Disjoint_integrable ->
+      "OB_CL_name_1 and OB_CL_name_2 are disjoint but integratable"
+  | May_be -> "OB_CL_name_1 and OB_CL_name_2 may be integratable"
+  | Disjoint_nonintegrable ->
+      "OB_CL_name_1 and OB_CL_name_2 are disjoint & non-integratable"
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

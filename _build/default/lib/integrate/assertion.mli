@@ -1,0 +1,53 @@
+(** The five assertions a DDA can state about a pair of object classes
+    (or relationship sets) from different schemas, and their numeric
+    codes as printed on the Assertion Collection screens.
+
+    An assertion describes the relationship between the {e domains}
+    (real-world instance sets) of the two classes:
+
+    - code 1, {e equals} — identical domains; the classes merge into a
+      single [E_] class (Figure 2a);
+    - code 2, {e contained in} — the first domain is a proper subset of
+      the second; the first class becomes a category of the second
+      (Figure 2b, direction flipped);
+    - code 3, {e contains} — converse of code 2;
+    - code 4, {e disjoint integrable} — disjoint domains that the DDA
+      still wants generalised under a new derived [D_] class
+      (Figure 2d);
+    - code 5, {e may be} — properly overlapping domains; both classes
+      become categories of a new derived [D_] class (Figure 2c);
+    - code 0, {e disjoint nonintegrable} — disjoint, kept separate
+      (Figure 2e). *)
+
+type t =
+  | Equal
+  | Contained_in  (** first ⊂ second *)
+  | Contains  (** first ⊃ second *)
+  | Disjoint_integrable
+  | May_be  (** proper overlap *)
+  | Disjoint_nonintegrable
+
+val code : t -> int
+(** The menu number (1, 2, 3, 4, 5, 0 respectively). *)
+
+val of_code : int -> t option
+
+val converse : t -> t
+(** The same assertion read right-to-left: swaps [Contains] and
+    [Contained_in], fixes the rest. *)
+
+val is_disjoint : t -> bool
+(** True for both disjoint codes. *)
+
+val integrable : t -> bool
+(** True for every assertion except [Disjoint_nonintegrable]: the pair
+    will share a cluster and be connected in the integrated lattice. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val to_string : t -> string
+val describe : t -> string
+(** The menu line, e.g. ["OB_CL_name_1 'contains' OB_CL_name_2"]. *)
+
+val pp : Format.formatter -> t -> unit

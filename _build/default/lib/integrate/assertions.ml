@@ -1,0 +1,242 @@
+open Ecr
+
+type source = Asserted | Structural | Derived of Qname.t
+
+type cell = { rel : Rel.t; src : source; dj_integrable : bool }
+
+type conflict = {
+  left : Qname.t;
+  right : Qname.t;
+  current : Rel.t;
+  current_source : source option;
+  attempted : Assertion.t option;
+  basis : (Qname.t * Qname.t * Assertion.t) list;
+}
+
+type t = { nodes : Qname.t list; cells : cell Qname.Pair.Map.t }
+
+exception Contradiction of conflict
+
+let nodes t = t.nodes
+
+(* Cells store the relation oriented from [Pair.fst] to [Pair.snd]. *)
+let find_cell t pair = Qname.Pair.Map.find_opt pair t.cells
+
+let relation t a b =
+  let pair = Qname.Pair.make a b in
+  match find_cell t pair with
+  | None -> Rel.all
+  | Some c -> if Qname.Pair.flipped a b then Rel.converse c.rel else c.rel
+
+let source_between t a b =
+  Option.map (fun c -> c.src) (find_cell t (Qname.Pair.make a b))
+
+let dj_integrable t a b =
+  match find_cell t (Qname.Pair.make a b) with
+  | None -> false
+  | Some c -> c.dj_integrable
+
+let assertion_between t a b =
+  Rel.to_assertion ~integrable:(dj_integrable t a b) (relation t a b)
+
+(* Store [rel] as the relation from [a] to [b]. *)
+let set_cell t a b rel src ~dj_integrable:flag =
+  let pair = Qname.Pair.make a b in
+  let oriented = if Qname.Pair.flipped a b then Rel.converse rel else rel in
+  let flag =
+    flag
+    ||
+    match find_cell t pair with Some c -> c.dj_integrable | None -> false
+  in
+  { t with
+    cells = Qname.Pair.Map.add pair { rel = oriented; src; dj_integrable = flag } t.cells
+  }
+
+(* Recursively unfold Derived sources down to asserted/structural leaves.
+   Cycles cannot occur: a Derived cell's parents were set strictly
+   earlier, but we keep a visited set for robustness. *)
+let explain t a b =
+  let rec walk visited a b =
+    let pair = Qname.Pair.make a b in
+    if Qname.Pair.Set.mem pair visited then []
+    else
+      let visited = Qname.Pair.Set.add pair visited in
+      match find_cell t pair with
+      | None -> []
+      | Some c -> (
+          match c.src with
+          | Asserted | Structural -> (
+              match
+                Rel.to_assertion ~integrable:c.dj_integrable
+                  (relation t (Qname.Pair.fst pair) (Qname.Pair.snd pair))
+              with
+              | Some a' -> [ (Qname.Pair.fst pair, Qname.Pair.snd pair, a') ]
+              | None ->
+                  (* non-singleton asserted cell cannot happen via [add],
+                     but report nothing rather than lie *)
+                  [])
+          | Derived via ->
+              walk visited (Qname.Pair.fst pair) via
+              @ walk visited via (Qname.Pair.snd pair))
+  in
+  List.sort_uniq compare (walk Qname.Pair.Set.empty a b)
+
+let conflict_of t a b attempted =
+  {
+    left = a;
+    right = b;
+    current = relation t a b;
+    current_source = source_between t a b;
+    attempted;
+    basis = explain t a b;
+  }
+
+(* Incremental path consistency: given recently tightened pairs, push
+   their consequences until fixpoint.  Raises [Contradiction] when a
+   cell empties. *)
+let propagate t queue =
+  let t = ref t in
+  let pending = Queue.create () in
+  List.iter (fun p -> Queue.add p pending) queue;
+  while not (Queue.is_empty pending) do
+    let a, b = Queue.pop pending in
+    let rel_ab = relation !t a b in
+    List.iter
+      (fun k ->
+        if not (Qname.equal k a) && not (Qname.equal k b) then begin
+          (* tighten (a,k) through b *)
+          let old_ak = relation !t a k in
+          let via_b = Rel.compose rel_ab (relation !t b k) in
+          let new_ak = Rel.inter old_ak via_b in
+          if not (Rel.equal new_ak old_ak) then begin
+            if Rel.is_empty new_ak then begin
+              let c = conflict_of !t a k None in
+              raise (Contradiction { c with current = new_ak })
+            end;
+            t := set_cell !t a k new_ak (Derived b) ~dj_integrable:false;
+            Queue.add (a, k) pending
+          end;
+          (* tighten (k,b) through a *)
+          let old_kb = relation !t k b in
+          let via_a = Rel.compose (relation !t k a) rel_ab in
+          let new_kb = Rel.inter old_kb via_a in
+          if not (Rel.equal new_kb old_kb) then begin
+            if Rel.is_empty new_kb then begin
+              let c = conflict_of !t k b None in
+              raise (Contradiction { c with current = new_kb })
+            end;
+            t := set_cell !t k b new_kb (Derived a) ~dj_integrable:false;
+            Queue.add (k, b) pending
+          end
+        end)
+      !t.nodes
+  done;
+  !t
+
+let seed_structural schemas =
+  List.concat_map
+    (fun s ->
+      let q n = Schema.qname s n in
+      let category_edges =
+        List.concat_map
+          (fun oc ->
+            List.map
+              (fun parent -> (q oc.Object_class.name, Assertion.Contained_in, q parent))
+              (Object_class.parents oc))
+          (Schema.categories s)
+      in
+      let disjoint_entities =
+        let rec pairs = function
+          | [] -> []
+          | e :: rest ->
+              List.map
+                (fun e' ->
+                  ( q e.Object_class.name,
+                    Assertion.Disjoint_nonintegrable,
+                    q e'.Object_class.name ))
+                rest
+              @ pairs rest
+        in
+        pairs (Schema.entities s)
+      in
+      category_edges @ disjoint_entities)
+    schemas
+
+let apply_fact t (a, assertion, b) ~src =
+  let rel = Rel.of_assertion assertion in
+  let old_rel = relation t a b in
+  let new_rel = Rel.inter old_rel rel in
+  if Rel.is_empty new_rel then
+    Error (conflict_of t a b (Some assertion))
+  else if Rel.equal new_rel old_rel then Ok t
+  else begin
+    let dj_integrable = assertion = Assertion.Disjoint_integrable in
+    let t' = set_cell t a b new_rel src ~dj_integrable in
+    match propagate t' [ (a, b) ] with
+    | t'' -> Ok t''
+    | exception Contradiction c -> Error c
+  end
+
+let create schemas =
+  let object_nodes =
+    List.concat_map
+      (fun s ->
+        List.map (fun oc -> Schema.qname s oc.Object_class.name) (Schema.objects s))
+      schemas
+  in
+  let t = { nodes = object_nodes; cells = Qname.Pair.Map.empty } in
+  List.fold_left
+    (fun t fact ->
+      match apply_fact t fact ~src:Structural with
+      | Ok t -> t
+      | Error _ ->
+          (* A schema inconsistent with itself would have failed
+             validation; keep going without the offending fact. *)
+          t)
+    t (seed_structural schemas)
+
+let create_for_relationships schemas =
+  let rel_nodes =
+    List.concat_map
+      (fun s ->
+        List.map
+          (fun r -> Schema.qname s r.Relationship.name)
+          (Schema.relationships s))
+      schemas
+  in
+  { nodes = rel_nodes; cells = Qname.Pair.Map.empty }
+
+let add left assertion right t =
+  match apply_fact t (left, assertion, right) ~src:Asserted with
+  | Ok t' -> Ok t'
+  | Error c -> Error c
+
+let constrained_pairs t =
+  Qname.Pair.Map.bindings t.cells
+  |> List.map (fun (pair, c) ->
+         (Qname.Pair.fst pair, Qname.Pair.snd pair, c.rel, c.src))
+
+let derived_assertions t =
+  Qname.Pair.Map.bindings t.cells
+  |> List.filter_map (fun (pair, c) ->
+         match c.src with
+         | Derived _ ->
+             Option.map
+               (fun a -> (Qname.Pair.fst pair, Qname.Pair.snd pair, a))
+               (Rel.to_assertion ~integrable:c.dj_integrable c.rel)
+         | Asserted | Structural -> None)
+
+let asserted_count t =
+  Qname.Pair.Map.fold
+    (fun _ c acc -> match c.src with Asserted -> acc + 1 | _ -> acc)
+    t.cells 0
+
+let derived_count t = List.length (derived_assertions t)
+
+let integration_edges t =
+  Qname.Pair.Map.bindings t.cells
+  |> List.filter_map (fun (pair, c) ->
+         match Rel.to_assertion ~integrable:c.dj_integrable c.rel with
+         | Some a when Assertion.integrable a ->
+             Some (Qname.Pair.fst pair, Qname.Pair.snd pair, a)
+         | _ -> None)

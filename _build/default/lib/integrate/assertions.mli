@@ -1,0 +1,86 @@
+(** The assertion matrix: Phase 3 bookkeeping.
+
+    Element (i, j) holds what is known about the domains of object
+    classes i and j — a {!Rel.t} set of still-possible basic relations.
+    Cells tighten from three sources:
+
+    - {e structural} knowledge seeded from each component schema (a
+      category is contained in its parents; entity sets of one schema
+      are mutually disjoint);
+    - {e DDA assertions} entered on the Assertion Collection screen;
+    - {e derivation}: after every change the matrix is closed under the
+      rules of transitive composition (path consistency over the
+      {!Rel} algebra), so that, e.g., Worker ⊂ Employee and
+      Employee ⊂ Person automatically yield Worker ⊂ Person.
+
+    A new assertion that would empty a cell is rejected with a
+    {!conflict} carrying the derivation basis — the data shown on the
+    Assertion Conflict Resolution screen (Screen 9). *)
+
+type source =
+  | Asserted  (** stated by the DDA *)
+  | Structural  (** seeded from a component schema's own IS-A edges *)
+  | Derived of Ecr.Qname.t
+      (** tightened by composition through the given intermediate
+          object class *)
+
+type conflict = {
+  left : Ecr.Qname.t;
+  right : Ecr.Qname.t;
+  current : Rel.t;  (** what the matrix knows, oriented left->right *)
+  current_source : source option;
+  attempted : Assertion.t option;
+      (** the new assertion being entered; [None] when the conflict was
+          discovered by propagation further away *)
+  basis : (Ecr.Qname.t * Ecr.Qname.t * Assertion.t) list;
+      (** the asserted/structural facts the current knowledge derives
+          from — the "relevant assertions used in the derivation" of
+          Screen 9 *)
+}
+
+type t
+
+val create : Ecr.Schema.t list -> t
+(** A matrix over all object classes of the given schemas, seeded with
+    their structural knowledge and closed. *)
+
+val create_for_relationships : Ecr.Schema.t list -> t
+(** A matrix over all relationship sets (no structural seeding — the
+    ECR model has no relationship IS-A). *)
+
+val nodes : t -> Ecr.Qname.t list
+
+val add :
+  Ecr.Qname.t -> Assertion.t -> Ecr.Qname.t -> t -> (t, conflict) result
+(** [add left a right t] records "left ⟨a⟩ right" and re-closes the
+    matrix.  On conflict the original matrix is returned unchanged
+    inside the error. *)
+
+val relation : t -> Ecr.Qname.t -> Ecr.Qname.t -> Rel.t
+(** Current knowledge, oriented first-to-second argument; {!Rel.all}
+    when nothing is known. *)
+
+val assertion_between : t -> Ecr.Qname.t -> Ecr.Qname.t -> Assertion.t option
+(** The cell rendered as an assertion when it is a singleton.  Disjoint
+    cells render as integrable iff the DDA used code 4 on that pair. *)
+
+val source_between : t -> Ecr.Qname.t -> Ecr.Qname.t -> source option
+
+val explain : t -> Ecr.Qname.t -> Ecr.Qname.t -> (Ecr.Qname.t * Ecr.Qname.t * Assertion.t) list
+(** The asserted/structural leaves supporting the current cell. *)
+
+val constrained_pairs : t -> (Ecr.Qname.t * Ecr.Qname.t * Rel.t * source) list
+(** Every cell tighter than {!Rel.all}, oriented canonically. *)
+
+val derived_assertions : t -> (Ecr.Qname.t * Ecr.Qname.t * Assertion.t) list
+(** Singleton cells obtained by derivation (not asserted, not
+    structural) — the automation the paper credits to transitive
+    composition. *)
+
+val asserted_count : t -> int
+val derived_count : t -> int
+
+val integration_edges : t -> (Ecr.Qname.t * Ecr.Qname.t * Assertion.t) list
+(** Singleton cells whose assertion is integrable — the edges from which
+    clusters and the integrated lattice are built.  Disjoint cells
+    appear only when the DDA marked them integrable. *)

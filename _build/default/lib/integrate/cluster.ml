@@ -1,0 +1,57 @@
+open Ecr
+
+type t = Qname.t list list
+
+let of_edges nodes edges =
+  (* Union-find over an adjacency map. *)
+  let parent = Hashtbl.create (List.length nodes * 2) in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | None -> x
+    | Some p ->
+        if Qname.equal p x then x
+        else begin
+          let root = find p in
+          Hashtbl.replace parent x root;
+          root
+        end
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if not (Qname.equal ra rb) then Hashtbl.replace parent ra rb
+  in
+  List.iter (fun n -> if not (Hashtbl.mem parent n) then Hashtbl.replace parent n n) nodes;
+  List.iter (fun (a, b) -> union a b) edges;
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      let r = find n in
+      let key = Qname.to_string r in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+      Hashtbl.replace groups key (n :: cur))
+    nodes;
+  Hashtbl.fold
+    (fun _ members acc ->
+      match members with
+      | [] | [ _ ] -> acc
+      | _ -> List.sort Qname.compare members :: acc)
+    groups []
+  |> List.sort (fun a b ->
+         match (a, b) with
+         | x :: _, y :: _ -> Qname.compare x y
+         | _ -> 0)
+
+let of_assertions m =
+  let edges =
+    List.map (fun (a, b, _) -> (a, b)) (Assertions.integration_edges m)
+  in
+  of_edges (Assertions.nodes m) edges
+
+let find q t = List.find_opt (List.exists (Qname.equal q)) t
+
+let pp fmt t =
+  List.iteri
+    (fun i cluster ->
+      Format.fprintf fmt "@[<h>cluster %d: %s@]@." (i + 1)
+        (String.concat ", " (List.map Qname.to_string cluster)))
+    t

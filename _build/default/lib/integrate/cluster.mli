@@ -1,0 +1,22 @@
+(** Clusters: groups of related object classes.
+
+    "A cluster is a group of related objects that are connected by any
+    assertion except disjoint nonintegrable."  Clusters partition the
+    integration work — each cluster is integrated independently and
+    classes outside every cluster pass through unchanged. *)
+
+type t = Ecr.Qname.t list list
+(** Each cluster is a list of member classes; clusters are disjoint. *)
+
+val of_edges :
+  Ecr.Qname.t list -> (Ecr.Qname.t * Ecr.Qname.t) list -> t
+(** Connected components of the given nodes under the given edges;
+    singleton components (isolated nodes) are omitted. *)
+
+val of_assertions : Assertions.t -> t
+(** Components under {!Assertions.integration_edges}. *)
+
+val find : Ecr.Qname.t -> t -> Ecr.Qname.t list option
+(** The cluster containing the given class, if any. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,81 @@
+open Ecr
+
+type resolution = Withdraw | Replace of Assertion.t
+
+type t = {
+  label : string;
+  attr_equivalent :
+    Qname.Attr.t * Attribute.t -> Qname.Attr.t * Attribute.t -> bool;
+  object_assertion : Qname.t -> Qname.t -> Assertion.t option;
+  relationship_assertion : Qname.t -> Qname.t -> Assertion.t option;
+  resolve_conflict : Assertions.conflict -> resolution;
+}
+
+let silent =
+  {
+    label = "silent";
+    attr_equivalent = (fun _ _ -> false);
+    object_assertion = (fun _ _ -> None);
+    relationship_assertion = (fun _ _ -> None);
+    resolve_conflict = (fun _ -> Withdraw);
+  }
+
+let lookup_assertion facts a b =
+  List.find_map
+    (fun (l, assertion, r) ->
+      if Qname.equal l a && Qname.equal r b then Some assertion
+      else if Qname.equal l b && Qname.equal r a then
+        Some (Assertion.converse assertion)
+      else None)
+    facts
+
+let of_assertion_list ?(equivalences = []) ?(relationships = []) objects =
+  {
+    label = "scripted";
+    attr_equivalent =
+      (fun (qa, _) (qb, _) ->
+        List.exists
+          (fun (x, y) ->
+            (Qname.Attr.equal x qa && Qname.Attr.equal y qb)
+            || (Qname.Attr.equal x qb && Qname.Attr.equal y qa))
+          equivalences);
+    object_assertion = lookup_assertion objects;
+    relationship_assertion = lookup_assertion relationships;
+    resolve_conflict = (fun _ -> Withdraw);
+  }
+
+type counters = {
+  mutable attr_questions : int;
+  mutable object_questions : int;
+  mutable relationship_questions : int;
+  mutable conflicts_seen : int;
+}
+
+let fresh_counters () =
+  {
+    attr_questions = 0;
+    object_questions = 0;
+    relationship_questions = 0;
+    conflicts_seen = 0;
+  }
+
+let counting counters oracle =
+  {
+    oracle with
+    attr_equivalent =
+      (fun a b ->
+        counters.attr_questions <- counters.attr_questions + 1;
+        oracle.attr_equivalent a b);
+    object_assertion =
+      (fun a b ->
+        counters.object_questions <- counters.object_questions + 1;
+        oracle.object_assertion a b);
+    relationship_assertion =
+      (fun a b ->
+        counters.relationship_questions <- counters.relationship_questions + 1;
+        oracle.relationship_assertion a b);
+    resolve_conflict =
+      (fun c ->
+        counters.conflicts_seen <- counters.conflicts_seen + 1;
+        oracle.resolve_conflict c);
+  }

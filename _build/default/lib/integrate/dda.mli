@@ -1,0 +1,54 @@
+(** The database designer/administrator (DDA) as an interface.
+
+    "Specifying assertions requires interacting with the DDA and cannot
+    be completely automated."  The original tool put a human behind a
+    curses terminal; we additionally allow any programmatic oracle —
+    scripted sessions for tests, ground-truth oracles for benchmarks,
+    deliberately erroneous oracles for the conflict-detection
+    experiments — by abstracting the three judgement calls the
+    methodology needs. *)
+
+type resolution =
+  | Withdraw  (** abandon the new assertion, keep the matrix *)
+  | Replace of Assertion.t  (** retry the pair with another assertion *)
+
+type t = {
+  label : string;  (** shown in benchmark output *)
+  attr_equivalent :
+    Ecr.Qname.Attr.t * Ecr.Attribute.t ->
+    Ecr.Qname.Attr.t * Ecr.Attribute.t ->
+    bool;
+      (** "are these two attributes equivalent?" — the Equivalence Class
+          Creation screen *)
+  object_assertion : Ecr.Qname.t -> Ecr.Qname.t -> Assertion.t option;
+      (** "enter an assertion for this pair" — [None] skips the pair
+          (leaves it unconstrained) *)
+  relationship_assertion : Ecr.Qname.t -> Ecr.Qname.t -> Assertion.t option;
+  resolve_conflict : Assertions.conflict -> resolution;
+      (** the Assertion Conflict Resolution screen *)
+}
+
+val silent : t
+(** Declares nothing: no equivalences, skips every pair, withdraws on
+    conflict.  A useful base for overriding individual fields. *)
+
+val of_assertion_list :
+  ?equivalences:(Ecr.Qname.Attr.t * Ecr.Qname.Attr.t) list ->
+  ?relationships:(Ecr.Qname.t * Assertion.t * Ecr.Qname.t) list ->
+  (Ecr.Qname.t * Assertion.t * Ecr.Qname.t) list ->
+  t
+(** A scripted DDA that answers from fixed lists (in either pair
+    orientation) and skips pairs not listed. *)
+
+type counters = {
+  mutable attr_questions : int;
+  mutable object_questions : int;
+  mutable relationship_questions : int;
+  mutable conflicts_seen : int;
+}
+
+val fresh_counters : unit -> counters
+
+val counting : counters -> t -> t
+(** Wraps an oracle so every question asked increments the counters —
+    the measure of DDA effort used by the benchmark harness. *)

@@ -1,0 +1,162 @@
+open Ecr
+
+module AMap = Qname.Attr.Map
+
+(* Persistent union-find: [parent] maps an attribute to its parent;
+   roots map to themselves.  No path compression (structures are small
+   and persistence matters more), but unions attach the class with the
+   larger number under the one with the smaller, keeping class numbers
+   stable and display-friendly. *)
+type t = {
+  parent : Qname.Attr.t AMap.t;
+  number : int AMap.t;  (** first-registration number, on roots meaningful *)
+  next : int;
+}
+
+let empty = { parent = AMap.empty; number = AMap.empty; next = 1 }
+
+let rec find t a =
+  match AMap.find_opt a t.parent with
+  | None -> a
+  | Some p -> if Qname.Attr.equal p a then a else find t p
+
+let register a t =
+  if AMap.mem a t.parent then t
+  else
+    {
+      parent = AMap.add a a t.parent;
+      number = AMap.add a t.next t.number;
+      next = t.next + 1;
+    }
+
+let register_schema s t =
+  let add_attrs owner attrs t =
+    List.fold_left
+      (fun t attr -> register (Qname.Attr.make owner attr.Attribute.name) t)
+      t attrs
+  in
+  let t =
+    List.fold_left
+      (fun t oc ->
+        add_attrs (Schema.qname s oc.Object_class.name) oc.Object_class.attributes t)
+      t (Schema.objects s)
+  in
+  List.fold_left
+    (fun t r ->
+      add_attrs (Schema.qname s r.Relationship.name) r.Relationship.attributes t)
+    t (Schema.relationships s)
+
+let root_number t a = AMap.find (find t a) t.number
+
+let declare a b t =
+  let t = register a (register b t) in
+  let ra = find t a and rb = find t b in
+  if Qname.Attr.equal ra rb then t
+  else begin
+    let na = root_number t ra and nb = root_number t rb in
+    let keep, absorb = if na <= nb then (ra, rb) else (rb, ra) in
+    { t with parent = AMap.add absorb keep t.parent }
+  end
+
+let separate a t =
+  if not (AMap.mem a t.parent) then t
+  else begin
+    (* Rebuild the parent map with [a] removed from its class.  If [a]
+       was a root, promote the remaining member with the smallest number
+       as the new root. *)
+    let cls =
+      AMap.fold
+        (fun x _ acc -> if Qname.Attr.equal (find t x) (find t a) then x :: acc else acc)
+        t.parent []
+    in
+    let others = List.filter (fun x -> not (Qname.Attr.equal x a)) cls in
+    match others with
+    | [] -> t (* already a singleton *)
+    | _ ->
+        let new_root =
+          List.fold_left
+            (fun best x ->
+              if AMap.find x t.number < AMap.find best t.number then x else best)
+            (List.hd others) (List.tl others)
+        in
+        let parent =
+          List.fold_left
+            (fun p x -> AMap.add x new_root p)
+            t.parent others
+        in
+        { t with parent = AMap.add a a parent }
+  end
+
+let equivalent a b t =
+  AMap.mem a t.parent && AMap.mem b t.parent
+  && Qname.Attr.equal (find t a) (find t b)
+
+let class_number a t =
+  match AMap.find_opt a t.parent with
+  | None -> raise Not_found
+  | Some _ ->
+      (* smallest registration number among the class members *)
+      AMap.fold
+        (fun x _ acc ->
+          if Qname.Attr.equal (find t x) (find t a) then
+            Int.min acc (AMap.find x t.number)
+          else acc)
+        t.parent max_int
+
+let class_of a t =
+  if not (AMap.mem a t.parent) then [ a ]
+  else
+    AMap.fold
+      (fun x _ acc ->
+        if Qname.Attr.equal (find t x) (find t a) then x :: acc else acc)
+      t.parent []
+    |> List.sort Qname.Attr.compare
+
+let classes t =
+  let by_root =
+    AMap.fold
+      (fun x _ acc ->
+        let r = find t x in
+        let cur = Option.value ~default:[] (AMap.find_opt r acc) in
+        AMap.add r (x :: cur) acc)
+      t.parent AMap.empty
+  in
+  AMap.bindings by_root
+  |> List.map (fun (r, members) ->
+         (AMap.find r t.number, List.sort Qname.Attr.compare members))
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map snd
+
+let nontrivial_classes t =
+  List.filter (fun cls -> List.length cls >= 2) (classes t)
+
+let members t = List.map fst (AMap.bindings t.parent)
+
+let shared_count obj1 obj2 t =
+  List.length
+    (List.filter
+       (fun cls ->
+         List.exists (fun a -> Qname.equal a.Qname.Attr.owner obj1) cls
+         && List.exists (fun a -> Qname.equal a.Qname.Attr.owner obj2) cls)
+       (classes t))
+
+let restrict keep t =
+  let kept = List.filter keep (members t) in
+  let base =
+    List.fold_left
+      (fun acc a ->
+        { acc with
+          parent = AMap.add a a acc.parent;
+          number = AMap.add a (AMap.find a t.number) acc.number;
+        })
+      { empty with next = t.next }
+      kept
+  in
+  (* re-link classes among kept members *)
+  List.fold_left
+    (fun acc a ->
+      let cls = class_of a t in
+      List.fold_left
+        (fun acc b -> if keep b then declare a b acc else acc)
+        acc cls)
+    base kept

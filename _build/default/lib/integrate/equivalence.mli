@@ -1,0 +1,59 @@
+(** Attribute equivalence classes — the Attribute Class Similarity (ACS)
+    bookkeeping of the Equivalence Class Specification phase.
+
+    The DDA declares pairs of attributes (of object classes or of
+    relationship sets, from different schemas) to be equivalent; the
+    tool maintains the induced partition.  "The tool then changes the
+    value of Eq_Class # of one to that of the other" — i.e. declaring
+    equivalence unions the two classes; we implement exactly that with a
+    persistent union-find keyed by qualified attribute names.
+
+    Class numbers are stable: each attribute is assigned a number when
+    first registered, and a class is displayed under the smallest number
+    among its members, matching the screens' behaviour. *)
+
+type t
+
+val empty : t
+
+val register : Ecr.Qname.Attr.t -> t -> t
+(** Makes the attribute known (a singleton class).  Registering twice is
+    a no-op. *)
+
+val register_schema : Ecr.Schema.t -> t -> t
+(** Registers every attribute of every structure of the schema. *)
+
+val declare : Ecr.Qname.Attr.t -> Ecr.Qname.Attr.t -> t -> t
+(** Unions the classes of the two attributes (registering them first if
+    needed). *)
+
+val separate : Ecr.Qname.Attr.t -> t -> t
+(** The Screen 7 "(D)elete from equiv. class" operation: removes the
+    attribute from its class, making it a fresh singleton again. *)
+
+val equivalent : Ecr.Qname.Attr.t -> Ecr.Qname.Attr.t -> t -> bool
+
+val class_number : Ecr.Qname.Attr.t -> t -> int
+(** The Eq_class # displayed for this attribute.
+    @raise Not_found when unregistered. *)
+
+val class_of : Ecr.Qname.Attr.t -> t -> Ecr.Qname.Attr.t list
+(** All members of the attribute's class (itself included), sorted. *)
+
+val classes : t -> Ecr.Qname.Attr.t list list
+(** Every class with at least one member, sorted by class number. *)
+
+val nontrivial_classes : t -> Ecr.Qname.Attr.t list list
+(** Classes with at least two members. *)
+
+val members : t -> Ecr.Qname.Attr.t list
+(** Every registered attribute. *)
+
+val shared_count : Ecr.Qname.t -> Ecr.Qname.t -> t -> int
+(** The Object Class Similarity (OCS) matrix entry: the number of
+    equivalence classes containing at least one attribute of each of the
+    two given structures. *)
+
+val restrict : (Ecr.Qname.Attr.t -> bool) -> t -> t
+(** Keeps only attributes satisfying the predicate (used when a schema
+    is removed from the workspace). *)

@@ -1,0 +1,63 @@
+open Ecr
+
+type attr_target = { in_class : Name.t; as_attr : Name.t }
+
+type entry = {
+  source : Qname.t;
+  target : Name.t;
+  attrs : attr_target Name.Map.t;
+}
+
+type t = { objects : entry Qname.Map.t; relationships : entry Qname.Map.t }
+
+let empty = { objects = Qname.Map.empty; relationships = Qname.Map.empty }
+
+let add_object e t = { t with objects = Qname.Map.add e.source e t.objects }
+
+let add_relationship e t =
+  { t with relationships = Qname.Map.add e.source e t.relationships }
+
+let object_entry q t = Qname.Map.find_opt q t.objects
+let relationship_entry q t = Qname.Map.find_opt q t.relationships
+let object_target q t = Option.map (fun e -> e.target) (object_entry q t)
+
+let attr_target q attr t =
+  Option.bind (object_entry q t) (fun e -> Name.Map.find_opt attr e.attrs)
+
+let relationship_attr_target q attr t =
+  Option.bind (relationship_entry q t) (fun e -> Name.Map.find_opt attr e.attrs)
+
+let objects_into target t =
+  Qname.Map.fold
+    (fun _ e acc -> if Name.equal e.target target then e :: acc else acc)
+    t.objects []
+  |> List.sort (fun a b -> Qname.compare a.source b.source)
+
+let relationships_into target t =
+  Qname.Map.fold
+    (fun _ e acc -> if Name.equal e.target target then e :: acc else acc)
+    t.relationships []
+  |> List.sort (fun a b -> Qname.compare a.source b.source)
+
+let object_entries t = List.map snd (Qname.Map.bindings t.objects)
+let relationship_entries t = List.map snd (Qname.Map.bindings t.relationships)
+
+let pp_entry fmt e =
+  Format.fprintf fmt "@[<v 2>%s -> %s" (Qname.to_string e.source)
+    (Name.to_string e.target);
+  Name.Map.iter
+    (fun a target ->
+      Format.fprintf fmt "@,. %s -> %s.%s" (Name.to_string a)
+        (Name.to_string target.in_class)
+        (Name.to_string target.as_attr))
+    e.attrs;
+  Format.fprintf fmt "@]"
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v 0>objects:@,";
+  List.iter (fun e -> Format.fprintf fmt "  %a@," pp_entry e) (object_entries t);
+  Format.fprintf fmt "relationships:@,";
+  List.iter
+    (fun e -> Format.fprintf fmt "  %a@," pp_entry e)
+    (relationship_entries t);
+  Format.fprintf fmt "@]"

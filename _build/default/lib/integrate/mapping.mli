@@ -1,0 +1,54 @@
+(** Mappings between component schemas and the integrated schema.
+
+    "Following integration, mappings between each component schema and
+    the integrated schema are generated."  A mapping entry records, for
+    one component structure, the integrated structure that carries its
+    extent and, per component attribute, the integrated class/attribute
+    where its values now live (a merged attribute may have been placed
+    on an ancestor of the extent-carrying class).
+
+    The same data serves both of the paper's directions: view requests
+    are rewritten component-to-integrated (logical database design), and
+    global requests are unfolded integrated-to-component (global schema
+    design); see the [query] library. *)
+
+type attr_target = {
+  in_class : Ecr.Name.t;  (** integrated structure holding the attribute *)
+  as_attr : Ecr.Name.t;  (** its (possibly [D_]-prefixed) name there *)
+}
+
+type entry = {
+  source : Ecr.Qname.t;
+  target : Ecr.Name.t;  (** integrated structure carrying the extent *)
+  attrs : attr_target Ecr.Name.Map.t;  (** component attribute -> location *)
+}
+
+type t
+
+val empty : t
+
+val add_object : entry -> t -> t
+val add_relationship : entry -> t -> t
+
+val object_entry : Ecr.Qname.t -> t -> entry option
+val relationship_entry : Ecr.Qname.t -> t -> entry option
+
+val object_target : Ecr.Qname.t -> t -> Ecr.Name.t option
+(** The integrated class for a component object class. *)
+
+val attr_target : Ecr.Qname.t -> Ecr.Name.t -> t -> attr_target option
+(** Where one component attribute (of an object class) ended up. *)
+
+val relationship_attr_target :
+  Ecr.Qname.t -> Ecr.Name.t -> t -> attr_target option
+
+val objects_into : Ecr.Name.t -> t -> entry list
+(** All component object classes mapped into the given integrated class
+    (the reverse direction, for global-to-component unfolding). *)
+
+val relationships_into : Ecr.Name.t -> t -> entry list
+
+val object_entries : t -> entry list
+val relationship_entries : t -> entry list
+
+val pp : Format.formatter -> t -> unit

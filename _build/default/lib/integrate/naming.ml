@@ -1,0 +1,68 @@
+open Ecr
+
+type t = { abbrev : int; overrides : Name.t Qname.Pair.Map.t }
+
+let default = { abbrev = 4; overrides = Qname.Pair.Map.empty }
+
+let with_override a b forced t =
+  { t with
+    overrides = Qname.Pair.Map.add (Qname.Pair.make a b) (Name.v forced) t.overrides
+  }
+
+let override_for t members =
+  (* any override whose pair is a subset of the member list applies *)
+  Qname.Pair.Map.fold
+    (fun pair forced acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if
+            List.exists (Qname.equal (Qname.Pair.fst pair)) members
+            && List.exists (Qname.equal (Qname.Pair.snd pair)) members
+          then Some forced
+          else None)
+    t.overrides None
+
+let abbr t q = Name.abbreviate t.abbrev q.Qname.obj
+
+let equivalent_name t members =
+  match override_for t members with
+  | Some forced -> forced
+  | None -> (
+      match members with
+      | [] -> invalid_arg "Naming.equivalent_name: empty group"
+      | first :: rest ->
+          let all_same =
+            List.for_all (fun q -> Name.equal q.Qname.obj first.Qname.obj) rest
+          in
+          if all_same then Name.v ("E_" ^ Name.to_string first.Qname.obj)
+          else
+            Name.v
+              ("E_" ^ String.concat "_" (List.map (abbr t) members)))
+
+let derived_name t a b =
+  match override_for t [ a; b ] with
+  | Some forced -> forced
+  | None -> Name.v ("D_" ^ abbr t a ^ "_" ^ abbr t b)
+
+let merged_attribute_name n = Name.v ("D_" ^ Name.to_string n)
+
+let uniquify used n =
+  if not (Name.Set.mem n used) then n
+  else begin
+    let rec try_suffix i =
+      let candidate = Name.v (Name.to_string n ^ "_" ^ string_of_int i) in
+      if Name.Set.mem candidate used then try_suffix (i + 1) else candidate
+    in
+    try_suffix 2
+  end
+
+let qualified q =
+  Name.v (Name.to_string q.Qname.schema ^ "_" ^ Name.to_string q.Qname.obj)
+
+let overrides t =
+  Qname.Pair.Map.fold
+    (fun pair forced acc ->
+      (Qname.Pair.fst pair, Qname.Pair.snd pair, forced) :: acc)
+    t.overrides []
+  |> List.rev

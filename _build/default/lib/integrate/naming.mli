@@ -1,0 +1,45 @@
+(** Synthesis of the names of integrated structures.
+
+    The paper's conventions: a structure resulting from an "equals"
+    merge carries an [E_] prefix ([E_Department]); a structure derived
+    as a new generalisation carries a [D_] prefix built from
+    abbreviations of the component names ([D_Stud_Facu],
+    [D_Grad_Inst], [D_Secr_Engi]); a merged (derived) attribute gets a
+    [D_] prefix ([D_Name]).
+
+    The exact abbreviation scheme for merged structures with unequal
+    names is not fully specified by the paper (its example prints
+    [E_Stud_Majo] for the merged Majors relationship), so names can be
+    pinned per component pair with {!with_override} — the paper
+    reproduction pins that one name. *)
+
+type t
+
+val default : t
+(** Four-character abbreviations, ["E_"] and ["D_"] prefixes, no
+    overrides. *)
+
+val with_override : Ecr.Qname.t -> Ecr.Qname.t -> string -> t -> t
+(** Forces the integrated name of the structure produced from the given
+    component pair (in either orientation). *)
+
+val equivalent_name : t -> Ecr.Qname.t list -> Ecr.Name.t
+(** Name for an equals-merged group: [E_<name>] when all members share
+    one name, otherwise [E_<abbr>_<abbr>...] over the member names (an
+    override on any pair of members wins). *)
+
+val derived_name : t -> Ecr.Qname.t -> Ecr.Qname.t -> Ecr.Name.t
+(** Name for a derived generalisation of a pair: [D_<abbr>_<abbr>]
+    unless overridden. *)
+
+val merged_attribute_name : Ecr.Name.t -> Ecr.Name.t
+(** [D_<name>]. *)
+
+val uniquify : Ecr.Name.Set.t -> Ecr.Name.t -> Ecr.Name.t
+(** Appends [_2], [_3], ... until the name avoids the used set. *)
+
+val qualified : Ecr.Qname.t -> Ecr.Name.t
+(** [<schema>_<obj>] — the fallback for pass-through name collisions. *)
+
+val overrides : t -> (Ecr.Qname.t * Ecr.Qname.t * Ecr.Name.t) list
+(** The pinned names, for persistence. *)

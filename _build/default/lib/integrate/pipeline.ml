@@ -1,0 +1,219 @@
+open Ecr
+
+type input = {
+  schemas : Schema.t list;
+  equivalence : Equivalence.t;
+  object_assertions : Assertions.t;
+  relationship_assertions : Assertions.t;
+  naming : Naming.t;
+  integrated_name : Name.t;
+}
+
+let input ?(naming = Naming.default) ?(name = "INTEGRATED") schemas equivalence
+    object_assertions relationship_assertions =
+  {
+    schemas;
+    equivalence;
+    object_assertions;
+    relationship_assertions;
+    naming;
+    integrated_name = Name.v name;
+  }
+
+let integrate inp =
+  let lattice =
+    Lattice.build ~naming:inp.naming ~schemas:inp.schemas
+      ~equivalence:inp.equivalence ~matrix:inp.object_assertions ()
+  in
+  let used_names =
+    List.fold_left
+      (fun acc n -> Name.Set.add n.Lattice.id acc)
+      Name.Set.empty lattice.Lattice.nodes
+  in
+  let rels =
+    Rel_merge.build ~naming:inp.naming ~used_names ~schemas:inp.schemas
+      ~equivalence:inp.equivalence ~matrix:inp.relationship_assertions ~lattice
+      ()
+  in
+  (* --- integrated schema ------------------------------------------- *)
+  let objects =
+    List.map
+      (fun n ->
+        let attrs = List.map (fun pa -> pa.Lattice.attr) n.Lattice.attributes in
+        match n.Lattice.parents with
+        | [] -> Object_class.entity ~attrs n.Lattice.id
+        | parents -> Object_class.category ~attrs ~parents n.Lattice.id)
+      lattice.Lattice.nodes
+  in
+  let relationships = List.map (fun m -> m.Rel_merge.rel) rels.Rel_merge.rels in
+  let schema = Schema.make inp.integrated_name ~objects ~relationships in
+  (* --- origins ------------------------------------------------------ *)
+  let object_origin =
+    List.fold_left
+      (fun acc n ->
+        let origin =
+          match (n.Lattice.members, n.Lattice.derived_children) with
+          | [ only ], _ -> Result.Original only
+          | [], children -> Result.Derived children
+          | several, _ -> Result.Equivalent several
+        in
+        Name.Map.add n.Lattice.id origin acc)
+      Name.Map.empty lattice.Lattice.nodes
+  in
+  let relationship_origin =
+    List.fold_left
+      (fun acc m ->
+        let id = m.Rel_merge.rel.Relationship.name in
+        let origin =
+          match (m.Rel_merge.members, m.Rel_merge.generalises) with
+          | [ only ], _ -> Result.Original only
+          | [], gen -> Result.Derived gen
+          | several, _ -> Result.Equivalent several
+        in
+        Name.Map.add id origin acc)
+      Name.Map.empty rels.Rel_merge.rels
+  in
+  (* --- attribute components ---------------------------------------- *)
+  let attr_components =
+    let of_object n =
+      List.fold_left
+        (fun acc pa ->
+          Name.Map.add pa.Lattice.attr.Attribute.name pa.Lattice.components acc)
+        Name.Map.empty n.Lattice.attributes
+    in
+    let base =
+      List.fold_left
+        (fun acc n -> Name.Map.add n.Lattice.id (of_object n) acc)
+        Name.Map.empty lattice.Lattice.nodes
+    in
+    List.fold_left
+      (fun acc m ->
+        let attrs =
+          List.fold_left
+            (fun acc (name, comps) -> Name.Map.add name comps acc)
+            Name.Map.empty m.Rel_merge.attr_components
+        in
+        Name.Map.add m.Rel_merge.rel.Relationship.name attrs acc)
+      base rels.Rel_merge.rels
+  in
+  (* --- mappings ----------------------------------------------------- *)
+  (* reverse index: component attribute -> (integrated class, attr) *)
+  let attr_location =
+    let table = Hashtbl.create 64 in
+    List.iter
+      (fun n ->
+        List.iter
+          (fun pa ->
+            List.iter
+              (fun comp ->
+                Hashtbl.replace table
+                  (Qname.Attr.to_string comp)
+                  { Mapping.in_class = n.Lattice.id;
+                    as_attr = pa.Lattice.attr.Attribute.name })
+              pa.Lattice.components)
+          n.Lattice.attributes)
+      lattice.Lattice.nodes;
+    List.iter
+      (fun m ->
+        List.iter
+          (fun (name, comps) ->
+            List.iter
+              (fun comp ->
+                Hashtbl.replace table
+                  (Qname.Attr.to_string comp)
+                  { Mapping.in_class = m.Rel_merge.rel.Relationship.name;
+                    as_attr = name })
+              comps)
+          m.Rel_merge.attr_components)
+      rels.Rel_merge.rels;
+    table
+  in
+  let mapping =
+    let object_entries =
+      List.concat_map
+        (fun s ->
+          List.map
+            (fun oc ->
+              let source = Schema.qname s oc.Object_class.name in
+              let target =
+                Option.value
+                  ~default:oc.Object_class.name
+                  (Lattice.node_of lattice source)
+              in
+              let attrs =
+                List.fold_left
+                  (fun acc a ->
+                    let qa = Qname.Attr.make source a.Attribute.name in
+                    match Hashtbl.find_opt attr_location (Qname.Attr.to_string qa) with
+                    | Some loc -> Name.Map.add a.Attribute.name loc acc
+                    | None -> acc)
+                  Name.Map.empty oc.Object_class.attributes
+              in
+              { Mapping.source; target; attrs })
+            (Schema.objects s))
+        inp.schemas
+    in
+    let rel_entries =
+      List.concat_map
+        (fun s ->
+          List.filter_map
+            (fun r ->
+              let source = Schema.qname s r.Relationship.name in
+              match Qname.Map.find_opt source rels.Rel_merge.rel_of with
+              | None -> None
+              | Some target ->
+                  let attrs =
+                    List.fold_left
+                      (fun acc a ->
+                        let qa = Qname.Attr.make source a.Attribute.name in
+                        match
+                          Hashtbl.find_opt attr_location (Qname.Attr.to_string qa)
+                        with
+                        | Some loc -> Name.Map.add a.Attribute.name loc acc
+                        | None -> acc)
+                      Name.Map.empty r.Relationship.attributes
+                  in
+                  Some { Mapping.source; target; attrs })
+            (Schema.relationships s))
+        inp.schemas
+    in
+    let m =
+      List.fold_left (fun m e -> Mapping.add_object e m) Mapping.empty
+        object_entries
+    in
+    List.fold_left (fun m e -> Mapping.add_relationship e m) m rel_entries
+  in
+  {
+    Result.schema;
+    object_origin;
+    relationship_origin;
+    attr_components;
+    mapping;
+    warnings = lattice.Lattice.warnings @ rels.Rel_merge.warnings;
+  }
+
+let quick ?naming ?name s1 s2 ~equivalences ~object_assertions
+    ?(relationship_assertions = []) () =
+  let equivalence =
+    List.fold_left
+      (fun eq (a, b) -> Equivalence.declare a b eq)
+      (Equivalence.register_schema s2 (Equivalence.register_schema s1 Equivalence.empty))
+      equivalences
+  in
+  let feed matrix facts =
+    List.fold_left
+      (fun acc (l, a, r) ->
+        match acc with
+        | Error _ as e -> e
+        | Ok m -> Assertions.add l a r m)
+      (Ok matrix) facts
+  in
+  match feed (Assertions.create [ s1; s2 ]) object_assertions with
+  | Error c -> Error c
+  | Ok objs -> (
+      match
+        feed (Assertions.create_for_relationships [ s1; s2 ]) relationship_assertions
+      with
+      | Error c -> Error c
+      | Ok rels ->
+          Ok (integrate (input ?naming ?name [ s1; s2 ] equivalence objs rels)))

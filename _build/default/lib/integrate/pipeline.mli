@@ -1,0 +1,49 @@
+(** The end-to-end integration pipeline.
+
+    [integrate] is the pure function at the core of the tool:
+
+    {v component schemas × attribute equivalences × assertions
+       -> integrated schema × provenance × mappings v}
+
+    It accepts {e n} schemas at once — the paper's methodology is n-ary
+    even though the interactive screens collect assertions pairwise.
+    The binary use (two schemas) is the common case; iterated binary
+    integration is provided by {!Strategy}. *)
+
+type input = {
+  schemas : Ecr.Schema.t list;
+  equivalence : Equivalence.t;
+  object_assertions : Assertions.t;
+  relationship_assertions : Assertions.t;
+  naming : Naming.t;
+  integrated_name : Ecr.Name.t;
+}
+
+val input :
+  ?naming:Naming.t ->
+  ?name:string ->
+  Ecr.Schema.t list ->
+  Equivalence.t ->
+  Assertions.t ->
+  Assertions.t ->
+  input
+(** [input schemas eq objs rels] packs pipeline input; [name] defaults
+    to ["INTEGRATED"]. *)
+
+val integrate : input -> Result.t
+(** Performs Phase 4.  The assertion matrices must already be closed and
+    consistent (they are, by construction of {!Assertions.add}). *)
+
+val quick :
+  ?naming:Naming.t ->
+  ?name:string ->
+  Ecr.Schema.t ->
+  Ecr.Schema.t ->
+  equivalences:(Ecr.Qname.Attr.t * Ecr.Qname.Attr.t) list ->
+  object_assertions:(Ecr.Qname.t * Assertion.t * Ecr.Qname.t) list ->
+  ?relationship_assertions:(Ecr.Qname.t * Assertion.t * Ecr.Qname.t) list ->
+  unit ->
+  (Result.t, Assertions.conflict) result
+(** Convenience wrapper for the common two-schema case: registers both
+    schemas, declares the equivalences, enters the assertions in order
+    (failing fast on the first conflict) and integrates. *)

@@ -1,0 +1,207 @@
+open Ecr
+
+type options = {
+  exhaustive_attribute_pairs : bool;
+  suggestion_weights : Heuristics.Resemblance.weighted;
+  suggestion_threshold : float;
+  max_object_pairs : int option;
+  skip_determined : bool;
+  retry_conflicts : int;
+}
+
+let defaults =
+  {
+    exhaustive_attribute_pairs = false;
+    suggestion_weights =
+      Heuristics.Resemblance.default_weights Heuristics.Synonyms.default;
+    suggestion_threshold = 0.5;
+    max_object_pairs = None;
+    skip_determined = true;
+    retry_conflicts = 1;
+  }
+
+type stats = {
+  pairs_presented : int;
+  pairs_skipped_determined : int;
+  assertions_accepted : int;
+  assertions_rejected : int;
+}
+
+let zero_stats =
+  {
+    pairs_presented = 0;
+    pairs_skipped_determined = 0;
+    assertions_accepted = 0;
+    assertions_rejected = 0;
+  }
+
+let add_stats a b =
+  {
+    pairs_presented = a.pairs_presented + b.pairs_presented;
+    pairs_skipped_determined =
+      a.pairs_skipped_determined + b.pairs_skipped_determined;
+    assertions_accepted = a.assertions_accepted + b.assertions_accepted;
+    assertions_rejected = a.assertions_rejected + b.assertions_rejected;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2.                                                            *)
+
+let structure_attr_pairs options (s1, name1, attrs1) (s2, name2, attrs2) =
+  let q1 = Schema.qname s1 name1 and q2 = Schema.qname s2 name2 in
+  if options.exhaustive_attribute_pairs then
+    List.concat_map
+      (fun a ->
+        List.map
+          (fun b ->
+            ( (Qname.Attr.make q1 a.Attribute.name, a),
+              (Qname.Attr.make q2 b.Attribute.name, b) ))
+          attrs2)
+      attrs1
+  else begin
+    (* ask only about heuristic candidates, best-first *)
+    let score a b =
+      Heuristics.Resemblance.attribute_score options.suggestion_weights a b
+    in
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            if score a b >= options.suggestion_threshold then
+              Some
+                ( (Qname.Attr.make q1 a.Attribute.name, a),
+                  (Qname.Attr.make q2 b.Attribute.name, b) )
+            else None)
+          attrs2)
+      attrs1
+  end
+
+let collect_equivalences options s1 s2 (dda : Dda.t) eq =
+  let eq = Equivalence.register_schema s2 (Equivalence.register_schema s1 eq) in
+  let consider eq pairs =
+    List.fold_left
+      (fun eq (left, right) ->
+        if dda.Dda.attr_equivalent left right then
+          Equivalence.declare (fst left) (fst right) eq
+        else eq)
+      eq pairs
+  in
+  let eq =
+    List.fold_left
+      (fun eq oc1 ->
+        List.fold_left
+          (fun eq oc2 ->
+            consider eq
+              (structure_attr_pairs options
+                 (s1, oc1.Object_class.name, oc1.Object_class.attributes)
+                 (s2, oc2.Object_class.name, oc2.Object_class.attributes)))
+          eq (Schema.objects s2))
+      eq (Schema.objects s1)
+  in
+  List.fold_left
+    (fun eq r1 ->
+      List.fold_left
+        (fun eq r2 ->
+          consider eq
+            (structure_attr_pairs options
+               (s1, r1.Relationship.name, r1.Relationship.attributes)
+               (s2, r2.Relationship.name, r2.Relationship.attributes)))
+        eq (Schema.relationships s2))
+    eq (Schema.relationships s1)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 3.                                                            *)
+
+let collect_over_pairs options (dda : Dda.t) ask ranked matrix =
+  let ranked =
+    match options.max_object_pairs with
+    | None -> ranked
+    | Some n -> Similarity.top n ranked
+  in
+  List.fold_left
+    (fun (matrix, stats) rk ->
+      let left = rk.Similarity.left and right = rk.Similarity.right in
+      if
+        options.skip_determined
+        && Assertions.assertion_between matrix left right <> None
+      then
+        ( matrix,
+          { stats with
+            pairs_skipped_determined = stats.pairs_skipped_determined + 1
+          } )
+      else begin
+        let stats = { stats with pairs_presented = stats.pairs_presented + 1 } in
+        let rec settle matrix stats answer fuel =
+          match answer with
+          | None -> (matrix, stats)
+          | Some assertion -> (
+              match Assertions.add left assertion right matrix with
+              | Ok matrix ->
+                  ( matrix,
+                    { stats with
+                      assertions_accepted = stats.assertions_accepted + 1
+                    } )
+              | Error conflict -> (
+                  if fuel <= 0 then
+                    ( matrix,
+                      { stats with
+                        assertions_rejected = stats.assertions_rejected + 1
+                      } )
+                  else
+                    match dda.Dda.resolve_conflict conflict with
+                    | Dda.Withdraw ->
+                        ( matrix,
+                          { stats with
+                            assertions_rejected = stats.assertions_rejected + 1
+                          } )
+                    | Dda.Replace a' -> settle matrix stats (Some a') (fuel - 1)))
+        in
+        settle matrix stats (ask left right) options.retry_conflicts
+      end)
+    (matrix, zero_stats) ranked
+
+let collect_object_assertions options s1 s2 (dda : Dda.t) eq matrix =
+  collect_over_pairs options dda dda.Dda.object_assertion
+    (Similarity.ranked_object_pairs s1 s2 eq)
+    matrix
+
+let collect_relationship_assertions options s1 s2 (dda : Dda.t) eq matrix =
+  collect_over_pairs options dda dda.Dda.relationship_assertion
+    (Similarity.ranked_relationship_pairs s1 s2 eq)
+    matrix
+
+(* ------------------------------------------------------------------ *)
+
+let rec schema_pairs = function
+  | [] -> []
+  | s :: rest -> List.map (fun s' -> (s, s')) rest @ schema_pairs rest
+
+let run ?(options = defaults) ?naming ?name schemas dda =
+  let eq =
+    List.fold_left (fun eq s -> Equivalence.register_schema s eq) Equivalence.empty schemas
+  in
+  let eq =
+    List.fold_left
+      (fun eq (s1, s2) -> collect_equivalences options s1 s2 dda eq)
+      eq (schema_pairs schemas)
+  in
+  let objects, ostats =
+    List.fold_left
+      (fun (m, stats) (s1, s2) ->
+        let m, s = collect_object_assertions options s1 s2 dda eq m in
+        (m, add_stats stats s))
+      (Assertions.create schemas, zero_stats)
+      (schema_pairs schemas)
+  in
+  let rels, rstats =
+    List.fold_left
+      (fun (m, stats) (s1, s2) ->
+        let m, s = collect_relationship_assertions options s1 s2 dda eq m in
+        (m, add_stats stats s))
+      (Assertions.create_for_relationships schemas, zero_stats)
+      (schema_pairs schemas)
+  in
+  let result =
+    Pipeline.integrate (Pipeline.input ?naming ?name schemas eq objects rels)
+  in
+  (result, add_stats ostats rstats)

@@ -1,0 +1,80 @@
+(** The interactive methodology, driven over a {!Dda} oracle.
+
+    This module is the headless equivalent of the tool's screens: it
+    walks the DDA through Phase 2 (attribute equivalences, optionally
+    pre-filtered by the section-4 matching heuristics) and Phase 3
+    (assertions over the ranked pair list, with conflict resolution),
+    then runs Phase 4.  The TUI drives the same functions with a human
+    behind the oracle; the benchmarks drive them with programmatic
+    oracles and count the questions. *)
+
+type options = {
+  exhaustive_attribute_pairs : bool;
+      (** [true]: ask the DDA about {e every} cross-schema attribute
+          pair of every structure pair (the un-enhanced tool).
+          [false]: ask only about candidates surfaced by the resemblance
+          heuristics — the paper's section-4 enhancement. *)
+  suggestion_weights : Heuristics.Resemblance.weighted;
+      (** signals used when [exhaustive_attribute_pairs = false] *)
+  suggestion_threshold : float;  (** candidate cut-off, default 0.5 *)
+  max_object_pairs : int option;
+      (** present only the first [n] ranked pairs (a DDA effort budget);
+          [None] presents all *)
+  skip_determined : bool;
+      (** [true]: do not ask about pairs whose cell is already a
+          singleton (derived by transitive composition) — quantifies the
+          automation the paper claims for derivation *)
+  retry_conflicts : int;  (** how many [Replace] rounds to honour *)
+}
+
+val defaults : options
+
+type stats = {
+  pairs_presented : int;
+  pairs_skipped_determined : int;
+  assertions_accepted : int;
+  assertions_rejected : int;  (** withdrawn after conflicts *)
+}
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
+
+val collect_equivalences :
+  options ->
+  Ecr.Schema.t ->
+  Ecr.Schema.t ->
+  Dda.t ->
+  Equivalence.t ->
+  Equivalence.t
+(** Phase 2 over one schema pair: both object classes and relationship
+    sets. *)
+
+val collect_object_assertions :
+  options ->
+  Ecr.Schema.t ->
+  Ecr.Schema.t ->
+  Dda.t ->
+  Equivalence.t ->
+  Assertions.t ->
+  Assertions.t * stats
+(** Phase 3, object subphase, over the ranked pair list. *)
+
+val collect_relationship_assertions :
+  options ->
+  Ecr.Schema.t ->
+  Ecr.Schema.t ->
+  Dda.t ->
+  Equivalence.t ->
+  Assertions.t ->
+  Assertions.t * stats
+
+val run :
+  ?options:options ->
+  ?naming:Naming.t ->
+  ?name:string ->
+  Ecr.Schema.t list ->
+  Dda.t ->
+  Result.t * stats
+(** All four phases, n-ary: equivalences and assertions are collected
+    for every unordered schema pair, then a single integration is
+    performed. *)

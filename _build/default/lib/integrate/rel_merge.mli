@@ -1,0 +1,47 @@
+(** Relationship-set integration.
+
+    After object classes are integrated, relationship sets are: every
+    component relationship's participants are redirected to the
+    integrated lattice nodes; relationship sets asserted {e equal} merge
+    into a single [E_] set whose participants are matched pairwise
+    through the lattice (a participant pair matches when one integrated
+    node dominates the other; the merged slot keeps the more general
+    node and the union of the structural constraints); {e contained in},
+    {e may be} and {e disjoint integrable} assertions additionally
+    generate a derived [D_] relationship set generalising the pair
+    (ECR has no relationship IS-A, so both originals are kept).
+
+    Merged attributes follow the attribute-equivalence partition, as for
+    object classes, but are placed on the merged relationship itself
+    (relationship sets do not inherit). *)
+
+type merged = {
+  rel : Ecr.Relationship.t;  (** the integrated relationship set *)
+  members : Ecr.Qname.t list;
+      (** component relationship sets merged here; empty for derived *)
+  generalises : Ecr.Name.t list;
+      (** for a derived set, the integrated names of the two sets it
+          generalises *)
+  attr_components : (Ecr.Name.t * Ecr.Qname.Attr.t list) list;
+      (** integrated attribute name -> component attributes *)
+}
+
+type t = {
+  rels : merged list;  (** merged/pass-through sets first, derived last *)
+  rel_of : Ecr.Name.t Ecr.Qname.Map.t;
+      (** component relationship set -> integrated set *)
+  warnings : string list;
+}
+
+val build :
+  ?naming:Naming.t ->
+  ?used_names:Ecr.Name.Set.t ->
+  schemas:Ecr.Schema.t list ->
+  equivalence:Equivalence.t ->
+  matrix:Assertions.t ->
+  lattice:Lattice.t ->
+  unit ->
+  t
+(** [used_names] (typically the lattice's node names) are avoided when
+    naming integrated relationship sets — the ECR namespace is shared
+    by all structures of a schema. *)

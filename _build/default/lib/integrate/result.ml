@@ -1,0 +1,61 @@
+open Ecr
+
+type origin =
+  | Original of Qname.t
+  | Equivalent of Qname.t list
+  | Derived of Name.t list
+
+type t = {
+  schema : Schema.t;
+  object_origin : origin Name.Map.t;
+  relationship_origin : origin Name.Map.t;
+  attr_components : Qname.Attr.t list Name.Map.t Name.Map.t;
+  mapping : Mapping.t;
+  warnings : string list;
+}
+
+let origin_of t n =
+  match Name.Map.find_opt n t.object_origin with
+  | Some o -> Some o
+  | None -> Name.Map.find_opt n t.relationship_origin
+
+let is_equivalent t n =
+  match origin_of t n with Some (Equivalent _) -> true | _ -> false
+
+let is_derived t n =
+  match origin_of t n with Some (Derived _) -> true | _ -> false
+
+let components_of_attribute t cls attr =
+  match Name.Map.find_opt cls t.attr_components with
+  | None -> []
+  | Some attrs -> Option.value ~default:[] (Name.Map.find_opt attr attrs)
+
+let rec component_structures t n =
+  match origin_of t n with
+  | None -> []
+  | Some (Original q) -> [ q ]
+  | Some (Equivalent qs) -> qs
+  | Some (Derived children) ->
+      List.concat_map (component_structures t) children
+
+let summary t =
+  let entities = List.length (Schema.entities t.schema)
+  and categories = List.length (Schema.categories t.schema)
+  and relationships = List.length (Schema.relationships t.schema) in
+  let count pred m = Name.Map.fold (fun _ o acc -> if pred o then acc + 1 else acc) m 0 in
+  let merged =
+    count (function Equivalent _ -> true | _ -> false) t.object_origin
+    + count (function Equivalent _ -> true | _ -> false) t.relationship_origin
+  and derived =
+    count (function Derived _ -> true | _ -> false) t.object_origin
+    + count (function Derived _ -> true | _ -> false) t.relationship_origin
+  in
+  Printf.sprintf
+    "%d entities, %d categories, %d relationships (%d merged, %d derived, %d \
+     warnings)"
+    entities categories relationships merged derived
+    (List.length t.warnings)
+
+let pp fmt t =
+  Format.fprintf fmt "%a@.%s@." Schema.pp t.schema (summary t);
+  List.iter (fun w -> Format.fprintf fmt "warning: %s@." w) t.warnings

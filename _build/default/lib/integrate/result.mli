@@ -1,0 +1,50 @@
+(** The outcome of Phase 4: the integrated schema, the provenance of
+    every integrated structure and attribute, and the generated
+    mappings.
+
+    This record is everything the result-viewing screens (Screens
+    10–12b) display: the prefix conventions ([E_] equivalent, [D_]
+    derived) are derivable from {!origin}; the Component Attribute
+    screens are a lookup in {!attr_components}. *)
+
+type origin =
+  | Original of Ecr.Qname.t  (** passed through (possibly renamed) *)
+  | Equivalent of Ecr.Qname.t list  (** merged by "equals" *)
+  | Derived of Ecr.Name.t list
+      (** generated generalisation of the given integrated structures *)
+
+type t = {
+  schema : Ecr.Schema.t;  (** the integrated schema *)
+  object_origin : origin Ecr.Name.Map.t;
+  relationship_origin : origin Ecr.Name.Map.t;
+  attr_components : Ecr.Qname.Attr.t list Ecr.Name.Map.t Ecr.Name.Map.t;
+      (** integrated structure -> integrated attribute -> component
+          attributes (empty list only for attributes of derived
+          structures with no component) *)
+  mapping : Mapping.t;
+  warnings : string list;
+}
+
+val origin_of : t -> Ecr.Name.t -> origin option
+(** Origin of an object class or relationship set of the integrated
+    schema. *)
+
+val is_equivalent : t -> Ecr.Name.t -> bool
+val is_derived : t -> Ecr.Name.t -> bool
+
+val components_of_attribute :
+  t -> Ecr.Name.t -> Ecr.Name.t -> Ecr.Qname.Attr.t list
+(** [components_of_attribute r cls attr] — the component attributes a
+    (possibly inherited) integrated attribute merges; the data of the
+    Component Attribute screen. *)
+
+val component_structures : t -> Ecr.Name.t -> Ecr.Qname.t list
+(** The component structures whose extent an integrated structure
+    carries ([Equivalent]/[Original]), or which it generalises
+    ([Derived], resolved transitively to component classes). *)
+
+val summary : t -> string
+(** One-paragraph statistics: #entities, #categories, #relationships,
+    #merged, #derived, #warnings. *)
+
+val pp : Format.formatter -> t -> unit

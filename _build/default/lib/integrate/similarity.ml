@@ -1,0 +1,90 @@
+open Ecr
+
+type ranked = {
+  left : Qname.t;
+  right : Qname.t;
+  shared : int;
+  smaller : int;
+  ratio : float;
+}
+
+let ocs_entry = Equivalence.shared_count
+
+let ratio_of_counts ~shared ~smaller =
+  if shared = 0 && smaller = 0 then 0.0
+  else float_of_int shared /. float_of_int (shared + smaller)
+
+let generic_ratio q1 attrs1 q2 attrs2 eq =
+  let shared = Equivalence.shared_count q1 q2 eq in
+  let smaller = Int.min (List.length attrs1) (List.length attrs2) in
+  ratio_of_counts ~shared ~smaller
+
+let attribute_ratio (s1, oc1) (s2, oc2) eq =
+  generic_ratio
+    (Schema.qname s1 oc1.Object_class.name)
+    oc1.Object_class.attributes
+    (Schema.qname s2 oc2.Object_class.name)
+    oc2.Object_class.attributes eq
+
+let relationship_ratio (s1, r1) (s2, r2) eq =
+  generic_ratio
+    (Schema.qname s1 r1.Relationship.name)
+    r1.Relationship.attributes
+    (Schema.qname s2 r2.Relationship.name)
+    r2.Relationship.attributes eq
+
+let rank pairs =
+  (* Stable sort keeps declaration order among ties. *)
+  List.stable_sort
+    (fun a b ->
+      match Float.compare b.ratio a.ratio with
+      | 0 -> (
+          match Int.compare a.smaller b.smaller with
+          | 0 -> Int.compare b.shared a.shared
+          | c -> c)
+      | c -> c)
+    pairs
+
+let ranked_object_pairs s1 s2 eq =
+  List.concat_map
+    (fun oc1 ->
+      List.map
+        (fun oc2 ->
+          let left = Schema.qname s1 oc1.Object_class.name
+          and right = Schema.qname s2 oc2.Object_class.name in
+          {
+            left;
+            right;
+            shared = Equivalence.shared_count left right eq;
+            smaller =
+              Int.min
+                (List.length oc1.Object_class.attributes)
+                (List.length oc2.Object_class.attributes);
+            ratio = attribute_ratio (s1, oc1) (s2, oc2) eq;
+          })
+        (Schema.objects s2))
+    (Schema.objects s1)
+  |> rank
+
+let ranked_relationship_pairs s1 s2 eq =
+  List.concat_map
+    (fun r1 ->
+      List.map
+        (fun r2 ->
+          let left = Schema.qname s1 r1.Relationship.name
+          and right = Schema.qname s2 r2.Relationship.name in
+          {
+            left;
+            right;
+            shared = Equivalence.shared_count left right eq;
+            smaller =
+              Int.min
+                (List.length r1.Relationship.attributes)
+                (List.length r2.Relationship.attributes);
+            ratio = relationship_ratio (s1, r1) (s2, r2) eq;
+          })
+        (Schema.relationships s2))
+    (Schema.relationships s1)
+  |> rank
+
+let top n pairs = List.filteri (fun i _ -> i < n) pairs

@@ -1,0 +1,52 @@
+(** The Object Class Similarity (OCS) matrix and the resemblance
+    function used to order object pairs for assertion collection.
+
+    Upon leaving the equivalence phase the tool derives, from the ACS
+    partition, the number of equivalent attributes between every pair of
+    structures, and ranks pairs by the {e attribute ratio}
+
+    {v #equivalent / (#equivalent + #attributes of the smaller class) v}
+
+    so that a ratio of 0.5 means every attribute of the smaller class
+    has an equivalent in the other (Screen 8's column reproduces
+    0.5000 / 0.5000 / 0.3333 on the paper's example).  The DDA then
+    reviews pairs in decreasing ratio order. *)
+
+type ranked = {
+  left : Ecr.Qname.t;
+  right : Ecr.Qname.t;
+  shared : int;  (** OCS entry: number of shared equivalence classes *)
+  smaller : int;  (** attribute count of the smaller structure *)
+  ratio : float;
+}
+
+val ocs_entry : Ecr.Qname.t -> Ecr.Qname.t -> Equivalence.t -> int
+(** Alias of {!Equivalence.shared_count}. *)
+
+val attribute_ratio :
+  Ecr.Schema.t * Ecr.Object_class.t ->
+  Ecr.Schema.t * Ecr.Object_class.t ->
+  Equivalence.t ->
+  float
+(** Ratio for an object-class pair, from their local attribute lists. *)
+
+val relationship_ratio :
+  Ecr.Schema.t * Ecr.Relationship.t ->
+  Ecr.Schema.t * Ecr.Relationship.t ->
+  Equivalence.t ->
+  float
+
+val ranked_object_pairs :
+  Ecr.Schema.t -> Ecr.Schema.t -> Equivalence.t -> ranked list
+(** Every (object class of schema 1, object class of schema 2) pair,
+    ordered by decreasing ratio, then increasing size of the smaller
+    class (a full match over fewer attributes first, which reproduces
+    the paper's Screen 8 order), then the schemas' declaration order.
+    Pairs with ratio 0 are kept (the DDA may still relate
+    attribute-poor classes), at the end. *)
+
+val ranked_relationship_pairs :
+  Ecr.Schema.t -> Ecr.Schema.t -> Equivalence.t -> ranked list
+
+val top :
+  int -> ranked list -> ranked list

@@ -1,0 +1,113 @@
+open Ecr
+
+type outcome = { result : Result.t; stats : Protocol.stats; steps : int }
+
+let nary ?options ?naming schemas dda =
+  let result, stats = Protocol.run ?options ?naming schemas dda in
+  { result; stats; steps = 1 }
+
+(* Pairwise integration step with a fresh intermediate schema name. *)
+let step ?options ?naming ?(register = fun _ -> ()) counter s1 s2 dda =
+  incr counter;
+  let name = Printf.sprintf "I%d" !counter in
+  let result, stats = Protocol.run ?options ?naming ~name [ s1; s2 ] dda in
+  register result;
+  (result, stats)
+
+let binary_ladder ?options ?naming ?register schemas dda =
+  match schemas with
+  | [] -> invalid_arg "Strategy.binary_ladder: no schemas"
+  | [ only ] ->
+      let result, stats = Protocol.run ?options ?naming [ only ] dda in
+      { result; stats; steps = 0 }
+  | first :: rest ->
+      let counter = ref 0 in
+      let result, stats =
+        List.fold_left
+          (fun (acc, stats) s ->
+            let base =
+              match acc with
+              | None -> first
+              | Some r -> r.Result.schema
+            in
+            let r, st = step ?options ?naming ?register counter base s dda in
+            (Some r, Protocol.add_stats stats st))
+          (None, Protocol.zero_stats)
+          rest
+      in
+      let result = Option.get result (* rest is non-empty *) in
+      { result; stats; steps = !counter }
+
+let binary_balanced ?options ?naming ?register schemas dda =
+  match schemas with
+  | [] -> invalid_arg "Strategy.binary_balanced: no schemas"
+  | _ ->
+      let counter = ref 0 in
+      let stats = ref Protocol.zero_stats in
+      let last_result = ref None in
+      let rec rounds = function
+        | [] -> assert false
+        | [ only ] -> only
+        | several ->
+            let rec pair_up = function
+              | [] -> []
+              | [ odd ] -> [ odd ]
+              | a :: b :: rest ->
+                  let r, st = step ?options ?naming ?register counter a b dda in
+                  stats := Protocol.add_stats !stats st;
+                  last_result := Some r;
+                  r.Result.schema :: pair_up rest
+            in
+            rounds (pair_up several)
+      in
+      let final = rounds schemas in
+      let result =
+        match !last_result with
+        | Some r -> r
+        | None ->
+            (* single input schema: integrate it alone for a consistent
+               result shape *)
+            let r, st = Protocol.run ?options ?naming [ final ] dda in
+            stats := Protocol.add_stats !stats st;
+            r
+      in
+      { result; stats = !stats; steps = !counter }
+
+let binary_guided ?options ?naming ?register ~weights schemas dda =
+  match schemas with
+  | [] -> invalid_arg "Strategy.binary_guided: no schemas"
+  | _ ->
+      let counter = ref 0 in
+      let stats = ref Protocol.zero_stats in
+      let last_result = ref None in
+      let rec rounds pool =
+        match pool with
+        | [] -> assert false
+        | [ _ ] -> ()
+        | _ -> (
+            match Heuristics.Schema_resemblance.most_similar_pair weights pool with
+            | None -> ()
+            | Some (a, b) ->
+                let r, st = step ?options ?naming ?register counter a b dda in
+                stats := Protocol.add_stats !stats st;
+                last_result := Some r;
+                let pool =
+                  r.Result.schema
+                  :: List.filter
+                       (fun s ->
+                         (not (Name.equal (Schema.name s) (Schema.name a)))
+                         && not (Name.equal (Schema.name s) (Schema.name b)))
+                       pool
+                in
+                rounds pool)
+      in
+      rounds schemas;
+      let result =
+        match !last_result with
+        | Some r -> r
+        | None ->
+            let r, st = Protocol.run ?options ?naming schemas dda in
+            stats := Protocol.add_stats !stats st;
+            r
+      in
+      { result; stats = !stats; steps = !counter }

@@ -1,0 +1,57 @@
+(** Integration strategies for more than two schemas.
+
+    The survey of Batini, Lenzerini & Navathe (1986) classifies
+    methodologies by how they process multiple schemas; the paper's
+    methodology is {e n-ary} ("one shot"), while most contemporaries
+    were {e binary} — integrating two schemas at a time, either along a
+    ladder (fold left) or as a balanced tournament.  This module
+    implements all of them over the same {!Dda} oracle so the benchmark
+    harness can compare total DDA effort and derivation reuse
+    (experiment E13), plus the section-4 enhancement of ordering binary
+    steps by schema resemblance (E15). *)
+
+type outcome = {
+  result : Result.t;
+  stats : Protocol.stats;
+  steps : int;  (** number of pairwise integration steps performed *)
+}
+
+val nary :
+  ?options:Protocol.options ->
+  ?naming:Naming.t ->
+  Ecr.Schema.t list ->
+  Dda.t ->
+  outcome
+(** The paper's strategy: collect assertions across every schema pair,
+    integrate once. *)
+
+val binary_ladder :
+  ?options:Protocol.options ->
+  ?naming:Naming.t ->
+  ?register:(Result.t -> unit) ->
+  Ecr.Schema.t list ->
+  Dda.t ->
+  outcome
+(** Fold in list order: ((s1 + s2) + s3) + ...  [register] is called on
+    every intermediate result so a ground-truth oracle can learn the
+    extents of the intermediate classes. *)
+
+val binary_balanced :
+  ?options:Protocol.options ->
+  ?naming:Naming.t ->
+  ?register:(Result.t -> unit) ->
+  Ecr.Schema.t list ->
+  Dda.t ->
+  outcome
+(** Tournament: pair up schemas each round, halving until one remains. *)
+
+val binary_guided :
+  ?options:Protocol.options ->
+  ?naming:Naming.t ->
+  ?register:(Result.t -> unit) ->
+  weights:Heuristics.Resemblance.weighted ->
+  Ecr.Schema.t list ->
+  Dda.t ->
+  outcome
+(** Binary, picking the most-resembling remaining pair each round
+    (the paper's proposed schema-resemblance enhancement). *)

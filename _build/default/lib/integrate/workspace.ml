@@ -1,0 +1,145 @@
+open Ecr
+
+type fact = Qname.t * Assertion.t * Qname.t
+
+type t = {
+  schemas : Schema.t list;
+  equivalence : Equivalence.t;
+  object_facts : fact list;  (** in entry order *)
+  relationship_facts : fact list;
+  naming : Naming.t;
+}
+
+let empty =
+  {
+    schemas = [];
+    equivalence = Equivalence.empty;
+    object_facts = [];
+    relationship_facts = [];
+    naming = Naming.default;
+  }
+
+let schemas t = t.schemas
+let find_schema n t = List.find_opt (fun s -> Name.equal (Schema.name s) n) t.schemas
+
+let add_schema s t =
+  let n = Schema.name s in
+  let replaced = ref false in
+  let schemas =
+    List.map
+      (fun s' ->
+        if Name.equal (Schema.name s') n then begin
+          replaced := true;
+          s
+        end
+        else s')
+      t.schemas
+  in
+  let schemas = if !replaced then schemas else schemas @ [ s ] in
+  { t with schemas; equivalence = Equivalence.register_schema s t.equivalence }
+
+let remove_schema n t =
+  let keeps_schema q = not (Name.equal q.Qname.schema n) in
+  let keep_fact (a, _, b) = keeps_schema a && keeps_schema b in
+  {
+    t with
+    schemas = List.filter (fun s -> not (Name.equal (Schema.name s) n)) t.schemas;
+    equivalence =
+      Equivalence.restrict
+        (fun qa -> keeps_schema qa.Qname.Attr.owner)
+        t.equivalence;
+    object_facts = List.filter keep_fact t.object_facts;
+    relationship_facts = List.filter keep_fact t.relationship_facts;
+  }
+
+let declare_equivalent a b t =
+  { t with equivalence = Equivalence.declare a b t.equivalence }
+
+let separate_attribute a t =
+  { t with equivalence = Equivalence.separate a t.equivalence }
+
+let equivalence t = t.equivalence
+
+let replay create facts t =
+  List.fold_left
+    (fun m (a, assertion, b) ->
+      match Assertions.add a assertion b m with
+      | Ok m -> m
+      | Error _ ->
+          (* Recorded facts were consistent when entered; a schema edit
+             may have invalidated one.  Drop it silently — the screens
+             surface the remaining facts. *)
+          m)
+    (create t.schemas) facts
+
+let object_matrix t = replay Assertions.create t.object_facts t
+let relationship_matrix t =
+  replay Assertions.create_for_relationships t.relationship_facts t
+
+let try_assert facts_field set_facts a assertion b t =
+  let matrix =
+    replay
+      (match facts_field with
+      | `Objects -> Assertions.create
+      | `Relationships -> Assertions.create_for_relationships)
+      (match facts_field with
+      | `Objects -> t.object_facts
+      | `Relationships -> t.relationship_facts)
+      t
+  in
+  match Assertions.add a assertion b matrix with
+  | Ok _ -> Ok (set_facts t ((a, assertion, b)))
+  | Error c -> Error c
+
+let assert_object a assertion b t =
+  try_assert `Objects
+    (fun t fact -> { t with object_facts = t.object_facts @ [ fact ] })
+    a assertion b t
+
+let assert_relationship a assertion b t =
+  try_assert `Relationships
+    (fun t fact ->
+      { t with relationship_facts = t.relationship_facts @ [ fact ] })
+    a assertion b t
+
+let same_pair a b (x, _, y) =
+  (Qname.equal a x && Qname.equal b y) || (Qname.equal a y && Qname.equal b x)
+
+let retract_object a b t =
+  { t with object_facts = List.filter (fun f -> not (same_pair a b f)) t.object_facts }
+
+let retract_relationship a b t =
+  {
+    t with
+    relationship_facts =
+      List.filter (fun f -> not (same_pair a b f)) t.relationship_facts;
+  }
+
+let object_facts t = t.object_facts
+let relationship_facts t = t.relationship_facts
+
+let require_schema n t =
+  match find_schema n t with Some s -> s | None -> raise Not_found
+
+let ranked_pairs n1 n2 t =
+  Similarity.ranked_object_pairs (require_schema n1 t) (require_schema n2 t)
+    t.equivalence
+
+let ranked_relationship_pairs n1 n2 t =
+  Similarity.ranked_relationship_pairs (require_schema n1 t)
+    (require_schema n2 t) t.equivalence
+
+let set_naming naming t = { t with naming }
+let naming t = t.naming
+
+let integrate ?name t =
+  Pipeline.integrate
+    (Pipeline.input ~naming:t.naming ?name t.schemas t.equivalence
+       (object_matrix t) (relationship_matrix t))
+
+let integrate_pair ?name n1 n2 t =
+  let s1 = require_schema n1 t and s2 = require_schema n2 t in
+  let sub = { t with schemas = [ s1; s2 ] } in
+  Pipeline.integrate
+    (Pipeline.input ~naming:t.naming ?name [ s1; s2 ] t.equivalence
+       (object_matrix sub) (relationship_matrix sub))

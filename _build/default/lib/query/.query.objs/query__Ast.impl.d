@@ -1,0 +1,1 @@
+lib/query/ast.ml: Ecr Format Instance List Name Option String

@@ -1,0 +1,1 @@
+lib/query/eval.ml: Ast Attribute Ecr Format Instance List Name Option Printf Relationship Schema String

@@ -1,0 +1,1 @@
+lib/query/migrate.ml: Attribute Ecr Hashtbl Instance Integrate List Name Qname Relationship Schema String

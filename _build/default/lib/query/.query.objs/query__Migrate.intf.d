@@ -1,0 +1,1 @@
+lib/query/migrate.mli: Ecr Instance Integrate

@@ -1,0 +1,1 @@
+lib/query/parser.ml: Ast Ecr Instance List Name Printf String Update

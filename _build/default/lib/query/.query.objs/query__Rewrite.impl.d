@@ -1,0 +1,1 @@
+lib/query/rewrite.ml: Ast Attribute Ecr Eval Hashtbl Instance Integrate List Name Object_class Option Printf Qname Schema

@@ -1,0 +1,1 @@
+lib/query/rewrite.mli: Ast Ecr Eval Instance Integrate

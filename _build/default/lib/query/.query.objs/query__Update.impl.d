@@ -1,0 +1,1 @@
+lib/query/update.ml: Ast Attribute Ecr Format Instance Integrate List Name Option Printf Qname Rewrite Schema String

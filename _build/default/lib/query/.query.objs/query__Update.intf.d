@@ -1,0 +1,1 @@
+lib/query/update.mli: Ast Ecr Format Instance Integrate

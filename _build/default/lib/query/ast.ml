@@ -1,0 +1,103 @@
+open Ecr
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type pred =
+  | Atom of Name.t * cmp * Instance.Value.t
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+  | Const of bool
+
+type join = {
+  rel : Name.t;
+  rel_select : Name.t list;
+  target : Name.t;
+  target_where : pred option;
+  target_select : Name.t list;
+}
+
+type t = {
+  from_class : Name.t;
+  where : pred option;
+  select : Name.t list;
+  via : join option;
+}
+
+let atom attr cmp v = Atom (Name.v attr, cmp, v)
+let ( &&& ) a b = And (a, b)
+let ( ||| ) a b = Or (a, b)
+let not_ p = Not p
+
+let join ?where ?(target_select = []) ?(rel_select = []) rel target =
+  {
+    rel = Name.v rel;
+    rel_select = List.map Name.v rel_select;
+    target = Name.v target;
+    target_where = where;
+    target_select = List.map Name.v target_select;
+  }
+
+let query ?where ?(select = []) ?via from_class =
+  { from_class = Name.v from_class; where; select = List.map Name.v select; via }
+
+let rec rename_pred f = function
+  | Atom (a, cmp, v) -> Atom (f a, cmp, v)
+  | And (p, q) -> And (rename_pred f p, rename_pred f q)
+  | Or (p, q) -> Or (rename_pred f p, rename_pred f q)
+  | Not p -> Not (rename_pred f p)
+  | Const b -> Const b
+
+let attrs_of_pred p =
+  let rec walk acc = function
+    | Atom (a, _, _) -> a :: acc
+    | And (p, q) | Or (p, q) -> walk (walk acc p) q
+    | Not p -> walk acc p
+    | Const _ -> acc
+  in
+  List.sort_uniq Name.compare (walk [] p)
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp_pred fmt = function
+  | Atom (a, cmp, v) ->
+      Format.fprintf fmt "%a %s %a" Name.pp a (cmp_to_string cmp)
+        Instance.Value.pp v
+  | And (p, q) -> Format.fprintf fmt "(%a and %a)" pp_pred p pp_pred q
+  | Or (p, q) -> Format.fprintf fmt "(%a or %a)" pp_pred p pp_pred q
+  | Not p -> Format.fprintf fmt "(not %a)" pp_pred p
+  | Const b -> Format.pp_print_bool fmt b
+
+let pp fmt q =
+  Format.fprintf fmt "select %s from %a"
+    (match q.select with
+    | [] -> "*"
+    | names -> String.concat ", " (List.map Name.to_string names))
+    Name.pp q.from_class;
+  (match q.via with
+  | Some j ->
+      Format.fprintf fmt " via %a" Name.pp j.rel;
+      (match j.rel_select with
+      | [] -> ()
+      | names ->
+          Format.fprintf fmt " with %s"
+            (String.concat ", " (List.map Name.to_string names)));
+      Format.fprintf fmt " to %a" Name.pp j.target;
+      (match j.target_select with
+      | [] -> ()
+      | names ->
+          Format.fprintf fmt " select %s"
+            (String.concat ", " (List.map Name.to_string names)));
+      Option.iter (fun p -> Format.fprintf fmt " target_where %a" pp_pred p) j.target_where
+  | None -> ());
+  match q.where with
+  | Some p -> Format.fprintf fmt " where %a" pp_pred p
+  | None -> ()
+
+let to_string q = Format.asprintf "%a" pp q

@@ -1,0 +1,31 @@
+(** Query evaluation over an instance store.
+
+    Rows are attribute-name-to-value maps.  For joined queries, target
+    columns are prefixed with the target class name
+    ([Department_Name]), so a row never has colliding keys.  Answers
+    are multisets: {!same_answers} compares them order-insensitively
+    but multiplicity-sensitively. *)
+
+type row = Instance.Value.t Ecr.Name.Map.t
+
+exception Error of string
+(** Unknown class/relationship/attribute, or a join whose relationship
+    does not connect the two classes. *)
+
+val run : Ast.t -> Instance.Store.t -> row list
+(** Evaluates against the store's schema.  The from-class extent
+    includes members of its descendants (ECR category semantics).
+    @raise Error on ill-typed queries. *)
+
+val row : (string * Instance.Value.t) list -> row
+
+val row_to_string : row -> string
+val pp_row : Format.formatter -> row -> unit
+
+val same_answers : row list -> row list -> bool
+(** Multiset equality of answers. *)
+
+val project_rows : Ecr.Name.t list -> row list -> row list
+(** Keeps only the given columns in each row. *)
+
+val rename_columns : (Ecr.Name.t -> Ecr.Name.t) -> row list -> row list

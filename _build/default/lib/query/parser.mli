@@ -1,0 +1,43 @@
+(** A concrete syntax for queries and updates.
+
+    Grammar (case-insensitive keywords):
+    {v
+    query  ::= "select" ("*" | attrs) "from" IDENT
+               [ "via" IDENT "to" IDENT [ "select" attrs ]
+                 [ "target" "where" pred ] ]
+               [ "where" pred ]
+    update ::= "insert" "into" IDENT "{" assigns "}"
+             | "delete" "from" IDENT [ "where" pred ]
+             | "update" IDENT "set" assigns [ "where" pred ]
+    attrs  ::= IDENT ("," IDENT)*
+    assigns::= IDENT "=" value ("," IDENT "=" value)*
+    pred   ::= pred "or" pred | pred "and" pred | "not" pred
+             | "(" pred ")" | IDENT cmp value
+    cmp    ::= "=" | "<>" | "<" | "<=" | ">" | ">="
+    value  ::= NUMBER | STRING | "true" | "false" | "null"
+    v}
+
+    Strings are single- or double-quoted; a string shaped like
+    [YYYY-MM-DD] becomes a date value.  Numbers with a point become
+    reals.
+
+    Examples:
+    {v
+    select Name, GPA from Student where GPA >= 3.5
+    select Name from Student via Majors to Department select Name
+      target where Name = "CS"
+    delete from Student where Name = 'Ben'
+    update Student set GPA = 4.0 where Name = 'Ann'
+    v} *)
+
+exception Error of string
+(** Syntax error, with position information in the message. *)
+
+val query_of_string : string -> Ast.t
+(** @raise Error on malformed input. *)
+
+val update_of_string : string -> Update.t
+(** @raise Error on malformed input. *)
+
+val value_of_string : string -> Instance.Value.t
+(** Parses one literal value. *)

@@ -1,0 +1,39 @@
+(** Update operations ("transactions") and their translation.
+
+    The paper's Phase 4: "User queries {e and transactions} specified
+    against each view are mapped to the logical schema."  This module
+    provides the update half: insert/delete/modify operations over one
+    object class, evaluable against an instance store and translatable
+    through the generated mappings exactly like queries.
+
+    View-update semantics are the pragmatic ones of the era: a view
+    update is translated and applied to the integrated (logical)
+    database; entities inserted through a view land in the integrated
+    class the view class maps to, deletions remove the matching entities
+    from the integrated extent (and thereby from every other view that
+    sees them — the classic view-update side effect, surfaced rather
+    than hidden). *)
+
+type t =
+  | Insert of Ecr.Name.t * Instance.Store.tuple
+  | Delete of Ecr.Name.t * Ast.pred option
+  | Modify of Ecr.Name.t * Ast.pred option * (Ecr.Name.t * Instance.Value.t) list
+
+val insert : string -> (string * Instance.Value.t) list -> t
+val delete : ?where:Ast.pred -> string -> t
+val modify : ?where:Ast.pred -> string -> (string * Instance.Value.t) list -> t
+
+exception Error of string
+
+val apply : t -> Instance.Store.t -> Instance.Store.t * int
+(** Applies the operation; returns the store and the number of entities
+    affected.  @raise Error on unknown classes or attributes. *)
+
+val to_integrated :
+  Integrate.Mapping.t -> view:Ecr.Schema.t -> t -> t
+(** Translates a view update into an update against the integrated
+    schema (class and attribute names rewritten through the mapping).
+    @raise Rewrite.Unmapped when the view class has no mapping entry. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

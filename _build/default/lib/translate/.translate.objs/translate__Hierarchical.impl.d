@@ -1,0 +1,1 @@
+lib/translate/hierarchical.ml: Attribute Cardinality Domain Ecr List Name Object_class Relationship Schema

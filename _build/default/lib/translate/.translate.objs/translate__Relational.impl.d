@@ -1,0 +1,1 @@
+lib/translate/relational.ml: Attribute Cardinality Domain Ecr List Name Object_class Printf Relationship Schema

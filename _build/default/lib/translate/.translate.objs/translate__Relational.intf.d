@@ -1,0 +1,1 @@
+lib/translate/relational.mli: Ecr

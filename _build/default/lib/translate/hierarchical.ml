@@ -1,0 +1,64 @@
+open Ecr
+
+type record_type = {
+  rec_name : string;
+  fields : (string * string * bool) list;
+  parent : string option;
+  virtual_parent : string option;
+}
+
+type t = { hdb_name : string; records : record_type list }
+
+let record ?parent ?virtual_parent name fields =
+  { rec_name = name; fields; parent; virtual_parent }
+
+exception Unsupported of string
+
+let check_exists db name =
+  if not (List.exists (fun r -> r.rec_name = name) db.records) then
+    raise (Unsupported ("missing record type " ^ name))
+
+let to_ecr db =
+  let objects =
+    List.map
+      (fun r ->
+        let attrs =
+          List.map
+            (fun (n, ty, key) ->
+              Attribute.make ~key (Name.v n) (Domain.of_string ty))
+            r.fields
+        in
+        Object_class.entity ~attrs (Name.v r.rec_name))
+      db.records
+  in
+  let arcs =
+    List.concat_map
+      (fun r ->
+        let physical =
+          match r.parent with
+          | None -> []
+          | Some p ->
+              check_exists db p;
+              [
+                Relationship.binary
+                  (Name.v (p ^ "_" ^ r.rec_name))
+                  (Name.v r.rec_name, Cardinality.exactly_one)
+                  (Name.v p, Cardinality.any);
+              ]
+        in
+        let virtual_ =
+          match r.virtual_parent with
+          | None -> []
+          | Some p ->
+              check_exists db p;
+              [
+                Relationship.binary
+                  (Name.v (p ^ "_" ^ r.rec_name ^ "_v"))
+                  (Name.v r.rec_name, Cardinality.at_most_one)
+                  (Name.v p, Cardinality.any);
+              ]
+        in
+        physical @ virtual_)
+      db.records
+  in
+  Schema.make (Name.v db.hdb_name) ~objects ~relationships:arcs

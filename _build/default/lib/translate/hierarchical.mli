@@ -1,0 +1,36 @@
+(** A minimal hierarchical (IMS-style) schema model and its translation
+    into ECR, after Navathe–Awong 1987.
+
+    A hierarchical database is a forest of record types; each record type
+    has fields and at most one parent.  Translation:
+
+    - every record type becomes an entity set whose fields become
+      attributes (the sequence/key field becomes the ECR key);
+    - every parent–child arc becomes a binary relationship set with
+      structural constraints (1,1) on the child (a segment occurrence
+      exists under exactly one parent occurrence) and (0,N) on the
+      parent;
+    - {e virtual} parent–child arcs (logical relationships, the IMS
+      device for M:N) also become relationship sets, with (0,1) on the
+      child. *)
+
+type record_type = {
+  rec_name : string;
+  fields : (string * string * bool) list;  (** name, type, is sequence/key field *)
+  parent : string option;
+  virtual_parent : string option;
+}
+
+type t = { hdb_name : string; records : record_type list }
+
+val record :
+  ?parent:string ->
+  ?virtual_parent:string ->
+  string ->
+  (string * string * bool) list ->
+  record_type
+
+exception Unsupported of string
+
+val to_ecr : t -> Ecr.Schema.t
+(** @raise Unsupported when a parent reference names a missing record. *)

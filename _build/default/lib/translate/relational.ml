@@ -1,0 +1,160 @@
+open Ecr
+
+type column = { col_name : string; col_type : string; nullable : bool }
+
+type foreign_key = {
+  fk_columns : string list;
+  references : string;
+  ref_columns : string list;
+}
+
+type relation = {
+  rel_name : string;
+  columns : column list;
+  primary_key : string list;
+  foreign_keys : foreign_key list;
+}
+
+type t = { db_name : string; relations : relation list }
+
+let relation ?(pk = []) ?(fks = []) name cols =
+  {
+    rel_name = name;
+    columns =
+      List.map (fun (col_name, col_type, nullable) -> { col_name; col_type; nullable }) cols;
+    primary_key = pk;
+    foreign_keys = fks;
+  }
+
+let fk fk_columns references ref_columns = { fk_columns; references; ref_columns }
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+let find_relation db name =
+  match List.find_opt (fun r -> r.rel_name = name) db.relations with
+  | Some r -> r
+  | None -> unsupported "foreign key references missing relation %s" name
+
+let same_columns a b = List.sort compare a = List.sort compare b
+
+(* Classification per Navathe-Awong: look at how the primary key relates
+   to the foreign keys. *)
+let classify db rel =
+  ignore db;
+  let pk = rel.primary_key in
+  let pk_fks =
+    List.filter (fun k -> List.for_all (fun c -> List.mem c pk) k.fk_columns) rel.foreign_keys
+  in
+  match pk_fks with
+  | [ k ] when same_columns k.fk_columns pk -> `Category k.references
+  | ks
+    when List.length ks >= 2
+         && same_columns (List.concat_map (fun k -> k.fk_columns) ks) pk ->
+      `Relationship (List.map (fun k -> k.references) ks)
+  | _ -> `Entity
+
+let domain_of col = Domain.of_string col.col_type
+
+let entity_attributes rel ~exclude =
+  List.filter_map
+    (fun col ->
+      if List.mem col.col_name exclude then None
+      else
+        Some
+          (Attribute.make
+             ~key:(List.mem col.col_name rel.primary_key)
+             (Name.v col.col_name) (domain_of col)))
+    rel.columns
+
+(* Attributes that only exist to express a foreign key are dropped from
+   the entity; the link itself becomes a relationship set. *)
+let non_pk_fk_columns rel =
+  List.concat_map
+    (fun k ->
+      if List.for_all (fun c -> List.mem c rel.primary_key) k.fk_columns then []
+      else k.fk_columns)
+    rel.foreign_keys
+
+let to_ecr db =
+  let classified = List.map (fun r -> (r, classify db r)) db.relations in
+  let objects =
+    List.filter_map
+      (fun (rel, cls) ->
+        match cls with
+        | `Entity ->
+            Some
+              (Object_class.entity
+                 ~attrs:(entity_attributes rel ~exclude:(non_pk_fk_columns rel))
+                 (Name.v rel.rel_name))
+        | `Category parent ->
+            ignore (find_relation db parent);
+            (* the inherited key columns disappear; local attributes stay *)
+            let exclude = rel.primary_key @ non_pk_fk_columns rel in
+            Some
+              (Object_class.category
+                 ~attrs:(entity_attributes rel ~exclude)
+                 ~parents:[ Name.v parent ] (Name.v rel.rel_name))
+        | `Relationship _ -> None)
+      classified
+  in
+  let fk_relationships =
+    (* every non-key foreign key becomes a binary relationship *)
+    List.concat_map
+      (fun (rel, cls) ->
+        match cls with
+        | `Relationship _ -> []
+        | `Entity | `Category _ ->
+            List.filter_map
+              (fun k ->
+                if List.for_all (fun c -> List.mem c rel.primary_key) k.fk_columns
+                then None
+                else begin
+                  ignore (find_relation db k.references);
+                  let mandatory =
+                    List.for_all
+                      (fun cn ->
+                        match
+                          List.find_opt (fun c -> c.col_name = cn) rel.columns
+                        with
+                        | Some c -> not c.nullable
+                        | None -> false)
+                      k.fk_columns
+                  in
+                  let near_card =
+                    if mandatory then Cardinality.exactly_one
+                    else Cardinality.at_most_one
+                  in
+                  Some
+                    (Relationship.binary
+                       (Name.v (rel.rel_name ^ "_" ^ k.references))
+                       (Name.v rel.rel_name, near_card)
+                       (Name.v k.references, Cardinality.any))
+                end)
+              rel.foreign_keys)
+      classified
+  in
+  let mn_relationships =
+    List.filter_map
+      (fun (rel, cls) ->
+        match cls with
+        | `Entity | `Category _ -> None
+        | `Relationship refs ->
+            let attrs =
+              entity_attributes rel
+                ~exclude:(rel.primary_key @ non_pk_fk_columns rel)
+              |> List.map (fun a -> { a with Attribute.key = false })
+            in
+            let participants =
+              List.map
+                (fun target ->
+                  ignore (find_relation db target);
+                  Relationship.participant (Name.v target) Cardinality.any)
+                refs
+            in
+            Some (Relationship.make ~attrs (Name.v rel.rel_name) participants))
+      classified
+  in
+  Schema.make (Name.v db.db_name) ~objects
+    ~relationships:(fk_relationships @ mn_relationships)

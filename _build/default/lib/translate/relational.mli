@@ -1,0 +1,61 @@
+(** A minimal relational schema model and its translation into ECR.
+
+    The paper (Phase 1 and section 4) relies on the Navathe–Awong 1987
+    procedure for abstracting relational schemas into the ECR model so
+    that existing databases can enter the integration pipeline.  We
+    implement the classification at the heart of that procedure:
+
+    - a relation whose primary key is entirely its own becomes an
+      {e entity set};
+    - a relation whose primary key {e is} a foreign key becomes a
+      {e category} of the referenced relation's entity set (IS-A);
+    - a relation whose primary key is the concatenation of two or more
+      foreign keys becomes a {e relationship set} among the referenced
+      entity sets (its non-key attributes become relationship
+      attributes);
+    - every remaining (non-key-forming) foreign key becomes a binary
+      relationship set with a (0,1)/(0,N) structural constraint,
+      tightened to (1,1) when the column is declared non-null. *)
+
+type column = {
+  col_name : string;
+  col_type : string;  (** relational type, mapped via {!Ecr.Domain.of_string} *)
+  nullable : bool;
+}
+
+type foreign_key = {
+  fk_columns : string list;
+  references : string;  (** referenced relation *)
+  ref_columns : string list;
+}
+
+type relation = {
+  rel_name : string;
+  columns : column list;
+  primary_key : string list;
+  foreign_keys : foreign_key list;
+}
+
+type t = { db_name : string; relations : relation list }
+
+val relation :
+  ?pk:string list ->
+  ?fks:foreign_key list ->
+  string ->
+  (string * string * bool) list ->
+  relation
+(** [relation name cols] builds a relation from
+    [(column, type, nullable)] triples. *)
+
+val fk : string list -> string -> string list -> foreign_key
+
+exception Unsupported of string
+(** Raised when a relation cannot be classified (e.g. a foreign key
+    referencing a missing relation). *)
+
+val classify : t -> relation -> [ `Entity | `Category of string | `Relationship of string list ]
+(** The Navathe–Awong classification of a single relation. *)
+
+val to_ecr : t -> Ecr.Schema.t
+(** Translates the whole relational database schema into an ECR schema
+    with the same name.  @raise Unsupported on unclassifiable input. *)

@@ -1,0 +1,1 @@
+lib/tui/screens.ml: Attribute Canvas Cardinality Char Domain Ecr Integrate List Name Object_class Option Printf Qname Relationship Schema String

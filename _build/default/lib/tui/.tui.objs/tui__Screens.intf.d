@@ -1,0 +1,1 @@
+lib/tui/screens.mli: Canvas Ecr Integrate

@@ -1,0 +1,1 @@
+lib/tui/session.ml: Attribute Buffer Canvas Cardinality Ecr Flow Fun Integrate List Name Object_class Option Printf Qname Relationship Schema Screens Stdlib String

@@ -1,0 +1,1 @@
+lib/tui/session.mli: Buffer Ecr Integrate

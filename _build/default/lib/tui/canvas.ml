@@ -1,0 +1,56 @@
+type t = { w : int; h : int; cells : Bytes.t }
+
+let create ?(fill = ' ') w h =
+  if w <= 0 || h <= 0 then invalid_arg "Canvas.create: non-positive size";
+  { w; h; cells = Bytes.make (w * h) fill }
+
+let width c = c.w
+let height c = c.h
+
+let put c x y ch =
+  if x >= 0 && x < c.w && y >= 0 && y < c.h then
+    Bytes.set c.cells ((y * c.w) + x) ch
+
+let text c x y s = String.iteri (fun i ch -> put c (x + i) y ch) s
+
+let text_center c y s =
+  let x = Int.max 0 ((c.w - String.length s) / 2) in
+  text c x y s
+
+let text_right c x y s = text c (x - String.length s) y s
+
+let hline c x y len ch =
+  for i = 0 to len - 1 do
+    put c (x + i) y ch
+  done
+
+let vline c x y len ch =
+  for i = 0 to len - 1 do
+    put c x (y + i) ch
+  done
+
+let box c x y w h =
+  if w >= 2 && h >= 2 then begin
+    hline c (x + 1) y (w - 2) '-';
+    hline c (x + 1) (y + h - 1) (w - 2) '-';
+    vline c x (y + 1) (h - 2) '|';
+    vline c (x + w - 1) (y + 1) (h - 2) '|';
+    put c x y '+';
+    put c (x + w - 1) y '+';
+    put c x (y + h - 1) '+';
+    put c (x + w - 1) (y + h - 1) '+'
+  end
+
+let frame c = box c 0 0 c.w c.h
+
+let row c y =
+  let line = Bytes.sub_string c.cells (y * c.w) c.w in
+  (* trim trailing blanks *)
+  let stop = ref (String.length line) in
+  while !stop > 0 && line.[!stop - 1] = ' ' do
+    decr stop
+  done;
+  String.sub line 0 !stop
+
+let to_lines c = List.init c.h (row c)
+let to_string c = String.concat "\n" (to_lines c) ^ "\n"

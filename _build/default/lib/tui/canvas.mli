@@ -1,0 +1,45 @@
+(** A fixed-size character canvas — our terminal-independent equivalent
+    of the original tool's curses windows.
+
+    The original ran on an Apollo under UNIX curses; we render each
+    screen into a plain character grid and hand the resulting text to
+    whatever is attached (a real terminal, a golden-file test, the
+    benchmark harness).  All twelve screens of the paper render into an
+    80x24 canvas. *)
+
+type t
+
+val create : ?fill:char -> int -> int -> t
+(** [create w h] — a blank canvas of width [w], height [h]. *)
+
+val width : t -> int
+val height : t -> int
+
+val put : t -> int -> int -> char -> unit
+(** [put c x y ch] — no-op outside the canvas. *)
+
+val text : t -> int -> int -> string -> unit
+(** Writes a string starting at (x, y); clipped at the right edge. *)
+
+val text_center : t -> int -> string -> unit
+(** Centres a string on row [y]. *)
+
+val text_right : t -> int -> int -> string -> unit
+(** [text_right c x y s] ends the string at column [x] (exclusive). *)
+
+val hline : t -> int -> int -> int -> char -> unit
+(** [hline c x y len ch]. *)
+
+val vline : t -> int -> int -> int -> char -> unit
+
+val box : t -> int -> int -> int -> int -> unit
+(** [box c x y w h] draws a border using [+], [-], [|]. *)
+
+val frame : t -> unit
+(** Border around the whole canvas. *)
+
+val to_string : t -> string
+(** Rows joined with ["\n"], trailing blanks trimmed per row (so golden
+    files are stable), with a final newline. *)
+
+val to_lines : t -> string list

@@ -1,0 +1,87 @@
+type screen =
+  | Object_class
+  | Entity
+  | Category
+  | Relationship
+  | Attribute
+  | Component_attribute
+  | Equivalent
+  | Participating
+
+let all_screens =
+  [
+    Object_class;
+    Entity;
+    Category;
+    Relationship;
+    Attribute;
+    Component_attribute;
+    Equivalent;
+    Participating;
+  ]
+
+(* Figure 6: the Object Class Screen fans out to the Entity, Category,
+   Relationship and Attribute screens; the Attribute Screen leads to the
+   Component Attribute Screen (per derived-attribute component); the
+   Entity/Category/Relationship screens lead to the Equivalent Screen;
+   the Relationship Screen additionally leads to the Participating
+   Objects screen; [q] returns towards the Object Class Screen. *)
+let arcs =
+  [
+    (Object_class, "E", Entity);
+    (Object_class, "C", Category);
+    (Object_class, "R", Relationship);
+    (Object_class, "A", Attribute);
+    (Entity, "e", Equivalent);
+    (Category, "e", Equivalent);
+    (Relationship, "e", Equivalent);
+    (Relationship, "p", Participating);
+    (Attribute, "name", Component_attribute);
+    (Component_attribute, "any", Component_attribute);
+    (Component_attribute, "q", Attribute);
+    (Attribute, "q", Object_class);
+    (Entity, "q", Object_class);
+    (Category, "q", Object_class);
+    (Relationship, "q", Object_class);
+    (Equivalent, "q", Object_class);
+    (Participating, "q", Relationship);
+  ]
+
+let successors s =
+  List.filter_map (fun (t, l, h) -> if t = s then Some (l, h) else None) arcs
+
+let next s choice =
+  List.find_map (fun (t, l, h) -> if t = s && l = choice then Some h else None) arcs
+
+let reachable_from start =
+  let rec walk seen = function
+    | [] -> seen
+    | s :: queue ->
+        if List.mem s seen then walk seen queue
+        else
+          let succ = List.map snd (successors s) in
+          walk (s :: seen) (queue @ succ)
+  in
+  List.rev (walk [] [ start ])
+
+let screen_name = function
+  | Object_class -> "Object Class Screen"
+  | Entity -> "Entity Screen"
+  | Category -> "Category Screen"
+  | Relationship -> "Relationship Screen"
+  | Attribute -> "Attribute Screen"
+  | Component_attribute -> "Component Attribute Screen"
+  | Equivalent -> "Equivalent Screen"
+  | Participating -> "Participating Objects In Relationship Screen"
+
+let to_dot () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph screen_flow {\n  rankdir=LR;\n";
+  List.iter
+    (fun (t, l, h) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\" [label=\"%s\"];\n" (screen_name t)
+           (screen_name h) l))
+    arcs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

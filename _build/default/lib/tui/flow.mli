@@ -1,0 +1,33 @@
+(** The control-flow graph of the result-viewing screens (Figure 6).
+
+    "Figure 6 shows control flow of the screens in this phase, where the
+    annotation on an arc between two screens shows the menu choice made
+    in the screen at the tail of the arc to invoke the screen at the
+    head."  The interactive driver follows exactly this graph; the tests
+    check it is connected and deterministic per (screen, choice). *)
+
+type screen =
+  | Object_class
+  | Entity
+  | Category
+  | Relationship
+  | Attribute
+  | Component_attribute
+  | Equivalent
+  | Participating
+
+val all_screens : screen list
+
+val arcs : (screen * string * screen) list
+(** (tail, menu choice, head). *)
+
+val successors : screen -> (string * screen) list
+
+val next : screen -> string -> screen option
+(** The screen a choice leads to; [None] for an invalid choice. *)
+
+val reachable_from : screen -> screen list
+(** Screens reachable by following arcs. *)
+
+val screen_name : screen -> string
+val to_dot : unit -> string

@@ -1,0 +1,558 @@
+open Ecr
+
+let columns = 80
+let rows = 24
+
+let blank () =
+  let c = Canvas.create columns rows in
+  Canvas.frame c;
+  c
+
+let header c title subtitle =
+  Canvas.text_center c 1 title;
+  Canvas.text_center c 2 ("< " ^ subtitle ^ " >");
+  Canvas.hline c 1 3 (columns - 2) '-'
+
+let menu_line c s = Canvas.text c 3 (rows - 2) s
+
+let name_str = Name.to_string
+
+(* ------------------------------------------------------------------ *)
+
+let main_menu () =
+  let c = blank () in
+  header c "SCHEMA INTEGRATION TOOL" "Main Menu";
+  let items =
+    [
+      "1 - Define schemas to be integrated";
+      "2 - Specify equivalence among attributes of object classes";
+      "3 - Specify assertions between object classes";
+      "4 - Specify equivalence among attributes of relationship sets";
+      "5 - Specify assertions between relationship sets";
+      "6 - View results of integration";
+    ]
+  in
+  List.iteri (fun i s -> Canvas.text c 8 (6 + (i * 2)) s) items;
+  Canvas.text c 8 18 "A - Report schema-analysis incompatibilities";
+  menu_line c "Choose a task, or (E)xit => ";
+  c
+
+(* ------------------------------------------------------------------ *)
+
+let schema_name_collection ~names =
+  let c = blank () in
+  header c "SCHEMA COLLECTION" "Schema Name Collection Screen";
+  Canvas.text c 6 5 "Schema Name";
+  List.iteri
+    (fun i n -> Canvas.text c 6 (7 + i) (Printf.sprintf "%d> %s" (i + 1) n))
+    names;
+  menu_line c "Choose: (A)dd (D)elete (U)pdate (E)xit => ";
+  c
+
+let drop offset l = List.filteri (fun i _ -> i >= offset) l
+
+let structure_information ?(offset = 0) schema =
+  let c = blank () in
+  header c "SCHEMA COLLECTION" "Structure Information Collection Screen";
+  Canvas.text c 6 4 ("SCHEMA NAME: " ^ name_str (Schema.name schema));
+  Canvas.text c 6 6 "Object Name";
+  Canvas.text c 32 6 "Type(E/C/R)";
+  Canvas.text c 50 6 "# of attributes";
+  let row = ref 8 in
+  let emit index name kind count =
+    if !row < rows - 3 then begin
+      Canvas.text c 6 !row (Printf.sprintf "%d> %s" (index + 1) name);
+      Canvas.put c 34 !row kind;
+      Canvas.text c 53 !row (string_of_int count);
+      incr row
+    end
+  in
+  List.iteri
+    (fun i s ->
+      let index = offset + i in
+      match s with
+      | Schema.Obj oc ->
+          emit index
+            (name_str oc.Object_class.name)
+            (Object_class.kind_letter oc)
+            (List.length oc.Object_class.attributes)
+      | Schema.Rel r ->
+          emit index
+            (name_str r.Relationship.name)
+            'r'
+            (List.length r.Relationship.attributes))
+    (drop offset (Schema.structures schema));
+  menu_line c "Choose: (S)croll (A)dd (D)elete (U)pdate (E)xit => ";
+  c
+
+let category_information schema cat =
+  let c = blank () in
+  header c "SCHEMA COLLECTION" "Category Information Collection Screen";
+  Canvas.text c 6 4 ("SCHEMA NAME: " ^ name_str (Schema.name schema));
+  Canvas.text c 6 5 ("CATEGORY NAME: " ^ name_str cat);
+  Canvas.text c 6 7 "Connected Object";
+  Canvas.text c 40 7 "Type(E/C)";
+  (match Schema.find_object cat schema with
+  | Some oc ->
+      List.iteri
+        (fun i p ->
+          Canvas.text c 6 (9 + i) (Printf.sprintf "%d> %s" (i + 1) (name_str p));
+          let letter =
+            match Schema.find_object p schema with
+            | Some parent -> Object_class.kind_letter parent
+            | None -> '?'
+          in
+          Canvas.put c 42 (9 + i) letter)
+        (Object_class.parents oc)
+  | None -> Canvas.text c 6 9 "(unknown category)");
+  menu_line c "Choose: (A)dd (D)elete (E)xit => ";
+  c
+
+let relationship_information schema rel =
+  let c = blank () in
+  header c "SCHEMA COLLECTION" "Relationship Information Collection Screen";
+  Canvas.text c 6 4 ("SCHEMA NAME: " ^ name_str (Schema.name schema));
+  Canvas.text c 6 5 ("RELATIONSHIP NAME: " ^ name_str rel);
+  Canvas.text c 6 7 "Connected Object";
+  Canvas.text c 36 7 "Cardinality";
+  Canvas.text c 54 7 "Role";
+  (match Schema.find_relationship rel schema with
+  | Some r ->
+      List.iteri
+        (fun i p ->
+          Canvas.text c 6 (9 + i)
+            (Printf.sprintf "%d> %s" (i + 1) (name_str p.Relationship.obj));
+          Canvas.text c 36 (9 + i) (Cardinality.to_string p.Relationship.card);
+          match p.Relationship.role with
+          | Some role -> Canvas.text c 54 (9 + i) (name_str role)
+          | None -> ())
+        r.Relationship.participants
+  | None -> Canvas.text c 6 9 "(unknown relationship)");
+  menu_line c "Choose: (A)dd (D)elete (E)xit => ";
+  c
+
+let find_attrs schema structure =
+  match Schema.find_structure structure schema with
+  | Some (Schema.Obj oc) ->
+      Some (Object_class.kind_letter oc, oc.Object_class.attributes)
+  | Some (Schema.Rel r) -> Some ('r', r.Relationship.attributes)
+  | None -> None
+
+let attribute_information ?(offset = 0) schema structure =
+  let c = blank () in
+  header c "SCHEMA COLLECTION" "Attribute Information Collection Screen";
+  (match find_attrs schema structure with
+  | Some (letter, attrs) ->
+      Canvas.text c 4 4
+        (Printf.sprintf "SCHEMA NAME: %s   OBJECT NAME: %s   TYPE: %c"
+           (name_str (Schema.name schema))
+           (name_str structure) letter);
+      Canvas.text c 6 6 "Attribute Name";
+      Canvas.text c 32 6 "Domain";
+      Canvas.text c 56 6 "Key (y/n)";
+      List.iteri
+        (fun i a ->
+          if 8 + i < rows - 3 then begin
+            Canvas.text c 6 (8 + i)
+              (Printf.sprintf "%d> %s" (offset + i + 1) (name_str a.Attribute.name));
+            Canvas.text c 32 (8 + i) (Domain.to_string a.Attribute.domain);
+            Canvas.put c 58 (8 + i) (if a.Attribute.key then 'y' else 'n')
+          end)
+        (drop offset attrs)
+  | None -> Canvas.text c 6 6 "(unknown structure)");
+  menu_line c "Choose: (S)croll (A)dd (D)elete (E)xit => ";
+  c
+
+(* ------------------------------------------------------------------ *)
+
+let object_selection s1 s2 =
+  let c = blank () in
+  header c "EQUIVALENCE SPECIFICATION" "Entity/Category Name Selection Screen";
+  let col schema x =
+    Canvas.text c x 5 ("SCHEMA: " ^ name_str (Schema.name schema));
+    List.iteri
+      (fun i oc ->
+        Canvas.text c x (7 + i)
+          (Printf.sprintf "%d> %s (%c)" (i + 1)
+             (name_str oc.Object_class.name)
+             (Object_class.kind_letter oc)))
+      (Schema.objects schema)
+  in
+  col s1 8;
+  col s2 44;
+  Canvas.vline c 40 4 (rows - 7) '|';
+  menu_line c "Pick one object from each schema, or (E)xit => ";
+  c
+
+let equivalence_classes eq (s1, o1) (s2, o2) =
+  let c = blank () in
+  header c "EQUIVALENCE SPECIFICATION" "Equivalence Class Creation and Deletion Screen";
+  let col schema obj x =
+    Canvas.text c x 5
+      (Printf.sprintf "(%s.%s)" (name_str (Schema.name schema)) (name_str obj));
+    Canvas.text c x 7 "Attribute Name";
+    Canvas.text c (x + 22) 7 "Eq_class #";
+    match find_attrs schema obj with
+    | Some (_, attrs) ->
+        List.iteri
+          (fun i a ->
+            Canvas.text c x (9 + i)
+              (Printf.sprintf "%d> %s" (i + 1) (name_str a.Attribute.name));
+            let qa = Qname.Attr.make (Schema.qname schema obj) a.Attribute.name in
+            let num =
+              match Integrate.Equivalence.class_number qa eq with
+              | n -> string_of_int n
+              | exception Not_found -> "-"
+            in
+            Canvas.text c (x + 24) (9 + i) num)
+          attrs
+    | None -> Canvas.text c x 9 "(unknown object)"
+  in
+  col s1 o1 6;
+  col s2 o2 44;
+  Canvas.vline c 40 4 (rows - 7) '|';
+  menu_line c "(S)croll (A)dd or (D)elete from equiv. class (E)xit => ";
+  c
+
+(* ------------------------------------------------------------------ *)
+
+let assertion_menu_lines =
+  [
+    "1 - OB_CL_name_1 'equals' OB_CL_name_2";
+    "2 - OB_CL_name_1 'contained in' OB_CL_name_2";
+    "3 - OB_CL_name_1 'contains' OB_CL_name_2";
+    "4 - OB_CL_name_1 and OB_CL_name_2 are disjoint but integratable";
+    "5 - OB_CL_name_1 and OB_CL_name_2 may be integratable";
+    "0 - OB_CL_name_1 and OB_CL_name_2 are disjoint & non-integratable";
+  ]
+
+let assertion_collection ?(offset = 0) ~answered ranked =
+  let c = blank () in
+  header c "ASSERTION SPECIFICATION" "Assertion Collection For Object Pairs Screen";
+  Canvas.text c 4 5 "Schema_Name1.Obj_Class1";
+  Canvas.text c 30 5 "Schema_Name2.Obj_Class2";
+  Canvas.text c 56 5 "ATTRIBUTE";
+  Canvas.text c 68 5 "ENTER";
+  Canvas.text c 56 6 "RATIO";
+  Canvas.text c 68 6 "ASSERTION";
+  let find_answer left right =
+    List.find_map
+      (fun (a, b, assertion) ->
+        if Qname.equal a left && Qname.equal b right then Some assertion
+        else if Qname.equal a right && Qname.equal b left then
+          Some (Integrate.Assertion.converse assertion)
+        else None)
+      answered
+  in
+  List.iteri
+    (fun i rk ->
+      let y = 8 + i in
+      if y < 15 then begin
+        Canvas.text c 1 y (Printf.sprintf "%2d" (offset + i + 1));
+        Canvas.text c 4 y (Qname.to_string rk.Integrate.Similarity.left);
+        Canvas.text c 30 y (Qname.to_string rk.Integrate.Similarity.right);
+        Canvas.text c 56 y (Printf.sprintf "%.4f" rk.Integrate.Similarity.ratio);
+        match find_answer rk.Integrate.Similarity.left rk.Integrate.Similarity.right with
+        | Some assertion ->
+            Canvas.text c 68 y
+              (Printf.sprintf "=>%d" (Integrate.Assertion.code assertion))
+        | None -> Canvas.text c 68 y "=>"
+      end)
+    (List.filteri (fun i _ -> i >= offset) ranked);
+  List.iteri (fun i l -> Canvas.text c 4 (15 + i) l) assertion_menu_lines;
+  menu_line c "Enter assertion number for each pair, or (E)xit => ";
+  c
+
+let conflict_resolution (conflict : Integrate.Assertions.conflict) =
+  let c = blank () in
+  header c "ASSERTION SPECIFICATION" "Assertion Conflict Resolution Screen";
+  Canvas.text c 4 5 "SCHEMA_NAME1.OBJ_CLASS1";
+  Canvas.text c 30 5 "SCHEMA_NAME2.OBJ_CLASS2";
+  Canvas.text c 55 5 "CURRENT";
+  Canvas.text c 65 5 "NEW";
+  Canvas.text c 55 6 "ASSERTION";
+  Canvas.text c 65 6 "ASSERTION";
+  let current_code =
+    match
+      Integrate.Rel.to_assertion ~integrable:false conflict.Integrate.Assertions.current
+    with
+    | Some a -> string_of_int (Integrate.Assertion.code a)
+    | None -> Integrate.Rel.to_string conflict.Integrate.Assertions.current
+  in
+  Canvas.text c 4 8 (Qname.to_string conflict.Integrate.Assertions.left);
+  Canvas.text c 30 8 (Qname.to_string conflict.Integrate.Assertions.right);
+  Canvas.text c 55 8 current_code;
+  Canvas.text c 60 8 "<derived>(CONFLICT)";
+  (match conflict.Integrate.Assertions.attempted with
+  | Some a ->
+      Canvas.text c 4 9 (Qname.to_string conflict.Integrate.Assertions.left);
+      Canvas.text c 30 9 (Qname.to_string conflict.Integrate.Assertions.right);
+      Canvas.text c 55 9 (string_of_int (Integrate.Assertion.code a));
+      Canvas.text c 60 9 "<new>(CONFLICT)"
+  | None -> ());
+  List.iteri
+    (fun i (l, r, a) ->
+      let y = 11 + i in
+      if y < 15 then begin
+        Canvas.text c 4 y (Qname.to_string l);
+        Canvas.text c 30 y (Qname.to_string r);
+        Canvas.text c 55 y (string_of_int (Integrate.Assertion.code a))
+      end)
+    conflict.Integrate.Assertions.basis;
+  List.iteri (fun i l -> Canvas.text c 4 (15 + i) l) assertion_menu_lines;
+  menu_line c "Change one of the conflicting assertions => ";
+  c
+
+(* ------------------------------------------------------------------ *)
+
+let result_header c subtitle = header c "INTEGRATED SCHEMA" subtitle
+
+let object_class_screen (r : Integrate.Result.t) =
+  let c = blank () in
+  result_header c "Object Class Screen";
+  let schema = r.Integrate.Result.schema in
+  let entities = Schema.entities schema
+  and categories = Schema.categories schema
+  and relationships = Schema.relationships schema in
+  Canvas.text c 6 5 (Printf.sprintf "Entities(%d)" (List.length entities));
+  Canvas.text c 30 5 (Printf.sprintf "Categories(%d)" (List.length categories));
+  Canvas.text c 54 5
+    (Printf.sprintf "Relationships(%d)" (List.length relationships));
+  List.iteri
+    (fun i oc -> Canvas.text c 6 (7 + i) (name_str oc.Object_class.name))
+    entities;
+  List.iteri
+    (fun i oc -> Canvas.text c 30 (7 + i) (name_str oc.Object_class.name))
+    categories;
+  List.iteri
+    (fun i rel -> Canvas.text c 54 (7 + i) (name_str rel.Relationship.name))
+    relationships;
+  Canvas.text c 4 (rows - 4)
+    "To view details, enter a choice and an object class name:";
+  menu_line c "<A>ttributes, <C>ategories, <E>ntities, <R>elationships, e<x>it => ";
+  c
+
+let kind_letter_of schema n =
+  match Schema.find_structure n schema with
+  | Some (Schema.Obj oc) -> Object_class.kind_letter oc
+  | Some (Schema.Rel _) -> 'r'
+  | None -> '?'
+
+let entity_screen (r : Integrate.Result.t) entity =
+  let c = blank () in
+  result_header c "Entity Screen";
+  Canvas.text_center c 4 ("< " ^ name_str entity ^ " >");
+  let schema = r.Integrate.Result.schema in
+  let children = Schema.children schema entity in
+  Canvas.text c 6 6 (Printf.sprintf "Child Object(%d) (type)" (List.length children));
+  List.iteri
+    (fun i k ->
+      Canvas.text c 6 (8 + i)
+        (Printf.sprintf "%s (%c)" (name_str k) (kind_letter_of schema k)))
+    children;
+  menu_line c "(E)quivalent objects, (q)uit => ";
+  c
+
+let category_screen (r : Integrate.Result.t) cat =
+  let c = blank () in
+  result_header c "Category Screen";
+  Canvas.text_center c 4 ("< " ^ name_str cat ^ " >");
+  let schema = r.Integrate.Result.schema in
+  let parents =
+    match Schema.find_object cat schema with
+    | Some oc -> Object_class.parents oc
+    | None -> []
+  in
+  let children = Schema.children schema cat in
+  Canvas.text c 6 6 (Printf.sprintf "Parent Object(%d) (type)" (List.length parents));
+  Canvas.text c 44 6 (Printf.sprintf "Child Object(%d) (type)" (List.length children));
+  List.iteri
+    (fun i p ->
+      Canvas.text c 6 (8 + i)
+        (Printf.sprintf "%s (%c)" (name_str p) (kind_letter_of schema p)))
+    parents;
+  List.iteri
+    (fun i k ->
+      Canvas.text c 44 (8 + i)
+        (Printf.sprintf "%s (%c)" (name_str k) (kind_letter_of schema k)))
+    children;
+  menu_line c "(E)quivalent objects, (q)uit => ";
+  c
+
+let relationship_screen (r : Integrate.Result.t) rel =
+  let c = blank () in
+  result_header c "Relationship Screen";
+  Canvas.text_center c 4 ("< " ^ name_str rel ^ " >");
+  let schema = r.Integrate.Result.schema in
+  (match Schema.find_relationship rel schema with
+  | Some rr ->
+      Canvas.text c 6 6 "Participant";
+      Canvas.text c 40 6 "Cardinality";
+      List.iteri
+        (fun i p ->
+          Canvas.text c 6 (8 + i) (name_str p.Relationship.obj);
+          Canvas.text c 40 (8 + i) (Cardinality.to_string p.Relationship.card))
+        rr.Relationship.participants
+  | None -> Canvas.text c 6 6 "(unknown relationship)");
+  menu_line c "(E)quivalent objects, (P)articipating objects, (q)uit => ";
+  c
+
+let attribute_screen (r : Integrate.Result.t) cls =
+  let c = blank () in
+  result_header c "Attribute Screen";
+  let schema = r.Integrate.Result.schema in
+  let kind =
+    match Schema.find_structure cls schema with
+    | Some (Schema.Obj oc) ->
+        if Object_class.is_entity oc then "entity" else "category"
+    | Some (Schema.Rel _) -> "relationship"
+    | None -> "?"
+  in
+  Canvas.text_center c 4 (Printf.sprintf "< %s : %s >" (name_str cls) kind);
+  let attrs =
+    match Schema.find_structure cls schema with
+    | Some (Schema.Obj _) -> (
+        try Schema.all_attributes schema cls with Not_found -> [])
+    | Some (Schema.Rel rr) -> rr.Relationship.attributes
+    | None -> []
+  in
+  Canvas.text c 6 6 "Attribute Name";
+  Canvas.text c 32 6 "Domain";
+  Canvas.text c 48 6 "Key";
+  Canvas.text c 58 6 "# components";
+  List.iteri
+    (fun i a ->
+      let y = 8 + i in
+      Canvas.text c 6 y (name_str a.Attribute.name);
+      Canvas.text c 32 y (Domain.to_string a.Attribute.domain);
+      Canvas.text c 48 y (if a.Attribute.key then "YES" else "NO");
+      let comps =
+        Integrate.Result.components_of_attribute r cls a.Attribute.name
+      in
+      (* inherited attributes live on an ancestor; find their home *)
+      let comps =
+        if comps <> [] then comps
+        else
+          List.fold_left
+            (fun acc anc ->
+              if acc <> [] then acc
+              else Integrate.Result.components_of_attribute r anc a.Attribute.name)
+            [] (Schema.ancestors schema cls)
+      in
+      Canvas.text c 58 y (string_of_int (List.length comps)))
+    attrs;
+  menu_line c "Enter attribute name for components, or (q)uit => ";
+  c
+
+let component_attribute_screen ~schemas (r : Integrate.Result.t) cls attr ~index =
+  let c = blank () in
+  result_header c "Component Attribute Screen";
+  let kind =
+    match Schema.find_structure cls r.Integrate.Result.schema with
+    | Some (Schema.Obj oc) ->
+        if Object_class.is_entity oc then "entity" else "category"
+    | Some (Schema.Rel _) -> "relationship"
+    | None -> "?"
+  in
+  Canvas.text_center c 4 (Printf.sprintf "< %s : %s >" (name_str cls) kind);
+  Canvas.text_center c 5 (Printf.sprintf "< %s >" (name_str attr));
+  let comps =
+    let own = Integrate.Result.components_of_attribute r cls attr in
+    if own <> [] then own
+    else
+      List.fold_left
+        (fun acc anc ->
+          if acc <> [] then acc
+          else Integrate.Result.components_of_attribute r anc attr)
+        []
+        (Schema.ancestors r.Integrate.Result.schema cls)
+  in
+  (match List.nth_opt comps index with
+  | Some qa ->
+      let owner = qa.Qname.Attr.owner in
+      let original =
+        List.find_opt
+          (fun s -> Name.equal (Schema.name s) owner.Qname.schema)
+          schemas
+      in
+      let domain, key =
+        match
+          Option.bind original (fun s ->
+              match Schema.find_structure owner.Qname.obj s with
+              | Some (Schema.Obj oc) ->
+                  Option.map
+                    (fun a -> (a.Attribute.domain, a.Attribute.key))
+                    (Attribute.find qa.Qname.Attr.attr oc.Object_class.attributes)
+              | Some (Schema.Rel rr) ->
+                  Option.map
+                    (fun a -> (a.Attribute.domain, a.Attribute.key))
+                    (Attribute.find qa.Qname.Attr.attr rr.Relationship.attributes)
+              | None -> None)
+        with
+        | Some (d, k) -> (Domain.to_string d, if k then "YES" else "NO")
+        | None -> ("?", "?")
+      in
+      let orig_type =
+        match original with
+        | Some s -> Char.uppercase_ascii (kind_letter_of s owner.Qname.obj)
+        | None -> '?'
+      in
+      let lines =
+        [
+          ("Attribute Name", name_str qa.Qname.Attr.attr);
+          ("Domain", domain);
+          ("Key", key);
+          ("original Object Name", name_str owner.Qname.obj);
+          ("original type", String.make 1 orig_type);
+          ("original Schema Name", name_str owner.Qname.schema);
+        ]
+      in
+      List.iteri
+        (fun i (label, v) ->
+          Canvas.text c 8 (7 + (i * 2)) label;
+          Canvas.text c 32 (7 + (i * 2)) (": " ^ v))
+        lines
+  | None -> Canvas.text c 8 7 "(no such component)");
+  menu_line c "Press any key to continue, or (q)uit => ";
+  c
+
+let equivalent_screen (r : Integrate.Result.t) cls =
+  let c = blank () in
+  result_header c "Equivalent Screen";
+  Canvas.text_center c 4 ("< " ^ name_str cls ^ " >");
+  Canvas.text c 6 6 "Component structures merged by 'equals':";
+  (match Integrate.Result.origin_of r cls with
+  | Some (Integrate.Result.Equivalent qs) ->
+      List.iteri
+        (fun i q -> Canvas.text c 8 (8 + i) (Qname.to_string q))
+        qs
+  | Some (Integrate.Result.Original q) ->
+      Canvas.text c 8 8 (Qname.to_string q ^ " (not merged)")
+  | Some (Integrate.Result.Derived children) ->
+      Canvas.text c 8 8
+        ("derived over "
+        ^ String.concat ", " (List.map name_str children))
+  | None -> Canvas.text c 8 8 "(unknown structure)");
+  menu_line c "(q)uit => ";
+  c
+
+let participating_objects_screen (r : Integrate.Result.t) rel =
+  let c = blank () in
+  result_header c "Participating Objects In Relationship Screen";
+  Canvas.text_center c 4 ("< " ^ name_str rel ^ " >");
+  let schema = r.Integrate.Result.schema in
+  (match Schema.find_relationship rel schema with
+  | Some rr ->
+      Canvas.text c 6 6 "Object";
+      Canvas.text c 32 6 "Type";
+      Canvas.text c 44 6 "Cardinality";
+      List.iteri
+        (fun i p ->
+          let y = 8 + i in
+          Canvas.text c 6 y (name_str p.Relationship.obj);
+          Canvas.put c 32 y (kind_letter_of schema p.Relationship.obj);
+          Canvas.text c 44 y (Cardinality.to_string p.Relationship.card))
+        rr.Relationship.participants
+  | None -> Canvas.text c 6 6 "(unknown relationship)");
+  menu_line c "(q)uit => ";
+  c

@@ -1,0 +1,94 @@
+(** The tool's screens, as pure renderers.
+
+    One function per screen of the paper (Screens 1 through 12b, plus
+    the Category Information Collection Screen the text describes but
+    does not picture).  Each takes plain data and returns an 80x24
+    {!Canvas.t}; the interactive driver ({!Session}) and the golden
+    tests call the same functions, so what the tests pin is exactly
+    what a user sees. *)
+
+val columns : int
+val rows : int
+
+(** {1 Screen 1 — main menu} *)
+
+val main_menu : unit -> Canvas.t
+
+(** {1 Schema collection (Screens 2-5)} *)
+
+val schema_name_collection : names:string list -> Canvas.t
+
+val structure_information : ?offset:int -> Ecr.Schema.t -> Canvas.t
+(** One row per structure: name, type letter (e/c/r), attribute count.
+    [offset] implements the screens' (S)croll option: the first [offset]
+    structures are skipped. *)
+
+val category_information : Ecr.Schema.t -> Ecr.Name.t -> Canvas.t
+(** Parents of one category. *)
+
+val relationship_information : Ecr.Schema.t -> Ecr.Name.t -> Canvas.t
+(** Participants of one relationship set with cardinalities. *)
+
+val attribute_information :
+  ?offset:int -> Ecr.Schema.t -> Ecr.Name.t -> Canvas.t
+(** Attribute rows (name, domain, key) of one structure. *)
+
+(** {1 Equivalence specification (Screens 6-7)} *)
+
+val object_selection : Ecr.Schema.t -> Ecr.Schema.t -> Canvas.t
+(** Entity/Category Name Selection: the two schemas' object classes
+    side by side. *)
+
+val equivalence_classes :
+  Integrate.Equivalence.t ->
+  Ecr.Schema.t * Ecr.Name.t ->
+  Ecr.Schema.t * Ecr.Name.t ->
+  Canvas.t
+(** Equivalence Class Creation and Deletion: the two chosen objects'
+    attributes with their Eq_class numbers. *)
+
+(** {1 Assertion specification (Screens 8-9)} *)
+
+val assertion_collection :
+  ?offset:int ->
+  answered:(Ecr.Qname.t * Ecr.Qname.t * Integrate.Assertion.t) list ->
+  Integrate.Similarity.ranked list ->
+  Canvas.t
+(** Ranked pairs with attribute ratios; pairs already answered show
+    their assertion code after [=>]. *)
+
+val conflict_resolution : Integrate.Assertions.conflict -> Canvas.t
+(** The derived assertion, the conflicting new one, and the basis rows
+    (Screen 9). *)
+
+(** {1 Integration results (Screens 10-12b)} *)
+
+val object_class_screen : Integrate.Result.t -> Canvas.t
+
+val entity_screen : Integrate.Result.t -> Ecr.Name.t -> Canvas.t
+(** Children object classes of an entity. *)
+
+val category_screen : Integrate.Result.t -> Ecr.Name.t -> Canvas.t
+(** Parents and children of a category (Screen 11). *)
+
+val relationship_screen : Integrate.Result.t -> Ecr.Name.t -> Canvas.t
+
+val attribute_screen : Integrate.Result.t -> Ecr.Name.t -> Canvas.t
+(** All attributes of one object class (inherited included). *)
+
+val component_attribute_screen :
+  schemas:Ecr.Schema.t list ->
+  Integrate.Result.t ->
+  Ecr.Name.t ->
+  Ecr.Name.t ->
+  index:int ->
+  Canvas.t
+(** Screen 12a/12b: the [index]-th component of a derived attribute,
+    with its original object, type and schema. *)
+
+val equivalent_screen : Integrate.Result.t -> Ecr.Name.t -> Canvas.t
+(** The component structures an [E_] structure merges. *)
+
+val participating_objects_screen :
+  Integrate.Result.t -> Ecr.Name.t -> Canvas.t
+(** Entities and categories tied to a relationship set. *)

@@ -1,0 +1,29 @@
+(** The interactive driver: the glue between the screens, the
+    {!Integrate.Workspace} bookkeeping, and an input/output channel.
+
+    The driver is fully deterministic over its {!io} abstraction, so the
+    same code path serves three masters: the real terminal
+    ([bin/sit.exe]), scripted golden tests, and demonstration scripts in
+    the examples.  Screens are re-rendered after every action, exactly
+    like the original curses tool repainted its windows. *)
+
+type io = {
+  input : unit -> string option;  (** one line, without the newline *)
+  output : string -> unit;
+}
+
+val stdio : io
+
+val scripted : string list -> io * Buffer.t
+(** [scripted lines] — an [io] that reads from [lines] and appends all
+    output to the returned buffer.  Reading past the script yields
+    [None], which every prompt treats as "exit". *)
+
+val run : ?workspace:Integrate.Workspace.t -> io -> Integrate.Workspace.t
+(** The main-menu loop.  Returns the final workspace (so callers can
+    save schemas, inspect assertions, integrate offline...). *)
+
+val view_result :
+  io -> schemas:Ecr.Schema.t list -> Integrate.Result.t -> unit
+(** Just the result-viewing loop (main-menu task 6), following the
+    Figure 6 screen flow. *)

@@ -1,0 +1,1 @@
+lib/workload/domains.ml: Attribute Cardinality Ecr Integrate List Name Object_class Printf Qname Relationship Schema

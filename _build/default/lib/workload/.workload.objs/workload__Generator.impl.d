@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Attribute Cardinality Domain Ecr Fun Hashtbl Instance Int Integrate List Name Object_class Option Printf Prng Qname Relationship Schema Set String

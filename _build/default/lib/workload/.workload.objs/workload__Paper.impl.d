@@ -1,0 +1,1 @@
+lib/workload/paper.ml: Attribute Cardinality Ecr Integrate List Name Object_class Printf Qname Relationship Schema

@@ -1,0 +1,1 @@
+lib/workload/paper.mli: Ecr Integrate

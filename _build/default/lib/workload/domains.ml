@@ -1,0 +1,268 @@
+open Ecr
+
+type session = {
+  schemas : Schema.t list;
+  equivalences : (Qname.Attr.t * Qname.Attr.t) list;
+  object_assertions : (Qname.t * Integrate.Assertion.t * Qname.t) list;
+  relationship_assertions :
+    (Qname.t * Integrate.Assertion.t * Qname.t) list;
+}
+
+let n = Name.v
+let a = Qname.Attr.v
+let q = Qname.v
+
+let entity name attrs =
+  Object_class.entity
+    ~attrs:(List.map (fun (an, dom, key) -> Attribute.v ~key an dom) attrs)
+    (n name)
+
+let category name parents attrs =
+  Object_class.category
+    ~attrs:(List.map (fun (an, dom, key) -> Attribute.v ~key an dom) attrs)
+    ~parents:(List.map n parents) (n name)
+
+(* ------------------------------------------------------------------ *)
+(* University: three user views for logical database design.           *)
+
+let registrar =
+  Schema.make (n "registrar")
+    ~objects:
+      [
+        entity "Student"
+          [ ("Ssn", "char", true); ("Name", "char", false); ("GPA", "real", false) ];
+        entity "Instructor"
+          [ ("Ssn", "char", true); ("Name", "char", false); ("Dept", "char", false) ];
+        entity "Course"
+          [ ("Code", "char", true); ("Title", "char", false); ("Credits", "int", false) ];
+        entity "Section"
+          [ ("Section_id", "char", true); ("Term", "char", false); ("Room", "char", false) ];
+      ]
+    ~relationships:
+      [
+        Relationship.binary
+          ~attrs:[ Attribute.v "Grade" "char" ]
+          (n "Enrolled")
+          (n "Student", Cardinality.any)
+          (n "Section", Cardinality.any);
+        Relationship.binary (n "Teaches")
+          (n "Instructor", Cardinality.any)
+          (n "Section", Cardinality.exactly_one);
+        Relationship.binary (n "Offering_of")
+          (n "Section", Cardinality.exactly_one)
+          (n "Course", Cardinality.any);
+      ]
+
+let library =
+  Schema.make (n "library")
+    ~objects:
+      [
+        entity "Borrower"
+          [ ("Ssn", "char", true); ("Full_name", "char", false); ("Fines", "real", false) ];
+        entity "Book"
+          [ ("Isbn", "char", true); ("Title", "char", false); ("Year", "int", false) ];
+      ]
+    ~relationships:
+      [
+        Relationship.binary
+          ~attrs:[ Attribute.v "Due_date" "date" ]
+          (n "Loan")
+          (n "Borrower", Cardinality.any)
+          (n "Book", Cardinality.at_most_one);
+      ]
+
+let housing =
+  Schema.make (n "housing")
+    ~objects:
+      [
+        entity "Resident"
+          [ ("Ssn", "char", true); ("Name", "char", false); ("Meal_plan", "bool", false) ];
+        entity "Hall"
+          [ ("Hall_name", "char", true); ("Capacity", "int", false) ];
+        category "Resident_assistant" [ "Resident" ]
+          [ ("Stipend", "real", false) ];
+      ]
+    ~relationships:
+      [
+        Relationship.binary (n "Lives_in")
+          (n "Resident", Cardinality.exactly_one)
+          (n "Hall", Cardinality.any);
+        Relationship.binary (n "Staffs")
+          (n "Resident_assistant", Cardinality.exactly_one)
+          (n "Hall", Cardinality.at_least_one);
+      ]
+
+let university =
+  {
+    schemas = [ registrar; library; housing ];
+    equivalences =
+      [
+        (* students across the three views *)
+        (a "registrar" "Student" "Ssn", a "library" "Borrower" "Ssn");
+        (a "registrar" "Student" "Name", a "library" "Borrower" "Full_name");
+        (a "registrar" "Student" "Ssn", a "housing" "Resident" "Ssn");
+        (a "registrar" "Student" "Name", a "housing" "Resident" "Name");
+        (* instructors also carry Ssn/Name, matching students' *)
+        (a "registrar" "Instructor" "Ssn", a "library" "Borrower" "Ssn");
+        (a "registrar" "Instructor" "Name", a "library" "Borrower" "Full_name");
+      ];
+    object_assertions =
+      [
+        (* anyone with a library card is a student or an instructor; the
+           campus says every borrower is one of the two, so Borrower is
+           the generalisation the DDA wants: Borrower contains both *)
+        ( q "library" "Borrower",
+          Integrate.Assertion.Contains,
+          q "registrar" "Student" );
+        ( q "library" "Borrower",
+          Integrate.Assertion.Contains,
+          q "registrar" "Instructor" );
+        (* residents are exactly the students living on campus *)
+        ( q "registrar" "Student",
+          Integrate.Assertion.Contains,
+          q "housing" "Resident" );
+      ];
+    relationship_assertions = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Company: three departmental databases for global schema design.     *)
+
+let personnel =
+  Schema.make (n "personnel")
+    ~objects:
+      [
+        entity "Employee"
+          [
+            ("Emp_no", "char", true);
+            ("Name", "char", false);
+            ("Hired", "date", false);
+          ];
+        category "Manager" [ "Employee" ] [ ("Car_allowance", "real", false) ];
+        entity "Department"
+          [ ("Dept_no", "int", true); ("Dept_name", "char", false) ];
+      ]
+    ~relationships:
+      [
+        Relationship.binary (n "Works_in")
+          (n "Employee", Cardinality.exactly_one)
+          (n "Department", Cardinality.at_least_one);
+        Relationship.make (n "Reports_to")
+          [
+            Relationship.participant ~role:(n "subordinate") (n "Employee")
+              Cardinality.at_most_one;
+            Relationship.participant ~role:(n "boss") (n "Manager")
+              Cardinality.any;
+          ];
+      ]
+
+let payroll =
+  Schema.make (n "payroll")
+    ~objects:
+      [
+        entity "Staff"
+          [
+            ("Emp_id", "char", true);
+            ("Full_name", "char", false);
+            ("Salary", "real", false);
+          ];
+        entity "Paycheck"
+          [
+            ("Check_no", "int", true);
+            ("Amount", "real", false);
+            ("Issued", "date", false);
+          ];
+      ]
+    ~relationships:
+      [
+        Relationship.binary (n "Paid_by")
+          (n "Paycheck", Cardinality.exactly_one)
+          (n "Staff", Cardinality.any);
+      ]
+
+let projects =
+  Schema.make (n "projects")
+    ~objects:
+      [
+        entity "Worker"
+          [ ("Badge", "char", true); ("Name", "char", false) ];
+        entity "Project"
+          [
+            ("Proj_no", "int", true);
+            ("Proj_name", "char", false);
+            ("Budget", "real", false);
+          ];
+        entity "Sponsor"
+          [ ("Sponsor_name", "char", true); ("Contact", "char", false) ];
+      ]
+    ~relationships:
+      [
+        Relationship.binary
+          ~attrs:[ Attribute.v "Hours" "real" ]
+          (n "Assigned")
+          (n "Worker", Cardinality.any)
+          (n "Project", Cardinality.any);
+        Relationship.binary (n "Funds")
+          (n "Sponsor", Cardinality.any)
+          (n "Project", Cardinality.at_least_one);
+      ]
+
+let company =
+  {
+    schemas = [ personnel; payroll; projects ];
+    equivalences =
+      [
+        (a "personnel" "Employee" "Emp_no", a "payroll" "Staff" "Emp_id");
+        (a "personnel" "Employee" "Name", a "payroll" "Staff" "Full_name");
+        (a "personnel" "Employee" "Emp_no", a "projects" "Worker" "Badge");
+        (a "personnel" "Employee" "Name", a "projects" "Worker" "Name");
+      ];
+    object_assertions =
+      [
+        (* payroll pays everyone *)
+        (q "personnel" "Employee", Integrate.Assertion.Equal, q "payroll" "Staff");
+        (* only some employees are project workers *)
+        ( q "personnel" "Employee",
+          Integrate.Assertion.Contains,
+          q "projects" "Worker" );
+      ];
+    relationship_assertions = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let feed create facts matrix_of =
+  List.fold_left
+    (fun m (l, assertion, r) ->
+      match Integrate.Assertions.add l assertion r m with
+      | Ok m -> m
+      | Error _ ->
+          failwith
+            (Printf.sprintf "Domains: recorded session conflicts on (%s, %s)"
+               (Qname.to_string l) (Qname.to_string r)))
+    (create matrix_of) facts
+
+let integrate ?name session =
+  let eq =
+    List.fold_left
+      (fun eq s -> Integrate.Equivalence.register_schema s eq)
+      Integrate.Equivalence.empty session.schemas
+  in
+  let eq =
+    List.fold_left
+      (fun eq (x, y) -> Integrate.Equivalence.declare x y eq)
+      eq session.equivalences
+  in
+  let objects =
+    feed Integrate.Assertions.create session.object_assertions session.schemas
+  in
+  let rels =
+    feed Integrate.Assertions.create_for_relationships
+      session.relationship_assertions session.schemas
+  in
+  Integrate.Pipeline.integrate
+    (Integrate.Pipeline.input ?name session.schemas eq objects rels)
+
+let dda session =
+  Integrate.Dda.of_assertion_list ~equivalences:session.equivalences
+    ~relationships:session.relationship_assertions session.object_assertions

@@ -1,0 +1,38 @@
+(** Hand-written realistic schema families.
+
+    Two domains the schema-integration literature of the era used
+    constantly, sized like real design exercises rather than the paper's
+    four-object examples.  Each comes with the session (equivalences +
+    assertions) a knowledgeable DDA would enter, so examples, tests and
+    benchmarks can integrate them deterministically.
+
+    The {e university} family is a logical-database-design scenario:
+    three user views of one campus database.  The {e company} family is
+    a global-schema-design scenario: three departmental databases
+    (personnel, payroll, projects) to federate. *)
+
+type session = {
+  schemas : Ecr.Schema.t list;
+  equivalences : (Ecr.Qname.Attr.t * Ecr.Qname.Attr.t) list;
+  object_assertions : (Ecr.Qname.t * Integrate.Assertion.t * Ecr.Qname.t) list;
+  relationship_assertions :
+    (Ecr.Qname.t * Integrate.Assertion.t * Ecr.Qname.t) list;
+}
+
+val university : session
+(** Views [registrar] (Student, Course, Instructor, Section, Enrolled,
+    Teaches), [library] (Borrower, Book, Loan) and [housing] (Resident,
+    Hall, Lives_in).  Borrowers and residents are students; instructors
+    may be graduate students. *)
+
+val company : session
+(** Databases [personnel] (Employee, Manager, Department, Works_in,
+    Reports_to), [payroll] (Staff, Paycheck, Paid_by) and [projects]
+    (Worker, Project, Assigned, Sponsor). *)
+
+val integrate : ?name:string -> session -> Integrate.Result.t
+(** Runs the recorded session through the pipeline.
+    @raise Failure if the recorded assertions conflict (they do not). *)
+
+val dda : session -> Integrate.Dda.t
+(** A scripted oracle answering exactly the recorded session. *)

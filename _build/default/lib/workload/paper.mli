@@ -1,0 +1,73 @@
+(** The paper's own example schemas and sessions.
+
+    Everything on the figures and screens of the paper: the input
+    schemas [sc1] (Figure 3) and [sc2] (Figure 4), the conflict example
+    schemas [sc3]/[sc4] (Screen 9), the five small schema pairs of
+    Figures 2a–2e, and the equivalences/assertions that reproduce the
+    integrated schema of Figure 5 / Screen 10.
+
+    Where the paper under-specifies (the attribute of the [Majors]
+    relationship, [Faculty]'s second attribute), we pick names that are
+    consistent with every number the paper does print; these choices are
+    documented in EXPERIMENTS.md. *)
+
+val sc1 : Ecr.Schema.t
+(** Figure 3: [Student](Name!, GPA), [Department](Name!), binary
+    [Majors] with one attribute. *)
+
+val sc2 : Ecr.Schema.t
+(** Figure 4: [Department](Name!), [Faculty](Name!, Rank),
+    [Grad_student](Name!, GPA, Support_type), [Major_in], [Works]. *)
+
+val sc3 : Ecr.Schema.t
+(** Screen 9's left schema: [Instructor]. *)
+
+val sc4 : Ecr.Schema.t
+(** Screen 9's right schema: [Student] with category [Grad_student]. *)
+
+val equivalences : (Ecr.Qname.Attr.t * Ecr.Qname.Attr.t) list
+(** The ACS declarations of the worked example: Name and GPA across
+    Student/Grad_student, Name across the Departments, Name across
+    Student/Faculty, and the Majors/Major_in relationship attribute. *)
+
+val object_assertions : (Ecr.Qname.t * Integrate.Assertion.t * Ecr.Qname.t) list
+(** Department equals Department; Student contains Grad_student;
+    Student may-be Faculty (the "likely set of assertions" behind
+    Figure 5). *)
+
+val relationship_assertions :
+  (Ecr.Qname.t * Integrate.Assertion.t * Ecr.Qname.t) list
+(** Majors equals Major_in. *)
+
+val naming : Integrate.Naming.t
+(** Default naming plus the single override pinning the merged
+    relationship's name to the paper's [E_Stud_Majo]. *)
+
+val integrate_sc1_sc2 : unit -> Integrate.Result.t
+(** Runs the full pipeline on the worked example.  Raises [Failure] on
+    an assertion conflict (which would indicate a bug — the example is
+    consistent). *)
+
+(** {1 Figure 2 miniatures}
+
+    Each pair is (left schema, right schema, the object pair asserted,
+    the assertion); integrating each reproduces Figures 2a–2e. *)
+
+type mini = {
+  label : string;  (** e.g. "Figure 2a" *)
+  left : Ecr.Schema.t;
+  right : Ecr.Schema.t;
+  pair : Ecr.Qname.t * Ecr.Qname.t;
+  assertion : Integrate.Assertion.t;
+  equivalences : (Ecr.Qname.Attr.t * Ecr.Qname.Attr.t) list;
+  expect : string;  (** the paper's stated outcome, for display *)
+}
+
+val fig2a : mini
+val fig2b : mini
+val fig2c : mini
+val fig2d : mini
+val fig2e : mini
+val fig2 : mini list
+
+val integrate_mini : mini -> Integrate.Result.t

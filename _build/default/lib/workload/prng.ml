@@ -1,0 +1,40 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed =
+  { state = Int64.mul (Int64.of_int (seed + 1)) 0x2545F4914F6CDD1DL }
+
+let next g =
+  g.state <- Int64.add g.state golden;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int g n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next g) 1) (Int64.of_int n))
+
+let float g =
+  Int64.to_float (Int64.shift_right_logical (next g) 11) /. 9007199254740992.0
+
+let bool g p = float g < p
+
+let pick g = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | xs -> List.nth xs (int g (List.length xs))
+
+let sample g p xs = List.filter (fun _ -> bool g p) xs
+
+let shuffle g xs =
+  let arr = Array.of_list xs in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let split g = { state = next g }

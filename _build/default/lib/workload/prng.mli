@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    The benchmark harness must regenerate identical workloads across
+    runs and platforms, so we carry our own tiny generator instead of
+    [Random] (whose sequence is not guaranteed across OCaml versions). *)
+
+type t
+
+val create : int -> t
+(** A generator seeded deterministically. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [\[0, n)].  @raise Invalid_argument when
+    [n <= 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> float -> bool
+(** [bool g p] is [true] with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice.  @raise Invalid_argument on an empty list. *)
+
+val sample : t -> float -> 'a list -> 'a list
+(** Keeps each element independently with the given probability. *)
+
+val shuffle : t -> 'a list -> 'a list
+
+val split : t -> t
+(** An independent generator derived from this one's state. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Assertion Attribute Cardinality Ecr Integrate List Name Object_class Qname Relationship Schema Util Workload Workspace

@@ -1,0 +1,1 @@
+test/test_assertions.ml: Alcotest Assertion Assertions Ecr Fmt Integrate List Name Object_class Qname Rel Schema Workload

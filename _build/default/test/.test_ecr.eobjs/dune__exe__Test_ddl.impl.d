@@ -1,0 +1,1 @@
+test/test_ddl.ml: Alcotest Attribute Cardinality Ddl Domain Ecr Filename Fmt Fun Integrate List Name Object_class Option Relationship Schema Sys Util Workload

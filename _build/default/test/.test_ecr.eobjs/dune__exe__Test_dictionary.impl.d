@@ -1,0 +1,1 @@
+test/test_dictionary.ml: Alcotest Dictionary Ecr Equivalence Filename Fun Integrate List Name Option Qname Query Result Schema Sys Util Workload Workspace

@@ -1,0 +1,1 @@
+test/test_domains.ml: Alcotest Ecr Integrate Lazy List Name Object_class Qname Schema String Workload

@@ -1,0 +1,1 @@
+test/test_ecr.ml: Alcotest Attribute Cardinality Diff Domain Dot Ecr Fmt List Name Object_class Qname Relationship Result Schema String

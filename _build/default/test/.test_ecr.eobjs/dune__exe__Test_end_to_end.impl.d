@@ -1,0 +1,1 @@
+test/test_end_to_end.ml: Alcotest Assertion Assertions Dda Ddl Ecr Equivalence Heuristics Integrate List Name Object_class Protocol Qname Result Schema Strategy String Workload Workspace

@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Ecr Equivalence Integrate List Name Qname Workload

@@ -1,0 +1,1 @@
+test/test_heuristics.ml: Alcotest Construct Ecr Float Heuristics List Option Resemblance Schema_resemblance Strings Synonyms Workload

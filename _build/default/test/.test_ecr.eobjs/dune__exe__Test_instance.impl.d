@@ -1,0 +1,1 @@
+test/test_instance.ml: Alcotest Attribute Cardinality Domain Ecr Instance List Name Object_class Relationship Schema String Util

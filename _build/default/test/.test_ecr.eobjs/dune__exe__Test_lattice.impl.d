@@ -1,0 +1,1 @@
+test/test_lattice.ml: Alcotest Assertion Assertions Attribute Domain Ecr Equivalence Integrate Lattice List Name Naming Object_class Qname Result Schema String Workload

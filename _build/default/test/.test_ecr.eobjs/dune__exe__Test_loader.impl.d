@@ -1,0 +1,1 @@
+test/test_loader.ml: Alcotest Ecr Instance Integrate List Name Option Query Util Workload

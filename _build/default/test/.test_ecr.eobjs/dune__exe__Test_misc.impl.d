@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Cardinality Dot Ecr Instance Integrate List Name Option Qname Relationship Schema Tui Util Workload

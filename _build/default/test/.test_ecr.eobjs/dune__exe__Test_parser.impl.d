@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ecr Instance Integrate List Name Object_class Qname Query Schema Workload

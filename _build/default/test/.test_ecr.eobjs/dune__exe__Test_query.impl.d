@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Ecr Instance Integrate Lazy List Name Option Qname Query String Workload

@@ -1,0 +1,1 @@
+test/test_rel.ml: Alcotest Assertion Fmt Hashtbl Int Integrate List Printf Rel

@@ -1,0 +1,1 @@
+test/test_similarity.ml: Alcotest Ecr Equivalence Integrate List Name Option Qname Schema Similarity Workload

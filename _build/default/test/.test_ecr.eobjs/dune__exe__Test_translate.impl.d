@@ -1,0 +1,1 @@
+test/test_translate.ml: Alcotest Attribute Cardinality Ecr Integrate List Name Object_class Qname Relationship Schema Translate

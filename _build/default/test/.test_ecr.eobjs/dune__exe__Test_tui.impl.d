@@ -1,0 +1,1 @@
+test/test_tui.ml: Alcotest Buffer Ecr Integrate Lazy List Printf String Tui Util Workload

@@ -1,0 +1,1 @@
+test/test_update.ml: Alcotest Ecr Instance Integrate List Name Query Util Workload

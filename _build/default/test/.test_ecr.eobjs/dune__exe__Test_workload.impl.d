@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Attribute Ecr Fun Instance Integrate Lazy List Name Object_class Qname Schema String Workload

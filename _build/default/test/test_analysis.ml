@@ -1,0 +1,235 @@
+(* Tests for the Phase 2 schema-analysis incompatibility reports. *)
+
+open Ecr
+open Integrate
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+let a = Qname.Attr.v
+
+let schema name objects relationships =
+  Schema.make (Name.v name) ~objects ~relationships
+
+let has_issue pred issues = List.exists pred issues
+
+let tests =
+  [
+    tc "homonyms: same name, not declared equivalent" (fun () ->
+        let ws =
+          Workspace.(
+            add_schema
+              (schema "b"
+                 [
+                   Object_class.entity
+                     ~attrs:[ Attribute.v "Name" "char" ]
+                     (Name.v "Thing");
+                 ]
+                 [])
+              (add_schema
+                 (schema "a"
+                    [
+                      Object_class.entity
+                        ~attrs:[ Attribute.v "name" "char" ]
+                        (Name.v "Object");
+                    ]
+                    [])
+                 empty))
+        in
+        check Alcotest.bool "reported" true
+          (has_issue
+             (function Analysis.Homonym _ -> true | _ -> false)
+             (Analysis.analyse ws)));
+    tc "homonym disappears once declared equivalent" (fun () ->
+        let ws =
+          Workspace.(
+            add_schema
+              (schema "b"
+                 [
+                   Object_class.entity
+                     ~attrs:[ Attribute.v "Name" "char" ]
+                     (Name.v "Thing");
+                 ]
+                 [])
+              (add_schema
+                 (schema "a"
+                    [
+                      Object_class.entity
+                        ~attrs:[ Attribute.v "Name" "char" ]
+                        (Name.v "Object");
+                    ]
+                    [])
+                 empty))
+          |> Workspace.declare_equivalent (a "a" "Object" "Name") (a "b" "Thing" "Name")
+        in
+        check Alcotest.bool "clean" false
+          (has_issue
+             (function Analysis.Homonym _ -> true | _ -> false)
+             (Analysis.analyse ws)));
+    tc "domain conflict on declared-equivalent attributes" (fun () ->
+        let ws =
+          Workspace.(
+            add_schema
+              (schema "b"
+                 [
+                   Object_class.entity
+                     ~attrs:[ Attribute.v "Weight" "date" ]
+                     (Name.v "Item");
+                 ]
+                 [])
+              (add_schema
+                 (schema "a"
+                    [
+                      Object_class.entity
+                        ~attrs:[ Attribute.v "Weight" "real" ]
+                        (Name.v "Product");
+                    ]
+                    [])
+                 empty))
+          |> Workspace.declare_equivalent (a "a" "Product" "Weight")
+               (a "b" "Item" "Weight")
+        in
+        check Alcotest.bool "domain conflict" true
+          (has_issue
+             (function Analysis.Domain_conflict _ -> true | _ -> false)
+             (Analysis.analyse ws)));
+    tc "key conflict" (fun () ->
+        let ws =
+          Workspace.(
+            add_schema
+              (schema "b"
+                 [
+                   Object_class.entity
+                     ~attrs:[ Attribute.v "Code" "char" ]
+                     (Name.v "Item");
+                 ]
+                 [])
+              (add_schema
+                 (schema "a"
+                    [
+                      Object_class.entity
+                        ~attrs:[ Attribute.v ~key:true "Code" "char" ]
+                        (Name.v "Product");
+                    ]
+                    [])
+                 empty))
+          |> Workspace.declare_equivalent (a "a" "Product" "Code") (a "b" "Item" "Code")
+        in
+        check Alcotest.bool "key conflict" true
+          (has_issue
+             (function Analysis.Key_conflict _ -> true | _ -> false)
+             (Analysis.analyse ws)));
+    tc "synonym suspect: dissimilar names declared equivalent" (fun () ->
+        let ws =
+          Workspace.(
+            add_schema
+              (schema "b"
+                 [
+                   Object_class.entity
+                     ~attrs:[ Attribute.v "Zq" "char" ]
+                     (Name.v "Item");
+                 ]
+                 [])
+              (add_schema
+                 (schema "a"
+                    [
+                      Object_class.entity
+                        ~attrs:[ Attribute.v "Weight" "char" ]
+                        (Name.v "Product");
+                    ]
+                    [])
+                 empty))
+          |> Workspace.declare_equivalent (a "a" "Product" "Weight") (a "b" "Item" "Zq")
+        in
+        check Alcotest.bool "suspect" true
+          (has_issue
+             (function Analysis.Synonym_suspect _ -> true | _ -> false)
+             (Analysis.analyse ws)));
+    tc "cardinality conflict on equal relationship sets" (fun () ->
+        let mk sname rel c1 c2 =
+          schema sname
+            [ Object_class.entity (Name.v "A"); Object_class.entity (Name.v "B") ]
+            [
+              Relationship.binary (Name.v rel) (Name.v "A", c1) (Name.v "B", c2);
+            ]
+        in
+        let ws =
+          Workspace.(
+            add_schema
+              (mk "y" "S" (Cardinality.make 2 (Cardinality.Finite 2)) Cardinality.any)
+              (add_schema (mk "x" "R" Cardinality.at_most_one Cardinality.any) empty))
+        in
+        let ws =
+          match
+            Workspace.assert_relationship (Qname.v "x" "R") Assertion.Equal
+              (Qname.v "y" "S") ws
+          with
+          | Ok ws -> ws
+          | Error _ -> Alcotest.fail "relationship matrices have no seed"
+        in
+        check Alcotest.bool "cardinality conflict" true
+          (has_issue
+             (function Analysis.Cardinality_conflict _ -> true | _ -> false)
+             (Analysis.analyse ws)));
+    tc "construct mismatch: the marriage example" (fun () ->
+        let s1 =
+          schema "a"
+            [
+              Object_class.entity
+                ~attrs:
+                  [
+                    Attribute.v "Marriage_date" "date";
+                    Attribute.v "Marriage_location" "char";
+                  ]
+                (Name.v "Marriage");
+            ]
+            []
+        in
+        let s2 =
+          schema "b"
+            [ Object_class.entity ~attrs:[ Attribute.v ~key:true "Name" "char" ] (Name.v "Male");
+              Object_class.entity ~attrs:[ Attribute.v ~key:true "Name" "char" ] (Name.v "Female");
+            ]
+            [
+              Relationship.binary
+                ~attrs:
+                  [
+                    Attribute.v "Marriage_date" "date";
+                    Attribute.v "Marriage_location" "char";
+                  ]
+                (Name.v "Married_to")
+                (Name.v "Male", Cardinality.at_most_one)
+                (Name.v "Female", Cardinality.at_most_one);
+            ]
+        in
+        let ws = Workspace.(add_schema s2 (add_schema s1 empty)) in
+        check Alcotest.bool "mismatch found" true
+          (has_issue
+             (function Analysis.Construct_mismatch _ -> true | _ -> false)
+             (Analysis.analyse ws)));
+    tc "the paper example analyses without spurious domain issues" (fun () ->
+        let ws =
+          Workspace.(
+            add_schema Workload.Paper.sc2 (add_schema Workload.Paper.sc1 empty))
+        in
+        let ws =
+          List.fold_left
+            (fun ws (x, y) -> Workspace.declare_equivalent x y ws)
+            ws Workload.Paper.equivalences
+        in
+        let issues = Analysis.analyse ws in
+        check Alcotest.bool "no domain conflicts" false
+          (has_issue
+             (function Analysis.Domain_conflict _ -> true | _ -> false)
+             issues);
+        check Alcotest.bool "no key conflicts" false
+          (has_issue
+             (function Analysis.Key_conflict _ -> true | _ -> false)
+             issues));
+    tc "issue messages are readable" (fun () ->
+        check Alcotest.bool "homonym text" true
+          (Util.contains ~needle:"homonym"
+             (Analysis.to_string
+                (Analysis.Homonym (a "a" "X" "n", a "b" "Y" "n")))));
+  ]
+
+let () = Alcotest.run "analysis" [ ("analysis", tests) ]

@@ -1,0 +1,248 @@
+(* Tests for the assertion matrix: seeding, derivation (transitive
+   composition) and conflict detection. *)
+
+open Ecr
+open Integrate
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+let q = Qname.v
+
+let assertion_opt =
+  Alcotest.option (Alcotest.testable (Fmt.of_to_string Assertion.to_string) ( = ))
+
+(* One schema with a category chain, one flat schema. *)
+let s_people =
+  Schema.make (Name.v "p")
+    ~objects:
+      [
+        Object_class.entity (Name.v "Person");
+        Object_class.category ~parents:[ Name.v "Person" ] (Name.v "Employee");
+        Object_class.category ~parents:[ Name.v "Employee" ] (Name.v "Manager");
+        Object_class.entity (Name.v "Building");
+      ]
+    ~relationships:[]
+
+let s_other =
+  Schema.make (Name.v "o")
+    ~objects:
+      [
+        Object_class.entity (Name.v "Worker");
+        Object_class.entity (Name.v "Site");
+      ]
+    ~relationships:[]
+
+let seeding_tests =
+  [
+    tc "category edges seed contained-in" (fun () ->
+        let m = Assertions.create [ s_people ] in
+        check assertion_opt "Employee in Person" (Some Assertion.Contained_in)
+          (Assertions.assertion_between m (q "p" "Employee") (q "p" "Person"));
+        check assertion_opt "converse orientation" (Some Assertion.Contains)
+          (Assertions.assertion_between m (q "p" "Person") (q "p" "Employee")));
+    tc "chain is closed transitively at creation" (fun () ->
+        let m = Assertions.create [ s_people ] in
+        check assertion_opt "Manager in Person" (Some Assertion.Contained_in)
+          (Assertions.assertion_between m (q "p" "Manager") (q "p" "Person")));
+    tc "entity sets of one schema are disjoint" (fun () ->
+        let m = Assertions.create [ s_people ] in
+        check assertion_opt "Person # Building"
+          (Some Assertion.Disjoint_nonintegrable)
+          (Assertions.assertion_between m (q "p" "Person") (q "p" "Building"));
+        (* and categories inherit the disjointness *)
+        check assertion_opt "Manager # Building"
+          (Some Assertion.Disjoint_nonintegrable)
+          (Assertions.assertion_between m (q "p" "Manager") (q "p" "Building")));
+    tc "cross-schema pairs start unknown" (fun () ->
+        let m = Assertions.create [ s_people; s_other ] in
+        check assertion_opt "unknown" None
+          (Assertions.assertion_between m (q "p" "Person") (q "o" "Worker"));
+        check Alcotest.bool "rel all" true
+          (Rel.equal Rel.all (Assertions.relation m (q "p" "Person") (q "o" "Worker"))));
+  ]
+
+let ok = function
+  | Ok m -> m
+  | Error _ -> Alcotest.fail "unexpected conflict"
+
+let derivation_tests =
+  [
+    tc "the paper's transitive example" (fun () ->
+        (* Worker subset of Employee and Employee subset of Person ==>
+           Worker subset of Person. *)
+        let m = Assertions.create [ s_people; s_other ] in
+        let m = ok (Assertions.add (q "o" "Worker") Assertion.Contained_in (q "p" "Employee") m) in
+        check assertion_opt "derived" (Some Assertion.Contained_in)
+          (Assertions.assertion_between m (q "o" "Worker") (q "p" "Person"));
+        check Alcotest.bool "marked derived" true
+          (match Assertions.source_between m (q "o" "Worker") (q "p" "Person") with
+          | Some (Assertions.Derived _) -> true
+          | _ -> false));
+    tc "derivation through equals" (fun () ->
+        let m = Assertions.create [ s_people; s_other ] in
+        let m = ok (Assertions.add (q "o" "Worker") Assertion.Equal (q "p" "Employee") m) in
+        check assertion_opt "worker in person" (Some Assertion.Contained_in)
+          (Assertions.assertion_between m (q "o" "Worker") (q "p" "Person"));
+        check assertion_opt "worker contains manager" (Some Assertion.Contains)
+          (Assertions.assertion_between m (q "o" "Worker") (q "p" "Manager")));
+    tc "disjointness propagates down the hierarchy" (fun () ->
+        let m = Assertions.create [ s_people; s_other ] in
+        let m = ok (Assertions.add (q "o" "Site") Assertion.Equal (q "p" "Building") m) in
+        check assertion_opt "site # manager" (Some Assertion.Disjoint_nonintegrable)
+          (Assertions.assertion_between m (q "o" "Site") (q "p" "Manager")));
+    tc "derived_assertions and counts" (fun () ->
+        let m = Assertions.create [ s_people; s_other ] in
+        let m = ok (Assertions.add (q "o" "Worker") Assertion.Equal (q "p" "Employee") m) in
+        check Alcotest.int "asserted" 1 (Assertions.asserted_count m);
+        check Alcotest.bool "derived some" true (Assertions.derived_count m > 0);
+        check Alcotest.bool "derived list nonempty" true
+          (Assertions.derived_assertions m <> []));
+    tc "explain produces asserted leaves" (fun () ->
+        let m = Assertions.create [ s_people; s_other ] in
+        let m = ok (Assertions.add (q "o" "Worker") Assertion.Contained_in (q "p" "Employee") m) in
+        let basis = Assertions.explain m (q "o" "Worker") (q "p" "Person") in
+        check Alcotest.bool "has the user assertion" true
+          (List.exists
+             (fun (l, r, _) ->
+               (Qname.equal l (q "o" "Worker") && Qname.equal r (q "p" "Employee"))
+               || (Qname.equal r (q "o" "Worker") && Qname.equal l (q "p" "Employee")))
+             basis);
+        check Alcotest.bool "has the structural edge" true
+          (List.exists
+             (fun (l, r, _) ->
+               (Qname.equal l (q "p" "Employee") && Qname.equal r (q "p" "Person"))
+               || (Qname.equal r (q "p" "Employee") && Qname.equal l (q "p" "Person")))
+             basis));
+    tc "adding in flipped orientation stores the converse" (fun () ->
+        let m = Assertions.create [ s_people; s_other ] in
+        let m = ok (Assertions.add (q "p" "Employee") Assertion.Contains (q "o" "Worker") m) in
+        check assertion_opt "reads back" (Some Assertion.Contained_in)
+          (Assertions.assertion_between m (q "o" "Worker") (q "p" "Employee")));
+    tc "redundant re-assertion is a no-op" (fun () ->
+        let m = Assertions.create [ s_people ] in
+        let m' =
+          ok (Assertions.add (q "p" "Employee") Assertion.Contained_in (q "p" "Person") m)
+        in
+        check Alcotest.int "no new asserted cell" (Assertions.asserted_count m)
+          (Assertions.asserted_count m'));
+  ]
+
+let conflict_tests =
+  [
+    tc "the paper's introduction example" (fun () ->
+        (* If Employee equals Person and Person equals Worker, then
+           Worker cannot be a (proper) subset of Employee. *)
+        let s1 =
+          Schema.make (Name.v "a")
+            ~objects:[ Object_class.entity (Name.v "Employee") ]
+            ~relationships:[]
+        and s2 =
+          Schema.make (Name.v "b")
+            ~objects:[ Object_class.entity (Name.v "Person") ]
+            ~relationships:[]
+        and s3 =
+          Schema.make (Name.v "c")
+            ~objects:[ Object_class.entity (Name.v "Worker") ]
+            ~relationships:[]
+        in
+        let m = Assertions.create [ s1; s2; s3 ] in
+        let m = ok (Assertions.add (q "a" "Employee") Assertion.Equal (q "b" "Person") m) in
+        let m = ok (Assertions.add (q "b" "Person") Assertion.Equal (q "c" "Worker") m) in
+        match Assertions.add (q "c" "Worker") Assertion.Contained_in (q "a" "Employee") m with
+        | Ok _ -> Alcotest.fail "conflict missed"
+        | Error c ->
+            check Alcotest.bool "attempted recorded" true
+              (c.Assertions.attempted = Some Assertion.Contained_in);
+            check Alcotest.bool "basis mentions both equalities" true
+              (List.length c.Assertions.basis >= 2));
+    tc "the paper's Screen 9 scenario" (fun () ->
+        let m = Assertions.create [ Workload.Paper.sc3; Workload.Paper.sc4 ] in
+        let m =
+          ok
+            (Assertions.add (q "sc3" "Instructor") Assertion.Contained_in
+               (q "sc4" "Grad_student") m)
+        in
+        match
+          Assertions.add (q "sc3" "Instructor") Assertion.Disjoint_nonintegrable
+            (q "sc4" "Student") m
+        with
+        | Ok _ -> Alcotest.fail "conflict missed"
+        | Error c ->
+            check Alcotest.bool "current is contained-in" true
+              (Rel.equal c.Assertions.current (Rel.of_basic Rel.Lt)));
+    tc "conflict leaves the matrix unchanged" (fun () ->
+        let m = Assertions.create [ Workload.Paper.sc3; Workload.Paper.sc4 ] in
+        let m =
+          ok
+            (Assertions.add (q "sc3" "Instructor") Assertion.Contained_in
+               (q "sc4" "Grad_student") m)
+        in
+        (match
+           Assertions.add (q "sc3" "Instructor") Assertion.Disjoint_nonintegrable
+             (q "sc4" "Student") m
+         with
+        | Ok _ -> Alcotest.fail "conflict missed"
+        | Error _ -> ());
+        (* the original matrix still answers as before *)
+        check assertion_opt "still contained-in" (Some Assertion.Contained_in)
+          (Assertions.assertion_between m (q "sc3" "Instructor") (q "sc4" "Student")));
+    tc "distant contradiction is caught by propagation" (fun () ->
+        (* a = b, c = d consistent; then b subset c and d subset a close a
+           cycle that forces everything equal — consistent; but then
+           asserting b # d must fail. *)
+        let mk n cls =
+          Schema.make (Name.v n)
+            ~objects:[ Object_class.entity (Name.v cls) ]
+            ~relationships:[]
+        in
+        let m =
+          Assertions.create [ mk "w" "A"; mk "x" "B"; mk "y" "C"; mk "z" "D" ]
+        in
+        let m = ok (Assertions.add (q "w" "A") Assertion.Equal (q "x" "B") m) in
+        let m = ok (Assertions.add (q "y" "C") Assertion.Equal (q "z" "D") m) in
+        let m = ok (Assertions.add (q "x" "B") Assertion.Contained_in (q "y" "C") m) in
+        match Assertions.add (q "z" "D") Assertion.Disjoint_nonintegrable (q "w" "A") m with
+        | Ok _ -> Alcotest.fail "conflict missed"
+        | Error _ -> ());
+  ]
+
+let integration_edge_tests =
+  [
+    tc "nonintegrable disjoint excluded from edges" (fun () ->
+        let m = Assertions.create [ s_people; s_other ] in
+        let m =
+          ok
+            (Assertions.add (q "o" "Worker") Assertion.Disjoint_nonintegrable
+               (q "p" "Person") m)
+        in
+        check Alcotest.bool "no cross edge" true
+          (not
+             (List.exists
+                (fun (a, b, _) -> Qname.Pair.mem (q "o" "Worker") (Qname.Pair.make a b))
+                (Assertions.integration_edges m))));
+    tc "integrable disjoint included with its flag" (fun () ->
+        let m = Assertions.create [ s_people; s_other ] in
+        let m =
+          ok
+            (Assertions.add (q "o" "Worker") Assertion.Disjoint_integrable
+               (q "p" "Building") m)
+        in
+        check Alcotest.bool "edge present" true
+          (List.exists
+             (fun (_, _, a) -> a = Assertion.Disjoint_integrable)
+             (Assertions.integration_edges m)));
+    tc "relationship matrices carry no structural seed" (fun () ->
+        let m = Assertions.create_for_relationships [ Workload.Paper.sc1; Workload.Paper.sc2 ] in
+        check Alcotest.int "no cells" 0 (List.length (Assertions.constrained_pairs m));
+        check Alcotest.int "nodes are the relationship sets" 3
+          (List.length (Assertions.nodes m)));
+  ]
+
+let () =
+  Alcotest.run "assertions"
+    [
+      ("seeding", seeding_tests);
+      ("derivation", derivation_tests);
+      ("conflicts", conflict_tests);
+      ("integration-edges", integration_edge_tests);
+    ]

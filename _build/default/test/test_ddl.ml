@@ -1,0 +1,170 @@
+(* Tests for the ECR data description language (lexer, parser, printer). *)
+
+open Ecr
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let sample =
+  {|
+-- a comment
+schema sc1 {
+  entity Student {
+    Name : char key;
+    GPA  : real;
+  }
+  entity Department {
+    Name : char key;
+  }
+  category Grad of Student {
+    Support : enum(RA, TA, fellowship);
+  }
+  relationship Majors (Student (1,1), Department (0,N)) {
+    Since : date;
+  }
+  relationship Mentors (boss: Student (0,N), minion: Student (0,1));
+}
+|}
+
+let parsed () = Ddl.Parser.schema_of_string sample
+
+let lexer_tests =
+  [
+    tc "tokenizes keywords and idents" (fun () ->
+        let tokens = Ddl.Lexer.tokenize "schema x { entity Y; }" in
+        check Alcotest.int "count incl. eof" 8 (List.length tokens));
+    tc "line comments are skipped" (fun () ->
+        let tokens = Ddl.Lexer.tokenize "-- hi\nschema" in
+        check Alcotest.int "one + eof" 2 (List.length tokens);
+        match tokens with
+        | { Ddl.Lexer.token = Ddl.Lexer.Kw_schema; line; _ } :: _ ->
+            check Alcotest.int "on line 2" 2 line
+        | _ -> Alcotest.fail "expected schema keyword");
+    tc "illegal character reports position" (fun () ->
+        match Ddl.Lexer.tokenize "schema $x" with
+        | exception Ddl.Lexer.Error (_, 1, 8) -> ()
+        | exception Ddl.Lexer.Error (_, l, c) ->
+            Alcotest.failf "wrong position %d:%d" l c
+        | _ -> Alcotest.fail "expected lexical error");
+    tc "integers" (fun () ->
+        match Ddl.Lexer.tokenize "123" with
+        | [ { Ddl.Lexer.token = Ddl.Lexer.Int 123; _ }; _ ] -> ()
+        | _ -> Alcotest.fail "expected integer token");
+  ]
+
+let parser_tests =
+  [
+    tc "parses the sample schema" (fun () ->
+        let s = parsed () in
+        check Alcotest.int "structures" 5 (Schema.size s);
+        check Alcotest.int "entities" 2 (List.length (Schema.entities s));
+        check Alcotest.int "categories" 1 (List.length (Schema.categories s));
+        check Alcotest.int "relationships" 2 (List.length (Schema.relationships s)));
+    tc "keys and domains land" (fun () ->
+        let s = parsed () in
+        match Schema.find_object (Name.v "Student") s with
+        | Some oc -> (
+            match Attribute.find (Name.v "Name") oc.Object_class.attributes with
+            | Some a ->
+                check Alcotest.bool "key" true a.Attribute.key;
+                check Alcotest.bool "char" true (Domain.equal a.Attribute.domain Domain.Char_string)
+            | None -> Alcotest.fail "missing Name")
+        | None -> Alcotest.fail "missing Student");
+    tc "enum domain parsed" (fun () ->
+        let s = parsed () in
+        match Schema.find_object (Name.v "Grad") s with
+        | Some oc -> (
+            match Attribute.find (Name.v "Support") oc.Object_class.attributes with
+            | Some a ->
+                check Alcotest.string "enum" "enum(RA,TA,fellowship)"
+                  (Domain.to_string a.Attribute.domain)
+            | None -> Alcotest.fail "missing Support")
+        | None -> Alcotest.fail "missing Grad");
+    tc "cardinalities parsed" (fun () ->
+        let s = parsed () in
+        match Schema.find_relationship (Name.v "Majors") s with
+        | Some r -> (
+            match Relationship.participant_for (Name.v "Student") r with
+            | Some p ->
+                check Alcotest.string "(1,1)" "(1,1)"
+                  (Cardinality.to_string p.Relationship.card)
+            | None -> Alcotest.fail "no Student participant")
+        | None -> Alcotest.fail "missing Majors");
+    tc "roles parsed" (fun () ->
+        let s = parsed () in
+        match Schema.find_relationship (Name.v "Mentors") s with
+        | Some r ->
+            check
+              (Alcotest.list (Alcotest.option Alcotest.string))
+              "roles"
+              [ Some "boss"; Some "minion" ]
+              (List.map (Option.map Name.to_string) (Relationship.roles r))
+        | None -> Alcotest.fail "missing Mentors");
+    tc "empty body via semicolon" (fun () ->
+        let s = Ddl.Parser.schema_of_string "schema s { entity A; }" in
+        check Alcotest.int "one entity" 1 (List.length (Schema.entities s)));
+    tc "multiple schemas in one file" (fun () ->
+        let ss =
+          Ddl.Parser.schemas_of_string "schema a { entity X; } schema b { entity Y; }"
+        in
+        check Alcotest.int "two" 2 (List.length ss));
+    tc "syntax error carries position" (fun () ->
+        match Ddl.Parser.schema_of_string "schema s { entity }" with
+        | exception Ddl.Parser.Error (_, 1, 19) -> ()
+        | exception Ddl.Parser.Error (msg, l, c) ->
+            Alcotest.failf "wrong position %d:%d (%s)" l c msg
+        | _ -> Alcotest.fail "expected syntax error");
+    tc "missing semicolon reported" (fun () ->
+        match Ddl.Parser.schema_of_string "schema s { entity A { x : int } }" with
+        | exception Ddl.Parser.Error (msg, _, _) ->
+            check Alcotest.bool "mentions ';'" true (Util.contains ~needle:"';'" msg)
+        | _ -> Alcotest.fail "expected error");
+    tc "schema_of_string requires exactly one" (fun () ->
+        match Ddl.Parser.schema_of_string "" with
+        | exception Ddl.Parser.Error _ -> ()
+        | _ -> Alcotest.fail "expected error");
+    tc "duplicate structures rejected at build" (fun () ->
+        match Ddl.Parser.schema_of_string "schema s { entity A; entity A; }" with
+        | exception Ddl.Parser.Error _ -> ()
+        | _ -> Alcotest.fail "expected duplicate error");
+  ]
+
+let schema_eq = Alcotest.testable (Fmt.of_to_string Ddl.Printer.to_string) Schema.equal
+
+let roundtrip s () =
+  let printed = Ddl.Printer.to_string s in
+  let reparsed = Ddl.Parser.schema_of_string printed in
+  check schema_eq "round trip" s reparsed
+
+let printer_tests =
+  [
+    tc "round-trip: sample" (fun () -> roundtrip (parsed ()) ());
+    tc "round-trip: paper sc1" (roundtrip Workload.Paper.sc1);
+    tc "round-trip: paper sc2" (roundtrip Workload.Paper.sc2);
+    tc "round-trip: paper sc4 (category)" (roundtrip Workload.Paper.sc4);
+    tc "round-trip: integrated schema" (fun () ->
+        let r = Workload.Paper.integrate_sc1_sc2 () in
+        roundtrip r.Integrate.Result.schema ());
+    tc "round-trip: generated workload schemas" (fun () ->
+        let w = Workload.Generator.generate Workload.Generator.default_params in
+        List.iter (fun s -> roundtrip s ()) w.Workload.Generator.schemas);
+    tc "printer emits parseable multi-schema files" (fun () ->
+        let text =
+          Ddl.Printer.schemas_to_string [ Workload.Paper.sc1; Workload.Paper.sc2 ]
+        in
+        check Alcotest.int "two back" 2
+          (List.length (Ddl.Parser.schemas_of_string text)));
+    tc "files round-trip through disk" (fun () ->
+        let path = Filename.temp_file "sit" ".ecr" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Ddl.Printer.save path [ Workload.Paper.sc1 ];
+            match Ddl.Parser.schemas_of_file path with
+            | [ s ] -> check schema_eq "disk round trip" Workload.Paper.sc1 s
+            | _ -> Alcotest.fail "expected one schema"));
+  ]
+
+let () =
+  Alcotest.run "ddl"
+    [ ("lexer", lexer_tests); ("parser", parser_tests); ("printer", printer_tests) ]

@@ -1,0 +1,171 @@
+(* Tests for the data dictionary (workspace persistence). *)
+
+open Ecr
+open Integrate
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let paper_workspace () =
+  let ws =
+    Workspace.(add_schema Workload.Paper.sc2 (add_schema Workload.Paper.sc1 empty))
+  in
+  let ws =
+    List.fold_left
+      (fun ws (a, b) -> Workspace.declare_equivalent a b ws)
+      ws Workload.Paper.equivalences
+  in
+  let ws =
+    List.fold_left
+      (fun ws (l, a, r) ->
+        match Workspace.assert_object l a r ws with
+        | Ok ws -> ws
+        | Error _ -> Alcotest.fail "paper session conflicts")
+      ws Workload.Paper.object_assertions
+  in
+  let ws =
+    List.fold_left
+      (fun ws (l, a, r) ->
+        match Workspace.assert_relationship l a r ws with
+        | Ok ws -> ws
+        | Error _ -> Alcotest.fail "paper session conflicts")
+      ws Workload.Paper.relationship_assertions
+  in
+  Workspace.set_naming Workload.Paper.naming ws
+
+let tests =
+  [
+    tc "round-trip preserves the whole session" (fun () ->
+        let ws = paper_workspace () in
+        let ws' = Dictionary.of_string (Dictionary.to_string ws) in
+        check Alcotest.int "schemas" 2 (List.length (Workspace.schemas ws'));
+        check Alcotest.int "object facts" 3
+          (List.length (Workspace.object_facts ws'));
+        check Alcotest.int "relationship facts" 1
+          (List.length (Workspace.relationship_facts ws'));
+        check Alcotest.int "equivalence classes" 4
+          (List.length
+             (Equivalence.nontrivial_classes (Workspace.equivalence ws'))));
+    tc "round-trip reproduces the integration result" (fun () ->
+        let ws = paper_workspace () in
+        let ws' = Dictionary.of_string (Dictionary.to_string ws) in
+        let r = Workspace.integrate ws and r' = Workspace.integrate ws' in
+        check Alcotest.bool "same integrated schema" true
+          (Schema.equal r.Result.schema r'.Result.schema));
+    tc "naming overrides survive" (fun () ->
+        let ws = paper_workspace () in
+        let ws' = Dictionary.of_string (Dictionary.to_string ws) in
+        let r' = Workspace.integrate ws' in
+        check Alcotest.bool "E_Stud_Majo pinned" true
+          (Schema.mem (Name.v "E_Stud_Majo") r'.Result.schema));
+    tc "file round-trip" (fun () ->
+        let path = Filename.temp_file "sit" ".sitd" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Dictionary.save path (paper_workspace ());
+            let ws = Dictionary.load path in
+            check Alcotest.int "schemas" 2 (List.length (Workspace.schemas ws))));
+    tc "comments and blank lines tolerated" (fun () ->
+        let text =
+          "schema a { entity X; }\n%session\n\n# a comment\n"
+        in
+        let ws = Dictionary.of_string text in
+        check Alcotest.int "one schema" 1 (List.length (Workspace.schemas ws)));
+    tc "missing session marker means schemas only" (fun () ->
+        let ws = Dictionary.of_string "schema a { entity X; }\n" in
+        check Alcotest.int "one schema" 1 (List.length (Workspace.schemas ws));
+        check Alcotest.int "no facts" 0 (List.length (Workspace.object_facts ws)));
+    tc "inconsistent dictionaries are rejected" (fun () ->
+        let text =
+          "schema a { entity X; }\nschema b { entity Y; }\nschema c { entity \
+           Z; }\n%session\nobject a.X 1 b.Y\nobject b.Y 1 c.Z\nobject a.X 0 \
+           c.Z\n"
+        in
+        match Dictionary.of_string text with
+        | exception Dictionary.Error msg ->
+            check Alcotest.bool "mentions conflict" true
+              (Util.contains ~needle:"conflict" msg)
+        | _ -> Alcotest.fail "expected rejection");
+    tc "syntax errors carry the line" (fun () ->
+        match Dictionary.of_string "schema a { entity X; }\n%session\nbogus\n" with
+        | exception Dictionary.Error msg ->
+            check Alcotest.bool "mentions line" true
+              (Util.contains ~needle:"line" msg)
+        | _ -> Alcotest.fail "expected rejection");
+    tc "merge combines two dictionaries" (fun () ->
+        let ws1 = Dictionary.of_string "schema a { entity X; }\n" in
+        let ws2 =
+          Dictionary.of_string "schema b { entity Y; }\n%session\n"
+        in
+        let merged = Dictionary.merge ws1 ws2 in
+        check Alcotest.int "two schemas" 2
+          (List.length (Workspace.schemas merged)));
+    tc "merge drops conflicting assertions silently" (fun () ->
+        let base =
+          Dictionary.of_string
+            "schema a { entity X; }\nschema b { entity Y; }\n%session\nobject \
+             a.X 1 b.Y\n"
+        in
+        let extra =
+          Dictionary.of_string
+            "schema a { entity X; }\nschema b { entity Y; }\n%session\nobject \
+             a.X 0 b.Y\n"
+        in
+        let merged = Dictionary.merge base extra in
+        check Alcotest.int "one fact kept" 1
+          (List.length (Workspace.object_facts merged)));
+  ]
+
+let mapping_tests =
+  [
+    tc "mappings persist and reconstruct" (fun () ->
+        let ws = paper_workspace () in
+        let result = Workspace.integrate ws in
+        let text = Dictionary.result_to_string ws result in
+        check Alcotest.bool "has integrated section" true
+          (Util.contains ~needle:"%integrated" text);
+        check Alcotest.bool "has mappings section" true
+          (Util.contains ~needle:"%mappings" text);
+        let mapping = Dictionary.mappings_of_string text in
+        (* the reconstructed mapping translates queries identically *)
+        let q =
+          Query.Parser.query_of_string
+            "select Name, GPA from Student where GPA >= 3.0"
+        in
+        let q1, _ =
+          Query.Rewrite.to_integrated result.Result.mapping
+            ~view:Workload.Paper.sc1 q
+        in
+        let q2, _ =
+          Query.Rewrite.to_integrated mapping ~view:Workload.Paper.sc1 q
+        in
+        check Alcotest.string "same translation" (Query.Ast.to_string q1)
+          (Query.Ast.to_string q2));
+    tc "dictionary with mapping sections still loads as a workspace" (fun () ->
+        let ws = paper_workspace () in
+        let result = Workspace.integrate ws in
+        let text = Dictionary.result_to_string ws result in
+        let ws' = Dictionary.of_string text in
+        check Alcotest.int "schemas" 2 (List.length (Workspace.schemas ws'));
+        check Alcotest.int "facts" 3 (List.length (Workspace.object_facts ws')));
+    tc "mappings_of_string is empty without the section" (fun () ->
+        let mapping = Dictionary.mappings_of_string "schema a { entity X; }" in
+        check Alcotest.int "no entries" 0
+          (List.length (Integrate.Mapping.object_entries mapping)));
+    tc "relationship mappings reconstruct too" (fun () ->
+        let ws = paper_workspace () in
+        let result = Workspace.integrate ws in
+        let mapping =
+          Dictionary.mappings_of_string (Dictionary.result_to_string ws result)
+        in
+        check Alcotest.bool "majors mapped" true
+          (Integrate.Mapping.relationship_entry (Qname.v "sc1" "Majors") mapping
+          |> Option.map (fun (e : Integrate.Mapping.entry) ->
+                 Name.to_string e.Integrate.Mapping.target)
+          = Some "E_Stud_Majo"));
+  ]
+
+let () =
+  Alcotest.run "dictionary"
+    [ ("dictionary", tests); ("mappings", mapping_tests) ]

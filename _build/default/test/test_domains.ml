@@ -1,0 +1,105 @@
+(* Tests for the hand-written domain sessions. *)
+
+open Ecr
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let university = lazy (Workload.Domains.integrate ~name:"campus" Workload.Domains.university)
+let company = lazy (Workload.Domains.integrate ~name:"corp" Workload.Domains.company)
+
+let tests =
+  [
+    tc "university views validate individually" (fun () ->
+        List.iter
+          (fun s ->
+            check (Alcotest.list Alcotest.string)
+              (Name.to_string (Schema.name s))
+              []
+              (List.map Schema.error_to_string (Schema.validate s)))
+          Workload.Domains.university.Workload.Domains.schemas);
+    tc "university integrates without warnings" (fun () ->
+        let r = Lazy.force university in
+        check (Alcotest.list Alcotest.string) "no warnings" []
+          r.Integrate.Result.warnings;
+        check (Alcotest.list Alcotest.string) "valid" []
+          (List.map Schema.error_to_string (Schema.validate r.Integrate.Result.schema)));
+    tc "borrower generalises students and instructors" (fun () ->
+        let r = Lazy.force university in
+        let s = r.Integrate.Result.schema in
+        let parents n =
+          match Schema.find_object (Name.v n) s with
+          | Some oc -> List.map Name.to_string (Object_class.parents oc)
+          | None -> Alcotest.failf "missing %s" n
+        in
+        check (Alcotest.list Alcotest.string) "student" [ "Borrower" ] (parents "Student");
+        check (Alcotest.list Alcotest.string) "instructor" [ "Borrower" ]
+          (parents "Instructor");
+        check (Alcotest.list Alcotest.string) "resident under student" [ "Student" ]
+          (parents "Resident"));
+    tc "merged identity attributes land on Borrower" (fun () ->
+        let r = Lazy.force university in
+        check
+          (Alcotest.slist Alcotest.string String.compare)
+          "components of D_Ssn"
+          [ "registrar.Student.Ssn"; "registrar.Instructor.Ssn";
+            "library.Borrower.Ssn"; "housing.Resident.Ssn" ]
+          (List.map Qname.Attr.to_string
+             (Integrate.Result.components_of_attribute r (Name.v "Borrower")
+                (Name.v "D_Ssn"))));
+    tc "company merges employee and staff" (fun () ->
+        let r = Lazy.force company in
+        check (Alcotest.list Alcotest.string) "no warnings" []
+          r.Integrate.Result.warnings;
+        match Integrate.Result.origin_of r (Name.v "E_Empl_Staf") with
+        | Some (Integrate.Result.Equivalent members) ->
+            check Alcotest.int "two members" 2 (List.length members)
+        | _ ->
+            (* the merged name depends on the naming rule; find it *)
+            let merged =
+              List.find_opt
+                (fun oc -> Integrate.Result.is_equivalent r oc.Object_class.name)
+                (Schema.objects r.Integrate.Result.schema)
+            in
+            check Alcotest.bool "an equals-merged class exists" true (merged <> None));
+    tc "worker becomes a category of the merged employee" (fun () ->
+        let r = Lazy.force company in
+        let s = r.Integrate.Result.schema in
+        match Schema.find_object (Name.v "Worker") s with
+        | Some oc ->
+            check Alcotest.int "one parent" 1
+              (List.length (Object_class.parents oc))
+        | None -> Alcotest.fail "Worker missing");
+    tc "scripted DDA reproduces the recorded sessions" (fun () ->
+        let session = Workload.Domains.university in
+        let result, _ =
+          Integrate.Protocol.run
+            ~options:
+              { Integrate.Protocol.defaults with exhaustive_attribute_pairs = true }
+            ~name:"campus" session.Workload.Domains.schemas
+            (Workload.Domains.dda session)
+        in
+        let direct = Lazy.force university in
+        check Alcotest.bool "same schema" true
+          (Schema.equal result.Integrate.Result.schema
+             direct.Integrate.Result.schema));
+    tc "domain sessions raise no analysis conflicts" (fun () ->
+        let ws =
+          List.fold_left
+            (fun ws s -> Integrate.Workspace.add_schema s ws)
+            Integrate.Workspace.empty
+            Workload.Domains.company.Workload.Domains.schemas
+        in
+        let ws =
+          List.fold_left
+            (fun ws (a, b) -> Integrate.Workspace.declare_equivalent a b ws)
+            ws Workload.Domains.company.Workload.Domains.equivalences
+        in
+        let issues = Integrate.Analysis.analyse ws in
+        check Alcotest.bool "no domain conflicts" false
+          (List.exists
+             (function Integrate.Analysis.Domain_conflict _ -> true | _ -> false)
+             issues));
+  ]
+
+let () = Alcotest.run "domains" [ ("domains", tests) ]

@@ -1,0 +1,513 @@
+(* Unit tests for the ECR model library. *)
+
+open Ecr
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Name.                                                               *)
+
+let name_tests =
+  [
+    tc "valid identifiers accepted" (fun () ->
+        List.iter
+          (fun s -> check Alcotest.string s s (Name.to_string (Name.v s)))
+          [ "Student"; "_x"; "a1_b2"; "E_Department"; "x" ]);
+    tc "invalid identifiers rejected" (fun () ->
+        List.iter
+          (fun s ->
+            check Alcotest.bool ("rejects " ^ s) false (Name.is_valid s))
+          [ ""; "1abc"; "has space"; "dot.ted"; "hy-phen"; "é" ]);
+    tc "of_string raises Invalid" (fun () ->
+        Alcotest.check_raises "empty" (Name.Invalid "") (fun () ->
+            ignore (Name.of_string "")));
+    tc "of_string_opt returns None" (fun () ->
+        check Alcotest.bool "none" true (Name.of_string_opt "9x" = None));
+    tc "case-sensitive equality" (fun () ->
+        check Alcotest.bool "Student <> student" false
+          (Name.equal (Name.v "Student") (Name.v "student"));
+        check Alcotest.bool "equal_ci" true
+          (Name.equal_ci (Name.v "Student") (Name.v "student")));
+    tc "abbreviate" (fun () ->
+        check Alcotest.string "4 chars" "Stud" (Name.abbreviate 4 (Name.v "Student"));
+        check Alcotest.string "short stays" "GPA" (Name.abbreviate 4 (Name.v "GPA")));
+    tc "concat" (fun () ->
+        check Alcotest.string "default sep" "a_b"
+          (Name.to_string (Name.concat (Name.v "a") (Name.v "b"))));
+    tc "set and map work" (fun () ->
+        let s = Name.Set.of_list [ Name.v "a"; Name.v "b"; Name.v "a" ] in
+        check Alcotest.int "dedup" 2 (Name.Set.cardinal s));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Qname.                                                              *)
+
+let qname_tests =
+  [
+    tc "to_string and of_string" (fun () ->
+        let q = Qname.v "sc1" "Student" in
+        check Alcotest.string "dot" "sc1.Student" (Qname.to_string q);
+        check Alcotest.bool "round" true
+          (Qname.equal q (Qname.of_string "sc1.Student")));
+    tc "of_string rejects bare name" (fun () ->
+        Alcotest.check_raises "no dot" (Name.Invalid "Student") (fun () ->
+            ignore (Qname.of_string "Student")));
+    tc "attr to_string" (fun () ->
+        check Alcotest.string "three parts" "sc1.Student.Name"
+          (Qname.Attr.to_string (Qname.Attr.v "sc1" "Student" "Name")));
+    tc "pair is unordered" (fun () ->
+        let a = Qname.v "sc1" "A" and b = Qname.v "sc2" "B" in
+        check Alcotest.bool "symmetric" true
+          (Qname.Pair.equal (Qname.Pair.make a b) (Qname.Pair.make b a)));
+    tc "pair orientation reporting" (fun () ->
+        let a = Qname.v "sc1" "A" and b = Qname.v "sc2" "B" in
+        check Alcotest.bool "a<=b not flipped" false (Qname.Pair.flipped a b);
+        check Alcotest.bool "b>a flipped" true (Qname.Pair.flipped b a));
+    tc "pair other and mem" (fun () ->
+        let a = Qname.v "sc1" "A" and b = Qname.v "sc2" "B" in
+        let p = Qname.Pair.make b a in
+        check Alcotest.bool "mem" true (Qname.Pair.mem a p);
+        check Alcotest.bool "other" true (Qname.equal b (Qname.Pair.other p a));
+        Alcotest.check_raises "missing" Not_found (fun () ->
+            ignore (Qname.Pair.other p (Qname.v "x" "y"))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Domain.                                                             *)
+
+let domain_tests =
+  [
+    tc "parse and print" (fun () ->
+        List.iter
+          (fun (s, expect) ->
+            check Alcotest.string s expect (Domain.to_string (Domain.of_string s)))
+          [
+            ("char", "char");
+            ("string", "char");
+            ("int", "int");
+            ("integer", "int");
+            ("real", "real");
+            ("float", "real");
+            ("bool", "bool");
+            ("date", "date");
+            ("enum(a,b)", "enum(a,b)");
+            ("Money", "Money");
+          ]);
+    tc "enum values normalised" (fun () ->
+        check Alcotest.bool "order-insensitive" true
+          (Domain.equal (Domain.of_string "enum(b,a)") (Domain.of_string "enum(a,b)")));
+    tc "compatibility" (fun () ->
+        check Alcotest.bool "int~real" true
+          (Domain.compatible Domain.Integer Domain.Real);
+        check Alcotest.bool "char!~int" false
+          (Domain.compatible Domain.Char_string Domain.Integer);
+        check Alcotest.bool "enum subset" true
+          (Domain.compatible (Domain.Enum [ "a" ]) (Domain.Enum [ "a"; "b" ]));
+        check Alcotest.bool "enum disjoint" false
+          (Domain.compatible (Domain.Enum [ "a" ]) (Domain.Enum [ "b" ])));
+    tc "join" (fun () ->
+        check Alcotest.bool "int+real=real" true
+          (Domain.join Domain.Integer Domain.Real = Some Domain.Real);
+        check Alcotest.bool "incompatible" true
+          (Domain.join Domain.Boolean Domain.Date = None);
+        check Alcotest.bool "enum union" true
+          (Domain.join (Domain.Enum [ "a" ]) (Domain.Enum [ "a"; "b" ])
+          = Some (Domain.Enum [ "a"; "b" ])));
+    tc "named domains compare by name" (fun () ->
+        check Alcotest.bool "same" true
+          (Domain.equal (Domain.of_string "Money") (Domain.of_string "Money"));
+        check Alcotest.bool "diff" false
+          (Domain.compatible (Domain.of_string "Money") (Domain.of_string "Weight")));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Cardinality.                                                        *)
+
+let card = Alcotest.testable (Fmt.of_to_string Cardinality.to_string) Cardinality.equal
+
+let cardinality_tests =
+  [
+    tc "constructors" (fun () ->
+        check Alcotest.string "11" "(1,1)" (Cardinality.to_string Cardinality.exactly_one);
+        check Alcotest.string "0N" "(0,N)" (Cardinality.to_string Cardinality.any));
+    tc "make validates" (fun () ->
+        Alcotest.check_raises "negative min"
+          (Cardinality.Invalid "negative minimum -1") (fun () ->
+            ignore (Cardinality.make (-1) Cardinality.Many));
+        Alcotest.check_raises "max zero"
+          (Cardinality.Invalid "bad maximum for (0,0)") (fun () ->
+            ignore (Cardinality.make 0 (Cardinality.Finite 0)));
+        Alcotest.check_raises "min above max"
+          (Cardinality.Invalid "bad maximum for (3,2)") (fun () ->
+            ignore (Cardinality.make 3 (Cardinality.Finite 2))));
+    tc "of_string" (fun () ->
+        check card "1N" Cardinality.at_least_one (Cardinality.of_string "(1,N)");
+        check card "02" (Cardinality.make 0 (Cardinality.Finite 2))
+          (Cardinality.of_string "( 0 , 2 )");
+        Alcotest.check_raises "garbage" (Cardinality.Invalid "x") (fun () ->
+            ignore (Cardinality.of_string "x")));
+    tc "union and intersect" (fun () ->
+        check card "union" Cardinality.any
+          (Cardinality.union Cardinality.exactly_one Cardinality.any);
+        check card "inter" Cardinality.exactly_one
+          (match Cardinality.intersect Cardinality.at_least_one Cardinality.at_most_one with
+          | Some c -> c
+          | None -> Alcotest.fail "expected intersection");
+        check Alcotest.bool "empty inter" true
+          (Cardinality.intersect
+             (Cardinality.make 2 (Cardinality.Finite 2))
+             Cardinality.at_most_one
+          = None));
+    tc "includes and satisfied" (fun () ->
+        check Alcotest.bool "any includes 11" true
+          (Cardinality.includes Cardinality.any Cardinality.exactly_one);
+        check Alcotest.bool "11 not include any" false
+          (Cardinality.includes Cardinality.exactly_one Cardinality.any);
+        check Alcotest.bool "k=0 vs (1,N)" false
+          (Cardinality.satisfied 0 Cardinality.at_least_one);
+        check Alcotest.bool "k=5 vs (0,N)" true
+          (Cardinality.satisfied 5 Cardinality.any));
+    tc "total and functional" (fun () ->
+        check Alcotest.bool "total" true (Cardinality.total Cardinality.exactly_one);
+        check Alcotest.bool "functional" true
+          (Cardinality.functional Cardinality.at_most_one);
+        check Alcotest.bool "not functional" false
+          (Cardinality.functional Cardinality.any));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Attribute / Object_class / Relationship.                            *)
+
+let structure_tests =
+  [
+    tc "attribute well_formed" (fun () ->
+        let attrs = [ Attribute.v "a" "char"; Attribute.v "a" "int" ] in
+        check Alcotest.bool "dup detected" true (Attribute.well_formed attrs |> Result.is_error);
+        check Alcotest.bool "ok" true
+          (Attribute.well_formed [ Attribute.v "a" "char"; Attribute.v "b" "char" ]
+          |> Result.is_ok));
+    tc "attribute keys and find" (fun () ->
+        let attrs = [ Attribute.v ~key:true "k" "char"; Attribute.v "x" "int" ] in
+        check Alcotest.int "one key" 1 (List.length (Attribute.keys attrs));
+        check Alcotest.bool "find" true (Attribute.find (Name.v "x") attrs <> None);
+        check Alcotest.bool "find missing" true (Attribute.find (Name.v "y") attrs = None));
+    tc "object class kinds" (fun () ->
+        let e = Object_class.entity (Name.v "E") in
+        let c = Object_class.category ~parents:[ Name.v "E" ] (Name.v "C") in
+        check Alcotest.bool "entity" true (Object_class.is_entity e);
+        check Alcotest.bool "category" true (Object_class.is_category c);
+        check Alcotest.char "letters e" 'e' (Object_class.kind_letter e);
+        check Alcotest.char "letters c" 'c' (Object_class.kind_letter c);
+        check Alcotest.int "parents" 1 (List.length (Object_class.parents c));
+        check Alcotest.int "no parents" 0 (List.length (Object_class.parents e)));
+    tc "relationship participants" (fun () ->
+        let r =
+          Relationship.binary (Name.v "R")
+            (Name.v "A", Cardinality.exactly_one)
+            (Name.v "B", Cardinality.any)
+        in
+        check Alcotest.int "arity" 2 (Relationship.arity r);
+        check Alcotest.bool "participates" true (Relationship.participates (Name.v "A") r);
+        check Alcotest.bool "not" false (Relationship.participates (Name.v "C") r));
+    tc "roles disambiguate repeated participants" (fun () ->
+        let r =
+          Relationship.make (Name.v "Supervises")
+            [
+              Relationship.participant ~role:(Name.v "boss") (Name.v "Emp")
+                Cardinality.any;
+              Relationship.participant ~role:(Name.v "minion") (Name.v "Emp")
+                Cardinality.at_most_one;
+            ]
+        in
+        match Relationship.participant_for ~role:(Name.v "minion") (Name.v "Emp") r with
+        | Some p ->
+            check Alcotest.bool "card" true
+              (Cardinality.equal p.Relationship.card Cardinality.at_most_one)
+        | None -> Alcotest.fail "role lookup failed");
+    tc "rename participant" (fun () ->
+        let r =
+          Relationship.binary (Name.v "R")
+            (Name.v "A", Cardinality.any)
+            (Name.v "B", Cardinality.any)
+        in
+        let r' = Relationship.rename_participant (Name.v "A") (Name.v "Z") r in
+        check Alcotest.bool "renamed" true (Relationship.participates (Name.v "Z") r');
+        check Alcotest.bool "gone" false (Relationship.participates (Name.v "A") r'));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Schema.                                                             *)
+
+let diamond =
+  (* Person <- Employee <- Manager, Person <- Student, Manager also <- Student
+     (diamond-ish lattice for ancestor tests) *)
+  Schema.make (Name.v "s")
+    ~objects:
+      [
+        Object_class.entity
+          ~attrs:[ Attribute.v ~key:true "Ssn" "char"; Attribute.v "Name" "char" ]
+          (Name.v "Person");
+        Object_class.category
+          ~attrs:[ Attribute.v "Salary" "real" ]
+          ~parents:[ Name.v "Person" ] (Name.v "Employee");
+        Object_class.category
+          ~attrs:[ Attribute.v "GPA" "real" ]
+          ~parents:[ Name.v "Person" ] (Name.v "Student");
+        Object_class.category
+          ~attrs:[ Attribute.v "Stipend" "real" ]
+          ~parents:[ Name.v "Employee"; Name.v "Student" ]
+          (Name.v "Working_student");
+      ]
+    ~relationships:
+      [
+        Relationship.binary (Name.v "Mentors")
+          (Name.v "Employee", Cardinality.any)
+          (Name.v "Student", Cardinality.at_most_one);
+      ]
+
+let schema_tests =
+  [
+    tc "make rejects duplicates" (fun () ->
+        Alcotest.check_raises "dup" (Invalid_argument "Schema: duplicate structure X")
+          (fun () ->
+            ignore
+              (Schema.make (Name.v "s")
+                 ~objects:
+                   [ Object_class.entity (Name.v "X"); Object_class.entity (Name.v "X") ]
+                 ~relationships:[])));
+    tc "namespace is shared with relationships" (fun () ->
+        Alcotest.check_raises "obj/rel clash"
+          (Invalid_argument "Schema: duplicate structure X") (fun () ->
+            ignore
+              (Schema.make (Name.v "s")
+                 ~objects:[ Object_class.entity (Name.v "X") ]
+                 ~relationships:
+                   [
+                     Relationship.binary (Name.v "X")
+                       (Name.v "X", Cardinality.any)
+                       (Name.v "X", Cardinality.any);
+                   ])));
+    tc "lookup" (fun () ->
+        check Alcotest.bool "object" true (Schema.find_object (Name.v "Person") diamond <> None);
+        check Alcotest.bool "relationship" true
+          (Schema.find_relationship (Name.v "Mentors") diamond <> None);
+        check Alcotest.bool "crossed lookups are None" true
+          (Schema.find_object (Name.v "Mentors") diamond = None);
+        check Alcotest.int "size" 5 (Schema.size diamond));
+    tc "children / ancestors / descendants" (fun () ->
+        check (Alcotest.list Alcotest.string) "children of Person"
+          [ "Employee"; "Student" ]
+          (List.map Name.to_string (Schema.children diamond (Name.v "Person")));
+        check (Alcotest.slist Alcotest.string String.compare) "ancestors of WS"
+          [ "Employee"; "Student"; "Person" ]
+          (List.map Name.to_string (Schema.ancestors diamond (Name.v "Working_student")));
+        check (Alcotest.slist Alcotest.string String.compare) "descendants of Person"
+          [ "Employee"; "Student"; "Working_student" ]
+          (List.map Name.to_string (Schema.descendants diamond (Name.v "Person")));
+        check Alcotest.bool "is_ancestor" true
+          (Schema.is_ancestor diamond ~ancestor:(Name.v "Person") (Name.v "Working_student")));
+    tc "all_attributes inherits through the diamond once" (fun () ->
+        let attrs = Schema.all_attributes diamond (Name.v "Working_student") in
+        check (Alcotest.slist Alcotest.string String.compare) "inherited"
+          [ "Stipend"; "Salary"; "GPA"; "Ssn"; "Name" ]
+          (List.map (fun a -> Name.to_string a.Attribute.name) attrs));
+    tc "all_attributes unknown class raises" (fun () ->
+        Alcotest.check_raises "missing" Not_found (fun () ->
+            ignore (Schema.all_attributes diamond (Name.v "Nobody"))));
+    tc "roots and entities" (fun () ->
+        check Alcotest.int "roots" 1 (List.length (Schema.roots diamond));
+        check Alcotest.int "entities" 1 (List.length (Schema.entities diamond));
+        check Alcotest.int "categories" 3 (List.length (Schema.categories diamond)));
+    tc "relationships_of" (fun () ->
+        check Alcotest.int "employee has 1" 1
+          (List.length (Schema.relationships_of diamond (Name.v "Employee"))));
+    tc "remove_structure leaves danglers for validate" (fun () ->
+        let s = Schema.remove_structure (Name.v "Person") diamond in
+        let errors = Schema.validate s in
+        check Alcotest.bool "unknown parent reported" true
+          (List.exists
+             (function Schema.Unknown_parent _ -> true | _ -> false)
+             errors));
+    tc "validate: clean schema" (fun () ->
+        check (Alcotest.list Alcotest.string) "no errors" []
+          (List.map Schema.error_to_string (Schema.validate diamond)));
+    tc "validate: category without parent" (fun () ->
+        let s =
+          Schema.make (Name.v "s")
+            ~objects:[ Object_class.category ~parents:[] (Name.v "C") ]
+            ~relationships:[]
+        in
+        check Alcotest.bool "reported" true
+          (List.exists
+             (function Schema.Category_without_parent _ -> true | _ -> false)
+             (Schema.validate s)));
+    tc "validate: cyclic categories" (fun () ->
+        let s =
+          Schema.make (Name.v "s")
+            ~objects:
+              [
+                Object_class.category ~parents:[ Name.v "B" ] (Name.v "A");
+                Object_class.category ~parents:[ Name.v "A" ] (Name.v "B");
+              ]
+            ~relationships:[]
+        in
+        check Alcotest.bool "cycle" true
+          (List.exists
+             (function Schema.Cyclic_categories _ -> true | _ -> false)
+             (Schema.validate s)));
+    tc "validate: relationship arity" (fun () ->
+        let s =
+          Schema.make (Name.v "s")
+            ~objects:[ Object_class.entity (Name.v "A") ]
+            ~relationships:
+              [
+                Relationship.make (Name.v "R")
+                  [ Relationship.participant (Name.v "A") Cardinality.any ];
+              ]
+        in
+        check Alcotest.bool "arity" true
+          (List.exists
+             (function Schema.Relationship_arity _ -> true | _ -> false)
+             (Schema.validate s)));
+    tc "validate: unknown participant" (fun () ->
+        let s =
+          Schema.make (Name.v "s")
+            ~objects:[ Object_class.entity (Name.v "A") ]
+            ~relationships:
+              [
+                Relationship.binary (Name.v "R")
+                  (Name.v "A", Cardinality.any)
+                  (Name.v "Ghost", Cardinality.any);
+              ]
+        in
+        check Alcotest.bool "unknown" true
+          (List.exists
+             (function Schema.Unknown_participant _ -> true | _ -> false)
+             (Schema.validate s)));
+    tc "validate: ambiguous repeated participant" (fun () ->
+        let s =
+          Schema.make (Name.v "s")
+            ~objects:[ Object_class.entity (Name.v "A") ]
+            ~relationships:
+              [
+                Relationship.binary (Name.v "R")
+                  (Name.v "A", Cardinality.any)
+                  (Name.v "A", Cardinality.any);
+              ]
+        in
+        check Alcotest.bool "ambiguous" true
+          (List.exists
+             (function Schema.Ambiguous_roles _ -> true | _ -> false)
+             (Schema.validate s)));
+    tc "validate: roles fix repeated participant" (fun () ->
+        let s =
+          Schema.make (Name.v "s")
+            ~objects:[ Object_class.entity (Name.v "A") ]
+            ~relationships:
+              [
+                Relationship.make (Name.v "R")
+                  [
+                    Relationship.participant ~role:(Name.v "x") (Name.v "A")
+                      Cardinality.any;
+                    Relationship.participant ~role:(Name.v "y") (Name.v "A")
+                      Cardinality.any;
+                  ];
+              ]
+        in
+        check (Alcotest.list Alcotest.string) "clean" []
+          (List.map Schema.error_to_string (Schema.validate s)));
+    tc "validate: duplicate attribute" (fun () ->
+        let s =
+          Schema.make (Name.v "s")
+            ~objects:
+              [
+                Object_class.entity
+                  ~attrs:[ Attribute.v "a" "char"; Attribute.v "a" "int" ]
+                  (Name.v "X");
+              ]
+            ~relationships:[]
+        in
+        check Alcotest.bool "dup attr" true
+          (List.exists
+             (function Schema.Duplicate_attribute _ -> true | _ -> false)
+             (Schema.validate s)));
+    tc "validate: incompatible shadowing" (fun () ->
+        let s =
+          Schema.make (Name.v "s")
+            ~objects:
+              [
+                Object_class.entity
+                  ~attrs:[ Attribute.v "Name" "char" ]
+                  (Name.v "P");
+                Object_class.category
+                  ~attrs:[ Attribute.v "Name" "int" ]
+                  ~parents:[ Name.v "P" ] (Name.v "C");
+              ]
+            ~relationships:[]
+        in
+        check Alcotest.bool "shadow" true
+          (List.exists
+             (function Schema.Attribute_shadows_inherited _ -> true | _ -> false)
+             (Schema.validate s)));
+    tc "replace_object updates in place" (fun () ->
+        let s =
+          Schema.replace_object
+            (Object_class.entity ~attrs:[ Attribute.v "x" "int" ] (Name.v "Person"))
+            diamond
+        in
+        match Schema.find_object (Name.v "Person") s with
+        | Some oc -> check Alcotest.int "new attrs" 1 (List.length oc.Object_class.attributes)
+        | None -> Alcotest.fail "lost Person");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Diff and Dot.                                                       *)
+
+let diff_tests =
+  [
+    tc "diff empty on equal" (fun () ->
+        check Alcotest.bool "empty" true (Diff.is_empty (Diff.diff diamond diamond)));
+    tc "diff detects add/remove/change" (fun () ->
+        let s2 =
+          diamond
+          |> Schema.remove_structure (Name.v "Mentors")
+          |> Schema.add_object (Object_class.entity (Name.v "Course"))
+          |> Schema.replace_object
+               (Object_class.entity ~attrs:[ Attribute.v "z" "int" ] (Name.v "Person"))
+        in
+        let changes = Diff.diff diamond s2 in
+        let kinds =
+          List.map
+            (function
+              | Diff.Added _ -> "added"
+              | Diff.Removed _ -> "removed"
+              | Diff.Changed _ -> "changed")
+            changes
+        in
+        check (Alcotest.slist Alcotest.string String.compare) "kinds"
+          [ "added"; "removed"; "changed" ] kinds);
+    tc "dot output mentions every structure" (fun () ->
+        let dot = Dot.to_dot diamond in
+        List.iter
+          (fun n ->
+            check Alcotest.bool ("mentions " ^ n) true
+              (let rec find i =
+                 i + String.length n <= String.length dot
+                 && (String.sub dot i (String.length n) = n || find (i + 1))
+               in
+               find 0))
+          [ "Person"; "Employee"; "Mentors"; "isa" ]);
+  ]
+
+let () =
+  Alcotest.run "ecr"
+    [
+      ("name", name_tests);
+      ("qname", qname_tests);
+      ("domain", domain_tests);
+      ("cardinality", cardinality_tests);
+      ("structures", structure_tests);
+      ("schema", schema_tests);
+      ("diff-dot", diff_tests);
+    ]

@@ -1,0 +1,242 @@
+(* End-to-end tests of the interactive methodology and the integration
+   strategies on generated workloads. *)
+
+open Ecr
+open Integrate
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let workload seed =
+  Workload.Generator.generate
+    { Workload.Generator.default_params with seed; schemas = 2 }
+
+let protocol_tests =
+  [
+    tc "protocol integrates a workload cleanly" (fun () ->
+        let w = workload 11 in
+        let result, stats = Protocol.run w.Workload.Generator.schemas w.Workload.Generator.oracle in
+        check (Alcotest.list Alcotest.string) "valid" []
+          (List.map Schema.error_to_string (Schema.validate result.Result.schema));
+        check Alcotest.bool "some pairs presented" true (stats.Protocol.pairs_presented > 0));
+    tc "derivation saves DDA questions" (fun () ->
+        let w = workload 12 in
+        let with_skip, s1 =
+          Protocol.run ~options:{ Protocol.defaults with skip_determined = true }
+            w.Workload.Generator.schemas w.Workload.Generator.oracle
+        in
+        let without_skip, s2 =
+          Protocol.run ~options:{ Protocol.defaults with skip_determined = false }
+            w.Workload.Generator.schemas w.Workload.Generator.oracle
+        in
+        ignore with_skip;
+        ignore without_skip;
+        check Alcotest.bool "skipping asks fewer" true
+          (s1.Protocol.pairs_presented <= s2.Protocol.pairs_presented);
+        check Alcotest.bool "something was derived" true
+          (s1.Protocol.pairs_skipped_determined > 0));
+    tc "exhaustive vs heuristic attribute questioning" (fun () ->
+        let w = workload 13 in
+        let count mode =
+          let counters = Dda.fresh_counters () in
+          let dda = Dda.counting counters w.Workload.Generator.oracle in
+          let _ =
+            Protocol.run
+              ~options:{ Protocol.defaults with exhaustive_attribute_pairs = mode }
+              w.Workload.Generator.schemas dda
+          in
+          counters.Dda.attr_questions
+        in
+        let exhaustive = count true and heuristic = count false in
+        check Alcotest.bool "heuristic filters questions" true
+          (heuristic < exhaustive));
+    tc "max_object_pairs caps the review effort" (fun () ->
+        let w = workload 14 in
+        match w.Workload.Generator.schemas with
+        | [ s1; s2 ] ->
+            let eq =
+              Protocol.collect_equivalences Protocol.defaults s1 s2
+                w.Workload.Generator.oracle Equivalence.empty
+            in
+            let _, stats =
+              Protocol.collect_object_assertions
+                { Protocol.defaults with
+                  max_object_pairs = Some 3;
+                  skip_determined = false
+                }
+                s1 s2 w.Workload.Generator.oracle eq
+                (Assertions.create w.Workload.Generator.schemas)
+            in
+            check Alcotest.bool "capped" true (stats.Protocol.pairs_presented <= 3)
+        | _ -> Alcotest.fail "expected two schemas");
+    tc "erroneous oracle triggers conflict handling" (fun () ->
+        (* an oracle that contradicts itself: claims equal on the first
+           question and disjoint on a later one about classes known (by
+           derivation) to be equal *)
+        let s1 =
+          Schema.make (Name.v "a")
+            ~objects:[ Object_class.entity (Name.v "X") ]
+            ~relationships:[]
+        and s2 =
+          Schema.make (Name.v "b")
+            ~objects:[ Object_class.entity (Name.v "X") ]
+            ~relationships:[]
+        and s3 =
+          Schema.make (Name.v "c")
+            ~objects:[ Object_class.entity (Name.v "X") ]
+            ~relationships:[]
+        in
+        let answers = ref 0 in
+        let dda =
+          {
+            Dda.silent with
+            Dda.object_assertion =
+              (fun _ _ ->
+                incr answers;
+                if !answers <= 2 then Some Assertion.Equal
+                else Some Assertion.Disjoint_nonintegrable);
+          }
+        in
+        let _, stats = Protocol.run [ s1; s2; s3 ] dda in
+        check Alcotest.bool "a conflicting answer was rejected" true
+          (stats.Protocol.assertions_rejected >= 1 || stats.Protocol.pairs_skipped_determined >= 1));
+  ]
+
+let strategy_tests =
+  [
+    tc "n-ary and binary-ladder produce valid schemas" (fun () ->
+        let w =
+          Workload.Generator.generate
+            { Workload.Generator.default_params with seed = 21; schemas = 4 }
+        in
+        let nary = Strategy.nary w.Workload.Generator.schemas w.Workload.Generator.oracle in
+        check (Alcotest.list Alcotest.string) "nary valid" []
+          (List.map Schema.error_to_string (Schema.validate nary.Strategy.result.Result.schema));
+        check Alcotest.int "one step" 1 nary.Strategy.steps;
+        let ladder =
+          Strategy.binary_ladder ~register:w.Workload.Generator.register
+            w.Workload.Generator.schemas w.Workload.Generator.oracle
+        in
+        check (Alcotest.list Alcotest.string) "ladder valid" []
+          (List.map Schema.error_to_string
+             (Schema.validate ladder.Strategy.result.Result.schema));
+        check Alcotest.int "three steps for four schemas" 3 ladder.Strategy.steps);
+    tc "binary balanced halves the pool" (fun () ->
+        let w =
+          Workload.Generator.generate
+            { Workload.Generator.default_params with seed = 22; schemas = 4 }
+        in
+        let balanced =
+          Strategy.binary_balanced ~register:w.Workload.Generator.register
+            w.Workload.Generator.schemas w.Workload.Generator.oracle
+        in
+        check Alcotest.int "three steps" 3 balanced.Strategy.steps;
+        check (Alcotest.list Alcotest.string) "valid" []
+          (List.map Schema.error_to_string
+             (Schema.validate balanced.Strategy.result.Result.schema)));
+    tc "similarity-guided binary works" (fun () ->
+        let w =
+          Workload.Generator.generate
+            { Workload.Generator.default_params with seed = 23; schemas = 3 }
+        in
+        let guided =
+          Strategy.binary_guided ~register:w.Workload.Generator.register
+            ~weights:(Heuristics.Resemblance.default_weights Heuristics.Synonyms.default)
+            w.Workload.Generator.schemas w.Workload.Generator.oracle
+        in
+        check Alcotest.int "two steps" 2 guided.Strategy.steps;
+        check (Alcotest.list Alcotest.string) "valid" []
+          (List.map Schema.error_to_string
+             (Schema.validate guided.Strategy.result.Result.schema)));
+    tc "single schema degenerates gracefully" (fun () ->
+        let w = workload 24 in
+        let only = [ List.hd w.Workload.Generator.schemas ] in
+        let out = Strategy.binary_ladder only w.Workload.Generator.oracle in
+        check Alcotest.int "zero steps" 0 out.Strategy.steps);
+  ]
+
+let batch_tool_tests =
+  [
+    tc "workspace sessions reproduce Figure 5 from DDL text" (fun () ->
+        (* the same pipeline bin/sit_batch drives: parse DDL, record the
+           session in a workspace, integrate *)
+        let schemas =
+          Ddl.Parser.schemas_of_string
+            (Ddl.Printer.schemas_to_string [ Workload.Paper.sc1; Workload.Paper.sc2 ])
+        in
+        let ws =
+          List.fold_left (fun ws s -> Workspace.add_schema s ws) Workspace.empty schemas
+        in
+        let ws =
+          List.fold_left
+            (fun ws (a, b) -> Workspace.declare_equivalent a b ws)
+            ws Workload.Paper.equivalences
+        in
+        let ws =
+          List.fold_left
+            (fun ws (l, a, r) ->
+              match Workspace.assert_object l a r ws with
+              | Ok ws -> ws
+              | Error _ -> Alcotest.fail "paper session conflicts")
+            ws Workload.Paper.object_assertions
+        in
+        let ws =
+          List.fold_left
+            (fun ws (l, a, r) ->
+              match Workspace.assert_relationship l a r ws with
+              | Ok ws -> ws
+              | Error _ -> Alcotest.fail "paper session conflicts")
+            ws Workload.Paper.relationship_assertions
+        in
+        let ws = Workspace.set_naming Workload.Paper.naming ws in
+        let result = Workspace.integrate ws in
+        check (Alcotest.slist Alcotest.string String.compare) "figure 5 classes"
+          [ "E_Department"; "D_Stud_Facu"; "Student"; "Grad_student"; "Faculty" ]
+          (List.map
+             (fun oc -> Name.to_string oc.Object_class.name)
+             (Schema.objects result.Result.schema)));
+    tc "workspace retract and re-assert" (fun () ->
+        let ws =
+          Workspace.(add_schema Workload.Paper.sc2 (add_schema Workload.Paper.sc1 empty))
+        in
+        let q = Qname.v in
+        let ws =
+          match
+            Workspace.assert_object (q "sc1" "Student") Assertion.Equal
+              (q "sc2" "Faculty") ws
+          with
+          | Ok ws -> ws
+          | Error _ -> Alcotest.fail "fresh assertion is consistent"
+        in
+        let ws = Workspace.retract_object (q "sc1" "Student") (q "sc2" "Faculty") ws in
+        check Alcotest.int "no facts left" 0 (List.length (Workspace.object_facts ws));
+        match
+          Workspace.assert_object (q "sc1" "Student") Assertion.Disjoint_nonintegrable
+            (q "sc2" "Faculty") ws
+        with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "retraction should free the pair");
+    tc "removing a schema drops its facts and equivalences" (fun () ->
+        let ws =
+          Workspace.(add_schema Workload.Paper.sc2 (add_schema Workload.Paper.sc1 empty))
+        in
+        let ws =
+          List.fold_left
+            (fun ws (a, b) -> Workspace.declare_equivalent a b ws)
+            ws Workload.Paper.equivalences
+        in
+        let ws = Workspace.remove_schema (Name.v "sc2") ws in
+        check Alcotest.int "one schema" 1 (List.length (Workspace.schemas ws));
+        check Alcotest.bool "no sc2 attrs" true
+          (List.for_all
+             (fun qa -> Name.to_string qa.Qname.Attr.owner.Qname.schema <> "sc2")
+             (Equivalence.members (Workspace.equivalence ws))));
+  ]
+
+let () =
+  Alcotest.run "end-to-end"
+    [
+      ("protocol", protocol_tests);
+      ("strategies", strategy_tests);
+      ("batch", batch_tool_tests);
+    ]

@@ -1,0 +1,121 @@
+(* Tests for attribute equivalence classes (the ACS bookkeeping). *)
+
+open Ecr
+open Integrate
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+let a = Qname.Attr.v
+
+let base =
+  Equivalence.register_schema Workload.Paper.sc2
+    (Equivalence.register_schema Workload.Paper.sc1 Equivalence.empty)
+
+let tests =
+  [
+    tc "register_schema registers every attribute" (fun () ->
+        (* sc1: 2+1+1 = 4, sc2: 1+3+2+1+0 = 7 *)
+        check Alcotest.int "members" 11 (List.length (Equivalence.members base)));
+    tc "fresh attributes are singletons" (fun () ->
+        check Alcotest.int "class size" 1
+          (List.length (Equivalence.class_of (a "sc1" "Student" "Name") base)));
+    tc "declare unions two classes" (fun () ->
+        let eq = Equivalence.declare (a "sc1" "Student" "Name") (a "sc2" "Faculty" "Name") base in
+        check Alcotest.bool "equivalent" true
+          (Equivalence.equivalent (a "sc1" "Student" "Name") (a "sc2" "Faculty" "Name") eq);
+        check Alcotest.int "class size" 2
+          (List.length (Equivalence.class_of (a "sc1" "Student" "Name") eq)));
+    tc "transitivity through unions" (fun () ->
+        let eq =
+          base
+          |> Equivalence.declare (a "sc1" "Student" "Name") (a "sc2" "Faculty" "Name")
+          |> Equivalence.declare (a "sc2" "Faculty" "Name") (a "sc2" "Grad_student" "Name")
+        in
+        check Alcotest.bool "transitive" true
+          (Equivalence.equivalent (a "sc1" "Student" "Name")
+             (a "sc2" "Grad_student" "Name") eq);
+        check Alcotest.int "one class of three" 3
+          (List.length (Equivalence.class_of (a "sc1" "Student" "Name") eq)));
+    tc "class numbers are stable and minimal" (fun () ->
+        (* sc1.Student.Name was registered first, so its class keeps
+           number 1 after any merge, like the screens show *)
+        let eq = Equivalence.declare (a "sc2" "Grad_student" "Name") (a "sc1" "Student" "Name") base in
+        check Alcotest.int "kept 1" 1
+          (Equivalence.class_number (a "sc2" "Grad_student" "Name") eq));
+    tc "class_number of unregistered raises" (fun () ->
+        Alcotest.check_raises "not found" Not_found (fun () ->
+            ignore (Equivalence.class_number (a "zz" "X" "y") base)));
+    tc "separate makes a fresh singleton (Screen 7 delete)" (fun () ->
+        let eq =
+          base
+          |> Equivalence.declare (a "sc1" "Student" "Name") (a "sc2" "Faculty" "Name")
+          |> Equivalence.declare (a "sc1" "Student" "Name") (a "sc2" "Grad_student" "Name")
+          |> Equivalence.separate (a "sc2" "Faculty" "Name")
+        in
+        check Alcotest.bool "removed" false
+          (Equivalence.equivalent (a "sc1" "Student" "Name") (a "sc2" "Faculty" "Name") eq);
+        check Alcotest.bool "others intact" true
+          (Equivalence.equivalent (a "sc1" "Student" "Name")
+             (a "sc2" "Grad_student" "Name") eq));
+    tc "separate the root keeps the class together" (fun () ->
+        let eq =
+          base
+          |> Equivalence.declare (a "sc1" "Student" "Name") (a "sc2" "Faculty" "Name")
+          |> Equivalence.declare (a "sc1" "Student" "Name") (a "sc2" "Grad_student" "Name")
+          |> Equivalence.separate (a "sc1" "Student" "Name")
+        in
+        check Alcotest.bool "root gone" false
+          (Equivalence.equivalent (a "sc1" "Student" "Name") (a "sc2" "Faculty" "Name") eq);
+        check Alcotest.bool "rest together" true
+          (Equivalence.equivalent (a "sc2" "Faculty" "Name")
+             (a "sc2" "Grad_student" "Name") eq));
+    tc "shared_count is the OCS entry" (fun () ->
+        let eq =
+          base
+          |> Equivalence.declare (a "sc1" "Student" "Name") (a "sc2" "Grad_student" "Name")
+          |> Equivalence.declare (a "sc1" "Student" "GPA") (a "sc2" "Grad_student" "GPA")
+        in
+        check Alcotest.int "two shared" 2
+          (Equivalence.shared_count (Qname.v "sc1" "Student")
+             (Qname.v "sc2" "Grad_student") eq);
+        check Alcotest.int "none" 0
+          (Equivalence.shared_count (Qname.v "sc1" "Department")
+             (Qname.v "sc2" "Grad_student") eq));
+    tc "a class spanning three objects counts in all pairs" (fun () ->
+        let eq =
+          base
+          |> Equivalence.declare (a "sc1" "Student" "Name") (a "sc2" "Grad_student" "Name")
+          |> Equivalence.declare (a "sc1" "Student" "Name") (a "sc2" "Faculty" "Name")
+        in
+        check Alcotest.int "student-grad" 1
+          (Equivalence.shared_count (Qname.v "sc1" "Student")
+             (Qname.v "sc2" "Grad_student") eq);
+        check Alcotest.int "student-faculty" 1
+          (Equivalence.shared_count (Qname.v "sc1" "Student")
+             (Qname.v "sc2" "Faculty") eq);
+        (* and even between the two sc2 classes *)
+        check Alcotest.int "grad-faculty" 1
+          (Equivalence.shared_count (Qname.v "sc2" "Grad_student")
+             (Qname.v "sc2" "Faculty") eq));
+    tc "nontrivial_classes filters singletons" (fun () ->
+        let eq = Equivalence.declare (a "sc1" "Student" "Name") (a "sc2" "Faculty" "Name") base in
+        check Alcotest.int "exactly one" 1
+          (List.length (Equivalence.nontrivial_classes eq));
+        check Alcotest.int "all classes" 10 (List.length (Equivalence.classes eq)));
+    tc "restrict drops a schema's attributes" (fun () ->
+        let eq =
+          base
+          |> Equivalence.declare (a "sc1" "Student" "Name") (a "sc2" "Faculty" "Name")
+          |> Equivalence.restrict (fun qa ->
+                 Name.to_string qa.Qname.Attr.owner.Qname.schema <> "sc2")
+        in
+        check Alcotest.int "only sc1 left" 4 (List.length (Equivalence.members eq));
+        check Alcotest.int "back to singleton" 1
+          (List.length (Equivalence.class_of (a "sc1" "Student" "Name") eq)));
+    tc "declare registers unknown attributes on the fly" (fun () ->
+        let eq = Equivalence.declare (a "x" "Y" "z") (a "u" "V" "w") Equivalence.empty in
+        check Alcotest.bool "joined" true
+          (Equivalence.equivalent (a "x" "Y" "z") (a "u" "V" "w") eq));
+  ]
+
+let () = Alcotest.run "equivalence" [ ("equivalence", tests) ]

@@ -1,0 +1,247 @@
+(* Tests for the section-4 matching heuristics. *)
+
+open Heuristics
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+let close = Alcotest.float 1e-9
+
+let strings_tests =
+  [
+    tc "normalize strips and lowers" (fun () ->
+        check Alcotest.string "gradstudent" "gradstudent"
+          (Strings.normalize "Grad_Student");
+        check Alcotest.string "keeps digits" "x1" (Strings.normalize "X-1"));
+    tc "tokens split on underscores and case" (fun () ->
+        check (Alcotest.list Alcotest.string) "snake" [ "grad"; "student" ]
+          (Strings.tokens "grad_student");
+        check (Alcotest.list Alcotest.string) "camel" [ "grad"; "student" ]
+          (Strings.tokens "GradStudent");
+        check (Alcotest.list Alcotest.string) "acronym run" [ "http"; "server" ]
+          (Strings.tokens "HTTPServer");
+        check (Alcotest.list Alcotest.string) "digits split" [ "dept"; "2" ]
+          (Strings.tokens "dept2"));
+    tc "levenshtein known values" (fun () ->
+        check Alcotest.int "kitten/sitting" 3 (Strings.levenshtein "kitten" "sitting");
+        check Alcotest.int "identical" 0 (Strings.levenshtein "abc" "abc");
+        check Alcotest.int "vs empty" 3 (Strings.levenshtein "" "abc"));
+    tc "levenshtein similarity bounds" (fun () ->
+        check close "equal" 1.0 (Strings.levenshtein_similarity "x" "x");
+        check close "empty both" 1.0 (Strings.levenshtein_similarity "" "");
+        check close "disjoint" 0.0 (Strings.levenshtein_similarity "ab" "xy"));
+    tc "dice bigrams" (fun () ->
+        check close "identical" 1.0 (Strings.dice_bigrams "night" "night");
+        check close "night/nacht" (2.0 /. 8.0) (Strings.dice_bigrams "night" "nacht"));
+    tc "jaro known value" (fun () ->
+        let j = Strings.jaro "martha" "marhta" in
+        check Alcotest.bool "approx .944" true (Float.abs (j -. 0.944444) < 1e-4));
+    tc "jaro_winkler boosts prefixes" (fun () ->
+        check Alcotest.bool "jw >= jaro" true
+          (Strings.jaro_winkler "dept" "department" >= Strings.jaro "dept" "department"));
+    tc "token overlap" (fun () ->
+        check close "half" (1.0 /. 3.0)
+          (Strings.token_overlap "grad_student" "student_name"));
+    tc "abbreviation detection" (fun () ->
+        check Alcotest.bool "dept" true (Strings.abbreviation_of "dept" "department");
+        check Alcotest.bool "subsequence gpa" true
+          (Strings.abbreviation_of "gpa" "gradepointaverage");
+        check Alcotest.bool "not xyz" false (Strings.abbreviation_of "xyz" "department"));
+    tc "name_similarity forgives spelling conventions" (fun () ->
+        check Alcotest.bool "snake vs camel" true
+          (Strings.name_similarity "Grad_Student" "gradStudent" > 0.95);
+        check Alcotest.bool "unrelated stays low" true
+          (Strings.name_similarity "Budget" "Name" < 0.5));
+  ]
+
+let synonyms_tests =
+  [
+    tc "rings merge transitively" (fun () ->
+        let d =
+          Synonyms.(empty |> add_synonyms [ "a"; "b" ] |> add_synonyms [ "b"; "c" ])
+        in
+        check Alcotest.bool "a~c" true (Synonyms.are_synonyms "a" "c" d));
+    tc "synonyms excludes self" (fun () ->
+        let d = Synonyms.of_groups [ [ "name"; "title" ] ] in
+        check (Alcotest.list Alcotest.string) "other" [ "title" ]
+          (Synonyms.synonyms "name" d));
+    tc "antonyms" (fun () ->
+        let d = Synonyms.(add_antonyms "min" "max" empty) in
+        check Alcotest.bool "min/max" true (Synonyms.are_antonyms "min" "max" d);
+        check Alcotest.bool "not synonyms" false (Synonyms.are_synonyms "min" "max" d));
+    tc "token similarity uses rings" (fun () ->
+        let d = Synonyms.default in
+        check Alcotest.bool "dept_name vs department_title" true
+          (Synonyms.token_similarity d "dept_name" "department_title" > 0.9));
+    tc "antonymous tokens penalise" (fun () ->
+        let d = Synonyms.default in
+        check Alcotest.bool "start vs end low" true
+          (Synonyms.token_similarity d "start_date" "end_date" < 0.6));
+    tc "default dictionary is populated" (fun () ->
+        check Alcotest.bool "size" true (Synonyms.size Synonyms.default > 50));
+  ]
+
+let weights = Resemblance.default_weights Synonyms.default
+
+let resemblance_tests =
+  [
+    tc "attribute score in unit interval" (fun () ->
+        let a = Ecr.Attribute.v ~key:true "Name" "char" in
+        let b = Ecr.Attribute.v ~key:true "Title" "char" in
+        let s = Resemblance.attribute_score weights a b in
+        check Alcotest.bool "bounds" true (s >= 0.0 && s <= 1.0);
+        check Alcotest.bool "synonyms score well" true (s > 0.5));
+    tc "domain compatibility contributes" (fun () ->
+        let a = Ecr.Attribute.v "x" "int" in
+        let same = Ecr.Attribute.v "x" "int" in
+        let widened = Ecr.Attribute.v "x" "real" in
+        let clash = Ecr.Attribute.v "x" "date" in
+        let s_same = Resemblance.attribute_score weights a same
+        and s_wide = Resemblance.attribute_score weights a widened
+        and s_clash = Resemblance.attribute_score weights a clash in
+        check Alcotest.bool "same > widened" true (s_same > s_wide);
+        check Alcotest.bool "widened > clash" true (s_wide > s_clash));
+    tc "suggest_equivalences finds the paper pairs" (fun () ->
+        let sc1 = Workload.Paper.sc1 and sc2 = Workload.Paper.sc2 in
+        let student =
+          Option.get (Ecr.Schema.find_object (Ecr.Name.v "Student") sc1)
+        in
+        let grad =
+          Option.get (Ecr.Schema.find_object (Ecr.Name.v "Grad_student") sc2)
+        in
+        let suggestions =
+          Resemblance.suggest_equivalences weights (sc1, student) (sc2, grad)
+        in
+        let names =
+          List.map
+            (fun (a, b, _) ->
+              (Ecr.Name.to_string a.Ecr.Qname.Attr.attr,
+               Ecr.Name.to_string b.Ecr.Qname.Attr.attr))
+            suggestions
+        in
+        check Alcotest.bool "Name-Name" true (List.mem ("Name", "Name") names);
+        check Alcotest.bool "GPA-GPA" true (List.mem ("GPA", "GPA") names);
+        check Alcotest.bool "one-to-one" true
+          (List.length names = List.length (List.sort_uniq compare (List.map fst names))));
+    tc "object score favours same concept" (fun () ->
+        let sc1 = Workload.Paper.sc1 and sc2 = Workload.Paper.sc2 in
+        let dept1 = Option.get (Ecr.Schema.find_object (Ecr.Name.v "Department") sc1) in
+        let dept2 = Option.get (Ecr.Schema.find_object (Ecr.Name.v "Department") sc2) in
+        let fac = Option.get (Ecr.Schema.find_object (Ecr.Name.v "Faculty") sc2) in
+        check Alcotest.bool "dept-dept > dept-faculty" true
+          (Resemblance.object_score weights dept1 dept2
+          > Resemblance.object_score weights dept1 fac));
+  ]
+
+let schema_resemblance_tests =
+  [
+    tc "identical schemas score highest" (fun () ->
+        let s = Workload.Paper.sc1 in
+        let self = Schema_resemblance.score weights s s in
+        let other = Schema_resemblance.score weights s Workload.Paper.sc2 in
+        check Alcotest.bool "self >= other" true (self >= other);
+        check Alcotest.bool "self high" true (self > 0.9));
+    tc "rank_pairs sorts descending" (fun () ->
+        let w = Workload.Generator.generate Workload.Generator.default_params in
+        let pairs =
+          Schema_resemblance.rank_pairs weights
+            (Workload.Paper.sc1 :: Workload.Paper.sc2 :: w.Workload.Generator.schemas)
+        in
+        let scores = List.map (fun (_, _, s) -> s) pairs in
+        check Alcotest.bool "sorted" true
+          (List.sort (fun a b -> Float.compare b a) scores = scores));
+    tc "most_similar_pair returns None for singleton" (fun () ->
+        check Alcotest.bool "none" true
+          (Schema_resemblance.most_similar_pair weights [ Workload.Paper.sc1 ] = None));
+  ]
+
+let construct_tests =
+  [
+    tc "marriage entity vs marriage relationship" (fun () ->
+        (* The paper's own motivating example for cross-construct
+           correspondence. *)
+        let s1 =
+          Ecr.Schema.make (Ecr.Name.v "a")
+            ~objects:
+              [
+                Ecr.Object_class.entity
+                  ~attrs:
+                    [
+                      Ecr.Attribute.v "Marriage_date" "date";
+                      Ecr.Attribute.v "Marriage_location" "char";
+                      Ecr.Attribute.v "Number_of_children" "int";
+                    ]
+                  (Ecr.Name.v "Marriage");
+              ]
+            ~relationships:[]
+        in
+        let s2 =
+          Ecr.Schema.make (Ecr.Name.v "b")
+            ~objects:
+              [
+                Ecr.Object_class.entity
+                  ~attrs:[ Ecr.Attribute.v ~key:true "Name" "char" ]
+                  (Ecr.Name.v "Male");
+                Ecr.Object_class.entity
+                  ~attrs:[ Ecr.Attribute.v ~key:true "Name" "char" ]
+                  (Ecr.Name.v "Female");
+              ]
+            ~relationships:
+              [
+                Ecr.Relationship.binary
+                  ~attrs:
+                    [
+                      Ecr.Attribute.v "Marriage_date" "date";
+                      Ecr.Attribute.v "Marriage_location" "char";
+                      Ecr.Attribute.v "Number_of_children" "int";
+                    ]
+                  (Ecr.Name.v "Married_to")
+                  (Ecr.Name.v "Male", Ecr.Cardinality.at_most_one)
+                  (Ecr.Name.v "Female", Ecr.Cardinality.at_most_one);
+              ]
+        in
+        match Construct.detect weights s1 s2 with
+        | [] -> Alcotest.fail "expected a candidate"
+        | c :: _ ->
+            check Alcotest.string "entity side" "a.Marriage"
+              (Ecr.Qname.to_string c.Construct.entity_side);
+            check Alcotest.string "rel side" "b.Married_to"
+              (Ecr.Qname.to_string c.Construct.relationship_side);
+            check Alcotest.int "three shared" 3
+              (List.length c.Construct.shared_attributes);
+            check Alcotest.bool "high score" true (c.Construct.score >= 0.99));
+    tc "needs at least two shared attributes" (fun () ->
+        let s1 =
+          Ecr.Schema.make (Ecr.Name.v "a")
+            ~objects:
+              [
+                Ecr.Object_class.entity
+                  ~attrs:[ Ecr.Attribute.v "Date" "date" ]
+                  (Ecr.Name.v "Event");
+              ]
+            ~relationships:[]
+        in
+        let s2 =
+          Ecr.Schema.make (Ecr.Name.v "b")
+            ~objects:[ Ecr.Object_class.entity (Ecr.Name.v "X") ]
+            ~relationships:
+              [
+                Ecr.Relationship.binary
+                  ~attrs:[ Ecr.Attribute.v "Date" "date" ]
+                  (Ecr.Name.v "R")
+                  (Ecr.Name.v "X", Ecr.Cardinality.any)
+                  (Ecr.Name.v "X", Ecr.Cardinality.any)
+              ]
+        in
+        check Alcotest.int "no candidates" 0
+          (List.length (Construct.detect weights s1 s2)));
+  ]
+
+let () =
+  Alcotest.run "heuristics"
+    [
+      ("strings", strings_tests);
+      ("synonyms", synonyms_tests);
+      ("resemblance", resemblance_tests);
+      ("schema-resemblance", schema_resemblance_tests);
+      ("construct", construct_tests);
+    ]

@@ -1,0 +1,341 @@
+(* End-to-end tests for Phase 4: the full pipeline on the paper's
+   figures, relationship-set integration, mappings and provenance. *)
+
+open Ecr
+open Integrate
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+let q = Qname.v
+
+let result = lazy (Workload.Paper.integrate_sc1_sc2 ())
+
+let figure5_tests =
+  [
+    tc "Screen 10: two entities" (fun () ->
+        let r = Lazy.force result in
+        check (Alcotest.list Alcotest.string) "entities"
+          [ "E_Department"; "D_Stud_Facu" ]
+          (List.map
+             (fun oc -> Name.to_string oc.Object_class.name)
+             (Schema.entities r.Result.schema)));
+    tc "Screen 10: three categories" (fun () ->
+        let r = Lazy.force result in
+        check (Alcotest.slist Alcotest.string String.compare) "categories"
+          [ "Student"; "Grad_student"; "Faculty" ]
+          (List.map
+             (fun oc -> Name.to_string oc.Object_class.name)
+             (Schema.categories r.Result.schema)));
+    tc "Screen 10: two relationships" (fun () ->
+        let r = Lazy.force result in
+        check (Alcotest.slist Alcotest.string String.compare) "relationships"
+          [ "E_Stud_Majo"; "Works" ]
+          (List.map
+             (fun rel -> Name.to_string rel.Relationship.name)
+             (Schema.relationships r.Result.schema)));
+    tc "the integrated schema validates" (fun () ->
+        let r = Lazy.force result in
+        check (Alcotest.list Alcotest.string) "no errors" []
+          (List.map Schema.error_to_string (Schema.validate r.Result.schema)));
+    tc "no warnings on the paper example" (fun () ->
+        let r = Lazy.force result in
+        check (Alcotest.list Alcotest.string) "no warnings" [] r.Result.warnings);
+    tc "Screen 11: Student's parents and children" (fun () ->
+        let r = Lazy.force result in
+        let s = r.Result.schema in
+        check (Alcotest.list Alcotest.string) "parent" [ "D_Stud_Facu" ]
+          (List.map Name.to_string
+             (Object_class.parents (Option.get (Schema.find_object (Name.v "Student") s))));
+        check (Alcotest.list Alcotest.string) "child" [ "Grad_student" ]
+          (List.map Name.to_string (Schema.children s (Name.v "Student"))));
+    tc "E_Stud_Majo connects Student to E_Department" (fun () ->
+        let r = Lazy.force result in
+        match Schema.find_relationship (Name.v "E_Stud_Majo") r.Result.schema with
+        | Some rel ->
+            check (Alcotest.list Alcotest.string) "participants"
+              [ "Student"; "E_Department" ]
+              (List.map Name.to_string (Relationship.objects rel));
+            check (Alcotest.list Alcotest.string) "cards" [ "(1,1)"; "(0,N)" ]
+              (List.map
+                 (fun p -> Cardinality.to_string p.Relationship.card)
+                 rel.Relationship.participants);
+            check (Alcotest.list Alcotest.string) "merged attr" [ "D_Since" ]
+              (List.map
+                 (fun a -> Name.to_string a.Attribute.name)
+                 rel.Relationship.attributes)
+        | None -> Alcotest.fail "E_Stud_Majo missing");
+    tc "Works passes through with redirected participants" (fun () ->
+        let r = Lazy.force result in
+        match Schema.find_relationship (Name.v "Works") r.Result.schema with
+        | Some rel ->
+            check (Alcotest.list Alcotest.string) "participants"
+              [ "Faculty"; "E_Department" ]
+              (List.map Name.to_string (Relationship.objects rel))
+        | None -> Alcotest.fail "Works missing");
+  ]
+
+let provenance_tests =
+  [
+    tc "origins classified" (fun () ->
+        let r = Lazy.force result in
+        check Alcotest.bool "E_Department equivalent" true
+          (Result.is_equivalent r (Name.v "E_Department"));
+        check Alcotest.bool "D_Stud_Facu derived" true
+          (Result.is_derived r (Name.v "D_Stud_Facu"));
+        check Alcotest.bool "Faculty original" true
+          (match Result.origin_of r (Name.v "Faculty") with
+          | Some (Result.Original _) -> true
+          | _ -> false));
+    tc "component structures resolve transitively" (fun () ->
+        let r = Lazy.force result in
+        check (Alcotest.slist Alcotest.string String.compare) "D covers three"
+          [ "sc1.Student"; "sc2.Faculty" ]
+          (List.map Qname.to_string
+             (Result.component_structures r (Name.v "D_Stud_Facu"))));
+    tc "Screen 12: components of D_Name" (fun () ->
+        let r = Lazy.force result in
+        check (Alcotest.slist Alcotest.string String.compare) "three"
+          [ "sc1.Student.Name"; "sc2.Grad_student.Name"; "sc2.Faculty.Name" ]
+          (List.map Qname.Attr.to_string
+             (Result.components_of_attribute r (Name.v "D_Stud_Facu") (Name.v "D_Name"))));
+    tc "Screen 12: components of D_GPA on Student" (fun () ->
+        let r = Lazy.force result in
+        check (Alcotest.slist Alcotest.string String.compare) "two"
+          [ "sc1.Student.GPA"; "sc2.Grad_student.GPA" ]
+          (List.map Qname.Attr.to_string
+             (Result.components_of_attribute r (Name.v "Student") (Name.v "D_GPA"))));
+    tc "summary counts" (fun () ->
+        let r = Lazy.force result in
+        check Alcotest.bool "mentions 2 entities" true
+          (Util.contains ~needle:"2 entities" (Result.summary r)));
+  ]
+
+let mapping_tests =
+  [
+    tc "every component structure has an entry" (fun () ->
+        let r = Lazy.force result in
+        List.iter
+          (fun (s, cls) ->
+            check Alcotest.bool (Qname.to_string (q s cls)) true
+              (Mapping.object_entry (q s cls) r.Result.mapping <> None))
+          [
+            ("sc1", "Student");
+            ("sc1", "Department");
+            ("sc2", "Department");
+            ("sc2", "Grad_student");
+            ("sc2", "Faculty");
+          ]);
+    tc "attribute targets point at placements" (fun () ->
+        let r = Lazy.force result in
+        match Mapping.attr_target (q "sc1" "Student") (Name.v "Name") r.Result.mapping with
+        | Some t ->
+            check Alcotest.string "in D node" "D_Stud_Facu" (Name.to_string t.Mapping.in_class);
+            check Alcotest.string "as D_Name" "D_Name" (Name.to_string t.Mapping.as_attr)
+        | None -> Alcotest.fail "no attr target");
+    tc "reverse direction: objects_into" (fun () ->
+        let r = Lazy.force result in
+        check Alcotest.int "two into E_Department" 2
+          (List.length (Mapping.objects_into (Name.v "E_Department") r.Result.mapping)));
+    tc "relationship mapping" (fun () ->
+        let r = Lazy.force result in
+        check Alcotest.bool "majors -> E_Stud_Majo" true
+          (Mapping.relationship_entry (q "sc1" "Majors") r.Result.mapping
+          |> Option.map (fun e -> Name.to_string e.Mapping.target)
+          = Some "E_Stud_Majo"));
+  ]
+
+let fig2_tests =
+  List.map
+    (fun (mini : Workload.Paper.mini) ->
+      tc mini.Workload.Paper.label (fun () ->
+          let r = Workload.Paper.integrate_mini mini in
+          let s = r.Result.schema in
+          check (Alcotest.list Alcotest.string) "valid" []
+            (List.map Schema.error_to_string (Schema.validate s));
+          match mini.Workload.Paper.assertion with
+          | Assertion.Equal ->
+              check Alcotest.int "merged to one object" 1
+                (List.length (Schema.objects s))
+          | Assertion.Contains ->
+              (* right becomes a category of left *)
+              let right = (snd mini.Workload.Paper.pair).Qname.obj in
+              check Alcotest.bool "category edge" true
+                (match Schema.find_object right s with
+                | Some oc -> Object_class.parents oc <> []
+                | None -> false)
+          | Assertion.May_be | Assertion.Disjoint_integrable ->
+              check Alcotest.int "three objects (two + derived)" 3
+                (List.length (Schema.objects s));
+              check Alcotest.int "one derived entity" 1
+                (List.length (Schema.entities s))
+          | Assertion.Disjoint_nonintegrable ->
+              check Alcotest.int "kept separate" 2 (List.length (Schema.objects s));
+              check Alcotest.int "both entities" 2 (List.length (Schema.entities s))
+          | Assertion.Contained_in -> Alcotest.fail "not used by figure 2"))
+    Workload.Paper.fig2
+
+let rel_merge_tests =
+  [
+    tc "equal relationships with unrelated participants split" (fun () ->
+        let s1 =
+          Schema.make (Name.v "x")
+            ~objects:[ Object_class.entity (Name.v "A"); Object_class.entity (Name.v "B") ]
+            ~relationships:
+              [
+                Relationship.binary (Name.v "R")
+                  (Name.v "A", Cardinality.any)
+                  (Name.v "B", Cardinality.any);
+              ]
+        and s2 =
+          Schema.make (Name.v "y")
+            ~objects:[ Object_class.entity (Name.v "C"); Object_class.entity (Name.v "D") ]
+            ~relationships:
+              [
+                Relationship.binary (Name.v "S")
+                  (Name.v "C", Cardinality.any)
+                  (Name.v "D", Cardinality.any);
+              ]
+        in
+        (* no object assertions: participants unrelated, so the
+           relationship merge must be refused with a warning *)
+        match
+          Pipeline.quick s1 s2 ~equivalences:[] ~object_assertions:[]
+            ~relationship_assertions:[ (q "x" "R", Assertion.Equal, q "y" "S") ]
+            ()
+        with
+        | Ok r ->
+            check Alcotest.int "both kept" 2
+              (List.length (Schema.relationships r.Result.schema));
+            check Alcotest.bool "warned" true (r.Result.warnings <> [])
+        | Error _ -> Alcotest.fail "no conflict expected");
+    tc "contained-in relationships produce a derived set" (fun () ->
+        let s1 =
+          Schema.make (Name.v "x")
+            ~objects:[ Object_class.entity (Name.v "A"); Object_class.entity (Name.v "B") ]
+            ~relationships:
+              [
+                Relationship.binary (Name.v "Teaches")
+                  (Name.v "A", Cardinality.any)
+                  (Name.v "B", Cardinality.any);
+              ]
+        and s2 =
+          Schema.make (Name.v "y")
+            ~objects:[ Object_class.entity (Name.v "A2"); Object_class.entity (Name.v "B2") ]
+            ~relationships:
+              [
+                Relationship.binary (Name.v "Tutors")
+                  (Name.v "A2", Cardinality.any)
+                  (Name.v "B2", Cardinality.any);
+              ]
+        in
+        match
+          Pipeline.quick s1 s2
+            ~equivalences:[]
+            ~object_assertions:
+              [
+                (q "x" "A", Assertion.Equal, q "y" "A2");
+                (q "x" "B", Assertion.Equal, q "y" "B2");
+              ]
+            ~relationship_assertions:
+              [ (q "y" "Tutors", Assertion.Contained_in, q "x" "Teaches") ]
+            ()
+        with
+        | Ok r ->
+            let names =
+              List.map
+                (fun rel -> Name.to_string rel.Relationship.name)
+                (Schema.relationships r.Result.schema)
+            in
+            check Alcotest.int "two originals + one derived" 3 (List.length names);
+            check Alcotest.bool "derived D_ set present" true
+              (List.exists (fun n -> String.length n > 2 && String.sub n 0 2 = "D_") names)
+        | Error _ -> Alcotest.fail "no conflict expected");
+    tc "merged relationship unions cardinalities" (fun () ->
+        let s1 =
+          Schema.make (Name.v "x")
+            ~objects:[ Object_class.entity (Name.v "A"); Object_class.entity (Name.v "B") ]
+            ~relationships:
+              [
+                Relationship.binary (Name.v "R")
+                  (Name.v "A", Cardinality.exactly_one)
+                  (Name.v "B", Cardinality.any);
+              ]
+        and s2 =
+          Schema.make (Name.v "y")
+            ~objects:[ Object_class.entity (Name.v "A2"); Object_class.entity (Name.v "B2") ]
+            ~relationships:
+              [
+                Relationship.binary (Name.v "R")
+                  (Name.v "A2", Cardinality.at_most_one)
+                  (Name.v "B2", Cardinality.at_least_one);
+              ]
+        in
+        match
+          Pipeline.quick s1 s2 ~equivalences:[]
+            ~object_assertions:
+              [
+                (q "x" "A", Assertion.Equal, q "y" "A2");
+                (q "x" "B", Assertion.Equal, q "y" "B2");
+              ]
+            ~relationship_assertions:[ (q "x" "R", Assertion.Equal, q "y" "R") ]
+            ()
+        with
+        | Ok r -> (
+            match Schema.relationships r.Result.schema with
+            | [ rel ] ->
+                check (Alcotest.list Alcotest.string) "unions" [ "(0,1)"; "(0,N)" ]
+                  (List.map
+                     (fun p -> Cardinality.to_string p.Relationship.card)
+                     rel.Relationship.participants)
+            | rels -> Alcotest.failf "expected one relationship, got %d" (List.length rels))
+        | Error _ -> Alcotest.fail "no conflict expected");
+    tc "three-schema n-ary merge" (fun () ->
+        let mk n =
+          Schema.make (Name.v n)
+            ~objects:
+              [
+                Object_class.entity
+                  ~attrs:[ Attribute.v ~key:true "K" "char" ]
+                  (Name.v "Thing");
+              ]
+            ~relationships:[]
+        in
+        let s1 = mk "a" and s2 = mk "b" and s3 = mk "c" in
+        let eq =
+          List.fold_left
+            (fun acc s -> Equivalence.register_schema s acc)
+            Equivalence.empty [ s1; s2; s3 ]
+        in
+        let matrix =
+          List.fold_left
+            (fun m (l, a, r) ->
+              match Assertions.add l a r m with
+              | Ok m -> m
+              | Error _ -> Alcotest.fail "conflict")
+            (Assertions.create [ s1; s2; s3 ])
+            [
+              (q "a" "Thing", Assertion.Equal, q "b" "Thing");
+              (q "b" "Thing", Assertion.Equal, q "c" "Thing");
+            ]
+        in
+        let r =
+          Pipeline.integrate
+            (Pipeline.input [ s1; s2; s3 ] eq matrix
+               (Assertions.create_for_relationships [ s1; s2; s3 ]))
+        in
+        check Alcotest.int "one class" 1 (List.length (Schema.objects r.Result.schema));
+        match Result.origin_of r (Name.v "E_Thing") with
+        | Some (Result.Equivalent members) ->
+            check Alcotest.int "three members" 3 (List.length members)
+        | _ -> Alcotest.fail "expected an equivalent origin");
+  ]
+
+let () =
+  Alcotest.run "integration"
+    [
+      ("figure5", figure5_tests);
+      ("provenance", provenance_tests);
+      ("mapping", mapping_tests);
+      ("figure2", fig2_tests);
+      ("relationships", rel_merge_tests);
+    ]

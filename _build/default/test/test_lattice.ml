@@ -1,0 +1,279 @@
+(* Tests for object-class integration: the IS-A lattice builder. *)
+
+open Ecr
+open Integrate
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+let q = Qname.v
+let a = Qname.Attr.v
+
+let build schemas equivalences assertions =
+  let eq =
+    List.fold_left
+      (fun acc s -> Equivalence.register_schema s acc)
+      Equivalence.empty schemas
+  in
+  let eq = List.fold_left (fun acc (x, y) -> Equivalence.declare x y acc) eq equivalences in
+  let matrix =
+    List.fold_left
+      (fun m (l, assertion, r) ->
+        match Assertions.add l assertion r m with
+        | Ok m -> m
+        | Error _ -> Alcotest.fail "unexpected conflict in fixture")
+      (Assertions.create schemas) assertions
+  in
+  Lattice.build ~schemas ~equivalence:eq ~matrix ()
+
+let node_exn lattice n =
+  match Lattice.node lattice (Name.v n) with
+  | Some node -> node
+  | None -> Alcotest.failf "missing node %s" n
+
+let paper_lattice () =
+  let eq =
+    List.fold_left
+      (fun acc (x, y) -> Equivalence.declare x y acc)
+      (Equivalence.register_schema Workload.Paper.sc2
+         (Equivalence.register_schema Workload.Paper.sc1 Equivalence.empty))
+      Workload.Paper.equivalences
+  in
+  let matrix =
+    List.fold_left
+      (fun m (l, assertion, r) ->
+        match Assertions.add l assertion r m with
+        | Ok m -> m
+        | Error _ -> Alcotest.fail "paper assertions conflict")
+      (Assertions.create [ Workload.Paper.sc1; Workload.Paper.sc2 ])
+      Workload.Paper.object_assertions
+  in
+  Lattice.build ~naming:Workload.Paper.naming
+    ~schemas:[ Workload.Paper.sc1; Workload.Paper.sc2 ]
+    ~equivalence:eq ~matrix ()
+
+let merging_tests =
+  [
+    tc "equals merge produces one E_ node" (fun () ->
+        let l = paper_lattice () in
+        let node = node_exn l "E_Department" in
+        check Alcotest.int "two members" 2 (List.length node.Lattice.members);
+        check Alcotest.bool "maps both" true
+          (Lattice.node_of l (q "sc1" "Department") = Some (Name.v "E_Department")
+          && Lattice.node_of l (q "sc2" "Department") = Some (Name.v "E_Department")));
+    tc "contains becomes an IS-A edge" (fun () ->
+        let l = paper_lattice () in
+        let grad = node_exn l "Grad_student" in
+        check (Alcotest.list Alcotest.string) "parent" [ "Student" ]
+          (List.map Name.to_string grad.Lattice.parents));
+    tc "may-be creates a derived node over both" (fun () ->
+        let l = paper_lattice () in
+        let d = node_exn l "D_Stud_Facu" in
+        check Alcotest.int "no members" 0 (List.length d.Lattice.members);
+        check (Alcotest.slist Alcotest.string String.compare) "children"
+          [ "Student"; "Faculty" ]
+          (List.map Name.to_string d.Lattice.derived_children);
+        check (Alcotest.list Alcotest.string) "student parent" [ "D_Stud_Facu" ]
+          (List.map Name.to_string (node_exn l "Student").Lattice.parents));
+    tc "entity/category split follows parents" (fun () ->
+        let l = paper_lattice () in
+        check (Alcotest.slist Alcotest.string String.compare) "entities"
+          [ "E_Department"; "D_Stud_Facu" ]
+          (List.map (fun n -> Name.to_string n.Lattice.id) (Lattice.entity_nodes l));
+        check (Alcotest.slist Alcotest.string String.compare) "categories"
+          [ "Student"; "Faculty"; "Grad_student" ]
+          (List.map (fun n -> Name.to_string n.Lattice.id) (Lattice.category_nodes l)));
+  ]
+
+let attribute_tests =
+  [
+    tc "three-way Name class lands on the derived node" (fun () ->
+        let l = paper_lattice () in
+        let d = node_exn l "D_Stud_Facu" in
+        match d.Lattice.attributes with
+        | [ pa ] ->
+            check Alcotest.string "name" "D_Name"
+              (Name.to_string pa.Lattice.attr.Attribute.name);
+            check Alcotest.int "3 components" 3 (List.length pa.Lattice.components);
+            check Alcotest.bool "key" true pa.Lattice.attr.Attribute.key
+        | attrs -> Alcotest.failf "expected one attribute, got %d" (List.length attrs));
+    tc "two-way GPA class lands on Student (the LCA)" (fun () ->
+        let l = paper_lattice () in
+        let student = node_exn l "Student" in
+        let names =
+          List.map
+            (fun pa -> Name.to_string pa.Lattice.attr.Attribute.name)
+            student.Lattice.attributes
+        in
+        check (Alcotest.list Alcotest.string) "only D_GPA" [ "D_GPA" ] names;
+        check Alcotest.int "2 components" 2
+          (List.length (List.hd student.Lattice.attributes).Lattice.components));
+    tc "unmatched attributes stay local" (fun () ->
+        let l = paper_lattice () in
+        let grad = node_exn l "Grad_student" in
+        check (Alcotest.list Alcotest.string) "support kept" [ "Support_type" ]
+          (List.map
+             (fun pa -> Name.to_string pa.Lattice.attr.Attribute.name)
+             grad.Lattice.attributes));
+    tc "all_attributes inherits through the lattice" (fun () ->
+        let l = paper_lattice () in
+        let attrs = Lattice.all_attributes l (Name.v "Grad_student") in
+        check (Alcotest.slist Alcotest.string String.compare) "full set"
+          [ "Support_type"; "D_GPA"; "D_Name" ]
+          (List.map (fun pa -> Name.to_string pa.Lattice.attr.Attribute.name) attrs));
+    tc "merged domains join" (fun () ->
+        let s1 =
+          Schema.make (Name.v "x")
+            ~objects:
+              [ Object_class.entity ~attrs:[ Attribute.v "n" "int" ] (Name.v "A") ]
+            ~relationships:[]
+        and s2 =
+          Schema.make (Name.v "y")
+            ~objects:
+              [ Object_class.entity ~attrs:[ Attribute.v "n" "real" ] (Name.v "B") ]
+            ~relationships:[]
+        in
+        let l =
+          build [ s1; s2 ]
+            [ (a "x" "A" "n", a "y" "B" "n") ]
+            [ (q "x" "A", Assertion.Equal, q "y" "B") ]
+        in
+        let node = node_exn l "E_A_B" in
+        match node.Lattice.attributes with
+        | [ pa ] ->
+            check Alcotest.bool "joined to real" true
+              (Domain.equal pa.Lattice.attr.Attribute.domain Domain.Real)
+        | _ -> Alcotest.fail "expected one merged attribute");
+    tc "incompatible merged domains warn" (fun () ->
+        let s1 =
+          Schema.make (Name.v "x")
+            ~objects:
+              [ Object_class.entity ~attrs:[ Attribute.v "n" "date" ] (Name.v "A") ]
+            ~relationships:[]
+        and s2 =
+          Schema.make (Name.v "y")
+            ~objects:
+              [ Object_class.entity ~attrs:[ Attribute.v "n" "bool" ] (Name.v "B") ]
+            ~relationships:[]
+        in
+        let l =
+          build [ s1; s2 ]
+            [ (a "x" "A" "n", a "y" "B" "n") ]
+            [ (q "x" "A", Assertion.Equal, q "y" "B") ]
+        in
+        check Alcotest.bool "warned" true (l.Lattice.warnings <> []));
+    tc "equivalence across unrelated classes splits with warning" (fun () ->
+        let s1 =
+          Schema.make (Name.v "x")
+            ~objects:
+              [ Object_class.entity ~attrs:[ Attribute.v "n" "char" ] (Name.v "A") ]
+            ~relationships:[]
+        and s2 =
+          Schema.make (Name.v "y")
+            ~objects:
+              [ Object_class.entity ~attrs:[ Attribute.v "n" "char" ] (Name.v "B") ]
+            ~relationships:[]
+        in
+        let l = build [ s1; s2 ] [ (a "x" "A" "n", a "y" "B" "n") ] [] in
+        check Alcotest.bool "warned" true (l.Lattice.warnings <> []);
+        let na = node_exn l "A" and nb = node_exn l "B" in
+        check Alcotest.int "A keeps its attr" 1 (List.length na.Lattice.attributes);
+        check Alcotest.int "B keeps its attr" 1 (List.length nb.Lattice.attributes));
+  ]
+
+let structure_tests =
+  [
+    tc "transitive reduction removes implied edges" (fun () ->
+        let mk n cls =
+          Schema.make (Name.v n)
+            ~objects:[ Object_class.entity (Name.v cls) ]
+            ~relationships:[]
+        in
+        let l =
+          build
+            [ mk "x" "A"; mk "y" "B"; mk "z" "C" ]
+            []
+            [
+              (q "x" "A", Assertion.Contained_in, q "y" "B");
+              (q "y" "B", Assertion.Contained_in, q "z" "C");
+              (q "x" "A", Assertion.Contained_in, q "z" "C");
+            ]
+        in
+        check (Alcotest.list Alcotest.string) "single parent" [ "B" ]
+          (List.map Name.to_string (node_exn l "A").Lattice.parents));
+    tc "pass-through name collision resolved by qualification" (fun () ->
+        let mk n =
+          Schema.make (Name.v n)
+            ~objects:[ Object_class.entity (Name.v "Department") ]
+            ~relationships:[]
+        in
+        let l = build [ mk "x"; mk "y" ] [] [] in
+        check Alcotest.bool "x keeps plain name" true
+          (Lattice.node_of l (q "x" "Department") = Some (Name.v "Department"));
+        check Alcotest.bool "y qualified" true
+          (Lattice.node_of l (q "y" "Department") = Some (Name.v "y_Department")));
+    tc "disjoint-integrable also creates a derived node" (fun () ->
+        let r = Workload.Paper.integrate_mini Workload.Paper.fig2d in
+        check Alcotest.bool "derived exists" true
+          (Schema.mem (Name.v "D_Secr_Engi") r.Result.schema));
+    tc "intra-schema structure is preserved" (fun () ->
+        let l = build [ Workload.Paper.sc4 ] [] [] in
+        check (Alcotest.list Alcotest.string) "category edge kept" [ "Student" ]
+          (List.map Name.to_string (node_exn l "Grad_student").Lattice.parents));
+    tc "related finds the more general node" (fun () ->
+        let l = paper_lattice () in
+        check Alcotest.bool "student/grad -> student" true
+          (Lattice.related l (Name.v "Student") (Name.v "Grad_student")
+          = Some (Name.v "Student"));
+        check Alcotest.bool "unrelated" true
+          (Lattice.related l (Name.v "E_Department") (Name.v "Faculty") = None);
+        check Alcotest.bool "self" true
+          (Lattice.related l (Name.v "Faculty") (Name.v "Faculty")
+          = Some (Name.v "Faculty")));
+    tc "ancestors in the lattice" (fun () ->
+        let l = paper_lattice () in
+        check (Alcotest.slist Alcotest.string String.compare) "grad ancestors"
+          [ "Student"; "D_Stud_Facu" ]
+          (List.map Name.to_string (Lattice.ancestors l (Name.v "Grad_student"))));
+  ]
+
+let naming_tests =
+  [
+    tc "derived names abbreviate to four characters" (fun () ->
+        check Alcotest.string "D_Stud_Facu" "D_Stud_Facu"
+          (Name.to_string
+             (Naming.derived_name Naming.default (q "sc1" "Student") (q "sc2" "Faculty"))));
+    tc "equals with one shared name" (fun () ->
+        check Alcotest.string "E_Department" "E_Department"
+          (Name.to_string
+             (Naming.equivalent_name Naming.default
+                [ q "sc1" "Department"; q "sc2" "Department" ])));
+    tc "equals with different names abbreviates" (fun () ->
+        check Alcotest.string "E_Majo_Majo" "E_Majo_Majo"
+          (Name.to_string
+             (Naming.equivalent_name Naming.default
+                [ q "sc1" "Majors"; q "sc2" "Major_in" ])));
+    tc "override wins" (fun () ->
+        let naming =
+          Naming.with_override (q "sc1" "Majors") (q "sc2" "Major_in") "E_Stud_Majo"
+            Naming.default
+        in
+        check Alcotest.string "pinned" "E_Stud_Majo"
+          (Name.to_string
+             (Naming.equivalent_name naming [ q "sc1" "Majors"; q "sc2" "Major_in" ])));
+    tc "uniquify appends counters" (fun () ->
+        let used = Name.Set.of_list [ Name.v "X"; Name.v "X_2" ] in
+        check Alcotest.string "X_3" "X_3"
+          (Name.to_string (Naming.uniquify used (Name.v "X"))));
+    tc "merged attribute name" (fun () ->
+        check Alcotest.string "D_Name" "D_Name"
+          (Name.to_string (Naming.merged_attribute_name (Name.v "Name"))));
+  ]
+
+let () =
+  Alcotest.run "lattice"
+    [
+      ("merging", merging_tests);
+      ("attributes", attribute_tests);
+      ("structure", structure_tests);
+      ("naming", naming_tests);
+    ]

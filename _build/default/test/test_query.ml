@@ -1,0 +1,350 @@
+(* Tests for the query language: evaluation, rewriting in both
+   directions, and instance migration. *)
+
+open Ecr
+module S = Instance.Store
+module V = Instance.Value
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+(* ---- a populated instance of paper schema sc1 --------------------- *)
+
+let sc1_store () =
+  let st = S.create Workload.Paper.sc1 in
+  let student name gpa = S.tuple [ ("Name", V.str name); ("GPA", V.real gpa) ] in
+  let st, ann = S.insert (Name.v "Student") (student "Ann" 3.9) st in
+  let st, ben = S.insert (Name.v "Student") (student "Ben" 2.5) st in
+  let st, cyd = S.insert (Name.v "Student") (student "Cyd" 3.2) st in
+  let st, cs = S.insert (Name.v "Department") (S.tuple [ ("Name", V.str "CS") ]) st in
+  let st, ee = S.insert (Name.v "Department") (S.tuple [ ("Name", V.str "EE") ]) st in
+  let since y = S.tuple [ ("Since", V.date y 9 1) ] in
+  let st = S.relate (Name.v "Majors") [ ann; cs ] (since 2020) st in
+  let st = S.relate (Name.v "Majors") [ ben; ee ] (since 2021) st in
+  let st = S.relate (Name.v "Majors") [ cyd; cs ] (since 2022) st in
+  st
+
+let eval_tests =
+  [
+    tc "select all" (fun () ->
+        let rows = Query.Eval.run (Query.Ast.query "Student") (sc1_store ()) in
+        check Alcotest.int "three students" 3 (List.length rows));
+    tc "where filters" (fun () ->
+        let rows =
+          Query.Eval.run
+            Query.Ast.(query "Student" ~where:(atom "GPA" Ge (V.real 3.0)))
+            (sc1_store ())
+        in
+        check Alcotest.int "two" 2 (List.length rows));
+    tc "projection keeps only selected columns" (fun () ->
+        let rows =
+          Query.Eval.run Query.Ast.(query "Student" ~select:[ "Name" ]) (sc1_store ())
+        in
+        List.iter
+          (fun r -> check Alcotest.int "one column" 1 (Name.Map.cardinal r))
+          rows);
+    tc "boolean connectives" (fun () ->
+        let rows =
+          Query.Eval.run
+            Query.Ast.(
+              query "Student"
+                ~where:
+                  (atom "GPA" Ge (V.real 3.0) &&& not_ (atom "Name" Eq (V.str "Ann"))))
+            (sc1_store ())
+        in
+        check Alcotest.int "only Cyd" 1 (List.length rows));
+    tc "join via relationship" (fun () ->
+        let rows =
+          Query.Eval.run
+            Query.Ast.(
+              query "Student" ~select:[ "Name" ]
+                ~via:
+                  (join "Majors" "Department" ~target_select:[ "Name" ]
+                     ~where:(atom "Name" Eq (V.str "CS"))))
+            (sc1_store ())
+        in
+        check Alcotest.int "two in CS" 2 (List.length rows);
+        List.iter
+          (fun r ->
+            check Alcotest.bool "has prefixed column" true
+              (Name.Map.mem (Name.v "Department_Name") r))
+          rows);
+    tc "join projects relationship attributes" (fun () ->
+        let rows =
+          Query.Eval.run
+            Query.Ast.(
+              query "Student" ~select:[ "Name" ]
+                ~via:
+                  (join "Majors" "Department" ~rel_select:[ "Since" ]
+                     ~target_select:[ "Name" ]))
+            (sc1_store ())
+        in
+        check Alcotest.int "three" 3 (List.length rows);
+        List.iter
+          (fun r ->
+            check Alcotest.bool "Majors_Since column" true
+              (match Name.Map.find_opt (Name.v "Majors_Since") r with
+              | Some (V.Date _) -> true
+              | _ -> false))
+          rows);
+    tc "unknown relationship attribute raises" (fun () ->
+        match
+          Query.Eval.run
+            Query.Ast.(
+              query "Student"
+                ~via:(join "Majors" "Department" ~rel_select:[ "Ghost" ]))
+            (sc1_store ())
+        with
+        | exception Query.Eval.Error _ -> ()
+        | _ -> Alcotest.fail "expected error");
+    tc "null comparisons are false" (fun () ->
+        let st = S.create Workload.Paper.sc1 in
+        let st, _ = S.insert (Name.v "Student") Name.Map.empty st in
+        let rows =
+          Query.Eval.run
+            Query.Ast.(query "Student" ~where:(atom "GPA" Le (V.real 9.9)))
+            st
+        in
+        check Alcotest.int "null fails every cmp" 0 (List.length rows);
+        let rows =
+          Query.Eval.run
+            Query.Ast.(query "Student" ~where:(not_ (atom "GPA" Le (V.real 9.9))))
+            st
+        in
+        check Alcotest.int "negation sees it" 1 (List.length rows));
+    tc "unknown class and attribute raise" (fun () ->
+        (match Query.Eval.run (Query.Ast.query "Ghost") (sc1_store ()) with
+        | exception Query.Eval.Error _ -> ()
+        | _ -> Alcotest.fail "expected error");
+        match
+          Query.Eval.run Query.Ast.(query "Student" ~select:[ "Ghost" ]) (sc1_store ())
+        with
+        | exception Query.Eval.Error _ -> ()
+        | _ -> Alcotest.fail "expected error");
+    tc "same_answers is order-insensitive but multiset-sensitive" (fun () ->
+        let r1 = Query.Eval.row [ ("a", V.int 1) ]
+        and r2 = Query.Eval.row [ ("a", V.int 2) ] in
+        check Alcotest.bool "perm" true (Query.Eval.same_answers [ r1; r2 ] [ r2; r1 ]);
+        check Alcotest.bool "dup" false (Query.Eval.same_answers [ r1; r1 ] [ r1 ]));
+    tc "category extent evaluates members of children" (fun () ->
+        let st = S.create Workload.Paper.sc4 in
+        let st, _ =
+          S.insert (Name.v "Grad_student")
+            (S.tuple [ ("Name", V.str "Zoe"); ("GPA", V.real 3.5) ])
+            st
+        in
+        let rows = Query.Eval.run (Query.Ast.query "Student") st in
+        check Alcotest.int "grad visible as student" 1 (List.length rows));
+  ]
+
+(* ---- rewriting ----------------------------------------------------- *)
+
+let paper = lazy (Workload.Paper.integrate_sc1_sc2 ())
+
+let migrated () =
+  let r = Lazy.force paper in
+  let st1 = sc1_store () in
+  let st2 = S.create Workload.Paper.sc2 in
+  let st2, alice =
+    S.insert (Name.v "Grad_student")
+      (S.tuple [ ("Name", V.str "Ann"); ("GPA", V.real 3.9); ("Support_type", V.str "RA") ])
+      st2
+  in
+  let st2, cs2 = S.insert (Name.v "Department") (S.tuple [ ("Name", V.str "CS") ]) st2 in
+  let st2, prof =
+    S.insert (Name.v "Faculty")
+      (S.tuple [ ("Name", V.str "Dr_X"); ("Rank", V.str "Assoc") ])
+      st2
+  in
+  let st2 = S.relate (Name.v "Major_in") [ alice; cs2 ] (S.tuple [ ("Since", V.date 2020 9 1) ]) st2 in
+  let st2 = S.relate (Name.v "Works") [ prof; cs2 ] Name.Map.empty st2 in
+  let merged, report =
+    Query.Migrate.run r.Integrate.Result.mapping
+      ~integrated:r.Integrate.Result.schema
+      [ (Workload.Paper.sc1, st1); (Workload.Paper.sc2, st2) ]
+  in
+  (r, st1, st2, merged, report)
+
+let rewrite_tests =
+  [
+    tc "view query answers survive rewriting" (fun () ->
+        let r, st1, _, merged, _ = migrated () in
+        let view_q =
+          Query.Ast.(
+            query "Student" ~select:[ "Name" ] ~where:(atom "GPA" Ge (V.real 3.0)))
+        in
+        let q', back =
+          Query.Rewrite.to_integrated r.Integrate.Result.mapping
+            ~view:Workload.Paper.sc1 view_q
+        in
+        check Alcotest.bool "same" true
+          (Query.Eval.same_answers (Query.Eval.run view_q st1)
+             (back (Query.Eval.run q' merged))));
+    tc "joined view query survives rewriting" (fun () ->
+        let r, st1, _, merged, _ = migrated () in
+        let view_q =
+          Query.Ast.(
+            query "Student" ~select:[ "Name" ]
+              ~via:
+                (join "Majors" "Department" ~rel_select:[ "Since" ]
+                   ~target_select:[ "Name" ]))
+        in
+        let q', back =
+          Query.Rewrite.to_integrated r.Integrate.Result.mapping
+            ~view:Workload.Paper.sc1 view_q
+        in
+        check Alcotest.bool "same" true
+          (Query.Eval.same_answers (Query.Eval.run view_q st1)
+             (back (Query.Eval.run q' merged))));
+    tc "rewriting renames classes and attributes" (fun () ->
+        let r = Lazy.force paper in
+        let q', _ =
+          Query.Rewrite.to_integrated r.Integrate.Result.mapping
+            ~view:Workload.Paper.sc1
+            Query.Ast.(query "Department" ~select:[ "Name" ])
+        in
+        check Alcotest.string "class" "E_Department" (Name.to_string q'.Query.Ast.from_class);
+        check (Alcotest.list Alcotest.string) "attr" [ "D_Name" ]
+          (List.map Name.to_string q'.Query.Ast.select));
+    tc "unmapped view class raises" (fun () ->
+        let r = Lazy.force paper in
+        match
+          Query.Rewrite.to_integrated r.Integrate.Result.mapping
+            ~view:Workload.Paper.sc3
+            (Query.Ast.query "Instructor")
+        with
+        | exception Query.Rewrite.Unmapped _ -> ()
+        | _ -> Alcotest.fail "expected Unmapped");
+    tc "global query unfolds to every contributing component" (fun () ->
+        let r = Lazy.force paper in
+        let parts =
+          Query.Rewrite.to_components r.Integrate.Result.mapping
+            ~integrated:r.Integrate.Result.schema
+            Query.Ast.(query "D_Stud_Facu" ~select:[ "D_Name" ])
+        in
+        check
+          (Alcotest.slist Alcotest.string String.compare)
+          "components"
+          [ "sc1"; "sc2"; "sc2" ]
+          (List.map (fun p -> Name.to_string p.Query.Rewrite.component) parts));
+    tc "global answers match the migrated instance" (fun () ->
+        let r, st1, st2, merged, _ = migrated () in
+        let gq = Query.Ast.(query "D_Stud_Facu" ~select:[ "D_Name" ]) in
+        let direct = Query.Eval.run gq merged in
+        let union =
+          Query.Rewrite.run_global r.Integrate.Result.mapping
+            ~integrated:r.Integrate.Result.schema
+            ~stores:[ (Name.v "sc1", st1); (Name.v "sc2", st2) ]
+            gq
+        in
+        check Alcotest.bool "covers" true
+          (Query.Rewrite.covers direct union && Query.Rewrite.covers union direct));
+    tc "predicates on unmapped attributes become Const false" (fun () ->
+        let r = Lazy.force paper in
+        let parts =
+          Query.Rewrite.to_components r.Integrate.Result.mapping
+            ~integrated:r.Integrate.Result.schema
+            Query.Ast.(
+              query "Student" ~select:[ "D_Name" ]
+                ~where:(atom "Support_type" Eq (V.str "RA")))
+        in
+        let sc1_part =
+          List.find
+            (fun p -> Name.to_string p.Query.Rewrite.component = "sc1")
+            parts
+        in
+        check Alcotest.bool "const false" true
+          (match sc1_part.Query.Rewrite.query.Query.Ast.where with
+          | Some (Query.Ast.Const false) -> true
+          | _ -> false));
+    tc "unfolding skips subclass entries already covered" (fun () ->
+        (* personnel models Manager under Employee; when both map into
+           the queried class's subtree, Manager's extent is already in
+           Employee's answers and must not be read twice *)
+        let session = Workload.Domains.company in
+        let r = Workload.Domains.integrate ~name:"corp" session in
+        let personnel = List.hd session.Workload.Domains.schemas in
+        let st = S.create personnel in
+        let st, boss =
+          S.insert (Name.v "Manager")
+            (S.tuple [ ("Emp_no", V.str "E1"); ("Name", V.str "Cyd") ])
+            st
+        in
+        ignore boss;
+        let merged_class =
+          Option.get
+            (Integrate.Mapping.object_target
+               (Qname.v "personnel" "Employee")
+               r.Integrate.Result.mapping)
+        in
+        let gq =
+          Query.Ast.query (Name.to_string merged_class) ~select:[ "D_Name" ]
+        in
+        let rows =
+          Query.Rewrite.run_global r.Integrate.Result.mapping
+            ~integrated:r.Integrate.Result.schema
+            ~stores:[ (Name.v "personnel", st) ]
+            gq
+        in
+        check Alcotest.int "one row, not two" 1 (List.length rows);
+        match rows with
+        | [ row ] ->
+            check Alcotest.int "only the requested column" 1
+              (Name.Map.cardinal row)
+        | _ -> Alcotest.fail "unexpected shape");
+    tc "covers tolerates nulls" (fun () ->
+        let a = Query.Eval.row [ ("x", V.int 1); ("y", V.Null) ] in
+        let b = Query.Eval.row [ ("x", V.int 1); ("y", V.int 2) ] in
+        check Alcotest.bool "null sub" true (Query.Rewrite.covers [ b ] [ a ]);
+        check Alcotest.bool "mismatch" false
+          (Query.Rewrite.covers [ b ] [ Query.Eval.row [ ("x", V.int 9) ] ]));
+  ]
+
+let migrate_tests =
+  [
+    tc "migration fuses equal entities on keys" (fun () ->
+        let _, _, _, merged, report = migrated () in
+        check Alcotest.int "fused" 2 report.Query.Migrate.fused;
+        check Alcotest.int "violations" 0 (List.length (S.check merged)));
+    tc "fused entity carries values from both views" (fun () ->
+        let _, _, _, merged, _ = migrated () in
+        let anns =
+          Query.Eval.run
+            Query.Ast.(
+              query "Grad_student"
+                ~where:(atom "D_Name" Eq (V.str "Ann"))
+                ~select:[ "D_Name"; "Support_type"; "D_GPA" ])
+            merged
+        in
+        match anns with
+        | [ row ] ->
+            check Alcotest.bool "support from sc2" true
+              (V.equal (V.str "RA") (Name.Map.find (Name.v "Support_type") row));
+            check Alcotest.bool "gpa agreed" true
+              (V.equal (V.real 3.9) (Name.Map.find (Name.v "D_GPA") row))
+        | rows -> Alcotest.failf "expected exactly one Ann, got %d" (List.length rows));
+    tc "category memberships preserved" (fun () ->
+        let _, _, _, merged, _ = migrated () in
+        check Alcotest.int "grads" 1 (S.cardinality_of (Name.v "Grad_student") merged);
+        check Alcotest.int "students" 3 (S.cardinality_of (Name.v "Student") merged);
+        check Alcotest.int "faculty" 1 (S.cardinality_of (Name.v "Faculty") merged);
+        check Alcotest.int "d node" 4 (S.cardinality_of (Name.v "D_Stud_Facu") merged));
+    tc "merged relationships deduplicate shared links" (fun () ->
+        let _, _, _, merged, report = migrated () in
+        check Alcotest.int "links out" 4 report.Query.Migrate.links_out;
+        check Alcotest.int "E_Stud_Majo" 3
+          (List.length (S.links (Name.v "E_Stud_Majo") merged));
+        check Alcotest.int "works" 1 (List.length (S.links (Name.v "Works") merged)));
+    tc "migration report is consistent" (fun () ->
+        let _, _, _, _, report = migrated () in
+        check Alcotest.int "entities in" 8 report.Query.Migrate.entities_in;
+        check Alcotest.int "entities out" 6 report.Query.Migrate.entities_out);
+  ]
+
+let () =
+  Alcotest.run "query"
+    [
+      ("eval", eval_tests);
+      ("rewrite", rewrite_tests);
+      ("migrate", migrate_tests);
+    ]

@@ -1,0 +1,195 @@
+(* Tests for the relational / hierarchical -> ECR translation. *)
+
+open Ecr
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let payroll =
+  {
+    Translate.Relational.db_name = "payroll";
+    relations =
+      [
+        Translate.Relational.relation ~pk:[ "dno" ] "dept"
+          [ ("dno", "int", false); ("dname", "char", false) ];
+        Translate.Relational.relation ~pk:[ "ssn" ]
+          ~fks:[ Translate.Relational.fk [ "dno" ] "dept" [ "dno" ] ]
+          "emp"
+          [ ("ssn", "char", false); ("name", "char", false); ("dno", "int", false) ];
+        Translate.Relational.relation ~pk:[ "ssn" ]
+          ~fks:[ Translate.Relational.fk [ "ssn" ] "emp" [ "ssn" ] ]
+          "manager"
+          [ ("ssn", "char", false); ("bonus", "real", true) ];
+        Translate.Relational.relation ~pk:[ "ssn"; "pno" ]
+          ~fks:
+            [
+              Translate.Relational.fk [ "ssn" ] "emp" [ "ssn" ];
+              Translate.Relational.fk [ "pno" ] "project" [ "pno" ];
+            ]
+          "assign"
+          [ ("ssn", "char", false); ("pno", "int", false); ("hours", "real", true) ];
+        Translate.Relational.relation ~pk:[ "pno" ] "project"
+          [ ("pno", "int", false); ("pname", "char", false) ];
+      ];
+  }
+
+let relational_tests =
+  [
+    tc "classification" (fun () ->
+        let find n = List.find (fun r -> r.Translate.Relational.rel_name = n) payroll.relations in
+        check Alcotest.bool "dept entity" true
+          (Translate.Relational.classify payroll (find "dept") = `Entity);
+        check Alcotest.bool "emp entity" true
+          (Translate.Relational.classify payroll (find "emp") = `Entity);
+        check Alcotest.bool "manager category" true
+          (Translate.Relational.classify payroll (find "manager") = `Category "emp");
+        check Alcotest.bool "assign relationship" true
+          (match Translate.Relational.classify payroll (find "assign") with
+          | `Relationship [ "emp"; "project" ] -> true
+          | _ -> false));
+    tc "translation shape" (fun () ->
+        let s = Translate.Relational.to_ecr payroll in
+        check Alcotest.int "entities" 3 (List.length (Schema.entities s));
+        check Alcotest.int "categories" 1 (List.length (Schema.categories s));
+        check Alcotest.int "relationships" 2 (List.length (Schema.relationships s));
+        check (Alcotest.list Alcotest.string) "no validation errors" []
+          (List.map Schema.error_to_string (Schema.validate s)));
+    tc "category drops inherited keys, keeps local attrs" (fun () ->
+        let s = Translate.Relational.to_ecr payroll in
+        match Schema.find_object (Name.v "manager") s with
+        | Some oc ->
+            check (Alcotest.list Alcotest.string) "local only" [ "bonus" ]
+              (List.map
+                 (fun a -> Name.to_string a.Attribute.name)
+                 oc.Object_class.attributes)
+        | None -> Alcotest.fail "missing manager");
+    tc "fk relationship cardinality follows nullability" (fun () ->
+        let s = Translate.Relational.to_ecr payroll in
+        match Schema.find_relationship (Name.v "emp_dept") s with
+        | Some r -> (
+            match Relationship.participant_for (Name.v "emp") r with
+            | Some p ->
+                check Alcotest.string "mandatory" "(1,1)"
+                  (Cardinality.to_string p.Relationship.card)
+            | None -> Alcotest.fail "emp not participating")
+        | None -> Alcotest.fail "missing emp_dept");
+    tc "fk columns removed from the entity" (fun () ->
+        let s = Translate.Relational.to_ecr payroll in
+        match Schema.find_object (Name.v "emp") s with
+        | Some oc ->
+            check Alcotest.bool "dno gone" true
+              (Attribute.find (Name.v "dno") oc.Object_class.attributes = None)
+        | None -> Alcotest.fail "missing emp");
+    tc "m:n keeps descriptive attributes" (fun () ->
+        let s = Translate.Relational.to_ecr payroll in
+        match Schema.find_relationship (Name.v "assign") s with
+        | Some r ->
+            check (Alcotest.list Alcotest.string) "hours" [ "hours" ]
+              (List.map (fun a -> Name.to_string a.Attribute.name) r.Relationship.attributes)
+        | None -> Alcotest.fail "missing assign");
+    tc "missing fk target raises" (fun () ->
+        let bad =
+          {
+            Translate.Relational.db_name = "bad";
+            relations =
+              [
+                Translate.Relational.relation ~pk:[ "a" ]
+                  ~fks:[ Translate.Relational.fk [ "b" ] "ghost" [ "x" ] ]
+                  "r"
+                  [ ("a", "int", false); ("b", "int", true) ];
+              ];
+          }
+        in
+        match Translate.Relational.to_ecr bad with
+        | exception Translate.Relational.Unsupported _ -> ()
+        | _ -> Alcotest.fail "expected Unsupported");
+  ]
+
+let hdb =
+  {
+    Translate.Hierarchical.hdb_name = "personnel";
+    records =
+      [
+        Translate.Hierarchical.record "department"
+          [ ("dno", "int", true); ("dname", "char", false) ];
+        Translate.Hierarchical.record ~parent:"department" "employee"
+          [ ("ssn", "char", true); ("name", "char", false) ];
+        Translate.Hierarchical.record ~parent:"employee" ~virtual_parent:"project"
+          "task"
+          [ ("tno", "int", true) ];
+        Translate.Hierarchical.record "project" [ ("pno", "int", true) ];
+      ];
+  }
+
+let hierarchical_tests =
+  [
+    tc "records become entities" (fun () ->
+        let s = Translate.Hierarchical.to_ecr hdb in
+        check Alcotest.int "entities" 4 (List.length (Schema.entities s));
+        check (Alcotest.list Alcotest.string) "valid" []
+          (List.map Schema.error_to_string (Schema.validate s)));
+    tc "physical arc is (1,1) on the child" (fun () ->
+        let s = Translate.Hierarchical.to_ecr hdb in
+        match Schema.find_relationship (Name.v "department_employee") s with
+        | Some r -> (
+            match Relationship.participant_for (Name.v "employee") r with
+            | Some p ->
+                check Alcotest.string "(1,1)" "(1,1)"
+                  (Cardinality.to_string p.Relationship.card)
+            | None -> Alcotest.fail "employee missing")
+        | None -> Alcotest.fail "missing arc");
+    tc "virtual arc is (0,1) on the child" (fun () ->
+        let s = Translate.Hierarchical.to_ecr hdb in
+        match Schema.find_relationship (Name.v "project_task_v") s with
+        | Some r -> (
+            match Relationship.participant_for (Name.v "task") r with
+            | Some p ->
+                check Alcotest.string "(0,1)" "(0,1)"
+                  (Cardinality.to_string p.Relationship.card)
+            | None -> Alcotest.fail "task missing")
+        | None -> Alcotest.fail "missing virtual arc");
+    tc "sequence field becomes the key" (fun () ->
+        let s = Translate.Hierarchical.to_ecr hdb in
+        match Schema.find_object (Name.v "employee") s with
+        | Some oc -> (
+            match Attribute.find (Name.v "ssn") oc.Object_class.attributes with
+            | Some a -> check Alcotest.bool "key" true a.Attribute.key
+            | None -> Alcotest.fail "missing ssn")
+        | None -> Alcotest.fail "missing employee");
+    tc "missing parent raises" (fun () ->
+        let bad =
+          {
+            Translate.Hierarchical.hdb_name = "bad";
+            records = [ Translate.Hierarchical.record ~parent:"ghost" "r" [] ];
+          }
+        in
+        match Translate.Hierarchical.to_ecr bad with
+        | exception Translate.Hierarchical.Unsupported _ -> ()
+        | _ -> Alcotest.fail "expected Unsupported");
+    tc "translated schemas integrate (end-to-end sanity)" (fun () ->
+        (* both translations feed the integration pipeline without
+           modification, as section 4 of the paper proposes *)
+        let rel = Translate.Relational.to_ecr payroll in
+        let hier = Translate.Hierarchical.to_ecr hdb in
+        let result, _ =
+          Integrate.Protocol.run ~name:"fed" [ rel; hier ]
+            (Integrate.Dda.of_assertion_list
+               ~equivalences:
+                 [
+                   ( Qname.Attr.v "payroll" "emp" "ssn",
+                     Qname.Attr.v "personnel" "employee" "ssn" );
+                 ]
+               [
+                 ( Qname.v "payroll" "emp",
+                   Integrate.Assertion.Equal,
+                   Qname.v "personnel" "employee" );
+               ])
+        in
+        check (Alcotest.list Alcotest.string) "valid integrated schema" []
+          (List.map Schema.error_to_string
+             (Schema.validate result.Integrate.Result.schema)))
+  ]
+
+let () =
+  Alcotest.run "translate"
+    [ ("relational", relational_tests); ("hierarchical", hierarchical_tests) ]

@@ -1,0 +1,213 @@
+(* Tests for the synthetic workload generator and its ground truth. *)
+
+open Ecr
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let w = lazy (Workload.Generator.generate Workload.Generator.default_params)
+
+let generator_tests =
+  [
+    tc "determinism: same seed, same schemas" (fun () ->
+        let a = Workload.Generator.generate Workload.Generator.default_params in
+        let b = Workload.Generator.generate Workload.Generator.default_params in
+        List.iter2
+          (fun s1 s2 -> check Alcotest.bool "equal" true (Schema.equal s1 s2))
+          a.Workload.Generator.schemas b.Workload.Generator.schemas);
+    tc "different seeds differ" (fun () ->
+        let a = Workload.Generator.generate Workload.Generator.default_params in
+        let b =
+          Workload.Generator.generate
+            { Workload.Generator.default_params with seed = 99 }
+        in
+        check Alcotest.bool "some difference" false
+          (List.for_all2 Schema.equal a.Workload.Generator.schemas
+             b.Workload.Generator.schemas));
+    tc "generated schemas validate" (fun () ->
+        List.iter
+          (fun s ->
+            check (Alcotest.list Alcotest.string)
+              (Name.to_string (Schema.name s))
+              []
+              (List.map Schema.error_to_string (Schema.validate s)))
+          (Lazy.force w).Workload.Generator.schemas);
+    tc "requested number of views" (fun () ->
+        let five =
+          Workload.Generator.generate
+            { Workload.Generator.default_params with schemas = 5 }
+        in
+        check Alcotest.int "five" 5 (List.length five.Workload.Generator.schemas));
+    tc "every view has at least two classes" (fun () ->
+        List.iter
+          (fun s ->
+            check Alcotest.bool "non-trivial" true (List.length (Schema.objects s) >= 2))
+          (Lazy.force w).Workload.Generator.schemas);
+  ]
+
+let truth_tests =
+  [
+    tc "true pairs really are equal by extent" (fun () ->
+        let w = Lazy.force w in
+        List.iter
+          (fun (a, b) ->
+            check Alcotest.bool (Qname.to_string a) true
+              (w.Workload.Generator.oracle.Integrate.Dda.object_assertion a b
+              = Some Integrate.Assertion.Equal))
+          w.Workload.Generator.true_pairs);
+    tc "oracle extents agree with extent_of" (fun () ->
+        let w = Lazy.force w in
+        List.iter
+          (fun s ->
+            List.iter
+              (fun oc ->
+                let q = Schema.qname s oc.Object_class.name in
+                check Alcotest.bool "non-empty extent" true
+                  (w.Workload.Generator.extent_of q <> []))
+              (Schema.objects s))
+          w.Workload.Generator.schemas);
+    tc "related pairs all carry integrable assertions" (fun () ->
+        let w = Lazy.force w in
+        List.iter
+          (fun (_, _, a) ->
+            check Alcotest.bool "integrable" true (Integrate.Assertion.integrable a))
+          w.Workload.Generator.related_pairs);
+    tc "attr_id is consistent across views for true pairs" (fun () ->
+        let w = Lazy.force w in
+        match w.Workload.Generator.true_pairs with
+        | [] -> () (* possible but unlikely; nothing to check *)
+        | (a, b) :: _ ->
+            (* the key attributes of two views of one concept share ids *)
+            let keys q =
+              let s =
+                List.find
+                  (fun s -> Name.equal (Schema.name s) q.Qname.schema)
+                  w.Workload.Generator.schemas
+              in
+              match Schema.find_object q.Qname.obj s with
+              | Some oc ->
+                  List.filter_map
+                    (fun (at : Attribute.t) ->
+                      if at.Attribute.key then
+                        w.Workload.Generator.attr_id
+                          (Qname.Attr.make q at.Attribute.name)
+                      else None)
+                    oc.Object_class.attributes
+              | None -> []
+            in
+            check Alcotest.bool "key ids match" true
+              (match (keys a, keys b) with
+              | x :: _, y :: _ -> x = y
+              | _ -> false));
+    tc "register teaches the oracle intermediate classes" (fun () ->
+        let w = Lazy.force w in
+        let counters = Integrate.Dda.fresh_counters () in
+        let dda = Integrate.Dda.counting counters w.Workload.Generator.oracle in
+        let result, _ = Integrate.Protocol.run ~name:"I1" w.Workload.Generator.schemas dda in
+        w.Workload.Generator.register result;
+        (* after registration, the oracle can answer about an integrated
+           class versus a component class *)
+        let integrated_q =
+          Qname.make (Name.v "I1")
+            (List.hd (Schema.objects result.Integrate.Result.schema)).Object_class.name
+        in
+        let any_component =
+          List.hd (Integrate.Result.component_structures result integrated_q.Qname.obj)
+        in
+        check Alcotest.bool "oracle answers" true
+          (w.Workload.Generator.oracle.Integrate.Dda.object_assertion integrated_q
+             any_component
+          <> None));
+  ]
+
+let populate_tests =
+  [
+    tc "stores validate" (fun () ->
+        let w = Lazy.force w in
+        List.iter
+          (fun (s, st) ->
+            check (Alcotest.list Alcotest.string)
+              (Name.to_string (Schema.name s))
+              []
+              (List.map Instance.Store.violation_to_string (Instance.Store.check st)))
+          (Workload.Generator.populate w));
+    tc "extent sizes match the truth" (fun () ->
+        let w = Lazy.force w in
+        List.iter
+          (fun (s, st) ->
+            List.iter
+              (fun oc ->
+                let q = Schema.qname s oc.Object_class.name in
+                check Alcotest.int (Qname.to_string q)
+                  (List.length (w.Workload.Generator.extent_of q))
+                  (Instance.Store.cardinality_of oc.Object_class.name st))
+              (Schema.objects s))
+          (Workload.Generator.populate w));
+    tc "same entity carries the same key value in every view" (fun () ->
+        let w = Lazy.force w in
+        match w.Workload.Generator.true_pairs with
+        | [] -> ()
+        | (a, b) :: _ ->
+            let stores = Workload.Generator.populate w in
+            let key_values q =
+              let s, st =
+                List.find
+                  (fun (s, _) -> Name.equal (Schema.name s) q.Qname.schema)
+                  stores
+              in
+              let keys =
+                Attribute.keys (Schema.all_attributes s q.Qname.obj)
+                |> Attribute.names
+              in
+              match keys with
+              | key :: _ ->
+                  Instance.Store.extent q.Qname.obj st
+                  |> Instance.Store.Oid.Set.elements
+                  |> List.map (fun oid ->
+                         Instance.Value.to_string
+                           (Instance.Store.value oid key st))
+                  |> List.sort String.compare
+              | [] -> []
+            in
+            check (Alcotest.list Alcotest.string) "same key sets" (key_values a)
+              (key_values b));
+  ]
+
+let prng_tests =
+  [
+    tc "int respects bounds" (fun () ->
+        let g = Workload.Prng.create 1 in
+        for _ = 1 to 1000 do
+          let n = Workload.Prng.int g 7 in
+          check Alcotest.bool "in range" true (n >= 0 && n < 7)
+        done);
+    tc "float in unit interval" (fun () ->
+        let g = Workload.Prng.create 2 in
+        for _ = 1 to 1000 do
+          let x = Workload.Prng.float g in
+          check Alcotest.bool "in range" true (x >= 0.0 && x < 1.0)
+        done);
+    tc "deterministic sequences" (fun () ->
+        let g1 = Workload.Prng.create 3 and g2 = Workload.Prng.create 3 in
+        for _ = 1 to 100 do
+          check Alcotest.int "same" (Workload.Prng.int g1 1000) (Workload.Prng.int g2 1000)
+        done);
+    tc "shuffle permutes" (fun () ->
+        let g = Workload.Prng.create 4 in
+        let xs = List.init 20 Fun.id in
+        let ys = Workload.Prng.shuffle g xs in
+        check (Alcotest.list Alcotest.int) "same multiset" xs (List.sort compare ys));
+    tc "pick fails on empty" (fun () ->
+        let g = Workload.Prng.create 5 in
+        Alcotest.check_raises "empty" (Invalid_argument "Prng.pick: empty list")
+          (fun () -> ignore (Workload.Prng.pick g ([] : int list))));
+  ]
+
+let () =
+  Alcotest.run "workload"
+    [
+      ("generator", generator_tests);
+      ("truth", truth_tests);
+      ("populate", populate_tests);
+      ("prng", prng_tests);
+    ]

@@ -1,0 +1,6 @@
+(* Shared helpers for the test suites. *)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec find i = i + n <= h && (String.sub haystack i n = needle || find (i + 1)) in
+  find 0
