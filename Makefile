@@ -1,0 +1,36 @@
+# Tier-1 verification plus the doc/formatting gates.  `make check` is
+# what a PR must keep green.
+
+.PHONY: all build test doc fmt-check metrics check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+doc:
+	dune build @doc
+
+# Formatting is scoped to dune files in dune-project (ocamlformat is
+# not vendored), so the preview is deterministic everywhere.
+fmt-check:
+	@out=$$(dune fmt --preview 2>&1); \
+	if [ -n "$$out" ]; then \
+	  echo "$$out"; \
+	  echo "fmt-check: 'dune fmt --preview' is not clean (run 'dune fmt')"; \
+	  exit 1; \
+	fi
+	@echo "fmt-check: clean"
+
+# Regenerate the observability baseline (see docs/ARCHITECTURE.md).
+metrics:
+	dune exec bench/main.exe -- metrics
+
+check: build test doc fmt-check
+	@echo "check: build, tests, docs and formatting all green"
+
+clean:
+	dune clean

@@ -1,11 +1,17 @@
 (* The benchmark harness: regenerates every figure and screen of the
-   paper (experiments E1-E16, printed as sections) and times the
-   computational kernels with Bechamel.
+   paper (experiments E1-E16, printed as sections), times the
+   computational kernels with Bechamel, and dumps the lib/obs metrics
+   report of an instrumented pipeline run.
 
    Usage:
      dune exec bench/main.exe              runs everything
      dune exec bench/main.exe -- e6 e7     runs selected experiments
-     dune exec bench/main.exe -- timings   runs only the Bechamel part *)
+     dune exec bench/main.exe -- timings   Bechamel + the metrics report
+     dune exec bench/main.exe -- metrics   only the metrics report
+
+   The metrics report (per-phase spans, counters, query-latency
+   histograms — see docs/ARCHITECTURE.md) is printed to stdout and
+   saved to BENCH_pr1.json; override the path with --out FILE. *)
 
 open Bechamel
 open Toolkit
@@ -120,21 +126,120 @@ let run_timings () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* The metrics report: one instrumented end-to-end run — the paper's
+   worked example, a schema-analysis pass, and a synthetic workload
+   driven through protocol, integration and the query layer — exported
+   as JSON by lib/obs.  This is the repo's perf trajectory artefact:
+   each PR that touches a hot path regenerates it and compares. *)
+
+let default_metrics_out = "BENCH_pr1.json"
+
+let run_metrics ?(out = default_metrics_out) () =
+  Experiments.section "METRICS" "instrumented pipeline run (lib/obs report)";
+  Obs.enable ();
+  Obs.reset ();
+  (* the paper's worked example, end to end *)
+  ignore (Workload.Paper.integrate_sc1_sc2 ());
+  (* Phase-2/3 analysis over the paper schemas *)
+  let ws =
+    List.fold_left
+      (fun ws (a, b) -> Integrate.Workspace.declare_equivalent a b ws)
+      (Integrate.Workspace.add_schema Workload.Paper.sc2
+         (Integrate.Workspace.add_schema Workload.Paper.sc1
+            Integrate.Workspace.empty))
+      Workload.Paper.equivalences
+  in
+  ignore (Integrate.Analysis.analyse ws);
+  (* a synthetic workload: full protocol, then queries on instances *)
+  let params =
+    {
+      Workload.Generator.default_params with
+      seed = 4242;
+      concepts = 20;
+      population = 200;
+    }
+  in
+  let w = Workload.Generator.generate params in
+  let result, _stats =
+    Integrate.Protocol.run w.Workload.Generator.schemas
+      w.Workload.Generator.oracle
+  in
+  let stores = Workload.Generator.populate w in
+  (* per-view queries, both evaluated locally and rewritten *)
+  List.iter
+    (fun (s, store) ->
+      List.iter
+        (fun oc ->
+          let q =
+            Query.Ast.query (Ecr.Name.to_string oc.Ecr.Object_class.name)
+          in
+          ignore (Query.Eval.run q store);
+          ignore
+            (Query.Rewrite.to_integrated result.Integrate.Result.mapping
+               ~view:s q))
+        (Ecr.Schema.objects s))
+    stores;
+  (* global queries unfolded onto the component stores *)
+  let named_stores =
+    List.map (fun (s, st) -> (Ecr.Schema.name s, st)) stores
+  in
+  List.iter
+    (fun oc ->
+      let q = Query.Ast.query (Ecr.Name.to_string oc.Ecr.Object_class.name) in
+      ignore
+        (Query.Rewrite.run_global result.Integrate.Result.mapping
+           ~integrated:result.Integrate.Result.schema ~stores:named_stores q))
+    (Ecr.Schema.objects result.Integrate.Result.schema);
+  let meta =
+    [
+      ("tool", Obs.Json.String "sit");
+      ("report", Obs.Json.String "bench-metrics");
+      ( "workload",
+        Obs.Json.Obj
+          [
+            ("schemas", Obs.Json.Int params.Workload.Generator.schemas);
+            ("concepts", Obs.Json.Int params.Workload.Generator.concepts);
+            ("population", Obs.Json.Int params.Workload.Generator.population);
+            ("seed", Obs.Json.Int params.Workload.Generator.seed);
+          ] );
+    ]
+  in
+  print_endline (Obs.Report.to_string ~meta ());
+  Obs.Report.write ~meta out;
+  Printf.printf "metrics report written to %s\n" out;
+  Obs.disable ()
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let out, args =
+    let rec split acc = function
+      | [ "--out" ] ->
+          prerr_endline "--out requires a file argument";
+          exit 2
+      | "--out" :: path :: rest -> (Some path, List.rev_append acc rest)
+      | x :: rest -> split (x :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    split [] args
+  in
   match args with
   | [] ->
       List.iter (fun e -> e ()) Experiments.all;
-      run_timings ()
-  | [ "timings" ] -> run_timings ()
+      run_timings ();
+      run_metrics ?out ()
   | ids ->
       List.iter
         (fun id ->
           match List.assoc_opt (String.lowercase_ascii id) Experiments.by_id with
           | Some e -> e ()
-          | None when id = "timings" -> run_timings ()
+          | None when id = "timings" ->
+              run_timings ();
+              run_metrics ?out ()
+          | None when id = "metrics" -> run_metrics ?out ()
           | None ->
-              Printf.eprintf "unknown experiment %s (e1..e16, timings)\n" id;
+              Printf.eprintf "unknown experiment %s (e1..e16, timings, metrics)\n"
+                id;
               exit 2)
         ids

@@ -71,7 +71,11 @@ let parse_script path =
   List.rev !directives
 
 let run files script out_ddl out_dot name analyse save_dict save_result data
-    updates queries global_queries =
+    updates queries global_queries metrics =
+  if metrics <> None then begin
+    Obs.enable ();
+    Obs.reset ()
+  end;
   let schemas = List.concat_map Ddl.Parser.schemas_of_file files in
   List.iter
     (fun s ->
@@ -249,7 +253,22 @@ let run files script out_ddl out_dot name analyse save_dict save_result data
           rows;
         Printf.printf "(%d rows)\n" (List.length rows))
       global_queries
-  end
+  end;
+  match metrics with
+  | None -> ()
+  | Some path ->
+      let meta =
+        [
+          ("tool", Obs.Json.String "sit_batch");
+          ( "files",
+            Obs.Json.List (List.map (fun f -> Obs.Json.String f) files) );
+        ]
+      in
+      (try Obs.Report.write ~meta path
+       with Sys_error msg ->
+         Printf.eprintf "cannot write metrics report: %s\n" msg;
+         exit 1);
+      Printf.eprintf "metrics report written to %s\n" path
 
 open Cmdliner
 
@@ -321,6 +340,14 @@ let updates =
   in
   Arg.(value & opt_all string [] & info [ "u"; "update" ] ~docv:"UPDATE" ~doc)
 
+let metrics =
+  let doc =
+    "Enable the observability layer for the whole run and write its JSON \
+     report (per-phase spans, counters, query-latency histograms) to $(docv)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics" ] ~docv:"REPORT" ~doc)
+
 let cmd =
   Cmd.v
     (Cmd.info "sit_batch" ~version:"1.0.0"
@@ -328,6 +355,6 @@ let cmd =
     Term.(
       const run $ files $ script $ out_ddl $ out_dot $ integrated_name
       $ analyse $ save_dict $ save_result $ data $ updates $ queries
-      $ global_queries)
+      $ global_queries $ metrics)
 
 let () = exit (Cmd.eval cmd)

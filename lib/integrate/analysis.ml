@@ -148,11 +148,20 @@ let construct_issues weights ws =
         (Heuristics.Construct.detect weights s1 s2))
     (schema_pairs (Workspace.schemas ws))
 
+let c_issues = Obs.Counter.make "analysis.issues"
+
 let analyse
     ?(weights = Heuristics.Resemblance.default_weights Heuristics.Synonyms.default)
     ws =
-  homonyms ws @ class_issues ws @ cardinality_issues ws
-  @ construct_issues weights ws
+  Obs.Span.run "analysis" @@ fun () ->
+  let issues =
+    Obs.Span.run "analysis.homonyms" (fun () -> homonyms ws)
+    @ Obs.Span.run "analysis.class_issues" (fun () -> class_issues ws)
+    @ Obs.Span.run "analysis.cardinality" (fun () -> cardinality_issues ws)
+    @ Obs.Span.run "analysis.constructs" (fun () -> construct_issues weights ws)
+  in
+  Obs.Counter.add c_issues (List.length issues);
+  issues
 
 let to_string = function
   | Homonym (a, b) ->

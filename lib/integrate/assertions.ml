@@ -17,6 +17,14 @@ type t = { nodes : Qname.t list; cells : cell Qname.Pair.Map.t }
 
 exception Contradiction of conflict
 
+(* Observability: the matrix closure is the other superlinear hot path
+   (path consistency is cubic in nodes in the worst case).  [derived]
+   counts cells tightened by composition — the automation the paper
+   credits to transitive derivation; [conflicts] counts rejections. *)
+let c_facts = Obs.Counter.make "assertions.facts_applied"
+let c_derived = Obs.Counter.make "assertions.derived"
+let c_conflicts = Obs.Counter.make "assertions.conflicts"
+
 let nodes t = t.nodes
 
 (* Cells store the relation oriented from [Pair.fst] to [Pair.snd]. *)
@@ -95,6 +103,7 @@ let conflict_of t a b attempted =
    their consequences until fixpoint.  Raises [Contradiction] when a
    cell empties. *)
 let propagate t queue =
+  Obs.Span.run "assertions.propagate" @@ fun () ->
   let t = ref t in
   let pending = Queue.create () in
   List.iter (fun p -> Queue.add p pending) queue;
@@ -110,9 +119,11 @@ let propagate t queue =
           let new_ak = Rel.inter old_ak via_b in
           if not (Rel.equal new_ak old_ak) then begin
             if Rel.is_empty new_ak then begin
+              Obs.Counter.incr c_conflicts;
               let c = conflict_of !t a k None in
               raise (Contradiction { c with current = new_ak })
             end;
+            Obs.Counter.incr c_derived;
             t := set_cell !t a k new_ak (Derived b) ~dj_integrable:false;
             Queue.add (a, k) pending
           end;
@@ -122,9 +133,11 @@ let propagate t queue =
           let new_kb = Rel.inter old_kb via_a in
           if not (Rel.equal new_kb old_kb) then begin
             if Rel.is_empty new_kb then begin
+              Obs.Counter.incr c_conflicts;
               let c = conflict_of !t k b None in
               raise (Contradiction { c with current = new_kb })
             end;
+            Obs.Counter.incr c_derived;
             t := set_cell !t k b new_kb (Derived a) ~dj_integrable:false;
             Queue.add (k, b) pending
           end
@@ -166,10 +179,13 @@ let apply_fact t (a, assertion, b) ~src =
   let rel = Rel.of_assertion assertion in
   let old_rel = relation t a b in
   let new_rel = Rel.inter old_rel rel in
-  if Rel.is_empty new_rel then
+  if Rel.is_empty new_rel then begin
+    Obs.Counter.incr c_conflicts;
     Error (conflict_of t a b (Some assertion))
+  end
   else if Rel.equal new_rel old_rel then Ok t
   else begin
+    Obs.Counter.incr c_facts;
     let dj_integrable = assertion = Assertion.Disjoint_integrable in
     let t' = set_cell t a b new_rel src ~dj_integrable in
     match propagate t' [ (a, b) ] with
@@ -178,6 +194,7 @@ let apply_fact t (a, assertion, b) ~src =
   end
 
 let create schemas =
+  Obs.Span.run "assertions.seed" @@ fun () ->
   let object_nodes =
     List.concat_map
       (fun s ->

@@ -25,8 +25,8 @@ type source =
           object class *)
 
 type conflict = {
-  left : Ecr.Qname.t;
-  right : Ecr.Qname.t;
+  left : Ecr.Qname.t;  (** first object class of the offending cell *)
+  right : Ecr.Qname.t;  (** second object class of the offending cell *)
   current : Rel.t;  (** what the matrix knows, oriented left->right *)
   current_source : source option;
   attempted : Assertion.t option;
@@ -49,6 +49,7 @@ val create_for_relationships : Ecr.Schema.t list -> t
     ECR model has no relationship IS-A). *)
 
 val nodes : t -> Ecr.Qname.t list
+(** The structures the matrix ranges over, in registration order. *)
 
 val add :
   Ecr.Qname.t -> Assertion.t -> Ecr.Qname.t -> t -> (t, conflict) result
@@ -65,6 +66,8 @@ val assertion_between : t -> Ecr.Qname.t -> Ecr.Qname.t -> Assertion.t option
     cells render as integrable iff the DDA used code 4 on that pair. *)
 
 val source_between : t -> Ecr.Qname.t -> Ecr.Qname.t -> source option
+(** Where the cell's knowledge came from; [None] when nothing is
+    known. *)
 
 val explain : t -> Ecr.Qname.t -> Ecr.Qname.t -> (Ecr.Qname.t * Ecr.Qname.t * Assertion.t) list
 (** The asserted/structural leaves supporting the current cell. *)
@@ -78,7 +81,11 @@ val derived_assertions : t -> (Ecr.Qname.t * Ecr.Qname.t * Assertion.t) list
     composition. *)
 
 val asserted_count : t -> int
+(** Number of cells the DDA stated directly. *)
+
 val derived_count : t -> int
+(** Number of singleton cells obtained by derivation alone — the
+    paper's measure of how much work composition saves the DDA. *)
 
 val integration_edges : t -> (Ecr.Qname.t * Ecr.Qname.t * Assertion.t) list
 (** Singleton cells whose assertion is integrable — the edges from which

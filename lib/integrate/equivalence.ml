@@ -15,6 +15,12 @@ type t = {
 
 let empty = { parent = AMap.empty; number = AMap.empty; next = 1 }
 
+(* Observability: [shared_count] enumerates the whole ACS partition per
+   call and backs every OCS matrix entry, so its call count is the first
+   thing to look at when ranking is slow. *)
+let c_unions = Obs.Counter.make "equivalence.unions"
+let c_shared = Obs.Counter.make "equivalence.shared_count_queries"
+
 let rec find t a =
   match AMap.find_opt a t.parent with
   | None -> a
@@ -53,6 +59,7 @@ let declare a b t =
   let ra = find t a and rb = find t b in
   if Qname.Attr.equal ra rb then t
   else begin
+    Obs.Counter.incr c_unions;
     let na = root_number t ra and nb = root_number t rb in
     let keep, absorb = if na <= nb then (ra, rb) else (rb, ra) in
     { t with parent = AMap.add absorb keep t.parent }
@@ -133,6 +140,7 @@ let nontrivial_classes t =
 let members t = List.map fst (AMap.bindings t.parent)
 
 let shared_count obj1 obj2 t =
+  Obs.Counter.incr c_shared;
   List.length
     (List.filter
        (fun cls ->

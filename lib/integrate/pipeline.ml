@@ -20,8 +20,14 @@ let input ?(naming = Naming.default) ?(name = "INTEGRATED") schemas equivalence
     integrated_name = Name.v name;
   }
 
+let c_objects_out = Obs.Counter.make "integrate.objects_out"
+let c_rels_out = Obs.Counter.make "integrate.relationships_out"
+let c_warnings = Obs.Counter.make "integrate.warnings"
+
 let integrate inp =
+  Obs.Span.run "integrate" @@ fun () ->
   let lattice =
+    Obs.Span.run "integrate.lattice" @@ fun () ->
     Lattice.build ~naming:inp.naming ~schemas:inp.schemas
       ~equivalence:inp.equivalence ~matrix:inp.object_assertions ()
   in
@@ -31,6 +37,7 @@ let integrate inp =
       Name.Set.empty lattice.Lattice.nodes
   in
   let rels =
+    Obs.Span.run "integrate.rel_merge" @@ fun () ->
     Rel_merge.build ~naming:inp.naming ~used_names ~schemas:inp.schemas
       ~equivalence:inp.equivalence ~matrix:inp.relationship_assertions ~lattice
       ()
@@ -97,8 +104,10 @@ let integrate inp =
       base rels.Rel_merge.rels
   in
   (* --- mappings ----------------------------------------------------- *)
-  (* reverse index: component attribute -> (integrated class, attr) *)
-  let attr_location =
+  let mapping =
+    Obs.Span.run "integrate.mapping" @@ fun () ->
+    (* reverse index: component attribute -> (integrated class, attr) *)
+    let attr_location =
     let table = Hashtbl.create 64 in
     List.iter
       (fun n ->
@@ -126,9 +135,8 @@ let integrate inp =
               comps)
           m.Rel_merge.attr_components)
       rels.Rel_merge.rels;
-    table
-  in
-  let mapping =
+      table
+    in
     let object_entries =
       List.concat_map
         (fun s ->
@@ -183,6 +191,10 @@ let integrate inp =
     in
     List.fold_left (fun m e -> Mapping.add_relationship e m) m rel_entries
   in
+  Obs.Counter.add c_objects_out (List.length objects);
+  Obs.Counter.add c_rels_out (List.length relationships);
+  Obs.Counter.add c_warnings
+    (List.length lattice.Lattice.warnings + List.length rels.Rel_merge.warnings);
   {
     Result.schema;
     object_origin;

@@ -11,13 +11,17 @@
     integration is provided by {!Strategy}. *)
 
 type input = {
-  schemas : Ecr.Schema.t list;
-  equivalence : Equivalence.t;
+  schemas : Ecr.Schema.t list;  (** the component schemas, in order *)
+  equivalence : Equivalence.t;  (** the ACS partition from Phase 2 *)
   object_assertions : Assertions.t;
+      (** closed matrix over object classes (Phase 3) *)
   relationship_assertions : Assertions.t;
-  naming : Naming.t;
-  integrated_name : Ecr.Name.t;
+      (** closed matrix over relationship sets (Phase 3) *)
+  naming : Naming.t;  (** name-generation policy for merged constructs *)
+  integrated_name : Ecr.Name.t;  (** name of the integrated schema *)
 }
+(** Everything Phase 4 consumes.  Build with {!val-input} rather than by
+    hand so the defaults stay in one place. *)
 
 val input :
   ?naming:Naming.t ->

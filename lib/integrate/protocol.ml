@@ -176,16 +176,30 @@ let rec schema_pairs = function
   | [] -> []
   | s :: rest -> List.map (fun s' -> (s, s')) rest @ schema_pairs rest
 
+let c_presented = Obs.Counter.make "protocol.pairs_presented"
+let c_skipped = Obs.Counter.make "protocol.pairs_skipped_determined"
+let c_accepted = Obs.Counter.make "protocol.assertions_accepted"
+let c_rejected = Obs.Counter.make "protocol.assertions_rejected"
+
+let record_stats s =
+  Obs.Counter.add c_presented s.pairs_presented;
+  Obs.Counter.add c_skipped s.pairs_skipped_determined;
+  Obs.Counter.add c_accepted s.assertions_accepted;
+  Obs.Counter.add c_rejected s.assertions_rejected
+
 let run ?(options = defaults) ?naming ?name schemas dda =
+  Obs.Span.run "protocol.run" @@ fun () ->
   let eq =
-    List.fold_left (fun eq s -> Equivalence.register_schema s eq) Equivalence.empty schemas
-  in
-  let eq =
+    Obs.Span.run "protocol.equivalences" @@ fun () ->
+    let eq =
+      List.fold_left (fun eq s -> Equivalence.register_schema s eq) Equivalence.empty schemas
+    in
     List.fold_left
       (fun eq (s1, s2) -> collect_equivalences options s1 s2 dda eq)
       eq (schema_pairs schemas)
   in
   let objects, ostats =
+    Obs.Span.run "protocol.object_assertions" @@ fun () ->
     List.fold_left
       (fun (m, stats) (s1, s2) ->
         let m, s = collect_object_assertions options s1 s2 dda eq m in
@@ -194,6 +208,7 @@ let run ?(options = defaults) ?naming ?name schemas dda =
       (schema_pairs schemas)
   in
   let rels, rstats =
+    Obs.Span.run "protocol.relationship_assertions" @@ fun () ->
     List.fold_left
       (fun (m, stats) (s1, s2) ->
         let m, s = collect_relationship_assertions options s1 s2 dda eq m in
@@ -204,4 +219,6 @@ let run ?(options = defaults) ?naming ?name schemas dda =
   let result =
     Pipeline.integrate (Pipeline.input ?naming ?name schemas eq objects rels)
   in
-  (result, add_stats ostats rstats)
+  let stats = add_stats ostats rstats in
+  record_stats stats;
+  (result, stats)

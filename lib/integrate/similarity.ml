@@ -8,6 +8,10 @@ type ranked = {
   ratio : float;
 }
 
+(* Observability: the OCS matrix is quadratic in the schemas' structure
+   counts — count every pair scored so bench reports expose the blow-up. *)
+let c_pairs = Obs.Counter.make "similarity.pairs_compared"
+
 let ocs_entry = Equivalence.shared_count
 
 let ratio_of_counts ~shared ~smaller =
@@ -46,10 +50,12 @@ let rank pairs =
     pairs
 
 let ranked_object_pairs s1 s2 eq =
+  Obs.Span.run "similarity.rank_objects" @@ fun () ->
   List.concat_map
     (fun oc1 ->
       List.map
         (fun oc2 ->
+          Obs.Counter.incr c_pairs;
           let left = Schema.qname s1 oc1.Object_class.name
           and right = Schema.qname s2 oc2.Object_class.name in
           {
@@ -67,10 +73,12 @@ let ranked_object_pairs s1 s2 eq =
   |> rank
 
 let ranked_relationship_pairs s1 s2 eq =
+  Obs.Span.run "similarity.rank_relationships" @@ fun () ->
   List.concat_map
     (fun r1 ->
       List.map
         (fun r2 ->
+          Obs.Counter.incr c_pairs;
           let left = Schema.qname s1 r1.Relationship.name
           and right = Schema.qname s2 r2.Relationship.name in
           {

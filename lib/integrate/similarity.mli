@@ -13,12 +13,13 @@
     reviews pairs in decreasing ratio order. *)
 
 type ranked = {
-  left : Ecr.Qname.t;
-  right : Ecr.Qname.t;
+  left : Ecr.Qname.t;  (** structure from the first schema *)
+  right : Ecr.Qname.t;  (** structure from the second schema *)
   shared : int;  (** OCS entry: number of shared equivalence classes *)
   smaller : int;  (** attribute count of the smaller structure *)
-  ratio : float;
+  ratio : float;  (** the attribute ratio in [[0, 0.5]] *)
 }
+(** One row of the ranked-pair listing of Screen 8. *)
 
 val ocs_entry : Ecr.Qname.t -> Ecr.Qname.t -> Equivalence.t -> int
 (** Alias of {!Equivalence.shared_count}. *)
@@ -35,6 +36,8 @@ val relationship_ratio :
   Ecr.Schema.t * Ecr.Relationship.t ->
   Equivalence.t ->
   float
+(** Same ratio for a relationship-set pair, over their local attribute
+    lists. *)
 
 val ranked_object_pairs :
   Ecr.Schema.t -> Ecr.Schema.t -> Equivalence.t -> ranked list
@@ -47,6 +50,9 @@ val ranked_object_pairs :
 
 val ranked_relationship_pairs :
   Ecr.Schema.t -> Ecr.Schema.t -> Equivalence.t -> ranked list
+(** As {!ranked_object_pairs}, over the two schemas' relationship
+    sets. *)
 
-val top :
-  int -> ranked list -> ranked list
+val top : int -> ranked list -> ranked list
+(** [top n ranked] keeps the first [n] rows — what a screenful shows
+    the DDA.  The whole list when [n] exceeds its length. *)

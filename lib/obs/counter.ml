@@ -1,0 +1,22 @@
+type t = { name : string; mutable value : int }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let make name =
+  match Hashtbl.find_opt registry name with
+  | Some c -> c
+  | None ->
+      let c = { name; value = 0 } in
+      Hashtbl.add registry name c;
+      c
+
+let name c = c.name
+let incr c = if !Runtime.enabled then c.value <- c.value + 1
+let add c n = if !Runtime.enabled then c.value <- c.value + n
+let value c = c.value
+
+let all () =
+  Hashtbl.fold (fun name c acc -> (name, c.value) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset_all () = Hashtbl.iter (fun _ c -> c.value <- 0) registry

@@ -1,0 +1,35 @@
+(** Named monotonic counters.
+
+    A counter is created once (typically at module initialisation of the
+    instrumented code) and incremented on the hot path.  Increments are
+    dropped while the layer is disabled ({!Obs.enable}), so
+    instrumentation left in place costs one branch when off.
+
+    Counters are process-global and keyed by name: [make] called twice
+    with the same name returns the same counter, which lets independent
+    modules contribute to one total.  Not thread-safe — the tool is
+    single-domain, as is the whole pipeline. *)
+
+type t
+
+val make : string -> t
+(** [make name] registers (or retrieves) the counter [name].  The
+    conventional name shape is ["layer.event"], e.g.
+    ["similarity.pairs_compared"]. *)
+
+val name : t -> string
+
+val incr : t -> unit
+(** Adds 1 when the layer is enabled; no-op otherwise. *)
+
+val add : t -> int -> unit
+(** Adds [n] when the layer is enabled; no-op otherwise. *)
+
+val value : t -> int
+(** Current value (0 after {!reset_all} or before any increment). *)
+
+val all : unit -> (string * int) list
+(** Every registered counter with its value, sorted by name. *)
+
+val reset_all : unit -> unit
+(** Zeroes every counter (registrations are kept). *)

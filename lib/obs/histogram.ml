@@ -1,0 +1,99 @@
+(* Buckets are geometric with ratio 2^(1/4) starting at [base] = 1 ns:
+   bucket i covers [base * 2^(i/4), base * 2^((i+1)/4)).  240 buckets
+   reach base * 2^60 ≈ 1.15e9 seconds, far past any latency we time. *)
+
+let base = 1e-9
+let buckets_per_octave = 4.0
+let bucket_count = 240
+
+type t = {
+  name : string;
+  mutable count : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+  buckets : int array;
+}
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let make name =
+  match Hashtbl.find_opt registry name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          name;
+          count = 0;
+          sum = 0.0;
+          vmin = infinity;
+          vmax = neg_infinity;
+          buckets = Array.make bucket_count 0;
+        }
+      in
+      Hashtbl.add registry name h;
+      h
+
+let name h = h.name
+
+let bucket_of v =
+  if v <= base then 0
+  else
+    let i =
+      int_of_float (buckets_per_octave *. (Float.log v -. Float.log base) /. Float.log 2.0)
+    in
+    if i < 0 then 0 else if i >= bucket_count then bucket_count - 1 else i
+
+(* Geometric midpoint of bucket [i] — the value reported for quantiles. *)
+let bucket_mid i =
+  base *. Float.pow 2.0 ((float_of_int i +. 0.5) /. buckets_per_octave)
+
+let observe h v =
+  if !Runtime.enabled then begin
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.vmin then h.vmin <- v;
+    if v > h.vmax then h.vmax <- v;
+    let i = bucket_of v in
+    h.buckets.(i) <- h.buckets.(i) + 1
+  end
+
+let time h f =
+  if not !Runtime.enabled then f ()
+  else begin
+    let t0 = Runtime.now () in
+    Fun.protect ~finally:(fun () -> observe h (Runtime.now () -. t0)) f
+  end
+
+let count h = h.count
+let sum h = h.sum
+let mean h = if h.count = 0 then nan else h.sum /. float_of_int h.count
+let min_value h = if h.count = 0 then nan else h.vmin
+let max_value h = if h.count = 0 then nan else h.vmax
+
+let quantile h q =
+  if h.count = 0 then nan
+  else begin
+    let rank = q *. float_of_int h.count in
+    let rec walk i seen =
+      if i >= bucket_count then max_value h
+      else
+        let seen = seen + h.buckets.(i) in
+        if float_of_int seen >= rank then bucket_mid i else walk (i + 1) seen
+    in
+    walk 0 0
+  end
+
+let all () =
+  Hashtbl.fold (fun _ h acc -> h :: acc) registry []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let reset_all () =
+  Hashtbl.iter
+    (fun _ h ->
+      h.count <- 0;
+      h.sum <- 0.0;
+      h.vmin <- infinity;
+      h.vmax <- neg_infinity;
+      Array.fill h.buckets 0 bucket_count 0)
+    registry

@@ -1,0 +1,54 @@
+(** Named histograms over non-negative floats (typically latencies in
+    seconds), with approximate quantiles.
+
+    Observations land in geometric buckets — four per octave starting at
+    one nanosecond — so a quantile estimate carries at most ~19%
+    relative error while the histogram itself is a fixed 240-slot array:
+    no allocation per observation, no unbounded sample buffer.  Exact
+    [count], [sum], [min] and [max] are tracked on the side.
+
+    Like {!Counter}, histograms are process-global, keyed by name, and
+    inert while the layer is disabled. *)
+
+type t
+
+val make : string -> t
+(** [make name] registers (or retrieves) the histogram [name].
+    Conventional name shape: ["layer.quantity_unit"], e.g.
+    ["query.eval_seconds"]. *)
+
+val name : t -> string
+
+val observe : t -> float -> unit
+(** Records one observation when the layer is enabled; no-op otherwise.
+    Negative values are clamped to the lowest bucket (min/max still see
+    the raw value). *)
+
+val time : t -> (unit -> 'a) -> 'a
+(** [time h f] runs [f ()] and observes its wall-clock duration in
+    seconds — also on the exceptional path.  When the layer is disabled
+    this is exactly [f ()]. *)
+
+val count : t -> int
+
+val sum : t -> float
+
+val mean : t -> float
+(** [nan] when empty. *)
+
+val min_value : t -> float
+(** Smallest observation; [nan] when empty. *)
+
+val max_value : t -> float
+(** Largest observation; [nan] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile h q] for [q] in [0..1] estimates the value below which a
+    [q] fraction of observations fall (geometric midpoint of the bucket
+    holding the rank); [nan] when empty. *)
+
+val all : unit -> t list
+(** Every registered histogram, sorted by name. *)
+
+val reset_all : unit -> unit
+(** Empties every histogram (registrations are kept). *)

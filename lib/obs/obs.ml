@@ -1,0 +1,19 @@
+let enable () = Runtime.enabled := true
+let disable () = Runtime.enabled := false
+let enabled () = !Runtime.enabled
+
+let reset () =
+  Counter.reset_all ();
+  Histogram.reset_all ();
+  Span.reset ()
+
+let with_enabled f =
+  let before = !Runtime.enabled in
+  Runtime.enabled := true;
+  Fun.protect ~finally:(fun () -> Runtime.enabled := before) f
+
+module Json = Json
+module Counter = Counter
+module Histogram = Histogram
+module Span = Span
+module Report = Report

@@ -1,0 +1,47 @@
+let rec span_json (s : Span.snapshot) =
+  Json.Obj
+    [
+      ("name", Json.String s.Span.name);
+      ("count", Json.Int s.Span.count);
+      ("total_s", Json.Float s.Span.total_s);
+      ("self_s", Json.Float s.Span.self_s);
+      ("children", Json.List (List.map span_json s.Span.children));
+    ]
+
+let histogram_json h =
+  if Histogram.count h = 0 then Json.Obj [ ("count", Json.Int 0) ]
+  else
+    Json.Obj
+      [
+        ("count", Json.Int (Histogram.count h));
+        ("sum", Json.Float (Histogram.sum h));
+        ("mean", Json.Float (Histogram.mean h));
+        ("min", Json.Float (Histogram.min_value h));
+        ("max", Json.Float (Histogram.max_value h));
+        ("p50", Json.Float (Histogram.quantile h 0.5));
+        ("p90", Json.Float (Histogram.quantile h 0.9));
+        ("p99", Json.Float (Histogram.quantile h 0.99));
+      ]
+
+let to_json ?(meta = []) () =
+  Json.Obj
+    [
+      ("meta", Json.Obj meta);
+      ("spans", Json.List (List.map span_json (Span.roots ())));
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (Counter.all ())) );
+      ( "histograms",
+        Json.Obj
+          (List.map (fun h -> (Histogram.name h, histogram_json h)) (Histogram.all ()))
+      );
+    ]
+
+let to_string ?meta () = Json.to_string ~indent:2 (to_json ?meta ())
+
+let write ?meta path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string ?meta ());
+      output_char oc '\n')

@@ -1,0 +1,27 @@
+(** The JSON metrics report: one snapshot of every span, counter and
+    histogram currently accumulated.
+
+    The document shape (see [docs/ARCHITECTURE.md] for a walkthrough):
+
+    {v
+    { "meta":       { ...caller-supplied context... },
+      "spans":      [ { "name", "count", "total_s", "self_s",
+                        "children": [ ... ] }, ... ],
+      "counters":   { "<name>": <int>, ... },
+      "histograms": { "<name>": { "count", "sum", "mean", "min", "max",
+                                  "p50", "p90", "p99" }, ... } }
+    v}
+
+    Histogram statistics are omitted ([count] only) when empty, so the
+    report never contains NaN — it stays valid JSON. *)
+
+val to_json : ?meta:(string * Json.t) list -> unit -> Json.t
+(** The report as a JSON tree.  [meta] is caller context (tool version,
+    workload parameters, timestamp) copied verbatim into ["meta"]. *)
+
+val to_string : ?meta:(string * Json.t) list -> unit -> string
+(** {!to_json} pretty-printed with 2-space indentation. *)
+
+val write : ?meta:(string * Json.t) list -> string -> unit
+(** [write path] saves {!to_string} (plus a trailing newline) to
+    [path]. *)

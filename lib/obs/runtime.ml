@@ -1,0 +1,12 @@
+(* Internal shared state of the observability layer: the master switch
+   and the clock.  Not exported through [Obs] — instrumented code only
+   ever sees the [Counter]/[Histogram]/[Span] front-ends, all of which
+   check [enabled] first so that instrumentation is a no-op when the
+   layer is off. *)
+
+let enabled = ref false
+
+(* Wall-clock seconds.  [Unix.gettimeofday] is not monotonic, but it is
+   the best portable clock the stdlib offers without C stubs; spans are
+   long enough (whole pipeline phases) that NTP slew is noise. *)
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,65 @@
+type node = {
+  name : string;
+  mutable count : int;
+  mutable total : float;
+  children : (string, node) Hashtbl.t;
+}
+
+let fresh name = { name; count = 0; total = 0.0; children = Hashtbl.create 4 }
+
+(* [root] is a synthetic node whose children are the top-level spans;
+   [stack] is the ancestry of the currently running span, innermost
+   first. *)
+let root = fresh "<root>"
+let stack : node list ref = ref []
+
+let child_of parent name =
+  match Hashtbl.find_opt parent.children name with
+  | Some n -> n
+  | None ->
+      let n = fresh name in
+      Hashtbl.add parent.children name n;
+      n
+
+let run name f =
+  if not !Runtime.enabled then f ()
+  else begin
+    let parent = match !stack with n :: _ -> n | [] -> root in
+    let node = child_of parent name in
+    stack := node :: !stack;
+    let t0 = Runtime.now () in
+    Fun.protect
+      ~finally:(fun () ->
+        node.count <- node.count + 1;
+        node.total <- node.total +. (Runtime.now () -. t0);
+        match !stack with _ :: rest -> stack := rest | [] -> ())
+      f
+  end
+
+type snapshot = {
+  name : string;
+  count : int;
+  total_s : float;
+  self_s : float;
+  children : snapshot list;
+}
+
+let rec snapshot_of (node : node) =
+  let children =
+    Hashtbl.fold (fun _ c acc -> snapshot_of c :: acc) node.children []
+    |> List.sort (fun a b -> String.compare a.name b.name)
+  in
+  let child_total = List.fold_left (fun acc c -> acc +. c.total_s) 0.0 children in
+  {
+    name = node.name;
+    count = node.count;
+    total_s = node.total;
+    self_s = Float.max 0.0 (node.total -. child_total);
+    children;
+  }
+
+let roots () = (snapshot_of root).children
+
+let reset () =
+  Hashtbl.reset root.children;
+  stack := []

@@ -68,7 +68,13 @@ let project schema cls oid store select =
     (fun row a -> Name.Map.add a (Instance.Store.value oid a store) row)
     Name.Map.empty attrs
 
-let run q store =
+(* Observability: per-query latency and answer volume — the numbers a
+   serving deployment watches first. *)
+let h_eval = Obs.Histogram.make "query.eval_seconds"
+let c_evaluated = Obs.Counter.make "query.evaluated"
+let c_rows = Obs.Counter.make "query.rows_returned"
+
+let run_unobserved q store =
   let schema = Instance.Store.schema store in
   require_class schema q.Ast.from_class;
   check_attrs schema q.Ast.from_class q.Ast.select "select";
@@ -163,6 +169,14 @@ let run q store =
           end
           else None)
         (Instance.Store.links j.Ast.rel store)
+
+let run q store =
+  Obs.Span.run "query.eval" @@ fun () ->
+  Obs.Histogram.time h_eval @@ fun () ->
+  Obs.Counter.incr c_evaluated;
+  let rows = run_unobserved q store in
+  Obs.Counter.add c_rows (List.length rows);
+  rows
 
 let row bindings =
   List.fold_left

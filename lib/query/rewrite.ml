@@ -42,7 +42,16 @@ let rename_for_view mapping view cls a =
       | None -> a)
   | None -> a
 
+let h_rewrite = Obs.Histogram.make "query.rewrite_seconds"
+let h_unfold = Obs.Histogram.make "query.unfold_seconds"
+let c_rewrites = Obs.Counter.make "query.rewrites"
+let c_unfolds = Obs.Counter.make "query.unfolds"
+let c_global = Obs.Counter.make "query.global_queries"
+
 let to_integrated mapping ~view q =
+  Obs.Span.run "query.rewrite" @@ fun () ->
+  Obs.Histogram.time h_rewrite @@ fun () ->
+  Obs.Counter.incr c_rewrites;
   let schema_name = Schema.name view in
   let from_q = Qname.make schema_name q.Ast.from_class in
   let entry = object_entry_exn mapping from_q in
@@ -170,6 +179,9 @@ let rewrite_pred_back reverse p =
   walk p
 
 let to_components mapping ~integrated q =
+  Obs.Span.run "query.unfold" @@ fun () ->
+  Obs.Histogram.time h_unfold @@ fun () ->
+  Obs.Counter.incr c_unfolds;
   let wanted = expand_select integrated q.Ast.from_class q.Ast.select in
   let entries = contributing_entries mapping integrated q.Ast.from_class in
   List.filter_map
@@ -339,6 +351,7 @@ let to_components mapping ~integrated q =
     entries
 
 let run_global mapping ~integrated ~stores q =
+  Obs.Counter.incr c_global;
   let parts = to_components mapping ~integrated q in
   (* Within one component, a class whose extent is already covered by a
      broader contributing class of the same schema (e.g. a category under

@@ -283,7 +283,11 @@ let build_universe g p =
 
 (* ------------------------------------------------------------------ *)
 
-let generate p =
+let c_generated = Obs.Counter.make "workload.schemas_generated"
+
+let generate (p : params) =
+  Obs.Span.run "workload.generate" @@ fun () ->
+  Obs.Counter.add c_generated p.schemas;
   let g = Prng.create p.seed in
   let concepts, rel_concepts = build_universe g p in
   let concept_by_id cid = List.find (fun c -> c.cid = cid) concepts in
