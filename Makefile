@@ -1,7 +1,7 @@
 # Tier-1 verification plus the doc/formatting gates.  `make check` is
 # what a PR must keep green.
 
-.PHONY: all build test doc fmt-check metrics check clean
+.PHONY: all build test doc fmt-check metrics bench-diff check clean
 
 all: build
 
@@ -28,6 +28,18 @@ fmt-check:
 # Regenerate the observability baseline (see docs/ARCHITECTURE.md).
 metrics:
 	dune exec bench/main.exe -- metrics
+
+# Compare two metrics reports and fail on span regressions beyond the
+# threshold — the PR-over-PR perf gate (see docs/PERFORMANCE.md).
+# Usage: make bench-diff [OLD=BENCH_pr1.json] [NEW=BENCH_pr2.json]
+#        [THRESHOLD=0.25] [MIN_SECONDS=0.0005]
+OLD ?= BENCH_pr1.json
+NEW ?= BENCH_pr2.json
+THRESHOLD ?= 0.25
+MIN_SECONDS ?= 0.0005
+bench-diff:
+	dune exec bench/diff.exe -- $(OLD) $(NEW) \
+	  --threshold $(THRESHOLD) --min-seconds $(MIN_SECONDS)
 
 check: build test doc fmt-check
 	@echo "check: build, tests, docs and formatting all green"

@@ -1,0 +1,145 @@
+(* bench-diff: compare two lib/obs metrics reports (BENCH_*.json) and
+   flag span-time regressions beyond a threshold, so a PR can state its
+   perf delta mechanically (see docs/PERFORMANCE.md).
+
+   Usage:
+     dune exec bench/diff.exe -- OLD.json NEW.json \
+         [--threshold 0.25] [--min-seconds 0.0005]
+
+   Span paths (slash-joined names down the tree) present in both
+   reports are compared on inclusive time; a path is a regression when
+   its new total exceeds the old by more than THRESHOLD (relative) and
+   the old total is at least MIN_SECONDS (micro-spans are noise).
+   Counters are compared informationally.  Exit status: 0 when no span
+   regressed, 1 otherwise, 2 on usage/parse errors. *)
+
+let usage () =
+  prerr_endline
+    "usage: bench/diff.exe OLD.json NEW.json [--threshold R] [--min-seconds S]";
+  exit 2
+
+let read_file path =
+  let ic = try open_in_bin path with Sys_error e -> prerr_endline e; exit 2 in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse path =
+  match Obs.Json.of_string (read_file path) with
+  | Ok v -> v
+  | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      exit 2
+
+(* --- span tree flattening ------------------------------------------ *)
+
+type span = { count : int; total_s : float }
+
+let rec flatten prefix json acc =
+  match json with
+  | Obs.Json.Obj _ ->
+      let str k = Obs.Json.member k json in
+      let name =
+        match str "name" with Some (Obs.Json.String s) -> s | _ -> "?"
+      in
+      let num k =
+        match str k with
+        | Some (Obs.Json.Float f) -> f
+        | Some (Obs.Json.Int i) -> float_of_int i
+        | _ -> 0.0
+      in
+      let path = if prefix = "" then name else prefix ^ "/" ^ name in
+      let acc =
+        (path, { count = int_of_float (num "count"); total_s = num "total_s" })
+        :: acc
+      in
+      (match str "children" with
+      | Some (Obs.Json.List children) ->
+          List.fold_left (fun acc c -> flatten path c acc) acc children
+      | _ -> acc)
+  | _ -> acc
+
+let spans_of report =
+  match Obs.Json.member "spans" report with
+  | Some (Obs.Json.List roots) ->
+      List.fold_left (fun acc r -> flatten "" r acc) [] roots |> List.rev
+  | _ -> []
+
+let counters_of report =
+  match Obs.Json.member "counters" report with
+  | Some (Obs.Json.Obj fields) ->
+      List.filter_map
+        (fun (k, v) ->
+          match v with Obs.Json.Int i -> Some (k, i) | _ -> None)
+        fields
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let threshold = ref 0.25 and min_seconds = ref 0.0005 in
+  let positional = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+        threshold := float_of_string v;
+        parse_args rest
+    | "--min-seconds" :: v :: rest ->
+        min_seconds := float_of_string v;
+        parse_args rest
+    | ("--threshold" | "--min-seconds") :: [] -> usage ()
+    | x :: rest ->
+        positional := x :: !positional;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let old_path, new_path =
+    match List.rev !positional with [ a; b ] -> (a, b) | _ -> usage ()
+  in
+  let old_spans = spans_of (parse old_path)
+  and new_spans = spans_of (parse new_path) in
+  Printf.printf "bench-diff: %s -> %s (threshold %+.0f%%, floor %gs)\n\n"
+    old_path new_path (100.0 *. !threshold) !min_seconds;
+  Printf.printf "%-58s %12s %12s %9s\n" "span path" "old s" "new s" "delta";
+  let regressions = ref 0 in
+  List.iter
+    (fun (path, o) ->
+      match List.assoc_opt path new_spans with
+      | None -> Printf.printf "%-58s %12.6f %12s %9s\n" path o.total_s "-" "gone"
+      | Some n ->
+          let delta =
+            if o.total_s > 0.0 then (n.total_s -. o.total_s) /. o.total_s
+            else 0.0
+          in
+          let flag =
+            o.total_s >= !min_seconds && delta > !threshold
+          in
+          if flag then incr regressions;
+          Printf.printf "%-58s %12.6f %12.6f %+8.1f%%%s\n" path o.total_s
+            n.total_s (100.0 *. delta)
+            (if flag then "  << REGRESSION" else ""))
+    old_spans;
+  List.iter
+    (fun (path, n) ->
+      if not (List.mem_assoc path old_spans) then
+        Printf.printf "%-58s %12s %12.6f %9s\n" path "-" n.total_s "new")
+    new_spans;
+  let old_counters = counters_of (parse old_path)
+  and new_counters = counters_of (parse new_path) in
+  Printf.printf "\n%-58s %12s %12s\n" "counter" "old" "new";
+  let names =
+    List.sort_uniq compare
+      (List.map fst old_counters @ List.map fst new_counters)
+  in
+  List.iter
+    (fun name ->
+      let v l = match List.assoc_opt name l with Some i -> string_of_int i | None -> "-" in
+      Printf.printf "%-58s %12s %12s\n" name (v old_counters) (v new_counters))
+    names;
+  if !regressions > 0 then begin
+    Printf.printf "\n%d span path(s) regressed beyond %+.0f%%\n" !regressions
+      (100.0 *. !threshold);
+    exit 1
+  end
+  else print_endline "\nno span regressions"

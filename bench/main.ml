@@ -1,5 +1,5 @@
 (* The benchmark harness: regenerates every figure and screen of the
-   paper (experiments E1-E16, printed as sections), times the
+   paper (experiments E1-E18, printed as sections), times the
    computational kernels with Bechamel, and dumps the lib/obs metrics
    report of an instrumented pipeline run.
 
@@ -10,8 +10,10 @@
      dune exec bench/main.exe -- metrics   only the metrics report
 
    The metrics report (per-phase spans, counters, query-latency
-   histograms — see docs/ARCHITECTURE.md) is printed to stdout and
-   saved to BENCH_pr1.json; override the path with --out FILE. *)
+   histograms — see docs/ARCHITECTURE.md and docs/PERFORMANCE.md) is
+   printed to stdout and saved to BENCH_pr2.json; override the path
+   with --out FILE.  Compare two reports mechanically with
+   `dune exec bench/diff.exe -- OLD.json NEW.json` (make bench-diff). *)
 
 open Bechamel
 open Toolkit
@@ -62,6 +64,20 @@ let ranking_test (concepts, w) =
     (Staged.stage (fun () ->
          ignore (Integrate.Similarity.ranked_object_pairs s1 s2 eq)))
 
+let ranking_cached_test (concepts, w) =
+  let schemas = w.Workload.Generator.schemas in
+  let s1 = List.nth schemas 0 and s2 = List.nth schemas 1 in
+  let eq =
+    Integrate.Protocol.collect_equivalences
+      { Integrate.Protocol.defaults with exhaustive_attribute_pairs = true }
+      s1 s2 w.Workload.Generator.oracle Integrate.Equivalence.empty
+  in
+  let index = Integrate.Acs_index.build eq in
+  Test.make
+    ~name:(Printf.sprintf "ranking-cached-index/%d-concepts" concepts)
+    (Staged.stage (fun () ->
+         ignore (Integrate.Similarity.ranked_object_pairs_with index s1 s2)))
+
 let pipeline_test (concepts, w) =
   Test.make
     ~name:(Printf.sprintf "protocol+integrate/%d-concepts" concepts)
@@ -94,6 +110,7 @@ let run_timings () =
     [ paper_test ]
     @ List.map closure_test sized
     @ List.map ranking_test sized
+    @ List.map ranking_cached_test sized
     @ List.map pipeline_test sized
     @ [ rewrite_test (List.hd sized) ]
   in
@@ -132,7 +149,7 @@ let run_timings () =
    as JSON by lib/obs.  This is the repo's perf trajectory artefact:
    each PR that touches a hot path regenerates it and compares. *)
 
-let default_metrics_out = "BENCH_pr1.json"
+let default_metrics_out = "BENCH_pr2.json"
 
 let run_metrics ?(out = default_metrics_out) () =
   Experiments.section "METRICS" "instrumented pipeline run (lib/obs report)";
@@ -239,7 +256,7 @@ let () =
               run_metrics ?out ()
           | None when id = "metrics" -> run_metrics ?out ()
           | None ->
-              Printf.eprintf "unknown experiment %s (e1..e16, timings, metrics)\n"
+              Printf.eprintf "unknown experiment %s (e1..e18, timings, metrics)\n"
                 id;
               exit 2)
         ids

@@ -2,10 +2,8 @@ open Ecr
 
 let score weighted s1 s2 =
   let objs1 = Schema.objects s1 and objs2 = Schema.objects s2 in
-  let small, large =
-    if List.length objs1 <= List.length objs2 then (objs1, objs2)
-    else (objs2, objs1)
-  in
+  let n1 = List.length objs1 and n2 = List.length objs2 in
+  let small, n_small, large = if n1 <= n2 then (objs1, n1, objs2) else (objs2, n2, objs1) in
   match small with
   | [] -> 0.0
   | _ ->
@@ -15,30 +13,54 @@ let score weighted s1 s2 =
           0.0 large
       in
       List.fold_left (fun acc oc -> acc +. best oc) 0.0 small
-      /. float_of_int (List.length small)
+      /. float_of_int n_small
 
-let rank_pairs weighted schemas =
+(* All unordered schema pairs, each scored exactly once — the shared
+   enumeration behind every entry point below. *)
+let scored_pairs weighted schemas =
   let rec pairs = function
     | [] -> []
-    | s :: rest -> List.map (fun s' -> (s, s')) rest @ pairs rest
+    | s :: rest -> List.map (fun s' -> (s, s', score weighted s s')) rest @ pairs rest
   in
   pairs schemas
-  |> List.map (fun (a, b) -> (Schema.name a, Schema.name b, score weighted a b))
+
+let rank_pairs weighted schemas =
+  scored_pairs weighted schemas
+  |> List.map (fun (a, b, sc) -> (Schema.name a, Schema.name b, sc))
   |> List.sort (fun (_, _, x) (_, _, y) -> Float.compare y x)
 
-let most_similar_pair weighted schemas =
-  let rec pairs = function
-    | [] -> []
-    | s :: rest -> List.map (fun s' -> (s, s')) rest @ pairs rest
-  in
-  match pairs schemas with
+let top_pairs ~k weighted schemas =
+  (* bounded insertion keeps the best k without sorting all pairs; pair
+     counts are quadratic in the schema count, k is a screenful *)
+  if k <= 0 then []
+  else
+    let insert best ((_, _, sc) as p) =
+      let rec go = function
+        | [] -> [ p ]
+        | ((_, _, sc') as q) :: rest ->
+            if sc > sc' then p :: q :: rest else q :: go rest
+      in
+      let best = go best in
+      if List.length best > k then List.filteri (fun i _ -> i < k) best else best
+    in
+    List.fold_left insert [] (scored_pairs weighted schemas)
+    |> List.map (fun (a, b, sc) -> (Schema.name a, Schema.name b, sc))
+
+let best_of = function
   | [] -> None
-  | all ->
+  | scored ->
       let best =
         List.fold_left
-          (fun (bp, bs) (a, b) ->
-            let sc = score weighted a b in
-            if sc > bs then (Some (a, b), sc) else (bp, bs))
-          (None, -1.0) all
+          (fun (bp, bs) (a, b, sc) -> if sc > bs then (Some (a, b), sc) else (bp, bs))
+          (None, -1.0) scored
       in
       fst best
+
+let most_similar_pair weighted schemas = best_of (scored_pairs weighted schemas)
+
+let merge_pool weighted ~merged ~replacing scored pool =
+  let gone s = List.memq s replacing in
+  let survivors = List.filter (fun s -> not (gone s)) pool in
+  let kept = List.filter (fun (a, b, _) -> not (gone a || gone b)) scored in
+  let fresh = List.map (fun s -> (merged, s, score weighted merged s)) survivors in
+  (fresh @ kept, merged :: survivors)

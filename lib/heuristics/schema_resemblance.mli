@@ -5,11 +5,23 @@
     schemas, which could be particularly useful in picking similar
     schemas for integration in a binary approach."  Used by the binary
     integration strategies in the benchmark harness to pick the next
-    pair of schemas to merge. *)
+    pair of schemas to merge.
+
+    Every entry point shares one enumeration that scores each unordered
+    schema pair exactly once; {!merge_pool} lets a binary strategy carry
+    those scores across rounds, re-scoring only the pairs the freshly
+    merged schema introduces. *)
 
 val score : Resemblance.weighted -> Ecr.Schema.t -> Ecr.Schema.t -> float
 (** Mean of the best object-level resemblance of every object class of
     the smaller schema against the other schema's classes; in [0, 1]. *)
+
+val scored_pairs :
+  Resemblance.weighted ->
+  Ecr.Schema.t list ->
+  (Ecr.Schema.t * Ecr.Schema.t * float) list
+(** All unordered schema pairs with their scores, each pair scored
+    once.  Unsorted (enumeration order). *)
 
 val rank_pairs :
   Resemblance.weighted ->
@@ -17,7 +29,36 @@ val rank_pairs :
   (Ecr.Name.t * Ecr.Name.t * float) list
 (** All unordered schema pairs ordered by decreasing resemblance. *)
 
+val top_pairs :
+  k:int ->
+  Resemblance.weighted ->
+  Ecr.Schema.t list ->
+  (Ecr.Name.t * Ecr.Name.t * float) list
+(** The [k] highest-scoring pairs in decreasing order, selected by
+    bounded insertion — the prefix of {!rank_pairs} up to the order of
+    equal scores. *)
+
 val most_similar_pair :
   Resemblance.weighted -> Ecr.Schema.t list -> (Ecr.Schema.t * Ecr.Schema.t) option
 (** The pair a similarity-guided binary strategy should integrate
-    next; [None] when fewer than two schemas remain. *)
+    next; [None] when fewer than two schemas remain.  A single max scan,
+    no sort. *)
+
+val best_of :
+  (Ecr.Schema.t * Ecr.Schema.t * float) list ->
+  (Ecr.Schema.t * Ecr.Schema.t) option
+(** The highest-scoring pair of an already-scored list (as produced by
+    {!scored_pairs} or {!merge_pool}). *)
+
+val merge_pool :
+  Resemblance.weighted ->
+  merged:Ecr.Schema.t ->
+  replacing:Ecr.Schema.t list ->
+  (Ecr.Schema.t * Ecr.Schema.t * float) list ->
+  Ecr.Schema.t list ->
+  (Ecr.Schema.t * Ecr.Schema.t * float) list * Ecr.Schema.t list
+(** [merge_pool w ~merged ~replacing scored pool] updates a binary
+    strategy's round state after [replacing] (compared physically) were
+    integrated into [merged]: surviving pair scores are kept, and only
+    [merged] × survivors are scored afresh — O(pool) new scores per
+    round instead of O(pool²).  Returns the new scored list and pool. *)

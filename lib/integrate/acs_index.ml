@@ -1,0 +1,168 @@
+open Ecr
+module AMap = Qname.Attr.Map
+module ASet = Qname.Attr.Set
+module OMap = Qname.Map
+module PMap = Qname.Pair.Map
+
+(* The index keeps, next to the attribute → root partition mirror, the
+   per-class owner multiset (so classes can be un-contributed when they
+   merge or shrink) and the two query-facing aggregates: the OCS entry
+   per unordered owner pair and the per-owner class count (diagonal). *)
+type t = {
+  root : Qname.Attr.t AMap.t;  (** attribute -> its class root *)
+  members : ASet.t AMap.t;  (** root -> class members *)
+  owners : int OMap.t AMap.t;  (** root -> owner -> #attributes in class *)
+  pair_shared : int PMap.t;  (** distinct owner pair -> #covering classes *)
+  owner_classes : int OMap.t;  (** owner -> #covering classes *)
+}
+
+let empty =
+  {
+    root = AMap.empty;
+    members = AMap.empty;
+    owners = AMap.empty;
+    pair_shared = PMap.empty;
+    owner_classes = OMap.empty;
+  }
+
+let c_builds = Obs.Counter.make "similarity.index_builds"
+let c_updates = Obs.Counter.make "similarity.index_updates"
+
+(* --- class contribution bookkeeping ------------------------------- *)
+
+let bump_pair delta p m =
+  let v = delta + Option.value ~default:0 (PMap.find_opt p m) in
+  if v = 0 then PMap.remove p m else PMap.add p v m
+
+let bump_owner delta o m =
+  let v = delta + Option.value ~default:0 (OMap.find_opt o m) in
+  if v = 0 then OMap.remove o m else OMap.add o v m
+
+(* Adds (delta = 1) or removes (delta = -1) one class's contribution to
+   the aggregates: every owner it covers gains/loses a covering class,
+   and so does every unordered pair of distinct owners.  Cost is
+   quadratic in the class's *owner* count, which is bounded by the
+   number of schemas in the workspace — tiny next to the attr count. *)
+let contribute delta owner_multiset t =
+  let owner_list = List.map fst (OMap.bindings owner_multiset) in
+  let owner_classes =
+    List.fold_left
+      (fun acc o -> bump_owner delta o acc)
+      t.owner_classes owner_list
+  in
+  let rec pairs acc = function
+    | [] -> acc
+    | o :: rest ->
+        pairs
+          (List.fold_left
+             (fun acc o' -> bump_pair delta (Qname.Pair.make o o') acc)
+             acc rest)
+          rest
+  in
+  { t with owner_classes; pair_shared = pairs t.pair_shared owner_list }
+
+let owners_of_members members =
+  ASet.fold
+    (fun a acc -> bump_owner 1 a.Qname.Attr.owner acc)
+    members OMap.empty
+
+(* Installs a class (members + owner multiset) under [root] and adds its
+   contribution. *)
+let add_class root members owner_multiset t =
+  let t = contribute 1 owner_multiset t in
+  {
+    t with
+    root = ASet.fold (fun a acc -> AMap.add a root acc) members t.root;
+    members = AMap.add root members t.members;
+    owners = AMap.add root owner_multiset t.owners;
+  }
+
+(* Drops a class (by root) and removes its contribution; the members'
+   [root] entries are left to be overwritten by the caller. *)
+let drop_class root t =
+  let owner_multiset = AMap.find root t.owners in
+  let t = contribute (-1) owner_multiset t in
+  { t with members = AMap.remove root t.members; owners = AMap.remove root t.owners }
+
+(* --- mirrored partition operations -------------------------------- *)
+
+let register a t =
+  if AMap.mem a t.root then t
+  else
+    add_class a (ASet.singleton a) (OMap.singleton a.Qname.Attr.owner 1) t
+
+let register_schema s t =
+  let add_attrs owner attrs t =
+    List.fold_left
+      (fun t attr -> register (Qname.Attr.make owner attr.Attribute.name) t)
+      t attrs
+  in
+  let t =
+    List.fold_left
+      (fun t oc ->
+        add_attrs (Schema.qname s oc.Object_class.name) oc.Object_class.attributes t)
+      t (Schema.objects s)
+  in
+  List.fold_left
+    (fun t r ->
+      add_attrs (Schema.qname s r.Relationship.name) r.Relationship.attributes t)
+    t (Schema.relationships s)
+
+let declare a b t =
+  let t = register a (register b t) in
+  let ra = AMap.find a t.root and rb = AMap.find b t.root in
+  if Qname.Attr.equal ra rb then t
+  else begin
+    Obs.Counter.incr c_updates;
+    let ma = AMap.find ra t.members and mb = AMap.find rb t.members in
+    let oa = AMap.find ra t.owners and ob = AMap.find rb t.owners in
+    let keep, grow, absorb =
+      if ASet.cardinal ma >= ASet.cardinal mb then (ra, ma, mb) else (rb, mb, ma)
+    in
+    let merged_owners =
+      OMap.union (fun _ x y -> Some (x + y)) oa ob
+    in
+    let t = drop_class ra (drop_class rb t) in
+    add_class keep (ASet.union grow absorb) merged_owners t
+  end
+
+let separate a t =
+  match AMap.find_opt a t.root with
+  | None -> t
+  | Some r ->
+      let members = AMap.find r t.members in
+      if ASet.cardinal members <= 1 then t
+      else begin
+        Obs.Counter.incr c_updates;
+        let t = drop_class r t in
+        let rest = ASet.remove a members in
+        let rest_root =
+          if Qname.Attr.equal r a then ASet.min_elt rest else r
+        in
+        let t = add_class rest_root rest (owners_of_members rest) t in
+        add_class a (ASet.singleton a)
+          (OMap.singleton a.Qname.Attr.owner 1)
+          t
+      end
+
+(* --- one-pass construction ---------------------------------------- *)
+
+let build eq =
+  Obs.Span.run "similarity.index_build" @@ fun () ->
+  Obs.Counter.incr c_builds;
+  List.fold_left
+    (fun t cls ->
+      match cls with
+      | [] -> t
+      | root :: _ ->
+          let members = ASet.of_list cls in
+          add_class root members (owners_of_members members) t)
+    empty (Equivalence.classes eq)
+
+(* --- queries ------------------------------------------------------- *)
+
+let shared o1 o2 t =
+  if Qname.equal o1 o2 then
+    Option.value ~default:0 (OMap.find_opt o1 t.owner_classes)
+  else
+    Option.value ~default:0 (PMap.find_opt (Qname.Pair.make o1 o2) t.pair_shared)

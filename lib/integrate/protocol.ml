@@ -113,11 +113,6 @@ let collect_equivalences options s1 s2 (dda : Dda.t) eq =
 (* Phase 3.                                                            *)
 
 let collect_over_pairs options (dda : Dda.t) ask ranked matrix =
-  let ranked =
-    match options.max_object_pairs with
-    | None -> ranked
-    | Some n -> Similarity.top n ranked
-  in
   List.fold_left
     (fun (matrix, stats) rk ->
       let left = rk.Similarity.left and right = rk.Similarity.right in
@@ -160,14 +155,31 @@ let collect_over_pairs options (dda : Dda.t) ask ranked matrix =
       end)
     (matrix, zero_stats) ranked
 
-let collect_object_assertions options s1 s2 (dda : Dda.t) eq matrix =
+(* The ranked pair list for one schema pair: the whole ordering, or —
+   under a DDA effort budget — only the best [n] pairs by heap
+   selection, skipping the full sort.  A caller-supplied index (built
+   once per equivalence state) is reused across every schema pair. *)
+let ranked_for options full top_k index s1 s2 =
+  match options.max_object_pairs with
+  | None -> full index s1 s2
+  | Some n -> top_k ~k:n index s1 s2
+
+let collect_object_assertions ?index options s1 s2 (dda : Dda.t) eq matrix =
+  let index =
+    match index with Some i -> i | None -> Acs_index.build eq
+  in
   collect_over_pairs options dda dda.Dda.object_assertion
-    (Similarity.ranked_object_pairs s1 s2 eq)
+    (ranked_for options Similarity.ranked_object_pairs_with
+       Similarity.top_object_pairs index s1 s2)
     matrix
 
-let collect_relationship_assertions options s1 s2 (dda : Dda.t) eq matrix =
+let collect_relationship_assertions ?index options s1 s2 (dda : Dda.t) eq matrix =
+  let index =
+    match index with Some i -> i | None -> Acs_index.build eq
+  in
   collect_over_pairs options dda dda.Dda.relationship_assertion
-    (Similarity.ranked_relationship_pairs s1 s2 eq)
+    (ranked_for options Similarity.ranked_relationship_pairs_with
+       Similarity.top_relationship_pairs index s1 s2)
     matrix
 
 (* ------------------------------------------------------------------ *)
@@ -198,11 +210,14 @@ let run ?(options = defaults) ?naming ?name schemas dda =
       (fun eq (s1, s2) -> collect_equivalences options s1 s2 dda eq)
       eq (schema_pairs schemas)
   in
+  (* Phase 2 fixed the partition: index it once, rank every schema pair
+     of both subphases against the same index. *)
+  let index = Acs_index.build eq in
   let objects, ostats =
     Obs.Span.run "protocol.object_assertions" @@ fun () ->
     List.fold_left
       (fun (m, stats) (s1, s2) ->
-        let m, s = collect_object_assertions options s1 s2 dda eq m in
+        let m, s = collect_object_assertions ~index options s1 s2 dda eq m in
         (m, add_stats stats s))
       (Assertions.create schemas, zero_stats)
       (schema_pairs schemas)
@@ -211,7 +226,9 @@ let run ?(options = defaults) ?naming ?name schemas dda =
     Obs.Span.run "protocol.relationship_assertions" @@ fun () ->
     List.fold_left
       (fun (m, stats) (s1, s2) ->
-        let m, s = collect_relationship_assertions options s1 s2 dda eq m in
+        let m, s =
+          collect_relationship_assertions ~index options s1 s2 dda eq m
+        in
         (m, add_stats stats s))
       (Assertions.create_for_relationships schemas, zero_stats)
       (schema_pairs schemas)

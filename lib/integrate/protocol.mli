@@ -50,6 +50,7 @@ val collect_equivalences :
     sets. *)
 
 val collect_object_assertions :
+  ?index:Acs_index.t ->
   options ->
   Ecr.Schema.t ->
   Ecr.Schema.t ->
@@ -57,9 +58,13 @@ val collect_object_assertions :
   Equivalence.t ->
   Assertions.t ->
   Assertions.t * stats
-(** Phase 3, object subphase, over the ranked pair list. *)
+(** Phase 3, object subphase, over the ranked pair list.  [?index] is an
+    {!Acs_index} already built over the given equivalence; when absent,
+    one is built for this call.  {!run} builds a single index after
+    Phase 2 and shares it across every schema pair of both subphases. *)
 
 val collect_relationship_assertions :
+  ?index:Acs_index.t ->
   options ->
   Ecr.Schema.t ->
   Ecr.Schema.t ->

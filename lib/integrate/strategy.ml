@@ -1,5 +1,3 @@
-open Ecr
-
 type outcome = { result : Result.t; stats : Protocol.stats; steps : int }
 
 let nary ?options ?naming schemas dda =
@@ -80,28 +78,28 @@ let binary_guided ?options ?naming ?register ~weights schemas dda =
       let counter = ref 0 in
       let stats = ref Protocol.zero_stats in
       let last_result = ref None in
-      let rec rounds pool =
+      (* Pair scores are carried across rounds: each merge drops the two
+         integrated schemas' pairs and scores only the merged schema
+         against the survivors (Schema_resemblance.merge_pool), instead
+         of re-scoring the whole pool every round. *)
+      let rec rounds scored pool =
         match pool with
         | [] -> assert false
         | [ _ ] -> ()
         | _ -> (
-            match Heuristics.Schema_resemblance.most_similar_pair weights pool with
+            match Heuristics.Schema_resemblance.best_of scored with
             | None -> ()
             | Some (a, b) ->
                 let r, st = step ?options ?naming ?register counter a b dda in
                 stats := Protocol.add_stats !stats st;
                 last_result := Some r;
-                let pool =
-                  r.Result.schema
-                  :: List.filter
-                       (fun s ->
-                         (not (Name.equal (Schema.name s) (Schema.name a)))
-                         && not (Name.equal (Schema.name s) (Schema.name b)))
-                       pool
+                let scored, pool =
+                  Heuristics.Schema_resemblance.merge_pool weights
+                    ~merged:r.Result.schema ~replacing:[ a; b ] scored pool
                 in
-                rounds pool)
+                rounds scored pool)
       in
-      rounds schemas;
+      rounds (Heuristics.Schema_resemblance.scored_pairs weights schemas) schemas;
       let result =
         match !last_result with
         | Some r -> r

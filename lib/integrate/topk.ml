@@ -1,0 +1,67 @@
+(* A size-bounded binary max-heap over (element, input index) pairs.
+   The heap order is the caller's [compare] with the input index as the
+   final tie-break, which makes the order total and reproduces the
+   stable sort's treatment of ties exactly. *)
+
+let select ~compare:cmp k l =
+  if k <= 0 then []
+  else begin
+    let total a b =
+      match cmp (fst a) (fst b) with
+      | 0 -> Int.compare (snd a) (snd b)
+      | c -> c
+    in
+    (* heap.(0 .. size-1) is a max-heap under [total]: the root is the
+       worst of the best-k seen so far, ready to be evicted. *)
+    let heap = Array.make k None in
+    let size = ref 0 in
+    let get i = Option.get heap.(i) in
+    let swap i j =
+      let t = heap.(i) in
+      heap.(i) <- heap.(j);
+      heap.(j) <- t
+    in
+    let rec sift_up i =
+      if i > 0 then begin
+        let p = (i - 1) / 2 in
+        if total (get p) (get i) < 0 then begin
+          swap p i;
+          sift_up p
+        end
+      end
+    in
+    let rec sift_down i =
+      let l = (2 * i) + 1 and r = (2 * i) + 2 in
+      let largest = ref i in
+      if l < !size && total (get l) (get !largest) > 0 then largest := l;
+      if r < !size && total (get r) (get !largest) > 0 then largest := r;
+      if !largest <> i then begin
+        swap i !largest;
+        sift_down !largest
+      end
+    in
+    List.iteri
+      (fun idx x ->
+        let candidate = (x, idx) in
+        if !size < k then begin
+          heap.(!size) <- Some candidate;
+          incr size;
+          sift_up (!size - 1)
+        end
+        else if total candidate (get 0) < 0 then begin
+          heap.(0) <- Some candidate;
+          sift_down 0
+        end)
+      l;
+    (* drain the heap back-to-front into ascending order *)
+    let out = Array.make !size None in
+    let n = !size in
+    for slot = n - 1 downto 0 do
+      out.(slot) <- heap.(0);
+      decr size;
+      heap.(0) <- heap.(!size);
+      heap.(!size) <- None;
+      if !size > 0 then sift_down 0
+    done;
+    Array.to_list out |> List.map (fun x -> fst (Option.get x))
+  end

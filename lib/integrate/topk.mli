@@ -1,0 +1,15 @@
+(** Bounded selection: the first [k] elements of a stable sort, without
+    sorting the whole list.
+
+    The OCS ranking produces O(|O₁|·|O₂|) rows but an interactive DDA
+    only reviews a screenful at a time, so fully sorting the matrix is
+    wasted work.  [select] keeps a size-[k] max-heap over the candidates
+    and returns exactly what [List.stable_sort compare l |> take k]
+    would — including the order among ties, which follows the input
+    (declaration) order — in O(n log k) instead of O(n log n). *)
+
+val select : compare:('a -> 'a -> int) -> int -> 'a list -> 'a list
+(** [select ~compare k l] is the [k]-prefix of [List.stable_sort compare
+    l] (the whole list, sorted, when [k >= List.length l]; [[]] when
+    [k <= 0]).  Ties under [compare] are broken by input position, so
+    the result is element-for-element equal to the stable-sort prefix. *)

@@ -5,6 +5,10 @@ type fact = Qname.t * Assertion.t * Qname.t
 type t = {
   schemas : Schema.t list;
   equivalence : Equivalence.t;
+  index : Acs_index.t;
+      (** kept in lockstep with [equivalence]: patched incrementally by
+          [declare_equivalent]/[separate_attribute], rebuilt on the rare
+          structural edits (schema add/remove) *)
   object_facts : fact list;  (** in entry order *)
   relationship_facts : fact list;
   naming : Naming.t;
@@ -14,6 +18,7 @@ let empty =
   {
     schemas = [];
     equivalence = Equivalence.empty;
+    index = Acs_index.empty;
     object_facts = [];
     relationship_facts = [];
     naming = Naming.default;
@@ -36,29 +41,46 @@ let add_schema s t =
       t.schemas
   in
   let schemas = if !replaced then schemas else schemas @ [ s ] in
-  { t with schemas; equivalence = Equivalence.register_schema s t.equivalence }
+  {
+    t with
+    schemas;
+    equivalence = Equivalence.register_schema s t.equivalence;
+    index = Acs_index.register_schema s t.index;
+  }
 
 let remove_schema n t =
   let keeps_schema q = not (Name.equal q.Qname.schema n) in
   let keep_fact (a, _, b) = keeps_schema a && keeps_schema b in
+  let equivalence =
+    Equivalence.restrict (fun qa -> keeps_schema qa.Qname.Attr.owner) t.equivalence
+  in
   {
     t with
     schemas = List.filter (fun s -> not (Name.equal (Schema.name s) n)) t.schemas;
-    equivalence =
-      Equivalence.restrict
-        (fun qa -> keeps_schema qa.Qname.Attr.owner)
-        t.equivalence;
+    equivalence;
+    (* a structural edit: restriction can split classes arbitrarily, so
+       rebuild rather than patch *)
+    index = Acs_index.build equivalence;
     object_facts = List.filter keep_fact t.object_facts;
     relationship_facts = List.filter keep_fact t.relationship_facts;
   }
 
 let declare_equivalent a b t =
-  { t with equivalence = Equivalence.declare a b t.equivalence }
+  {
+    t with
+    equivalence = Equivalence.declare a b t.equivalence;
+    index = Acs_index.declare a b t.index;
+  }
 
 let separate_attribute a t =
-  { t with equivalence = Equivalence.separate a t.equivalence }
+  {
+    t with
+    equivalence = Equivalence.separate a t.equivalence;
+    index = Acs_index.separate a t.index;
+  }
 
 let equivalence t = t.equivalence
+let index t = t.index
 
 let replay create facts t =
   List.fold_left
@@ -122,12 +144,12 @@ let require_schema n t =
   match find_schema n t with Some s -> s | None -> raise Not_found
 
 let ranked_pairs n1 n2 t =
-  Similarity.ranked_object_pairs (require_schema n1 t) (require_schema n2 t)
-    t.equivalence
+  Similarity.ranked_object_pairs_with t.index (require_schema n1 t)
+    (require_schema n2 t)
 
 let ranked_relationship_pairs n1 n2 t =
-  Similarity.ranked_relationship_pairs (require_schema n1 t)
-    (require_schema n2 t) t.equivalence
+  Similarity.ranked_relationship_pairs_with t.index (require_schema n1 t)
+    (require_schema n2 t)
 
 let set_naming naming t = { t with naming }
 let naming t = t.naming

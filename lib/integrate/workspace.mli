@@ -28,6 +28,14 @@ val declare_equivalent : Ecr.Qname.Attr.t -> Ecr.Qname.Attr.t -> t -> t
 val separate_attribute : Ecr.Qname.Attr.t -> t -> t
 val equivalence : t -> Equivalence.t
 
+val index : t -> Acs_index.t
+(** The {!Acs_index} over {!equivalence}, maintained incrementally:
+    [declare_equivalent] and [separate_attribute] patch only the classes
+    they touch, structural edits ([add_schema]/[remove_schema]) refresh
+    it, and {!ranked_pairs} consumes it without rebuilding — so Screen 8
+    refreshes after a Screen 7 edit cost one index patch, not a
+    partition fold. *)
+
 (** {1 Phase 3 — assertions} *)
 
 val object_matrix : t -> Assertions.t

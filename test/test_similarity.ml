@@ -144,6 +144,171 @@ let ranking_tests =
         | _ -> Alcotest.fail "expected two schemas");
   ]
 
+(* ------------------------------------------------------------------ *)
+(* The indexed engine: Acs_index must be observationally equal to the
+   naive partition scan, top-k to the full sort's prefix, and the
+   incrementally patched workspace index to a from-scratch rebuild.     *)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let params_gen =
+  QCheck.Gen.(
+    let* seed = int_range 0 10_000 in
+    let* concepts = int_range 4 14 in
+    let* noise = float_range 0.0 0.5 in
+    return
+      {
+        Workload.Generator.default_params with
+        seed;
+        concepts;
+        naming_noise = noise;
+        population = concepts * 10;
+      })
+
+let params =
+  QCheck.make
+    ~print:(fun p ->
+      Printf.sprintf "seed=%d concepts=%d noise=%f" p.Workload.Generator.seed
+        p.Workload.Generator.concepts p.Workload.Generator.naming_noise)
+    params_gen
+
+(* Every structure (object class or relationship set) of a schema list,
+   as qualified names — the owner universe the OCS matrix ranges over. *)
+let owners schemas =
+  List.concat_map
+    (fun s ->
+      List.map (fun oc -> Schema.qname s oc.Object_class.name) (Schema.objects s)
+      @ List.map
+          (fun r -> Schema.qname s r.Relationship.name)
+          (Schema.relationships s))
+    schemas
+
+let attributes schemas =
+  List.concat_map
+    (fun s ->
+      List.concat_map
+        (fun oc ->
+          List.map
+            (fun (a : Attribute.t) ->
+              Qname.Attr.make (Schema.qname s oc.Object_class.name) a.Attribute.name)
+            oc.Object_class.attributes)
+        (Schema.objects s)
+      @ List.concat_map
+          (fun r ->
+            List.map
+              (fun (a : Attribute.t) ->
+                Qname.Attr.make
+                  (Schema.qname s r.Relationship.name)
+                  a.Attribute.name)
+              r.Relationship.attributes)
+          (Schema.relationships s))
+    schemas
+
+let oracle_equivalence w s1 s2 =
+  Protocol.collect_equivalences
+    { Protocol.defaults with exhaustive_attribute_pairs = true }
+    s1 s2 w.Workload.Generator.oracle Equivalence.empty
+
+let index_matches_naive eq schemas =
+  let index = Acs_index.build eq in
+  let os = owners schemas in
+  List.for_all
+    (fun o1 ->
+      List.for_all
+        (fun o2 ->
+          Acs_index.shared o1 o2 index = Equivalence.shared_count o1 o2 eq)
+        os)
+    os
+
+(* A session: interleaved declares (pairing random attributes) and
+   separates (random attributes), driven by index picks. *)
+let session_gen =
+  QCheck.Gen.(
+    let* p = params_gen in
+    let* ops = list_size (int_range 0 40) (triple bool nat nat) in
+    return (p, ops))
+
+let session =
+  QCheck.make
+    ~print:(fun (p, ops) ->
+      Printf.sprintf "seed=%d concepts=%d ops=%d" p.Workload.Generator.seed
+        p.Workload.Generator.concepts (List.length ops))
+    session_gen
+
+let indexed_engine_props =
+  [
+    qtest ~count:60 "indexed OCS matrix equals the naive partition scan" params
+      (fun p ->
+        let w = Workload.Generator.generate p in
+        match w.Workload.Generator.schemas with
+        | [ s1; s2 ] ->
+            index_matches_naive (oracle_equivalence w s1 s2) [ s1; s2 ]
+        | _ -> false);
+    qtest ~count:60 "top-k is the k-prefix of the full ranking (ties included)"
+      (QCheck.pair params (QCheck.make QCheck.Gen.(int_range 0 30)))
+      (fun (p, k) ->
+        let w = Workload.Generator.generate p in
+        match w.Workload.Generator.schemas with
+        | [ s1; s2 ] ->
+            let index = Acs_index.build (oracle_equivalence w s1 s2) in
+            Similarity.top_object_pairs ~k index s1 s2
+            = Similarity.top k (Similarity.ranked_object_pairs_with index s1 s2)
+            && Similarity.top_relationship_pairs ~k index s1 s2
+               = Similarity.top k
+                   (Similarity.ranked_relationship_pairs_with index s1 s2)
+        | _ -> false);
+    qtest ~count:60
+      "incrementally patched workspace index equals a from-scratch rebuild"
+      session
+      (fun (p, ops) ->
+        let w = Workload.Generator.generate p in
+        let schemas = w.Workload.Generator.schemas in
+        let attrs = Array.of_list (attributes schemas) in
+        let n = Array.length attrs in
+        if n = 0 then true
+        else begin
+          let ws =
+            List.fold_left (fun ws s -> Workspace.add_schema s ws) Workspace.empty schemas
+          in
+          let ws =
+            List.fold_left
+              (fun ws (sep, i, j) ->
+                if sep then Workspace.separate_attribute attrs.(i mod n) ws
+                else
+                  Workspace.declare_equivalent attrs.(i mod n) attrs.(j mod n) ws)
+              ws ops
+          in
+          let rebuilt = Acs_index.build (Workspace.equivalence ws) in
+          let patched = Workspace.index ws in
+          let os = owners schemas in
+          List.for_all
+            (fun o1 ->
+              List.for_all
+                (fun o2 ->
+                  Acs_index.shared o1 o2 patched
+                  = Acs_index.shared o1 o2 rebuilt
+                  && Acs_index.shared o1 o2 rebuilt
+                     = Equivalence.shared_count o1 o2 (Workspace.equivalence ws))
+                os)
+            os
+        end);
+    qtest ~count:100 "Topk.select is the stable-sort prefix on any ints"
+      QCheck.(pair (small_list (int_bound 5)) (QCheck.make QCheck.Gen.(int_range 0 12)))
+      (fun (l, k) ->
+        (* many duplicate keys, so the tie order is really exercised;
+           pair each value with its position to detect reordering *)
+        let decorated = List.mapi (fun i x -> (x, i)) l in
+        let compare (a, _) (b, _) = Int.compare a b in
+        let take n l = List.filteri (fun i _ -> i < n) l in
+        Topk.select ~compare k decorated
+        = take k (List.stable_sort compare decorated));
+  ]
+
 let () =
   Alcotest.run "similarity"
-    [ ("ratios", ratio_tests); ("ranking", ranking_tests) ]
+    [
+      ("ratios", ratio_tests);
+      ("ranking", ranking_tests);
+      ("indexed-engine", indexed_engine_props);
+    ]
