@@ -8,8 +8,15 @@ all: build
 build:
 	dune build
 
+# The suite runs twice: once sequentially and once with a worker pool
+# sized to the machine (SIT_JOBS is read by Par.default_jobs — see
+# lib/par/par.mli).  The differential tests assert both schedules
+# produce identical results, so a pass here covers the determinism
+# contract, not just "the code runs".
+NPROC ?= $(shell nproc 2>/dev/null || echo 2)
 test:
-	dune runtest
+	SIT_JOBS=1 dune runtest --force
+	SIT_JOBS=$(NPROC) dune runtest --force
 
 doc:
 	dune build @doc
@@ -31,10 +38,10 @@ metrics:
 
 # Compare two metrics reports and fail on span regressions beyond the
 # threshold — the PR-over-PR perf gate (see docs/PERFORMANCE.md).
-# Usage: make bench-diff [OLD=BENCH_pr1.json] [NEW=BENCH_pr2.json]
+# Usage: make bench-diff [OLD=BENCH_pr2.json] [NEW=BENCH_pr3.json]
 #        [THRESHOLD=0.25] [MIN_SECONDS=0.0005]
-OLD ?= BENCH_pr1.json
-NEW ?= BENCH_pr2.json
+OLD ?= BENCH_pr2.json
+NEW ?= BENCH_pr3.json
 THRESHOLD ?= 0.25
 MIN_SECONDS ?= 0.0005
 bench-diff:

@@ -11,9 +11,12 @@
 
    The metrics report (per-phase spans, counters, query-latency
    histograms — see docs/ARCHITECTURE.md and docs/PERFORMANCE.md) is
-   printed to stdout and saved to BENCH_pr2.json; override the path
+   printed to stdout and saved to BENCH_pr3.json; override the path
    with --out FILE.  Compare two reports mechanically with
-   `dune exec bench/diff.exe -- OLD.json NEW.json` (make bench-diff). *)
+   `dune exec bench/diff.exe -- OLD.json NEW.json` (make bench-diff).
+   The instrumented run is pinned to --jobs 1 so its span tree stays
+   comparable across reports regardless of SIT_JOBS (worker-domain
+   spans land at the root; see lib/obs/span.mli). *)
 
 open Bechamel
 open Toolkit
@@ -149,7 +152,7 @@ let run_timings () =
    as JSON by lib/obs.  This is the repo's perf trajectory artefact:
    each PR that touches a hot path regenerates it and compares. *)
 
-let default_metrics_out = "BENCH_pr2.json"
+let default_metrics_out = "BENCH_pr3.json"
 
 let run_metrics ?(out = default_metrics_out) () =
   Experiments.section "METRICS" "instrumented pipeline run (lib/obs report)";
@@ -178,10 +181,10 @@ let run_metrics ?(out = default_metrics_out) () =
   in
   let w = Workload.Generator.generate params in
   let result, _stats =
-    Integrate.Protocol.run w.Workload.Generator.schemas
+    Integrate.Protocol.run ~jobs:1 w.Workload.Generator.schemas
       w.Workload.Generator.oracle
   in
-  let stores = Workload.Generator.populate w in
+  let stores = Workload.Generator.populate ~jobs:1 w in
   (* per-view queries, both evaluated locally and rewritten *)
   List.iter
     (fun (s, store) ->
@@ -211,6 +214,8 @@ let run_metrics ?(out = default_metrics_out) () =
     [
       ("tool", Obs.Json.String "sit");
       ("report", Obs.Json.String "bench-metrics");
+      (* pinned: see the header comment *)
+      ("jobs", Obs.Json.Int 1);
       ( "workload",
         Obs.Json.Obj
           [
@@ -256,7 +261,7 @@ let () =
               run_metrics ?out ()
           | None when id = "metrics" -> run_metrics ?out ()
           | None ->
-              Printf.eprintf "unknown experiment %s (e1..e18, timings, metrics)\n"
+              Printf.eprintf "unknown experiment %s (e1..e19, timings, metrics)\n"
                 id;
               exit 2)
         ids

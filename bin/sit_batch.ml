@@ -1,139 +1,51 @@
 (* sit_batch — non-interactive schema integration.
 
-   Consumes ECR DDL files plus a session script and emits the integrated
-   schema (DDL), the generated mappings and a summary.  The script
-   format, one directive per line ('#' comments):
+   Consumes ECR DDL files plus one or more session scripts (see
+   Integrate.Script for the directive format) and emits the integrated
+   schema (DDL), the generated mappings and a summary.  With several
+   --script options the sessions are independent integration jobs over
+   the same component schemas; --jobs N runs them on a domain pool, and
+   each job's output is buffered and printed in script order, so the
+   interleaving never depends on the schedule. *)
 
-     equiv  <schema.object.attr>  <schema.object.attr>
-     object <schema.object> <code> <schema.object>
-     rel    <schema.rel>    <code> <schema.rel>
-     name   <schema.structure> <schema.structure> <IntegratedName>
+exception Session_error of string
 
-   where <code> is the paper's assertion code: 1 equals, 2 contained-in,
-   3 contains, 4 disjoint-integrable, 5 may-be, 0 disjoint-nonintegrable. *)
+let fail fmt = Printf.ksprintf (fun s -> raise (Session_error s)) fmt
 
-let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
-
-type directive =
-  | Equiv of Ecr.Qname.Attr.t * Ecr.Qname.Attr.t
-  | Object_assertion of Ecr.Qname.t * Integrate.Assertion.t * Ecr.Qname.t
-  | Rel_assertion of Ecr.Qname.t * Integrate.Assertion.t * Ecr.Qname.t
-  | Rename of Ecr.Qname.t * Ecr.Qname.t * string
-
-let parse_qattr s =
-  match String.split_on_char '.' s with
-  | [ a; b; c ] -> Ecr.Qname.Attr.v a b c
-  | _ -> fail "malformed qualified attribute: %s" s
-
-let parse_qname s =
-  match String.split_on_char '.' s with
-  | [ a; b ] -> Ecr.Qname.v a b
-  | _ -> fail "malformed qualified name: %s" s
-
-let parse_code s =
-  match Option.bind (int_of_string_opt s) Integrate.Assertion.of_code with
-  | Some a -> a
-  | None -> fail "unknown assertion code: %s" s
-
-let parse_script path =
-  let ic = open_in path in
-  let directives = ref [] in
-  (try
-     let lineno = ref 0 in
-     while true do
-       incr lineno;
-       let line = input_line ic in
-       let line =
-         match String.index_opt line '#' with
-         | Some i -> String.sub line 0 i
-         | None -> line
-       in
-       match
-         String.split_on_char ' ' (String.trim line)
-         |> List.filter (fun s -> s <> "")
-       with
-       | [] -> ()
-       | [ "equiv"; a; b ] ->
-           directives := Equiv (parse_qattr a, parse_qattr b) :: !directives
-       | [ "object"; a; code; b ] ->
-           directives :=
-             Object_assertion (parse_qname a, parse_code code, parse_qname b)
-             :: !directives
-       | [ "rel"; a; code; b ] ->
-           directives :=
-             Rel_assertion (parse_qname a, parse_code code, parse_qname b)
-             :: !directives
-       | [ "name"; a; b; forced ] ->
-           directives := Rename (parse_qname a, parse_qname b, forced) :: !directives
-       | _ -> fail "%s:%d: unparseable directive: %s" path !lineno line
-     done
-   with End_of_file -> close_in ic);
-  List.rev !directives
-
-let run files script out_ddl out_dot name analyse save_dict save_result data
-    updates queries global_queries metrics =
-  if metrics <> None then begin
-    Obs.enable ();
-    Obs.reset ()
-  end;
-  let schemas = List.concat_map Ddl.Parser.schemas_of_file files in
-  List.iter
-    (fun s ->
-      match Ecr.Schema.validate s with
-      | [] -> ()
-      | errors ->
-          List.iter
-            (fun e -> prerr_endline (Ecr.Schema.error_to_string e))
-            errors;
-          exit 2)
-    schemas;
-  let directives = match script with Some p -> parse_script p | None -> [] in
+(* One integration session: replay [directives] against [schemas] and
+   return everything the session prints.  Pure apart from the optional
+   file outputs, which the driver only allows in single-script runs. *)
+let run_session ~schemas ~directives ~out_ddl ~out_dot ~name ~analyse
+    ~save_dict ~save_result ~data ~updates ~queries ~global_queries () =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.bprintf buf fmt in
   let ws =
     List.fold_left
       (fun ws s -> Integrate.Workspace.add_schema s ws)
       Integrate.Workspace.empty schemas
   in
   let ws =
-    List.fold_left
-      (fun ws d ->
-        match d with
-        | Equiv (a, b) -> Integrate.Workspace.declare_equivalent a b ws
-        | Object_assertion (a, assertion, b) -> (
-            match Integrate.Workspace.assert_object a assertion b ws with
-            | Ok ws -> ws
-            | Error conflict ->
-                print_string
-                  (Tui.Canvas.to_string (Tui.Screens.conflict_resolution conflict));
-                fail "conflicting assertion between %s and %s"
-                  (Ecr.Qname.to_string a) (Ecr.Qname.to_string b))
-        | Rel_assertion (a, assertion, b) -> (
-            match Integrate.Workspace.assert_relationship a assertion b ws with
-            | Ok ws -> ws
-            | Error _ ->
-                fail "conflicting relationship assertion between %s and %s"
-                  (Ecr.Qname.to_string a) (Ecr.Qname.to_string b))
-        | Rename (a, b, forced) ->
-            Integrate.Workspace.set_naming
-              (Integrate.Naming.with_override a b forced
-                 (Integrate.Workspace.naming ws))
-              ws)
-      ws directives
+    match Integrate.Script.apply directives ws with
+    | Ok ws -> ws
+    | Error (Integrate.Script.Object_conflict (_, _, conflict) as e) ->
+        fail "%s%s"
+          (Tui.Canvas.to_string (Tui.Screens.conflict_resolution conflict))
+          (Integrate.Script.apply_error_to_string e)
+    | Error e -> fail "%s" (Integrate.Script.apply_error_to_string e)
   in
   if analyse then
     List.iter
-      (fun issue ->
-        Printf.printf "analysis: %s\n" (Integrate.Analysis.to_string issue))
+      (fun issue -> pr "analysis: %s\n" (Integrate.Analysis.to_string issue))
       (Integrate.Analysis.analyse ws);
   (match save_dict with
   | Some path -> Dictionary.save path ws
   | None -> ());
   let result = Integrate.Workspace.integrate ?name ws in
-  print_string (Ddl.Printer.to_string result.Integrate.Result.schema);
-  print_newline ();
-  print_endline (Integrate.Result.summary result);
-  List.iter (fun w -> Printf.printf "warning: %s\n" w) result.Integrate.Result.warnings;
-  print_newline ();
-  Format.printf "%a@." Integrate.Mapping.pp result.Integrate.Result.mapping;
+  Buffer.add_string buf (Ddl.Printer.to_string result.Integrate.Result.schema);
+  pr "\n%s\n" (Integrate.Result.summary result);
+  List.iter (fun w -> pr "warning: %s\n" w) result.Integrate.Result.warnings;
+  pr "\n%s"
+    (Format.asprintf "%a@." Integrate.Mapping.pp result.Integrate.Result.mapping);
   (match out_ddl with
   | Some path -> Ddl.Printer.save path [ result.Integrate.Result.schema ]
   | None -> ());
@@ -159,14 +71,21 @@ let run files script out_ddl out_dot name analyse save_dict save_result data
       Query.Migrate.run result.Integrate.Result.mapping
         ~integrated:result.Integrate.Result.schema stores
     in
-    Printf.printf
-      "\nmigrated instance: %d entities in, %d out (%d fused), %d links\n"
+    pr "\nmigrated instance: %d entities in, %d out (%d fused), %d links\n"
       report.Query.Migrate.entities_in report.Query.Migrate.entities_out
       report.Query.Migrate.fused report.Query.Migrate.links_out;
     List.iter
-      (fun v ->
-        Printf.printf "integrity: %s\n" (Instance.Store.violation_to_string v))
+      (fun v -> pr "integrity: %s\n" (Instance.Store.violation_to_string v))
       (Instance.Store.check merged);
+    let find_view view_name =
+      match
+        List.find_opt
+          (fun s -> Ecr.Name.to_string (Ecr.Schema.name s) = view_name)
+          schemas
+      with
+      | Some s -> s
+      | None -> fail "unknown view %s" view_name
+    in
     let merged = ref merged in
     List.iter
       (fun spec ->
@@ -175,25 +94,17 @@ let run files script out_ddl out_dot name analyse save_dict save_result data
         | Some i ->
             let view_name = String.trim (String.sub spec 0 i) in
             let text = String.sub spec (i + 1) (String.length spec - i - 1) in
-            let view =
-              match
-                List.find_opt
-                  (fun s -> Ecr.Name.to_string (Ecr.Schema.name s) = view_name)
-                  schemas
-              with
-              | Some s -> s
-              | None -> fail "unknown view %s" view_name
-            in
+            let view = find_view view_name in
             let op = Query.Parser.update_of_string text in
             let op' =
               Query.Update.to_integrated result.Integrate.Result.mapping ~view op
             in
-            Printf.printf "\nview update  : [%s] %s\n" view_name
+            pr "\nview update  : [%s] %s\n" view_name
               (Query.Update.to_string op);
-            Printf.printf "translated   : %s\n" (Query.Update.to_string op');
+            pr "translated   : %s\n" (Query.Update.to_string op');
             let merged', n = Query.Update.apply op' !merged in
             merged := merged';
-            Printf.printf "(%d entities affected)\n" n)
+            pr "(%d entities affected)\n" n)
       updates;
     let merged = !merged in
     List.iter
@@ -204,37 +115,25 @@ let run files script out_ddl out_dot name analyse save_dict save_result data
         | Some i ->
             let view_name = String.trim (String.sub spec 0 i) in
             let text = String.sub spec (i + 1) (String.length spec - i - 1) in
-            let view =
-              match
-                List.find_opt
-                  (fun s ->
-                    Ecr.Name.to_string (Ecr.Schema.name s) = view_name)
-                  schemas
-              with
-              | Some s -> s
-              | None -> fail "unknown view %s" view_name
-            in
+            let view = find_view view_name in
             let q = Query.Parser.query_of_string text in
             let q', back =
               Query.Rewrite.to_integrated result.Integrate.Result.mapping
                 ~view q
             in
-            Printf.printf "\nview query   : [%s] %s\n" view_name
-              (Query.Ast.to_string q);
-            Printf.printf "translated   : %s\n" (Query.Ast.to_string q');
+            pr "\nview query   : [%s] %s\n" view_name (Query.Ast.to_string q);
+            pr "translated   : %s\n" (Query.Ast.to_string q');
             let rows = back (Query.Eval.run q' merged) in
-            List.iter
-              (fun r -> Printf.printf "  %s\n" (Query.Eval.row_to_string r))
-              rows;
-            Printf.printf "(%d rows)\n" (List.length rows))
+            List.iter (fun r -> pr "  %s\n" (Query.Eval.row_to_string r)) rows;
+            pr "(%d rows)\n" (List.length rows))
       queries;
     List.iter
       (fun text ->
         let q = Query.Parser.query_of_string text in
-        Printf.printf "\nglobal query : %s\n" (Query.Ast.to_string q);
+        pr "\nglobal query : %s\n" (Query.Ast.to_string q);
         List.iter
           (fun part ->
-            Printf.printf "  unfolds to [%s] %s\n"
+            pr "  unfolds to [%s] %s\n"
               (Ecr.Name.to_string part.Query.Rewrite.component)
               (Query.Ast.to_string part.Query.Rewrite.query))
           (Query.Rewrite.to_components result.Integrate.Result.mapping
@@ -243,17 +142,76 @@ let run files script out_ddl out_dot name analyse save_dict save_result data
           Query.Rewrite.run_global result.Integrate.Result.mapping
             ~integrated:result.Integrate.Result.schema
             ~stores:
-              (List.map
-                 (fun (s, st) -> (Ecr.Schema.name s, st))
-                 stores)
+              (List.map (fun (s, st) -> (Ecr.Schema.name s, st)) stores)
             q
         in
-        List.iter
-          (fun r -> Printf.printf "  %s\n" (Query.Eval.row_to_string r))
-          rows;
-        Printf.printf "(%d rows)\n" (List.length rows))
+        List.iter (fun r -> pr "  %s\n" (Query.Eval.row_to_string r)) rows;
+        pr "(%d rows)\n" (List.length rows))
       global_queries
   end;
+  Buffer.contents buf
+
+let hard_fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline s;
+      exit 2)
+    fmt
+
+let run files scripts jobs out_ddl out_dot name analyse save_dict save_result
+    data updates queries global_queries metrics =
+  if List.length scripts > 1 then begin
+    let reject what = function
+      | Some _ ->
+          hard_fail "%s cannot be combined with multiple --script jobs" what
+      | None -> ()
+    in
+    reject "--out" out_ddl;
+    reject "--dot" out_dot;
+    reject "--save-dict" save_dict;
+    reject "--save-result" save_result;
+    reject "--metrics" metrics
+  end;
+  if metrics <> None then begin
+    Obs.enable ();
+    Obs.reset ()
+  end;
+  let schemas = List.concat_map Ddl.Parser.schemas_of_file files in
+  List.iter
+    (fun s ->
+      match Ecr.Schema.validate s with
+      | [] -> ()
+      | errors ->
+          List.iter
+            (fun e -> prerr_endline (Ecr.Schema.error_to_string e))
+            errors;
+          exit 2)
+    schemas;
+  let jobs_of_scripts =
+    (* parse every script up front, sequentially: parse errors are
+       reported in script order, before any session runs *)
+    match scripts with
+    | [] -> [ [] ]
+    | paths -> (
+        try List.map Integrate.Script.parse_file paths
+        with Integrate.Script.Parse_error _ as e ->
+          hard_fail "%s" (Integrate.Script.parse_error_to_string e))
+  in
+  let outputs =
+    try
+      Par.with_pool ~jobs @@ fun pool ->
+      Par.map pool
+        (fun directives ->
+          run_session ~schemas ~directives ~out_ddl ~out_dot ~name ~analyse
+            ~save_dict ~save_result ~data ~updates ~queries ~global_queries ())
+        jobs_of_scripts
+    with Session_error msg -> hard_fail "%s" msg
+  in
+  List.iteri
+    (fun i output ->
+      if i > 0 then print_string "\n========\n\n";
+      print_string output)
+    outputs;
   match metrics with
   | None -> ()
   | Some path ->
@@ -275,11 +233,25 @@ open Cmdliner
 let files =
   Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"ECR DDL files.")
 
-let script =
+let scripts =
   Arg.(
     value
-    & opt (some file) None
-    & info [ "s"; "script" ] ~docv:"SCRIPT" ~doc:"Session script (equiv/object/rel/name directives).")
+    & opt_all file []
+    & info [ "s"; "script" ] ~docv:"SCRIPT"
+        ~doc:
+          "Session script (equiv/object/rel/name directives).  Repeatable: \
+           each script is an independent integration job over the same \
+           schemas, and outputs are printed in script order.")
+
+let jobs =
+  Arg.(
+    value
+    & opt int (Par.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run up to $(docv) script jobs in parallel on a domain pool \
+           (default: \\$SIT_JOBS, or 1).  Output order is independent of \
+           $(docv).")
 
 let out_ddl =
   Arg.(
@@ -351,9 +323,9 @@ let metrics =
 let cmd =
   Cmd.v
     (Cmd.info "sit_batch" ~version:"1.0.0"
-       ~doc:"batch schema integration from DDL files and a session script")
+       ~doc:"batch schema integration from DDL files and session scripts")
     Term.(
-      const run $ files $ script $ out_ddl $ out_dot $ integrated_name
+      const run $ files $ scripts $ jobs $ out_ddl $ out_dot $ integrated_name
       $ analyse $ save_dict $ save_result $ data $ updates $ queries
       $ global_queries $ metrics)
 

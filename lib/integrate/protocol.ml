@@ -76,38 +76,40 @@ let structure_attr_pairs options (s1, name1, attrs1) (s2, name2, attrs2) =
       attrs1
   end
 
-let collect_equivalences options s1 s2 (dda : Dda.t) eq =
+(* The candidate attribute pairs of one schema pair, in presentation
+   order (object-class pairs, outer [s1] x inner [s2], then
+   relationship pairs).  Pure in the schemas and options — no DDA, no
+   equivalence state — so [run] can compute candidate lists for every
+   schema pair in parallel and still ask the DDA the exact sequential
+   question sequence. *)
+let equivalence_candidates options s1 s2 =
+  let over structures1 structures2 ~describe =
+    List.concat_map
+      (fun x1 ->
+        List.concat_map
+          (fun x2 ->
+            structure_attr_pairs options (describe s1 x1) (describe s2 x2))
+          structures2)
+      structures1
+  in
+  over (Schema.objects s1) (Schema.objects s2) ~describe:(fun s oc ->
+      (s, oc.Object_class.name, oc.Object_class.attributes))
+  @ over
+      (Schema.relationships s1)
+      (Schema.relationships s2)
+      ~describe:(fun s r -> (s, r.Relationship.name, r.Relationship.attributes))
+
+let collect_equivalences_with candidates s1 s2 (dda : Dda.t) eq =
   let eq = Equivalence.register_schema s2 (Equivalence.register_schema s1 eq) in
-  let consider eq pairs =
-    List.fold_left
-      (fun eq (left, right) ->
-        if dda.Dda.attr_equivalent left right then
-          Equivalence.declare (fst left) (fst right) eq
-        else eq)
-      eq pairs
-  in
-  let eq =
-    List.fold_left
-      (fun eq oc1 ->
-        List.fold_left
-          (fun eq oc2 ->
-            consider eq
-              (structure_attr_pairs options
-                 (s1, oc1.Object_class.name, oc1.Object_class.attributes)
-                 (s2, oc2.Object_class.name, oc2.Object_class.attributes)))
-          eq (Schema.objects s2))
-      eq (Schema.objects s1)
-  in
   List.fold_left
-    (fun eq r1 ->
-      List.fold_left
-        (fun eq r2 ->
-          consider eq
-            (structure_attr_pairs options
-               (s1, r1.Relationship.name, r1.Relationship.attributes)
-               (s2, r2.Relationship.name, r2.Relationship.attributes)))
-        eq (Schema.relationships s2))
-    eq (Schema.relationships s1)
+    (fun eq (left, right) ->
+      if dda.Dda.attr_equivalent left right then
+        Equivalence.declare (fst left) (fst right) eq
+      else eq)
+    eq candidates
+
+let collect_equivalences options s1 s2 (dda : Dda.t) eq =
+  collect_equivalences_with (equivalence_candidates options s1 s2) s1 s2 dda eq
 
 (* ------------------------------------------------------------------ *)
 (* Phase 3.                                                            *)
@@ -159,18 +161,22 @@ let collect_over_pairs options (dda : Dda.t) ask ranked matrix =
    under a DDA effort budget — only the best [n] pairs by heap
    selection, skipping the full sort.  A caller-supplied index (built
    once per equivalence state) is reused across every schema pair. *)
-let ranked_for options full top_k index s1 s2 =
+let ranked_objects ?pool options index s1 s2 =
   match options.max_object_pairs with
-  | None -> full index s1 s2
-  | Some n -> top_k ~k:n index s1 s2
+  | None -> Similarity.ranked_object_pairs_with ?pool index s1 s2
+  | Some n -> Similarity.top_object_pairs ?pool ~k:n index s1 s2
+
+let ranked_relationships ?pool options index s1 s2 =
+  match options.max_object_pairs with
+  | None -> Similarity.ranked_relationship_pairs_with ?pool index s1 s2
+  | Some n -> Similarity.top_relationship_pairs ?pool ~k:n index s1 s2
 
 let collect_object_assertions ?index options s1 s2 (dda : Dda.t) eq matrix =
   let index =
     match index with Some i -> i | None -> Acs_index.build eq
   in
   collect_over_pairs options dda dda.Dda.object_assertion
-    (ranked_for options Similarity.ranked_object_pairs_with
-       Similarity.top_object_pairs index s1 s2)
+    (ranked_objects options index s1 s2)
     matrix
 
 let collect_relationship_assertions ?index options s1 s2 (dda : Dda.t) eq matrix =
@@ -178,8 +184,7 @@ let collect_relationship_assertions ?index options s1 s2 (dda : Dda.t) eq matrix
     match index with Some i -> i | None -> Acs_index.build eq
   in
   collect_over_pairs options dda dda.Dda.relationship_assertion
-    (ranked_for options Similarity.ranked_relationship_pairs_with
-       Similarity.top_relationship_pairs index s1 s2)
+    (ranked_relationships options index s1 s2)
     matrix
 
 (* ------------------------------------------------------------------ *)
@@ -199,39 +204,58 @@ let record_stats s =
   Obs.Counter.add c_accepted s.assertions_accepted;
   Obs.Counter.add c_rejected s.assertions_rejected
 
-let run ?(options = defaults) ?naming ?name schemas dda =
+let c_chunks = Obs.Counter.make "protocol.parallel_chunks"
+
+(* Parallel structure of [run]: everything that is pure in the fixed
+   inputs — Phase 2 candidate generation, Phase 3 ranking against the
+   shared index — fans out over schema pairs through the pool, in input
+   order.  Everything that talks to the DDA, or folds the assertion
+   matrix (where transitive composition makes earlier answers determine
+   later questions), stays on the submitting domain in the sequential
+   order.  That split is why [~jobs:n] is observationally identical to
+   [~jobs:1]: the oracle sees the same questions in the same order, and
+   the matrix composes the same answers in the same order. *)
+let fan_out pool pairs f =
+  if Par.jobs pool > 1 then Obs.Counter.add c_chunks (List.length pairs);
+  List.combine pairs (Par.map pool (fun (s1, s2) -> f s1 s2) pairs)
+
+let run ?(options = defaults) ?(jobs = Par.default_jobs ()) ?naming ?name
+    schemas dda =
   Obs.Span.run "protocol.run" @@ fun () ->
+  Par.with_pool ~jobs @@ fun pool ->
+  let pairs = schema_pairs schemas in
   let eq =
     Obs.Span.run "protocol.equivalences" @@ fun () ->
     let eq =
       List.fold_left (fun eq s -> Equivalence.register_schema s eq) Equivalence.empty schemas
     in
     List.fold_left
-      (fun eq (s1, s2) -> collect_equivalences options s1 s2 dda eq)
-      eq (schema_pairs schemas)
+      (fun eq ((s1, s2), candidates) ->
+        collect_equivalences_with candidates s1 s2 dda eq)
+      eq
+      (fan_out pool pairs (equivalence_candidates options))
   in
-  (* Phase 2 fixed the partition: index it once, rank every schema pair
-     of both subphases against the same index. *)
+  (* Phase 2 fixed the partition: index it once (read-only from here
+     on), rank every schema pair of both subphases against the same
+     index. *)
   let index = Acs_index.build eq in
+  let collect ask (matrix, stats) (_pair, ranked) =
+    let matrix, s = collect_over_pairs options dda ask ranked matrix in
+    (matrix, add_stats stats s)
+  in
   let objects, ostats =
     Obs.Span.run "protocol.object_assertions" @@ fun () ->
     List.fold_left
-      (fun (m, stats) (s1, s2) ->
-        let m, s = collect_object_assertions ~index options s1 s2 dda eq m in
-        (m, add_stats stats s))
+      (collect dda.Dda.object_assertion)
       (Assertions.create schemas, zero_stats)
-      (schema_pairs schemas)
+      (fan_out pool pairs (ranked_objects ~pool options index))
   in
   let rels, rstats =
     Obs.Span.run "protocol.relationship_assertions" @@ fun () ->
     List.fold_left
-      (fun (m, stats) (s1, s2) ->
-        let m, s =
-          collect_relationship_assertions ~index options s1 s2 dda eq m
-        in
-        (m, add_stats stats s))
+      (collect dda.Dda.relationship_assertion)
       (Assertions.create_for_relationships schemas, zero_stats)
-      (schema_pairs schemas)
+      (fan_out pool pairs (ranked_relationships ~pool options index))
   in
   let result =
     Pipeline.integrate (Pipeline.input ?naming ?name schemas eq objects rels)

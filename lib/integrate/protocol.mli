@@ -39,6 +39,29 @@ type stats = {
 val zero_stats : stats
 val add_stats : stats -> stats -> stats
 
+val equivalence_candidates :
+  options ->
+  Ecr.Schema.t ->
+  Ecr.Schema.t ->
+  ((Ecr.Qname.Attr.t * Ecr.Attribute.t) * (Ecr.Qname.Attr.t * Ecr.Attribute.t))
+  list
+(** The attribute pairs Phase 2 would put to the DDA for one schema
+    pair, in presentation order (object-class pairs first, then
+    relationship pairs).  Pure in the schemas and options — {!run}
+    computes these lists for every schema pair in parallel, then asks
+    the DDA sequentially. *)
+
+val collect_equivalences_with :
+  ((Ecr.Qname.Attr.t * Ecr.Attribute.t) * (Ecr.Qname.Attr.t * Ecr.Attribute.t))
+  list ->
+  Ecr.Schema.t ->
+  Ecr.Schema.t ->
+  Dda.t ->
+  Equivalence.t ->
+  Equivalence.t
+(** Registers both schemas, then asks the DDA about each precomputed
+    candidate in order, declaring the confirmed equivalences. *)
+
 val collect_equivalences :
   options ->
   Ecr.Schema.t ->
@@ -47,7 +70,8 @@ val collect_equivalences :
   Equivalence.t ->
   Equivalence.t
 (** Phase 2 over one schema pair: both object classes and relationship
-    sets. *)
+    sets.  [collect_equivalences_with (equivalence_candidates options
+    s1 s2) s1 s2]. *)
 
 val collect_object_assertions :
   ?index:Acs_index.t ->
@@ -75,6 +99,7 @@ val collect_relationship_assertions :
 
 val run :
   ?options:options ->
+  ?jobs:int ->
   ?naming:Naming.t ->
   ?name:string ->
   Ecr.Schema.t list ->
@@ -82,4 +107,14 @@ val run :
   Result.t * stats
 (** All four phases, n-ary: equivalences and assertions are collected
     for every unordered schema pair, then a single integration is
-    performed. *)
+    performed.
+
+    [?jobs] (default {!Par.default_jobs}, i.e. [SIT_JOBS] or 1) fans
+    the pure per-schema-pair work — Phase 2 candidate generation and
+    Phase 3 ranking against the shared {!Acs_index} — out over a
+    {!Par} pool; ["protocol.parallel_chunks"] counts the dispatched
+    pair chunks.  DDA interaction and assertion-matrix composition stay
+    on the calling domain in the sequential order, so the result,
+    stats, question sequence and pipeline counters are identical for
+    every [jobs] value (pinned by the differential tests).  [~jobs:1]
+    spawns no domains. *)

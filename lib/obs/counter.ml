@@ -1,22 +1,32 @@
-type t = { name : string; mutable value : int }
+type t = { name : string; value : int Atomic.t }
 
+(* [make] may be called lazily from worker domains (lib/par); guard the
+   registry.  Increments themselves are lock-free. *)
 let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+let registry_mutex = Mutex.create ()
 
 let make name =
+  Mutex.protect registry_mutex @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some c -> c
   | None ->
-      let c = { name; value = 0 } in
+      let c = { name; value = Atomic.make 0 } in
       Hashtbl.add registry name c;
       c
 
 let name c = c.name
-let incr c = if !Runtime.enabled then c.value <- c.value + 1
-let add c n = if !Runtime.enabled then c.value <- c.value + n
-let value c = c.value
+let incr c = if !Runtime.enabled then Atomic.incr c.value
+
+let add c n =
+  if !Runtime.enabled then ignore (Atomic.fetch_and_add c.value n)
+
+let value c = Atomic.get c.value
 
 let all () =
-  Hashtbl.fold (fun name c acc -> (name, c.value) :: acc) registry []
+  Mutex.protect registry_mutex @@ fun () ->
+  Hashtbl.fold (fun name c acc -> (name, Atomic.get c.value) :: acc) registry []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let reset_all () = Hashtbl.iter (fun _ c -> c.value <- 0) registry
+let reset_all () =
+  Mutex.protect registry_mutex @@ fun () ->
+  Hashtbl.iter (fun _ c -> Atomic.set c.value 0) registry

@@ -7,8 +7,10 @@
 
     Counters are process-global and keyed by name: [make] called twice
     with the same name returns the same counter, which lets independent
-    modules contribute to one total.  Not thread-safe — the tool is
-    single-domain, as is the whole pipeline. *)
+    modules contribute to one total.  Increments are atomic, so counts
+    from [lib/par] worker domains are never lost — the totals for a
+    fixed amount of work are identical whatever the worker count (the
+    property the parallel==sequential differential tests pin). *)
 
 type t
 

@@ -13,11 +13,14 @@ type t = {
   mutable vmin : float;
   mutable vmax : float;
   buckets : int array;
+  lock : Mutex.t;  (** serialises [observe] across domains *)
 }
 
 let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+let registry_mutex = Mutex.create ()
 
 let make name =
+  Mutex.protect registry_mutex @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some h -> h
   | None ->
@@ -29,6 +32,7 @@ let make name =
           vmin = infinity;
           vmax = neg_infinity;
           buckets = Array.make bucket_count 0;
+          lock = Mutex.create ();
         }
       in
       Hashtbl.add registry name h;
@@ -49,14 +53,14 @@ let bucket_mid i =
   base *. Float.pow 2.0 ((float_of_int i +. 0.5) /. buckets_per_octave)
 
 let observe h v =
-  if !Runtime.enabled then begin
+  if !Runtime.enabled then
+    Mutex.protect h.lock @@ fun () ->
     h.count <- h.count + 1;
     h.sum <- h.sum +. v;
     if v < h.vmin then h.vmin <- v;
     if v > h.vmax then h.vmax <- v;
     let i = bucket_of v in
     h.buckets.(i) <- h.buckets.(i) + 1
-  end
 
 let time h f =
   if not !Runtime.enabled then f ()
@@ -85,12 +89,15 @@ let quantile h q =
   end
 
 let all () =
+  Mutex.protect registry_mutex @@ fun () ->
   Hashtbl.fold (fun _ h acc -> h :: acc) registry []
   |> List.sort (fun a b -> String.compare a.name b.name)
 
 let reset_all () =
+  Mutex.protect registry_mutex @@ fun () ->
   Hashtbl.iter
     (fun _ h ->
+      Mutex.protect h.lock @@ fun () ->
       h.count <- 0;
       h.sum <- 0.0;
       h.vmin <- infinity;

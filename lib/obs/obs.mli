@@ -20,9 +20,13 @@
     ["assertions.derived"], ["query.eval_seconds"]); the full inventory
     is documented in [docs/ARCHITECTURE.md].
 
-    The layer is deliberately not thread-safe: the tool is single-domain
-    end to end.  Revisit {!Span}'s ambient stack before parallelising
-    the pipeline. *)
+    The layer is domain-safe: counters are atomic, histograms serialise
+    observations under a per-histogram lock, and {!Span}'s ambient stack
+    is domain-local (spans entered on a [lib/par] worker start a fresh
+    ancestry and land at the root level of the tree).  The lifecycle
+    calls — {!enable}, {!disable}, {!reset}, report generation — are
+    still single-domain: call them only when no pool work is in
+    flight. *)
 
 val enable : unit -> unit
 (** Turns collection on (idempotent). *)

@@ -9,9 +9,17 @@ let fresh name = { name; count = 0; total = 0.0; children = Hashtbl.create 4 }
 
 (* [root] is a synthetic node whose children are the top-level spans;
    [stack] is the ancestry of the currently running span, innermost
-   first. *)
+   first.  The stack is domain-local so a lib/par worker building spans
+   concurrently cannot corrupt the caller's ambient ancestry: spans
+   entered on a worker domain start a fresh ancestry and land at the
+   root level.  The tree itself is shared; all mutation of it happens
+   under [tree_mutex] (entry and exit of a span — the timed section in
+   between runs unlocked). *)
 let root = fresh "<root>"
-let stack : node list ref = ref []
+let tree_mutex = Mutex.create ()
+
+let stack_key : node list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 let child_of parent name =
   match Hashtbl.find_opt parent.children name with
@@ -24,14 +32,17 @@ let child_of parent name =
 let run name f =
   if not !Runtime.enabled then f ()
   else begin
+    let stack = Domain.DLS.get stack_key in
     let parent = match !stack with n :: _ -> n | [] -> root in
-    let node = child_of parent name in
+    let node = Mutex.protect tree_mutex (fun () -> child_of parent name) in
     stack := node :: !stack;
     let t0 = Runtime.now () in
     Fun.protect
       ~finally:(fun () ->
-        node.count <- node.count + 1;
-        node.total <- node.total +. (Runtime.now () -. t0);
+        let dt = Runtime.now () -. t0 in
+        Mutex.protect tree_mutex (fun () ->
+            node.count <- node.count + 1;
+            node.total <- node.total +. dt);
         match !stack with _ :: rest -> stack := rest | [] -> ())
       f
   end
@@ -61,5 +72,5 @@ let rec snapshot_of (node : node) =
 let roots () = (snapshot_of root).children
 
 let reset () =
-  Hashtbl.reset root.children;
-  stack := []
+  Mutex.protect tree_mutex (fun () -> Hashtbl.reset root.children);
+  Domain.DLS.get stack_key := []

@@ -10,7 +10,15 @@
     While the layer is disabled, [run name f] is exactly [f ()] — one
     branch of overhead, no state touched.  Do not toggle
     {!Obs.enable}/{!Obs.disable} or call {!reset} while a span is
-    running; the tree would be left dangling.  Not thread-safe. *)
+    running; the tree would be left dangling.
+
+    The ambient ancestry is domain-local: a span entered on a [lib/par]
+    worker domain starts a fresh ancestry, so it accumulates under a
+    root-level node named after it rather than under the span the
+    submitting domain happens to be running.  Tree updates are
+    serialised, so concurrent spans of the same name never lose counts;
+    only the sequential path's tree {e shape} is stable, which is why
+    the bench-diff gate compares sequential ([--jobs 1]) reports. *)
 
 val run : string -> (unit -> 'a) -> 'a
 (** Times [f] and accounts it to child [name] of the current span (a

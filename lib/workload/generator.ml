@@ -645,8 +645,16 @@ let value_for ~attr_id ~tag dom =
       | vs -> Instance.Value.Str (List.nth vs (tag mod List.length vs)))
   | Domain.Named _ -> Instance.Value.Str (Printf.sprintf "n%d_%d" attr_id tag)
 
-let populate t =
-  List.map
+let c_chunks = Obs.Counter.make "workload.parallel_chunks"
+
+(* Per-schema population only reads the truth tables built by
+   [generate] (never writes them), so the schemas fan out safely; each
+   task builds its own store.  [Par.map] keeps the stores in schema
+   order. *)
+let populate ?(jobs = Par.default_jobs ()) t =
+  Par.with_pool ~jobs @@ fun pool ->
+  if Par.jobs pool > 1 then Obs.Counter.add c_chunks (List.length t.schemas);
+  Par.map pool
     (fun s ->
       let store = ref (Instance.Store.create s) in
       let tag_oid = Hashtbl.create 256 in

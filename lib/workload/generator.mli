@@ -74,6 +74,11 @@ val noisy_oracle : t -> error_rate:float -> seed:int -> Integrate.Dda.t
     conflict-detection experiment: wrong answers should be caught by the
     matrix as contradictions. *)
 
-val populate : t -> (Ecr.Schema.t * Instance.Store.t) list
+val populate : ?jobs:int -> t -> (Ecr.Schema.t * Instance.Store.t) list
 (** Instance stores for every generated schema, one entity per extent
-    tag, one link per relationship pair; values agree across views. *)
+    tag, one link per relationship pair; values agree across views.
+    [?jobs] (default {!Par.default_jobs}) populates schemas in parallel
+    — each store is built by one pool task from the read-only truth
+    tables, and the result list stays in schema order, so every [jobs]
+    value yields identical stores (["workload.parallel_chunks"] counts
+    the dispatched schemas). *)

@@ -1,0 +1,222 @@
+(* lib/par: pool unit and stress tests, and the headline
+   parallel==sequential differential property — the full pipeline
+   (integrated schema, mappings, lattice projection, Protocol.stats,
+   obs pipeline counters) is structurally identical for every worker
+   count, because Par.map is an ordered reduction and everything
+   order-sensitive (DDA questions, matrix composition) stays on the
+   submitting domain. *)
+
+open Integrate
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* Abort the whole binary if a pool test wedges: these tests exist to
+   prove the pool cannot deadlock, so hanging forever would be the one
+   unacceptable outcome. *)
+let with_watchdog seconds f =
+  let previous =
+    Sys.signal Sys.sigalrm
+      (Sys.Signal_handle (fun _ -> failwith "watchdog: pool test deadlocked"))
+  in
+  ignore (Unix.alarm seconds);
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.alarm 0);
+      Sys.set_signal Sys.sigalrm previous)
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Pool unit/stress tests.                                             *)
+
+let pool_tests =
+  [
+    tc "map is ordered and equal to List.map" (fun () ->
+        with_watchdog 60 @@ fun () ->
+        Par.with_pool ~jobs:4 @@ fun pool ->
+        let xs = List.init 1000 Fun.id in
+        check
+          Alcotest.(list int)
+          "squares in order"
+          (List.map (fun x -> x * x) xs)
+          (Par.map pool (fun x -> x * x) xs));
+    tc "jobs:1 never spawns a domain" (fun () ->
+        Par.with_pool ~jobs:1 @@ fun pool ->
+        check Alcotest.int "no workers" 0 (Par.worker_count pool);
+        Obs.with_enabled (fun () ->
+            Obs.reset ();
+            let ys = Par.map pool (fun x -> x + 1) (List.init 100 Fun.id) in
+            check Alcotest.int "ran" 100 (List.length ys);
+            check Alcotest.int "par.workers stays 0" 0
+              (Obs.Counter.value (Obs.Counter.make "par.workers"));
+            check Alcotest.int "par.tasks stays 0 on the bypass" 0
+              (Obs.Counter.value (Obs.Counter.make "par.tasks"))));
+    tc "worker exception propagates at await without deadlock" (fun () ->
+        with_watchdog 60 @@ fun () ->
+        Par.with_pool ~jobs:4 @@ fun pool ->
+        (match
+           Par.map pool
+             (fun x -> if x mod 3 = 0 then failwith (string_of_int x) else x)
+             (List.init 100 (fun i -> i + 1))
+         with
+        | _ -> Alcotest.fail "expected the task's exception"
+        | exception Failure s ->
+            (* all failing indices settle first; the lowest one wins *)
+            check Alcotest.string "lowest failing element" "3" s);
+        (* the pool survives a failing batch *)
+        check
+          Alcotest.(list int)
+          "pool usable after failure" [ 2; 4; 6 ]
+          (Par.map pool (fun x -> 2 * x) [ 1; 2; 3 ]));
+    tc "pool survives reuse across many batches" (fun () ->
+        with_watchdog 120 @@ fun () ->
+        Par.with_pool ~jobs:4 @@ fun pool ->
+        for round = 1 to 200 do
+          let xs = List.init (1 + (round mod 17)) (fun i -> i * round) in
+          let ys = Par.map pool (fun x -> x + 1) xs in
+          if ys <> List.map (fun x -> x + 1) xs then
+            Alcotest.failf "round %d differs" round
+        done);
+    tc "10k tiny tasks complete under the watchdog" (fun () ->
+        with_watchdog 120 @@ fun () ->
+        Par.with_pool ~jobs:8 @@ fun pool ->
+        let xs = List.init 10_000 Fun.id in
+        let ys = Par.map pool (fun x -> x land 1) xs in
+        check Alcotest.int "all ran" 10_000 (List.length ys);
+        check Alcotest.int "sum of parities" 5_000 (List.fold_left ( + ) 0 ys));
+    tc "nested map on the same pool makes progress" (fun () ->
+        with_watchdog 60 @@ fun () ->
+        Par.with_pool ~jobs:3 @@ fun pool ->
+        let outer =
+          Par.map pool
+            (fun x ->
+              List.fold_left ( + ) 0
+                (Par.map pool (fun y -> x + y) (List.init 40 Fun.id)))
+            (List.init 12 Fun.id)
+        in
+        let expect x = (40 * x) + (40 * 39 / 2) in
+        check
+          Alcotest.(list int)
+          "nested sums" (List.init 12 expect) outer);
+    tc "iter runs every effect exactly once" (fun () ->
+        with_watchdog 60 @@ fun () ->
+        Par.with_pool ~jobs:4 @@ fun pool ->
+        let hits = Atomic.make 0 in
+        Par.iter pool (fun _ -> Atomic.incr hits) (List.init 500 Fun.id);
+        check Alcotest.int "500 effects" 500 (Atomic.get hits));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The differential property: the whole pipeline is invariant in the
+   worker count.                                                       *)
+
+(* Counters that legitimately depend on the worker count: the pool's
+   own bookkeeping and the per-site chunk-dispatch counters.  Every
+   other counter — the pipeline counters — must match exactly. *)
+let pipeline_counters () =
+  List.filter
+    (fun (name, _) ->
+      not
+        (String.length name >= 4
+         && String.sub name 0 4 = "par."
+        || Filename.check_suffix name ".parallel_chunks"))
+    (Obs.Counter.all ())
+
+type fingerprint = {
+  ddl : string;
+  mapping : string;
+  summary : string;
+  warnings : string list;
+  stats : Protocol.stats;
+  counters : (string * int) list;
+}
+
+let fingerprint ~jobs p =
+  let w = Workload.Generator.generate p in
+  Obs.reset ();
+  let result, stats =
+    Protocol.run ~jobs w.Workload.Generator.schemas w.Workload.Generator.oracle
+  in
+  {
+    ddl = Ddl.Printer.to_string result.Result.schema;
+    mapping = Format.asprintf "%a" Mapping.pp result.Result.mapping;
+    summary = Result.summary result;
+    warnings = result.Result.warnings;
+    stats;
+    counters = pipeline_counters ();
+  }
+
+let params_gen =
+  QCheck.Gen.(
+    let* seed = int_range 0 10_000 in
+    let* schemas = int_range 2 4 in
+    let* concepts = int_range 6 14 in
+    let* noise = float_range 0.0 0.5 in
+    return
+      {
+        Workload.Generator.default_params with
+        seed;
+        schemas;
+        concepts;
+        naming_noise = noise;
+        population = 100;
+      })
+
+let params =
+  QCheck.make
+    ~print:(fun p ->
+      Printf.sprintf "seed=%d schemas=%d concepts=%d noise=%f"
+        p.Workload.Generator.seed p.Workload.Generator.schemas
+        p.Workload.Generator.concepts p.Workload.Generator.naming_noise)
+    params_gen
+
+let explain_difference jobs seq par =
+  if seq.ddl <> par.ddl then Printf.sprintf "jobs=%d: integrated DDL differs" jobs
+  else if seq.mapping <> par.mapping then
+    Printf.sprintf "jobs=%d: mappings differ" jobs
+  else if seq.summary <> par.summary then
+    Printf.sprintf "jobs=%d: summary differs" jobs
+  else if seq.warnings <> par.warnings then
+    Printf.sprintf "jobs=%d: warnings differ" jobs
+  else if seq.stats <> par.stats then
+    Printf.sprintf "jobs=%d: protocol stats differ" jobs
+  else
+    let pairs = List.combine seq.counters par.counters in
+    let (name, a), (_, b) =
+      List.find (fun ((_, a), (_, b)) -> a <> b) pairs
+    in
+    Printf.sprintf "jobs=%d: counter %s differs (%d vs %d)" jobs name a b
+
+let differential_tests =
+  [
+    qtest ~count:8 "pipeline is invariant in jobs (1 == 2 == 4 == 8)" params
+      (fun p ->
+        with_watchdog 300 @@ fun () ->
+        Obs.with_enabled @@ fun () ->
+        let seq = fingerprint ~jobs:1 p in
+        List.for_all
+          (fun jobs ->
+            let par = fingerprint ~jobs p in
+            if par = seq then true
+            else QCheck.Test.fail_report (explain_difference jobs seq par))
+          [ 2; 4; 8 ]);
+    qtest ~count:6 "populate is invariant in jobs" params (fun p ->
+        with_watchdog 120 @@ fun () ->
+        let w = Workload.Generator.generate p in
+        let dump stores =
+          List.map
+            (fun (s, st) -> Instance.Loader.to_string s st)
+            stores
+        in
+        let seq = dump (Workload.Generator.populate ~jobs:1 w) in
+        List.for_all
+          (fun jobs -> dump (Workload.Generator.populate ~jobs w) = seq)
+          [ 2; 4 ]);
+  ]
+
+let () =
+  Alcotest.run "par"
+    [ ("pool", pool_tests); ("differential", differential_tests) ]
