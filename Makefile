@@ -1,7 +1,7 @@
 # Tier-1 verification plus the doc/formatting gates.  `make check` is
 # what a PR must keep green.
 
-.PHONY: all build test doc fmt-check metrics bench-diff check clean
+.PHONY: all build test doc fmt-check crash-test metrics bench-diff check clean
 
 all: build
 
@@ -32,24 +32,31 @@ fmt-check:
 	fi
 	@echo "fmt-check: clean"
 
+# The journal fault-injection harness (docs/ROBUSTNESS.md): truncation
+# at every record boundary, torn writes at arbitrary byte budgets and
+# single-bit flips, under both schedules.  Also part of `make check`.
+crash-test: build
+	SIT_JOBS=1 dune exec test/test_journal.exe
+	SIT_JOBS=$(NPROC) dune exec test/test_journal.exe
+
 # Regenerate the observability baseline (see docs/ARCHITECTURE.md).
 metrics:
 	dune exec bench/main.exe -- metrics
 
 # Compare two metrics reports and fail on span regressions beyond the
 # threshold — the PR-over-PR perf gate (see docs/PERFORMANCE.md).
-# Usage: make bench-diff [OLD=BENCH_pr2.json] [NEW=BENCH_pr3.json]
+# Usage: make bench-diff [OLD=BENCH_pr3.json] [NEW=BENCH_pr4.json]
 #        [THRESHOLD=0.25] [MIN_SECONDS=0.0005]
-OLD ?= BENCH_pr2.json
-NEW ?= BENCH_pr3.json
+OLD ?= BENCH_pr3.json
+NEW ?= BENCH_pr4.json
 THRESHOLD ?= 0.25
 MIN_SECONDS ?= 0.0005
 bench-diff:
 	dune exec bench/diff.exe -- $(OLD) $(NEW) \
 	  --threshold $(THRESHOLD) --min-seconds $(MIN_SECONDS)
 
-check: build test doc fmt-check
-	@echo "check: build, tests, docs and formatting all green"
+check: build test crash-test doc fmt-check
+	@echo "check: build, tests, crash-test, docs and formatting all green"
 
 clean:
 	dune clean

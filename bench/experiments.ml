@@ -801,6 +801,8 @@ let e18 () =
 let e19 () =
   section "E19"
     "deterministic parallel execution: jobs sweep over the full protocol";
+  Printf.printf "\n(host exposes %d core(s); speedups are bounded by that)\n"
+    (Stdlib.Domain.recommended_domain_count ());
   (* the workload instances themselves are generated through the pool —
      the same fan-out sit_batch uses for independent script jobs *)
   let paramss =
@@ -859,10 +861,105 @@ let e19 () =
     \ track the machine's core count: this host exposes %d)\n"
     (Stdlib.Domain.recommended_domain_count ())
 
+(* Wraps a DDA oracle so every affirmative answer is journaled as the
+   session op it implies — the write-ahead pattern bin/sit uses, driven
+   here at protocol speed to measure logging overhead. *)
+let journaling_oracle j (oracle : Dda.t) =
+  {
+    oracle with
+    Dda.label = oracle.Dda.label ^ "+journal";
+    attr_equivalent =
+      (fun (qa1, a1) (qa2, a2) ->
+        let r = oracle.Dda.attr_equivalent (qa1, a1) (qa2, a2) in
+        if r then Journal.append j (Op.Declare_equivalent (qa1, qa2));
+        r);
+    object_assertion =
+      (fun q1 q2 ->
+        let r = oracle.Dda.object_assertion q1 q2 in
+        (match r with
+        | Some a -> Journal.append j (Op.Assert_object (q1, a, q2))
+        | None -> ());
+        r);
+    relationship_assertion =
+      (fun q1 q2 ->
+        let r = oracle.Dda.relationship_assertion q1 q2 in
+        (match r with
+        | Some a -> Journal.append j (Op.Assert_relationship (q1, a, q2))
+        | None -> ());
+        r);
+  }
+
+(* Measures one fsync policy against the bare run.  The two variants
+   are timed strictly interleaved — bare, journaled, bare, journaled… —
+   and each takes its minimum, so host-speed drift between reps (the
+   dominant error on a shared 1-core container) cancels out of the
+   overhead ratio. *)
+let e20_overhead ?(reps = 5) () =
+  let w =
+    Workload.Generator.generate
+      {
+        Workload.Generator.default_params with
+        seed = 9200;
+        concepts = 20;
+        population = 200;
+      }
+  in
+  let run oracle () =
+    ignore (Protocol.run ~jobs:1 w.Workload.Generator.schemas oracle)
+  in
+  (* warm code paths and allocator state before any timed run, or the
+     first measurement pays the cold-start and skews the comparison *)
+  run w.Workload.Generator.oracle ();
+  run w.Workload.Generator.oracle ();
+  fun policy ->
+    let path = Filename.temp_file "sit_e20" ".journal" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        let _, j = Journal.open_ ~fsync:policy path in
+        let oracle = w.Workload.Generator.oracle in
+        let base = ref infinity and jt = ref infinity in
+        for _ = 1 to reps do
+          base := Float.min !base (snd (time_once (run oracle)));
+          Journal.reset j;
+          jt := Float.min !jt (snd (time_once (run (journaling_oracle j oracle))))
+        done;
+        let ops = Journal.seq j and size = (Unix.stat path).Unix.st_size in
+        Journal.close j;
+        (!base, !jt, ops, size))
+
+let e20 () =
+  section "E20" "journal overhead: write-ahead logging under protocol.run";
+  Printf.printf
+    "\n\
+     (host exposes %d core(s); every affirmative DDA answer appends one\n\
+    \ journal record during the jobs=1 protocol run; bare and journaled\n\
+    \ runs interleave x5, best of each)\n"
+    (Stdlib.Domain.recommended_domain_count ());
+  let measure = e20_overhead () in
+  Printf.printf "\n%-16s %-11s %-11s %-10s %-10s %-12s\n" "fsync policy"
+    "bare (s)" "wall (s)" "overhead" "ops" "bytes";
+  List.iter
+    (fun (label, policy) ->
+      let base, t, ops, size = measure policy in
+      Printf.printf "%-16s %-11.4f %-11.4f %9.1f%% %-10d %-12d\n" label base t
+        ((t -. base) /. base *. 100.)
+        ops size)
+    [
+      ("never (buffered)", Journal.Never);
+      ("every 8", Journal.Every 8);
+      ("always", Journal.Always);
+    ];
+  print_endline
+    "\n(buffered journaling must stay within a few percent of the bare run -\n\
+    \ the acceptance gate is checked mechanically via meta.journal_overhead\n\
+    \ in the BENCH json; 'always' pays one fsync per record and bounds the\n\
+    \ durability-vs-throughput trade documented in docs/ROBUSTNESS.md)"
+
 let all =
   [
     e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16; e17;
-    e18; e19;
+    e18; e19; e20;
   ]
 
 let by_id =
@@ -870,5 +967,5 @@ let by_id =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17); ("e18", e18); ("e19", e19);
+    ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20);
   ]

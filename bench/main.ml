@@ -1,5 +1,5 @@
 (* The benchmark harness: regenerates every figure and screen of the
-   paper (experiments E1-E18, printed as sections), times the
+   paper (experiments E1-E20, printed as sections), times the
    computational kernels with Bechamel, and dumps the lib/obs metrics
    report of an instrumented pipeline run.
 
@@ -11,7 +11,7 @@
 
    The metrics report (per-phase spans, counters, query-latency
    histograms — see docs/ARCHITECTURE.md and docs/PERFORMANCE.md) is
-   printed to stdout and saved to BENCH_pr3.json; override the path
+   printed to stdout and saved to BENCH_pr4.json; override the path
    with --out FILE.  Compare two reports mechanically with
    `dune exec bench/diff.exe -- OLD.json NEW.json` (make bench-diff).
    The instrumented run is pinned to --jobs 1 so its span tree stays
@@ -152,7 +152,42 @@ let run_timings () =
    as JSON by lib/obs.  This is the repo's perf trajectory artefact:
    each PR that touches a hot path regenerates it and compares. *)
 
-let default_metrics_out = "BENCH_pr3.json"
+let default_metrics_out = "BENCH_pr4.json"
+
+(* One journaled replay of the paper's session inside the metrics
+   window, so the journal.* counters and the fsync histogram appear in
+   the report without perturbing the protocol/query span totals. *)
+let journal_session () =
+  let path = Filename.temp_file "sit_metrics" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let _, j = Journal.open_ path in
+      let ops =
+        [
+          Integrate.Op.Add_schema Workload.Paper.sc1;
+          Integrate.Op.Add_schema Workload.Paper.sc2;
+        ]
+        @ List.map
+            (fun (a, b) -> Integrate.Op.Declare_equivalent (a, b))
+            Workload.Paper.equivalences
+        @ List.map
+            (fun (a, c, b) -> Integrate.Op.Assert_object (a, c, b))
+            Workload.Paper.object_assertions
+        @ List.map
+            (fun (a, c, b) -> Integrate.Op.Assert_relationship (a, c, b))
+            Workload.Paper.relationship_assertions
+      in
+      let ws = ref Integrate.Workspace.empty in
+      List.iter
+        (fun op ->
+          ws := Integrate.Op.apply op !ws;
+          Journal.append ~after:!ws j op)
+        ops;
+      Journal.checkpoint j !ws;
+      let r = Journal.recover path in
+      Journal.compact j r.Journal.workspace;
+      Journal.close j)
 
 let run_metrics ?(out = default_metrics_out) () =
   Experiments.section "METRICS" "instrumented pipeline run (lib/obs report)";
@@ -210,12 +245,29 @@ let run_metrics ?(out = default_metrics_out) () =
         (Query.Rewrite.run_global result.Integrate.Result.mapping
            ~integrated:result.Integrate.Result.schema ~stores:named_stores q))
     (Ecr.Schema.objects result.Integrate.Result.schema);
+  (* the journaled session: feeds journal.appends/fsyncs/... *)
+  journal_session ();
+  (* close the collection window first: the overhead measurement runs
+     the protocol several more times, which would otherwise double the
+     span totals (report generation reads the registries regardless of
+     the enabled flag) *)
+  Obs.disable ();
+  let journal_overhead =
+    let base, buffered, _, _ = Experiments.e20_overhead () Journal.Never in
+    [
+      ("baseline_s", Obs.Json.Float base);
+      ("buffered_s", Obs.Json.Float buffered);
+      ("overhead_frac", Obs.Json.Float ((buffered -. base) /. base));
+    ]
+  in
   let meta =
     [
       ("tool", Obs.Json.String "sit");
       ("report", Obs.Json.String "bench-metrics");
       (* pinned: see the header comment *)
       ("jobs", Obs.Json.Int 1);
+      ("cores", Obs.Json.Int (Stdlib.Domain.recommended_domain_count ()));
+      ("journal_overhead", Obs.Json.Obj journal_overhead);
       ( "workload",
         Obs.Json.Obj
           [
@@ -228,8 +280,7 @@ let run_metrics ?(out = default_metrics_out) () =
   in
   print_endline (Obs.Report.to_string ~meta ());
   Obs.Report.write ~meta out;
-  Printf.printf "metrics report written to %s\n" out;
-  Obs.disable ()
+  Printf.printf "metrics report written to %s\n" out
 
 (* ------------------------------------------------------------------ *)
 
@@ -261,7 +312,7 @@ let () =
               run_metrics ?out ()
           | None when id = "metrics" -> run_metrics ?out ()
           | None ->
-              Printf.eprintf "unknown experiment %s (e1..e19, timings, metrics)\n"
+              Printf.eprintf "unknown experiment %s (e1..e20, timings, metrics)\n"
                 id;
               exit 2)
         ids

@@ -25,16 +25,65 @@ let load_file ws file =
             exit 2)
       ws schemas
 
-let run files save analyse =
+(* With --journal, the whole session is write-ahead logged: a snapshot
+   of the starting workspace (recovered session plus any files given on
+   the command line), then one record per screen mutation.  On the next
+   start the journal offers to resume; recovery replays the longest
+   valid prefix, so a crash — even mid-write — costs at most the last
+   keystroke.  See lib/journal and docs/ROBUSTNESS.md. *)
+let run files save analyse journal_path =
   let workspace =
     List.fold_left load_file Integrate.Workspace.empty files
+  in
+  let workspace, journal =
+    match journal_path with
+    | None -> (workspace, None)
+    | Some path ->
+        let recovery, j = Journal.open_ path in
+        let workspace =
+          if recovery.Journal.seq > 0 then begin
+            Printf.printf
+              "journal %s holds a previous session (%d operation(s)%s).\n\
+               Resume it? [y/N] "
+              path recovery.Journal.seq
+              (if recovery.Journal.truncated_bytes > 0 then
+                 Printf.sprintf ", %d torn byte(s) discarded"
+                   recovery.Journal.truncated_bytes
+               else "");
+            flush stdout;
+            let answer = try input_line stdin with End_of_file -> "" in
+            if String.lowercase_ascii (String.trim answer) = "y" then
+              (* recovered session first, command-line files on top *)
+              List.fold_left load_file recovery.Journal.workspace files
+            else begin
+              Journal.reset j;
+              workspace
+            end
+          end
+          else workspace
+        in
+        (* baseline snapshot: the journal is self-contained from here *)
+        Journal.checkpoint j workspace;
+        (workspace, Some j)
   in
   if analyse then
     List.iter
       (fun issue ->
         Printf.printf "analysis: %s\n" (Integrate.Analysis.to_string issue))
       (Integrate.Analysis.analyse workspace);
-  let final = Tui.Session.run ~workspace Tui.Session.stdio in
+  let record =
+    match journal with
+    | None -> fun _ _ -> ()
+    | Some j -> fun op after -> Journal.append ~after j op
+  in
+  let final = Tui.Session.run ~workspace ~record Tui.Session.stdio in
+  (match journal with
+  | None -> ()
+  | Some j ->
+      (* a clean exit leaves one compact snapshot behind *)
+      Journal.compact j final;
+      Journal.close j;
+      Printf.printf "session journaled to %s\n" (Journal.path j));
   match save with
   | Some path ->
       Dictionary.save path final;
@@ -58,6 +107,13 @@ let analyse =
   let doc = "Report schema-analysis incompatibilities before starting." in
   Arg.(value & flag & info [ "analyse" ] ~doc)
 
+let journal =
+  let doc =
+    "Write-ahead journal every workspace mutation to $(docv) (crash \
+     safety).  If $(docv) already holds a session, offer to resume it."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "interactive schema and view integration tool (ECR model)" in
   let man =
@@ -76,6 +132,6 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "sit" ~version:"1.0.0" ~doc ~man)
-    Term.(const run $ files $ save $ analyse)
+    Term.(const run $ files $ save $ analyse $ journal)
 
 let () = exit (Cmd.eval cmd)

@@ -14,24 +14,70 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Session_error s)) fmt
 
 (* One integration session: replay [directives] against [schemas] and
    return everything the session prints.  Pure apart from the optional
-   file outputs, which the driver only allows in single-script runs. *)
+   file outputs, which the driver only allows in single-script runs.
+
+   With [~journal] the session is write-ahead logged: every schema
+   addition and directive is appended as one op record before the next
+   one runs, so a killed run resumes from its journal (--resume) by
+   replaying the recovered prefix and skipping that many ops.  The
+   inputs must be unchanged between the runs — ops are skipped by
+   position. *)
 let run_session ~schemas ~directives ~out_ddl ~out_dot ~name ~analyse
-    ~save_dict ~save_result ~data ~updates ~queries ~global_queries () =
+    ~save_dict ~save_result ~data ~updates ~queries ~global_queries
+    ?journal () =
   let buf = Buffer.create 4096 in
   let pr fmt = Printf.bprintf buf fmt in
   let ws =
-    List.fold_left
-      (fun ws s -> Integrate.Workspace.add_schema s ws)
-      Integrate.Workspace.empty schemas
-  in
-  let ws =
-    match Integrate.Script.apply directives ws with
-    | Ok ws -> ws
-    | Error (Integrate.Script.Object_conflict (_, _, conflict) as e) ->
-        fail "%s%s"
-          (Tui.Canvas.to_string (Tui.Screens.conflict_resolution conflict))
-          (Integrate.Script.apply_error_to_string e)
-    | Error e -> fail "%s" (Integrate.Script.apply_error_to_string e)
+    let start, base, jopt =
+      match journal with
+      | None -> (0, Integrate.Workspace.empty, None)
+      | Some (j, recovery) ->
+          (recovery.Journal.seq, recovery.Journal.workspace, Some j)
+    in
+    let items =
+      List.map (fun s -> `Schema s) schemas
+      @ List.map (fun d -> `Directive d) directives
+    in
+    if start > List.length items then
+      fail
+        "--resume: the journal records %d operations but the inputs only \
+         define %d — did the DDL files or the script change?"
+        start (List.length items);
+    let ws, _ =
+      List.fold_left
+        (fun (ws, i) item ->
+          if i < start then (ws, i + 1) (* already replayed from the journal *)
+          else begin
+            let ws =
+              match item with
+              | `Schema s -> Integrate.Workspace.add_schema s ws
+              | `Directive d -> (
+                  match Integrate.Script.apply_one d ws with
+                  | Ok ws -> ws
+                  | Error
+                      (Integrate.Script.Object_conflict (_, _, conflict) as e)
+                    ->
+                      fail "%s%s"
+                        (Tui.Canvas.to_string
+                           (Tui.Screens.conflict_resolution conflict))
+                        (Integrate.Script.apply_error_to_string e)
+                  | Error e ->
+                      fail "%s" (Integrate.Script.apply_error_to_string e))
+            in
+            (match jopt with
+            | Some j ->
+                let op =
+                  match item with
+                  | `Schema s -> Integrate.Op.Add_schema s
+                  | `Directive d -> Integrate.Op.of_directive d
+                in
+                Journal.append ~after:ws j op
+            | None -> ());
+            (ws, i + 1)
+          end)
+        (base, 0) items
+    in
+    ws
   in
   if analyse then
     List.iter
@@ -54,17 +100,30 @@ let run_session ~schemas ~directives ~out_ddl ~out_dot ~name ~analyse
   | None -> ());
   (match save_result with
   | Some path ->
-      let oc = open_out path in
+      (* temp + rename: a crash mid-dump never leaves a torn dictionary
+         (but never rename over a non-regular file like /dev/null) *)
+      let regular =
+        match (Unix.lstat path).Unix.st_kind with
+        | Unix.S_REG -> true
+        | _ -> false
+        | exception Unix.Unix_error _ -> true
+      in
+      let target = if regular then path ^ ".tmp" else path in
+      let oc = open_out target in
       Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc (Dictionary.result_to_string ws result))
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Dictionary.result_to_string ws result));
+      if target <> path then Sys.rename target path
   | None -> ());
   (* ---- optional: operational data and translated requests ---------- *)
   if data <> None || updates <> [] || queries <> [] || global_queries <> []
   then begin
     let stores =
       match data with
-      | Some path -> Instance.Loader.load_file ~schemas path
+      | Some path -> (
+          try Instance.Loader.load_file ~schemas path
+          with Instance.Loader.Error _ as e ->
+            fail "%s" (Instance.Loader.error_to_string e))
       | None -> List.map (fun s -> (s, Instance.Store.create s)) schemas
     in
     let merged, report =
@@ -149,6 +208,12 @@ let run_session ~schemas ~directives ~out_ddl ~out_dot ~name ~analyse
         pr "(%d rows)\n" (List.length rows))
       global_queries
   end;
+  (match journal with
+  | Some (j, _) ->
+      (* the session completed: leave one compact snapshot behind *)
+      Journal.compact j ws;
+      Journal.close j
+  | None -> ());
   Buffer.contents buf
 
 let hard_fail fmt =
@@ -159,7 +224,7 @@ let hard_fail fmt =
     fmt
 
 let run files scripts jobs out_ddl out_dot name analyse save_dict save_result
-    data updates queries global_queries metrics =
+    data updates queries global_queries metrics journal_dir resume =
   if List.length scripts > 1 then begin
     let reject what = function
       | Some _ ->
@@ -170,8 +235,11 @@ let run files scripts jobs out_ddl out_dot name analyse save_dict save_result
     reject "--dot" out_dot;
     reject "--save-dict" save_dict;
     reject "--save-result" save_result;
-    reject "--metrics" metrics
+    reject "--metrics" metrics;
+    reject "--journal" journal_dir
   end;
+  if resume && journal_dir = None then
+    hard_fail "--resume requires --journal DIR";
   if metrics <> None then begin
     Obs.enable ();
     Obs.reset ()
@@ -197,13 +265,31 @@ let run files scripts jobs out_ddl out_dot name analyse save_dict save_result
         with Integrate.Script.Parse_error _ as e ->
           hard_fail "%s" (Integrate.Script.parse_error_to_string e))
   in
+  let journal =
+    match journal_dir with
+    | None -> None
+    | Some dir ->
+        (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+         with Unix.Unix_error (e, _, _) ->
+           hard_fail "cannot create journal directory %s: %s" dir
+             (Unix.error_message e));
+        let path = Filename.concat dir "session.journal" in
+        let recovery, j = Journal.open_ path in
+        if (not resume) && recovery.Journal.seq > 0 then
+          hard_fail
+            "journal %s already records %d operation(s): pass --resume to \
+             continue that run, or remove the file to start over"
+            path recovery.Journal.seq;
+        Some (j, recovery)
+  in
   let outputs =
     try
       Par.with_pool ~jobs @@ fun pool ->
       Par.map pool
         (fun directives ->
           run_session ~schemas ~directives ~out_ddl ~out_dot ~name ~analyse
-            ~save_dict ~save_result ~data ~updates ~queries ~global_queries ())
+            ~save_dict ~save_result ~data ~updates ~queries ~global_queries
+            ?journal ())
         jobs_of_scripts
     with Session_error msg -> hard_fail "%s" msg
   in
@@ -320,6 +406,23 @@ let metrics =
   Arg.(
     value & opt (some string) None & info [ "metrics" ] ~docv:"REPORT" ~doc)
 
+let journal_dir =
+  let doc =
+    "Write-ahead journal the session to $(docv)/session.journal (crash \
+     safety; single-script runs only).  A killed run continues with \
+     $(b,--resume)."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"DIR" ~doc)
+
+let resume =
+  let doc =
+    "Resume the session recorded in the $(b,--journal) directory: replay \
+     its longest valid prefix, then continue with the remaining \
+     operations.  The DDL files and script must be the ones the journal \
+     was started with."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
 let cmd =
   Cmd.v
     (Cmd.info "sit_batch" ~version:"1.0.0"
@@ -327,6 +430,6 @@ let cmd =
     Term.(
       const run $ files $ scripts $ jobs $ out_ddl $ out_dot $ integrated_name
       $ analyse $ save_dict $ save_result $ data $ updates $ queries
-      $ global_queries $ metrics)
+      $ global_queries $ metrics $ journal_dir $ resume)
 
 let () = exit (Cmd.eval cmd)

@@ -69,7 +69,13 @@ let tokenize src =
       | c when is_digit c ->
           let rec forward j = if j < n && is_digit src.[j] then forward (j + 1) else j in
           let j = forward i in
-          emit (Int (int_of_string (String.sub src i (j - i)))) l co;
+          let word = String.sub src i (j - i) in
+          (* a digit run can overflow int_of_string; keep the failure
+             positioned instead of escaping as Failure *)
+          (match int_of_string_opt word with
+          | Some v -> emit (Int v) l co
+          | None ->
+              raise (Error (Printf.sprintf "integer literal %s out of range" word, l, co)));
           advance (j - i)
       | c when is_ident_start c ->
           let rec forward j =

@@ -60,6 +60,7 @@ let cardinality st =
 
 (* domain ::= IDENT | IDENT "(" IDENT ("," IDENT)* ")" *)
 let domain st =
+  let t = peek st in
   let base = ident st in
   if (peek st).Lexer.token = Lexer.Lparen then begin
     advance st;
@@ -73,7 +74,17 @@ let domain st =
     in
     let vs = values [] in
     expect st Lexer.Rparen "')' closing a domain value list";
-    Domain.of_string (base ^ "(" ^ String.concat "," vs ^ ")")
+    let text = base ^ "(" ^ String.concat "," vs ^ ")" in
+    (* only enum takes a value list; anything else is not a domain name *)
+    try Domain.of_string text
+    with Name.Invalid _ ->
+      raise
+        (Error
+           ( Printf.sprintf "unknown parameterised domain %s (only enum(...) \
+                             takes values)"
+               text,
+             t.Lexer.line,
+             t.Lexer.col ))
   end
   else Domain.of_string base
 
@@ -164,6 +175,7 @@ let structure st =
   | _ -> None
 
 let schema st =
+  let t = peek st in
   expect st Lexer.Kw_schema "'schema'";
   let n = name st in
   expect st Lexer.Lbrace "'{' opening the schema body";
@@ -181,7 +193,7 @@ let schema st =
     List.filter_map (function Schema.Rel r -> Some r | Schema.Obj _ -> None) ss
   in
   try Schema.make n ~objects ~relationships
-  with Invalid_argument msg -> raise (Error (msg, 0, 0))
+  with Invalid_argument msg -> raise (Error (msg, t.Lexer.line, t.Lexer.col))
 
 let with_state src f =
   let st =

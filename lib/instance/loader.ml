@@ -1,8 +1,14 @@
 open Ecr
 
-exception Error of string
+exception Error of { file : string; line : int; message : string }
 
-let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+let error_to_string = function
+  | Error { file; line; message } ->
+      Printf.sprintf "%s:%d: %s" file line message
+  | e -> Printexc.to_string e
+
+let error ~file ~line fmt =
+  Printf.ksprintf (fun message -> raise (Error { file; line; message })) fmt
 
 (* ------------------------------------------------------------------ *)
 (* Tokens (with line numbers for error reporting).                     *)
@@ -23,7 +29,21 @@ type token =
 
 type located = { token : token; line : int }
 
-let tokenize src =
+let token_to_string = function
+  | Ident s -> Printf.sprintf "identifier '%s'" s
+  | Number s -> Printf.sprintf "number '%s'" s
+  | Str s -> Printf.sprintf "string %S" s
+  | DateTok (y, m, d) -> Printf.sprintf "date %04d-%02d-%02d" y m d
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Comma -> "','"
+  | Colon -> "':'"
+  | Assign -> "'='"
+  | Eof -> "end of input"
+
+let tokenize ~file src =
   let n = String.length src in
   let out = ref [] in
   let line = ref 1 in
@@ -67,7 +87,9 @@ let tokenize src =
           scan (i + 1)
       | ('\'' | '"') as quote ->
           let rec stop j =
-            if j >= n then error "line %d: unterminated string" !line
+            if j >= n then
+              error ~file ~line:!line "unterminated string (opened with %c)"
+                quote
             else if src.[j] = quote then j
             else stop (j + 1)
           in
@@ -95,7 +117,7 @@ let tokenize src =
           let j = stop i in
           emit (Ident (String.sub src i (j - i)));
           scan j
-      | c -> error "line %d: illegal character %C" !line c
+      | c -> error ~file ~line:!line "illegal character %C" c
   in
   scan 0;
   List.rev !out
@@ -103,10 +125,12 @@ let tokenize src =
 (* ------------------------------------------------------------------ *)
 (* Parsing.                                                            *)
 
-type state = { mutable rest : located list }
+type state = { file : string; mutable rest : located list }
 
 let peek st =
   match st.rest with [] -> { token = Eof; line = 0 } | t :: _ -> t
+
+let fail_at st t fmt = error ~file:st.file ~line:t.line fmt
 
 let advance st = match st.rest with [] -> () | _ :: r -> st.rest <- r
 
@@ -116,20 +140,28 @@ let ident st =
   | Ident s ->
       advance st;
       s
-  | _ -> error "line %d: expected an identifier" t.line
+  | _ -> fail_at st t "expected an identifier, found %s" (token_to_string t.token)
 
 let expect st token what =
   let t = peek st in
   if t.token = token then advance st
-  else error "line %d: expected %s" t.line what
+  else fail_at st t "expected %s, found %s" what (token_to_string t.token)
 
 let value st =
   let t = peek st in
   match t.token with
-  | Number s ->
+  | Number s -> (
       advance st;
-      if String.contains s '.' then Value.Real (float_of_string s)
-      else Value.Int (int_of_string s)
+      (* the tokenizer's number class also admits junk like "1.2.3" or
+         a lone "-"; reject it here, positioned *)
+      if String.contains s '.' then
+        match float_of_string_opt s with
+        | Some x -> Value.Real x
+        | None -> fail_at st t "malformed number '%s'" s
+      else
+        match int_of_string_opt s with
+        | Some n -> Value.Int n
+        | None -> fail_at st t "malformed number '%s'" s)
   | Str s ->
       advance st;
       Value.Str s
@@ -145,7 +177,7 @@ let value st =
   | Ident s when String.lowercase_ascii s = "null" ->
       advance st;
       Value.Null
-  | _ -> error "line %d: expected a value" t.line
+  | _ -> fail_at st t "expected a value, found %s" (token_to_string t.token)
 
 let tuple_block st =
   expect st Lbrace "'{'";
@@ -160,7 +192,7 @@ let tuple_block st =
       let field_name =
         match Name.of_string_opt field with
         | Some n -> n
-        | None -> error "line %d: invalid attribute name %s" t.line field
+        | None -> fail_at st t "invalid attribute name '%s'" field
       in
       expect st Assign "'='";
       let v = value st in
@@ -177,8 +209,8 @@ let tuple_block st =
     fields Name.Map.empty
   end
 
-let load_string ~schemas src =
-  let st = { rest = tokenize src } in
+let load_string ?(file = "<instance>") ~schemas src =
+  let st = { file; rest = tokenize ~file src } in
   let stores = Hashtbl.create 4 in
   List.iter
     (fun s ->
@@ -191,12 +223,13 @@ let load_string ~schemas src =
         let t = peek st in
         (match (peek st).token with
         | Ident s when String.lowercase_ascii s = "instance" -> advance st
-        | _ -> error "line %d: expected 'instance'" t.line);
+        | tok ->
+            fail_at st t "expected 'instance', found %s" (token_to_string tok));
         let sname = ident st in
         let schema, store =
           match Hashtbl.find_opt stores sname with
           | Some pair -> pair
-          | None -> error "line %d: unknown schema %s" t.line sname
+          | None -> fail_at st t "unknown schema %s" sname
         in
         expect st Lbrace "'{'";
         let labels = Hashtbl.create 32 in
@@ -214,12 +247,12 @@ let load_string ~schemas src =
               let cat_name =
                 match Name.of_string_opt cat with
                 | Some n when Schema.find_object n schema <> None -> n
-                | _ -> error "line %d: unknown class %s" t.line cat
+                | _ -> fail_at st t "unknown class %s" cat
               in
               let oid =
                 match Hashtbl.find_opt labels label with
                 | Some oid -> oid
-                | None -> error "line %d: unknown label %s" t.line label
+                | None -> fail_at st t "unknown label %s" label
               in
               store := Store.classify oid cat_name !store;
               entries ()
@@ -229,7 +262,7 @@ let load_string ~schemas src =
               let sname_n =
                 match Name.of_string_opt structure with
                 | Some n -> n
-                | None -> error "line %d: invalid name %s" t.line structure
+                | None -> fail_at st t "invalid name '%s'" structure
               in
               match Schema.find_structure sname_n schema with
               | Some (Schema.Obj _) ->
@@ -253,7 +286,7 @@ let load_string ~schemas src =
                     let oid =
                       match Hashtbl.find_opt labels label with
                       | Some oid -> oid
-                      | None -> error "line %d: unknown label %s" t.line label
+                      | None -> fail_at st t "unknown label %s" label
                     in
                     if (peek st).token = Comma then begin
                       advance st;
@@ -270,10 +303,13 @@ let load_string ~schemas src =
                     else Name.Map.empty
                   in
                   (try store := Store.relate sname_n oids values !store
-                   with Store.Violation msg -> error "line %d: %s" t.line msg);
+                   with Store.Violation msg -> fail_at st t "%s" msg);
                   entries ()
-              | None -> error "line %d: unknown structure %s" t.line structure)
-          | _ -> error "line %d: expected an entry or '}'" (peek st).line
+              | None -> fail_at st t "unknown structure %s" structure)
+          | _ ->
+              let t = peek st in
+              fail_at st t "expected an entry or '}', found %s"
+                (token_to_string t.token)
         in
         entries ();
         Hashtbl.replace stores sname (schema, !store);
@@ -286,12 +322,14 @@ let load_string ~schemas src =
 
 let load_file ~schemas path =
   let ic = open_in_bin path in
+  (* [Fun.protect] so an [Error] raised mid-parse cannot leak the
+     channel *)
   let text =
     Fun.protect
-      ~finally:(fun () -> close_in ic)
+      ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  load_string ~schemas text
+  load_string ~file:path ~schemas text
 
 (* ------------------------------------------------------------------ *)
 (* Serialisation.                                                      *)

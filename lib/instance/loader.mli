@@ -24,17 +24,28 @@
     - values are numbers, single/double-quoted strings, [true], [false],
       [null], or bare dates [YYYY-MM-DD]. *)
 
-exception Error of string
+exception Error of { file : string; line : int; message : string }
 (** Syntax errors, unknown labels, or references to structures the
-    schema does not declare (messages carry the line number). *)
+    schema does not declare.  Every error carries the file, the 1-based
+    line, and a message naming the offending token or value. *)
+
+val error_to_string : exn -> string
+(** ["file:line: message"] for an {!Error}; [Printexc.to_string] for
+    anything else. *)
 
 val load_string :
-  schemas:Ecr.Schema.t list -> string -> (Ecr.Schema.t * Store.t) list
+  ?file:string ->
+  schemas:Ecr.Schema.t list ->
+  string ->
+  (Ecr.Schema.t * Store.t) list
 (** Parses every [instance] block, resolving each against the named
-    schema.  Schemas without a block get an empty store. *)
+    schema.  Schemas without a block get an empty store.  [?file]
+    (default ["<instance>"]) positions error messages. *)
 
 val load_file :
   schemas:Ecr.Schema.t list -> string -> (Ecr.Schema.t * Store.t) list
+(** {!load_string} on a file's contents, with errors positioned at its
+    path; the channel is closed on every exit path. *)
 
 val to_string : Ecr.Schema.t -> Store.t -> string
 (** Serialises a store back to the format (labels are synthesised as

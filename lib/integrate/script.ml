@@ -79,25 +79,24 @@ let apply_error_to_string = function
       Printf.sprintf "conflicting relationship assertion between %s and %s"
         (Ecr.Qname.to_string a) (Ecr.Qname.to_string b)
 
+let apply_one d ws =
+  match d with
+  | Equiv (a, b) -> Ok (Workspace.declare_equivalent a b ws)
+  | Object_assertion (a, assertion, b) -> (
+      match Workspace.assert_object a assertion b ws with
+      | Ok ws -> Ok ws
+      | Error c -> Error (Object_conflict (a, b, c)))
+  | Rel_assertion (a, assertion, b) -> (
+      match Workspace.assert_relationship a assertion b ws with
+      | Ok ws -> Ok ws
+      | Error c -> Error (Rel_conflict (a, b, c)))
+  | Rename (a, b, forced) ->
+      Ok
+        (Workspace.set_naming
+           (Naming.with_override a b forced (Workspace.naming ws))
+           ws)
+
 let apply directives ws =
   List.fold_left
-    (fun acc d ->
-      match acc with
-      | Error _ -> acc
-      | Ok ws -> (
-          match d with
-          | Equiv (a, b) -> Ok (Workspace.declare_equivalent a b ws)
-          | Object_assertion (a, assertion, b) -> (
-              match Workspace.assert_object a assertion b ws with
-              | Ok ws -> Ok ws
-              | Error c -> Error (Object_conflict (a, b, c)))
-          | Rel_assertion (a, assertion, b) -> (
-              match Workspace.assert_relationship a assertion b ws with
-              | Ok ws -> Ok ws
-              | Error c -> Error (Rel_conflict (a, b, c)))
-          | Rename (a, b, forced) ->
-              Ok
-                (Workspace.set_naming
-                   (Naming.with_override a b forced (Workspace.naming ws))
-                   ws)))
+    (fun acc d -> match acc with Error _ -> acc | Ok ws -> apply_one d ws)
     (Ok ws) directives

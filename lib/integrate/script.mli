@@ -48,6 +48,10 @@ type apply_error =
 
 val apply_error_to_string : apply_error -> string
 
+val apply_one : directive -> Workspace.t -> (Workspace.t, apply_error) result
+(** Replays a single directive — the journaled batch path applies (and
+    records) directives one at a time. *)
+
 val apply : directive list -> Workspace.t -> (Workspace.t, apply_error) result
 (** Replays the directives in order; stops at the first assertion the
     matrix rejects. *)

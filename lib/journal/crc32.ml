@@ -1,0 +1,23 @@
+(* Table-driven CRC-32 (IEEE 802.3 polynomial, reflected form
+   0xEDB88320) — the checksum guarding every journal record.  Computed
+   over OCaml's 63-bit native ints, masked to 32 bits, so the module
+   needs no external dependency. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let mask = 0xFFFFFFFF
+
+let digest s =
+  let t = Lazy.force table in
+  let crc = ref mask in
+  String.iter
+    (fun ch -> crc := (!crc lsr 8) lxor t.((!crc lxor Char.code ch) land 0xFF))
+    s;
+  !crc lxor mask land mask

@@ -1,0 +1,4 @@
+(** CRC-32 (IEEE, the zlib/Ethernet polynomial), dependency-free. *)
+
+val digest : string -> int
+(** The checksum of the whole string, in [0, 2^32). *)

@@ -38,10 +38,22 @@ let to_json ?(meta = []) () =
 
 let to_string ?meta () = Json.to_string ~indent:2 (to_json ?meta ())
 
+(* Renaming over a non-regular target (/dev/null, a fifo, …) would
+   replace the special file with a plain one; those get direct writes. *)
+let renameable path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_REG -> true
+  | _ -> false
+  | exception Unix.Unix_error _ -> true
+
+(* Temp file + atomic rename: a crash mid-dump leaves either the old
+   report or the new one, never a truncated JSON document. *)
 let write ?meta path =
-  let oc = open_out path in
+  let target = if renameable path then path ^ ".tmp" else path in
+  let oc = open_out target in
   Fun.protect
-    ~finally:(fun () -> close_out oc)
+    ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       output_string oc (to_string ?meta ());
-      output_char oc '\n')
+      output_char oc '\n');
+  if target <> path then Sys.rename target path

@@ -24,4 +24,5 @@ val to_string : ?meta:(string * Json.t) list -> unit -> string
 
 val write : ?meta:(string * Json.t) list -> string -> unit
 (** [write path] saves {!to_string} (plus a trailing newline) to
-    [path]. *)
+    [path], atomically: the report is written to [path ^ ".tmp"] and
+    renamed into place, so a crash never leaves a truncated report. *)

@@ -230,7 +230,7 @@ let collect_structures io schema =
   in
   loop schema
 
-let schema_collection io ws =
+let schema_collection ~record io ws =
   let rec loop ws =
     let names =
       List.map (fun s -> Name.to_string (Schema.name s)) (Integrate.Workspace.schemas ws)
@@ -259,12 +259,17 @@ let schema_collection io ws =
                     List.iter
                       (fun e -> message io "warning: %s" (Schema.error_to_string e))
                       errors;
-                    loop (Integrate.Workspace.add_schema edited ws)))
+                    let ws = Integrate.Workspace.add_schema edited ws in
+                    record (Integrate.Op.Add_schema edited) ws;
+                    loop ws))
         | "d" -> (
             match prompt_nonempty io "Schema name to delete:" with
             | Some raw -> (
                 match Name.of_string_opt raw with
-                | Some name -> loop (Integrate.Workspace.remove_schema name ws)
+                | Some name ->
+                    let ws = Integrate.Workspace.remove_schema name ws in
+                    record (Integrate.Op.Remove_schema name) ws;
+                    loop ws
                 | None -> loop ws)
             | None -> loop ws)
         | _ -> loop ws)
@@ -302,7 +307,7 @@ let parse_qattr line =
   | [ s; o; a ] -> ( try Some (Qname.Attr.v s o a) with Name.Invalid _ -> None)
   | _ -> None
 
-let equivalence_task io ws ~relationships =
+let equivalence_task ~record io ws ~relationships =
   match pick_two_schemas io ws with
   | None -> ws
   | Some (s1, s2) ->
@@ -342,7 +347,9 @@ let equivalence_task io ws ~relationships =
                         parse_qattr (q2 ^ a2) )
                     with
                     | Some qa1, Some qa2 ->
-                        edit (Integrate.Workspace.declare_equivalent qa1 qa2 ws) o1 o2
+                        let ws = Integrate.Workspace.declare_equivalent qa1 qa2 ws in
+                        record (Integrate.Op.Declare_equivalent (qa1, qa2)) ws;
+                        edit ws o1 o2
                     | _ ->
                         message io "Malformed attribute name.";
                         edit ws o1 o2)
@@ -354,7 +361,9 @@ let equivalence_task io ws ~relationships =
                     parse_qattr
                 with
                 | Some qa ->
-                    edit (Integrate.Workspace.separate_attribute qa ws) o1 o2
+                    let ws = Integrate.Workspace.separate_attribute qa ws in
+                    record (Integrate.Op.Separate_attribute qa) ws;
+                    edit ws o1 o2
                 | None -> edit ws o1 o2)
             | _ -> edit ws o1 o2)
       in
@@ -375,7 +384,7 @@ let equivalence_task io ws ~relationships =
 (* ------------------------------------------------------------------ *)
 (* Tasks 3 and 5: assertion specification.                             *)
 
-let assertion_task io ws ~relationships =
+let assertion_task ~record io ws ~relationships =
   match pick_two_schemas io ws with
   | None -> ws
   | Some (s1, s2) ->
@@ -419,14 +428,18 @@ let assertion_task io ws ~relationships =
                 match int_of_string_opt idx with
                 | Some i when i >= 1 && i <= List.length pairs ->
                     let rk = List.nth pairs (i - 1) in
+                    let l = rk.Integrate.Similarity.left
+                    and r = rk.Integrate.Similarity.right in
                     let ws =
                       if relationships then
-                        Integrate.Workspace.retract_relationship
-                          rk.Integrate.Similarity.left rk.Integrate.Similarity.right ws
-                      else
-                        Integrate.Workspace.retract_object
-                          rk.Integrate.Similarity.left rk.Integrate.Similarity.right ws
+                        Integrate.Workspace.retract_relationship l r ws
+                      else Integrate.Workspace.retract_object l r ws
                     in
+                    record
+                      (if relationships then
+                         Integrate.Op.Retract_relationship (l, r)
+                       else Integrate.Op.Retract_object (l, r))
+                      ws;
                     loop ws
                 | _ ->
                     message io "Bad pair number.";
@@ -443,7 +456,20 @@ let assertion_task io ws ~relationships =
                       assert_in ws rk.Integrate.Similarity.left assertion
                         rk.Integrate.Similarity.right
                     with
-                    | Ok ws -> loop ws
+                    | Ok ws ->
+                        record
+                          (if relationships then
+                             Integrate.Op.Assert_relationship
+                               ( rk.Integrate.Similarity.left,
+                                 assertion,
+                                 rk.Integrate.Similarity.right )
+                           else
+                             Integrate.Op.Assert_object
+                               ( rk.Integrate.Similarity.left,
+                                 assertion,
+                                 rk.Integrate.Similarity.right ))
+                          ws;
+                        loop ws
                     | Error conflict ->
                         show io (Screens.conflict_resolution conflict);
                         let _ =
@@ -559,16 +585,16 @@ let view_result io ~schemas result =
 
 (* ------------------------------------------------------------------ *)
 
-let run ?(workspace = Integrate.Workspace.empty) io =
+let run ?(workspace = Integrate.Workspace.empty) ?(record = fun _ _ -> ()) io =
   let rec loop ws =
     show io (Screens.main_menu ());
     match prompt io "Choose a task, or (E)xit =>" with
     | s when is_exit s -> ws
-    | "1" -> loop (schema_collection io ws)
-    | "2" -> loop (equivalence_task io ws ~relationships:false)
-    | "3" -> loop (assertion_task io ws ~relationships:false)
-    | "4" -> loop (equivalence_task io ws ~relationships:true)
-    | "5" -> loop (assertion_task io ws ~relationships:true)
+    | "1" -> loop (schema_collection ~record io ws)
+    | "2" -> loop (equivalence_task ~record io ws ~relationships:false)
+    | "3" -> loop (assertion_task ~record io ws ~relationships:false)
+    | "4" -> loop (equivalence_task ~record io ws ~relationships:true)
+    | "5" -> loop (assertion_task ~record io ws ~relationships:true)
     | "6" ->
         let schemas = Integrate.Workspace.schemas ws in
         if List.length schemas < 2 then begin

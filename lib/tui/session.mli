@@ -19,9 +19,17 @@ val scripted : string list -> io * Buffer.t
     output to the returned buffer.  Reading past the script yields
     [None], which every prompt treats as "exit". *)
 
-val run : ?workspace:Integrate.Workspace.t -> io -> Integrate.Workspace.t
+val run :
+  ?workspace:Integrate.Workspace.t ->
+  ?record:(Integrate.Op.t -> Integrate.Workspace.t -> unit) ->
+  io ->
+  Integrate.Workspace.t
 (** The main-menu loop.  Returns the final workspace (so callers can
-    save schemas, inspect assertions, integrate offline...). *)
+    save schemas, inspect assertions, integrate offline...).
+
+    [record op ws] is called after every workspace mutation with the
+    op just performed and the resulting state — the hook [bin/sit]
+    uses to journal the live session (see lib/journal). *)
 
 val view_result :
   io -> schemas:Ecr.Schema.t list -> Integrate.Result.t -> unit

@@ -1,0 +1,134 @@
+(* DDL robustness fuzzing: mutate well-formed example schemas with
+   random byte edits, truncations and insertions (seeded Workload.Prng,
+   so every run is reproducible) and assert the lexer/parser contract —
+   a mutated input either still parses or raises a positioned
+   [Ddl.Parser.Error]; it never escapes with another exception, hangs,
+   or reports a nonsense position. *)
+
+open Alcotest
+
+let tc name f = test_case name `Quick f
+
+(* The corpus: the paper's four example schemas plus one handwritten
+   text exercising the rest of the grammar (roles, enum domains,
+   categories with several parents, attribute-less bodies). *)
+let corpus =
+  List.map Ddl.Printer.to_string
+    [ Workload.Paper.sc1; Workload.Paper.sc2; Workload.Paper.sc3;
+      Workload.Paper.sc4 ]
+  @ [
+      "schema extra {\n\
+      \  entity Person { Name : char key; Level : enum(low,mid,high); }\n\
+      \  entity Course;\n\
+      \  category Tutor of Person, Course { Rate : real; }\n\
+      \  relationship Teaches (who:Person(1,N), Course(0,N)) { Hours : int; }\n\
+       }\n";
+    ]
+
+(* Random printable-or-nasty byte: the structural characters the
+   grammar cares about are over-represented so mutations actually hit
+   interesting parse states. *)
+let random_byte g =
+  let nasty = "{}();:,.-\"'\\\x00\xff\n " in
+  if Workload.Prng.bool g 0.4 then nasty.[Workload.Prng.int g (String.length nasty)]
+  else Char.chr (Workload.Prng.int g 256)
+
+let mutate g src =
+  let n = String.length src in
+  match Workload.Prng.int g 4 with
+  | 0 ->
+      (* truncate at a random offset: a torn file *)
+      String.sub src 0 (Workload.Prng.int g (n + 1))
+  | 1 ->
+      (* overwrite a few bytes *)
+      let b = Bytes.of_string src in
+      for _ = 0 to Workload.Prng.int g 8 do
+        if n > 0 then Bytes.set b (Workload.Prng.int g n) (random_byte g)
+      done;
+      Bytes.to_string b
+  | 2 ->
+      (* insert a short random run *)
+      let at = Workload.Prng.int g (n + 1) in
+      let run = String.init (1 + Workload.Prng.int g 6) (fun _ -> random_byte g) in
+      String.sub src 0 at ^ run ^ String.sub src at (n - at)
+  | _ ->
+      (* single-bit flip *)
+      if n = 0 then src
+      else begin
+        let b = Bytes.of_string src in
+        let at = Workload.Prng.int g n in
+        Bytes.set b at (Char.chr (Char.code src.[at] lxor (1 lsl Workload.Prng.int g 8)));
+        Bytes.to_string b
+      end
+
+(* The contract under test. *)
+let check_outcome input =
+  match Ddl.Parser.schemas_of_string input with
+  | _ -> () (* a benign mutation (e.g. inside a comment) may still parse *)
+  | exception Ddl.Parser.Error (msg, line, col) ->
+      check bool
+        (Printf.sprintf "position of %S is sane (%d:%d)" msg line col)
+        true
+        (line >= 0 && col >= 0);
+      check bool "message is not empty" true (String.length msg > 0)
+  | exception e ->
+      Alcotest.failf "unhandled %s for input %S" (Printexc.to_string e) input
+
+let fuzz_tests =
+  [
+    tc "5000 seeded mutations never escape the Error contract" (fun () ->
+        let g = Workload.Prng.create 0xF0221 in
+        for _ = 1 to 5000 do
+          let src = Workload.Prng.pick g corpus in
+          check_outcome (mutate g src)
+        done);
+    tc "deeper mutation stacks (up to 5 rounds)" (fun () ->
+        let g = Workload.Prng.create 0xF0222 in
+        for _ = 1 to 1000 do
+          let src = ref (Workload.Prng.pick g corpus) in
+          for _ = 1 to 1 + Workload.Prng.int g 5 do
+            src := mutate g !src
+          done;
+          check_outcome !src
+        done);
+    tc "adversarial inputs raise positioned errors" (fun () ->
+        List.iter
+          (fun input ->
+            match Ddl.Parser.schemas_of_string input with
+            | _ -> Alcotest.failf "accepted %S" input
+            | exception Ddl.Parser.Error (_, line, col) ->
+                check bool
+                  (Printf.sprintf "%S positioned at %d:%d" input line col)
+                  true
+                  (line >= 1 && col >= 1)
+            | exception e ->
+                Alcotest.failf "unhandled %s for %S" (Printexc.to_string e)
+                  input)
+          [
+            (* lexer: integer overflow must not escape as Failure *)
+            "schema s { relationship R (E(99999999999999999999999,1)); }";
+            "99999999999999999999999";
+            (* parser: only enum takes a value list *)
+            "schema s { entity E { A : color(red,blue); } }";
+            (* duplicate structures are a schema-construction error with
+               the schema's own position *)
+            "schema s { entity E; entity E; }";
+            (* plain syntax errors *)
+            "schema s { entity E { A : ; } }";
+            "schema s {";
+            "schema s { relationship R (E(1,0)); }";
+            "schema 3 { }";
+          ]);
+    tc "empty and whitespace-only inputs parse to no schemas" (fun () ->
+        List.iter
+          (fun input ->
+            match Ddl.Parser.schemas_of_string input with
+            | [] -> ()
+            | _ -> Alcotest.failf "expected no schemas for %S" input
+            | exception e ->
+                Alcotest.failf "unhandled %s for %S" (Printexc.to_string e)
+                  input)
+          [ ""; " \t\n"; "-- just a comment\n" ]);
+  ]
+
+let () = Alcotest.run "fuzz" [ ("ddl-fuzz", fuzz_tests) ]

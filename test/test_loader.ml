@@ -86,21 +86,30 @@ let tests =
           (fun (_, st) ->
             check Alcotest.int "clean" 0 (List.length (S.check st)))
           (load ()));
-    tc "errors carry line numbers" (fun () ->
+    tc "errors carry file:line positions and the offending token" (fun () ->
         List.iter
-          (fun (text, needle) ->
+          (fun (text, line, needle) ->
             match
-              Instance.Loader.load_string ~schemas:[ Workload.Paper.sc1 ] text
+              Instance.Loader.load_string ~file:"bad.ecd"
+                ~schemas:[ Workload.Paper.sc1 ] text
             with
-            | exception Instance.Loader.Error msg ->
+            | exception (Instance.Loader.Error { file; line = l; _ } as e) ->
+                let msg = Instance.Loader.error_to_string e in
+                check Alcotest.string "file" "bad.ecd" file;
+                check Alcotest.int ("line of " ^ msg) line l;
                 check Alcotest.bool (needle ^ " in " ^ msg) true
-                  (Util.contains ~needle msg)
+                  (Util.contains ~needle msg);
+                check Alcotest.bool ("position prefix in " ^ msg) true
+                  (Util.contains ~needle:(Printf.sprintf "bad.ecd:%d:" line) msg)
             | _ -> Alcotest.failf "accepted %S" text)
           [
-            ("instance nope { }", "unknown schema");
-            ("instance sc1 {\n  Ghost { }\n}", "unknown structure");
-            ("instance sc1 {\n  Majors (a, b)\n}", "unknown label");
-            ("instance sc1 {\n  Student { Name = }\n}", "value");
+            ("instance nope { }", 1, "unknown schema");
+            ("instance sc1 {\n  Ghost { }\n}", 2, "unknown structure");
+            ("instance sc1 {\n  Majors (a, b)\n}", 2, "unknown label");
+            ("instance sc1 {\n  Student { Name = }\n}", 2, "found '}'");
+            ("instance sc1 {\n  Student { Name = 1.2.3 }\n}", 2,
+             "malformed number '1.2.3'");
+            ("instance sc1 {\n  Student ? { }\n}", 2, "illegal character");
           ]);
     tc "the shipped example data file loads" (fun () ->
         let text =

@@ -81,8 +81,10 @@ let loader_tests =
         match
           Instance.Loader.load_string ~schemas:[ Workload.Paper.sc1 ] text
         with
-        | exception Instance.Loader.Error msg ->
-            check Alcotest.bool "line 3" true (Util.contains ~needle:"line 3" msg)
+        | exception (Instance.Loader.Error { line; _ } as e) ->
+            check Alcotest.int "line 3" 3 line;
+            check Alcotest.bool ":3:" true
+              (Util.contains ~needle:":3:" (Instance.Loader.error_to_string e))
         | _ -> Alcotest.fail "expected error");
   ]
 
