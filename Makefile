@@ -1,7 +1,7 @@
 # Tier-1 verification plus the doc/formatting gates.  `make check` is
 # what a PR must keep green.
 
-.PHONY: all build test doc fmt-check crash-test metrics bench-diff check clean
+.PHONY: all build test doc fmt-check crash-test serve-test metrics bench-diff check clean
 
 all: build
 
@@ -39,24 +39,31 @@ crash-test: build
 	SIT_JOBS=1 dune exec test/test_journal.exe
 	SIT_JOBS=$(NPROC) dune exec test/test_journal.exe
 
+# End-to-end daemon check (docs/SERVING.md): start sit_serve on the
+# paper session over a unix socket, replay 1000 requests over 4
+# connections with byte-identity checking, probe the error paths, and
+# verify SIGTERM drains.  Also part of `make check`.
+serve-test: build
+	sh scripts/serve_test.sh
+
 # Regenerate the observability baseline (see docs/ARCHITECTURE.md).
 metrics:
 	dune exec bench/main.exe -- metrics
 
 # Compare two metrics reports and fail on span regressions beyond the
 # threshold — the PR-over-PR perf gate (see docs/PERFORMANCE.md).
-# Usage: make bench-diff [OLD=BENCH_pr3.json] [NEW=BENCH_pr4.json]
+# Usage: make bench-diff [OLD=BENCH_pr4.json] [NEW=BENCH_pr5.json]
 #        [THRESHOLD=0.25] [MIN_SECONDS=0.0005]
-OLD ?= BENCH_pr3.json
-NEW ?= BENCH_pr4.json
+OLD ?= BENCH_pr4.json
+NEW ?= BENCH_pr5.json
 THRESHOLD ?= 0.25
 MIN_SECONDS ?= 0.0005
 bench-diff:
 	dune exec bench/diff.exe -- $(OLD) $(NEW) \
 	  --threshold $(THRESHOLD) --min-seconds $(MIN_SECONDS)
 
-check: build test crash-test doc fmt-check
-	@echo "check: build, tests, crash-test, docs and formatting all green"
+check: build test crash-test serve-test doc fmt-check
+	@echo "check: build, tests, crash-test, serve-test, docs and formatting all green"
 
 clean:
 	dune clean

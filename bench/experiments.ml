@@ -956,10 +956,134 @@ let e20 () =
     \ in the BENCH json; 'always' pays one fsync per record and bounds the\n\
     \ durability-vs-throughput trade documented in docs/ROBUSTNESS.md)"
 
+(* ------------------------------------------------------------------ *)
+(* E21: serving throughput and latency (lib/server, docs/SERVING.md).  *)
+
+(* A generated federation served in-process: per-view and global
+   select-all frames over every object class, replayed across client
+   connections.  The sweep is shared with the metrics run, which
+   exports it as meta.serving in the BENCH json. *)
+let e21_setup =
+  lazy
+    (let w =
+       Workload.Generator.generate
+         {
+           Workload.Generator.default_params with
+           seed = 2100;
+           concepts = 14;
+           population = 300;
+         }
+     in
+     let result, _ =
+       Protocol.run ~jobs:1 w.Workload.Generator.schemas
+         w.Workload.Generator.oracle
+     in
+     let stores = Workload.Generator.populate ~jobs:1 w in
+     let session = Server.make_session ~result ~stores in
+     let select_all oc =
+       Printf.sprintf "select * from %s" (Name.to_string oc.Object_class.name)
+     in
+     let view_frames =
+       List.concat_map
+         (fun (s, _) ->
+           List.map
+             (fun oc ->
+               Server.Wire.request_to_line
+                 ~view:(Name.to_string (Schema.name s))
+                 ~text:(select_all oc) "query")
+             (Schema.objects s))
+         stores
+     in
+     let global_frames =
+       List.map
+         (fun oc -> Server.Wire.request_to_line ~text:(select_all oc) "query")
+         (Schema.objects result.Result.schema)
+     in
+     (session, Array.of_list (view_frames @ global_frames)))
+
+type e21_point = {
+  sv_jobs : int;
+  sv_cache : int;
+  sv_sent : int;
+  sv_ok : int;
+  sv_hits : int;
+  sv_req_s : float;
+  sv_mean_ms : float;
+}
+
+let e21_sweep ?(requests = 2000) ?(conns = 4) () =
+  let session, pool = Lazy.force e21_setup in
+  let frames = Array.init requests (fun i -> pool.(i mod Array.length pool)) in
+  List.concat_map
+    (fun jobs ->
+      List.map
+        (fun cache ->
+          let cfg =
+            {
+              Server.listen = Server.Wire.Tcp ("127.0.0.1", 0);
+              jobs;
+              queue = 256;
+              deadline_ms = None;
+              cache;
+              debug = false;
+            }
+          in
+          match Server.start session cfg with
+          | Error msg -> failwith ("E21: server failed to start: " ^ msg)
+          | Ok t ->
+              Fun.protect
+                ~finally:(fun () -> Server.stop t)
+                (fun () ->
+                  let addr =
+                    match Server.port t with
+                    | Some p -> Server.Wire.Tcp ("127.0.0.1", p)
+                    | None -> failwith "E21: no bound port"
+                  in
+                  let st = Server.Client.drive ~addr ~conns ~frames in
+                  if st.Server.Client.mismatches > 0 then
+                    failwith "E21: divergent responses under load";
+                  if st.Server.Client.ok < st.Server.Client.sent then
+                    failwith "E21: error responses on a clean workload";
+                  let s = Server.stats t in
+                  let wall = Float.max st.Server.Client.wall_s 1e-9 in
+                  {
+                    sv_jobs = jobs;
+                    sv_cache = cache;
+                    sv_sent = st.Server.Client.sent;
+                    sv_ok = st.Server.Client.ok;
+                    sv_hits = s.Server.cache_hits;
+                    sv_req_s = float_of_int st.Server.Client.sent /. wall;
+                    sv_mean_ms =
+                      wall *. float_of_int conns
+                      /. float_of_int st.Server.Client.sent *. 1000.;
+                  }))
+        [ 0; 256 ])
+    [ 1; 2; 4 ]
+
+let e21 () =
+  section "E21" "serving throughput: lib/server over a generated federation";
+  Printf.printf
+    "\n\
+     (in-process daemon, 4 client connections, 2000 select-all frames per\n\
+    \ configuration; cache 'off' disables the rewrite-plan LRU; every\n\
+    \ configuration is checked for divergent or failing responses)\n";
+  Printf.printf "\n%-6s %-8s %-8s %-8s %-10s %-10s\n" "jobs" "cache" "ok"
+    "hits" "req/s" "mean ms";
+  List.iter
+    (fun p ->
+      Printf.printf "%-6d %-8s %-8d %-8d %-10.0f %-10.3f\n" p.sv_jobs
+        (if p.sv_cache = 0 then "off" else string_of_int p.sv_cache)
+        p.sv_ok p.sv_hits p.sv_req_s p.sv_mean_ms)
+    (e21_sweep ());
+  print_endline
+    "\n\
+     (cache-on rows must show hits > 0 on this repeated workload; the\n\
+    \ same sweep lands in the BENCH json as meta.serving)"
+
 let all =
   [
     e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16; e17;
-    e18; e19; e20;
+    e18; e19; e20; e21;
   ]
 
 let by_id =
@@ -967,5 +1091,5 @@ let by_id =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20);
+    ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21);
   ]

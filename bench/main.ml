@@ -1,5 +1,5 @@
 (* The benchmark harness: regenerates every figure and screen of the
-   paper (experiments E1-E20, printed as sections), times the
+   paper (experiments E1-E21, printed as sections), times the
    computational kernels with Bechamel, and dumps the lib/obs metrics
    report of an instrumented pipeline run.
 
@@ -11,7 +11,7 @@
 
    The metrics report (per-phase spans, counters, query-latency
    histograms — see docs/ARCHITECTURE.md and docs/PERFORMANCE.md) is
-   printed to stdout and saved to BENCH_pr4.json; override the path
+   printed to stdout and saved to BENCH_pr5.json; override the path
    with --out FILE.  Compare two reports mechanically with
    `dune exec bench/diff.exe -- OLD.json NEW.json` (make bench-diff).
    The instrumented run is pinned to --jobs 1 so its span tree stays
@@ -152,7 +152,7 @@ let run_timings () =
    as JSON by lib/obs.  This is the repo's perf trajectory artefact:
    each PR that touches a hot path regenerates it and compares. *)
 
-let default_metrics_out = "BENCH_pr4.json"
+let default_metrics_out = "BENCH_pr5.json"
 
 (* One journaled replay of the paper's session inside the metrics
    window, so the journal.* counters and the fsync histogram appear in
@@ -260,6 +260,24 @@ let run_metrics ?(out = default_metrics_out) () =
       ("overhead_frac", Obs.Json.Float ((buffered -. base) /. base));
     ]
   in
+  let serving =
+    (* the E21 serving sweep (throughput/latency per jobs x cache),
+       run outside the collection window like the overhead probe *)
+    Obs.Json.List
+      (List.map
+         (fun p ->
+           Obs.Json.Obj
+             [
+               ("jobs", Obs.Json.Int p.Experiments.sv_jobs);
+               ("cache", Obs.Json.Int p.Experiments.sv_cache);
+               ("sent", Obs.Json.Int p.Experiments.sv_sent);
+               ("ok", Obs.Json.Int p.Experiments.sv_ok);
+               ("cache_hits", Obs.Json.Int p.Experiments.sv_hits);
+               ("req_per_s", Obs.Json.Float p.Experiments.sv_req_s);
+               ("mean_ms", Obs.Json.Float p.Experiments.sv_mean_ms);
+             ])
+         (Experiments.e21_sweep ~requests:1000 ()))
+  in
   let meta =
     [
       ("tool", Obs.Json.String "sit");
@@ -268,6 +286,7 @@ let run_metrics ?(out = default_metrics_out) () =
       ("jobs", Obs.Json.Int 1);
       ("cores", Obs.Json.Int (Stdlib.Domain.recommended_domain_count ()));
       ("journal_overhead", Obs.Json.Obj journal_overhead);
+      ("serving", serving);
       ( "workload",
         Obs.Json.Obj
           [
@@ -312,7 +331,7 @@ let () =
               run_metrics ?out ()
           | None when id = "metrics" -> run_metrics ?out ()
           | None ->
-              Printf.eprintf "unknown experiment %s (e1..e20, timings, metrics)\n"
+              Printf.eprintf "unknown experiment %s (e1..e21, timings, metrics)\n"
                 id;
               exit 2)
         ids

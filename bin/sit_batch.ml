@@ -27,6 +27,28 @@ let run_session ~schemas ~directives ~out_ddl ~out_dot ~name ~analyse
     ?journal () =
   let buf = Buffer.create 4096 in
   let pr fmt = Printf.bprintf buf fmt in
+  (* A bad --update/--query/--global directive is reported and skipped;
+     the remaining directives still run and the session's exit status
+     turns non-zero only at the very end. *)
+  let directive_errors = ref 0 in
+  let catching label f =
+    try f () with
+    | Query.Parser.Error msg ->
+        incr directive_errors;
+        pr "error: %s: parse error: %s\n" label msg
+    | Query.Rewrite.Unmapped msg ->
+        incr directive_errors;
+        pr "error: %s: unmapped: %s\n" label msg
+    | Query.Eval.Error msg ->
+        incr directive_errors;
+        pr "error: %s: evaluation error: %s\n" label msg
+    | Query.Update.Error msg ->
+        incr directive_errors;
+        pr "error: %s: update error: %s\n" label msg
+    | Session_error msg ->
+        incr directive_errors;
+        pr "error: %s: %s\n" label msg
+  in
   let ws =
     let start, base, jopt =
       match journal with
@@ -148,6 +170,7 @@ let run_session ~schemas ~directives ~out_ddl ~out_dot ~name ~analyse
     let merged = ref merged in
     List.iter
       (fun spec ->
+        catching (Printf.sprintf "--update %s" spec) @@ fun () ->
         match String.index_opt spec ':' with
         | None -> fail "--update expects \"<view>: <update>\", got %s" spec
         | Some i ->
@@ -168,6 +191,7 @@ let run_session ~schemas ~directives ~out_ddl ~out_dot ~name ~analyse
     let merged = !merged in
     List.iter
       (fun spec ->
+        catching (Printf.sprintf "--query %s" spec) @@ fun () ->
         (* "<view>: <query text>" *)
         match String.index_opt spec ':' with
         | None -> fail "--query expects \"<view>: <query>\", got %s" spec
@@ -188,6 +212,7 @@ let run_session ~schemas ~directives ~out_ddl ~out_dot ~name ~analyse
       queries;
     List.iter
       (fun text ->
+        catching (Printf.sprintf "--global %s" text) @@ fun () ->
         let q = Query.Parser.query_of_string text in
         pr "\nglobal query : %s\n" (Query.Ast.to_string q);
         List.iter
@@ -214,7 +239,7 @@ let run_session ~schemas ~directives ~out_ddl ~out_dot ~name ~analyse
       Journal.compact j ws;
       Journal.close j
   | None -> ());
-  Buffer.contents buf
+  (Buffer.contents buf, !directive_errors = 0)
 
 let hard_fail fmt =
   Printf.ksprintf
@@ -294,11 +319,11 @@ let run files scripts jobs out_ddl out_dot name analyse save_dict save_result
     with Session_error msg -> hard_fail "%s" msg
   in
   List.iteri
-    (fun i output ->
+    (fun i (output, _) ->
       if i > 0 then print_string "\n========\n\n";
       print_string output)
     outputs;
-  match metrics with
+  (match metrics with
   | None -> ()
   | Some path ->
       let meta =
@@ -312,7 +337,10 @@ let run files scripts jobs out_ddl out_dot name analyse save_dict save_result
        with Sys_error msg ->
          Printf.eprintf "cannot write metrics report: %s\n" msg;
          exit 1);
-      Printf.eprintf "metrics report written to %s\n" path
+      Printf.eprintf "metrics report written to %s\n" path);
+  (* bad directives were already reported inline; finish the whole
+     script first, then fail the run *)
+  if List.exists (fun (_, ok) -> not ok) outputs then exit 1
 
 open Cmdliner
 

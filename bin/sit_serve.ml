@@ -1,0 +1,262 @@
+(* sit_serve — query-serving daemon over one integrated-schema session.
+
+   Server mode loads component DDL files plus an integration session
+   script, builds the integrated schema, migrates instance data, and
+   serves queries/updates over the line-delimited JSON protocol in
+   docs/SERVING.md:
+
+     sit_serve sc1.ddl sc2.ddl --script session.sit --data inst.dat \
+       --listen 127.0.0.1:7401 --jobs 4
+
+   Drive mode (--drive ADDR) is the matching load client: it replays
+   query specs over several concurrent connections and checks that
+   identical frames always receive identical response bytes. *)
+
+let hard_fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline s;
+      exit 2)
+    fmt
+
+let parse_addr s =
+  match Server.Wire.addr_of_string s with
+  | Ok a -> a
+  | Error e -> hard_fail "bad address %S: %s" s e
+
+(* ---- drive mode --------------------------------------------------- *)
+
+let split_view_spec what spec =
+  match String.index_opt spec ':' with
+  | None -> hard_fail "%s expects \"<view>: <text>\", got %s" what spec
+  | Some i ->
+      ( String.trim (String.sub spec 0 i),
+        String.sub spec (i + 1) (String.length spec - i - 1) )
+
+let drive addr conns requests queries global_queries =
+  let specs =
+    List.map
+      (fun spec ->
+        let view, text = split_view_spec "--query" spec in
+        Server.Wire.request_to_line ~view ~text "query")
+      queries
+    @ List.map
+        (fun text -> Server.Wire.request_to_line ~text "query")
+        global_queries
+  in
+  (match specs with
+  | [] -> hard_fail "--drive needs at least one --query or --global spec"
+  | _ -> ());
+  let pool = Array.of_list specs in
+  let n = max requests (Array.length pool) in
+  let frames = Array.init n (fun i -> pool.(i mod Array.length pool)) in
+  let stats = Server.Client.drive ~addr ~conns ~frames in
+  Format.printf "%a@." Server.Client.pp_drive_stats stats;
+  (* health probe after the run: the daemon must still be answering *)
+  let c = Server.Client.connect addr in
+  Fun.protect
+    ~finally:(fun () -> Server.Client.close c)
+    (fun () ->
+      let resp = Server.Client.request c "health" in
+      if not (Server.Client.is_ok resp) then hard_fail "health check failed");
+  if stats.Server.Client.mismatches > 0 then exit 1;
+  if stats.Server.Client.ok = 0 && stats.Server.Client.sent > 0 then exit 1
+
+(* ---- server mode -------------------------------------------------- *)
+
+let serve files script data name journal listen jobs queue deadline_ms cache
+    metrics =
+  (match files with
+  | [] -> hard_fail "no DDL files given (pass at least one schema file)"
+  | _ -> ());
+  if metrics <> None then begin
+    Obs.enable ();
+    Obs.reset ()
+  end;
+  let setup =
+    { Server.schema_files = files; script; data; journal; name }
+  in
+  match Server.load_session setup with
+  | Error msg -> hard_fail "%s" msg
+  | Ok session -> (
+      let cfg =
+        { (Server.default_config listen) with jobs; queue; deadline_ms; cache }
+      in
+      match Server.create session cfg with
+      | Error msg -> hard_fail "%s" msg
+      | Ok t ->
+          let stop _ = Server.request_stop t in
+          List.iter
+            (fun s ->
+              try Sys.set_signal s (Sys.Signal_handle stop)
+              with Invalid_argument _ | Sys_error _ -> ())
+            [ Sys.sigterm; Sys.sigint ];
+          (match Server.port t with
+          | Some p -> Printf.eprintf "sit_serve: listening on port %d\n%!" p
+          | None ->
+              Printf.eprintf "sit_serve: listening on %s\n%!"
+                (Server.Wire.addr_to_string listen));
+          Server.serve t;
+          let s = Server.stats t in
+          Printf.eprintf
+            "sit_serve: drained; %d requests (%d ok, %d errors, %d \
+             overloaded), cache %d hits / %d misses\n\
+             %!"
+            s.Server.requests s.Server.ok s.Server.errors s.Server.overloaded
+            s.Server.cache_hits s.Server.cache_misses;
+          (match metrics with
+          | None -> ()
+          | Some path ->
+              let meta = [ ("tool", Obs.Json.String "sit_serve") ] in
+              (try Obs.Report.write ~meta path
+               with Sys_error msg ->
+                 Printf.eprintf "cannot write metrics report: %s\n" msg;
+                 exit 1);
+              Printf.eprintf "metrics report written to %s\n" path))
+
+let run files script data name journal listen jobs queue deadline_ms cache
+    metrics drive_addr conns requests queries global_queries =
+  match drive_addr with
+  | Some addr -> drive (parse_addr addr) conns requests queries global_queries
+  | None ->
+      serve files script data name journal (parse_addr listen) jobs queue
+        deadline_ms cache metrics
+
+open Cmdliner
+
+let files =
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"ECR DDL files.")
+
+let script =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "s"; "script" ] ~docv:"SCRIPT"
+        ~doc:"Integration session script (equiv/object/rel/name directives).")
+
+let data =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "data" ] ~docv:"DATA"
+        ~doc:"Instance data file (see Instance.Loader for the format).")
+
+let integrated_name =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "n"; "name" ] ~docv:"NAME" ~doc:"Name of the integrated schema.")
+
+let journal_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"DIR"
+        ~doc:
+          "Write-ahead journal the setup session to $(docv)/serve.journal; \
+           a restart resumes from it automatically.")
+
+let listen =
+  Arg.(
+    value
+    & opt string "127.0.0.1:7401"
+    & info [ "l"; "listen" ] ~docv:"ADDR"
+        ~doc:
+          "Listen address: $(b,unix:PATH), $(b,HOST:PORT) or $(b,:PORT) \
+           (TCP port 0 asks the kernel for a free port).")
+
+let jobs =
+  Arg.(
+    value
+    & opt int (Par.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Execute requests on a domain pool of $(docv) workers (default: \
+           \\$SIT_JOBS, or 1).")
+
+let queue =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Maximum in-flight data requests; beyond it requests are answered \
+           $(b,overloaded) immediately (backpressure, not buffering).")
+
+let deadline_ms =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Default per-request deadline; requests past it are answered \
+           $(b,deadline_exceeded).  A frame's own $(b,deadline_ms) field \
+           overrides this.")
+
+let cache =
+  Arg.(
+    value
+    & opt int 128
+    & info [ "cache" ] ~docv:"N"
+        ~doc:"Rewrite-plan LRU capacity (0 disables the cache).")
+
+let metrics =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"REPORT"
+        ~doc:
+          "Enable the observability layer and write its JSON report (per-op \
+           latency histograms, server.* counters) to $(docv) on shutdown.")
+
+let drive_addr =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "drive" ] ~docv:"ADDR"
+        ~doc:
+          "Client mode: load-test the daemon at $(docv) with the given \
+           --query/--global specs instead of serving.")
+
+let conns =
+  Arg.(
+    value
+    & opt int 4
+    & info [ "conns" ] ~docv:"N"
+        ~doc:"Concurrent connections in --drive mode.")
+
+let requests =
+  Arg.(
+    value
+    & opt int 1000
+    & info [ "requests" ] ~docv:"N"
+        ~doc:"Total frames to send in --drive mode (specs are cycled).")
+
+let queries =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "q"; "query" ] ~docv:"QUERY"
+        ~doc:
+          "Drive-mode view query; format \"<view>: <query>\".  Repeatable.")
+
+let global_queries =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "g"; "global" ] ~docv:"QUERY"
+        ~doc:"Drive-mode global query against the integrated schema.  \
+              Repeatable.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "sit_serve" ~version:"1.0.0"
+       ~doc:
+         "query-serving daemon over an integrated-schema session (and its \
+          load-test client)")
+    Term.(
+      const run $ files $ script $ data $ integrated_name $ journal_dir
+      $ listen $ jobs $ queue $ deadline_ms $ cache $ metrics $ drive_addr
+      $ conns $ requests $ queries $ global_queries)
+
+let () = exit (Cmd.eval cmd)

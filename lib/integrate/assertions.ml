@@ -27,6 +27,33 @@ let c_conflicts = Obs.Counter.make "assertions.conflicts"
 
 let nodes t = t.nodes
 
+let source_to_string = function
+  | Asserted -> "asserted"
+  | Structural -> "structural"
+  | Derived via -> Printf.sprintf "derived via %s" (Qname.to_string via)
+
+let conflict_to_string c =
+  let b = Buffer.create 128 in
+  Printf.bprintf b "(%s, %s): " (Qname.to_string c.left)
+    (Qname.to_string c.right);
+  (match c.attempted with
+  | Some a -> Printf.bprintf b "assertion \"%s\" rejected" (Assertion.to_string a)
+  | None -> Buffer.add_string b "contradiction found by propagation");
+  Printf.bprintf b "; current knowledge %s" (Rel.to_string c.current);
+  (match c.current_source with
+  | Some s -> Printf.bprintf b " (%s)" (source_to_string s)
+  | None -> ());
+  (match c.basis with
+  | [] -> ()
+  | basis ->
+      Buffer.add_string b "; derived from";
+      List.iter
+        (fun (l, r, a) ->
+          Printf.bprintf b " [%s %s %s]" (Qname.to_string l)
+            (Assertion.to_string a) (Qname.to_string r))
+        basis);
+  Buffer.contents b
+
 (* Cells store the relation oriented from [Pair.fst] to [Pair.snd]. *)
 let find_cell t pair = Qname.Pair.Map.find_opt pair t.cells
 

@@ -72,6 +72,13 @@ val source_between : t -> Ecr.Qname.t -> Ecr.Qname.t -> source option
 val explain : t -> Ecr.Qname.t -> Ecr.Qname.t -> (Ecr.Qname.t * Ecr.Qname.t * Assertion.t) list
 (** The asserted/structural leaves supporting the current cell. *)
 
+val source_to_string : source -> string
+
+val conflict_to_string : conflict -> string
+(** One line naming the offending pair, the rejected assertion (or the
+    propagation origin), the current knowledge with its source, and the
+    derivation basis — a compact textual Screen 9 for error messages. *)
+
 val constrained_pairs : t -> (Ecr.Qname.t * Ecr.Qname.t * Rel.t * source) list
 (** Every cell tighter than {!Rel.all}, oriented canonically. *)
 

@@ -39,73 +39,78 @@ let binary_ladder ?options ?naming ?register schemas dda =
 let binary_balanced ?options ?naming ?register schemas dda =
   match schemas with
   | [] -> invalid_arg "Strategy.binary_balanced: no schemas"
-  | _ ->
+  | [ only ] ->
+      (* one input: integrate it alone, once — same shape (and the same
+         single Protocol.run, counted once) as binary_ladder *)
+      let result, stats = Protocol.run ?options ?naming [ only ] dda in
+      { result; stats; steps = 0 }
+  | a :: b :: rest ->
       let counter = ref 0 in
       let stats = ref Protocol.zero_stats in
-      let last_result = ref None in
-      let rec rounds = function
-        | [] -> assert false
-        | [ only ] -> only
-        | several ->
-            let rec pair_up = function
-              | [] -> []
-              | [ odd ] -> [ odd ]
-              | a :: b :: rest ->
-                  let r, st = step ?options ?naming ?register counter a b dda in
-                  stats := Protocol.add_stats !stats st;
-                  last_result := Some r;
-                  r.Result.schema :: pair_up rest
-            in
-            rounds (pair_up several)
+      (* [rounds a b rest]: merge the round's leading pair, pair up the
+         rest of the round, recurse on the next round.  Threading the
+         leading merge through the recursion makes the function total —
+         the final round is always a two-schema merge whose result is
+         returned directly, so no "last result" ref and no unreachable
+         empty-round case. *)
+      let merge a b =
+        let r, st = step ?options ?naming ?register counter a b dda in
+        stats := Protocol.add_stats !stats st;
+        r
       in
-      let final = rounds schemas in
-      let result =
-        match !last_result with
-        | Some r -> r
-        | None ->
-            (* single input schema: integrate it alone for a consistent
-               result shape *)
-            let r, st = Protocol.run ?options ?naming [ final ] dda in
-            stats := Protocol.add_stats !stats st;
-            r
+      let rec pair_up = function
+        | [] -> []
+        | [ odd ] -> [ `Schema odd ]
+        | a :: b :: rest -> `Result (merge a b) :: pair_up rest
       in
+      let schema_of = function `Schema s -> s | `Result r -> r.Result.schema in
+      let rec rounds a b rest =
+        let r = merge a b in
+        match List.map schema_of (pair_up rest) with
+        | [] -> r
+        | s :: rest' -> rounds r.Result.schema s rest'
+      in
+      let result = rounds a b rest in
       { result; stats = !stats; steps = !counter }
 
 let binary_guided ?options ?naming ?register ~weights schemas dda =
   match schemas with
   | [] -> invalid_arg "Strategy.binary_guided: no schemas"
-  | _ ->
+  | [ only ] ->
+      let result, stats = Protocol.run ?options ?naming [ only ] dda in
+      { result; stats; steps = 0 }
+  | _ :: _ :: _ ->
       let counter = ref 0 in
       let stats = ref Protocol.zero_stats in
-      let last_result = ref None in
       (* Pair scores are carried across rounds: each merge drops the two
          integrated schemas' pairs and scores only the merged schema
          against the survivors (Schema_resemblance.merge_pool), instead
          of re-scoring the whole pool every round. *)
       let rec rounds scored pool =
         match pool with
-        | [] -> assert false
-        | [ _ ] -> ()
-        | _ -> (
-            match Heuristics.Schema_resemblance.best_of scored with
-            | None -> ()
-            | Some (a, b) ->
-                let r, st = step ?options ?naming ?register counter a b dda in
-                stats := Protocol.add_stats !stats st;
-                last_result := Some r;
-                let scored, pool =
-                  Heuristics.Schema_resemblance.merge_pool weights
-                    ~merged:r.Result.schema ~replacing:[ a; b ] scored pool
-                in
-                rounds scored pool)
-      in
-      rounds (Heuristics.Schema_resemblance.scored_pairs weights schemas) schemas;
-      let result =
-        match !last_result with
-        | Some r -> r
-        | None ->
-            let r, st = Protocol.run ?options ?naming schemas dda in
+        | a :: b :: _ ->
+            (* [scored] covers every unordered pair of [pool], so with
+               two or more schemas left [best_of] has a pair to pick; if
+               the scored list is ever empty regardless, degrade to pool
+               order rather than stopping with schemas unintegrated. *)
+            let a, b =
+              match Heuristics.Schema_resemblance.best_of scored with
+              | Some pair -> pair
+              | None -> (a, b)
+            in
+            let r, st = step ?options ?naming ?register counter a b dda in
             stats := Protocol.add_stats !stats st;
-            r
+            let scored, pool =
+              Heuristics.Schema_resemblance.merge_pool weights
+                ~merged:r.Result.schema ~replacing:[ a; b ] scored pool
+            in
+            (match pool with _ :: _ :: _ -> rounds scored pool | _ -> r)
+        | _ ->
+            invalid_arg
+              "Strategy.binary_guided: merge_pool shrank the pool below two \
+               schemas mid-round"
+      in
+      let result =
+        rounds (Heuristics.Schema_resemblance.scored_pairs weights schemas) schemas
       in
       { result; stats = !stats; steps = !counter }

@@ -350,9 +350,7 @@ let to_components mapping ~integrated q =
             })
     entries
 
-let run_global mapping ~integrated ~stores q =
-  Obs.Counter.incr c_global;
-  let parts = to_components mapping ~integrated q in
+let run_components parts ~stores =
   (* Within one component, a class whose extent is already covered by a
      broader contributing class of the same schema (e.g. a category under
      an entity set that also contributes) would only duplicate answers:
@@ -392,6 +390,10 @@ let run_global mapping ~integrated ~stores q =
         true
       end)
     all
+
+let run_global mapping ~integrated ~stores q =
+  Obs.Counter.incr c_global;
+  run_components (to_components mapping ~integrated q) ~stores
 
 let covers supers subs =
   let matches sub super =

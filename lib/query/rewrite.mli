@@ -55,6 +55,16 @@ val to_components :
     descendants).  Joined queries keep only components where both the
     relationship and the target class are mapped. *)
 
+val run_components :
+  component_query list ->
+  stores:(Ecr.Name.t * Instance.Store.t) list ->
+  Eval.row list
+(** The evaluation half of {!run_global}: runs an already-unfolded plan
+    against the component stores (skipping components whose extent a
+    broader contributing class of the same schema already covers) and
+    outer-unions the answers.  Lets a caller cache the unfolding and
+    still share this exact evaluation path. *)
+
 val run_global :
   Integrate.Mapping.t ->
   integrated:Ecr.Schema.t ->

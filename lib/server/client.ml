@@ -1,0 +1,126 @@
+module Json = Obs.Json
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect addr =
+  let fd =
+    match addr with
+    | Wire.Unix_path path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_UNIX path)
+         with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+        fd
+    | Wire.Tcp (host, port) ->
+        let inet =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } ->
+                raise (Unix.Unix_error (Unix.EHOSTUNREACH, "gethostbyname", host))
+            | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+            | exception Not_found ->
+                raise (Unix.Unix_error (Unix.EHOSTUNREACH, "gethostbyname", host)))
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_INET (inet, port))
+         with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+        fd
+  in
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close c =
+  (* flushing then closing the fd once; the channels share it *)
+  (try flush c.oc with Sys_error _ -> ());
+  try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let roundtrip c line =
+  output_string c.oc line;
+  output_char c.oc '\n';
+  flush c.oc;
+  input_line c.ic
+
+let request c ?id ?view ?text ?deadline_ms op =
+  let line = roundtrip c (Wire.request_to_line ?id ?view ?text ?deadline_ms op) in
+  match Json.of_string line with
+  | Ok v -> v
+  | Error e -> failwith (Printf.sprintf "unparseable response %S: %s" line e)
+
+let is_ok resp = match Json.member "ok" resp with Some (Json.Bool b) -> b | _ -> false
+
+let error_code resp =
+  match Json.find [ "error"; "code" ] resp with
+  | Some (Json.String c) -> Some c
+  | _ -> None
+
+type drive_stats = {
+  sent : int;
+  ok : int;
+  failed : int;
+  by_code : (string * int) list;
+  mismatches : int;
+  wall_s : float;
+}
+
+let drive ~addr ~conns ~frames =
+  let conns = max 1 conns in
+  let n = Array.length frames in
+  let mu = Mutex.create () in
+  let first = Hashtbl.create 997 in
+  let codes = Hashtbl.create 16 in
+  let ok = ref 0 and failed = ref 0 and mismatches = ref 0 in
+  let record frame resp =
+    Mutex.protect mu (fun () ->
+        (match Hashtbl.find_opt first frame with
+        | None -> Hashtbl.add first frame resp
+        | Some r -> if not (String.equal r resp) then incr mismatches);
+        match Json.of_string resp with
+        | Ok v when is_ok v -> incr ok
+        | Ok v ->
+            incr failed;
+            let code = Option.value ~default:"?" (error_code v) in
+            Hashtbl.replace codes code
+              (1 + Option.value ~default:0 (Hashtbl.find_opt codes code))
+        | Error _ ->
+            incr failed;
+            Hashtbl.replace codes "unparseable"
+              (1 + Option.value ~default:0 (Hashtbl.find_opt codes "unparseable")))
+  in
+  let worker k () =
+    let c = connect addr in
+    Fun.protect
+      ~finally:(fun () -> close c)
+      (fun () ->
+        let i = ref k in
+        while !i < n do
+          record frames.(!i) (roundtrip c frames.(!i));
+          i := !i + conns
+        done)
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init (min conns (max 1 n)) (fun k -> Thread.create (worker k) ()) in
+  List.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  {
+    sent = n;
+    ok = !ok;
+    failed = !failed;
+    by_code =
+      Hashtbl.fold (fun c k acc -> (c, k) :: acc) codes []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+    mismatches = !mismatches;
+    wall_s;
+  }
+
+let pp_drive_stats ppf s =
+  Format.fprintf ppf
+    "sent %d: %d ok, %d errors%s; %d mismatch(es); %.3fs wall (%.0f req/s)"
+    s.sent s.ok s.failed
+    (match s.by_code with
+    | [] -> ""
+    | codes ->
+        " ("
+        ^ String.concat ", "
+            (List.map (fun (c, k) -> Printf.sprintf "%s: %d" c k) codes)
+        ^ ")")
+    s.mismatches s.wall_s
+    (if s.wall_s > 0. then float s.sent /. s.wall_s else 0.)

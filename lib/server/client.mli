@@ -1,0 +1,52 @@
+(** Protocol client: one blocking connection, plus the multi-connection
+    load driver the bench harness and [make serve-test] use.
+
+    Connection functions raise [Unix.Unix_error] on transport failures
+    and [End_of_file] when the server closes mid-roundtrip; protocol
+    errors are ordinary decoded responses. *)
+
+type t
+
+val connect : Wire.addr -> t
+val close : t -> unit
+
+val roundtrip : t -> string -> string
+(** Sends one frame line (newline appended) and reads one response
+    line — the raw byte-level exchange, used where responses must be
+    compared byte-for-byte. *)
+
+val request :
+  t ->
+  ?id:Obs.Json.t ->
+  ?view:string ->
+  ?text:string ->
+  ?deadline_ms:int ->
+  string ->
+  Obs.Json.t
+(** [request c op] builds the frame, roundtrips it and decodes the
+    response.  Raises [Failure] only if the response line is not valid
+    JSON (a server bug by construction). *)
+
+val is_ok : Obs.Json.t -> bool
+val error_code : Obs.Json.t -> string option
+
+(** {1 Load driver} *)
+
+type drive_stats = {
+  sent : int;
+  ok : int;
+  failed : int;  (** responses with [ok=false] *)
+  by_code : (string * int) list;  (** error responses per code *)
+  mismatches : int;
+      (** identical frames answered with different bytes — must be 0
+          for a deterministic workload *)
+  wall_s : float;
+}
+
+val drive : addr:Wire.addr -> conns:int -> frames:string array -> drive_stats
+(** Plays [frames] over [conns] concurrent connections (frame [i] goes
+    to connection [i mod conns]; each connection sends its frames in
+    order, one at a time).  Identical frame lines are checked to
+    receive identical response bytes regardless of schedule. *)
+
+val pp_drive_stats : Format.formatter -> drive_stats -> unit

@@ -1,0 +1,71 @@
+(* Hash table over an intrusive doubly-linked recency list.  The list
+   has a permanent sentinel node; [sentinel.next] is the most recently
+   used entry and [sentinel.prev] the least. *)
+
+type ('k, 'v) node = {
+  mutable key : 'k option;  (* [None] only on the sentinel *)
+  mutable value : 'v option;
+  mutable prev : ('k, 'v) node;
+  mutable next : ('k, 'v) node;
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  sentinel : ('k, 'v) node;
+}
+
+let create ~capacity =
+  let rec sentinel =
+    { key = None; value = None; prev = sentinel; next = sentinel }
+  in
+  { cap = capacity; table = Hashtbl.create 64; sentinel }
+
+let capacity t = t.cap
+let size t = Hashtbl.length t.table
+
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev
+
+let push_front t n =
+  n.next <- t.sentinel.next;
+  n.prev <- t.sentinel;
+  t.sentinel.next.prev <- n;
+  t.sentinel.next <- n
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some n ->
+      unlink n;
+      push_front t n;
+      n.value
+
+let add t k v =
+  if t.cap <= 0 then None
+  else begin
+    (match Hashtbl.find_opt t.table k with
+    | Some n ->
+        unlink n;
+        Hashtbl.remove t.table k
+    | None -> ());
+    let n = { key = Some k; value = Some v; prev = t.sentinel; next = t.sentinel } in
+    push_front t n;
+    Hashtbl.replace t.table k n;
+    if Hashtbl.length t.table <= t.cap then None
+    else begin
+      let lru = t.sentinel.prev in
+      unlink lru;
+      match (lru.key, lru.value) with
+      | Some k, Some v ->
+          Hashtbl.remove t.table k;
+          Some (k, v)
+      | _ -> None (* sentinel: impossible while the table is non-empty *)
+    end
+  end
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.sentinel.next <- t.sentinel;
+  t.sentinel.prev <- t.sentinel

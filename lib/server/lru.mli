@@ -1,0 +1,25 @@
+(** A small LRU map for the rewrite-plan cache.
+
+    Plain imperative structure — O(1) find/add via a hash table over an
+    intrusive doubly-linked recency list.  {b Not} thread-safe: the
+    server serialises access under its own cache mutex, so the
+    structure stays free of locking policy. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** [capacity <= 0] creates a disabled cache: {!add} is a no-op and
+    {!find} always misses. *)
+
+val capacity : ('k, 'v) t -> int
+val size : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** On a hit the entry becomes most-recently used. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> ('k * 'v) option
+(** Inserts (or replaces) the binding as most-recently used and returns
+    the evicted least-recently-used binding, if the insertion pushed
+    the cache over capacity. *)
+
+val clear : ('k, 'v) t -> unit

@@ -1,0 +1,768 @@
+(* The daemon core.  One thread per connection; data operations are
+   executed on a shared Par pool behind a bounded in-flight counter.
+   See server.mli for the full model and docs/SERVING.md for the wire
+   protocol. *)
+
+module Wire = Wire
+module Lru = Lru
+module Client = Client
+module Json = Obs.Json
+
+(* ---- observability ------------------------------------------------ *)
+(* Mirrored into plain atomics (see [stats]) so `health` can report
+   them even while lib/obs is disabled. *)
+
+let c_requests = Obs.Counter.make "server.requests"
+let c_ok = Obs.Counter.make "server.responses_ok"
+let c_err = Obs.Counter.make "server.responses_err"
+let c_overloaded = Obs.Counter.make "server.overloaded"
+let c_deadline = Obs.Counter.make "server.deadline_exceeded"
+let c_cache_hits = Obs.Counter.make "server.cache_hits"
+let c_cache_misses = Obs.Counter.make "server.cache_misses"
+let c_cache_evictions = Obs.Counter.make "server.cache_evictions"
+let c_connections = Obs.Counter.make "server.connections"
+
+let op_histograms =
+  List.map
+    (fun op -> (op, Obs.Histogram.make (Printf.sprintf "server.%s_ms" op)))
+    [ "query"; "rewrite"; "update"; "migrate" ]
+
+let observe_op op ms =
+  match List.assoc_opt op op_histograms with
+  | Some h -> Obs.Histogram.observe h ms
+  | None -> ()
+
+(* ---- session ------------------------------------------------------ *)
+
+type session = {
+  schemas : Ecr.Schema.t list;
+  result : Integrate.Result.t;
+  component_stores : (Ecr.Schema.t * Instance.Store.t) list;
+  initial_merged : Instance.Store.t;
+  migration : Query.Migrate.report;
+}
+
+let make_session ~result ~stores =
+  let merged, migration =
+    Query.Migrate.run result.Integrate.Result.mapping
+      ~integrated:result.Integrate.Result.schema stores
+  in
+  {
+    schemas = List.map fst stores;
+    result;
+    component_stores = stores;
+    initial_merged = merged;
+    migration;
+  }
+
+type setup = {
+  schema_files : string list;
+  script : string option;
+  data : string option;
+  journal : string option;
+  name : string option;
+}
+
+exception Setup of string
+
+let setup_fail fmt = Printf.ksprintf (fun s -> raise (Setup s)) fmt
+
+let load_session setup =
+  try
+    let schemas =
+      match setup.schema_files with
+      | [] -> setup_fail "no schema files given"
+      | files ->
+          List.concat_map
+            (fun file ->
+              try Ddl.Parser.schemas_of_file file
+              with Ddl.Parser.Error (msg, line, col) ->
+                setup_fail "%s:%d:%d: %s" file line col msg)
+            files
+    in
+    List.iter
+      (fun s ->
+        match Ecr.Schema.validate s with
+        | [] -> ()
+        | errors ->
+            setup_fail "%s"
+              (String.concat "\n" (List.map Ecr.Schema.error_to_string errors)))
+      schemas;
+    let directives =
+      match setup.script with
+      | None -> []
+      | Some path -> (
+          try Integrate.Script.parse_file path
+          with Integrate.Script.Parse_error _ as e ->
+            setup_fail "%s" (Integrate.Script.parse_error_to_string e))
+    in
+    let items =
+      List.map (fun s -> `Schema s) schemas
+      @ List.map (fun d -> `Directive d) directives
+    in
+    let start, base, jopt =
+      match setup.journal with
+      | None -> (0, Integrate.Workspace.empty, None)
+      | Some dir ->
+          (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+           with Unix.Unix_error (e, _, _) ->
+             setup_fail "cannot create journal directory %s: %s" dir
+               (Unix.error_message e));
+          let recovery, j = Journal.open_ (Filename.concat dir "serve.journal") in
+          if recovery.Journal.seq > List.length items then
+            setup_fail
+              "journal records %d operations but the inputs only define %d — \
+               did the DDL files or the script change?"
+              recovery.Journal.seq (List.length items);
+          (recovery.Journal.seq, recovery.Journal.workspace, Some j)
+    in
+    let ws, _ =
+      List.fold_left
+        (fun (ws, i) item ->
+          if i < start then (ws, i + 1) (* recovered from the journal *)
+          else begin
+            let ws =
+              match item with
+              | `Schema s -> Integrate.Workspace.add_schema s ws
+              | `Directive d -> (
+                  match Integrate.Script.apply_one d ws with
+                  | Ok ws -> ws
+                  | Error e ->
+                      setup_fail "%s" (Integrate.Script.apply_error_to_string e))
+            in
+            (match jopt with
+            | Some j ->
+                let op =
+                  match item with
+                  | `Schema s -> Integrate.Op.Add_schema s
+                  | `Directive d -> Integrate.Op.of_directive d
+                in
+                Journal.append ~after:ws j op
+            | None -> ());
+            (ws, i + 1)
+          end)
+        (base, 0) items
+    in
+    (match jopt with
+    | Some j ->
+        (* setup complete: leave one compact snapshot for fast restart *)
+        Journal.compact j ws;
+        Journal.close j
+    | None -> ());
+    let result = Integrate.Workspace.integrate ?name:setup.name ws in
+    let stores =
+      match setup.data with
+      | Some path -> (
+          try Instance.Loader.load_file ~schemas path
+          with Instance.Loader.Error _ as e ->
+            setup_fail "%s" (Instance.Loader.error_to_string e))
+      | None -> List.map (fun s -> (s, Instance.Store.create s)) schemas
+    in
+    Ok (make_session ~result ~stores)
+  with Setup msg -> Error msg
+
+(* ---- server state ------------------------------------------------- *)
+
+type config = {
+  listen : Wire.addr;
+  jobs : int;
+  queue : int;
+  deadline_ms : int option;
+  cache : int;
+  debug : bool;
+}
+
+let default_config listen =
+  {
+    listen;
+    jobs = Par.default_jobs ();
+    queue = 64;
+    deadline_ms = None;
+    cache = 128;
+    debug = false;
+  }
+
+type stats = {
+  requests : int;
+  ok : int;
+  errors : int;
+  overloaded : int;
+  deadline_exceeded : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  connections : int;
+}
+
+type plan =
+  | View_plan of Query.Ast.t * (Query.Eval.row list -> Query.Eval.row list)
+  | Global_plan of Query.Rewrite.component_query list
+
+type t = {
+  cfg : config;
+  session : session;
+  listen_fd : Unix.file_descr;
+  bound_port : int option;
+  pool : Par.pool;
+  mutable merged : Instance.Store.t;  (** under [state_mu] *)
+  state_mu : Mutex.t;
+  cache : (string, plan) Lru.t;  (** under [cache_mu] *)
+  cache_mu : Mutex.t;
+  inflight : int Atomic.t;
+  stop_requested : bool Atomic.t;  (** accept loop should wind down *)
+  stopping : bool Atomic.t;  (** drain started: reject new data ops *)
+  conns_mu : Mutex.t;
+  live_conns : (int, Unix.file_descr) Hashtbl.t;  (** under [conns_mu] *)
+  mutable live_threads : (int * Thread.t) list;  (** under [conns_mu] *)
+  mutable finished_threads : Thread.t list;  (** under [conns_mu] *)
+  mutable next_conn : int;
+  t0 : float;
+  (* the server's own counters, live even when lib/obs is off *)
+  s_requests : int Atomic.t;
+  s_ok : int Atomic.t;
+  s_err : int Atomic.t;
+  s_overloaded : int Atomic.t;
+  s_deadline : int Atomic.t;
+  s_hits : int Atomic.t;
+  s_misses : int Atomic.t;
+  s_evictions : int Atomic.t;
+  s_conns : int Atomic.t;
+  mutable serve_thread : Thread.t option;
+  mutable drained : bool;  (** under [conns_mu] *)
+}
+
+let stats t =
+  {
+    requests = Atomic.get t.s_requests;
+    ok = Atomic.get t.s_ok;
+    errors = Atomic.get t.s_err;
+    overloaded = Atomic.get t.s_overloaded;
+    deadline_exceeded = Atomic.get t.s_deadline;
+    cache_hits = Atomic.get t.s_hits;
+    cache_misses = Atomic.get t.s_misses;
+    cache_evictions = Atomic.get t.s_evictions;
+    connections = Atomic.get t.s_conns;
+  }
+
+let port t = t.bound_port
+
+(* ---- socket setup ------------------------------------------------- *)
+
+let bind_listen addr =
+  match addr with
+  | Wire.Unix_path path ->
+      (* a stale socket file from a crashed run would fail the bind *)
+      (match (Unix.lstat path).Unix.st_kind with
+      | Unix.S_SOCK -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+      | _ -> setup_fail "listen path %s exists and is not a socket" path
+      | exception Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 128;
+      (fd, None)
+  | Wire.Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } -> setup_fail "cannot resolve %s" host
+          | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+          | exception Not_found -> setup_fail "cannot resolve %s" host)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (inet, port));
+      Unix.listen fd 128;
+      let bound =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> Some p
+        | _ -> None
+      in
+      (fd, bound)
+
+let create session cfg =
+  match bind_listen cfg.listen with
+  | exception Setup msg -> Error msg
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Error
+        (Printf.sprintf "cannot listen on %s: %s (%s %s)"
+           (Wire.addr_to_string cfg.listen)
+           (Unix.error_message e) fn arg)
+  | listen_fd, bound_port ->
+      Ok
+        {
+          cfg = { cfg with jobs = max 1 cfg.jobs; queue = max 1 cfg.queue };
+          session;
+          listen_fd;
+          bound_port;
+          pool = Par.create ~jobs:(max 1 cfg.jobs);
+          merged = session.initial_merged;
+          state_mu = Mutex.create ();
+          cache = Lru.create ~capacity:(max 0 cfg.cache);
+          cache_mu = Mutex.create ();
+          inflight = Atomic.make 0;
+          stop_requested = Atomic.make false;
+          stopping = Atomic.make false;
+          conns_mu = Mutex.create ();
+          live_conns = Hashtbl.create 64;
+          live_threads = [];
+          finished_threads = [];
+          next_conn = 0;
+          t0 = Unix.gettimeofday ();
+          s_requests = Atomic.make 0;
+          s_ok = Atomic.make 0;
+          s_err = Atomic.make 0;
+          s_overloaded = Atomic.make 0;
+          s_deadline = Atomic.make 0;
+          s_hits = Atomic.make 0;
+          s_misses = Atomic.make 0;
+          s_evictions = Atomic.make 0;
+          s_conns = Atomic.make 0;
+          serve_thread = None;
+          drained = false;
+        }
+
+(* ---- request execution -------------------------------------------- *)
+
+exception Deadline
+
+let check_deadline ~t_start ~deadline =
+  match deadline with
+  | Some ms when (Unix.gettimeofday () -. t_start) *. 1000. > float ms ->
+      raise Deadline
+  | _ -> ()
+
+let find_view t name =
+  List.find_opt
+    (fun s -> String.equal (Ecr.Name.to_string (Ecr.Schema.name s)) name)
+    t.session.schemas
+
+let require_view t req =
+  match req.Wire.view with
+  | None -> None
+  | Some name -> (
+      match find_view t name with
+      | Some s -> Some s
+      | None -> setup_fail "unknown view %s" name (* remapped below *))
+
+let require_text op req =
+  match req.Wire.text with
+  | Some text -> text
+  | None ->
+      raise
+        (Invalid_argument
+           (Printf.sprintf "op %S needs a \"%s\" field" op
+              (if op = "update" then "u" else "q")))
+
+let cached_plan t key compute =
+  if Lru.capacity t.cache = 0 then compute ()
+  else
+    let hit = Mutex.protect t.cache_mu (fun () -> Lru.find t.cache key) in
+    match hit with
+    | Some plan ->
+        Atomic.incr t.s_hits;
+        Obs.Counter.incr c_cache_hits;
+        plan
+    | None ->
+        Atomic.incr t.s_misses;
+        Obs.Counter.incr c_cache_misses;
+        let plan = compute () in
+        let evicted =
+          Mutex.protect t.cache_mu (fun () -> Lru.add t.cache key plan)
+        in
+        (match evicted with
+        | Some _ ->
+            Atomic.incr t.s_evictions;
+            Obs.Counter.incr c_cache_evictions
+        | None -> ());
+        plan
+
+(* Plans are keyed by (view class, query shape): the canonical printing
+   of the parsed query.  Printing normalises whitespace, keyword case
+   and predicate parenthesisation, so textually different spellings of
+   one query share a plan; the mapping is fixed for the server's
+   lifetime, so a plan never goes stale. *)
+let view_plan t view q =
+  let key =
+    Printf.sprintf "view:%s\x00%s"
+      (Ecr.Name.to_string (Ecr.Schema.name view))
+      (Query.Ast.to_string q)
+  in
+  match
+    cached_plan t key (fun () ->
+        let q', back =
+          Query.Rewrite.to_integrated t.session.result.Integrate.Result.mapping
+            ~view q
+        in
+        View_plan (q', back))
+  with
+  | View_plan (q', back) -> (q', back)
+  | Global_plan _ -> assert false (* keys are namespaced by "view:"/"global:" *)
+
+let global_plan t q =
+  let key = Printf.sprintf "global:\x00%s" (Query.Ast.to_string q) in
+  match
+    cached_plan t key (fun () ->
+        Global_plan
+          (Query.Rewrite.to_components t.session.result.Integrate.Result.mapping
+             ~integrated:t.session.result.Integrate.Result.schema q))
+  with
+  | Global_plan parts -> parts
+  | View_plan _ -> assert false
+
+let migration_report_json (r : Query.Migrate.report) =
+  Json.Obj
+    [
+      ("entities_in", Json.Int r.Query.Migrate.entities_in);
+      ("entities_out", Json.Int r.Query.Migrate.entities_out);
+      ("fused", Json.Int r.Query.Migrate.fused);
+      ("links_in", Json.Int r.Query.Migrate.links_in);
+      ("links_out", Json.Int r.Query.Migrate.links_out);
+    ]
+
+let named_stores t =
+  List.map
+    (fun (s, st) -> (Ecr.Schema.name s, st))
+    t.session.component_stores
+
+(* The payload of one data operation; runs on a pool domain.  Raises
+   only the typed query-layer exceptions (mapped to error responses by
+   [execute]) — anything else is a bug answered as [internal]. *)
+let run_op t (req : Wire.request) =
+  match req.Wire.op with
+  | "query" -> (
+      let text = require_text "query" req in
+      let q = Query.Parser.query_of_string text in
+      match require_view t req with
+      | Some view ->
+          let q', back = view_plan t view q in
+          let store = Mutex.protect t.state_mu (fun () -> t.merged) in
+          let rows = back (Query.Eval.run q' store) in
+          [
+            ("rows", Wire.rows_to_json rows);
+            ("count", Json.Int (List.length rows));
+          ]
+      | None ->
+          let parts = global_plan t q in
+          let rows = Query.Rewrite.run_components parts ~stores:(named_stores t) in
+          [
+            ("rows", Wire.rows_to_json rows);
+            ("count", Json.Int (List.length rows));
+          ])
+  | "rewrite" -> (
+      let text = require_text "rewrite" req in
+      let q = Query.Parser.query_of_string text in
+      match require_view t req with
+      | Some view ->
+          let q', _ = view_plan t view q in
+          [ ("query", Json.String (Query.Ast.to_string q')) ]
+      | None ->
+          let parts = global_plan t q in
+          [
+            ( "components",
+              Json.List
+                (List.map
+                   (fun part ->
+                     Json.Obj
+                       [
+                         ( "component",
+                           Json.String
+                             (Ecr.Name.to_string part.Query.Rewrite.component) );
+                         ( "query",
+                           Json.String
+                             (Query.Ast.to_string part.Query.Rewrite.query) );
+                       ])
+                   parts) );
+          ])
+  | "update" -> (
+      let text = require_text "update" req in
+      match require_view t req with
+      | None ->
+          raise (Invalid_argument "op \"update\" needs a \"view\" field")
+      | Some view ->
+          let op = Query.Parser.update_of_string text in
+          let op' =
+            Query.Update.to_integrated t.session.result.Integrate.Result.mapping
+              ~view op
+          in
+          let affected =
+            Mutex.protect t.state_mu (fun () ->
+                let merged', n = Query.Update.apply op' t.merged in
+                t.merged <- merged';
+                n)
+          in
+          [
+            ("translated", Json.String (Query.Update.to_string op'));
+            ("affected", Json.Int affected);
+          ])
+  | "migrate" ->
+      (* re-derive the integrated instance from the component stores,
+         discarding every update applied since the last migration *)
+      let merged, report =
+        Query.Migrate.run t.session.result.Integrate.Result.mapping
+          ~integrated:t.session.result.Integrate.Result.schema
+          t.session.component_stores
+      in
+      Mutex.protect t.state_mu (fun () -> t.merged <- merged);
+      [ ("report", migration_report_json report) ]
+  | "sleep" ->
+      (* test-only (config.debug): hold a queue slot for a chosen time *)
+      let ms =
+        match req.Wire.text with
+        | Some s -> Option.value ~default:0 (int_of_string_opt (String.trim s))
+        | None -> 0
+      in
+      Unix.sleepf (float ms /. 1000.);
+      [ ("slept_ms", Json.Int ms) ]
+  | op -> raise (Invalid_argument (Printf.sprintf "no such field op %S" op))
+
+let respond_ok t id payload =
+  Atomic.incr t.s_ok;
+  Obs.Counter.incr c_ok;
+  Wire.ok_line ?id payload
+
+let respond_err t id code msg =
+  (match code with
+  | Wire.Overloaded ->
+      Atomic.incr t.s_overloaded;
+      Obs.Counter.incr c_overloaded
+  | Wire.Deadline_exceeded ->
+      Atomic.incr t.s_deadline;
+      Obs.Counter.incr c_deadline
+  | _ -> ());
+  Atomic.incr t.s_err;
+  Obs.Counter.incr c_err;
+  Wire.error_line ?id code msg
+
+(* Runs on a pool domain; must never let an exception escape. *)
+let execute t (req : Wire.request) ~t_start ~deadline =
+  let id = req.Wire.id in
+  try
+    check_deadline ~t_start ~deadline;
+    let payload = run_op t req in
+    check_deadline ~t_start ~deadline;
+    respond_ok t id payload
+  with
+  | Deadline ->
+      respond_err t id Wire.Deadline_exceeded
+        (Printf.sprintf "deadline of %d ms exceeded"
+           (Option.value ~default:0 deadline))
+  | Query.Parser.Error msg -> respond_err t id Wire.Parse_error msg
+  | Query.Rewrite.Unmapped msg -> respond_err t id Wire.Unmapped msg
+  | Query.Eval.Error msg -> respond_err t id Wire.Eval_error msg
+  | Query.Update.Error msg -> respond_err t id Wire.Update_error msg
+  | Setup msg -> respond_err t id Wire.Unknown_view msg
+  | Invalid_argument msg -> respond_err t id Wire.Bad_request msg
+  | e -> respond_err t id Wire.Internal (Printexc.to_string e)
+
+let health_payload t =
+  let s = stats t in
+  [
+    ("status", Json.String (if Atomic.get t.stopping then "draining" else "ok"));
+    ("uptime_s", Json.Float (Unix.gettimeofday () -. t.t0));
+    ("jobs", Json.Int (Par.jobs t.pool));
+    ("inflight", Json.Int (Atomic.get t.inflight));
+    ("queue_limit", Json.Int t.cfg.queue);
+    ("requests", Json.Int s.requests);
+    ("responses_ok", Json.Int s.ok);
+    ("responses_err", Json.Int s.errors);
+    ("overloaded", Json.Int s.overloaded);
+    ("deadline_exceeded", Json.Int s.deadline_exceeded);
+    ( "cache",
+      Json.Obj
+        [
+          ("capacity", Json.Int (Lru.capacity t.cache));
+          ("size", Json.Int (Mutex.protect t.cache_mu (fun () -> Lru.size t.cache)));
+          ("hits", Json.Int s.cache_hits);
+          ("misses", Json.Int s.cache_misses);
+          ("evictions", Json.Int s.cache_evictions);
+        ] );
+    ("connections", Json.Int s.connections);
+    ("migration", migration_report_json t.session.migration);
+  ]
+
+let handle_frame t line =
+  Atomic.incr t.s_requests;
+  Obs.Counter.incr c_requests;
+  match Wire.request_of_line line with
+  | Error (code, msg) -> respond_err t None code msg
+  | Ok req -> (
+      let id = req.Wire.id in
+      match req.Wire.op with
+      (* control operations: answered inline, never queued, so the
+         daemon stays observable under load and during drain *)
+      | "health" -> respond_ok t id (health_payload t)
+      | "metrics" ->
+          let meta = [ ("tool", Json.String "sit_serve") ] in
+          respond_ok t id [ ("report", Obs.Report.to_json ~meta ()) ]
+      | "sleep" when not t.cfg.debug ->
+          respond_err t id Wire.Unknown_op "unknown op \"sleep\""
+      | "query" | "rewrite" | "update" | "migrate" | "sleep" ->
+          if Atomic.get t.stopping then
+            respond_err t id Wire.Shutting_down "server is draining"
+          else begin
+            (* bounded queue: admission is one atomic increment *)
+            let before = Atomic.fetch_and_add t.inflight 1 in
+            if before >= t.cfg.queue then begin
+              Atomic.decr t.inflight;
+              respond_err t id Wire.Overloaded
+                (Printf.sprintf "request queue is full (%d in flight)" before)
+            end
+            else
+              Fun.protect
+                ~finally:(fun () -> Atomic.decr t.inflight)
+                (fun () ->
+                  let t_start = Unix.gettimeofday () in
+                  let deadline =
+                    match req.Wire.deadline_ms with
+                    | Some _ as d -> d
+                    | None -> t.cfg.deadline_ms
+                  in
+                  let p =
+                    Par.async t.pool (fun () -> execute t req ~t_start ~deadline)
+                  in
+                  let resp = Par.await t.pool p in
+                  observe_op req.Wire.op
+                    ((Unix.gettimeofday () -. t_start) *. 1000.);
+                  resp)
+          end
+      | op ->
+          respond_err t id Wire.Unknown_op (Printf.sprintf "unknown op %S" op))
+
+(* ---- connections and lifecycle ------------------------------------ *)
+
+let handle_conn t conn_id fd =
+  Atomic.incr t.s_conns;
+  Obs.Counter.incr c_connections;
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line ->
+        let resp = handle_frame t line in
+        (match
+           output_string oc resp;
+           output_char oc '\n';
+           flush oc
+         with
+        | () -> loop ()
+        | exception Sys_error _ -> ())
+  in
+  loop ();
+  Mutex.protect t.conns_mu (fun () ->
+      Hashtbl.remove t.live_conns conn_id;
+      let self, live =
+        List.partition (fun (id, _) -> id = conn_id) t.live_threads
+      in
+      t.live_threads <- live;
+      t.finished_threads <- List.map snd self @ t.finished_threads);
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let reap_finished t =
+  let finished =
+    Mutex.protect t.conns_mu (fun () ->
+        let f = t.finished_threads in
+        t.finished_threads <- [];
+        f)
+  in
+  List.iter Thread.join finished
+
+let drain t =
+  let already =
+    Mutex.protect t.conns_mu (fun () ->
+        let d = t.drained in
+        t.drained <- true;
+        d)
+  in
+  if not already then begin
+    Atomic.set t.stopping true;
+    (* stop accepting *)
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match t.cfg.listen with
+    | Wire.Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Wire.Tcp _ -> ());
+    (* wake idle readers: they see EOF after the response they are
+       currently computing/writing, which drains in-flight requests *)
+    Mutex.protect t.conns_mu (fun () ->
+        Hashtbl.iter
+          (fun _ fd ->
+            try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+            with Unix.Unix_error _ -> ())
+          t.live_conns);
+    let rec join_live () =
+      let live =
+        Mutex.protect t.conns_mu (fun () -> List.map snd t.live_threads)
+      in
+      match live with
+      | [] -> ()
+      | threads ->
+          List.iter Thread.join threads;
+          join_live ()
+    in
+    join_live ();
+    reap_finished t;
+    Par.shutdown t.pool
+  end
+
+let request_stop t = Atomic.set t.stop_requested true
+
+let serve t =
+  (* a client that disconnects mid-write must not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let rec loop () =
+    if Atomic.get t.stop_requested then ()
+    else begin
+      reap_finished t;
+      match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ -> (
+          match Unix.accept t.listen_fd with
+          | exception
+              Unix.Unix_error
+                ( ( Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK
+                  | Unix.ECONNABORTED ),
+                  _,
+                  _ ) ->
+              loop ()
+          | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+          | fd, _ ->
+              let conn_id =
+                Mutex.protect t.conns_mu (fun () ->
+                    let id = t.next_conn in
+                    t.next_conn <- id + 1;
+                    Hashtbl.replace t.live_conns id fd;
+                    id)
+              in
+              let th = Thread.create (fun () -> handle_conn t conn_id fd) () in
+              Mutex.protect t.conns_mu (fun () ->
+                  if Hashtbl.mem t.live_conns conn_id then
+                    t.live_threads <- (conn_id, th) :: t.live_threads
+                  else
+                    (* the connection already finished *)
+                    t.finished_threads <- th :: t.finished_threads);
+              loop ())
+    end
+  in
+  loop ();
+  drain t
+
+let start session cfg =
+  match create session cfg with
+  | Error _ as e -> e
+  | Ok t ->
+      t.serve_thread <- Some (Thread.create (fun () -> serve t) ());
+      Ok t
+
+let stop t =
+  request_stop t;
+  match t.serve_thread with
+  | Some th ->
+      Thread.join th;
+      t.serve_thread <- None
+  | None ->
+      (* serve ran (or will not run) on the caller's thread: make the
+         drain happen here if the loop is not around to do it *)
+      drain t

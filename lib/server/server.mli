@@ -1,0 +1,129 @@
+(** A long-lived query-serving daemon over one integrated-schema
+    session.
+
+    The operational payoff of integration (paper sections 1 and 5) as a
+    network service: component schemas plus a recorded integration
+    session are loaded once, the integrated schema and mappings are
+    built, component instances are migrated, and then view/global
+    queries, updates and re-migrations are served over a line-delimited
+    JSON protocol ({!Wire}, reference in [docs/SERVING.md]) on a Unix
+    or TCP socket.
+
+    Concurrency model: one lightweight thread per connection reads
+    frames and writes responses in order; each data operation is
+    submitted to a shared [lib/par] domain pool ({!Par.async}) behind a
+    {e bounded} in-flight counter — when the bound is hit the request
+    is answered [overloaded] immediately instead of buffering without
+    limit.  [health] and [metrics] bypass the bound so the daemon stays
+    observable under load.  Per-request deadlines are checked when the
+    request reaches a domain and again after evaluation; either miss
+    answers [deadline_exceeded].
+
+    Rewrite plans (view and global unfoldings) are cached in an LRU
+    keyed by (view class, query shape) — the canonical printing of the
+    parsed query — with hits/misses/evictions on [server.cache_*]
+    counters and in {!stats}.
+
+    Every protocol failure is a typed error {e response}; no exception
+    of the query layer ([Query.Parser.Error], [Query.Rewrite.Unmapped],
+    [Query.Eval.Error], [Query.Update.Error]) ever kills the daemon or
+    a worker domain.  Shutdown ({!stop}, or SIGTERM in [bin/sit_serve])
+    stops accepting, answers every in-flight request, wakes idle
+    connections, joins every thread and shuts the pool down. *)
+
+module Wire = Wire
+module Lru = Lru
+module Client = Client
+
+(** {1 Session} *)
+
+type session = {
+  schemas : Ecr.Schema.t list;  (** the component schemas *)
+  result : Integrate.Result.t;
+  component_stores : (Ecr.Schema.t * Instance.Store.t) list;
+  initial_merged : Instance.Store.t;  (** the migrated instance *)
+  migration : Query.Migrate.report;
+}
+
+val make_session :
+  result:Integrate.Result.t ->
+  stores:(Ecr.Schema.t * Instance.Store.t) list ->
+  session
+(** Builds the serving state from an in-memory integration result and
+    component stores (migrates immediately).  The test suite's entry
+    point. *)
+
+type setup = {
+  schema_files : string list;  (** ECR DDL files *)
+  script : string option;  (** session script ({!Integrate.Script}) *)
+  data : string option;  (** instance file ({!Instance.Loader}) *)
+  journal : string option;
+      (** journal directory: the setup session is write-ahead logged to
+          [DIR/serve.journal] and a restart resumes from it
+          automatically (then compacts) *)
+  name : string option;  (** name of the integrated schema *)
+}
+
+val load_session : setup -> (session, string) result
+(** The [bin/sit_serve] entry point: everything from files, every
+    failure (DDL/script/instance syntax, assertion conflicts, journal
+    mismatches) as a printable [Error]. *)
+
+(** {1 Server} *)
+
+type config = {
+  listen : Wire.addr;
+  jobs : int;  (** domain-pool size for request execution *)
+  queue : int;  (** max in-flight data requests before [overloaded] *)
+  deadline_ms : int option;  (** default per-request deadline *)
+  cache : int;  (** rewrite-plan LRU capacity; [0] disables *)
+  debug : bool;
+      (** accept the test-only [sleep] op (a data operation of a chosen
+          duration), used to pin down backpressure and drain behaviour
+          deterministically; [false] everywhere but the test suite *)
+}
+
+val default_config : Wire.addr -> config
+(** jobs [Par.default_jobs ()], queue 64, no deadline, cache 128. *)
+
+type stats = {
+  requests : int;
+  ok : int;
+  errors : int;
+  overloaded : int;
+  deadline_exceeded : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  connections : int;
+}
+
+type t
+
+val create : session -> config -> (t, string) result
+(** Binds and listens (for [Tcp] with port [0], the kernel picks the
+    port — see {!port}); no thread is started yet. *)
+
+val port : t -> int option
+(** The bound TCP port, [None] for Unix sockets. *)
+
+val serve : t -> unit
+(** The accept loop, on the calling thread.  Returns only after a
+    {!request_stop} (or {!stop} from another thread) has been honoured
+    and the server fully drained. *)
+
+val start : session -> config -> (t, string) result
+(** {!create} + {!serve} on a background thread — the in-process mode
+    the tests and the bench harness use. *)
+
+val request_stop : t -> unit
+(** Flags the server to stop; safe to call from a signal handler.  The
+    accept loop notices within its polling interval and drains. *)
+
+val stop : t -> unit
+(** {!request_stop}, then waits for the drain to complete (joins the
+    background thread when the server was {!start}ed).  Idempotent. *)
+
+val stats : t -> stats
+(** A consistent-enough snapshot of the server's own counters (kept
+    independently of [lib/obs], which may be disabled). *)

@@ -1,0 +1,159 @@
+module Json = Obs.Json
+
+type addr = Unix_path of string | Tcp of string * int
+
+let addr_of_string s =
+  let s = String.trim s in
+  if s = "" then Error "empty listen address"
+  else if String.length s >= 5 && String.sub s 0 5 = "unix:" then begin
+    let path = String.sub s 5 (String.length s - 5) in
+    if path = "" then Error "unix: address needs a socket path"
+    else Ok (Unix_path path)
+  end
+  else
+    match String.rindex_opt s ':' with
+    | None -> Error (Printf.sprintf "expected unix:PATH or HOST:PORT, got %s" s)
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p <= 65535 ->
+            Ok (Tcp ((if host = "" then "0.0.0.0" else host), p))
+        | _ -> Error (Printf.sprintf "bad port %S in listen address" port))
+
+let addr_to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+type error_code =
+  | Bad_frame
+  | Bad_request
+  | Unknown_op
+  | Unknown_view
+  | Parse_error
+  | Unmapped
+  | Eval_error
+  | Update_error
+  | Overloaded
+  | Deadline_exceeded
+  | Shutting_down
+  | Internal
+
+let code_to_string = function
+  | Bad_frame -> "bad_frame"
+  | Bad_request -> "bad_request"
+  | Unknown_op -> "unknown_op"
+  | Unknown_view -> "unknown_view"
+  | Parse_error -> "parse_error"
+  | Unmapped -> "unmapped"
+  | Eval_error -> "eval_error"
+  | Update_error -> "update_error"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+let all_codes =
+  [
+    Bad_frame; Bad_request; Unknown_op; Unknown_view; Parse_error; Unmapped;
+    Eval_error; Update_error; Overloaded; Deadline_exceeded; Shutting_down;
+    Internal;
+  ]
+
+let code_of_string s = List.find_opt (fun c -> code_to_string c = s) all_codes
+
+type request = {
+  id : Json.t option;
+  op : string;
+  view : string option;
+  text : string option;
+  deadline_ms : int option;
+}
+
+let request_of_line line =
+  match Json.of_string line with
+  | Error e -> Error (Bad_frame, "frame is not valid JSON: " ^ e)
+  | Ok (Json.Obj fields as obj) -> (
+      let id = Json.member "id" obj in
+      let str_field name =
+        match List.assoc_opt name fields with
+        | None -> Ok None
+        | Some (Json.String s) -> Ok (Some s)
+        | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+      in
+      let int_field name =
+        match List.assoc_opt name fields with
+        | None -> Ok None
+        | Some (Json.Int i) -> Ok (Some i)
+        | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+      in
+      match (str_field "op", str_field "view", str_field "q", str_field "u",
+             int_field "deadline_ms")
+      with
+      | Error e, _, _, _, _
+      | _, Error e, _, _, _
+      | _, _, Error e, _, _
+      | _, _, _, Error e, _
+      | _, _, _, _, Error e ->
+          Error (Bad_request, e)
+      | Ok None, _, _, _, _ ->
+          Error (Bad_request, "frame has no \"op\" field")
+      | Ok (Some op), Ok view, Ok q, Ok u, Ok deadline_ms ->
+          let text = match q with Some _ -> q | None -> u in
+          Ok { id; op; view; text; deadline_ms })
+  | Ok _ -> Error (Bad_frame, "frame must be a JSON object")
+
+let request_to_line ?id ?view ?text ?deadline_ms op =
+  let fields =
+    (match id with Some v -> [ ("id", v) ] | None -> [])
+    @ [ ("op", Json.String op) ]
+    @ (match view with Some v -> [ ("view", Json.String v) ] | None -> [])
+    @ (match text with
+      | Some t ->
+          (* updates travel in "u", everything else in "q" *)
+          [ ((if op = "update" then "u" else "q"), Json.String t) ]
+      | None -> [])
+    @
+    match deadline_ms with
+    | Some d -> [ ("deadline_ms", Json.Int d) ]
+    | None -> []
+  in
+  Json.to_string (Json.Obj fields)
+
+let with_id id fields =
+  match id with Some v -> ("id", v) :: fields | None -> fields
+
+let ok_line ?id payload =
+  Json.to_string (Json.Obj (with_id id (("ok", Json.Bool true) :: payload)))
+
+let error_line ?id code message =
+  Json.to_string
+    (Json.Obj
+       (with_id id
+          [
+            ("ok", Json.Bool false);
+            ( "error",
+              Json.Obj
+                [
+                  ("code", Json.String (code_to_string code));
+                  ("message", Json.String message);
+                ] );
+          ]))
+
+let value_to_json = function
+  | Instance.Value.Str s -> Json.String s
+  | Instance.Value.Int i -> Json.Int i
+  | Instance.Value.Real r -> Json.Float r
+  | Instance.Value.Bool b -> Json.Bool b
+  | Instance.Value.Date (y, m, d) ->
+      Json.String (Printf.sprintf "%04d-%02d-%02d" y m d)
+  | Instance.Value.Null -> Json.Null
+
+let row_to_json row =
+  Json.Obj
+    (Ecr.Name.Map.fold
+       (fun name v acc -> (Ecr.Name.to_string name, value_to_json v) :: acc)
+       row []
+    |> List.rev)
+
+let rows_to_json rows = Json.List (List.map row_to_json rows)

@@ -1,0 +1,74 @@
+(** The serving protocol: line-delimited JSON frames.
+
+    One request per line, one response line per request, in order.  The
+    full operation and error-code reference lives in [docs/SERVING.md];
+    this module owns the framing so the daemon and the client cannot
+    drift apart. *)
+
+(** Where a server listens / a client connects. *)
+type addr = Unix_path of string | Tcp of string * int
+
+val addr_of_string : string -> (addr, string) result
+(** ["unix:/path/to.sock"], ["host:port"] or [":port"] (binds
+    0.0.0.0; port [0] asks the kernel for an ephemeral port). *)
+
+val addr_to_string : addr -> string
+
+(** Typed protocol errors.  Every failure a request can hit maps to one
+    of these; the daemon never answers a frame with anything else (and
+    never dies on one). *)
+type error_code =
+  | Bad_frame  (** not JSON, or not a JSON object *)
+  | Bad_request  (** missing/ill-typed fields for the operation *)
+  | Unknown_op
+  | Unknown_view
+  | Parse_error  (** query/update text rejected by [Query.Parser] *)
+  | Unmapped  (** [Query.Rewrite.Unmapped]: mapping has no entry *)
+  | Eval_error  (** [Query.Eval.Error]: ill-typed against the schema *)
+  | Update_error  (** [Query.Update.Error] *)
+  | Overloaded  (** bounded request queue is full — retry later *)
+  | Deadline_exceeded
+  | Shutting_down
+  | Internal
+
+val code_to_string : error_code -> string
+val code_of_string : string -> error_code option
+
+type request = {
+  id : Obs.Json.t option;  (** echoed verbatim in the response *)
+  op : string;
+  view : string option;
+  text : string option;  (** the ["q"] / ["u"] payload *)
+  deadline_ms : int option;
+}
+
+val request_of_line : string -> (request, error_code * string) result
+(** Decodes one frame.  [Error] carries the code and a human message;
+    no id is available for a frame that does not decode to an object,
+    so the error response echoes [id] only when one was recoverable. *)
+
+val request_to_line :
+  ?id:Obs.Json.t ->
+  ?view:string ->
+  ?text:string ->
+  ?deadline_ms:int ->
+  string ->
+  string
+(** [request_to_line op] builds the client-side frame (no trailing
+    newline). *)
+
+val ok_line : ?id:Obs.Json.t -> (string * Obs.Json.t) list -> string
+(** [{"id":..,"ok":true,<payload fields>}] (no trailing newline). *)
+
+val error_line : ?id:Obs.Json.t -> error_code -> string -> string
+(** [{"id":..,"ok":false,"error":{"code":..,"message":..}}]. *)
+
+val value_to_json : Instance.Value.t -> Obs.Json.t
+(** [Str]/[Int]/[Real]/[Bool] map to their JSON counterparts, [Date] to
+    ["YYYY-MM-DD"], [Null] to [null]. *)
+
+val row_to_json : Query.Eval.row -> Obs.Json.t
+(** Object with one field per column, in [Ecr.Name] order —
+    deterministic, so equal answers render byte-identically. *)
+
+val rows_to_json : Query.Eval.row list -> Obs.Json.t

@@ -236,10 +236,14 @@ let feed create facts matrix_of =
     (fun m (l, assertion, r) ->
       match Integrate.Assertions.add l assertion r m with
       | Ok m -> m
-      | Error _ ->
+      | Error c ->
           failwith
-            (Printf.sprintf "Domains: recorded session conflicts on (%s, %s)"
-               (Qname.to_string l) (Qname.to_string r)))
+            (Printf.sprintf
+               "Domains: recorded session conflicts entering %s %s %s — %s"
+               (Qname.to_string l)
+               (Integrate.Assertion.to_string assertion)
+               (Qname.to_string r)
+               (Integrate.Assertions.conflict_to_string c)))
     (create matrix_of) facts
 
 let integrate ?name session =

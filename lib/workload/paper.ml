@@ -114,9 +114,8 @@ let integrate_sc1_sc2 () =
   | Ok r -> r
   | Error c ->
       failwith
-        (Printf.sprintf "unexpected conflict between %s and %s"
-           (Qname.to_string c.Integrate.Assertions.left)
-           (Qname.to_string c.Integrate.Assertions.right))
+        (Printf.sprintf "unexpected conflict integrating sc1 with sc2: %s"
+           (Integrate.Assertions.conflict_to_string c))
 
 (* ------------------------------------------------------------------ *)
 (* Figure 2 miniatures.                                                *)
@@ -226,4 +225,7 @@ let integrate_mini m =
       ()
   with
   | Ok r -> r
-  | Error _ -> failwith ("unexpected conflict in " ^ m.label)
+  | Error c ->
+      failwith
+        (Printf.sprintf "unexpected conflict in %s: %s" m.label
+           (Integrate.Assertions.conflict_to_string c))

@@ -1,0 +1,68 @@
+#!/bin/sh
+# End-to-end check of the serving daemon (docs/SERVING.md): start
+# sit_serve on the paper's worked example, load it with the drive
+# client (4 connections, 1000 requests, byte-identity checked), verify
+# the health op and error-path resilience, then confirm SIGTERM drains
+# and exits cleanly.  Run via `make serve-test` (part of `make check`).
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+SERVE="$ROOT/_build/default/bin/sit_serve.exe"
+DATA="$ROOT/examples/data"
+SOCK="${TMPDIR:-/tmp}/sit_serve_test_$$.sock"
+LOG="${TMPDIR:-/tmp}/sit_serve_test_$$.log"
+
+[ -x "$SERVE" ] || { echo "serve-test: build first (dune build)"; exit 1; }
+
+"$SERVE" "$DATA/sc1.ecr" "$DATA/sc2.ecr" \
+  --script "$DATA/paper_session.sit" --data "$DATA/paper_instances.ecd" \
+  --listen "unix:$SOCK" --jobs 4 >"$LOG" 2>&1 &
+PID=$!
+cleanup() {
+  kill "$PID" 2>/dev/null || true
+  rm -f "$SOCK" "$LOG"
+}
+trap cleanup EXIT
+
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "serve-test: daemon did not come up"; cat "$LOG"; exit 1; }
+  sleep 0.1
+done
+
+# the load client exits non-zero on byte mismatches or all-error runs
+"$SERVE" --drive "unix:$SOCK" --conns 4 --requests 1000 \
+  --query "sc1: select Name, GPA from Student where GPA > 3.0" \
+  --query "sc1: select Name from Department" \
+  --query "sc2: select Name from Faculty" \
+  --global "select Name from Student" \
+  || { echo "serve-test: drive run failed"; cat "$LOG"; exit 1; }
+
+# malformed frames and failing queries must be answered, not fatal
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SOCK" <<'EOF'
+import json, socket, sys
+s = socket.socket(socket.AF_UNIX)
+s.connect(sys.argv[1])
+f = s.makefile("rw")
+def rt(line):
+    f.write(line + "\n"); f.flush(); return f.readline().strip()
+assert json.loads(rt("not json at all"))["error"]["code"] == "bad_frame"
+assert json.loads(rt('{"op":"zap"}'))["error"]["code"] == "unknown_op"
+assert json.loads(rt('{"op":"query","view":"sc9","q":"select * from X"}'))["error"]["code"] == "unknown_view"
+h = json.loads(rt('{"op":"health"}'))
+assert h["ok"] and h["status"] == "ok", h
+assert h["cache"]["hits"] > 0, "no cache hits on a repeated workload"
+s.close()
+EOF
+else
+  echo "serve-test: python3 not found, skipping raw-frame checks"
+fi
+
+kill -TERM "$PID"
+wait "$PID" || { echo "serve-test: daemon exited non-zero"; cat "$LOG"; exit 1; }
+grep -q "drained" "$LOG" || { echo "serve-test: no drain line in log"; cat "$LOG"; exit 1; }
+[ ! -S "$SOCK" ] || { echo "serve-test: socket not removed on shutdown"; exit 1; }
+
+echo "serve-test: ok"

@@ -1,0 +1,542 @@
+(* Tests for the query-serving daemon (lib/server): protocol plumbing,
+   concurrency vs. offline equivalence, backpressure, deadlines, drain;
+   plus regression tests for this PR's error-path bugfixes (integration
+   strategies on degenerate pools, conflict diagnostics, sit_batch
+   surviving bad directives). *)
+
+open Ecr
+module S = Instance.Store
+module V = Instance.Value
+module Json = Obs.Json
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+(* ---- fixtures: the paper's sc1+sc2 session with instances --------- *)
+
+let sc1_store () =
+  let st = S.create Workload.Paper.sc1 in
+  let student name gpa = S.tuple [ ("Name", V.str name); ("GPA", V.real gpa) ] in
+  let st, ann = S.insert (Name.v "Student") (student "Ann" 3.9) st in
+  let st, ben = S.insert (Name.v "Student") (student "Ben" 2.5) st in
+  let st, cyd = S.insert (Name.v "Student") (student "Cyd" 3.2) st in
+  let st, cs = S.insert (Name.v "Department") (S.tuple [ ("Name", V.str "CS") ]) st in
+  let st, ee = S.insert (Name.v "Department") (S.tuple [ ("Name", V.str "EE") ]) st in
+  let since y = S.tuple [ ("Since", V.date y 9 1) ] in
+  let st = S.relate (Name.v "Majors") [ ann; cs ] (since 2020) st in
+  let st = S.relate (Name.v "Majors") [ ben; ee ] (since 2021) st in
+  let st = S.relate (Name.v "Majors") [ cyd; cs ] (since 2022) st in
+  st
+
+let sc2_store () =
+  let st = S.create Workload.Paper.sc2 in
+  let st, _ =
+    S.insert (Name.v "Grad_student")
+      (S.tuple
+         [
+           ("Name", V.str "Ann"); ("GPA", V.real 3.9); ("Support_type", V.str "RA");
+         ])
+      st
+  in
+  let st, _ =
+    S.insert (Name.v "Faculty")
+      (S.tuple [ ("Name", V.str "Dr. Lee"); ("Rank", V.str "Assoc") ])
+      st
+  in
+  st
+
+let session =
+  lazy
+    (let result = Workload.Paper.integrate_sc1_sc2 () in
+     Server.make_session ~result
+       ~stores:
+         [
+           (Workload.Paper.sc1, sc1_store ()); (Workload.Paper.sc2, sc2_store ());
+         ])
+
+let local = Server.Wire.Tcp ("127.0.0.1", 0)
+
+(* Starts a server, runs [f] against its address, always stops it. *)
+let with_server ?(jobs = 2) ?(queue = 64) ?deadline_ms ?(cache = 128)
+    ?(debug = false) f =
+  let cfg =
+    { Server.listen = local; jobs; queue; deadline_ms; cache; debug }
+  in
+  match Server.start (Lazy.force session) cfg with
+  | Error msg -> Alcotest.fail ("server failed to start: " ^ msg)
+  | Ok t ->
+      let addr =
+        match Server.port t with
+        | Some p -> Server.Wire.Tcp ("127.0.0.1", p)
+        | None -> Alcotest.fail "no bound port"
+      in
+      Fun.protect ~finally:(fun () -> Server.stop t) (fun () -> f t addr)
+
+let with_client addr f =
+  let c = Server.Client.connect addr in
+  Fun.protect ~finally:(fun () -> Server.Client.close c) (fun () -> f c)
+
+(* the workload: view queries on both components plus a global query *)
+let view_frames =
+  [
+    ("sc1", "select Name, GPA from Student where GPA > 3.0");
+    ("sc1", "select Name from Department");
+    ("sc2", "select Name from Faculty");
+    ("sc2", "select Name, GPA from Grad_student");
+  ]
+
+let global_frames = [ "select Name from Student"; "select Rank from Faculty" ]
+
+let frames () =
+  List.map
+    (fun (view, text) -> Server.Wire.request_to_line ~view ~text "query")
+    view_frames
+  @ List.map (fun text -> Server.Wire.request_to_line ~text "query") global_frames
+
+(* The reference answer, computed offline (no server, single thread)
+   through exactly the public query API a non-serving client uses. *)
+let offline_response_for ~view ~text =
+  let session = Lazy.force session in
+  let mapping = session.Server.result.Integrate.Result.mapping in
+  let q = Query.Parser.query_of_string text in
+  let rows =
+    match view with
+    | Some view_name ->
+        let view =
+          List.find
+            (fun s -> Name.to_string (Schema.name s) = view_name)
+            session.Server.schemas
+        in
+        let q', back = Query.Rewrite.to_integrated mapping ~view q in
+        back (Query.Eval.run q' session.Server.initial_merged)
+    | None ->
+        Query.Rewrite.run_global mapping
+          ~integrated:session.Server.result.Integrate.Result.schema
+          ~stores:
+            (List.map
+               (fun (s, st) -> (Schema.name s, st))
+               session.Server.component_stores)
+          q
+  in
+  Server.Wire.ok_line
+    [
+      ("rows", Server.Wire.rows_to_json rows);
+      ("count", Json.Int (List.length rows));
+    ]
+
+let server_tests =
+  [
+    tc "responses are byte-identical to offline evaluation" (fun () ->
+        with_server (fun _t addr ->
+            with_client addr (fun c ->
+                List.iter
+                  (fun (view, text) ->
+                    let got =
+                      Server.Client.roundtrip c
+                        (Server.Wire.request_to_line ~view ~text "query")
+                    in
+                    check Alcotest.string text
+                      (offline_response_for ~view:(Some view) ~text)
+                      got)
+                  view_frames;
+                List.iter
+                  (fun text ->
+                    let got =
+                      Server.Client.roundtrip c
+                        (Server.Wire.request_to_line ~text "query")
+                    in
+                    check Alcotest.string text
+                      (offline_response_for ~view:None ~text)
+                      got)
+                  global_frames)));
+    tc "concurrent load: 4 connections, 1k requests, zero divergence"
+      (fun () ->
+        with_server ~jobs:4 (fun t addr ->
+            let pool = Array.of_list (frames ()) in
+            let load = Array.init 1200 (fun i -> pool.(i mod Array.length pool)) in
+            let stats = Server.Client.drive ~addr ~conns:4 ~frames:load in
+            check Alcotest.int "all answered" 1200 stats.Server.Client.sent;
+            check Alcotest.int "all ok" 1200 stats.Server.Client.ok;
+            check Alcotest.int "no divergent responses" 0
+              stats.Server.Client.mismatches;
+            (* every response must equal the offline reference, not just
+               agree with the other connections *)
+            with_client addr (fun c ->
+                List.iter
+                  (fun (view, text) ->
+                    check Alcotest.string text
+                      (offline_response_for ~view:(Some view) ~text)
+                      (Server.Client.roundtrip c
+                         (Server.Wire.request_to_line ~view ~text "query")))
+                  view_frames);
+            let s = Server.stats t in
+            check Alcotest.bool "plan cache was hit" true
+              (s.Server.cache_hits > 0);
+            check Alcotest.bool "plan cache misses bounded by shapes" true
+              (s.Server.cache_misses <= List.length (frames ()))));
+    tc "malformed and failing frames never kill the daemon" (fun () ->
+        with_server (fun _t addr ->
+            with_client addr (fun c ->
+                let code line =
+                  let resp = Server.Client.roundtrip c line in
+                  match Json.of_string resp with
+                  | Ok v ->
+                      check Alcotest.bool line false (Server.Client.is_ok v);
+                      Option.value ~default:"?" (Server.Client.error_code v)
+                  | Error e -> Alcotest.fail ("unparseable response: " ^ e)
+                in
+                check Alcotest.string "garbage" "bad_frame" (code "garbage");
+                check Alcotest.string "non-object" "bad_frame" (code "[1,2]");
+                check Alcotest.string "no op" "bad_request" (code "{}");
+                check Alcotest.string "unknown op" "unknown_op"
+                  (code {|{"op":"zap"}|});
+                check Alcotest.string "missing q" "bad_request"
+                  (code {|{"op":"query","view":"sc1"}|});
+                check Alcotest.string "unknown view" "unknown_view"
+                  (code {|{"op":"query","view":"sc9","q":"select Name from Student"}|});
+                check Alcotest.string "syntax error" "parse_error"
+                  (code {|{"op":"query","view":"sc1","q":"select from where"}|});
+                check Alcotest.string "unmapped" "unmapped"
+                  (code
+                     {|{"op":"query","view":"sc1","q":"select Rank from Faculty"}|});
+                check Alcotest.string "update error" "parse_error"
+                  (code {|{"op":"update","view":"sc1","u":"insert garbage"}|});
+                (* ... and the very same connection still gets answers *)
+                let view, text = List.hd view_frames in
+                check Alcotest.string "daemon still serving"
+                  (offline_response_for ~view:(Some view) ~text)
+                  (Server.Client.roundtrip c
+                     (Server.Wire.request_to_line ~view ~text "query")))));
+    tc "bounded queue answers overloaded, not buffered" (fun () ->
+        with_server ~jobs:1 ~queue:1 ~debug:true (fun t addr ->
+            with_client addr (fun slow ->
+                with_client addr (fun fast ->
+                    (* occupy the only queue slot without waiting *)
+                    let sleeper =
+                      Thread.create
+                        (fun () ->
+                          Server.Client.roundtrip slow
+                            (Server.Wire.request_to_line ~text:"400" "sleep"))
+                        ()
+                    in
+                    Thread.delay 0.1;
+                    let resp =
+                      Server.Client.request fast ~view:"sc1"
+                        ~text:"select Name from Student" "query"
+                    in
+                    check Alcotest.bool "rejected" false
+                      (Server.Client.is_ok resp);
+                    check
+                      Alcotest.(option string)
+                      "overloaded" (Some "overloaded")
+                      (Server.Client.error_code resp);
+                    (* control ops bypass the bound *)
+                    check Alcotest.bool "health still ok" true
+                      (Server.Client.is_ok (Server.Client.request fast "health"));
+                    Thread.join sleeper;
+                    (* slot free again: the same request now succeeds *)
+                    check Alcotest.bool "accepted after drain" true
+                      (Server.Client.is_ok
+                         (Server.Client.request fast ~view:"sc1"
+                            ~text:"select Name from Student" "query"));
+                    let s = Server.stats t in
+                    check Alcotest.bool "overloaded counted" true
+                      (s.Server.overloaded >= 1)))));
+    tc "per-request deadline answers deadline_exceeded" (fun () ->
+        with_server ~debug:true (fun t addr ->
+            with_client addr (fun c ->
+                let resp =
+                  Server.Client.request c ~text:"300" ~deadline_ms:50 "sleep"
+                in
+                check
+                  Alcotest.(option string)
+                  "deadline" (Some "deadline_exceeded")
+                  (Server.Client.error_code resp);
+                (* without a deadline the same op completes *)
+                check Alcotest.bool "no deadline" true
+                  (Server.Client.is_ok
+                     (Server.Client.request c ~text:"10" "sleep"));
+                check Alcotest.bool "counted" true
+                  ((Server.stats t).Server.deadline_exceeded >= 1))));
+    tc "updates serialize and migrate resets them" (fun () ->
+        with_server ~jobs:4 (fun _t addr ->
+            with_client addr (fun c ->
+                let count () =
+                  match
+                    Json.member "count"
+                      (Server.Client.request c ~view:"sc1"
+                         ~text:"select Name from Student" "query")
+                  with
+                  | Some (Json.Int n) -> n
+                  | _ -> Alcotest.fail "no count"
+                in
+                let before = count () in
+                let resp =
+                  Server.Client.request c ~view:"sc1"
+                    ~text:"insert into Student { Name = 'Zoe', GPA = 3.5 }"
+                    "update"
+                in
+                check Alcotest.bool "update ok" true (Server.Client.is_ok resp);
+                check Alcotest.int "one more row" (before + 1) (count ());
+                let resp = Server.Client.request c "migrate" in
+                check Alcotest.bool "migrate ok" true (Server.Client.is_ok resp);
+                check Alcotest.int "updates reset" before (count ()))));
+    tc "shutdown drains in-flight requests" (fun () ->
+        let cfg =
+          {
+            Server.listen = local;
+            jobs = 2;
+            queue = 8;
+            deadline_ms = None;
+            cache = 16;
+            debug = true;
+          }
+        in
+        match Server.start (Lazy.force session) cfg with
+        | Error msg -> Alcotest.fail msg
+        | Ok t ->
+            let addr =
+              match Server.port t with
+              | Some p -> Server.Wire.Tcp ("127.0.0.1", p)
+              | None -> Alcotest.fail "no bound port"
+            in
+            let c = Server.Client.connect addr in
+            let resp = ref "" in
+            let inflight =
+              Thread.create
+                (fun () ->
+                  resp :=
+                    Server.Client.roundtrip c
+                      (Server.Wire.request_to_line ~text:"300" "sleep"))
+                ()
+            in
+            Thread.delay 0.1;
+            (* returns only once drained *)
+            Server.stop t;
+            Thread.join inflight;
+            Server.Client.close c;
+            (match Json.of_string !resp with
+            | Ok v ->
+                check Alcotest.bool "in-flight request was answered" true
+                  (Server.Client.is_ok v)
+            | Error e -> Alcotest.fail ("drained response unparseable: " ^ e));
+            (* the listener is gone *)
+            (match Server.Client.connect addr with
+            | exception Unix.Unix_error _ -> ()
+            | c2 ->
+                Server.Client.close c2;
+                Alcotest.fail "server still accepting after stop");
+            (* idempotent: a second stop is a no-op *)
+            Server.stop t);
+  ]
+
+(* ---- regression: strategy error paths ----------------------------- *)
+
+let strategy_tests =
+  let weights =
+    Heuristics.Resemblance.default_weights Heuristics.Synonyms.default
+  in
+  [
+    tc "binary_balanced on a single schema integrates it alone" (fun () ->
+        let out =
+          Integrate.Strategy.binary_balanced [ Workload.Paper.sc1 ]
+            Integrate.Dda.silent
+        in
+        check Alcotest.int "no pairwise steps" 0 out.Integrate.Strategy.steps;
+        let ladder =
+          Integrate.Strategy.binary_ladder [ Workload.Paper.sc1 ]
+            Integrate.Dda.silent
+        in
+        (* the single-schema pool must not be double-counted: same
+           effort as the ladder on the same input *)
+        check Alcotest.int "same pairs as ladder"
+          ladder.Integrate.Strategy.stats.Integrate.Protocol.pairs_presented
+          out.Integrate.Strategy.stats.Integrate.Protocol.pairs_presented);
+    tc "binary_guided on a single schema integrates it alone" (fun () ->
+        let out =
+          Integrate.Strategy.binary_guided ~weights [ Workload.Paper.sc1 ]
+            Integrate.Dda.silent
+        in
+        check Alcotest.int "no pairwise steps" 0 out.Integrate.Strategy.steps);
+    tc "binary strategies reject an empty pool" (fun () ->
+        Alcotest.check_raises "balanced"
+          (Invalid_argument "Strategy.binary_balanced: no schemas")
+          (fun () ->
+            ignore (Integrate.Strategy.binary_balanced [] Integrate.Dda.silent));
+        Alcotest.check_raises "guided"
+          (Invalid_argument "Strategy.binary_guided: no schemas")
+          (fun () ->
+            ignore
+              (Integrate.Strategy.binary_guided ~weights [] Integrate.Dda.silent)));
+    tc "binary strategies complete on an odd-sized pool" (fun () ->
+        let w =
+          Workload.Generator.generate
+            { Workload.Generator.default_params with schemas = 3; seed = 7 }
+        in
+        let balanced =
+          Integrate.Strategy.binary_balanced
+            ~register:w.Workload.Generator.register
+            w.Workload.Generator.schemas w.Workload.Generator.oracle
+        in
+        check Alcotest.int "balanced: 2 steps for 3 schemas" 2
+          balanced.Integrate.Strategy.steps;
+        (* guided must finish every round even when resemblance scoring
+           declines to rank the remaining pairs *)
+        let guided =
+          Integrate.Strategy.binary_guided ~weights
+            ~register:w.Workload.Generator.register
+            w.Workload.Generator.schemas w.Workload.Generator.oracle
+        in
+        check Alcotest.int "guided: 2 steps for 3 schemas" 2
+          guided.Integrate.Strategy.steps);
+    tc "binary_guided completes when no pair is ranked" (fun () ->
+        (* weight-free scoring gives best_of nothing to rank: the fixed
+           code degrades to pool order instead of silently stopping *)
+        let w =
+          Workload.Generator.generate
+            { Workload.Generator.default_params with schemas = 4; seed = 11 }
+        in
+        let out =
+          Integrate.Strategy.binary_guided ~weights:[]
+            ~register:w.Workload.Generator.register
+            w.Workload.Generator.schemas w.Workload.Generator.oracle
+        in
+        check Alcotest.int "3 steps for 4 schemas" 3
+          out.Integrate.Strategy.steps);
+  ]
+
+(* ---- regression: conflict diagnostics ----------------------------- *)
+
+let q = Qname.v
+
+let conflict_tests =
+  [
+    tc "conflict_to_string names the pair, assertion and basis" (fun () ->
+        let s name cls =
+          Schema.make (Name.v name)
+            ~objects:[ Object_class.entity (Name.v cls) ]
+            ~relationships:[]
+        in
+        let m =
+          Integrate.Assertions.create
+            [ s "a" "Employee"; s "b" "Person"; s "c" "Worker" ]
+        in
+        let ok = function
+          | Ok m -> m
+          | Error _ -> Alcotest.fail "unexpected conflict"
+        in
+        let m =
+          ok
+            (Integrate.Assertions.add (q "a" "Employee")
+               Integrate.Assertion.Equal (q "b" "Person") m)
+        in
+        let m =
+          ok
+            (Integrate.Assertions.add (q "b" "Person")
+               Integrate.Assertion.Equal (q "c" "Worker") m)
+        in
+        match
+          Integrate.Assertions.add (q "c" "Worker")
+            Integrate.Assertion.Contained_in (q "a" "Employee") m
+        with
+        | Ok _ -> Alcotest.fail "conflict missed"
+        | Error c ->
+            let msg = Integrate.Assertions.conflict_to_string c in
+            let has needle =
+              check Alcotest.bool
+                (Printf.sprintf "%S in %S" needle msg)
+                true
+                (Util.contains ~needle msg)
+            in
+            has "c.Worker";
+            has "a.Employee";
+            has "rejected";
+            has "current knowledge");
+    tc "workload failwith carries the conflict diagnosis" (fun () ->
+        (* Domains.feed-style message assembly: the formatted failure
+           must embed the offending pair and the conflict explanation,
+           not just "conflict" *)
+        let msg =
+          Printf.sprintf "unexpected conflict integrating sc1 with sc2: %s"
+            (let s name cls =
+               Schema.make (Name.v name)
+                 ~objects:[ Object_class.entity (Name.v cls) ]
+                 ~relationships:[]
+             in
+             let m = Integrate.Assertions.create [ s "x" "A"; s "y" "B" ] in
+             let m =
+               match
+                 Integrate.Assertions.add (q "x" "A") Integrate.Assertion.Equal
+                   (q "y" "B") m
+               with
+               | Ok m -> m
+               | Error _ -> Alcotest.fail "unexpected conflict"
+             in
+             match
+               Integrate.Assertions.add (q "x" "A")
+                 Integrate.Assertion.Disjoint_nonintegrable (q "y" "B") m
+             with
+             | Ok _ -> Alcotest.fail "conflict missed"
+             | Error c -> Integrate.Assertions.conflict_to_string c)
+        in
+        check Alcotest.bool "pair named" true (Util.contains ~needle:"x.A" msg);
+        check Alcotest.bool "attempted assertion named" true
+          (Util.contains ~needle:"rejected" msg));
+  ]
+
+(* ---- regression: sit_batch finishes the script on bad directives -- *)
+
+let sit_batch_tests =
+  [
+    tc "bad directives are reported, script finishes, exit is non-zero"
+      (fun () ->
+        let out = Filename.temp_file "sit_batch" ".out" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+          (fun () ->
+            (* anchor on the test executable (_build/default/test/...):
+               the binary is a sibling, the data files are in the
+               source tree three levels up — independent of the cwd
+               dune or a direct run picked *)
+            let here = Filename.dirname Sys.executable_name in
+            let data f =
+              Filename.concat here
+                (Filename.concat "../../../examples/data" f)
+            in
+            let cmd =
+              Printf.sprintf
+                "%s %s %s -s %s --data %s -q 'sc1: select Bogus from' -u \
+                 'sc9: insert into X values ()' -q 'sc1: select Name from \
+                 Student' > %s 2>&1"
+                (Filename.concat here "../bin/sit_batch.exe")
+                (data "sc1.ecr") (data "sc2.ecr") (data "paper_session.sit")
+                (data "paper_instances.ecd") out
+            in
+            let rc = Sys.command cmd in
+            check Alcotest.bool "non-zero exit" true (rc <> 0);
+            let ic = open_in out in
+            let text =
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            in
+            let has needle =
+              check Alcotest.bool needle true (Util.contains ~needle text)
+            in
+            (* both bad directives diagnosed ... *)
+            has "error: --query sc1: select Bogus from";
+            has "error: --update sc9";
+            has "unknown view sc9";
+            (* ... and the later good directive still ran *)
+            has "view query   : [sc1] select Name from Student";
+            has "(2 rows)"));
+  ]
+
+let () =
+  Alcotest.run "server"
+    [
+      ("server", server_tests);
+      ("strategy regressions", strategy_tests);
+      ("conflict diagnostics", conflict_tests);
+      ("sit_batch regressions", sit_batch_tests);
+    ]
