@@ -1,7 +1,7 @@
 # Tier-1 verification plus the doc/formatting gates.  `make check` is
 # what a PR must keep green.
 
-.PHONY: all build test doc fmt-check crash-test serve-test metrics bench-diff check clean
+.PHONY: all build test doc fmt-check crash-test serve-test metrics bench-diff docs-check check clean
 
 all: build
 
@@ -52,17 +52,23 @@ metrics:
 
 # Compare two metrics reports and fail on span regressions beyond the
 # threshold — the PR-over-PR perf gate (see docs/PERFORMANCE.md).
-# Usage: make bench-diff [OLD=BENCH_pr4.json] [NEW=BENCH_pr5.json]
+# Usage: make bench-diff [OLD=BENCH_pr5.json] [NEW=BENCH_pr6.json]
 #        [THRESHOLD=0.25] [MIN_SECONDS=0.0005]
-OLD ?= BENCH_pr4.json
-NEW ?= BENCH_pr5.json
+OLD ?= BENCH_pr5.json
+NEW ?= BENCH_pr6.json
 THRESHOLD ?= 0.25
 MIN_SECONDS ?= 0.0005
 bench-diff:
 	dune exec bench/diff.exe -- $(OLD) $(NEW) \
 	  --threshold $(THRESHOLD) --min-seconds $(MIN_SECONDS)
 
-check: build test crash-test serve-test doc fmt-check
+# Docs drift gate (see scripts/docs_check.sh): every docs/*.md guide
+# must be linked from README.md, and the op table in docs/SERVING.md
+# must match the wire protocol's op registry (Wire.ops).
+docs-check:
+	sh scripts/docs_check.sh
+
+check: build test crash-test serve-test doc fmt-check docs-check
 	@echo "check: build, tests, crash-test, serve-test, docs and formatting all green"
 
 clean:

@@ -979,7 +979,7 @@ let e21_setup =
          w.Workload.Generator.oracle
      in
      let stores = Workload.Generator.populate ~jobs:1 w in
-     let session = Server.make_session ~result ~stores in
+     let session = Server.make_session ~result ~stores () in
      let select_all oc =
        Printf.sprintf "select * from %s" (Name.to_string oc.Object_class.name)
      in
@@ -1080,10 +1080,180 @@ let e21 () =
      (cache-on rows must show hits > 0 on this repeated workload; the\n\
     \ same sweep lands in the BENCH json as meta.serving)"
 
+(* ------------------------------------------------------------------ *)
+(* E22: materialized views vs recompute (lib/view, docs/VIEWS.md).     *)
+
+(* The paper session's Student extent, grown to [population] entities,
+   then a mixed read/update stream at a swept update share.  The same
+   seeded stream runs twice — once answering every read with a
+   from-scratch [Query.Eval.run], once through a lazy materialized
+   view — and every read is checked byte-identical between the arms
+   before the timings are reported (the correctness anchor of
+   docs/VIEWS.md, measured rather than assumed). *)
+
+let e22_setup =
+  lazy
+    (let result = Workload.Paper.integrate_sc1_sc2 () in
+     let stores =
+       [
+         (Workload.Paper.sc1, Instance.Store.create Workload.Paper.sc1);
+         (Workload.Paper.sc2, Instance.Store.create Workload.Paper.sc2);
+       ]
+     in
+     let session = Server.make_session ~result ~stores () in
+     let mapping = result.Result.mapping in
+     let translate u =
+       Query.Update.to_integrated mapping ~view:Workload.Paper.sc1 u
+     in
+     let store = ref session.Server.initial_merged in
+     for i = 1 to 1000 do
+       let u =
+         translate
+           (Query.Update.insert "Student"
+              [
+                ("Name", Instance.Value.str (Printf.sprintf "S%04d" i));
+                ("GPA", Instance.Value.real (float (i mod 41) /. 10.));
+              ])
+       in
+       store := fst (Query.Update.apply u !store)
+     done;
+     (mapping, !store))
+
+type e22_point = {
+  mv_share : int;  (** update share of the stream, percent *)
+  mv_reads : int;
+  mv_updates : int;
+  mv_eval_ms : float;  (** recompute arm wall time *)
+  mv_view_ms : float;  (** materialized arm wall time *)
+  mv_speedup : float;  (** eval / view *)
+}
+
+let e22_sweep ?(ops = 600) () =
+  let mapping, store0 = Lazy.force e22_setup in
+  let integrated text =
+    fst
+      (Query.Rewrite.to_integrated mapping ~view:Workload.Paper.sc1
+         (Query.Parser.query_of_string text))
+  in
+  let q_all = integrated "select Name, GPA from Student" in
+  let q_hot = integrated "select Name from Student where GPA >= 3.5" in
+  let translate u =
+    Query.Update.to_integrated mapping ~view:Workload.Paper.sc1 u
+  in
+  (* the same op stream for both arms, decided by a reseeded rng *)
+  let next_update rng k =
+    if Random.State.int rng 10 < 7 then
+      translate
+        (Query.Update.insert "Student"
+           [
+             ("Name", Instance.Value.str (Printf.sprintf "N%06d" k));
+             ("GPA", Instance.Value.real (float (k mod 41) /. 10.));
+           ])
+    else
+      translate
+        (Query.Update.modify "Student"
+           ~where:
+             (Query.Ast.atom "Name" Query.Ast.Eq
+                (Instance.Value.str (Printf.sprintf "S%04d" (1 + (k mod 1000)))))
+           [ ("GPA", Instance.Value.real (float ((k * 7) mod 41) /. 10.)) ])
+  in
+  List.map
+    (fun share ->
+      (* one deterministic stream per share; [on_update]/[on_read] are
+         the arm under test.  When [collect] is set every read is
+         serialized for the cross-arm byte comparison — those passes
+         are not the ones timed, so the serialization cost cancels out
+         of the measurement instead of masking it *)
+      let run_arm ~collect ~on_update ~on_read =
+        let rng = Random.State.make [| 2200; share |] in
+        let store = ref store0 in
+        let reads = ref 0 and updates = ref 0 in
+        let out = ref [] in
+        let t0 = Unix.gettimeofday () in
+        for k = 1 to ops do
+          if Random.State.int rng 100 < share then begin
+            incr updates;
+            let u = next_update rng k in
+            store := fst (Query.Update.apply u !store);
+            on_update !store u
+          end
+          else begin
+            incr reads;
+            let q = if k land 1 = 0 then q_all else q_hot in
+            let rows = on_read !store q in
+            if collect then
+              out :=
+                String.concat "\n" (List.map Query.Eval.row_to_string rows)
+                :: !out
+          end
+        done;
+        (Unix.gettimeofday () -. t0, !reads, !updates, List.rev !out)
+      in
+      let eval_arm ~collect =
+        run_arm ~collect
+          ~on_update:(fun _ _ -> ())
+          ~on_read:(fun store q -> Query.Eval.run q store)
+      in
+      let view_arm ~collect =
+        let cat = View.create () in
+        List.iter
+          (fun (name, q) ->
+            match
+              View.define cat ~name ~policy:View.Lazy ~source:name ~query:q
+                ~post:(fun r -> r)
+                store0
+            with
+            | Ok () -> ()
+            | Error e -> failwith ("E22: " ^ e))
+          [ ("all", q_all); ("hot", q_hot) ];
+        run_arm ~collect
+          ~on_update:(fun store u -> View.notify_update cat u store)
+          ~on_read:(fun store q ->
+            let name = if q == q_all then "all" else "hot" in
+            match View.read cat name store with
+            | Ok (rows, _) -> rows
+            | Error e -> failwith ("E22: " ^ e))
+      in
+      let _, _, _, eval_rows = eval_arm ~collect:true in
+      let _, _, _, view_rows = view_arm ~collect:true in
+      if not (List.equal String.equal eval_rows view_rows) then
+        failwith "E22: materialized reads diverge from recompute";
+      let eval_s, reads, updates, _ = eval_arm ~collect:false in
+      let view_s, _, _, _ = view_arm ~collect:false in
+      {
+        mv_share = share;
+        mv_reads = reads;
+        mv_updates = updates;
+        mv_eval_ms = eval_s *. 1000.;
+        mv_view_ms = view_s *. 1000.;
+        mv_speedup = (if view_s > 0. then eval_s /. view_s else 0.);
+      })
+    [ 0; 5; 20; 50 ]
+
+let e22 () =
+  section "E22" "materialized views vs recompute: lib/view maintenance";
+  Printf.printf
+    "\n\
+     (paper session grown to 1000 students; 600-op streams at each update\n\
+    \ share, identical seeds; every read is byte-compared between the\n\
+    \ recompute arm and the lazy-view arm before timing is trusted)\n";
+  Printf.printf "\n%-10s %-8s %-9s %-12s %-12s %-9s\n" "update %" "reads"
+    "updates" "eval (ms)" "view (ms)" "speedup";
+  List.iter
+    (fun p ->
+      Printf.printf "%-10d %-8d %-9d %-12.2f %-12.2f %8.1fx\n" p.mv_share
+        p.mv_reads p.mv_updates p.mv_eval_ms p.mv_view_ms p.mv_speedup)
+    (e22_sweep ());
+  print_endline
+    "\n\
+     (read-heavy shares must favour the materialized arm; the advantage\n\
+    \ narrows as modifies force refreshes.  The sweep lands in the BENCH\n\
+    \ json as meta.views)"
+
 let all =
   [
     e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16; e17;
-    e18; e19; e20; e21;
+    e18; e19; e20; e21; e22;
   ]
 
 let by_id =
@@ -1092,4 +1262,5 @@ let by_id =
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
     ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21);
+    ("e22", e22);
   ]

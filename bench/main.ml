@@ -1,5 +1,5 @@
 (* The benchmark harness: regenerates every figure and screen of the
-   paper (experiments E1-E21, printed as sections), times the
+   paper (experiments E1-E22, printed as sections), times the
    computational kernels with Bechamel, and dumps the lib/obs metrics
    report of an instrumented pipeline run.
 
@@ -11,7 +11,7 @@
 
    The metrics report (per-phase spans, counters, query-latency
    histograms — see docs/ARCHITECTURE.md and docs/PERFORMANCE.md) is
-   printed to stdout and saved to BENCH_pr5.json; override the path
+   printed to stdout and saved to BENCH_pr6.json; override the path
    with --out FILE.  Compare two reports mechanically with
    `dune exec bench/diff.exe -- OLD.json NEW.json` (make bench-diff).
    The instrumented run is pinned to --jobs 1 so its span tree stays
@@ -152,7 +152,7 @@ let run_timings () =
    as JSON by lib/obs.  This is the repo's perf trajectory artefact:
    each PR that touches a hot path regenerates it and compares. *)
 
-let default_metrics_out = "BENCH_pr5.json"
+let default_metrics_out = "BENCH_pr6.json"
 
 (* One journaled replay of the paper's session inside the metrics
    window, so the journal.* counters and the fsync histogram appear in
@@ -278,6 +278,23 @@ let run_metrics ?(out = default_metrics_out) () =
              ])
          (Experiments.e21_sweep ~requests:1000 ()))
   in
+  let views =
+    (* the E22 materialized-view sweep (recompute vs lazy view per
+       update share), also outside the collection window *)
+    Obs.Json.List
+      (List.map
+         (fun p ->
+           Obs.Json.Obj
+             [
+               ("update_share", Obs.Json.Int p.Experiments.mv_share);
+               ("reads", Obs.Json.Int p.Experiments.mv_reads);
+               ("updates", Obs.Json.Int p.Experiments.mv_updates);
+               ("eval_ms", Obs.Json.Float p.Experiments.mv_eval_ms);
+               ("view_ms", Obs.Json.Float p.Experiments.mv_view_ms);
+               ("speedup", Obs.Json.Float p.Experiments.mv_speedup);
+             ])
+         (Experiments.e22_sweep ()))
+  in
   let meta =
     [
       ("tool", Obs.Json.String "sit");
@@ -287,6 +304,7 @@ let run_metrics ?(out = default_metrics_out) () =
       ("cores", Obs.Json.Int (Stdlib.Domain.recommended_domain_count ()));
       ("journal_overhead", Obs.Json.Obj journal_overhead);
       ("serving", serving);
+      ("views", views);
       ( "workload",
         Obs.Json.Obj
           [

@@ -33,7 +33,7 @@ let split_view_spec what spec =
       ( String.trim (String.sub spec 0 i),
         String.sub spec (i + 1) (String.length spec - i - 1) )
 
-let drive addr conns requests queries global_queries =
+let drive addr conns requests queries global_queries mat_views =
   let specs =
     List.map
       (fun spec ->
@@ -43,9 +43,12 @@ let drive addr conns requests queries global_queries =
     @ List.map
         (fun text -> Server.Wire.request_to_line ~text "query")
         global_queries
+    @ List.map
+        (fun view -> Server.Wire.request_to_line ~view "query")
+        mat_views
   in
   (match specs with
-  | [] -> hard_fail "--drive needs at least one --query or --global spec"
+  | [] -> hard_fail "--drive needs at least one --query, --global or --mat spec"
   | _ -> ());
   let pool = Array.of_list specs in
   let n = max requests (Array.length pool) in
@@ -64,8 +67,40 @@ let drive addr conns requests queries global_queries =
 
 (* ---- server mode -------------------------------------------------- *)
 
+(* --view NAME[@POLICY][:BASE]=QUERY, e.g.
+   --view "honors@eager:sc1=select Name from Student where GPA >= 3.5" *)
+let parse_view_def spec =
+  match String.index_opt spec '=' with
+  | None -> hard_fail "--view expects NAME[@POLICY][:BASE]=QUERY, got %s" spec
+  | Some i ->
+      let head = String.trim (String.sub spec 0 i) in
+      let source = String.sub spec (i + 1) (String.length spec - i - 1) in
+      let head, base =
+        match String.index_opt head ':' with
+        | None -> (head, None)
+        | Some j ->
+            ( String.trim (String.sub head 0 j),
+              Some
+                (String.trim
+                   (String.sub head (j + 1) (String.length head - j - 1))) )
+      in
+      let name, policy =
+        match String.index_opt head '@' with
+        | None -> (head, None)
+        | Some j -> (
+            let p =
+              String.trim (String.sub head (j + 1) (String.length head - j - 1))
+            in
+            match Server.View.policy_of_string p with
+            | Some pol -> (String.trim (String.sub head 0 j), Some pol)
+            | None ->
+                hard_fail "--view: unknown policy %S (eager, lazy or manual)" p)
+      in
+      if name = "" then hard_fail "--view: empty view name in %s" spec;
+      (name, policy, base, source)
+
 let serve files script data name journal listen jobs queue deadline_ms cache
-    metrics =
+    metrics view_defs =
   (match files with
   | [] -> hard_fail "no DDL files given (pass at least one schema file)"
   | _ -> ());
@@ -85,6 +120,13 @@ let serve files script data name journal listen jobs queue deadline_ms cache
       match Server.create session cfg with
       | Error msg -> hard_fail "%s" msg
       | Ok t ->
+          List.iter
+            (fun spec ->
+              let vname, policy, base, source = parse_view_def spec in
+              match Server.define_view t ~name:vname ?base ?policy source with
+              | Ok () -> ()
+              | Error msg -> hard_fail "--view %s: %s" vname msg)
+            view_defs;
           let stop _ = Server.request_stop t in
           List.iter
             (fun s ->
@@ -115,12 +157,14 @@ let serve files script data name journal listen jobs queue deadline_ms cache
               Printf.eprintf "metrics report written to %s\n" path))
 
 let run files script data name journal listen jobs queue deadline_ms cache
-    metrics drive_addr conns requests queries global_queries =
+    metrics view_defs drive_addr conns requests queries global_queries mat_views
+    =
   match drive_addr with
-  | Some addr -> drive (parse_addr addr) conns requests queries global_queries
+  | Some addr ->
+      drive (parse_addr addr) conns requests queries global_queries mat_views
   | None ->
       serve files script data name journal (parse_addr listen) jobs queue
-        deadline_ms cache metrics
+        deadline_ms cache metrics view_defs
 
 open Cmdliner
 
@@ -209,6 +253,18 @@ let metrics =
           "Enable the observability layer and write its JSON report (per-op \
            latency histograms, server.* counters) to $(docv) on shutdown.")
 
+let view_defs =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "view" ] ~docv:"DEF"
+        ~doc:
+          "Define a materialized view at startup; format \
+           $(b,NAME[@POLICY][:BASE]=QUERY) where POLICY is eager, lazy \
+           (default) or manual and BASE is the component view the query is \
+           written against (omit it for an integrated-schema query).  \
+           Repeatable.")
+
 let drive_addr =
   Arg.(
     value
@@ -248,6 +304,15 @@ let global_queries =
         ~doc:"Drive-mode global query against the integrated schema.  \
               Repeatable.")
 
+let mat_views =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "mat" ] ~docv:"NAME"
+        ~doc:
+          "Drive-mode materialized read: a $(b,query) frame naming the view \
+           $(docv) with no query text.  Repeatable.")
+
 let cmd =
   Cmd.v
     (Cmd.info "sit_serve" ~version:"1.0.0"
@@ -256,7 +321,7 @@ let cmd =
           load-test client)")
     Term.(
       const run $ files $ script $ data $ integrated_name $ journal_dir
-      $ listen $ jobs $ queue $ deadline_ms $ cache $ metrics $ drive_addr
-      $ conns $ requests $ queries $ global_queries)
+      $ listen $ jobs $ queue $ deadline_ms $ cache $ metrics $ view_defs
+      $ drive_addr $ conns $ requests $ queries $ global_queries $ mat_views)
 
 let () = exit (Cmd.eval cmd)

@@ -1,16 +1,20 @@
+(* The session journal: Integrate.Op payload semantics (directive
+   syntax for ops, Dictionary documents for snapshots) layered over the
+   generic framed log in frames.ml. *)
+
+module Frames = Frames
+
 let magic = "SITJRNL1"
 
-type fsync_policy = Never | Every of int | Always
+type fsync_policy = Frames.fsync_policy = Never | Every of int | Always
 
 type t = {
-  path : string;
-  mutable fd : Unix.file_descr;
-  fsync : fsync_policy;
+  frames : Frames.t;
   checkpoint_every : int;
   mutable seq : int;
   mutable since_checkpoint : int;
-  mutable unsynced : int;
   mutable closed : bool;
+  mutable subscribers : (Integrate.Op.t -> unit) list;
 }
 
 type recovery = {
@@ -21,40 +25,15 @@ type recovery = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Observability.                                                      *)
+(* Observability.  (fsyncs/fsync_ms/truncated_bytes live in Frames.)   *)
 
 let c_appends = Obs.Counter.make "journal.appends"
-let c_fsyncs = Obs.Counter.make "journal.fsyncs"
 let c_recovered = Obs.Counter.make "journal.recovered_records"
-let c_truncated = Obs.Counter.make "journal.truncated_bytes"
-let h_fsync_ms = Obs.Histogram.make "journal.fsync_ms"
 
 (* ------------------------------------------------------------------ *)
-(* Fault injection.                                                    *)
+(* Fault injection: the hook lives at the byte layer.                  *)
 
-module For_testing = struct
-  exception Crash
-
-  let write_limit : int option ref = ref None
-end
-
-let write_all fd s =
-  let n = String.length s in
-  let rec go off =
-    if off < n then go (off + Unix.write_substring fd s off (n - off))
-  in
-  go 0
-
-(* All journal bytes funnel through here so the crash hook can cut any
-   record short at an arbitrary byte offset. *)
-let write_raw fd s =
-  match !For_testing.write_limit with
-  | None -> write_all fd s
-  | Some budget ->
-      let k = Int.min budget (String.length s) in
-      For_testing.write_limit := Some (budget - k);
-      write_all fd (String.sub s 0 k);
-      if k < String.length s then raise For_testing.Crash
+module For_testing = Frames.For_testing
 
 (* ------------------------------------------------------------------ *)
 (* Record (de)serialisation.                                           *)
@@ -145,48 +124,11 @@ let record_of_payload payload =
           | None -> raise Corrupt)
       | _ -> raise Corrupt)
 
-let frame payload =
-  let header = Bytes.create 8 in
-  Bytes.set_int32_le header 0 (Int32.of_int (String.length payload));
-  Bytes.set_int32_le header 4 (Int32.of_int (Crc32.digest payload));
-  Bytes.to_string header ^ payload
-
-let u32 s pos = Int32.to_int (String.get_int32_le s pos) land 0xFFFFFFFF
+let valid_payload payload =
+  match record_of_payload payload with _ -> true | exception _ -> false
 
 (* ------------------------------------------------------------------ *)
-(* Recovery: scan the longest valid record prefix.                     *)
-
-(* Returns the parsed records and the byte offset where validity ends.
-   Every failure mode — short header, length beyond EOF, CRC mismatch,
-   unparseable payload — stops the scan at the current offset; nothing
-   is ever raised. *)
-let scan data =
-  let n = String.length data in
-  if n < String.length magic || String.sub data 0 (String.length magic) <> magic
-  then ([], 0)
-  else begin
-    let records = ref [] in
-    let pos = ref (String.length magic) in
-    let stop = ref false in
-    while not !stop do
-      if !pos + 8 > n then stop := true
-      else begin
-        let len = u32 data !pos and crc = u32 data (!pos + 4) in
-        if len > n - !pos - 8 then stop := true
-        else begin
-          let payload = String.sub data (!pos + 8) len in
-          if Crc32.digest payload <> crc then stop := true
-          else
-            match record_of_payload payload with
-            | exception _ -> stop := true
-            | r ->
-                records := r :: !records;
-                pos := !pos + 8 + len
-        end
-      end
-    done;
-    (List.rev !records, !pos)
-  end
+(* Recovery: replay the longest valid record prefix.                   *)
 
 let replay records =
   List.fold_left
@@ -202,144 +144,70 @@ let ops_since_snapshot records =
     (fun acc r -> match r with Rsnap _ -> 0 | Rop _ -> acc + 1)
     0 records
 
-let read_file path =
-  match open_in_bin path with
-  | exception Sys_error _ -> None
-  | ic ->
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> Some (really_input_string ic (in_channel_length ic)))
-
-(* records, valid-prefix end, file length *)
-let scan_file path =
-  match read_file path with
-  | None -> (([], 0), 0)
-  | Some data -> (scan data, String.length data)
-
-let recovery_of ~records ~valid_end ~file_len =
+let recovery_of (fr : Frames.recovery) =
+  let records = List.map record_of_payload fr.Frames.payloads in
   let workspace, seq = replay records in
   Obs.Counter.add c_recovered (List.length records);
-  Obs.Counter.add c_truncated (file_len - valid_end);
-  { workspace; seq; records = List.length records;
-    truncated_bytes = file_len - valid_end }
+  ( { workspace; seq; records = List.length records;
+      truncated_bytes = fr.Frames.truncated_bytes },
+    records )
 
 let recover path =
-  let (records, valid_end), file_len = scan_file path in
-  recovery_of ~records ~valid_end ~file_len
+  fst (recovery_of (Frames.recover ~validate:valid_payload ~magic path))
 
 (* ------------------------------------------------------------------ *)
 (* The append side.                                                    *)
 
-let do_fsync t =
-  let t0 = Unix.gettimeofday () in
-  Unix.fsync t.fd;
-  Obs.Histogram.observe h_fsync_ms ((Unix.gettimeofday () -. t0) *. 1000.);
-  Obs.Counter.incr c_fsyncs
-
 let open_ ?(fsync = Every 8) ?(checkpoint_every = 64) path =
-  let (records, valid_end), file_len = scan_file path in
-  let recovery = recovery_of ~records ~valid_end ~file_len in
-  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
-  let t =
+  let fr, frames = Frames.open_ ~fsync ~validate:valid_payload ~magic path in
+  let recovery, records = recovery_of fr in
+  ( recovery,
     {
-      path;
-      fd;
-      fsync;
+      frames;
       checkpoint_every = Int.max 1 checkpoint_every;
       seq = recovery.seq;
       since_checkpoint = ops_since_snapshot records;
-      unsynced = 0;
       closed = false;
-    }
-  in
-  if valid_end = 0 then begin
-    (* missing, empty or headerless file: start clean *)
-    Unix.ftruncate fd 0;
-    write_all fd magic
-  end
-  else if valid_end < file_len then
-    (* drop the torn/corrupt tail so appends extend the valid prefix *)
-    Unix.ftruncate fd valid_end;
-  ignore (Unix.lseek fd 0 Unix.SEEK_END);
-  if fsync <> Never && (valid_end = 0 || valid_end < file_len) then do_fsync t;
-  (recovery, t)
+      subscribers = [];
+    } )
 
-let append_record t record =
-  if t.closed then invalid_arg "Journal: journal is closed";
-  write_raw t.fd (frame (payload_of_record record))
+let check_open t = if t.closed then invalid_arg "Journal: journal is closed"
+
+let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
 
 let checkpoint t ws =
-  append_record t (Rsnap (t.seq, ws));
+  check_open t;
+  Frames.append_raw t.frames (payload_of_record (Rsnap (t.seq, ws)));
   t.since_checkpoint <- 0;
-  if t.fsync <> Never then begin
-    do_fsync t;
-    t.unsynced <- 0
-  end
+  Frames.sync_now t.frames
 
 let append ?after t op =
-  append_record t (Rop (t.seq + 1, op));
+  check_open t;
+  Frames.append t.frames (payload_of_record (Rop (t.seq + 1, op)));
   t.seq <- t.seq + 1;
   t.since_checkpoint <- t.since_checkpoint + 1;
   Obs.Counter.incr c_appends;
-  (match t.fsync with
-  | Always -> do_fsync t
-  | Every n ->
-      t.unsynced <- t.unsynced + 1;
-      if t.unsynced >= Int.max 1 n then begin
-        do_fsync t;
-        t.unsynced <- 0
-      end
-  | Never -> ());
+  List.iter (fun f -> f op) t.subscribers;
   match after with
   | Some ws when t.since_checkpoint >= t.checkpoint_every -> checkpoint t ws
   | _ -> ()
 
 let reset t =
-  if t.closed then invalid_arg "Journal: journal is closed";
-  Unix.ftruncate t.fd (String.length magic);
-  ignore (Unix.lseek t.fd 0 Unix.SEEK_END);
+  check_open t;
+  Frames.reset t.frames;
   t.seq <- 0;
-  t.since_checkpoint <- 0;
-  t.unsynced <- 0;
-  if t.fsync <> Never then do_fsync t
-
-let compact_regular t ws =
-  let tmp = t.path ^ ".tmp" in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      write_all fd magic;
-      write_all fd (frame (payload_of_record (Rsnap (t.seq, ws))));
-      Unix.fsync fd);
-  (* the rename is the commit point: readers see either the old journal
-     or the compacted one, never a partial file *)
-  Sys.rename tmp t.path;
-  Unix.close t.fd;
-  t.fd <- Unix.openfile t.path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644;
-  t.since_checkpoint <- 0;
-  t.unsynced <- 0
+  t.since_checkpoint <- 0
 
 let compact t ws =
-  if t.closed then invalid_arg "Journal: journal is closed";
-  match (Unix.lstat t.path).Unix.st_kind with
-  | exception Unix.Unix_error _ -> compact_regular t ws
-  | Unix.S_REG -> compact_regular t ws
-  | _ ->
-      (* renaming over a non-regular path (/dev/null, a fifo) would
-         destroy it; rewrite in place instead — not atomic, but the
-         target is not a recoverable journal anyway *)
-      let seq = t.seq in
-      reset t;
-      t.seq <- seq;
-      checkpoint t ws
+  check_open t;
+  Frames.rewrite t.frames [ payload_of_record (Rsnap (t.seq, ws)) ];
+  t.since_checkpoint <- 0
 
 let seq (t : t) = t.seq
-let path (t : t) = t.path
+let path (t : t) = Frames.path t.frames
 
 let close t =
   if not t.closed then begin
-    if t.fsync <> Never then do_fsync t;
-    Unix.close t.fd;
+    Frames.close t.frames;
     t.closed <- true
   end

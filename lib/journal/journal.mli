@@ -25,12 +25,20 @@
     Records are validated independently (length bound, CRC, parse), so
     recovery can always find the longest valid prefix and ignore
     everything after the first damaged byte.  See docs/ROBUSTNESS.md
-    for the full matrix of tolerated faults. *)
+    for the full matrix of tolerated faults.
+
+    The byte layer — framing, prefix recovery, fsync policy, atomic
+    rewrite — is the reusable {!Frames} module; this module owns only
+    the op/snapshot payload syntax and the replay logic. *)
+
+module Frames = Frames
+(** The generic framed-log layer, for other write-ahead logs (the
+    serving tier's view-catalog log persists through it). *)
 
 type t
 (** An open journal, positioned for appending. *)
 
-type fsync_policy =
+type fsync_policy = Frames.fsync_policy =
   | Never  (** buffered: leave durability to the OS (fastest) *)
   | Every of int  (** fsync once per [n] appended ops *)
   | Always  (** fsync after every record (most durable) *)
@@ -60,7 +68,17 @@ val open_ :
 val append : ?after:Integrate.Workspace.t -> t -> Integrate.Op.t -> unit
 (** Appends one op record (a single [write], then fsync per policy).
     [~after], the workspace {e after} the op, enables the automatic
-    checkpoint; omit it to journal without checkpointing. *)
+    checkpoint; omit it to journal without checkpointing.  Subscribers
+    ({!subscribe}) are notified after the record is written. *)
+
+val subscribe : t -> (Integrate.Op.t -> unit) -> unit
+(** [subscribe t f] registers [f] on the journal's live op stream: every
+    subsequent {!append} calls [f op] once the record is durably
+    ordered (written, before any checkpointing).  This is the hook a
+    derived-state maintainer attaches to — [lib/view] invalidates
+    materialized extents here when the session mutates under it.
+    Callbacks run on the appending thread and must not append to the
+    same journal; exceptions propagate to the appender. *)
 
 val checkpoint : t -> Integrate.Workspace.t -> unit
 (** Appends a snapshot record of the full workspace now. *)

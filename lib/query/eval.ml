@@ -202,6 +202,9 @@ let project_rows cols rows =
       Name.Map.filter (fun k _ -> List.exists (Name.equal k) cols) r)
     rows
 
+let matches = eval_pred
+let project_entity = project
+
 let rename_columns f rows =
   List.map
     (fun r -> Name.Map.fold (fun k v acc -> Name.Map.add (f k) v acc) r Name.Map.empty)

@@ -39,8 +39,10 @@ let roundtrip c line =
   flush c.oc;
   input_line c.ic
 
-let request c ?id ?view ?text ?deadline_ms op =
-  let line = roundtrip c (Wire.request_to_line ?id ?view ?text ?deadline_ms op) in
+let request c ?id ?view ?text ?base ?policy ?deadline_ms op =
+  let line =
+    roundtrip c (Wire.request_to_line ?id ?view ?text ?base ?policy ?deadline_ms op)
+  in
   match Json.of_string line with
   | Ok v -> v
   | Error e -> failwith (Printf.sprintf "unparseable response %S: %s" line e)

@@ -20,6 +20,8 @@ val request :
   ?id:Obs.Json.t ->
   ?view:string ->
   ?text:string ->
+  ?base:string ->
+  ?policy:string ->
   ?deadline_ms:int ->
   string ->
   Obs.Json.t

@@ -6,6 +6,7 @@
 module Wire = Wire
 module Lru = Lru
 module Client = Client
+module View = View
 module Json = Obs.Json
 
 (* ---- observability ------------------------------------------------ *)
@@ -40,9 +41,10 @@ type session = {
   component_stores : (Ecr.Schema.t * Instance.Store.t) list;
   initial_merged : Instance.Store.t;
   migration : Query.Migrate.report;
+  journal_dir : string option;
 }
 
-let make_session ~result ~stores =
+let make_session ?journal_dir ~result ~stores () =
   let merged, migration =
     Query.Migrate.run result.Integrate.Result.mapping
       ~integrated:result.Integrate.Result.schema stores
@@ -53,6 +55,7 @@ let make_session ~result ~stores =
     component_stores = stores;
     initial_merged = merged;
     migration;
+    journal_dir;
   }
 
 type setup = {
@@ -158,7 +161,7 @@ let load_session setup =
             setup_fail "%s" (Instance.Loader.error_to_string e))
       | None -> List.map (fun s -> (s, Instance.Store.create s)) schemas
     in
-    Ok (make_session ~result ~stores)
+    Ok (make_session ?journal_dir:setup.journal ~result ~stores ())
   with Setup msg -> Error msg
 
 (* ---- server state ------------------------------------------------- *)
@@ -208,6 +211,8 @@ type t = {
   state_mu : Mutex.t;
   cache : (string, plan) Lru.t;  (** under [cache_mu] *)
   cache_mu : Mutex.t;
+  views : View.t;  (** under [state_mu], like the store they index *)
+  mutable viewlog : Journal.Frames.t option;  (** under [state_mu] *)
   inflight : int Atomic.t;
   stop_requested : bool Atomic.t;  (** accept loop should wind down *)
   stopping : bool Atomic.t;  (** drain started: reject new data ops *)
@@ -280,7 +285,9 @@ let bind_listen addr =
       in
       (fd, bound)
 
-let create session cfg =
+(* Binds the socket and builds the record; the view catalog is replayed
+   by [create] below, which needs the plan helpers defined after this. *)
+let create_bound session cfg =
   match bind_listen cfg.listen with
   | exception Setup msg -> Error msg
   | exception Unix.Unix_error (e, fn, arg) ->
@@ -300,6 +307,8 @@ let create session cfg =
           state_mu = Mutex.create ();
           cache = Lru.create ~capacity:(max 0 cfg.cache);
           cache_mu = Mutex.create ();
+          views = View.create ();
+          viewlog = None;
           inflight = Atomic.make 0;
           stop_requested = Atomic.make false;
           stopping = Atomic.make false;
@@ -410,6 +419,176 @@ let global_plan t q =
   | Global_plan parts -> parts
   | View_plan _ -> assert false
 
+(* ---- the view catalog --------------------------------------------- *)
+
+exception Op_error of Wire.error_code * string
+(* Internal to request execution: a typed failure raised where a
+   payload would otherwise be built; [execute] maps it to an error
+   response. *)
+
+let op_fail code fmt = Printf.ksprintf (fun s -> raise (Op_error (code, s))) fmt
+
+(* The catalog is persisted as its own framed log (DIR/views.journal,
+   next to the setup journal): one JSON payload per define/drop,
+   replayed on restart and compacted to the live definitions. *)
+let viewlog_magic = "SITVCAT1"
+
+let view_define_payload ~name ~base ~policy ~source =
+  Json.to_string
+    (Json.Obj
+       ([ ("a", Json.String "define"); ("name", Json.String name) ]
+       @ (match base with
+         | Some b -> [ ("base", Json.String b) ]
+         | None -> [])
+       @ [
+           ("policy", Json.String (View.policy_to_string policy));
+           ("q", Json.String source);
+         ]))
+
+let view_drop_payload name =
+  Json.to_string
+    (Json.Obj [ ("a", Json.String "drop"); ("name", Json.String name) ])
+
+let view_payload_valid p =
+  match Json.of_string p with
+  | Ok (Json.Obj _ as o) -> (
+      match (Json.member "a" o, Json.member "name" o) with
+      | Some (Json.String ("define" | "drop")), Some (Json.String _) -> true
+      | _ -> false)
+  | _ -> false
+
+let log_view_payload t payload =
+  match t.viewlog with
+  | None -> ()
+  | Some frames -> Journal.Frames.append frames payload
+
+(* Parse, rewrite (through [base] if given) and register one view
+   definition.  [log:false] only while replaying the catalog log. *)
+let define_view_core t ~log ~name ~base ~policy ~source =
+  if find_view t name <> None then
+    Error
+      ( Wire.Bad_request,
+        Printf.sprintf "view name %s collides with a component schema" name )
+  else
+    match Query.Parser.query_of_string source with
+    | exception Query.Parser.Error msg -> Error (Wire.Parse_error, msg)
+    | q -> (
+        let plan =
+          match base with
+          | None -> Ok (q, fun rows -> rows)
+          | Some b -> (
+              match find_view t b with
+              | None ->
+                  Error (Wire.Unknown_view, Printf.sprintf "unknown view %s" b)
+              | Some view -> (
+                  match view_plan t view q with
+                  | plan -> Ok plan
+                  | exception Query.Rewrite.Unmapped msg ->
+                      Error (Wire.Unmapped, msg)))
+        in
+        match plan with
+        | Error _ as e -> e
+        | Ok (q', post) ->
+            Mutex.protect t.state_mu (fun () ->
+                match
+                  View.define t.views ~name ?base ~policy ~source ~query:q'
+                    ~post t.merged
+                with
+                | Error msg -> Error (Wire.Bad_request, msg)
+                | Ok () ->
+                    if log then
+                      log_view_payload t
+                        (view_define_payload ~name ~base ~policy ~source);
+                    Ok ()))
+
+let define_view t ~name ?base ?(policy = View.Lazy) source =
+  match define_view_core t ~log:true ~name ~base ~policy ~source with
+  | Ok () -> Ok ()
+  | Error (_, msg) -> Error msg
+
+(* Rewrite the catalog log down to one define payload per live view. *)
+let compact_viewlog t =
+  match t.viewlog with
+  | None -> ()
+  | Some frames ->
+      let payloads =
+        Mutex.protect t.state_mu (fun () ->
+            List.map
+              (fun (i : View.info) ->
+                view_define_payload ~name:i.View.name ~base:i.View.base
+                  ~policy:i.View.policy ~source:i.View.source)
+              (View.infos t.views))
+      in
+      Journal.Frames.rewrite frames payloads
+
+let replay_view_payload t payload =
+  match Json.of_string payload with
+  | Error _ -> ()
+  | Ok o -> (
+      let str k =
+        match Json.member k o with Some (Json.String s) -> Some s | _ -> None
+      in
+      match (str "a", str "name") with
+      | Some "define", Some name ->
+          let source = Option.value ~default:"" (str "q") in
+          let policy =
+            Option.value ~default:View.Lazy
+              (Option.bind (str "policy") View.policy_of_string)
+          in
+          (* a definition the current session can no longer satisfy
+             (changed schemas, changed mappings) is dropped, same as a
+             view whose query stops typechecking across a reset *)
+          ignore
+            (define_view_core t ~log:false ~name ~base:(str "base") ~policy
+               ~source)
+      | Some "drop", Some name ->
+          ignore (Mutex.protect t.state_mu (fun () -> View.drop t.views name))
+      | _ -> ())
+
+let load_views t =
+  match t.session.journal_dir with
+  | None -> ()
+  | Some dir ->
+      let path = Filename.concat dir "views.journal" in
+      let recovery, frames =
+        Journal.Frames.open_ ~fsync:Journal.Frames.Always
+          ~validate:view_payload_valid ~magic:viewlog_magic path
+      in
+      List.iter (replay_view_payload t) recovery.Journal.Frames.payloads;
+      t.viewlog <- Some frames;
+      compact_viewlog t
+
+let create session cfg =
+  match create_bound session cfg with
+  | Error _ as e -> e
+  | Ok t ->
+      load_views t;
+      Ok t
+
+let view_info_json (i : View.info) =
+  Json.Obj
+    [
+      ("name", Json.String i.View.name);
+      ( "base",
+        match i.View.base with Some b -> Json.String b | None -> Json.Null );
+      ("policy", Json.String (View.policy_to_string i.View.policy));
+      ("q", Json.String i.View.source);
+      ("fresh", Json.Bool i.View.fresh);
+      ("rows", Json.Int i.View.rows);
+      ("hits", Json.Int i.View.hits);
+      ("stale_marks", Json.Int i.View.stale_marks);
+      ("refreshes", Json.Int i.View.refreshes);
+      ("delta_appends", Json.Int i.View.delta_appends);
+      ("last_refresh_ms", Json.Float i.View.last_refresh_ms);
+    ]
+
+let views_payload t =
+  let infos = Mutex.protect t.state_mu (fun () -> View.infos t.views) in
+  [
+    ("views", Json.List (List.map view_info_json infos));
+    ("count", Json.Int (List.length infos));
+  ]
+
 let migration_report_json (r : Query.Migrate.report) =
   Json.Obj
     [
@@ -431,24 +610,51 @@ let named_stores t =
 let run_op t (req : Wire.request) =
   match req.Wire.op with
   | "query" -> (
-      let text = require_text "query" req in
-      let q = Query.Parser.query_of_string text in
-      match require_view t req with
-      | Some view ->
-          let q', back = view_plan t view q in
-          let store = Mutex.protect t.state_mu (fun () -> t.merged) in
-          let rows = back (Query.Eval.run q' store) in
-          [
-            ("rows", Wire.rows_to_json rows);
-            ("count", Json.Int (List.length rows));
-          ]
-      | None ->
-          let parts = global_plan t q in
-          let rows = Query.Rewrite.run_components parts ~stores:(named_stores t) in
-          [
-            ("rows", Wire.rows_to_json rows);
-            ("count", Json.Int (List.length rows));
-          ])
+      match (req.Wire.view, req.Wire.text) with
+      | Some name, None when find_view t name = None ->
+          (* a materialized read: the view name addresses the extent *)
+          Mutex.protect t.state_mu (fun () ->
+              match View.read t.views name t.merged with
+              | Error msg -> op_fail Wire.Unknown_view "%s" msg
+              | Ok (rows, fresh) ->
+                  [
+                    ("rows", Wire.rows_to_json rows);
+                    ("count", Json.Int (List.length rows));
+                    ("fresh", Json.Bool fresh);
+                  ])
+      | _ -> (
+          let text = require_text "query" req in
+          let q = Query.Parser.query_of_string text in
+          match require_view t req with
+          | Some view -> (
+              let q', back = view_plan t view q in
+              (* an ad-hoc query whose shape matches a registered view is
+                 served from the materialized extent when that cannot be
+                 told apart from evaluating (fresh, or freshened here) *)
+              let served =
+                Mutex.protect t.state_mu (fun () ->
+                    match View.lookup_shape t.views q' t.merged with
+                    | Some raw -> Ok (back raw)
+                    | None -> Error t.merged)
+              in
+              let rows =
+                match served with
+                | Ok rows -> rows
+                | Error store -> back (Query.Eval.run q' store)
+              in
+              [
+                ("rows", Wire.rows_to_json rows);
+                ("count", Json.Int (List.length rows));
+              ])
+          | None ->
+              let parts = global_plan t q in
+              let rows =
+                Query.Rewrite.run_components parts ~stores:(named_stores t)
+              in
+              [
+                ("rows", Wire.rows_to_json rows);
+                ("count", Json.Int (List.length rows));
+              ]))
   | "rewrite" -> (
       let text = require_text "rewrite" req in
       let q = Query.Parser.query_of_string text in
@@ -489,6 +695,9 @@ let run_op t (req : Wire.request) =
             Mutex.protect t.state_mu (fun () ->
                 let merged', n = Query.Update.apply op' t.merged in
                 t.merged <- merged';
+                (* maintain the materialized extents against the store
+                   they were computed over, before the lock is released *)
+                View.notify_update t.views op' merged';
                 n)
           in
           [
@@ -503,8 +712,77 @@ let run_op t (req : Wire.request) =
           ~integrated:t.session.result.Integrate.Result.schema
           t.session.component_stores
       in
-      Mutex.protect t.state_mu (fun () -> t.merged <- merged);
-      [ ("report", migration_report_json report) ]
+      let dropped =
+        Mutex.protect t.state_mu (fun () ->
+            t.merged <- merged;
+            View.notify_reset t.views merged)
+      in
+      if dropped <> [] then compact_viewlog t;
+      [
+        ("report", migration_report_json report);
+        ("views_dropped", Json.List (List.map (fun n -> Json.String n) dropped));
+      ]
+  | "define_view" -> (
+      let name =
+        match req.Wire.view with
+        | Some v -> v
+        | None ->
+            raise (Invalid_argument "op \"define_view\" needs a \"view\" field")
+      in
+      let source = require_text "define_view" req in
+      let policy =
+        match req.Wire.policy with
+        | None -> View.Lazy
+        | Some p -> (
+            match View.policy_of_string p with
+            | Some p -> p
+            | None ->
+                raise
+                  (Invalid_argument
+                     (Printf.sprintf
+                        "bad policy %S (expected eager, lazy or manual)" p)))
+      in
+      match
+        define_view_core t ~log:true ~name ~base:req.Wire.base ~policy ~source
+      with
+      | Error (code, msg) -> raise (Op_error (code, msg))
+      | Ok () ->
+          let rows =
+            Mutex.protect t.state_mu (fun () ->
+                match View.info t.views name with
+                | Some i -> i.View.rows
+                | None -> 0)
+          in
+          [
+            ("defined", Json.String name);
+            ("policy", Json.String (View.policy_to_string policy));
+            ("rows", Json.Int rows);
+          ])
+  | "drop_view" -> (
+      let name =
+        match req.Wire.view with
+        | Some v -> v
+        | None ->
+            raise (Invalid_argument "op \"drop_view\" needs a \"view\" field")
+      in
+      Mutex.protect t.state_mu (fun () ->
+          if View.drop t.views name then begin
+            log_view_payload t (view_drop_payload name);
+            [ ("dropped", Json.String name) ]
+          end
+          else op_fail Wire.Unknown_view "unknown view %s" name))
+  | "refresh_view" -> (
+      let name =
+        match req.Wire.view with
+        | Some v -> v
+        | None ->
+            raise (Invalid_argument "op \"refresh_view\" needs a \"view\" field")
+      in
+      Mutex.protect t.state_mu (fun () ->
+          match View.refresh t.views name t.merged with
+          | Error msg -> op_fail Wire.Unknown_view "%s" msg
+          | Ok ms ->
+              [ ("refreshed", Json.String name); ("ms", Json.Float ms) ]))
   | "sleep" ->
       (* test-only (config.debug): hold a queue slot for a chosen time *)
       let ms =
@@ -547,6 +825,7 @@ let execute t (req : Wire.request) ~t_start ~deadline =
       respond_err t id Wire.Deadline_exceeded
         (Printf.sprintf "deadline of %d ms exceeded"
            (Option.value ~default:0 deadline))
+  | Op_error (code, msg) -> respond_err t id code msg
   | Query.Parser.Error msg -> respond_err t id Wire.Parse_error msg
   | Query.Rewrite.Unmapped msg -> respond_err t id Wire.Unmapped msg
   | Query.Eval.Error msg -> respond_err t id Wire.Eval_error msg
@@ -579,6 +858,17 @@ let health_payload t =
         ] );
     ("connections", Json.Int s.connections);
     ("migration", migration_report_json t.session.migration);
+    ( "views",
+      let infos = Mutex.protect t.state_mu (fun () -> View.infos t.views) in
+      Json.Obj
+        [
+          ("count", Json.Int (List.length infos));
+          ( "stale",
+            Json.Int
+              (List.length
+                 (List.filter (fun (i : View.info) -> not i.View.fresh) infos))
+          );
+        ] );
   ]
 
 let handle_frame t line =
@@ -595,9 +885,11 @@ let handle_frame t line =
       | "metrics" ->
           let meta = [ ("tool", Json.String "sit_serve") ] in
           respond_ok t id [ ("report", Obs.Report.to_json ~meta ()) ]
+      | "view_stats" -> respond_ok t id (views_payload t)
       | "sleep" when not t.cfg.debug ->
           respond_err t id Wire.Unknown_op "unknown op \"sleep\""
-      | "query" | "rewrite" | "update" | "migrate" | "sleep" ->
+      | "query" | "rewrite" | "update" | "migrate" | "define_view"
+      | "drop_view" | "refresh_view" | "sleep" ->
           if Atomic.get t.stopping then
             respond_err t id Wire.Shutting_down "server is draining"
           else begin
@@ -702,7 +994,12 @@ let drain t =
     in
     join_live ();
     reap_finished t;
-    Par.shutdown t.pool
+    Par.shutdown t.pool;
+    match t.viewlog with
+    | Some frames ->
+        (try Journal.Frames.close frames with _ -> ());
+        t.viewlog <- None
+    | None -> ()
   end
 
 let request_stop t = Atomic.set t.stop_requested true

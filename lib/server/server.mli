@@ -34,6 +34,9 @@
 module Wire = Wire
 module Lru = Lru
 module Client = Client
+module View = View
+(** The materialized-view catalog the daemon serves from; re-exported
+    so client code can name policies and decode {!View.info}. *)
 
 (** {1 Session} *)
 
@@ -43,11 +46,17 @@ type session = {
   component_stores : (Ecr.Schema.t * Instance.Store.t) list;
   initial_merged : Instance.Store.t;  (** the migrated instance *)
   migration : Query.Migrate.report;
+  journal_dir : string option;
+      (** when set, the server persists its view catalog to
+          [DIR/views.journal] (framed log, {!Journal.Frames}) and
+          replays it on {!create} *)
 }
 
 val make_session :
+  ?journal_dir:string ->
   result:Integrate.Result.t ->
   stores:(Ecr.Schema.t * Instance.Store.t) list ->
+  unit ->
   session
 (** Builds the serving state from an in-memory integration result and
     component stores (migrates immediately).  The test suite's entry
@@ -102,7 +111,25 @@ type t
 
 val create : session -> config -> (t, string) result
 (** Binds and listens (for [Tcp] with port [0], the kernel picks the
-    port — see {!port}); no thread is started yet. *)
+    port — see {!port}); no thread is started yet.  When the session
+    has a [journal_dir], the view catalog logged to [views.journal] is
+    replayed here (definitions the current session can no longer
+    satisfy are dropped) and the log compacted. *)
+
+val define_view :
+  t ->
+  name:string ->
+  ?base:string ->
+  ?policy:View.policy ->
+  string ->
+  (unit, string) result
+(** Registers and materializes a named view from its query text, as the
+    wire [define_view] operation does — the entry point for definitions
+    given on the [sit_serve] command line before serving starts.  With
+    [base], the text is a component-view query rewritten through the
+    mapping; without, it must already be in integrated-schema terms.
+    [policy] defaults to [Lazy].  The definition is appended to the
+    catalog log when the session has one. *)
 
 val port : t -> int option
 (** The bound TCP port, [None] for Unix sockets. *)

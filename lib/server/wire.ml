@@ -62,11 +62,24 @@ let all_codes =
 
 let code_of_string s = List.find_opt (fun c -> code_to_string c = s) all_codes
 
+(* Every request "op" the daemon understands, data operations first,
+   inline control operations last.  This list is the single source of
+   truth for the operation table in docs/SERVING.md —
+   scripts/docs_check.sh extracts the quoted names below and fails
+   `make check` when the documentation drifts. *)
+let ops =
+  [
+    "query"; "rewrite"; "update"; "migrate"; "define_view"; "drop_view";
+    "refresh_view"; "sleep"; "view_stats"; "health"; "metrics";
+  ]
+
 type request = {
   id : Json.t option;
   op : string;
   view : string option;
   text : string option;
+  base : string option;
+  policy : string option;
   deadline_ms : int option;
 }
 
@@ -87,23 +100,24 @@ let request_of_line line =
         | Some (Json.Int i) -> Ok (Some i)
         | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
       in
-      match (str_field "op", str_field "view", str_field "q", str_field "u",
-             int_field "deadline_ms")
-      with
-      | Error e, _, _, _, _
-      | _, Error e, _, _, _
-      | _, _, Error e, _, _
-      | _, _, _, Error e, _
-      | _, _, _, _, Error e ->
-          Error (Bad_request, e)
-      | Ok None, _, _, _, _ ->
-          Error (Bad_request, "frame has no \"op\" field")
-      | Ok (Some op), Ok view, Ok q, Ok u, Ok deadline_ms ->
+      let ( let* ) r k =
+        match r with Error e -> Error (Bad_request, e) | Ok v -> k v
+      in
+      let* op = str_field "op" in
+      let* view = str_field "view" in
+      let* q = str_field "q" in
+      let* u = str_field "u" in
+      let* base = str_field "base" in
+      let* policy = str_field "policy" in
+      let* deadline_ms = int_field "deadline_ms" in
+      match op with
+      | None -> Error (Bad_request, "frame has no \"op\" field")
+      | Some op ->
           let text = match q with Some _ -> q | None -> u in
-          Ok { id; op; view; text; deadline_ms })
+          Ok { id; op; view; text; base; policy; deadline_ms })
   | Ok _ -> Error (Bad_frame, "frame must be a JSON object")
 
-let request_to_line ?id ?view ?text ?deadline_ms op =
+let request_to_line ?id ?view ?text ?base ?policy ?deadline_ms op =
   let fields =
     (match id with Some v -> [ ("id", v) ] | None -> [])
     @ [ ("op", Json.String op) ]
@@ -113,6 +127,8 @@ let request_to_line ?id ?view ?text ?deadline_ms op =
           (* updates travel in "u", everything else in "q" *)
           [ ((if op = "update" then "u" else "q"), Json.String t) ]
       | None -> [])
+    @ (match base with Some b -> [ ("base", Json.String b) ] | None -> [])
+    @ (match policy with Some p -> [ ("policy", Json.String p) ] | None -> [])
     @
     match deadline_ms with
     | Some d -> [ ("deadline_ms", Json.Int d) ]

@@ -34,11 +34,25 @@ type error_code =
 val code_to_string : error_code -> string
 val code_of_string : string -> error_code option
 
+val ops : string list
+(** Every request operation the daemon understands, data operations
+    first.  The single source of truth for the operation table in
+    [docs/SERVING.md]: [scripts/docs_check.sh] compares the two and
+    fails [make check] on drift. *)
+
 type request = {
   id : Obs.Json.t option;  (** echoed verbatim in the response *)
   op : string;
   view : string option;
+      (** a component schema for [query]/[rewrite]/[update]; the view
+          name for [define_view]/[drop_view]/[refresh_view] and for a
+          materialized read ([query] with no ["q"]) *)
   text : string option;  (** the ["q"] / ["u"] payload *)
+  base : string option;
+      (** [define_view] only: component schema the defining query is
+          written against (the definition is rewritten through it) *)
+  policy : string option;
+      (** [define_view] only: ["eager"], ["lazy"] (default), ["manual"] *)
   deadline_ms : int option;
 }
 
@@ -51,6 +65,8 @@ val request_to_line :
   ?id:Obs.Json.t ->
   ?view:string ->
   ?text:string ->
+  ?base:string ->
+  ?policy:string ->
   ?deadline_ms:int ->
   string ->
   string

@@ -1,0 +1,56 @@
+#!/bin/sh
+# Docs drift gate (`make docs-check`, part of `make check`):
+#
+#   1. every guide under docs/ must be linked from README.md — a new
+#      guide nobody can discover is drift, not documentation;
+#   2. the op table in docs/SERVING.md must match the wire protocol's
+#      op registry (the `ops` list in lib/server/wire.ml) in both
+#      directions — every served op documented, no phantom ops
+#      documented that the daemon would answer `unknown_op`.
+#
+# Pure POSIX sh + grep/sed so it runs anywhere the repo builds.
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+fail=0
+
+# --- 1: README links every docs/*.md guide -------------------------
+for doc in "$ROOT"/docs/*.md; do
+  rel="docs/$(basename "$doc")"
+  if ! grep -q "$rel" "$ROOT/README.md"; then
+    echo "docs-check: $rel is not linked from README.md"
+    fail=1
+  fi
+done
+
+# --- 2: SERVING.md op table == Wire.ops ----------------------------
+# The registry is a literal string list; pull the quoted words between
+# `let ops =` and the closing bracket.
+registry=$(sed -n '/^let ops =/,/^  \]/p' "$ROOT/lib/server/wire.ml" |
+  grep -o '"[a-z_]*"' | tr -d '"' | sort)
+if [ -z "$registry" ]; then
+  echo "docs-check: cannot extract the op registry from lib/server/wire.ml"
+  exit 1
+fi
+
+# Documented ops: first-column cells of the markdown table whose
+# header row is `| op | ...` (SERVING.md has several tables — fields
+# and error codes use the same layout, so the range matters).
+documented=$(sed -n '/^| op  */,/^$/p' "$ROOT/docs/SERVING.md" |
+  grep -o '^| `[a-z_]*`' | sed 's/| `//; s/`//' | sort -u)
+
+for op in $registry; do
+  if ! printf '%s\n' "$documented" | grep -qx "$op"; then
+    echo "docs-check: op \"$op\" (Wire.ops) is missing from the docs/SERVING.md op table"
+    fail=1
+  fi
+done
+for op in $documented; do
+  if ! printf '%s\n' "$registry" | grep -qx "$op"; then
+    echo "docs-check: docs/SERVING.md documents op \"$op\" which is not in Wire.ops"
+    fail=1
+  fi
+done
+
+[ "$fail" -eq 0 ] && echo "docs-check: ok"
+exit "$fail"

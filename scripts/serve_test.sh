@@ -16,6 +16,7 @@ LOG="${TMPDIR:-/tmp}/sit_serve_test_$$.log"
 
 "$SERVE" "$DATA/sc1.ecr" "$DATA/sc2.ecr" \
   --script "$DATA/paper_session.sit" --data "$DATA/paper_instances.ecd" \
+  --view "honors@eager:sc1=select Name from Student where GPA >= 3.0" \
   --listen "unix:$SOCK" --jobs 4 >"$LOG" 2>&1 &
 PID=$!
 cleanup() {
@@ -37,6 +38,7 @@ done
   --query "sc1: select Name from Department" \
   --query "sc2: select Name from Faculty" \
   --global "select Name from Student" \
+  --mat honors \
   || { echo "serve-test: drive run failed"; cat "$LOG"; exit 1; }
 
 # malformed frames and failing queries must be answered, not fatal
@@ -54,6 +56,19 @@ assert json.loads(rt('{"op":"query","view":"sc9","q":"select * from X"}'))["erro
 h = json.loads(rt('{"op":"health"}'))
 assert h["ok"] and h["status"] == "ok", h
 assert h["cache"]["hits"] > 0, "no cache hits on a repeated workload"
+assert h["views"]["count"] == 1, "startup --view not in the catalog"
+# materialized-view lifecycle over the wire (docs/VIEWS.md)
+vs = json.loads(rt('{"op":"view_stats"}'))
+assert [v["name"] for v in vs["views"]] == ["honors"], vs
+assert vs["views"][0]["policy"] == "eager", vs
+mat = json.loads(rt('{"op":"query","view":"honors"}'))
+assert mat["ok"] and mat["fresh"] and mat["count"] >= 1, mat
+d = json.loads(rt('{"op":"define_view","view":"depts","base":"sc1","policy":"manual","q":"select Name from Department"}'))
+assert d["ok"] and d["defined"] == "depts", d
+r = json.loads(rt('{"op":"refresh_view","view":"depts"}'))
+assert r["ok"] and r["refreshed"] == "depts", r
+assert json.loads(rt('{"op":"drop_view","view":"depts"}'))["ok"]
+assert json.loads(rt('{"op":"query","view":"depts"}'))["error"]["code"] == "unknown_view"
 s.close()
 EOF
 else

@@ -52,7 +52,8 @@ let session =
        ~stores:
          [
            (Workload.Paper.sc1, sc1_store ()); (Workload.Paper.sc2, sc2_store ());
-         ])
+         ]
+       ())
 
 let local = Server.Wire.Tcp ("127.0.0.1", 0)
 
