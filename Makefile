@@ -1,7 +1,7 @@
 # Tier-1 verification plus the doc/formatting gates.  `make check` is
 # what a PR must keep green.
 
-.PHONY: all build test doc fmt-check crash-test serve-test metrics bench-diff docs-check check clean
+.PHONY: all build test doc fmt-check crash-test serve-test metrics bench-quick bench-diff docs-check check clean
 
 all: build
 
@@ -50,12 +50,18 @@ serve-test: build
 metrics:
 	dune exec bench/main.exe -- metrics
 
+# The two experiments a data-plane or serving change most wants while
+# iterating: E21 (serving throughput) and E23 (wire protocols + flat
+# kernels).  Much faster than the full `dune exec bench/main.exe`.
+bench-quick:
+	dune exec bench/main.exe -- e21 e23
+
 # Compare two metrics reports and fail on span regressions beyond the
 # threshold — the PR-over-PR perf gate (see docs/PERFORMANCE.md).
-# Usage: make bench-diff [OLD=BENCH_pr5.json] [NEW=BENCH_pr6.json]
+# Usage: make bench-diff [OLD=BENCH_pr6.json] [NEW=BENCH_pr7.json]
 #        [THRESHOLD=0.25] [MIN_SECONDS=0.0005]
-OLD ?= BENCH_pr5.json
-NEW ?= BENCH_pr6.json
+OLD ?= BENCH_pr6.json
+NEW ?= BENCH_pr7.json
 THRESHOLD ?= 0.25
 MIN_SECONDS ?= 0.0005
 bench-diff:

@@ -102,29 +102,41 @@ let () =
   Printf.printf "bench-diff: %s -> %s (threshold %+.0f%%, floor %gs)\n\n"
     old_path new_path (100.0 *. !threshold) !min_seconds;
   Printf.printf "%-58s %12s %12s %9s\n" "span path" "old s" "new s" "delta";
-  let regressions = ref 0 in
+  (* Spans present in only one report are reported explicitly as
+     removed/new (a renamed phase shows up as one of each) and are
+     never regressions: there is nothing to compare.  A span with zero
+     old time has no meaningful relative delta either. *)
+  let regressions = ref 0 and removed = ref 0 and added = ref 0 in
   List.iter
     (fun (path, o) ->
       match List.assoc_opt path new_spans with
-      | None -> Printf.printf "%-58s %12.6f %12s %9s\n" path o.total_s "-" "gone"
+      | None ->
+          incr removed;
+          Printf.printf "%-58s %12.6f %12s %9s\n" path o.total_s "-" "removed"
       | Some n ->
-          let delta =
-            if o.total_s > 0.0 then (n.total_s -. o.total_s) /. o.total_s
-            else 0.0
-          in
-          let flag =
-            o.total_s >= !min_seconds && delta > !threshold
-          in
-          if flag then incr regressions;
-          Printf.printf "%-58s %12.6f %12.6f %+8.1f%%%s\n" path o.total_s
-            n.total_s (100.0 *. delta)
-            (if flag then "  << REGRESSION" else ""))
+          if o.total_s > 0.0 then begin
+            let delta = (n.total_s -. o.total_s) /. o.total_s in
+            let flag = o.total_s >= !min_seconds && delta > !threshold in
+            if flag then incr regressions;
+            Printf.printf "%-58s %12.6f %12.6f %+8.1f%%%s\n" path o.total_s
+              n.total_s (100.0 *. delta)
+              (if flag then "  << REGRESSION" else "")
+          end
+          else
+            Printf.printf "%-58s %12.6f %12.6f %9s\n" path o.total_s n.total_s
+              "n/a")
     old_spans;
   List.iter
     (fun (path, n) ->
-      if not (List.mem_assoc path old_spans) then
-        Printf.printf "%-58s %12s %12.6f %9s\n" path "-" n.total_s "new")
+      if not (List.mem_assoc path old_spans) then begin
+        incr added;
+        Printf.printf "%-58s %12s %12.6f %9s\n" path "-" n.total_s "new"
+      end)
     new_spans;
+  if !added > 0 || !removed > 0 then
+    Printf.printf
+      "\n%d span path(s) only in %s (new), %d only in %s (removed)\n" !added
+      new_path !removed old_path;
   let old_counters = counters_of (parse old_path)
   and new_counters = counters_of (parse new_path) in
   Printf.printf "\n%-58s %12s %12s\n" "counter" "old" "new";

@@ -1039,7 +1039,7 @@ let e21_sweep ?(requests = 2000) ?(conns = 4) () =
                     | Some p -> Server.Wire.Tcp ("127.0.0.1", p)
                     | None -> failwith "E21: no bound port"
                   in
-                  let st = Server.Client.drive ~addr ~conns ~frames in
+                  let st = Server.Client.drive ~addr ~conns ~frames () in
                   if st.Server.Client.mismatches > 0 then
                     failwith "E21: divergent responses under load";
                   if st.Server.Client.ok < st.Server.Client.sent then
@@ -1250,10 +1250,200 @@ let e22 () =
     \ narrows as modifies force refreshes.  The sweep lands in the BENCH\n\
     \ json as meta.views)"
 
+(* ------------------------------------------------------------------ *)
+(* E23: the compact data plane — binary wire protocol vs JSON lines,
+   and the flat similarity kernels vs the string-keyed oracle.         *)
+
+type e23_serving_point = {
+  dpv_proto : string;
+  dpv_sent : int;
+  dpv_ok : int;
+  dpv_req_s : float;
+  dpv_mean_ms : float;
+}
+
+(* The E21 federation served once, the same workload replayed over each
+   protocol against the same process — any throughput delta is pure
+   framing cost. *)
+let e23_serving ?(requests = 1500) ?(conns = 4) () =
+  let session, pool = Lazy.force e21_setup in
+  let frames = Array.init requests (fun i -> pool.(i mod Array.length pool)) in
+  let cfg =
+    {
+      Server.listen = Server.Wire.Tcp ("127.0.0.1", 0);
+      jobs = 2;
+      queue = 256;
+      deadline_ms = None;
+      cache = 256;
+      debug = false;
+    }
+  in
+  match Server.start session cfg with
+  | Error msg -> failwith ("E23: server failed to start: " ^ msg)
+  | Ok t ->
+      Fun.protect
+        ~finally:(fun () -> Server.stop t)
+        (fun () ->
+          let addr =
+            match Server.port t with
+            | Some p -> Server.Wire.Tcp ("127.0.0.1", p)
+            | None -> failwith "E23: no bound port"
+          in
+          List.map
+            (fun proto ->
+              let st = Server.Client.drive ~proto ~addr ~conns ~frames () in
+              if st.Server.Client.mismatches > 0 then
+                failwith "E23: divergent responses under load";
+              if st.Server.Client.ok < st.Server.Client.sent then
+                failwith "E23: error responses on a clean workload";
+              let wall = Float.max st.Server.Client.wall_s 1e-9 in
+              {
+                dpv_proto = Server.Wire.proto_to_string proto;
+                dpv_sent = st.Server.Client.sent;
+                dpv_ok = st.Server.Client.ok;
+                dpv_req_s = float_of_int st.Server.Client.sent /. wall;
+                dpv_mean_ms =
+                  wall *. float_of_int conns
+                  /. float_of_int st.Server.Client.sent *. 1000.;
+              })
+            [ Server.Wire.Json; Server.Wire.Bin ])
+
+type e23_kernel_point = {
+  dpk_concepts : int;
+  dpk_owners : int;
+  dpk_pairs : int;
+  dpk_oracle_ms : float;
+  dpk_flat_ms : float;
+  dpk_speedup : float;
+}
+
+(* All-pairs shared-class counts: [Equivalence.shared_count] walks the
+   partition per query (the string-keyed reference), [Acs_index.shared]
+   reads the triangular array.  Every cell is checked equal before any
+   timing is trusted. *)
+let e23_kernels ?(reps = 25) () =
+  List.map
+    (fun concepts ->
+      let w =
+        Workload.Generator.generate
+          {
+            Workload.Generator.default_params with
+            seed = 2300 + concepts;
+            concepts;
+            schemas = 3;
+            population = 400;
+          }
+      in
+      let schemas = w.Workload.Generator.schemas in
+      let rec schema_pairs = function
+        | [] -> []
+        | s :: rest -> List.map (fun s' -> (s, s')) rest @ schema_pairs rest
+      in
+      let eq =
+        List.fold_left
+          (fun eq (a, b) ->
+            Protocol.collect_equivalences
+              { Protocol.defaults with exhaustive_attribute_pairs = true }
+              a b w.Workload.Generator.oracle eq)
+          (List.fold_left
+             (fun eq s -> Equivalence.register_schema s eq)
+             Equivalence.empty schemas)
+          (schema_pairs schemas)
+      in
+      let index = Acs_index.build eq in
+      let owners =
+        List.concat_map
+          (fun s ->
+            List.map
+              (fun oc -> Schema.qname s oc.Object_class.name)
+              (Schema.objects s)
+            @ List.map
+                (fun r -> Schema.qname s r.Relationship.name)
+                (Schema.relationships s))
+          schemas
+      in
+      let pairs =
+        let rec go = function
+          | [] -> []
+          | o :: rest -> List.map (fun o' -> (o, o')) rest @ go rest
+        in
+        go owners
+      in
+      (* differential check before timing anything *)
+      List.iter
+        (fun (a, b) ->
+          let want = Equivalence.shared_count a b eq in
+          let got = Acs_index.shared a b index in
+          if want <> got then
+            failwith
+              (Printf.sprintf "E23: flat kernel diverges at (%s, %s): %d vs %d"
+                 (Qname.to_string a) (Qname.to_string b) want got))
+        pairs;
+      let time_ms f =
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to reps do
+          f ()
+        done;
+        (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int reps
+      in
+      let sink = ref 0 in
+      let oracle_ms =
+        time_ms (fun () ->
+            List.iter
+              (fun (a, b) -> sink := !sink + Equivalence.shared_count a b eq)
+              pairs)
+      in
+      let flat_ms =
+        time_ms (fun () ->
+            List.iter
+              (fun (a, b) -> sink := !sink + Acs_index.shared a b index)
+              pairs)
+      in
+      ignore !sink;
+      {
+        dpk_concepts = concepts;
+        dpk_owners = List.length owners;
+        dpk_pairs = List.length pairs;
+        dpk_oracle_ms = oracle_ms;
+        dpk_flat_ms = flat_ms;
+        dpk_speedup = (if flat_ms > 0. then oracle_ms /. flat_ms else 0.);
+      })
+    [ 10; 20; 40 ]
+
+let e23 () =
+  section "E23" "compact data plane: binary frames and flat kernels";
+  Printf.printf
+    "\n\
+     (top: the E21 federation served once, the same %d-frame workload\n\
+    \ replayed over each wire protocol — both legs byte-checked for\n\
+    \ divergence.  bottom: all-pairs shared-class counts, string-keyed\n\
+    \ partition walk vs triangular int array, equality-checked cell by\n\
+    \ cell before timing)\n"
+    1500;
+  Printf.printf "\n%-8s %-8s %-8s %-10s %-10s\n" "proto" "sent" "ok" "req/s"
+    "mean ms";
+  List.iter
+    (fun p ->
+      Printf.printf "%-8s %-8d %-8d %-10.0f %-10.3f\n" p.dpv_proto p.dpv_sent
+        p.dpv_ok p.dpv_req_s p.dpv_mean_ms)
+    (e23_serving ());
+  Printf.printf "\n%-10s %-8s %-8s %-12s %-12s %-9s\n" "concepts" "owners"
+    "pairs" "oracle (ms)" "flat (ms)" "speedup";
+  List.iter
+    (fun p ->
+      Printf.printf "%-10d %-8d %-8d %-12.3f %-12.3f %8.1fx\n" p.dpk_concepts
+        p.dpk_owners p.dpk_pairs p.dpk_oracle_ms p.dpk_flat_ms p.dpk_speedup)
+    (e23_kernels ());
+  print_endline
+    "\n\
+     (the binary protocol saves parse/render per frame; the flat kernel\n\
+    \ answers each query with two id lookups and an array read.  Both\n\
+    \ sweeps land in the BENCH json as meta.dataplane)"
+
 let all =
   [
     e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16; e17;
-    e18; e19; e20; e21; e22;
+    e18; e19; e20; e21; e22; e23;
   ]
 
 let by_id =
@@ -1262,5 +1452,5 @@ let by_id =
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
     ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21);
-    ("e22", e22);
+    ("e22", e22); ("e23", e23);
   ]

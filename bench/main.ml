@@ -152,7 +152,7 @@ let run_timings () =
    as JSON by lib/obs.  This is the repo's perf trajectory artefact:
    each PR that touches a hot path regenerates it and compares. *)
 
-let default_metrics_out = "BENCH_pr6.json"
+let default_metrics_out = "BENCH_pr7.json"
 
 (* One journaled replay of the paper's session inside the metrics
    window, so the journal.* counters and the fsync histogram appear in
@@ -295,6 +295,40 @@ let run_metrics ?(out = default_metrics_out) () =
              ])
          (Experiments.e22_sweep ()))
   in
+  let dataplane =
+    (* the E23 data-plane sweeps (JSON vs binary framing, string-keyed
+       oracle vs flat kernel), also outside the collection window *)
+    Obs.Json.Obj
+      [
+        ( "serving",
+          Obs.Json.List
+            (List.map
+               (fun p ->
+                 Obs.Json.Obj
+                   [
+                     ("proto", Obs.Json.String p.Experiments.dpv_proto);
+                     ("sent", Obs.Json.Int p.Experiments.dpv_sent);
+                     ("ok", Obs.Json.Int p.Experiments.dpv_ok);
+                     ("req_per_s", Obs.Json.Float p.Experiments.dpv_req_s);
+                     ("mean_ms", Obs.Json.Float p.Experiments.dpv_mean_ms);
+                   ])
+               (Experiments.e23_serving ~requests:1000 ())) );
+        ( "kernels",
+          Obs.Json.List
+            (List.map
+               (fun p ->
+                 Obs.Json.Obj
+                   [
+                     ("concepts", Obs.Json.Int p.Experiments.dpk_concepts);
+                     ("owners", Obs.Json.Int p.Experiments.dpk_owners);
+                     ("pairs", Obs.Json.Int p.Experiments.dpk_pairs);
+                     ("oracle_ms", Obs.Json.Float p.Experiments.dpk_oracle_ms);
+                     ("flat_ms", Obs.Json.Float p.Experiments.dpk_flat_ms);
+                     ("speedup", Obs.Json.Float p.Experiments.dpk_speedup);
+                   ])
+               (Experiments.e23_kernels ())) );
+      ]
+  in
   let meta =
     [
       ("tool", Obs.Json.String "sit");
@@ -305,6 +339,7 @@ let run_metrics ?(out = default_metrics_out) () =
       ("journal_overhead", Obs.Json.Obj journal_overhead);
       ("serving", serving);
       ("views", views);
+      ("dataplane", dataplane);
       ( "workload",
         Obs.Json.Obj
           [
@@ -349,7 +384,7 @@ let () =
               run_metrics ?out ()
           | None when id = "metrics" -> run_metrics ?out ()
           | None ->
-              Printf.eprintf "unknown experiment %s (e1..e21, timings, metrics)\n"
+              Printf.eprintf "unknown experiment %s (e1..e23, timings, metrics)\n"
                 id;
               exit 2)
         ids

@@ -33,7 +33,7 @@ let split_view_spec what spec =
       ( String.trim (String.sub spec 0 i),
         String.sub spec (i + 1) (String.length spec - i - 1) )
 
-let drive addr conns requests queries global_queries mat_views =
+let drive addr conns requests queries global_queries mat_views proto =
   let specs =
     List.map
       (fun spec ->
@@ -53,8 +53,24 @@ let drive addr conns requests queries global_queries mat_views =
   let pool = Array.of_list specs in
   let n = max requests (Array.length pool) in
   let frames = Array.init n (fun i -> pool.(i mod Array.length pool)) in
-  let stats = Server.Client.drive ~addr ~conns ~frames in
-  Format.printf "%a@." Server.Client.pp_drive_stats stats;
+  let protos =
+    match proto with
+    | "both" -> [ Server.Wire.Json; Server.Wire.Bin ]
+    | p -> (
+        match Server.Wire.proto_of_string p with
+        | Some p -> [ p ]
+        | None -> hard_fail "--proto expects json, bin or both, got %s" p)
+  in
+  let all_stats =
+    List.map
+      (fun p ->
+        let stats = Server.Client.drive ~proto:p ~addr ~conns ~frames () in
+        Format.printf "%s: %a@."
+          (Server.Wire.proto_to_string p)
+          Server.Client.pp_drive_stats stats;
+        stats)
+      protos
+  in
   (* health probe after the run: the daemon must still be answering *)
   let c = Server.Client.connect addr in
   Fun.protect
@@ -62,8 +78,11 @@ let drive addr conns requests queries global_queries mat_views =
     (fun () ->
       let resp = Server.Client.request c "health" in
       if not (Server.Client.is_ok resp) then hard_fail "health check failed");
-  if stats.Server.Client.mismatches > 0 then exit 1;
-  if stats.Server.Client.ok = 0 && stats.Server.Client.sent > 0 then exit 1
+  List.iter
+    (fun (stats : Server.Client.drive_stats) ->
+      if stats.Server.Client.mismatches > 0 then exit 1;
+      if stats.Server.Client.ok = 0 && stats.Server.Client.sent > 0 then exit 1)
+    all_stats
 
 (* ---- server mode -------------------------------------------------- *)
 
@@ -158,10 +177,11 @@ let serve files script data name journal listen jobs queue deadline_ms cache
 
 let run files script data name journal listen jobs queue deadline_ms cache
     metrics view_defs drive_addr conns requests queries global_queries mat_views
-    =
+    proto =
   match drive_addr with
   | Some addr ->
       drive (parse_addr addr) conns requests queries global_queries mat_views
+        proto
   | None ->
       serve files script data name journal (parse_addr listen) jobs queue
         deadline_ms cache metrics view_defs
@@ -313,6 +333,16 @@ let mat_views =
           "Drive-mode materialized read: a $(b,query) frame naming the view \
            $(docv) with no query text.  Repeatable.")
 
+let proto =
+  Arg.(
+    value
+    & opt string "json"
+    & info [ "proto" ] ~docv:"PROTO"
+        ~doc:
+          "Drive-mode wire protocol: $(b,json) (line-delimited), $(b,bin) \
+           (length-prefixed binary frames, docs/WIRE.md), or $(b,both) to \
+           replay the workload over each in turn.")
+
 let cmd =
   Cmd.v
     (Cmd.info "sit_serve" ~version:"1.0.0"
@@ -322,6 +352,7 @@ let cmd =
     Term.(
       const run $ files $ script $ data $ integrated_name $ journal_dir
       $ listen $ jobs $ queue $ deadline_ms $ cache $ metrics $ view_defs
-      $ drive_addr $ conns $ requests $ queries $ global_queries $ mat_views)
+      $ drive_addr $ conns $ requests $ queries $ global_queries $ mat_views
+      $ proto)
 
 let () = exit (Cmd.eval cmd)

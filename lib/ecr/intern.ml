@@ -1,0 +1,49 @@
+(* Global symbol table: strings to dense int ids.  See intern.mli. *)
+
+(* The two directions are kept in structures with different concurrency
+   disciplines:
+
+   - [ids] (string -> id) is a hashtable guarded by [mu].  Interning
+     happens at parse/construction time, which is rare next to
+     comparisons, so taking the lock there is cheap.
+   - [strings] (id -> string) is an immutable array snapshot behind an
+     [Atomic].  Lookups — the hot direction, behind [Name.to_string]
+     and every order-sensitive comparison — are lock-free: readers
+     [Atomic.get] the current snapshot and index it.  Writers (under
+     [mu]) install a grown copy before publishing the id, so any id a
+     reader can legitimately hold indexes into every later snapshot. *)
+
+let mu = Mutex.create ()
+let ids : (string, int) Hashtbl.t = Hashtbl.create 1024
+let strings : string array Atomic.t = Atomic.make [||]
+let count_ = Atomic.make 0
+
+let id s =
+  Mutex.protect mu (fun () ->
+      match Hashtbl.find_opt ids s with
+      | Some i -> i
+      | None ->
+          let i = Atomic.get count_ in
+          let arr = Atomic.get strings in
+          let arr' =
+            if i < Array.length arr then arr
+            else begin
+              let grown = Array.make (Int.max 64 (2 * Array.length arr)) "" in
+              Array.blit arr 0 grown 0 (Array.length arr);
+              Atomic.set strings grown;
+              grown
+            end
+          in
+          arr'.(i) <- s;
+          (* publish the id only after the slot is readable *)
+          Atomic.set count_ (i + 1);
+          Hashtbl.add ids s i;
+          i)
+
+let find s = Mutex.protect mu (fun () -> Hashtbl.find_opt ids s)
+let count () = Atomic.get count_
+
+let to_string i =
+  if i < 0 || i >= Atomic.get count_ then
+    invalid_arg (Printf.sprintf "Intern.to_string: unknown id %d" i)
+  else (Atomic.get strings).(i)

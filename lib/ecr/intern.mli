@@ -1,0 +1,35 @@
+(** Global symbol table: every distinct string maps to a dense int id.
+
+    The data-plane representation change of the compact-kernel work
+    (docs/PERFORMANCE.md): all schema and instance names are interned
+    once, at parse/construction time, so that the comparison kernels —
+    equality partition aggregates, OCS ranking, instance column
+    lookups — run on machine integers and flat arrays instead of
+    string-keyed functional maps.  {!Name} interns transparently in
+    [of_string]; this module is the table itself, exposed for the flat
+    kernels ([Integrate.Acs_index], [Instance.Store]) and the tests.
+
+    Ids are dense: the [n] distinct strings interned so far hold ids
+    [0 .. n-1], in first-intern order, which is what makes them usable
+    as array indices.  The table is append-only and process-global;
+    ids are {e not} stable across processes, so nothing persisted (the
+    journal, the wire protocol) ever carries a raw id — both always
+    spell names out (see docs/WIRE.md).
+
+    Thread-safety: all operations are safe to call from any domain.
+    [to_string] is lock-free; [id] takes a mutex (interning is rare
+    next to lookups). *)
+
+val id : string -> int
+(** [id s] is the dense id of [s], interning it first if needed.  Two
+    calls with equal strings always return the same id. *)
+
+val find : string -> int option
+(** [find s] is [s]'s id if it has been interned, without interning. *)
+
+val to_string : int -> string
+(** The string a live id was interned from.
+    @raise Invalid_argument on an id never returned by {!id}. *)
+
+val count : unit -> int
+(** Number of distinct strings interned so far (ids are [0..count-1]). *)

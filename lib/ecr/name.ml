@@ -1,4 +1,10 @@
-type t = string
+(* A name is an interned identifier: the representation is its dense
+   Intern id, so equality is one integer compare and the id doubles as
+   an array index in the flat comparison kernels.  Ordering stays the
+   lexicographic order of the spelled-out names — every Map/Set built
+   here iterates exactly as the string-keyed representation did. *)
+
+type t = int
 
 exception Invalid of string
 
@@ -14,19 +20,37 @@ let is_valid s =
       String.iter (fun c -> if not (is_body_char c) then ok := false) s;
       !ok)
 
-let of_string s = if is_valid s then s else raise (Invalid s)
-let of_string_opt s = if is_valid s then Some s else None
-let to_string s = s
+let of_string s = if is_valid s then Intern.id s else raise (Invalid s)
+let of_string_opt s = if is_valid s then Some (Intern.id s) else None
+let to_string = Intern.to_string
 let v = of_string
-let equal = String.equal
-let compare = String.compare
-let equal_ci a b = String.equal (String.lowercase_ascii a) (String.lowercase_ascii b)
-let concat ?(sep = "_") a b = a ^ sep ^ b
+let id n = n
+let of_id i = i
+let hash n = n
+let equal = Int.equal
+
+let compare a b =
+  if Int.equal a b then 0 else String.compare (to_string a) (to_string b)
+
+let equal_ci a b =
+  Int.equal a b
+  || String.equal
+       (String.lowercase_ascii (to_string a))
+       (String.lowercase_ascii (to_string b))
+
+let concat ?(sep = "_") a b = Intern.id (to_string a ^ sep ^ to_string b)
 
 let abbreviate n name =
+  let name = to_string name in
   if String.length name <= n then name else String.sub name 0 n
 
-let pp = Format.pp_print_string
+let pp fmt n = Format.pp_print_string fmt (to_string n)
 
-module Set = Set.Make (String)
-module Map = Map.Make (String)
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -3,10 +3,19 @@
     A name is a non-empty string starting with a letter or underscore and
     containing only letters, digits and underscores.  Names compare
     case-sensitively: the paper's examples distinguish [Student] from
-    [student] only by convention, and we preserve the author's spelling. *)
+    [student] only by convention, and we preserve the author's spelling.
+
+    Representation: names are {e interned} ({!Intern}) — [of_string]
+    maps every distinct spelling to a dense int id once, so {!equal} is
+    an integer compare and {!id} indexes directly into the flat
+    comparison kernels ([Integrate.Acs_index], [Instance.Store]
+    columns).  {!compare} still orders by the spelled-out string, so
+    {!Map}/{!Set} iteration order — and every screen, report and wire
+    response derived from it — is unchanged from the string-keyed
+    representation. *)
 
 type t
-(** An identifier. *)
+(** An identifier (an interned symbol). *)
 
 exception Invalid of string
 (** Raised by {!of_string} on a malformed identifier; the payload is the
@@ -26,7 +35,24 @@ val v : string -> t
     in code. *)
 
 val equal : t -> t -> bool
+(** One integer compare (names are interned). *)
+
 val compare : t -> t -> int
+(** Lexicographic order of the spelled-out names — {e not} id order —
+    so ordered containers iterate as they always did. *)
+
+val id : t -> int
+(** The dense intern id ([>= 0]); equal names share it.  The index used
+    by the flat kernels.  Never persist or transmit a raw id: it is
+    process-local (see {!Intern}). *)
+
+val of_id : int -> t
+(** Inverse of {!id} for ids obtained from it in this process.  The id
+    is trusted; feeding an id {!Intern} never issued raises
+    [Invalid_argument] only when the name is later spelled out. *)
+
+val hash : t -> int
+(** A hash consistent with {!equal} (the id itself). *)
 
 val equal_ci : t -> t -> bool
 (** Case-insensitive equality, used only by matching heuristics. *)

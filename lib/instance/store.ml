@@ -12,6 +12,16 @@ module Oid = struct
   module Map = Stdlib.Map.Make (Int)
 end
 
+(* Internal layout is column-oriented and keyed by intern id: one
+   [Value.t Oid.Map.t] column per attribute, membership sets per class
+   id, link lists per relationship id.  [value] — the hot call of query
+   evaluation — is then two int-keyed lookups with no string compares.
+   Ids never leak through the interface: everything exposed still
+   speaks [Name.t] / [tuple], and the few functions whose output order
+   is observable ([classes_of], [tuple_of], [entities]) re-sort into the
+   name order the row layout produced. *)
+module Imap = Stdlib.Map.Make (Int)
+
 type tuple = Value.t Name.Map.t
 
 let tuple bindings =
@@ -24,11 +34,12 @@ type link = { participants : Oid.t list; values : tuple }
 type t = {
   schema : Schema.t;
   next_oid : int;
-  (* Direct membership: class name -> oids placed in the class itself
+  (* Direct membership: class id -> oids placed in the class itself
      (extent queries add the members of descendants). *)
-  members : Oid.Set.t Name.Map.t;
-  values : tuple Oid.Map.t;
-  links : link list Name.Map.t;
+  members : Oid.Set.t Imap.t;
+  present : Oid.Set.t;  (** every live entity, valued or not *)
+  cols : Value.t Oid.Map.t Imap.t;  (** attribute id -> column *)
+  links : link list Imap.t;
 }
 
 exception Violation of string
@@ -39,9 +50,10 @@ let create schema =
   {
     schema;
     next_oid = 1;
-    members = Name.Map.empty;
-    values = Oid.Map.empty;
-    links = Name.Map.empty;
+    members = Imap.empty;
+    present = Oid.Set.empty;
+    cols = Imap.empty;
+    links = Imap.empty;
   }
 
 let schema store = store.schema
@@ -52,11 +64,11 @@ let require_class store cls =
   | None -> violation "unknown object class %s" (Name.to_string cls)
 
 let direct_members store cls =
-  Option.value ~default:Oid.Set.empty (Name.Map.find_opt cls store.members)
+  Option.value ~default:Oid.Set.empty (Imap.find_opt (Name.id cls) store.members)
 
 let add_member cls oid store =
   let set = Oid.Set.add oid (direct_members store cls) in
-  { store with members = Name.Map.add cls set store.members }
+  { store with members = Imap.add (Name.id cls) set store.members }
 
 (* Membership propagates up the IS-A chain: an entity placed in a
    category belongs to every ancestor class. *)
@@ -65,24 +77,27 @@ let place oid cls store =
   List.fold_left (fun st c -> add_member c oid st) (add_member cls oid store)
     ancestors
 
+let write_column oid attr v cols =
+  let aid = Name.id attr in
+  let col = Option.value ~default:Oid.Map.empty (Imap.find_opt aid cols) in
+  Imap.add aid (Oid.Map.add oid v col) cols
+
 let insert cls values store =
   ignore (require_class store cls);
   let oid = store.next_oid in
   let store = { store with next_oid = oid + 1 } in
   let store = place oid cls store in
-  ({ store with values = Oid.Map.add oid values store.values }, oid)
+  let cols = Name.Map.fold (write_column oid) values store.cols in
+  ({ store with present = Oid.Set.add oid store.present; cols }, oid)
 
 let classify oid cls store =
   ignore (require_class store cls);
-  if not (Oid.Map.mem oid store.values) then
-    violation "unknown entity #%d" oid
+  if not (Oid.Set.mem oid store.present) then violation "unknown entity #%d" oid
   else place oid cls store
 
 let set_value oid attr v store =
-  match Oid.Map.find_opt oid store.values with
-  | None -> violation "unknown entity #%d" oid
-  | Some tup ->
-      { store with values = Oid.Map.add oid (Name.Map.add attr v tup) store.values }
+  if not (Oid.Set.mem oid store.present) then violation "unknown entity #%d" oid
+  else { store with cols = write_column oid attr v store.cols }
 
 let relate rel oids values store =
   match Schema.find_relationship rel store.schema with
@@ -93,21 +108,23 @@ let relate rel oids values store =
         violation "relationship %s expects %d participants, got %d"
           (Name.to_string rel) arity (List.length oids)
       else
+        let rid = Name.id rel in
         let existing =
-          Option.value ~default:[] (Name.Map.find_opt rel store.links)
+          Option.value ~default:[] (Imap.find_opt rid store.links)
         in
         let entry = { participants = oids; values } in
-        { store with links = Name.Map.add rel (entry :: existing) store.links }
+        { store with links = Imap.add rid (entry :: existing) store.links }
 
 let remove_entity oid store =
-  if not (Oid.Map.mem oid store.values) then store
+  if not (Oid.Set.mem oid store.present) then store
   else
     {
       store with
-      members = Name.Map.map (Oid.Set.remove oid) store.members;
-      values = Oid.Map.remove oid store.values;
+      members = Imap.map (Oid.Set.remove oid) store.members;
+      present = Oid.Set.remove oid store.present;
+      cols = Imap.map (Oid.Map.remove oid) store.cols;
       links =
-        Name.Map.map
+        Imap.map
           (List.filter (fun l -> not (List.exists (Oid.equal oid) l.participants)))
           store.links;
     }
@@ -119,7 +136,7 @@ let remove_links rel keep store =
     {
       store with
       links =
-        Name.Map.update rel
+        Imap.update (Name.id rel)
           (Option.map (List.filter keep))
           store.links;
     }
@@ -132,23 +149,33 @@ let extent cls store =
     Oid.Set.empty below
 
 let tuple_of oid store =
-  Option.value ~default:Name.Map.empty (Oid.Map.find_opt oid store.values)
+  (* Name.Map.add re-sorts the id-ordered columns into name order, so
+     the rebuilt tuple iterates exactly as the row layout did. *)
+  Imap.fold
+    (fun aid col acc ->
+      match Oid.Map.find_opt oid col with
+      | None -> acc
+      | Some v -> Name.Map.add (Name.of_id aid) v acc)
+    store.cols Name.Map.empty
 
 let value oid attr store =
-  Option.value ~default:Value.Null (Name.Map.find_opt attr (tuple_of oid store))
+  match Imap.find_opt (Name.id attr) store.cols with
+  | None -> Value.Null
+  | Some col -> Option.value ~default:Value.Null (Oid.Map.find_opt oid col)
 
 let links rel store =
   if Schema.find_relationship rel store.schema = None then
     violation "unknown relationship %s" (Name.to_string rel)
-  else List.rev (Option.value ~default:[] (Name.Map.find_opt rel store.links))
+  else List.rev (Option.value ~default:[] (Imap.find_opt (Name.id rel) store.links))
 
-let entities store = List.map fst (Oid.Map.bindings store.values)
+let entities store = Oid.Set.elements store.present
 
 let classes_of oid store =
-  Name.Map.fold
-    (fun cls members acc -> if Oid.Set.mem oid members then cls :: acc else acc)
+  Imap.fold
+    (fun cid members acc ->
+      if Oid.Set.mem oid members then Name.of_id cid :: acc else acc)
     store.members []
-  |> List.rev
+  |> List.sort Name.compare
 let cardinality_of cls store = Oid.Set.cardinal (extent cls store)
 
 type violation =

@@ -114,7 +114,18 @@ let explain t a b =
               walk visited (Qname.Pair.fst pair) via
               @ walk visited via (Qname.Pair.snd pair))
   in
-  List.sort_uniq compare (walk Qname.Pair.Set.empty a b)
+  (* explicit comparator: Qname order is the spelled-out-name order,
+     which polymorphic compare no longer coincides with now that names
+     are interned ints *)
+  List.sort_uniq
+    (fun (a1, b1, k1) (a2, b2, k2) ->
+      match Qname.compare a1 a2 with
+      | 0 -> (
+          match Qname.compare b1 b2 with
+          | 0 -> Assertion.compare k1 k2
+          | c -> c)
+      | c -> c)
+    (walk Qname.Pair.Set.empty a b)
 
 let conflict_of t a b attempted =
   {

@@ -1,8 +1,13 @@
 module Json = Obs.Json
 
-type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  proto : Wire.proto;
+}
 
-let connect addr =
+let connect ?(proto = Wire.Json) addr =
   let fd =
     match addr with
     | Wire.Unix_path path ->
@@ -26,18 +31,55 @@ let connect addr =
          with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
         fd
   in
-  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  let c =
+    { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd; proto }
+  in
+  (match proto with
+  | Wire.Json -> ()
+  | Wire.Bin -> (
+      (* negotiate: send the magic, require it echoed back *)
+      output_string c.oc Wire.magic;
+      flush c.oc;
+      match really_input_string c.ic (String.length Wire.magic) with
+      | ack when String.equal ack Wire.magic -> ()
+      | _ | (exception End_of_file) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          failwith "server did not acknowledge the binary protocol"));
+  c
 
 let close c =
   (* flushing then closing the fd once; the channels share it *)
   (try flush c.oc with Sys_error _ -> ());
   try Unix.close c.fd with Unix.Unix_error _ -> ()
 
+(* The [line] in and the string out are canonical JSON whatever the
+   connection's protocol: a binary connection re-frames the request
+   value and renders the response value back, so callers (and the
+   driver's byte-identity check) are protocol-independent. *)
 let roundtrip c line =
-  output_string c.oc line;
-  output_char c.oc '\n';
-  flush c.oc;
-  input_line c.ic
+  match c.proto with
+  | Wire.Json ->
+      output_string c.oc line;
+      output_char c.oc '\n';
+      flush c.oc;
+      input_line c.ic
+  | Wire.Bin -> (
+      let v =
+        match Json.of_string line with
+        | Ok v -> v
+        | Error e -> failwith (Printf.sprintf "frame is not valid JSON: %s" e)
+      in
+      output_string c.oc (Wire.encode_bin Wire.Request v);
+      flush c.oc;
+      let hdr = really_input_string c.ic 4 in
+      match Wire.bin_length hdr with
+      | Error e -> failwith ("bad response frame: " ^ e)
+      | Ok n -> (
+          let body = really_input_string c.ic n in
+          match Wire.decode_bin (hdr ^ body) with
+          | Ok (Wire.Response, v) -> Json.to_string v
+          | Ok (Wire.Request, _) -> failwith "server sent a request frame"
+          | Error e -> failwith ("bad response frame: " ^ e)))
 
 let request c ?id ?view ?text ?base ?policy ?deadline_ms op =
   let line =
@@ -63,7 +105,7 @@ type drive_stats = {
   wall_s : float;
 }
 
-let drive ~addr ~conns ~frames =
+let drive ?proto ~addr ~conns ~frames () =
   let conns = max 1 conns in
   let n = Array.length frames in
   let mu = Mutex.create () in
@@ -88,7 +130,7 @@ let drive ~addr ~conns ~frames =
               (1 + Option.value ~default:0 (Hashtbl.find_opt codes "unparseable")))
   in
   let worker k () =
-    let c = connect addr in
+    let c = connect ?proto addr in
     Fun.protect
       ~finally:(fun () -> close c)
       (fun () ->

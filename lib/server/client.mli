@@ -7,13 +7,20 @@
 
 type t
 
-val connect : Wire.addr -> t
+val connect : ?proto:Wire.proto -> Wire.addr -> t
+(** Default protocol is [Json] (line-delimited).  [~proto:Wire.Bin]
+    performs the magic exchange of [docs/WIRE.md] on connect and frames
+    every exchange as binary; raises [Failure] when the server does not
+    echo the magic. *)
+
 val close : t -> unit
 
 val roundtrip : t -> string -> string
-(** Sends one frame line (newline appended) and reads one response
-    line — the raw byte-level exchange, used where responses must be
-    compared byte-for-byte. *)
+(** Sends one frame and reads one response.  The input line and the
+    returned string are canonical JSON on {e both} protocols — a binary
+    connection re-frames the request and renders the response value
+    back — so callers that compare responses byte-for-byte work
+    unchanged over either. *)
 
 val request :
   t ->
@@ -45,10 +52,17 @@ type drive_stats = {
   wall_s : float;
 }
 
-val drive : addr:Wire.addr -> conns:int -> frames:string array -> drive_stats
-(** Plays [frames] over [conns] concurrent connections (frame [i] goes
-    to connection [i mod conns]; each connection sends its frames in
-    order, one at a time).  Identical frame lines are checked to
-    receive identical response bytes regardless of schedule. *)
+val drive :
+  ?proto:Wire.proto ->
+  addr:Wire.addr ->
+  conns:int ->
+  frames:string array ->
+  unit ->
+  drive_stats
+(** Plays [frames] (canonical JSON lines, whatever the protocol) over
+    [conns] concurrent connections (frame [i] goes to connection
+    [i mod conns]; each connection sends its frames in order, one at a
+    time).  Identical frame lines are checked to receive identical
+    response bytes regardless of schedule. *)
 
 val pp_drive_stats : Format.formatter -> drive_stats -> unit

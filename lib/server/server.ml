@@ -794,10 +794,13 @@ let run_op t (req : Wire.request) =
       [ ("slept_ms", Json.Int ms) ]
   | op -> raise (Invalid_argument (Printf.sprintf "no such field op %S" op))
 
+(* Responses are built as values and rendered per-connection: the same
+   [Json.t] goes out as a JSON line or a binary frame depending on what
+   the connection negotiated. *)
 let respond_ok t id payload =
   Atomic.incr t.s_ok;
   Obs.Counter.incr c_ok;
-  Wire.ok_line ?id payload
+  Wire.ok_response ?id payload
 
 let respond_err t id code msg =
   (match code with
@@ -810,7 +813,7 @@ let respond_err t id code msg =
   | _ -> ());
   Atomic.incr t.s_err;
   Obs.Counter.incr c_err;
-  Wire.error_line ?id code msg
+  Wire.error_response ?id code msg
 
 (* Runs on a pool domain; must never let an exception escape. *)
 let execute t (req : Wire.request) ~t_start ~deadline =
@@ -871,10 +874,10 @@ let health_payload t =
         ] );
   ]
 
-let handle_frame t line =
+let handle_request t decoded =
   Atomic.incr t.s_requests;
   Obs.Counter.incr c_requests;
-  match Wire.request_of_line line with
+  match (decoded : (Wire.request, Wire.error_code * string) result) with
   | Error (code, msg) -> respond_err t None code msg
   | Ok req -> (
       let id = req.Wire.id in
@@ -923,25 +926,75 @@ let handle_frame t line =
 
 (* ---- connections and lifecycle ------------------------------------ *)
 
+(* A connection announces its protocol with its first byte: JSON lines
+   start with a printable character (in practice '{'), a binary
+   connection with the 0xB5 of [Wire.magic] — which no JSON line can
+   ever start with.  Framing errors that leave the stream positioned at
+   a frame boundary are answered and the connection continues; an
+   unusable length prefix or a bad magic is answered once and the
+   connection closed, since resynchronisation is impossible. *)
 let handle_conn t conn_id fd =
   Atomic.incr t.s_conns;
   Obs.Counter.incr c_connections;
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
-  let rec loop () =
-    match input_line ic with
-    | exception (End_of_file | Sys_error _) -> ()
-    | line ->
-        let resp = handle_frame t line in
-        (match
-           output_string oc resp;
-           output_char oc '\n';
-           flush oc
-         with
-        | () -> loop ()
-        | exception Sys_error _ -> ())
+  let write s = match output_string oc s; flush oc with
+    | () -> true
+    | exception Sys_error _ -> false
   in
-  loop ();
+  let write_json v = write (Obs.Json.to_string v ^ "\n") in
+  let write_bin v = write (Wire.encode_bin Wire.Response v) in
+  let rec json_loop line =
+    if write_json (handle_request t (Wire.request_of_line line)) then
+      match input_line ic with
+      | exception (End_of_file | Sys_error _) -> ()
+      | line -> json_loop line
+  in
+  let rec bin_loop () =
+    match really_input_string ic 4 with
+    | exception (End_of_file | Sys_error _) -> ()
+    | hdr -> (
+        match Wire.bin_length hdr with
+        | Error e ->
+            (* cannot trust the stream position any more: answer, close *)
+            ignore (write_bin (respond_err t None Wire.Bad_frame e))
+        | Ok n -> (
+            match really_input_string ic n with
+            | exception (End_of_file | Sys_error _) -> ()
+            | body ->
+                (* the frame was fully consumed, so decode errors keep
+                   the stream in sync and the connection alive *)
+                let decoded =
+                  match Wire.decode_bin (hdr ^ body) with
+                  | Error e -> Error (Wire.Bad_frame, e)
+                  | Ok (Wire.Response, _) ->
+                      Error (Wire.Bad_frame, "expected a request frame (0x01)")
+                  | Ok (Wire.Request, v) -> Wire.request_of_json v
+                in
+                if write_bin (handle_request t decoded) then bin_loop ()))
+  in
+  (match input_char ic with
+  | exception (End_of_file | Sys_error _) -> ()
+  | '\xb5' -> (
+      match really_input_string ic (String.length Wire.magic - 1) with
+      | exception (End_of_file | Sys_error _) -> ()
+      | rest ->
+          if String.equal ("\xb5" ^ rest) Wire.magic then begin
+            (* ack: echo the magic so the client knows this version of
+               the protocol is spoken here *)
+            if write Wire.magic then bin_loop ()
+          end
+          else
+            ignore
+              (write_bin
+                 (respond_err t None Wire.Bad_frame
+                    "unsupported binary magic/version")))
+  | '\n' -> json_loop ""
+  | c -> (
+      match input_line ic with
+      | exception (End_of_file | Sys_error _) ->
+          ignore (write_json (handle_request t (Wire.request_of_line (String.make 1 c))))
+      | line -> json_loop (String.make 1 c ^ line)));
   Mutex.protect t.conns_mu (fun () ->
       Hashtbl.remove t.live_conns conn_id;
       let self, live =

@@ -3,11 +3,13 @@
 #
 #   1. every guide under docs/ must be linked from README.md — a new
 #      guide nobody can discover is drift, not documentation;
-#   2. the op table in docs/SERVING.md must match the wire protocol's
-#      op registry (the `ops` list in lib/server/wire.ml) in both
-#      directions — every served op documented, no phantom ops
-#      documented that the daemon would answer `unknown_op`.
+#   2. the op tables in docs/SERVING.md and docs/WIRE.md must match
+#      the wire protocol's op registry (the `ops` list in
+#      lib/server/wire.ml) in both directions — every served op
+#      documented, no phantom ops documented that the daemon would
+#      answer `unknown_op`.
 #
+# Every failure names a file and line so the fix is one click away.
 # Pure POSIX sh + grep/sed so it runs anywhere the repo builds.
 set -eu
 
@@ -15,42 +17,62 @@ ROOT=$(cd "$(dirname "$0")/.." && pwd)
 fail=0
 
 # --- 1: README links every docs/*.md guide -------------------------
+# A missing link points at the last existing docs/ link in README.md:
+# that is where the new one belongs.
+readme_anchor=$(grep -n 'docs/[A-Za-z_]*\.md' "$ROOT/README.md" |
+  tail -1 | cut -d: -f1)
+readme_anchor=${readme_anchor:-1}
 for doc in "$ROOT"/docs/*.md; do
   rel="docs/$(basename "$doc")"
   if ! grep -q "$rel" "$ROOT/README.md"; then
-    echo "docs-check: $rel is not linked from README.md"
+    echo "docs-check: README.md:$readme_anchor: $rel is not linked from README.md"
     fail=1
   fi
 done
 
-# --- 2: SERVING.md op table == Wire.ops ----------------------------
+# --- 2: op tables == Wire.ops --------------------------------------
 # The registry is a literal string list; pull the quoted words between
 # `let ops =` and the closing bracket.
+registry_line=$(grep -n '^let ops =' "$ROOT/lib/server/wire.ml" |
+  head -1 | cut -d: -f1)
 registry=$(sed -n '/^let ops =/,/^  \]/p' "$ROOT/lib/server/wire.ml" |
   grep -o '"[a-z_]*"' | tr -d '"' | sort)
 if [ -z "$registry" ]; then
-  echo "docs-check: cannot extract the op registry from lib/server/wire.ml"
+  echo "docs-check: lib/server/wire.ml:${registry_line:-1}: cannot extract the op registry"
   exit 1
 fi
 
-# Documented ops: first-column cells of the markdown table whose
-# header row is `| op | ...` (SERVING.md has several tables — fields
-# and error codes use the same layout, so the range matters).
-documented=$(sed -n '/^| op  */,/^$/p' "$ROOT/docs/SERVING.md" |
-  grep -o '^| `[a-z_]*`' | sed 's/| `//; s/`//' | sort -u)
+# check_ops DOC: the first-column cells of the markdown table whose
+# header row is `| op | ...` must equal the registry (each doc has
+# several tables — fields and error codes use the same layout, so the
+# range matters).
+check_ops() {
+  doc=$1
+  table_line=$(grep -n '^| op ' "$ROOT/$doc" | head -1 | cut -d: -f1)
+  if [ -z "$table_line" ]; then
+    echo "docs-check: $doc:1: no op table (a '| op | ...' markdown table) found"
+    fail=1
+    return
+  fi
+  documented=$(sed -n '/^| op  */,/^$/p' "$ROOT/$doc" |
+    grep -o '^| `[a-z_]*`' | sed 's/| `//; s/`//' | sort -u)
+  for op in $registry; do
+    if ! printf '%s\n' "$documented" | grep -qx "$op"; then
+      echo "docs-check: $doc:$table_line: op \"$op\" (lib/server/wire.ml:$registry_line) is missing from the op table"
+      fail=1
+    fi
+  done
+  for op in $documented; do
+    if ! printf '%s\n' "$registry" | grep -qx "$op"; then
+      op_line=$(grep -n "^| \`$op\`" "$ROOT/$doc" | head -1 | cut -d: -f1)
+      echo "docs-check: $doc:${op_line:-$table_line}: documents op \"$op\" which is not in Wire.ops (lib/server/wire.ml:$registry_line)"
+      fail=1
+    fi
+  done
+}
 
-for op in $registry; do
-  if ! printf '%s\n' "$documented" | grep -qx "$op"; then
-    echo "docs-check: op \"$op\" (Wire.ops) is missing from the docs/SERVING.md op table"
-    fail=1
-  fi
-done
-for op in $documented; do
-  if ! printf '%s\n' "$registry" | grep -qx "$op"; then
-    echo "docs-check: docs/SERVING.md documents op \"$op\" which is not in Wire.ops"
-    fail=1
-  fi
-done
+check_ops docs/SERVING.md
+check_ops docs/WIRE.md
 
 [ "$fail" -eq 0 ] && echo "docs-check: ok"
 exit "$fail"

@@ -32,8 +32,10 @@ while [ ! -S "$SOCK" ]; do
   sleep 0.1
 done
 
-# the load client exits non-zero on byte mismatches or all-error runs
-"$SERVE" --drive "unix:$SOCK" --conns 4 --requests 1000 \
+# the load client exits non-zero on byte mismatches or all-error runs;
+# --proto both replays the workload over JSON lines and binary frames
+# (docs/WIRE.md) with the same byte-identity checking on each leg
+"$SERVE" --drive "unix:$SOCK" --conns 4 --requests 1000 --proto both \
   --query "sc1: select Name, GPA from Student where GPA > 3.0" \
   --query "sc1: select Name from Department" \
   --query "sc2: select Name from Faculty" \

@@ -131,4 +131,129 @@ let fuzz_tests =
           [ ""; " \t\n"; "-- just a comment\n" ]);
   ]
 
-let () = Alcotest.run "fuzz" [ ("ddl-fuzz", fuzz_tests) ]
+(* ---- binary wire-frame fuzzing ------------------------------------ *)
+
+(* The decoder contract (docs/WIRE.md): [Wire.decode_bin] on arbitrary
+   bytes either returns a decoded frame or a human-readable [Error] —
+   never any exception, never an unbounded allocation, never an accept
+   of a frame that does not round-trip. *)
+module Wire = Server.Wire
+module Json = Obs.Json
+
+let sample_values =
+  [
+    Json.Null;
+    Json.Bool true;
+    Json.Int (-42);
+    Json.Int max_int;
+    Json.Float 3.25;
+    Json.Float nan;
+    Json.String "";
+    Json.String "héllo\nworld\x00";
+    Json.List [ Json.Int 1; Json.String "two"; Json.Null ];
+    Json.Obj [ ("op", Json.String "query"); ("deadline_ms", Json.Int 50) ];
+    Json.Obj
+      [
+        ( "rows",
+          Json.List
+            [ Json.Obj [ ("Name", Json.String "Ann"); ("GPA", Json.Float 3.9) ] ]
+        );
+        ("count", Json.Int 1);
+      ];
+  ]
+
+let frame_corpus =
+  List.concat_map
+    (fun v -> [ Wire.encode_bin Wire.Request v; Wire.encode_bin Wire.Response v ])
+    sample_values
+
+let decode_contract input =
+  match Wire.decode_bin input with
+  | Ok (kind, v) ->
+      (* an accepted frame must re-encode to the very same bytes: the
+         encoding has no redundancy, so decode is injective *)
+      check string "accepted frames round-trip" input (Wire.encode_bin kind v)
+  | Error e -> check bool "error message is not empty" true (String.length e > 0)
+  | exception e ->
+      Alcotest.failf "decode_bin raised %s on %d bytes" (Printexc.to_string e)
+        (String.length input)
+
+let bin_fuzz_tests =
+  [
+    tc "well-formed frames round-trip through encode/decode" (fun () ->
+        List.iter
+          (fun frame ->
+            match Wire.decode_bin frame with
+            | Ok (kind, v) ->
+                check string "identical bytes" frame (Wire.encode_bin kind v)
+            | Error e -> Alcotest.failf "rejected a well-formed frame: %s" e)
+          frame_corpus);
+    tc "5000 seeded frame mutations never escape Ok/Error" (fun () ->
+        let g = Workload.Prng.create 0xB14A9 in
+        for _ = 1 to 5000 do
+          decode_contract (mutate g (Workload.Prng.pick g frame_corpus))
+        done);
+    tc "truncations at every byte are rejected or consistent" (fun () ->
+        List.iter
+          (fun frame ->
+            for k = 0 to String.length frame - 1 do
+              (* every proper prefix must be an Error: the length prefix
+                 no longer matches the body *)
+              match Wire.decode_bin (String.sub frame 0 k) with
+              | Error _ -> ()
+              | Ok _ -> Alcotest.failf "accepted a %d-byte truncation" k
+            done)
+          frame_corpus);
+    tc "adversarial prefixes and tags are typed errors" (fun () ->
+        let reject input reason =
+          match Wire.decode_bin input with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "accepted %s" reason
+        in
+        (* oversized length prefix: must be rejected before allocation *)
+        reject "\xff\xff\xff\xff\x01\x00" "a 4 GiB length prefix";
+        reject "\x7f\xff\xff\xff\x01\x00" "a 2 GiB length prefix";
+        (* length prefix exceeding max_frame by one *)
+        let over = Wire.max_frame + 1 in
+        let hdr =
+          String.init 4 (fun i ->
+              Char.chr ((over lsr ((3 - i) * 8)) land 0xff))
+        in
+        (match Wire.bin_length hdr with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "bin_length accepted max_frame+1");
+        (* bad frame type *)
+        reject "\x00\x00\x00\x02\x03\x00" "frame type 0x03";
+        (* bad value tag *)
+        reject "\x00\x00\x00\x02\x01\x7f" "value tag 0x7f";
+        (* list claiming more elements than bytes remain *)
+        reject "\x00\x00\x00\x06\x01\x06\xff\xff\xff\xff" "a 4G-element list";
+        (* string overrunning the frame *)
+        reject "\x00\x00\x00\x07\x01\x05\x00\x00\x00\x10x" "an overrunning string";
+        (* trailing bytes after a complete value *)
+        reject "\x00\x00\x00\x03\x01\x00\x00" "trailing bytes";
+        (* empty body: no frame-type byte *)
+        reject "\x00\x00\x00\x00" "an empty body");
+    tc "deep nesting is bounded, not a stack overflow" (fun () ->
+        (* 100k nested single-element lists: tag 0x06 + count 1, repeated *)
+        let depth = 100_000 in
+        let b = Buffer.create (5 * depth + 16) in
+        for _ = 1 to depth do
+          Buffer.add_string b "\x06\x00\x00\x00\x01"
+        done;
+        Buffer.add_char b '\x00';
+        let body = "\x01" ^ Buffer.contents b in
+        let hdr =
+          String.init 4 (fun i ->
+              Char.chr ((String.length body lsr ((3 - i) * 8)) land 0xff))
+        in
+        match Wire.decode_bin (hdr ^ body) with
+        | Error _ -> () (* rejected at the depth limit: the contract *)
+        | Ok _ -> Alcotest.fail "accepted 100k-deep nesting"
+        | exception e ->
+            Alcotest.failf "raised %s on deep nesting" (Printexc.to_string e));
+  ]
+
+let () =
+  Alcotest.run "fuzz"
+    [ ("ddl-fuzz", fuzz_tests); ("wire-fuzz", bin_fuzz_tests) ]

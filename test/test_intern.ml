@@ -1,0 +1,169 @@
+(* The interned-name tentpole: the symbol table itself (dense ids,
+   idempotence, thread-safety), the representation contract of
+   [Ecr.Name] (equality by id, compare still lexicographic), and the
+   parser-facing edge cases — duplicate spellings share one id across
+   schemas, unicode and empty identifiers are rejected at the parser
+   like they always were, never half-interned. *)
+
+open Ecr
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let qtest ?(count = 500) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* valid identifiers: [A-Za-z_][A-Za-z0-9_]{0,11} *)
+let ident_gen =
+  QCheck.Gen.(
+    let letter =
+      oneof [ char_range 'a' 'z'; char_range 'A' 'Z'; return '_' ]
+    in
+    let body =
+      oneof
+        [ char_range 'a' 'z'; char_range 'A' 'Z'; char_range '0' '9'; return '_' ]
+    in
+    map2
+      (fun c rest -> String.make 1 c ^ String.concat "" (List.map (String.make 1) rest))
+      letter (list_size (int_bound 11) body))
+
+let ident = QCheck.make ~print:(fun s -> s) ident_gen
+
+let table_tests =
+  [
+    tc "id is idempotent and to_string inverts it" (fun () ->
+        List.iter
+          (fun s ->
+            let i = Intern.id s in
+            check Alcotest.int s i (Intern.id s);
+            check Alcotest.string s s (Intern.to_string i))
+          [ "Student"; "student"; "_"; "GPA"; "a0"; "Student" ]);
+    tc "ids are dense: 0 .. count-1 all spell out" (fun () ->
+        ignore (Intern.id "density_probe");
+        let n = Intern.count () in
+        check Alcotest.bool "count positive" true (n > 0);
+        for i = 0 to n - 1 do
+          let s = Intern.to_string i in
+          check Alcotest.int s i (Intern.id s)
+        done);
+    tc "find never interns; out-of-range ids raise" (fun () ->
+        let before = Intern.count () in
+        check
+          Alcotest.(option int)
+          "absent" None
+          (Intern.find "never_interned_gb6w2");
+        check Alcotest.int "count unchanged" before (Intern.count ());
+        Alcotest.check_raises "negative id"
+          (Invalid_argument "Intern.to_string: unknown id -1") (fun () ->
+            ignore (Intern.to_string (-1)));
+        Alcotest.check_raises "beyond count"
+          (Invalid_argument
+             (Printf.sprintf "Intern.to_string: unknown id %d" (Intern.count ())))
+          (fun () -> ignore (Intern.to_string (Intern.count ()))));
+    tc "concurrent interning from 4 domains agrees" (fun () ->
+        let spellings =
+          List.init 200 (fun i -> Printf.sprintf "race_%d" (i mod 50))
+        in
+        (* Stdlib.Domain: [open Ecr] shadows it with attribute domains *)
+        let domains =
+          List.init 4 (fun _ ->
+              Stdlib.Domain.spawn (fun () ->
+                  List.map (fun s -> (s, Intern.id s)) spellings))
+        in
+        let results = List.map Stdlib.Domain.join domains in
+        (* all domains resolved every spelling to the same id, and each
+           id spells back out *)
+        let reference = List.hd results in
+        List.iter
+          (fun r -> check Alcotest.bool "same ids everywhere" true (r = reference))
+          (List.tl results);
+        List.iter
+          (fun (s, i) -> check Alcotest.string s s (Intern.to_string i))
+          reference);
+  ]
+
+let name_tests =
+  [
+    qtest "of_string round-trips and id is stable"
+      ident
+      (fun s ->
+        let n = Name.of_string s in
+        String.equal (Name.to_string n) s
+        && Name.id n = Name.id (Name.of_string s)
+        && Name.equal n (Name.of_id (Name.id n)));
+    qtest "equal agrees with string equality"
+      QCheck.(pair ident ident)
+      (fun (a, b) ->
+        Bool.equal (Name.equal (Name.v a) (Name.v b)) (String.equal a b));
+    qtest "compare is still lexicographic (the iteration-order contract)"
+      QCheck.(pair ident ident)
+      (fun (a, b) ->
+        Int.equal
+          (Stdlib.compare (Name.compare (Name.v a) (Name.v b)) 0)
+          (Stdlib.compare (String.compare a b) 0));
+    qtest "Name.Set iterates in spelled-out order"
+      QCheck.(list_of_size (QCheck.Gen.int_bound 20) ident)
+      (fun ss ->
+        let via_set =
+          Name.Set.elements (Name.Set.of_list (List.map Name.v ss))
+          |> List.map Name.to_string
+        in
+        via_set = List.sort_uniq String.compare ss);
+    qtest "hash is consistent with equal"
+      QCheck.(pair ident ident)
+      (fun (a, b) ->
+        (not (Name.equal (Name.v a) (Name.v b)))
+        || Name.hash (Name.v a) = Name.hash (Name.v b));
+  ]
+
+(* parser-facing edge cases: interning happens at parse time, so bad
+   identifiers must be rejected before they can reach the table *)
+let parser_tests =
+  [
+    tc "duplicate names across schemas share one intern id" (fun () ->
+        let schemas =
+          Ddl.Parser.schemas_of_string
+            "schema one { entity Student { Name : char key; } }\n\
+             schema two { entity Student { Name : char; } }\n"
+        in
+        match schemas with
+        | [ s1; s2 ] ->
+            let cls s =
+              (List.hd (Schema.objects s)).Object_class.name
+            in
+            check Alcotest.int "same id" (Name.id (cls s1)) (Name.id (cls s2));
+            check Alcotest.bool "equal" true (Name.equal (cls s1) (cls s2))
+        | _ -> Alcotest.fail "expected two schemas");
+    tc "unicode identifiers are rejected with a position" (fun () ->
+        List.iter
+          (fun src ->
+            match Ddl.Parser.schemas_of_string src with
+            | _ -> Alcotest.failf "accepted %S" src
+            | exception Ddl.Parser.Error (_, line, col) ->
+                check Alcotest.bool "positioned" true (line >= 1 && col >= 1)
+            | exception e ->
+                Alcotest.failf "unhandled %s for %S" (Printexc.to_string e) src)
+          [
+            "schema s { entity Étudiant; }";
+            "schema s { entity E { Prénom : char; } }";
+            "schema \xc3\xa9 { }";
+          ]);
+    tc "empty-name constructions raise Name.Invalid, not pollution"
+      (fun () ->
+        let before = Intern.count () in
+        List.iter
+          (fun s ->
+            match Name.of_string s with
+            | _ -> Alcotest.failf "accepted %S" s
+            | exception Name.Invalid bad -> check Alcotest.string "payload" s bad)
+          [ ""; "0abc"; "a-b"; "é"; "a b" ];
+        check Alcotest.int "nothing was interned" before (Intern.count ()));
+  ]
+
+let () =
+  Alcotest.run "intern"
+    [
+      ("symbol table", table_tests);
+      ("name representation", name_tests);
+      ("parser edges", parser_tests);
+    ]

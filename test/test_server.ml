@@ -155,7 +155,7 @@ let server_tests =
         with_server ~jobs:4 (fun t addr ->
             let pool = Array.of_list (frames ()) in
             let load = Array.init 1200 (fun i -> pool.(i mod Array.length pool)) in
-            let stats = Server.Client.drive ~addr ~conns:4 ~frames:load in
+            let stats = Server.Client.drive ~addr ~conns:4 ~frames:load () in
             check Alcotest.int "all answered" 1200 stats.Server.Client.sent;
             check Alcotest.int "all ok" 1200 stats.Server.Client.ok;
             check Alcotest.int "no divergent responses" 0
@@ -329,6 +329,143 @@ let server_tests =
                 Alcotest.fail "server still accepting after stop");
             (* idempotent: a second stop is a no-op *)
             Server.stop t);
+  ]
+
+(* ---- binary protocol ---------------------------------------------- *)
+
+(* One raw binary exchange over [fd]-level primitives, so negotiation
+   details (magic echo, framing) are asserted byte-by-byte rather than
+   through the client's convenience layer. *)
+let raw_connect addr =
+  match addr with
+  | Server.Wire.Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+  | Server.Wire.Unix_path _ -> Alcotest.fail "tests use TCP"
+
+let binary_tests =
+  [
+    tc "negotiation: the magic is echoed byte-for-byte" (fun () ->
+        with_server (fun _t addr ->
+            let fd, ic, oc = raw_connect addr in
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                output_string oc Server.Wire.magic;
+                flush oc;
+                let ack =
+                  really_input_string ic (String.length Server.Wire.magic)
+                in
+                check Alcotest.string "ack" Server.Wire.magic ack;
+                (* and the connection then answers a framed request *)
+                output_string oc
+                  (Server.Wire.encode_bin Server.Wire.Request
+                     (Server.Wire.request_to_json "health"));
+                flush oc;
+                let hdr = really_input_string ic 4 in
+                match Server.Wire.bin_length hdr with
+                | Error e -> Alcotest.fail e
+                | Ok n -> (
+                    let body = really_input_string ic n in
+                    match Server.Wire.decode_bin (hdr ^ body) with
+                    | Ok (Server.Wire.Response, v) ->
+                        check Alcotest.bool "ok" true (Server.Client.is_ok v)
+                    | Ok (Server.Wire.Request, _) ->
+                        Alcotest.fail "server sent a request frame"
+                    | Error e -> Alcotest.fail e))));
+    tc "bad magic version is answered with bad_frame and closed" (fun () ->
+        with_server (fun _t addr ->
+            let fd, ic, oc = raw_connect addr in
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                (* right sniff byte, wrong version *)
+                output_string oc "\xb5SITB1\x09\x09";
+                flush oc;
+                let hdr = really_input_string ic 4 in
+                match Server.Wire.bin_length hdr with
+                | Error e -> Alcotest.fail e
+                | Ok n -> (
+                    let body = really_input_string ic n in
+                    (match Server.Wire.decode_bin (hdr ^ body) with
+                    | Ok (Server.Wire.Response, v) ->
+                        check
+                          Alcotest.(option string)
+                          "code" (Some "bad_frame")
+                          (Server.Client.error_code v)
+                    | _ -> Alcotest.fail "expected an error response frame");
+                    (* connection is closed after the error *)
+                    match input_char ic with
+                    | exception End_of_file -> ()
+                    | _ -> Alcotest.fail "connection still open after bad magic"))));
+    tc "binary and JSON responses carry identical payloads" (fun () ->
+        with_server (fun _t addr ->
+            with_client addr (fun cj ->
+                let cb = Server.Client.connect ~proto:Server.Wire.Bin addr in
+                Fun.protect
+                  ~finally:(fun () -> Server.Client.close cb)
+                  (fun () ->
+                    List.iter
+                      (fun line ->
+                        check Alcotest.string line
+                          (Server.Client.roundtrip cj line)
+                          (Server.Client.roundtrip cb line))
+                      (frames ())))));
+    tc "binary framing errors keep the connection alive" (fun () ->
+        with_server (fun _t addr ->
+            let fd, ic, oc = raw_connect addr in
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                output_string oc Server.Wire.magic;
+                flush oc;
+                ignore (really_input_string ic (String.length Server.Wire.magic));
+                let read_resp () =
+                  let hdr = really_input_string ic 4 in
+                  match Server.Wire.bin_length hdr with
+                  | Error e -> Alcotest.fail e
+                  | Ok n -> (
+                      let body = really_input_string ic n in
+                      match Server.Wire.decode_bin (hdr ^ body) with
+                      | Ok (Server.Wire.Response, v) -> v
+                      | _ -> Alcotest.fail "expected a response frame")
+                in
+                (* a complete frame with a bad value tag: answered, not
+                   fatal, because the stream stays at a frame boundary *)
+                output_string oc "\x00\x00\x00\x02\x01\xff";
+                flush oc;
+                check
+                  Alcotest.(option string)
+                  "bad tag" (Some "bad_frame")
+                  (Server.Client.error_code (read_resp ()));
+                (* same connection still serves *)
+                output_string oc
+                  (Server.Wire.encode_bin Server.Wire.Request
+                     (Server.Wire.request_to_json "health"));
+                flush oc;
+                check Alcotest.bool "still serving" true
+                  (Server.Client.is_ok (read_resp ()));
+                (* an oversized length prefix is fatal: error, then EOF *)
+                output_string oc "\x7f\xff\xff\xff";
+                flush oc;
+                check
+                  Alcotest.(option string)
+                  "oversized" (Some "bad_frame")
+                  (Server.Client.error_code (read_resp ()));
+                match input_char ic with
+                | exception End_of_file -> ()
+                | _ -> Alcotest.fail "connection open after oversized prefix")));
+    tc "drive runs the same workload over the binary protocol" (fun () ->
+        with_server ~jobs:2 (fun _t addr ->
+            let pool = Array.of_list (frames ()) in
+            let load = Array.init 400 (fun i -> pool.(i mod Array.length pool)) in
+            let stats =
+              Server.Client.drive ~proto:Server.Wire.Bin ~addr ~conns:4
+                ~frames:load ()
+            in
+            check Alcotest.int "all ok" 400 stats.Server.Client.ok;
+            check Alcotest.int "no divergence" 0 stats.Server.Client.mismatches));
   ]
 
 (* ---- regression: strategy error paths ----------------------------- *)
@@ -537,6 +674,7 @@ let () =
   Alcotest.run "server"
     [
       ("server", server_tests);
+      ("binary protocol", binary_tests);
       ("strategy regressions", strategy_tests);
       ("conflict diagnostics", conflict_tests);
       ("sit_batch regressions", sit_batch_tests);
