@@ -1,7 +1,7 @@
 # Tier-1 verification plus the doc/formatting gates.  `make check` is
 # what a PR must keep green.
 
-.PHONY: all build test doc fmt-check crash-test serve-test metrics bench-quick bench-diff docs-check check clean
+.PHONY: all build test doc fmt-check crash-test serve-test scenario-test metrics bench-quick bench-diff docs-check check clean
 
 all: build
 
@@ -46,22 +46,33 @@ crash-test: build
 serve-test: build
 	sh scripts/serve_test.sh
 
+# Federation-scale differential harness (docs/SCENARIOS.md): three
+# pinned seeds — 11 (8 schemas, 241 ops), 23 (5 schemas, 196 ops) and
+# 42 (6 schemas, single round) — each replayed through five legs
+# (offline SIT_JOBS=1 and SIT_JOBS=nproc, a daemon over the JSON and
+# binary protocols, and a checkpoint-resumed daemon), all required to
+# produce byte-identical transcripts with full ground-truth recovery.
+# Budget: about 4 seconds per seed.  Also part of `make check`.
+scenario-test: build
+	sh scripts/scenario_test.sh
+
 # Regenerate the observability baseline (see docs/ARCHITECTURE.md).
 metrics:
 	dune exec bench/main.exe -- metrics
 
-# The two experiments a data-plane or serving change most wants while
-# iterating: E21 (serving throughput) and E23 (wire protocols + flat
-# kernels).  Much faster than the full `dune exec bench/main.exe`.
+# The experiments a data-plane or serving change most wants while
+# iterating: E21 (serving throughput), E23 (wire protocols + flat
+# kernels) and E24 (scenario engine).  Much faster than the full
+# `dune exec bench/main.exe`.
 bench-quick:
-	dune exec bench/main.exe -- e21 e23
+	dune exec bench/main.exe -- e21 e23 e24
 
 # Compare two metrics reports and fail on span regressions beyond the
 # threshold — the PR-over-PR perf gate (see docs/PERFORMANCE.md).
-# Usage: make bench-diff [OLD=BENCH_pr6.json] [NEW=BENCH_pr7.json]
+# Usage: make bench-diff [OLD=BENCH_pr7.json] [NEW=BENCH_pr8.json]
 #        [THRESHOLD=0.25] [MIN_SECONDS=0.0005]
-OLD ?= BENCH_pr6.json
-NEW ?= BENCH_pr7.json
+OLD ?= BENCH_pr7.json
+NEW ?= BENCH_pr8.json
 THRESHOLD ?= 0.25
 MIN_SECONDS ?= 0.0005
 bench-diff:
@@ -74,8 +85,8 @@ bench-diff:
 docs-check:
 	sh scripts/docs_check.sh
 
-check: build test crash-test serve-test doc fmt-check docs-check
-	@echo "check: build, tests, crash-test, serve-test, docs and formatting all green"
+check: build test crash-test serve-test scenario-test doc fmt-check docs-check
+	@echo "check: build, tests, crash-test, serve-test, scenario-test, docs and formatting all green"
 
 clean:
 	dune clean

@@ -152,7 +152,7 @@ let run_timings () =
    as JSON by lib/obs.  This is the repo's perf trajectory artefact:
    each PR that touches a hot path regenerates it and compares. *)
 
-let default_metrics_out = "BENCH_pr7.json"
+let default_metrics_out = "BENCH_pr8.json"
 
 (* One journaled replay of the paper's session inside the metrics
    window, so the journal.* counters and the fsync histogram appear in
@@ -329,6 +329,26 @@ let run_metrics ?(out = default_metrics_out) () =
                (Experiments.e23_kernels ())) );
       ]
   in
+  let scenarios =
+    (* the E24 scenario-engine sweep (generation cost and offline
+       replay throughput), also outside the collection window *)
+    Obs.Json.List
+      (List.map
+         (fun p ->
+           Obs.Json.Obj
+             [
+               ("seed", Obs.Json.Int p.Experiments.scn_seed);
+               ("schemas", Obs.Json.Int p.Experiments.scn_schemas);
+               ("directives", Obs.Json.Int p.Experiments.scn_directives);
+               ("ops", Obs.Json.Int p.Experiments.scn_ops);
+               ("phases", Obs.Json.Int p.Experiments.scn_phases);
+               ("gen_ms", Obs.Json.Float p.Experiments.scn_gen_ms);
+               ("setup_ms", Obs.Json.Float p.Experiments.scn_setup_ms);
+               ("replay_ms", Obs.Json.Float p.Experiments.scn_replay_ms);
+               ("ops_per_s", Obs.Json.Float p.Experiments.scn_ops_s);
+             ])
+         (Experiments.e24_scenarios ()))
+  in
   let meta =
     [
       ("tool", Obs.Json.String "sit");
@@ -340,6 +360,7 @@ let run_metrics ?(out = default_metrics_out) () =
       ("serving", serving);
       ("views", views);
       ("dataplane", dataplane);
+      ("scenarios", scenarios);
       ( "workload",
         Obs.Json.Obj
           [

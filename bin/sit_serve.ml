@@ -84,6 +84,70 @@ let drive addr conns requests queries global_queries mat_views proto =
       if stats.Server.Client.ok = 0 && stats.Server.Client.sent > 0 then exit 1)
     all_stats
 
+(* ---- scenario schedules ------------------------------------------- *)
+
+(* A schedule file (Workload.Scenario syntax) replaces the --query specs:
+   phases replay in order, serial phases on one connection, storm phases
+   fanned over --conns.  --phases LO:HI selects a half-open phase range —
+   the crash-resume harness replays a prefix, restarts the daemon, then
+   replays the suffix. *)
+
+let load_phases file phases_spec =
+  let text = In_channel.with_open_bin file In_channel.input_all in
+  match Workload.Scenario.parse_schedule text with
+  | Error e -> hard_fail "%s: %s" file e
+  | Ok (phases, _checkpoint) ->
+      let n = List.length phases in
+      let lo, hi =
+        match phases_spec with
+        | None -> (0, n)
+        | Some s -> (
+            let int what v =
+              match int_of_string_opt v with
+              | Some i -> i
+              | None -> hard_fail "--phases: %s bound %S is not a number" what v
+            in
+            match String.split_on_char ':' s with
+            | [ a; b ] ->
+                ( (if a = "" then 0 else int "lower" a),
+                  if b = "" then n else int "upper" b )
+            | _ -> hard_fail "--phases expects LO:HI, got %s" s)
+      in
+      if lo < 0 || hi > n || lo > hi then
+        hard_fail "--phases %d:%d out of range (schedule has %d phases)" lo hi n;
+      List.filteri (fun i _ -> lo <= i && i < hi) phases
+
+let write_transcript out text =
+  match out with
+  | None | Some "-" -> print_string text
+  | Some path ->
+      let oc = open_out_bin path in
+      output_string oc text;
+      close_out oc
+
+let drive_schedule addr conns proto schedule phases_spec transcript_out =
+  let phases = load_phases schedule phases_spec in
+  let proto =
+    match proto with
+    | "both" ->
+        (* Schedules mutate server state, so a second leg against the same
+           daemon replays from evolved state and trivially diverges.  The
+           differential harness starts a fresh daemon per leg instead. *)
+        hard_fail
+          "--proto both needs a fresh server per leg; drive each schedule \
+           leg with --proto json or --proto bin against its own daemon"
+    | p -> (
+        match Server.Wire.proto_of_string p with
+        | Some p -> p
+        | None -> hard_fail "--proto expects json or bin, got %s" p)
+  in
+  let play ~storm frames =
+    Server.Client.play ~proto ~addr
+      ~conns:(if storm then conns else 1)
+      frames
+  in
+  write_transcript transcript_out (Workload.Scenario.transcript ~play phases)
+
 (* ---- server mode -------------------------------------------------- *)
 
 (* --view NAME[@POLICY][:BASE]=QUERY, e.g.
@@ -119,7 +183,7 @@ let parse_view_def spec =
       (name, policy, base, source)
 
 let serve files script data name journal listen jobs queue deadline_ms cache
-    metrics view_defs =
+    metrics view_defs schedule phases_spec transcript_out =
   (match files with
   | [] -> hard_fail "no DDL files given (pass at least one schema file)"
   | _ -> ());
@@ -138,7 +202,7 @@ let serve files script data name journal listen jobs queue deadline_ms cache
       in
       match Server.create session cfg with
       | Error msg -> hard_fail "%s" msg
-      | Ok t ->
+      | Ok t -> (
           List.iter
             (fun spec ->
               let vname, policy, base, source = parse_view_def spec in
@@ -146,6 +210,18 @@ let serve files script data name journal listen jobs queue deadline_ms cache
               | Ok () -> ()
               | Error msg -> hard_fail "--view %s: %s" vname msg)
             view_defs;
+          match schedule with
+          | Some file ->
+              (* offline mode: replay the schedule in-process through the
+                 same dispatch a connection uses, emit the transcript and
+                 exit without ever accepting a connection — the reference
+                 leg of the differential harness *)
+              let phases = load_phases file phases_spec in
+              let play ~storm:_ frames = Array.map (Server.exec t) frames in
+              let text = Workload.Scenario.transcript ~play phases in
+              Server.stop t;
+              write_transcript transcript_out text
+          | None ->
           let stop _ = Server.request_stop t in
           List.iter
             (fun s ->
@@ -173,18 +249,21 @@ let serve files script data name journal listen jobs queue deadline_ms cache
                with Sys_error msg ->
                  Printf.eprintf "cannot write metrics report: %s\n" msg;
                  exit 1);
-              Printf.eprintf "metrics report written to %s\n" path))
+              Printf.eprintf "metrics report written to %s\n" path)))
 
 let run files script data name journal listen jobs queue deadline_ms cache
     metrics view_defs drive_addr conns requests queries global_queries mat_views
-    proto =
-  match drive_addr with
-  | Some addr ->
+    proto schedule phases_spec transcript_out =
+  match (drive_addr, schedule) with
+  | Some addr, Some file ->
+      drive_schedule (parse_addr addr) conns proto file phases_spec
+        transcript_out
+  | Some addr, None ->
       drive (parse_addr addr) conns requests queries global_queries mat_views
         proto
-  | None ->
+  | None, _ ->
       serve files script data name journal (parse_addr listen) jobs queue
-        deadline_ms cache metrics view_defs
+        deadline_ms cache metrics view_defs schedule phases_spec transcript_out
 
 open Cmdliner
 
@@ -343,6 +422,38 @@ let proto =
            (length-prefixed binary frames, docs/WIRE.md), or $(b,both) to \
            replay the workload over each in turn.")
 
+let schedule =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "schedule" ] ~docv:"FILE"
+        ~doc:
+          "Scenario schedule file (docs/SCENARIOS.md).  In server mode the \
+           schedule is executed $(b,offline): in-process, no socket, \
+           transcript out, exit.  With --drive it replaces the --query \
+           specs: phases replay in order, serial phases on one connection, \
+           storm phases over --conns.")
+
+let phases_spec =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "phases" ] ~docv:"LO:HI"
+        ~doc:
+          "Half-open phase range of the schedule to replay (default all); \
+           either bound may be omitted.  The crash-resume harness replays \
+           $(b,0:K), restarts the daemon, then replays $(b,K:).")
+
+let transcript_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "transcript" ] ~docv:"OUT"
+        ~doc:
+          "Write the normalized schedule transcript to $(docv) (default \
+           stdout).  Transcripts are byte-comparable across offline/served, \
+           json/bin, SIT_JOBS and crash-resume legs.")
+
 let cmd =
   Cmd.v
     (Cmd.info "sit_serve" ~version:"1.0.0"
@@ -353,6 +464,6 @@ let cmd =
       const run $ files $ script $ data $ integrated_name $ journal_dir
       $ listen $ jobs $ queue $ deadline_ms $ cache $ metrics $ view_defs
       $ drive_addr $ conns $ requests $ queries $ global_queries $ mat_views
-      $ proto)
+      $ proto $ schedule $ phases_spec $ transcript_out)
 
 let () = exit (Cmd.eval cmd)

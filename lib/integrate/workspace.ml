@@ -11,6 +11,14 @@ type t = {
           structural edits (schema add/remove) *)
   object_facts : fact list;  (** in entry order *)
   relationship_facts : fact list;
+  obj_matrix : Assertions.t;
+      (** in lockstep with [schemas]+[object_facts]: each accepted
+          assertion extends it incrementally; rebuilt by replay on
+          structural edits and retractions.  Without the cache every
+          assertion replays the whole fact list — quadratic in session
+          length, which federation-scale scenario scripts (hundreds of
+          directives) cannot afford. *)
+  rel_matrix : Assertions.t;  (** likewise, for relationship facts *)
   naming : Naming.t;
 }
 
@@ -21,11 +29,34 @@ let empty =
     index = Acs_index.empty;
     object_facts = [];
     relationship_facts = [];
+    obj_matrix = Assertions.create [];
+    rel_matrix = Assertions.create_for_relationships [];
     naming = Naming.default;
   }
 
 let schemas t = t.schemas
 let find_schema n t = List.find_opt (fun s -> Name.equal (Schema.name s) n) t.schemas
+
+let replay create facts t =
+  List.fold_left
+    (fun m (a, assertion, b) ->
+      match Assertions.add a assertion b m with
+      | Ok m -> m
+      | Error _ ->
+          (* Recorded facts were consistent when entered; a schema edit
+             may have invalidated one.  Drop it silently — the screens
+             surface the remaining facts. *)
+          m)
+    (create t.schemas) facts
+
+(* After a structural edit the matrices' structure universe changed:
+   replay the retained facts against it. *)
+let rebuild_matrices t =
+  {
+    t with
+    obj_matrix = replay Assertions.create t.object_facts t;
+    rel_matrix = replay Assertions.create_for_relationships t.relationship_facts t;
+  }
 
 let add_schema s t =
   let n = Schema.name s in
@@ -41,12 +72,13 @@ let add_schema s t =
       t.schemas
   in
   let schemas = if !replaced then schemas else schemas @ [ s ] in
-  {
-    t with
-    schemas;
-    equivalence = Equivalence.register_schema s t.equivalence;
-    index = Acs_index.register_schema s t.index;
-  }
+  rebuild_matrices
+    {
+      t with
+      schemas;
+      equivalence = Equivalence.register_schema s t.equivalence;
+      index = Acs_index.register_schema s t.index;
+    }
 
 let remove_schema n t =
   let keeps_schema q = not (Name.equal q.Qname.schema n) in
@@ -54,16 +86,18 @@ let remove_schema n t =
   let equivalence =
     Equivalence.restrict (fun qa -> keeps_schema qa.Qname.Attr.owner) t.equivalence
   in
-  {
-    t with
-    schemas = List.filter (fun s -> not (Name.equal (Schema.name s) n)) t.schemas;
-    equivalence;
-    (* a structural edit: restriction can split classes arbitrarily, so
-       rebuild rather than patch *)
-    index = Acs_index.build equivalence;
-    object_facts = List.filter keep_fact t.object_facts;
-    relationship_facts = List.filter keep_fact t.relationship_facts;
-  }
+  rebuild_matrices
+    {
+      t with
+      schemas =
+        List.filter (fun s -> not (Name.equal (Schema.name s) n)) t.schemas;
+      equivalence;
+      (* a structural edit: restriction can split classes arbitrarily, so
+         rebuild rather than patch *)
+      index = Acs_index.build equivalence;
+      object_facts = List.filter keep_fact t.object_facts;
+      relationship_facts = List.filter keep_fact t.relationship_facts;
+    }
 
 let declare_equivalent a b t =
   {
@@ -82,60 +116,48 @@ let separate_attribute a t =
 let equivalence t = t.equivalence
 let index t = t.index
 
-let replay create facts t =
-  List.fold_left
-    (fun m (a, assertion, b) ->
-      match Assertions.add a assertion b m with
-      | Ok m -> m
-      | Error _ ->
-          (* Recorded facts were consistent when entered; a schema edit
-             may have invalidated one.  Drop it silently — the screens
-             surface the remaining facts. *)
-          m)
-    (create t.schemas) facts
-
-let object_matrix t = replay Assertions.create t.object_facts t
-let relationship_matrix t =
-  replay Assertions.create_for_relationships t.relationship_facts t
-
-let try_assert facts_field set_facts a assertion b t =
-  let matrix =
-    replay
-      (match facts_field with
-      | `Objects -> Assertions.create
-      | `Relationships -> Assertions.create_for_relationships)
-      (match facts_field with
-      | `Objects -> t.object_facts
-      | `Relationships -> t.relationship_facts)
-      t
-  in
-  match Assertions.add a assertion b matrix with
-  | Ok _ -> Ok (set_facts t ((a, assertion, b)))
-  | Error c -> Error c
+let object_matrix t = t.obj_matrix
+let relationship_matrix t = t.rel_matrix
 
 let assert_object a assertion b t =
-  try_assert `Objects
-    (fun t fact -> { t with object_facts = t.object_facts @ [ fact ] })
-    a assertion b t
+  match Assertions.add a assertion b t.obj_matrix with
+  | Ok m ->
+      Ok
+        {
+          t with
+          object_facts = t.object_facts @ [ (a, assertion, b) ];
+          obj_matrix = m;
+        }
+  | Error c -> Error c
 
 let assert_relationship a assertion b t =
-  try_assert `Relationships
-    (fun t fact ->
-      { t with relationship_facts = t.relationship_facts @ [ fact ] })
-    a assertion b t
+  match Assertions.add a assertion b t.rel_matrix with
+  | Ok m ->
+      Ok
+        {
+          t with
+          relationship_facts = t.relationship_facts @ [ (a, assertion, b) ];
+          rel_matrix = m;
+        }
+  | Error c -> Error c
 
 let same_pair a b (x, _, y) =
   (Qname.equal a x && Qname.equal b y) || (Qname.equal a y && Qname.equal b x)
 
 let retract_object a b t =
-  { t with object_facts = List.filter (fun f -> not (same_pair a b f)) t.object_facts }
+  rebuild_matrices
+    {
+      t with
+      object_facts = List.filter (fun f -> not (same_pair a b f)) t.object_facts;
+    }
 
 let retract_relationship a b t =
-  {
-    t with
-    relationship_facts =
-      List.filter (fun f -> not (same_pair a b f)) t.relationship_facts;
-  }
+  rebuild_matrices
+    {
+      t with
+      relationship_facts =
+        List.filter (fun f -> not (same_pair a b f)) t.relationship_facts;
+    }
 
 let object_facts t = t.object_facts
 let relationship_facts t = t.relationship_facts
@@ -161,7 +183,7 @@ let integrate ?name t =
 
 let integrate_pair ?name n1 n2 t =
   let s1 = require_schema n1 t and s2 = require_schema n2 t in
-  let sub = { t with schemas = [ s1; s2 ] } in
+  let sub = rebuild_matrices { t with schemas = [ s1; s2 ] } in
   Pipeline.integrate
     (Pipeline.input ~naming:t.naming ?name [ s1; s2 ] t.equivalence
        (object_matrix sub) (relationship_matrix sub))

@@ -155,6 +155,31 @@ let drive ?proto ~addr ~conns ~frames () =
     wall_s;
   }
 
+(* Responses in frame order, workers striding by connection as [drive]
+   does — each index is written by exactly one worker, so no lock is
+   needed around [out].  With [conns = 1] this is a plain sequential
+   replay on a single connection. *)
+let play ?proto ~addr ~conns frames =
+  let conns = max 1 conns in
+  let n = Array.length frames in
+  let out = Array.make n "" in
+  let worker k () =
+    let c = connect ?proto addr in
+    Fun.protect
+      ~finally:(fun () -> close c)
+      (fun () ->
+        let i = ref k in
+        while !i < n do
+          out.(!i) <- roundtrip c frames.(!i);
+          i := !i + conns
+        done)
+  in
+  let threads =
+    List.init (min conns (max 1 n)) (fun k -> Thread.create (worker k) ())
+  in
+  List.iter Thread.join threads;
+  out
+
 let pp_drive_stats ppf s =
   Format.fprintf ppf
     "sent %d: %d ok, %d errors%s; %d mismatch(es); %.3fs wall (%.0f req/s)"

@@ -65,4 +65,14 @@ val drive :
     time).  Identical frame lines are checked to receive identical
     response bytes regardless of schedule. *)
 
+val play :
+  ?proto:Wire.proto -> addr:Wire.addr -> conns:int -> string array -> string array
+(** Like {!drive}, but returns the responses {e in frame order} (frame
+    [i] goes to connection [i mod conns]; response [i] is what it got
+    back).  [conns:1] is a sequential replay on a single connection —
+    the serial phases of a scenario schedule; larger values fan a storm
+    phase out while keeping the response array deterministic for
+    order-independent phases.  Canonical JSON on both protocols, like
+    {!roundtrip}. *)
+
 val pp_drive_stats : Format.formatter -> drive_stats -> unit

@@ -924,6 +924,15 @@ let handle_request t decoded =
       | op ->
           respond_err t id Wire.Unknown_op (Printf.sprintf "unknown op %S" op))
 
+(* In-process execution: one JSON request line in, one canonical JSON
+   response line out, through exactly the dispatch a connection uses —
+   the offline leg of the scenario differential harness. *)
+let exec t line = Json.to_string (handle_request t (Wire.request_of_line line))
+
+module For_testing = struct
+  let with_state t f = Mutex.protect t.state_mu (fun () -> f t.merged t.views)
+end
+
 (* ---- connections and lifecycle ------------------------------------ *)
 
 (* A connection announces its protocol with its first byte: JSON lines

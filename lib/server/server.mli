@@ -154,3 +154,18 @@ val stop : t -> unit
 val stats : t -> stats
 (** A consistent-enough snapshot of the server's own counters (kept
     independently of [lib/obs], which may be disabled). *)
+
+val exec : t -> string -> string
+(** One JSON request line to one canonical JSON response line, through
+    exactly the dispatch a connection uses (queue admission, worker
+    pool, deadlines) but with no socket — the offline leg of the
+    scenario differential harness ([Workload.Scenario]), which must be
+    byte-identical to what a wire client observes. *)
+
+(** Test hooks; not part of the serving surface. *)
+module For_testing : sig
+  val with_state : t -> (Instance.Store.t -> View.t -> 'a) -> 'a
+  (** Runs [f merged views] under the state lock — lets the scenario
+      harness compare materialized extents against recomputation at
+      schedule barriers without going through the wire. *)
+end

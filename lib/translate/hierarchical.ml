@@ -18,6 +18,62 @@ let check_exists db name =
   if not (List.exists (fun r -> r.rec_name = name) db.records) then
     raise (Unsupported ("missing record type " ^ name))
 
+(* ---- reverse rendering (ECR -> hierarchical) ----------------------
+   Entities become record types with their attributes as fields.  A
+   binary relationship set R between A and B becomes a {e logical
+   child} record named R — physical child of A, virtual child of B,
+   carrying the relationship attributes as intersection data (the IMS
+   device for M:N).  The round trip [to_ecr (of_ecr s)] therefore
+   reifies every relationship set as an entity set R plus two arcs
+   [A_R] and [B_R_v]; categories and n-ary relationships have no
+   hierarchical rendering. *)
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+let of_ecr schema =
+  let open Ecr in
+  let field_of_attr (a : Attribute.t) =
+    ( Name.to_string a.Attribute.name,
+      Domain.to_string a.Attribute.domain,
+      a.Attribute.key )
+  in
+  let entity_records =
+    List.map
+      (fun (oc : Object_class.t) ->
+        match oc.Object_class.kind with
+        | Object_class.Category _ ->
+            unsupported "of_ecr: category %s has no hierarchical rendering"
+              (Name.to_string oc.Object_class.name)
+        | Object_class.Entity_set ->
+            record
+              (Name.to_string oc.Object_class.name)
+              (List.map field_of_attr oc.Object_class.attributes))
+      (Schema.objects schema)
+  in
+  let link_records =
+    List.map
+      (fun (r : Relationship.t) ->
+        let rname = Name.to_string r.Relationship.name in
+        match r.Relationship.participants with
+        | [ a; b ] ->
+            (match (a.Relationship.role, b.Relationship.role) with
+            | None, None -> ()
+            | _ -> unsupported "of_ecr: relationship %s uses role names" rname);
+            record
+              ~parent:(Name.to_string a.Relationship.obj)
+              ~virtual_parent:(Name.to_string b.Relationship.obj)
+              rname
+              (List.map field_of_attr r.Relationship.attributes)
+        | ps ->
+            unsupported "of_ecr: relationship %s has arity %d (only 2 renders)"
+              rname (List.length ps))
+      (Schema.relationships schema)
+  in
+  {
+    hdb_name = Name.to_string (Schema.name schema);
+    records = entity_records @ link_records;
+  }
+
 let to_ecr db =
   let objects =
     List.map

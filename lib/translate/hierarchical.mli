@@ -34,3 +34,15 @@ exception Unsupported of string
 
 val to_ecr : t -> Ecr.Schema.t
 (** @raise Unsupported when a parent reference names a missing record. *)
+
+val of_ecr : Ecr.Schema.t -> t
+(** The reverse rendering: entities become record types; a binary
+    relationship set R between A and B becomes a {e logical child}
+    record named R (physical child of A, virtual child of B) carrying
+    the relationship attributes as intersection data — the IMS idiom
+    for M:N.  The round trip [to_ecr (of_ecr s)] therefore reproduces
+    every entity exactly and {e reifies} each relationship set as an
+    entity set R plus arcs [A_R] and [B_R_v]; the property test in
+    [test/test_translate.ml] pins down that mapping.
+    @raise Unsupported on categories, n-ary relationships or role
+    names. *)

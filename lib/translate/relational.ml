@@ -77,6 +77,117 @@ let non_pk_fk_columns rel =
       else k.fk_columns)
     rel.foreign_keys
 
+(* ---- reverse rendering (ECR -> relational) ------------------------
+   The inverse of [to_ecr], designed so the round trip
+   [to_ecr (of_ecr s)] is the identity on generated schemas up to one
+   documented delta: a category's locally declared key flags are lost,
+   because [to_ecr] derives key-ness from primary-key membership and a
+   category's primary key is inherited.  Entities and relationship sets
+   round-trip exactly (relationship cardinalities collapse to (0,N),
+   which is also what [to_ecr] produces for M:N relations). *)
+
+(* The primary key of the relation rendering an object class: an
+   entity's own key attributes; a category inherits its (single)
+   parent's, transitively. *)
+let rec pk_attributes schema name =
+  match Ecr.Schema.find_object name schema with
+  | None ->
+      unsupported "of_ecr: unknown object class %s" (Name.to_string name)
+  | Some oc -> (
+      match oc.Object_class.kind with
+      | Object_class.Entity_set -> (
+          match List.filter (fun a -> a.Attribute.key) oc.Object_class.attributes with
+          | [] ->
+              unsupported "of_ecr: entity %s has no key attribute"
+                (Name.to_string name)
+          | keys -> keys)
+      | Object_class.Category [ p ] -> pk_attributes schema p
+      | Object_class.Category _ ->
+          unsupported "of_ecr: category %s does not have exactly one parent"
+            (Name.to_string name))
+
+let column_of_attr (a : Attribute.t) =
+  (Name.to_string a.Attribute.name, Domain.to_string a.Attribute.domain, false)
+
+let check_distinct what cols =
+  let names = List.map (fun (n, _, _) -> n) cols in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    unsupported "of_ecr: duplicate column names in %s" what
+
+let of_ecr schema =
+  let objects =
+    List.map
+      (fun (oc : Object_class.t) ->
+        let rname = Name.to_string oc.Object_class.name in
+        match oc.Object_class.kind with
+        | Object_class.Entity_set ->
+            let cols = List.map column_of_attr oc.Object_class.attributes in
+            check_distinct rname cols;
+            let pk =
+              List.filter_map
+                (fun (a : Attribute.t) ->
+                  if a.Attribute.key then Some (Name.to_string a.Attribute.name)
+                  else None)
+                oc.Object_class.attributes
+            in
+            relation ~pk rname cols
+        | Object_class.Category parents ->
+            let parent =
+              match parents with
+              | [ p ] -> p
+              | _ ->
+                  unsupported
+                    "of_ecr: category %s does not have exactly one parent"
+                    rname
+            in
+            let pk_attrs = pk_attributes schema oc.Object_class.name in
+            let pk_cols = List.map column_of_attr pk_attrs in
+            let pk = List.map (fun (n, _, _) -> n) pk_cols in
+            let cols =
+              pk_cols @ List.map column_of_attr oc.Object_class.attributes
+            in
+            check_distinct rname cols;
+            relation ~pk
+              ~fks:[ fk pk (Name.to_string parent) pk ]
+              rname cols)
+      (Schema.objects schema)
+  in
+  let relationships =
+    List.map
+      (fun (r : Relationship.t) ->
+        let rname = Name.to_string r.Relationship.name in
+        let fk_groups =
+          List.map
+            (fun (p : Relationship.participant) ->
+              (match p.Relationship.role with
+              | Some _ ->
+                  unsupported "of_ecr: relationship %s uses role names" rname
+              | None -> ());
+              let pk_attrs = pk_attributes schema p.Relationship.obj in
+              let cols = List.map column_of_attr pk_attrs in
+              (Name.to_string p.Relationship.obj, cols))
+            r.Relationship.participants
+        in
+        let key_cols = List.concat_map snd fk_groups in
+        let attr_cols = List.map column_of_attr r.Relationship.attributes in
+        check_distinct rname (key_cols @ attr_cols);
+        let pk = List.map (fun (n, _, _) -> n) key_cols in
+        relation ~pk
+          ~fks:
+            (List.map
+               (fun (target, cols) ->
+                 let names = List.map (fun (n, _, _) -> n) cols in
+                 fk names target names)
+               fk_groups)
+          rname
+          (key_cols @ attr_cols))
+      (Schema.relationships schema)
+  in
+  {
+    db_name = Name.to_string (Schema.name schema);
+    relations = objects @ relationships;
+  }
+
 let to_ecr db =
   let classified = List.map (fun r -> (r, classify db r)) db.relations in
   let objects =

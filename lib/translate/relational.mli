@@ -59,3 +59,15 @@ val classify : t -> relation -> [ `Entity | `Category of string | `Relationship 
 val to_ecr : t -> Ecr.Schema.t
 (** Translates the whole relational database schema into an ECR schema
     with the same name.  @raise Unsupported on unclassifiable input. *)
+
+val of_ecr : Ecr.Schema.t -> t
+(** The reverse rendering: entities become relations keyed by their key
+    attributes, a (single-parent) category becomes a relation whose
+    primary key is a foreign key to its parent, and every relationship
+    set becomes an M:N relation whose primary key concatenates the
+    participants' keys.  [to_ecr (of_ecr s)] reproduces [s] exactly
+    except that a category's locally declared key flags are dropped and
+    relationship cardinalities collapse to (0,N) — the deltas the
+    round-trip property test in [test/test_translate.ml] pins down.
+    @raise Unsupported on multi-parent categories, role names, keyless
+    entities, or colliding column names. *)

@@ -651,9 +651,10 @@ let c_chunks = Obs.Counter.make "workload.parallel_chunks"
    [generate] (never writes them), so the schemas fan out safely; each
    task builds its own store.  [Par.map] keeps the stores in schema
    order. *)
-let populate ?(jobs = Par.default_jobs ()) t =
+let populate ?(jobs = Par.default_jobs ()) ?schemas t =
+  let schemas = Option.value ~default:t.schemas schemas in
   Par.with_pool ~jobs @@ fun pool ->
-  if Par.jobs pool > 1 then Obs.Counter.add c_chunks (List.length t.schemas);
+  if Par.jobs pool > 1 then Obs.Counter.add c_chunks (List.length schemas);
   Par.map pool
     (fun s ->
       let store = ref (Instance.Store.create s) in
@@ -745,4 +746,4 @@ let populate ?(jobs = Par.default_jobs ()) t =
             (t.link_pairs rq))
         (Schema.relationships s);
       (s, !store))
-    t.schemas
+    schemas

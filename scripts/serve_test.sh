@@ -33,15 +33,25 @@ while [ ! -S "$SOCK" ]; do
 done
 
 # the load client exits non-zero on byte mismatches or all-error runs;
-# --proto both replays the workload over JSON lines and binary frames
-# (docs/WIRE.md) with the same byte-identity checking on each leg
-"$SERVE" --drive "unix:$SOCK" --conns 4 --requests 1000 --proto both \
-  --query "sc1: select Name, GPA from Student where GPA > 3.0" \
-  --query "sc1: select Name from Department" \
-  --query "sc2: select Name from Faculty" \
-  --global "select Name from Student" \
-  --mat honors \
-  || { echo "serve-test: drive run failed"; cat "$LOG"; exit 1; }
+# the JSON-lines and binary-frame protocols (docs/WIRE.md) are driven
+# as separate legs so a failure names the leg that broke and its exit
+# status propagates instead of vanishing into a combined run
+for PROTO in json bin; do
+  "$SERVE" --drive "unix:$SOCK" --conns 4 --requests 1000 --proto "$PROTO" \
+    --query "sc1: select Name, GPA from Student where GPA > 3.0" \
+    --query "sc1: select Name from Department" \
+    --query "sc2: select Name from Faculty" \
+    --global "select Name from Student" \
+    --mat honors \
+    || { RC=$?; echo "serve-test: $PROTO leg failed (exit $RC)"; cat "$LOG"; exit "$RC"; }
+done
+
+# deliberate failure: an all-error workload must exit non-zero — this
+# smoke-checks that the per-leg propagation above can actually fire
+if "$SERVE" --drive "unix:$SOCK" --conns 2 --requests 20 --proto json \
+     --query "sc9: select Name from Nowhere" >/dev/null 2>&1; then
+  echo "serve-test: deliberate-failure check did not fail"; exit 1
+fi
 
 # malformed frames and failing queries must be answered, not fatal
 if command -v python3 >/dev/null 2>&1; then

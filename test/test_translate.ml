@@ -190,6 +190,166 @@ let hierarchical_tests =
              (Schema.validate result.Integrate.Result.schema)))
   ]
 
+(* ---- generator-seeded round-trip properties -----------------------
+
+   The scenario factory (Workload.Scenario) feeds generated component
+   schemas through [of_ecr] and back through [to_ecr] to make a
+   federation heterogeneous without disturbing the generator's ground
+   truth.  These properties pin down the exact round-trip contract the
+   mlis document, over the same schema population the scenarios use. *)
+
+let seeds = [ 7; 19; 42 ]
+
+let gen_schemas ?(subset = 0.25) ?(overlap = 0.15) seed =
+  let params =
+    {
+      Workload.Generator.default_params with
+      seed;
+      schemas = 3;
+      concepts = 10;
+      subset_fraction = subset;
+      overlap_fraction = overlap;
+    }
+  in
+  (Workload.Generator.generate params).Workload.Generator.schemas
+
+(* One printable signature per structure; [cat_keys]/[cards] toggle the
+   two deltas the relational round trip is allowed. *)
+let attrs_sig ~keys attrs =
+  String.concat ";"
+    (List.map
+       (fun (a : Attribute.t) ->
+         Printf.sprintf "%s:%s%s"
+           (Name.to_string a.Attribute.name)
+           (Domain.to_string a.Attribute.domain)
+           (if keys && a.Attribute.key then "!" else ""))
+       attrs)
+
+let obj_sig ~cat_keys (oc : Object_class.t) =
+  let keys = Object_class.is_entity oc || cat_keys in
+  Printf.sprintf "%c %s(%s) [%s]"
+    (Object_class.kind_letter oc)
+    (Name.to_string oc.Object_class.name)
+    (String.concat ","
+       (List.map Name.to_string (Object_class.parents oc)))
+    (attrs_sig ~keys oc.Object_class.attributes)
+
+let rel_sig ~cards (r : Relationship.t) =
+  Printf.sprintf "R %s(%s) [%s]"
+    (Name.to_string r.Relationship.name)
+    (String.concat ","
+       (List.map
+          (fun (p : Relationship.participant) ->
+            Name.to_string p.Relationship.obj
+            ^
+            if cards then Cardinality.to_string p.Relationship.card else "")
+          r.Relationship.participants))
+    (attrs_sig ~keys:true r.Relationship.attributes)
+
+let schema_sig ~cat_keys ~cards s =
+  Name.to_string (Schema.name s)
+  :: List.map (obj_sig ~cat_keys) (Schema.objects s)
+  @ List.map (rel_sig ~cards) (Schema.relationships s)
+
+let roundtrip_tests =
+  [
+    tc "relational round trip reproduces generated schemas" (fun () ->
+        (* exactly, minus the two documented deltas: category key flags
+           are dropped, cardinalities collapse to (0,N) *)
+        List.iter
+          (fun seed ->
+            List.iter
+              (fun s ->
+                let s' =
+                  Translate.Relational.to_ecr (Translate.Relational.of_ecr s)
+                in
+                check (Alcotest.list Alcotest.string)
+                  (Printf.sprintf "seed %d: %s" seed
+                     (Name.to_string (Schema.name s)))
+                  (schema_sig ~cat_keys:false ~cards:false s)
+                  (schema_sig ~cat_keys:false ~cards:false s');
+                check (Alcotest.list Alcotest.string)
+                  (Printf.sprintf "seed %d: %s valid" seed
+                     (Name.to_string (Schema.name s)))
+                  []
+                  (List.map Schema.error_to_string (Schema.validate s')))
+              (gen_schemas seed))
+          seeds);
+    tc "hierarchical round trip reifies relationships exactly" (fun () ->
+        (* flat universes (no subset/overlap categories): every entity
+           survives exactly; every binary relationship R between A and B
+           comes back as an entity R plus a physical arc A_R — (1,1) on
+           R, (0,N) on A — and a virtual arc B_R_v — (0,1) on R, (0,N)
+           on B — the IMS logical-child idiom *)
+        List.iter
+          (fun seed ->
+            List.iter
+              (fun s ->
+                let s' =
+                  Translate.Hierarchical.to_ecr
+                    (Translate.Hierarchical.of_ecr s)
+                in
+                check (Alcotest.list Alcotest.string) "valid" []
+                  (List.map Schema.error_to_string (Schema.validate s'));
+                List.iter
+                  (fun (oc : Object_class.t) ->
+                    match Schema.find_object oc.Object_class.name s' with
+                    | None ->
+                        Alcotest.fail
+                          ("lost entity "
+                          ^ Name.to_string oc.Object_class.name)
+                    | Some oc' ->
+                        check Alcotest.string
+                          (Name.to_string oc.Object_class.name ^ " exact")
+                          (obj_sig ~cat_keys:true oc)
+                          (obj_sig ~cat_keys:true oc'))
+                  (Schema.entities s);
+                let rels = Schema.relationships s in
+                List.iter
+                  (fun (r : Relationship.t) ->
+                    let rn = Name.to_string r.Relationship.name in
+                    let a, b =
+                      match r.Relationship.participants with
+                      | [ a; b ] ->
+                          ( Name.to_string a.Relationship.obj,
+                            Name.to_string b.Relationship.obj )
+                      | _ -> Alcotest.fail (rn ^ ": generator rels are binary")
+                    in
+                    (match Schema.find_object r.Relationship.name s' with
+                    | None -> Alcotest.fail (rn ^ " not reified")
+                    | Some rc ->
+                        check Alcotest.bool (rn ^ " reified as entity") true
+                          (Object_class.is_entity rc);
+                        check Alcotest.string (rn ^ " carries its attrs")
+                          (attrs_sig ~keys:true r.Relationship.attributes)
+                          (attrs_sig ~keys:true rc.Object_class.attributes));
+                    let arc name child card =
+                      match Schema.find_relationship (Name.v name) s' with
+                      | None -> Alcotest.fail ("missing arc " ^ name)
+                      | Some arc -> (
+                          match
+                            Relationship.participant_for (Name.v child) arc
+                          with
+                          | None -> Alcotest.fail (name ^ ": child missing")
+                          | Some p ->
+                              check Alcotest.string (name ^ " child card")
+                                card
+                                (Cardinality.to_string p.Relationship.card))
+                    in
+                    arc (a ^ "_" ^ rn) rn "(1,1)";
+                    arc (b ^ "_" ^ rn ^ "_v") rn "(0,1)")
+                  rels;
+                check Alcotest.int "structure count"
+                  (List.length (Schema.entities s) + (3 * List.length rels))
+                  (Schema.size s'))
+              (gen_schemas ~subset:0.0 ~overlap:0.0 seed))
+          seeds);
+  ]
+
 let () =
   Alcotest.run "translate"
-    [ ("relational", relational_tests); ("hierarchical", hierarchical_tests) ]
+    [
+      ("relational", relational_tests);
+      ("hierarchical", hierarchical_tests);
+      ("roundtrip", roundtrip_tests);
+    ]
