@@ -1,7 +1,7 @@
 # Tier-1 verification plus the doc/formatting gates.  `make check` is
 # what a PR must keep green.
 
-.PHONY: all build test doc fmt-check crash-test serve-test scenario-test metrics bench-quick bench-diff docs-check check clean
+.PHONY: all build test doc fmt-check crash-test serve-test scenario-test chaos-test metrics bench-quick bench-diff docs-check check clean
 
 all: build
 
@@ -56,6 +56,15 @@ serve-test: build
 scenario-test: build
 	sh scripts/scenario_test.sh
 
+# Replication chaos harness (docs/ROBUSTNESS.md): a pinned-seed
+# scenario through a leader + 2-follower cluster — semi-sync acks,
+# follower catch-up, a SIGKILLed leader with client failover, and a
+# late-started follower — every leg byte-compared against a
+# single-node reference.  Budget: about 4 seconds.  Also part of
+# `make check`.
+chaos-test: build
+	sh scripts/chaos_test.sh
+
 # Regenerate the observability baseline (see docs/ARCHITECTURE.md).
 metrics:
 	dune exec bench/main.exe -- metrics
@@ -69,10 +78,10 @@ bench-quick:
 
 # Compare two metrics reports and fail on span regressions beyond the
 # threshold — the PR-over-PR perf gate (see docs/PERFORMANCE.md).
-# Usage: make bench-diff [OLD=BENCH_pr7.json] [NEW=BENCH_pr8.json]
+# Usage: make bench-diff [OLD=BENCH_pr8.json] [NEW=BENCH_pr9.json]
 #        [THRESHOLD=0.25] [MIN_SECONDS=0.0005]
-OLD ?= BENCH_pr7.json
-NEW ?= BENCH_pr8.json
+OLD ?= BENCH_pr8.json
+NEW ?= BENCH_pr9.json
 THRESHOLD ?= 0.25
 MIN_SECONDS ?= 0.0005
 bench-diff:
@@ -85,8 +94,8 @@ bench-diff:
 docs-check:
 	sh scripts/docs_check.sh
 
-check: build test crash-test serve-test scenario-test doc fmt-check docs-check
-	@echo "check: build, tests, crash-test, serve-test, scenario-test, docs and formatting all green"
+check: build test crash-test serve-test scenario-test chaos-test doc fmt-check docs-check
+	@echo "check: build, tests, crash-test, serve-test, scenario-test, chaos-test, docs and formatting all green"
 
 clean:
 	dune clean

@@ -1026,6 +1026,7 @@ let e21_sweep ?(requests = 2000) ?(conns = 4) () =
               deadline_ms = None;
               cache;
               debug = false;
+              repl = Server.default_repl;
             }
           in
           match Server.start session cfg with
@@ -1276,6 +1277,7 @@ let e23_serving ?(requests = 1500) ?(conns = 4) () =
       deadline_ms = None;
       cache = 256;
       debug = false;
+      repl = Server.default_repl;
     }
   in
   match Server.start session cfg with
@@ -1487,6 +1489,7 @@ let e24_scenarios () =
           deadline_ms = None;
           cache = 256;
           debug = false;
+          repl = Server.default_repl;
         }
       in
       match Server.create session cfg with
@@ -1546,10 +1549,279 @@ let e24 () =
     \ directive script; replay by view materialization and storms.\n\
     \ Both sizes land in the BENCH json as meta.scenarios)"
 
+(* ------------------------------------------------------------------ *)
+(* E25: replication (lib/replicate, docs/ROBUSTNESS.md) — what the     *)
+(* journal stream costs the write path at each durability level, and   *)
+(* what a fresh client pays to fail over past a dead endpoint.         *)
+
+let e25_session () =
+  let module St = Instance.Store in
+  let module V = Instance.Value in
+  let student name gpa =
+    St.tuple [ ("Name", V.str name); ("GPA", V.real gpa) ]
+  in
+  let store = St.create Workload.Paper.sc1 in
+  let store, _ = St.insert (Name.v "Student") (student "Ann" 3.9) store in
+  let store, _ = St.insert (Name.v "Student") (student "Ben" 2.5) store in
+  let result = Workload.Paper.integrate_sc1_sc2 () in
+  Server.make_session ~result
+    ~stores:
+      [
+        (Workload.Paper.sc1, store);
+        (Workload.Paper.sc2, St.create Workload.Paper.sc2);
+      ]
+    ()
+
+let e25_cfg repl =
+  {
+    Server.listen = Server.Wire.Tcp ("127.0.0.1", 0);
+    jobs = 2;
+    queue = 256;
+    deadline_ms = None;
+    cache = 64;
+    debug = false;
+    repl;
+  }
+
+let e25_addr t =
+  match Server.port t with
+  | Some p -> Server.Wire.Tcp ("127.0.0.1", p)
+  | None -> failwith "E25: no bound port"
+
+let e25_int_field name resp =
+  match Obs.Json.member name resp with
+  | Some (Obs.Json.Int n) -> n
+  | _ -> failwith (Printf.sprintf "E25: no %S field in response" name)
+
+let e25_eventually what f =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if f () then ()
+    else if Unix.gettimeofday () -. t0 > 10. then
+      failwith ("E25: timed out waiting for " ^ what)
+    else begin
+      Unix.sleepf 0.005;
+      go ()
+    end
+  in
+  go ()
+
+type e25_repl_point = {
+  rl_label : string;
+  rl_followers : int;
+  rl_ack : int;
+  rl_writes : int;
+  rl_req_s : float;
+  rl_mean_ms : float;
+  rl_catchup_ms : float;
+      (** follower lag drained after the last write was acknowledged *)
+}
+
+(* A pure write workload (every frame a distinct insert, so the
+   byte-identity check stays meaningful) against the paper federation
+   serving as a leader: alone, with two asynchronous followers tailing
+   the stream, and with [ack_replicas = 2] holding every response for
+   both acks.  Followers must attach before timing starts and must
+   drain to [staleness_seq = 0] after — a run that converges on stale
+   followers would be measuring lost writes, not replication. *)
+let e25_replication ?(writes = 240) ?(conns = 2) () =
+  let frames =
+    Array.init writes (fun i ->
+        Server.Wire.request_to_line ~view:"sc1"
+          ~text:
+            (Printf.sprintf "insert into Student { Name = 'W%d', GPA = 3.0 }" i)
+          "update")
+  in
+  List.map
+    (fun (label, followers, ack) ->
+      match
+        Server.start (e25_session ())
+          (e25_cfg { Server.default_repl with ack_replicas = ack })
+      with
+      | Error msg -> failwith ("E25: leader failed to start: " ^ msg)
+      | Ok leader ->
+          let laddr = e25_addr leader in
+          let fts =
+            List.init followers (fun _ ->
+                match
+                  Server.start (e25_session ())
+                    (e25_cfg
+                       { Server.default_repl with role = Server.Follower laddr })
+                with
+                | Error msg -> failwith ("E25: follower failed to start: " ^ msg)
+                | Ok t -> t)
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              List.iter Server.stop fts;
+              Server.stop leader)
+            (fun () ->
+              if followers > 0 then begin
+                let c = Server.Client.connect laddr in
+                Fun.protect
+                  ~finally:(fun () -> Server.Client.close c)
+                  (fun () ->
+                    e25_eventually "followers to attach" (fun () ->
+                        match
+                          Obs.Json.member "followers"
+                            (Server.Client.request c "repl_status")
+                        with
+                        | Some (Obs.Json.List l) -> List.length l >= followers
+                        | _ -> false))
+              end;
+              let st = Server.Client.drive ~addr:laddr ~conns ~frames () in
+              if st.Server.Client.mismatches > 0 then
+                failwith "E25: divergent responses under load";
+              if st.Server.Client.ok < st.Server.Client.sent then
+                failwith ("E25: error responses on the write workload: " ^ label);
+              let t0 = Unix.gettimeofday () in
+              List.iter
+                (fun f ->
+                  let fc = Server.Client.connect (e25_addr f) in
+                  Fun.protect
+                    ~finally:(fun () -> Server.Client.close fc)
+                    (fun () ->
+                      e25_eventually "follower catch-up" (fun () ->
+                          e25_int_field "staleness_seq"
+                            (Server.Client.request fc "health")
+                          = 0)))
+                fts;
+              let catchup_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+              let wall = Float.max st.Server.Client.wall_s 1e-9 in
+              {
+                rl_label = label;
+                rl_followers = followers;
+                rl_ack = ack;
+                rl_writes = st.Server.Client.sent;
+                rl_req_s = float_of_int st.Server.Client.sent /. wall;
+                rl_mean_ms =
+                  wall *. float_of_int conns
+                  /. float_of_int st.Server.Client.sent *. 1000.;
+                rl_catchup_ms = catchup_ms;
+              }))
+    [ ("single", 0, 0); ("async-x2", 2, 0); ("semisync-x2", 2, 2) ]
+
+type e25_failover_point = {
+  fo_label : string;
+  fo_reps : int;
+  fo_p50_ms : float;
+  fo_p95_ms : float;
+  fo_max_ms : float;
+}
+
+(* Per-roundtrip wall time of a fresh client: connecting straight to a
+   live node (the floor) vs a failover handle whose endpoint list leads
+   with a port that refuses connections — each rep pays the refused
+   connect plus one backoff delay before the live endpoint answers.
+   The policy seed varies per rep so the jitter band is sampled, not a
+   single pinned delay repeated. *)
+let e25_failover ?(reps = 40) () =
+  let dead_addr =
+    (* bind, record the kernel-assigned port, stop: nothing listens on
+       it afterwards, so every connect is refused immediately *)
+    match Server.start (e25_session ()) (e25_cfg Server.default_repl) with
+    | Error msg -> failwith ("E25: probe server failed to start: " ^ msg)
+    | Ok t ->
+        let a = e25_addr t in
+        Server.stop t;
+        a
+  in
+  match Server.start (e25_session ()) (e25_cfg Server.default_repl) with
+  | Error msg -> failwith ("E25: live server failed to start: " ^ msg)
+  | Ok live ->
+      Fun.protect
+        ~finally:(fun () -> Server.stop live)
+        (fun () ->
+          let live_addr = e25_addr live in
+          let frame =
+            Server.Wire.request_to_line ~view:"sc1"
+              ~text:"select Name from Student" "query"
+          in
+          let time_roundtrips mk =
+            Array.init reps (fun i ->
+                let rt, fin = mk i in
+                Fun.protect ~finally:fin (fun () ->
+                    let t0 = Unix.gettimeofday () in
+                    ignore (rt frame);
+                    (Unix.gettimeofday () -. t0) *. 1000.))
+          in
+          let direct =
+            time_roundtrips (fun _ ->
+                let c = Server.Client.connect live_addr in
+                (Server.Client.roundtrip c, fun () -> Server.Client.close c))
+          in
+          let failed_over =
+            time_roundtrips (fun i ->
+                let f =
+                  Server.Client.failover
+                    ~retry:
+                      {
+                        Replicate.Backoff.default with
+                        attempts = 4;
+                        base_ms = 2.;
+                        max_ms = 16.;
+                        seed = i;
+                      }
+                    [ dead_addr; live_addr ]
+                in
+                ( Server.Client.failover_roundtrip f,
+                  fun () -> Server.Client.failover_close f ))
+          in
+          let point label samples =
+            Array.sort compare samples;
+            let n = Array.length samples in
+            let pct q =
+              samples.(Int.min (n - 1)
+                         (int_of_float ((q *. float_of_int (n - 1)) +. 0.5)))
+            in
+            {
+              fo_label = label;
+              fo_reps = n;
+              fo_p50_ms = pct 0.50;
+              fo_p95_ms = pct 0.95;
+              fo_max_ms = samples.(n - 1);
+            }
+          in
+          [
+            point "connect+query, live endpoint" direct;
+            point "failover past dead endpoint" failed_over;
+          ])
+
+let e25 () =
+  section "E25" "replication: journal streaming overhead, failover latency";
+  print_endline
+    "\n\
+     (top: the paper federation serving as a leader under a pure write\n\
+    \ workload — alone, with two async followers tailing the stream, and\n\
+    \ with ack-replicas 2 holding each response for both acks; catch-up\n\
+    \ is the follower lag drained after the last acknowledged write.\n\
+    \ bottom: per-roundtrip wall time of a fresh client, straight to a\n\
+    \ live node vs walking past a refused endpoint under backoff)";
+  Printf.printf "\n%-13s %-10s %-5s %-7s %-9s %-9s %-11s\n" "config"
+    "followers" "ack" "writes" "req/s" "mean ms" "catchup ms";
+  List.iter
+    (fun p ->
+      Printf.printf "%-13s %-10d %-5d %-7d %-9.0f %-9.3f %-11.1f\n" p.rl_label
+        p.rl_followers p.rl_ack p.rl_writes p.rl_req_s p.rl_mean_ms
+        p.rl_catchup_ms)
+    (e25_replication ());
+  Printf.printf "\n%-30s %-6s %-9s %-9s %-9s\n" "path" "reps" "p50 ms"
+    "p95 ms" "max ms";
+  List.iter
+    (fun p ->
+      Printf.printf "%-30s %-6d %-9.2f %-9.2f %-9.2f\n" p.fo_label p.fo_reps
+        p.fo_p50_ms p.fo_p95_ms p.fo_max_ms)
+    (e25_failover ());
+  print_endline
+    "\n\
+     (async followers cost the leader almost nothing — the stream is\n\
+    \ served off the request path; semi-sync pays the ack round per\n\
+    \ write.  Both sweeps land in the BENCH json as meta.replication)"
+
 let all =
   [
     e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16; e17;
-    e18; e19; e20; e21; e22; e23; e24;
+    e18; e19; e20; e21; e22; e23; e24; e25;
   ]
 
 let by_id =
@@ -1558,5 +1830,5 @@ let by_id =
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
     ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21);
-    ("e22", e22); ("e23", e23); ("e24", e24);
+    ("e22", e22); ("e23", e23); ("e24", e24); ("e25", e25);
   ]

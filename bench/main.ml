@@ -1,5 +1,5 @@
 (* The benchmark harness: regenerates every figure and screen of the
-   paper (experiments E1-E22, printed as sections), times the
+   paper (experiments E1-E25, printed as sections), times the
    computational kernels with Bechamel, and dumps the lib/obs metrics
    report of an instrumented pipeline run.
 
@@ -152,7 +152,7 @@ let run_timings () =
    as JSON by lib/obs.  This is the repo's perf trajectory artefact:
    each PR that touches a hot path regenerates it and compares. *)
 
-let default_metrics_out = "BENCH_pr8.json"
+let default_metrics_out = "BENCH_pr9.json"
 
 (* One journaled replay of the paper's session inside the metrics
    window, so the journal.* counters and the fsync histogram appear in
@@ -349,6 +349,42 @@ let run_metrics ?(out = default_metrics_out) () =
              ])
          (Experiments.e24_scenarios ()))
   in
+  let replication =
+    (* the E25 replication sweeps (journal-streaming write overhead per
+       durability level, client failover latency percentiles), also
+       outside the collection window *)
+    Obs.Json.Obj
+      [
+        ( "overhead",
+          Obs.Json.List
+            (List.map
+               (fun p ->
+                 Obs.Json.Obj
+                   [
+                     ("config", Obs.Json.String p.Experiments.rl_label);
+                     ("followers", Obs.Json.Int p.Experiments.rl_followers);
+                     ("ack_replicas", Obs.Json.Int p.Experiments.rl_ack);
+                     ("writes", Obs.Json.Int p.Experiments.rl_writes);
+                     ("req_per_s", Obs.Json.Float p.Experiments.rl_req_s);
+                     ("mean_ms", Obs.Json.Float p.Experiments.rl_mean_ms);
+                     ("catchup_ms", Obs.Json.Float p.Experiments.rl_catchup_ms);
+                   ])
+               (Experiments.e25_replication ~writes:160 ())) );
+        ( "failover",
+          Obs.Json.List
+            (List.map
+               (fun p ->
+                 Obs.Json.Obj
+                   [
+                     ("path", Obs.Json.String p.Experiments.fo_label);
+                     ("reps", Obs.Json.Int p.Experiments.fo_reps);
+                     ("p50_ms", Obs.Json.Float p.Experiments.fo_p50_ms);
+                     ("p95_ms", Obs.Json.Float p.Experiments.fo_p95_ms);
+                     ("max_ms", Obs.Json.Float p.Experiments.fo_max_ms);
+                   ])
+               (Experiments.e25_failover ())) );
+      ]
+  in
   let meta =
     [
       ("tool", Obs.Json.String "sit");
@@ -361,6 +397,7 @@ let run_metrics ?(out = default_metrics_out) () =
       ("views", views);
       ("dataplane", dataplane);
       ("scenarios", scenarios);
+      ("replication", replication);
       ( "workload",
         Obs.Json.Obj
           [
@@ -405,7 +442,7 @@ let () =
               run_metrics ?out ()
           | None when id = "metrics" -> run_metrics ?out ()
           | None ->
-              Printf.eprintf "unknown experiment %s (e1..e23, timings, metrics)\n"
+              Printf.eprintf "unknown experiment %s (e1..e25, timings, metrics)\n"
                 id;
               exit 2)
         ids

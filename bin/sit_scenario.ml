@@ -35,9 +35,9 @@ let run seed schemas concepts population views storm evolve rounds out =
     (fun (n, f) ->
       Printf.printf "  %-8s %s\n" n (Workload.Scenario.flavor_to_string f))
     t.Workload.Scenario.flavors;
-  Printf.printf "  files: %s %s %s %s\n" files.Workload.Scenario.ddl
+  Printf.printf "  files: %s %s %s %s %s\n" files.Workload.Scenario.ddl
     files.Workload.Scenario.script files.Workload.Scenario.data
-    files.Workload.Scenario.schedule;
+    files.Workload.Scenario.schedule files.Workload.Scenario.reads;
   let missed = Workload.Scenario.missed_true_pairs t in
   let truth = List.length t.Workload.Scenario.gen.Workload.Generator.true_pairs in
   Printf.printf "  ground truth: %d/%d same-concept pairs recovered\n"

@@ -33,7 +33,21 @@ let split_view_spec what spec =
       ( String.trim (String.sub spec 0 i),
         String.sub spec (i + 1) (String.length spec - i - 1) )
 
-let drive addr conns requests queries global_queries mat_views proto =
+let parse_endpoints = function
+  | None -> None
+  | Some s ->
+      let eps =
+        String.split_on_char ',' s
+        |> List.filter (fun x -> String.trim x <> "")
+        |> List.map (fun x -> parse_addr (String.trim x))
+      in
+      (match eps with
+      | [] -> hard_fail "--endpoints: no addresses in %S" s
+      | _ -> ());
+      Some eps
+
+let drive addr endpoints timeout_ms conns requests queries global_queries
+    mat_views proto =
   let specs =
     List.map
       (fun spec ->
@@ -64,15 +78,34 @@ let drive addr conns requests queries global_queries mat_views proto =
   let all_stats =
     List.map
       (fun p ->
-        let stats = Server.Client.drive ~proto:p ~addr ~conns ~frames () in
+        let stats =
+          Server.Client.drive ~proto:p ?endpoints ?timeout_ms ~addr ~conns
+            ~frames ()
+        in
         Format.printf "%s: %a@."
           (Server.Wire.proto_to_string p)
           Server.Client.pp_drive_stats stats;
         stats)
       protos
   in
-  (* health probe after the run: the daemon must still be answering *)
-  let c = Server.Client.connect addr in
+  (* health probe after the run: the daemon must still be answering —
+     with --endpoints, any surviving endpoint will do *)
+  let health_addr =
+    match endpoints with
+    | Some eps ->
+        let rec first = function
+          | [] -> addr
+          | e :: rest -> (
+              match Server.Client.connect e with
+              | c ->
+                  Server.Client.close c;
+                  e
+              | exception Server.Client.Connection_error _ -> first rest)
+        in
+        first eps
+    | None -> addr
+  in
+  let c = Server.Client.connect health_addr in
   Fun.protect
     ~finally:(fun () -> Server.Client.close c)
     (fun () ->
@@ -125,7 +158,8 @@ let write_transcript out text =
       output_string oc text;
       close_out oc
 
-let drive_schedule addr conns proto schedule phases_spec transcript_out =
+let drive_schedule addr endpoints timeout_ms conns proto schedule phases_spec
+    transcript_out =
   let phases = load_phases schedule phases_spec in
   let proto =
     match proto with
@@ -142,7 +176,7 @@ let drive_schedule addr conns proto schedule phases_spec transcript_out =
         | None -> hard_fail "--proto expects json or bin, got %s" p)
   in
   let play ~storm frames =
-    Server.Client.play ~proto ~addr
+    Server.Client.play ~proto ?endpoints ?timeout_ms ~addr
       ~conns:(if storm then conns else 1)
       frames
   in
@@ -183,7 +217,7 @@ let parse_view_def spec =
       (name, policy, base, source)
 
 let serve files script data name journal listen jobs queue deadline_ms cache
-    metrics view_defs schedule phases_spec transcript_out =
+    metrics view_defs follow ack_replicas schedule phases_spec transcript_out =
   (match files with
   | [] -> hard_fail "no DDL files given (pass at least one schema file)"
   | _ -> ());
@@ -197,8 +231,25 @@ let serve files script data name journal listen jobs queue deadline_ms cache
   match Server.load_session setup with
   | Error msg -> hard_fail "%s" msg
   | Ok session -> (
+      let repl =
+        {
+          Server.default_repl with
+          role =
+            (match follow with
+            | None -> Server.Leader
+            | Some a -> Server.Follower (parse_addr a));
+          ack_replicas;
+        }
+      in
       let cfg =
-        { (Server.default_config listen) with jobs; queue; deadline_ms; cache }
+        {
+          (Server.default_config listen) with
+          jobs;
+          queue;
+          deadline_ms;
+          cache;
+          repl;
+        }
       in
       match Server.create session cfg with
       | Error msg -> hard_fail "%s" msg
@@ -252,18 +303,21 @@ let serve files script data name journal listen jobs queue deadline_ms cache
               Printf.eprintf "metrics report written to %s\n" path)))
 
 let run files script data name journal listen jobs queue deadline_ms cache
-    metrics view_defs drive_addr conns requests queries global_queries mat_views
-    proto schedule phases_spec transcript_out =
+    metrics view_defs follow ack_replicas drive_addr endpoints timeout_ms conns
+    requests queries global_queries mat_views proto schedule phases_spec
+    transcript_out =
+  let endpoints = parse_endpoints endpoints in
   match (drive_addr, schedule) with
   | Some addr, Some file ->
-      drive_schedule (parse_addr addr) conns proto file phases_spec
-        transcript_out
+      drive_schedule (parse_addr addr) endpoints timeout_ms conns proto file
+        phases_spec transcript_out
   | Some addr, None ->
-      drive (parse_addr addr) conns requests queries global_queries mat_views
-        proto
+      drive (parse_addr addr) endpoints timeout_ms conns requests queries
+        global_queries mat_views proto
   | None, _ ->
       serve files script data name journal (parse_addr listen) jobs queue
-        deadline_ms cache metrics view_defs schedule phases_spec transcript_out
+        deadline_ms cache metrics view_defs follow ack_replicas schedule
+        phases_spec transcript_out
 
 open Cmdliner
 
@@ -364,6 +418,26 @@ let view_defs =
            written against (omit it for an integrated-schema query).  \
            Repeatable.")
 
+let follow =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "follow" ] ~docv:"LEADER"
+        ~doc:
+          "Serve as a replication follower of the leader at $(docv) \
+           (docs/ROBUSTNESS.md): tail its journal stream, apply it locally, \
+           serve reads, and answer every write with a $(b,not_leader) \
+           redirect to $(docv).")
+
+let ack_replicas =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "ack-replicas" ] ~docv:"N"
+        ~doc:
+          "Leader only: hold each write's response until $(docv) followers \
+           have acknowledged it (0 = asynchronous replication).")
+
 let drive_addr =
   Arg.(
     value
@@ -372,6 +446,27 @@ let drive_addr =
         ~doc:
           "Client mode: load-test the daemon at $(docv) with the given \
            --query/--global specs instead of serving.")
+
+let endpoints =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "endpoints" ] ~docv:"A,B,C"
+        ~doc:
+          "Drive mode: comma-separated endpoint list for client failover — \
+           each worker walks the list on connection failures and chases \
+           $(b,not_leader) redirects, so a load run survives a dying \
+           server.")
+
+let timeout_ms_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Drive mode: per-attempt socket timeout; a stalled endpoint \
+           counts as a connection failure (and fails over under \
+           --endpoints).")
 
 let conns =
   Arg.(
@@ -463,7 +558,8 @@ let cmd =
     Term.(
       const run $ files $ script $ data $ integrated_name $ journal_dir
       $ listen $ jobs $ queue $ deadline_ms $ cache $ metrics $ view_defs
-      $ drive_addr $ conns $ requests $ queries $ global_queries $ mat_views
-      $ proto $ schedule $ phases_spec $ transcript_out)
+      $ follow $ ack_replicas $ drive_addr $ endpoints $ timeout_ms_arg
+      $ conns $ requests $ queries $ global_queries $ mat_views $ proto
+      $ schedule $ phases_spec $ transcript_out)
 
 let () = exit (Cmd.eval cmd)

@@ -11,6 +11,13 @@ type fsync_policy = Frames.fsync_policy = Never | Every of int | Always
 type t = {
   frames : Frames.t;
   checkpoint_every : int;
+  mu : Mutex.t;
+      (* serializes every mutation (append/checkpoint/compact/reset/
+         close) and subscriber registration, so concurrent appenders —
+         connection threads of a serving daemon — get a total order:
+         seq numbers are dense, frames hit the file in seq order, and
+         each subscriber sees every op exactly once, in that order
+         (subscribers run under the lock; they must not call back). *)
   mutable seq : int;
   mutable since_checkpoint : int;
   mutable closed : bool;
@@ -165,6 +172,7 @@ let open_ ?(fsync = Every 8) ?(checkpoint_every = 64) path =
     {
       frames;
       checkpoint_every = Int.max 1 checkpoint_every;
+      mu = Mutex.create ();
       seq = recovery.seq;
       since_checkpoint = ops_since_snapshot records;
       closed = false;
@@ -173,41 +181,49 @@ let open_ ?(fsync = Every 8) ?(checkpoint_every = 64) path =
 
 let check_open t = if t.closed then invalid_arg "Journal: journal is closed"
 
-let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
+let subscribe t f =
+  Mutex.protect t.mu (fun () -> t.subscribers <- t.subscribers @ [ f ])
 
-let checkpoint t ws =
+let checkpoint_locked t ws =
   check_open t;
   Frames.append_raw t.frames (payload_of_record (Rsnap (t.seq, ws)));
   t.since_checkpoint <- 0;
   Frames.sync_now t.frames
 
+let checkpoint t ws = Mutex.protect t.mu (fun () -> checkpoint_locked t ws)
+
 let append ?after t op =
-  check_open t;
-  Frames.append t.frames (payload_of_record (Rop (t.seq + 1, op)));
-  t.seq <- t.seq + 1;
-  t.since_checkpoint <- t.since_checkpoint + 1;
-  Obs.Counter.incr c_appends;
-  List.iter (fun f -> f op) t.subscribers;
-  match after with
-  | Some ws when t.since_checkpoint >= t.checkpoint_every -> checkpoint t ws
-  | _ -> ()
+  Mutex.protect t.mu (fun () ->
+      check_open t;
+      Frames.append t.frames (payload_of_record (Rop (t.seq + 1, op)));
+      t.seq <- t.seq + 1;
+      t.since_checkpoint <- t.since_checkpoint + 1;
+      Obs.Counter.incr c_appends;
+      List.iter (fun f -> f op) t.subscribers;
+      match after with
+      | Some ws when t.since_checkpoint >= t.checkpoint_every ->
+          checkpoint_locked t ws
+      | _ -> ())
 
 let reset t =
-  check_open t;
-  Frames.reset t.frames;
-  t.seq <- 0;
-  t.since_checkpoint <- 0
+  Mutex.protect t.mu (fun () ->
+      check_open t;
+      Frames.reset t.frames;
+      t.seq <- 0;
+      t.since_checkpoint <- 0)
 
 let compact t ws =
-  check_open t;
-  Frames.rewrite t.frames [ payload_of_record (Rsnap (t.seq, ws)) ];
-  t.since_checkpoint <- 0
+  Mutex.protect t.mu (fun () ->
+      check_open t;
+      Frames.rewrite t.frames [ payload_of_record (Rsnap (t.seq, ws)) ];
+      t.since_checkpoint <- 0)
 
-let seq (t : t) = t.seq
+let seq (t : t) = Mutex.protect t.mu (fun () -> t.seq)
 let path (t : t) = Frames.path t.frames
 
 let close t =
-  if not t.closed then begin
-    Frames.close t.frames;
-    t.closed <- true
-  end
+  Mutex.protect t.mu (fun () ->
+      if not t.closed then begin
+        Frames.close t.frames;
+        t.closed <- true
+      end)

@@ -29,7 +29,13 @@
 
     The byte layer — framing, prefix recovery, fsync policy, atomic
     rewrite — is the reusable {!Frames} module; this module owns only
-    the op/snapshot payload syntax and the replay logic. *)
+    the op/snapshot payload syntax and the replay logic.
+
+    Thread safety: every mutation ({!append}, {!checkpoint},
+    {!compact}, {!reset}, {!close}) and {!subscribe} is serialized on
+    an internal mutex, so concurrent appenders — the connection threads
+    of a serving daemon — get dense sequence numbers, records in
+    sequence order, and exactly-once in-order subscriber delivery. *)
 
 module Frames = Frames
 (** The generic framed-log layer, for other write-ahead logs (the
@@ -77,7 +83,9 @@ val subscribe : t -> (Integrate.Op.t -> unit) -> unit
     ordered (written, before any checkpointing).  This is the hook a
     derived-state maintainer attaches to — [lib/view] invalidates
     materialized extents here when the session mutates under it.
-    Callbacks run on the appending thread and must not append to the
+    Callbacks run on the appending thread, under the journal's lock —
+    concurrent appends deliver each op to each subscriber exactly once,
+    in the journal's total order.  They must not call back into the
     same journal; exceptions propagate to the appender. *)
 
 val checkpoint : t -> Integrate.Workspace.t -> unit

@@ -1,0 +1,66 @@
+type policy = {
+  attempts : int;
+  base_ms : float;
+  factor : float;
+  max_ms : float;
+  jitter : float;
+  seed : int;
+}
+
+let default =
+  {
+    attempts = 5;
+    base_ms = 25.;
+    factor = 2.;
+    max_ms = 2000.;
+    jitter = 0.5;
+    seed = 0;
+  }
+
+(* SplitMix64: one multiply-xorshift pass per draw.  Self-contained so
+   the delay sequence depends on nothing but the policy. *)
+let splitmix state =
+  let state = Int64.add state 0x9E3779B97F4A7C15L in
+  let z = state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  (state, Int64.logxor z (Int64.shift_right_logical z 31))
+
+(* a uniform draw in [0, 1) from the top 53 bits *)
+let unit_float z = Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.
+
+let delays p =
+  let state = ref (Int64.of_int p.seed) in
+  let draw () =
+    let state', z = splitmix !state in
+    state := state';
+    unit_float z
+  in
+  let jitter = Float.max 0. (Float.min 1. p.jitter) in
+  List.init
+    (max 0 (p.attempts - 1))
+    (fun i ->
+      let nominal = Float.min p.max_ms (p.base_ms *. (p.factor ** float i)) in
+      if jitter = 0. then nominal
+      else nominal *. (1. -. jitter +. (jitter *. draw ())))
+
+type 'e failure = { tried : int; last : 'e }
+
+let run ?(sleep = fun ms -> Unix.sleepf (ms /. 1000.)) policy f =
+  let ds = Array.of_list (delays policy) in
+  let attempts = max 1 policy.attempts in
+  let rec go i =
+    match f i with
+    | Ok _ as ok -> ok
+    | Error e ->
+        if i + 1 >= attempts then Error { tried = i + 1; last = e }
+        else begin
+          if Array.length ds > 0 then sleep ds.(min i (Array.length ds - 1));
+          go (i + 1)
+        end
+  in
+  go 0

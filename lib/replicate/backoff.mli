@@ -1,0 +1,36 @@
+(** Deterministic exponential backoff with jitter.
+
+    Every retry loop in the replication tier (client failover, follower
+    reconnect) draws its delays from one of these policies.  The jitter
+    source is a seeded SplitMix64 stream, so a pinned seed produces a
+    pinned delay sequence — the chaos harness can assert "fails over
+    within the retry budget" without a race on wall-clock randomness. *)
+
+type policy = {
+  attempts : int;  (** total tries, including the first (>= 1) *)
+  base_ms : float;  (** nominal delay before the second try *)
+  factor : float;  (** multiplier per subsequent try *)
+  max_ms : float;  (** nominal delay cap *)
+  jitter : float;
+      (** fraction of each delay that is randomized: a delay lands
+          uniformly in [[nominal*(1-jitter), nominal]].  [0.] disables
+          jitter entirely. *)
+  seed : int;  (** jitter stream seed — same seed, same delays *)
+}
+
+val default : policy
+(** 5 attempts, 25 ms doubling to a 2 s cap, 50% jitter, seed 0. *)
+
+val delays : policy -> float list
+(** The inter-attempt delays in milliseconds ([attempts - 1] of them),
+    fully determined by the policy.  Retry loops that outlive the
+    policy's attempt budget (a follower tailing a dead leader) keep
+    re-using the final — capped — delay. *)
+
+type 'e failure = { tried : int; last : 'e }
+
+val run :
+  ?sleep:(float -> unit) -> policy -> (int -> ('a, 'e) result) -> ('a, 'e failure) result
+(** [run policy f] calls [f 0], [f 1], ... until one succeeds or the
+    attempt budget runs out, sleeping the policy's delay (milliseconds)
+    between tries.  [sleep] is injectable so tests run at full speed. *)

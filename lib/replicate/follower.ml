@@ -1,0 +1,126 @@
+module Json = Obs.Json
+
+type progress = {
+  applied : int Atomic.t;
+  leader_seq : int Atomic.t;
+  connected : bool Atomic.t;
+  attempts : int Atomic.t;
+  apply_errors : int Atomic.t;
+  stop : bool Atomic.t;
+}
+
+let make_progress () =
+  {
+    applied = Atomic.make 0;
+    leader_seq = Atomic.make 0;
+    connected = Atomic.make false;
+    attempts = Atomic.make 0;
+    apply_errors = Atomic.make 0;
+    stop = Atomic.make false;
+  }
+
+let staleness p = max 0 (Atomic.get p.leader_seq - Atomic.get p.applied)
+let request_stop p = Atomic.set p.stop true
+
+(* Frames are built and parsed with Obs.Json directly: this module sits
+   below lib/server, so it speaks the protocol by its documented shape
+   rather than through Wire. *)
+let handshake_line ~node =
+  Json.to_string
+    (Json.Obj [ ("op", Json.String "repl_handshake"); ("node", Json.String node) ])
+
+let pull_line ~node ~from ~batch ~wait_ms =
+  Json.to_string
+    (Json.Obj
+       [
+         ("op", Json.String "repl_pull");
+         ("node", Json.String node);
+         ("seq", Json.Int from);
+         ("max", Json.Int batch);
+         ("wait_ms", Json.Int wait_ms);
+       ])
+
+let is_ok v = match Json.member "ok" v with Some (Json.Bool b) -> b | _ -> false
+
+exception Retry of string
+
+let retry fmt = Printf.ksprintf (fun s -> raise (Retry s)) fmt
+
+let parse line =
+  match Json.of_string line with
+  | Ok v -> v
+  | Error e -> retry "unparseable response: %s" e
+
+let note_leader_seq progress resp =
+  match Json.member "repl_seq" resp with
+  | Some (Json.Int s) -> Atomic.set progress.leader_seq s
+  | _ -> ()
+
+let run ~node ~connect ~close ~roundtrip ~apply ~progress
+    ?(backoff = Backoff.default) ?(batch = 64) ?(wait_ms = 200)
+    ?(throttle_ms = 0) () =
+  let delays = Array.of_list (Backoff.delays backoff) in
+  let delay_idx = ref 0 in
+  (* sleep in small slices so request_stop stays responsive *)
+  let sleep_ms ms =
+    let until = Unix.gettimeofday () +. (ms /. 1000.) in
+    while (not (Atomic.get progress.stop)) && Unix.gettimeofday () < until do
+      Thread.delay 0.005
+    done
+  in
+  let backoff_sleep () =
+    Atomic.incr progress.attempts;
+    if Array.length delays > 0 then begin
+      sleep_ms delays.(min !delay_idx (Array.length delays - 1));
+      incr delay_idx
+    end
+  in
+  let apply_batch items =
+    List.iter
+      (fun item ->
+        let next = Atomic.get progress.applied + 1 in
+        match (Json.member "seq" item, Json.member "frame" item) with
+        | Some (Json.Int s), Some (Json.String _) when s < next ->
+            () (* already applied: a duplicate after a reconnect *)
+        | Some (Json.Int s), Some (Json.String frame) when s = next ->
+            (match apply s frame with
+            | Ok () -> ()
+            | Error _ -> Atomic.incr progress.apply_errors);
+            Atomic.set progress.applied s
+        | _ -> retry "gap or malformed frame in repl_pull response")
+      items
+  in
+  let tail conn =
+    let resp = parse (roundtrip conn (handshake_line ~node)) in
+    if not (is_ok resp) then retry "handshake refused";
+    note_leader_seq progress resp;
+    Atomic.set progress.connected true;
+    delay_idx := 0;
+    while not (Atomic.get progress.stop) do
+      let from = Atomic.get progress.applied + 1 in
+      let resp = parse (roundtrip conn (pull_line ~node ~from ~batch ~wait_ms)) in
+      if not (is_ok resp) then retry "pull refused";
+      note_leader_seq progress resp;
+      (match Json.member "frames" resp with
+      | Some (Json.List items) -> apply_batch items
+      | _ -> retry "repl_pull response has no frames");
+      if throttle_ms > 0 then sleep_ms (float throttle_ms)
+    done
+  in
+  while not (Atomic.get progress.stop) do
+    match connect () with
+    | exception _ ->
+        Atomic.set progress.connected false;
+        backoff_sleep ()
+    | conn -> (
+        match tail conn with
+        | () -> ( try close conn with _ -> ())
+        | exception _ ->
+            (* the transport is opaque (the caller's connect/roundtrip
+               raise their own exception types), so every failure is a
+               disconnect: mark, back off, reconnect *)
+            (try close conn with _ -> ());
+            Atomic.set progress.connected false;
+            backoff_sleep ())
+  done;
+  Atomic.set progress.connected false

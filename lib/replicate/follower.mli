@@ -1,0 +1,55 @@
+(** The follower tailer: a loop that connects to a leader, catches up
+    from its last applied seq and tails live appends, applying each
+    replicated frame through a caller-supplied callback.
+
+    The loop is parameterized over its transport ([connect] /
+    [roundtrip] / [close] on an abstract connection), so this module
+    depends on nothing above [lib/journal] — [lib/server] injects its
+    [Client] and its own apply path.  It speaks the `repl_handshake` /
+    `repl_pull` operations by their documented JSON shape
+    (docs/SERVING.md); the pull's [from] seq doubles as the ack for
+    everything before it, which is how the leader tracks this node.
+
+    The loop never gives up: every transport failure (refused, reset,
+    EOF, a draining leader) marks the node disconnected and retries
+    under the backoff policy, capped at the policy's final delay.  The
+    node keeps serving reads from its last-applied state throughout —
+    that is the graceful-degradation contract `staleness_seq`
+    reports on. *)
+
+type progress = {
+  applied : int Atomic.t;  (** highest seq applied locally *)
+  leader_seq : int Atomic.t;  (** highest seq the leader reported *)
+  connected : bool Atomic.t;
+  attempts : int Atomic.t;  (** (re)connect attempts that failed *)
+  apply_errors : int Atomic.t;  (** replicated frames that failed to apply *)
+  stop : bool Atomic.t;
+}
+
+val make_progress : unit -> progress
+
+val staleness : progress -> int
+(** [max 0 (leader_seq - applied)] — the `staleness_seq` of `health`. *)
+
+val request_stop : progress -> unit
+(** Makes {!run} return within roughly one pull round-trip. *)
+
+val run :
+  node:string ->
+  connect:(unit -> 'c) ->
+  close:('c -> unit) ->
+  roundtrip:('c -> string -> string) ->
+  apply:(int -> string -> (unit, string) result) ->
+  progress:progress ->
+  ?backoff:Backoff.policy ->
+  ?batch:int ->
+  ?wait_ms:int ->
+  ?throttle_ms:int ->
+  unit ->
+  unit
+(** Runs the tail loop on the calling thread until {!request_stop}.
+    [apply seq frame] must apply frames sequentially (they arrive in
+    seq order, each exactly once — duplicates after a reconnect are
+    skipped by seq).  [batch] caps frames per pull, [wait_ms] is the
+    long-poll budget sent to the leader, [throttle_ms] (test hook)
+    sleeps between pulls so a catch-up window is observable. *)

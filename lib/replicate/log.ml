@@ -1,0 +1,128 @@
+module Frames = Journal.Frames
+
+let magic = "SITREPL1"
+
+type t = {
+  mu : Mutex.t;
+  mutable frames : string array;  (* seq s lives at index s-1 *)
+  mutable len : int;
+  mutable file : Frames.t option;
+  mutable closed : bool;
+  truncated : int;
+  acks : (string, int) Hashtbl.t;  (* node -> highest applied seq *)
+}
+
+let create ?persist () =
+  let payloads, truncated, file =
+    match persist with
+    | None -> ([], 0, None)
+    | Some path ->
+        (* fsync every record: an acknowledged write must be on disk *)
+        let recovery, f = Frames.open_ ~fsync:Frames.Always ~magic path in
+        (recovery.Frames.payloads, recovery.Frames.truncated_bytes, Some f)
+  in
+  let len = List.length payloads in
+  let frames = Array.make (max 64 len) "" in
+  List.iteri (fun i p -> frames.(i) <- p) payloads;
+  {
+    mu = Mutex.create ();
+    frames;
+    len;
+    file;
+    closed = false;
+    truncated;
+    acks = Hashtbl.create 8;
+  }
+
+let truncated_bytes t = t.truncated
+let seq t = Mutex.protect t.mu (fun () -> t.len)
+
+let append t frame =
+  Mutex.protect t.mu (fun () ->
+      if t.closed then invalid_arg "Replicate.Log.append: log is closed";
+      if t.len = Array.length t.frames then begin
+        let bigger = Array.make (2 * Array.length t.frames) "" in
+        Array.blit t.frames 0 bigger 0 t.len;
+        t.frames <- bigger
+      end;
+      (* disk first: a crash between the two leaves the frame
+         recoverable, never acknowledged-but-lost *)
+      (match t.file with Some f -> Frames.append f frame | None -> ());
+      t.frames.(t.len) <- frame;
+      t.len <- t.len + 1;
+      t.len)
+
+let get t s =
+  Mutex.protect t.mu (fun () ->
+      if s >= 1 && s <= t.len then Some t.frames.(s - 1) else None)
+
+let from t s ~max:m =
+  Mutex.protect t.mu (fun () ->
+      let lo = max 1 s in
+      let hi = min t.len (lo + max 0 m - 1) in
+      if hi < lo then []
+      else List.init (hi - lo + 1) (fun i -> (lo + i, t.frames.(lo + i - 1))))
+
+(* Waiters poll under a small sleep instead of a condition variable:
+   the stdlib [Condition] has no timed wait, and a few milliseconds of
+   granularity is far below every timeout used here. *)
+let poll_until ~timeout_s f =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec loop () =
+    match f () with
+    | Some v -> v
+    | None ->
+        if Unix.gettimeofday () >= deadline then false
+        else begin
+          Thread.delay 0.003;
+          loop ()
+        end
+  in
+  loop ()
+
+let wait t ~from ~timeout_s =
+  poll_until ~timeout_s (fun () ->
+      Mutex.protect t.mu (fun () ->
+          if t.len >= from then Some true
+          else if t.closed then Some false
+          else None))
+
+let ack t ~node s =
+  Mutex.protect t.mu (fun () ->
+      match Hashtbl.find_opt t.acks node with
+      | Some prev when prev >= s -> ()
+      | _ -> Hashtbl.replace t.acks node s)
+
+let acks t =
+  Mutex.protect t.mu (fun () ->
+      Hashtbl.fold (fun n s acc -> (n, s) :: acc) t.acks []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let acked_by t s =
+  Mutex.protect t.mu (fun () ->
+      Hashtbl.fold (fun _ applied n -> if applied >= s then n + 1 else n) t.acks 0)
+
+let wait_acked t ~seq ~replicas ~timeout_s =
+  if replicas <= 0 then true
+  else
+    poll_until ~timeout_s (fun () ->
+        Mutex.protect t.mu (fun () ->
+            let n =
+              Hashtbl.fold
+                (fun _ applied n -> if applied >= seq then n + 1 else n)
+                t.acks 0
+            in
+            if n >= replicas then Some true
+            else if t.closed then Some false
+            else None))
+
+let close t =
+  Mutex.protect t.mu (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        match t.file with
+        | Some f ->
+            (try Frames.close f with Sys_error _ -> ());
+            t.file <- None
+        | None -> ()
+      end)

@@ -1,0 +1,66 @@
+(** The replication log: a seq-numbered, thread-safe, append-only list
+    of opaque frames (canonical JSON request lines on the leader).
+
+    Seq numbers are 1-based and dense — frame [s] is the [s]-th
+    successful mutation since the log began.  A leader appends every
+    mutation it acknowledges; followers pull ranges by seq and record
+    how far they have applied ({!ack}), which is what the semi-sync
+    write path ({!wait_acked}) and `repl_status` report on.
+
+    When given a [persist] path the log is backed by a
+    {!Journal.Frames} file (CRC-framed records, longest-valid-prefix
+    recovery), so a restarted leader recovers exactly the acknowledged
+    prefix — a torn tail from a mid-append crash is truncated, never
+    fatal — and can replay it into its own state before serving. *)
+
+type t
+
+val magic : string
+(** The frames-file magic ("SITREPL1"). *)
+
+val create : ?persist:string -> unit -> t
+(** In-memory log; with [~persist:path] it is recovered from and
+    appended to [path] ({!Journal.Frames}, fsync every append — a
+    frame must be on disk before the write it records is
+    acknowledged). *)
+
+val truncated_bytes : t -> int
+(** Torn/corrupt tail bytes discarded by recovery (0 without
+    [persist], 0 for a clean file). *)
+
+val seq : t -> int
+(** Highest assigned seq (0 when empty). *)
+
+val append : t -> string -> int
+(** Appends one frame, returns its seq.  Raises [Invalid_argument]
+    after {!close}. *)
+
+val get : t -> int -> string option
+(** Frame by seq; [None] outside [1..seq t]. *)
+
+val from : t -> int -> max:int -> (int * string) list
+(** Up to [max] frames starting at the given seq, in order. *)
+
+val wait : t -> from:int -> timeout_s:float -> bool
+(** Blocks until [seq t >= from] (true), or the timeout elapses or the
+    log is closed (false) — the long-poll behind `repl_pull`'s
+    [wait_ms].  Polling granularity is a few milliseconds. *)
+
+val ack : t -> node:string -> int -> unit
+(** Records that [node] has applied every frame up to the given seq.
+    Monotonic per node; seq 0 just registers the node. *)
+
+val acks : t -> (string * int) list
+(** Every known node and its highest acked seq, sorted by node. *)
+
+val acked_by : t -> int -> int
+(** How many nodes have acked at least the given seq. *)
+
+val wait_acked : t -> seq:int -> replicas:int -> timeout_s:float -> bool
+(** Blocks until [replicas] nodes have acked [seq] (true) or the
+    timeout elapses or the log is closed (false).  Immediately true
+    when [replicas <= 0]. *)
+
+val close : t -> unit
+(** Closes the backing file (if any) and wakes every waiter.
+    Idempotent. *)

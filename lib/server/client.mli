@@ -1,17 +1,28 @@
 (** Protocol client: one blocking connection, plus the multi-connection
-    load driver the bench harness and [make serve-test] use.
+    load driver the bench harness and [make serve-test] use, plus the
+    failover handle the chaos harness drives through a dying leader.
 
-    Connection functions raise [Unix.Unix_error] on transport failures
-    and [End_of_file] when the server closes mid-roundtrip; protocol
-    errors are ordinary decoded responses. *)
+    Transport failures — connection refused, reset, EOF mid-roundtrip,
+    a per-attempt timeout — raise the typed {!Connection_error}; those
+    are exactly the failures a retry can fix.  Protocol failures
+    (malformed frames, a server answering nonsense) raise [Failure] and
+    retrying cannot help.  Typed {e error responses} are ordinary
+    decoded responses, not exceptions. *)
+
+exception Connection_error of string
+(** A transport-layer failure: retryable by reconnecting (possibly to
+    another endpoint).  The payload says which endpoint and why. *)
 
 type t
 
-val connect : ?proto:Wire.proto -> Wire.addr -> t
+val connect : ?proto:Wire.proto -> ?timeout_ms:int -> Wire.addr -> t
 (** Default protocol is [Json] (line-delimited).  [~proto:Wire.Bin]
     performs the magic exchange of [docs/WIRE.md] on connect and frames
-    every exchange as binary; raises [Failure] when the server does not
-    echo the magic. *)
+    every exchange as binary.  [timeout_ms] bounds each subsequent send
+    and receive ([SO_SNDTIMEO]/[SO_RCVTIMEO]); a stalled peer then
+    fails the roundtrip with {!Connection_error} instead of hanging.
+    Raises {!Connection_error} when the endpoint cannot be reached or
+    does not acknowledge the binary magic. *)
 
 val close : t -> unit
 
@@ -20,7 +31,8 @@ val roundtrip : t -> string -> string
     returned string are canonical JSON on {e both} protocols — a binary
     connection re-frames the request and renders the response value
     back — so callers that compare responses byte-for-byte work
-    unchanged over either. *)
+    unchanged over either.  Raises {!Connection_error} if the transport
+    fails mid-roundtrip. *)
 
 val request :
   t ->
@@ -39,6 +51,44 @@ val request :
 val is_ok : Obs.Json.t -> bool
 val error_code : Obs.Json.t -> string option
 
+(** {1 Failover}
+
+    A {!failover} handle holds at most one live connection to one of a
+    fixed endpoint list.  {!failover_roundtrip} retries transport
+    failures against the next endpoint under a {!Replicate.Backoff}
+    budget, and chases [not_leader] redirects to the advertised leader
+    — the read-failover side of docs/ROBUSTNESS.md. *)
+
+type failover
+
+val failover :
+  ?proto:Wire.proto ->
+  ?retry:Replicate.Backoff.policy ->
+  ?timeout_ms:int ->
+  Wire.addr list ->
+  failover
+(** Connections are opened lazily, starting from the first endpoint.
+    [retry] defaults to {!Replicate.Backoff.default}; [timeout_ms] is
+    applied per connection as in {!connect}.  Raises [Invalid_argument]
+    on an empty endpoint list. *)
+
+val failover_roundtrip : failover -> string -> string
+(** Like {!roundtrip} with retries: a {!Connection_error} drops the
+    connection, advances to the next endpoint (round-robin), sleeps the
+    policy's next backoff delay and tries again; a [not_leader]
+    response jumps to the advertised leader without sleeping.  Each
+    hop consumes one attempt from the policy so redirect loops
+    terminate.  When the budget is exhausted, the last [not_leader]
+    response is returned as-is (the caller sees the typed error), or
+    {!Connection_error} is raised when no endpoint ever answered. *)
+
+val failover_close : failover -> unit
+(** Drops the current connection if any; the handle stays usable. *)
+
+val failover_stats : failover -> int * int
+(** [(failovers, redirects)]: endpoint advances forced by transport
+    failures, and [not_leader] redirects chased. *)
+
 (** {1 Load driver} *)
 
 type drive_stats = {
@@ -54,6 +104,9 @@ type drive_stats = {
 
 val drive :
   ?proto:Wire.proto ->
+  ?endpoints:Wire.addr list ->
+  ?retry:Replicate.Backoff.policy ->
+  ?timeout_ms:int ->
   addr:Wire.addr ->
   conns:int ->
   frames:string array ->
@@ -63,16 +116,26 @@ val drive :
     [conns] concurrent connections (frame [i] goes to connection
     [i mod conns]; each connection sends its frames in order, one at a
     time).  Identical frame lines are checked to receive identical
-    response bytes regardless of schedule. *)
+    response bytes regardless of schedule.  With a non-empty
+    [endpoints], each worker drives a {!failover} handle over that list
+    instead of a plain connection to [addr] — the chaos harness's way
+    of surviving a leader kill mid-load. *)
 
 val play :
-  ?proto:Wire.proto -> addr:Wire.addr -> conns:int -> string array -> string array
+  ?proto:Wire.proto ->
+  ?endpoints:Wire.addr list ->
+  ?retry:Replicate.Backoff.policy ->
+  ?timeout_ms:int ->
+  addr:Wire.addr ->
+  conns:int ->
+  string array ->
+  string array
 (** Like {!drive}, but returns the responses {e in frame order} (frame
     [i] goes to connection [i mod conns]; response [i] is what it got
     back).  [conns:1] is a sequential replay on a single connection —
     the serial phases of a scenario schedule; larger values fan a storm
     phase out while keeping the response array deterministic for
     order-independent phases.  Canonical JSON on both protocols, like
-    {!roundtrip}. *)
+    {!roundtrip}.  [endpoints] adds failover exactly as in {!drive}. *)
 
 val pp_drive_stats : Format.formatter -> drive_stats -> unit

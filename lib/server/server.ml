@@ -166,6 +166,27 @@ let load_session setup =
 
 (* ---- server state ------------------------------------------------- *)
 
+type role = Leader | Follower of Wire.addr
+
+type repl_config = {
+  role : role;
+  ack_replicas : int;
+  ack_timeout_ms : int;
+  batch : int;
+  wait_ms : int;
+  throttle_ms : int;
+}
+
+let default_repl =
+  {
+    role = Leader;
+    ack_replicas = 0;
+    ack_timeout_ms = 10_000;
+    batch = 64;
+    wait_ms = 200;
+    throttle_ms = 0;
+  }
+
 type config = {
   listen : Wire.addr;
   jobs : int;
@@ -173,6 +194,7 @@ type config = {
   deadline_ms : int option;
   cache : int;
   debug : bool;
+  repl : repl_config;
 }
 
 let default_config listen =
@@ -183,6 +205,7 @@ let default_config listen =
     deadline_ms = None;
     cache = 128;
     debug = false;
+    repl = default_repl;
   }
 
 type stats = {
@@ -213,6 +236,12 @@ type t = {
   cache_mu : Mutex.t;
   views : View.t;  (** under [state_mu], like the store they index *)
   mutable viewlog : Journal.Frames.t option;  (** under [state_mu] *)
+  repl_log : Replicate.Log.t option;  (** [Some] iff this node leads *)
+  repl_mu : Mutex.t;
+      (** serializes mutating ops end to end (execute, then append to
+          [repl_log] on success), so log order is application order *)
+  repl_progress : Replicate.Follower.progress;  (** follower tail state *)
+  mutable follower_thread : Thread.t option;  (** under [conns_mu] *)
   inflight : int Atomic.t;
   stop_requested : bool Atomic.t;  (** accept loop should wind down *)
   stopping : bool Atomic.t;  (** drain started: reject new data ops *)
@@ -309,6 +338,19 @@ let create_bound session cfg =
           cache_mu = Mutex.create ();
           views = View.create ();
           viewlog = None;
+          repl_log =
+            (match cfg.repl.role with
+            | Follower _ -> None
+            | Leader ->
+                let persist =
+                  Option.map
+                    (fun dir -> Filename.concat dir "repl.journal")
+                    session.journal_dir
+                in
+                Some (Replicate.Log.create ?persist ()));
+          repl_mu = Mutex.create ();
+          repl_progress = Replicate.Follower.make_progress ();
+          follower_thread = None;
           inflight = Atomic.make 0;
           stop_requested = Atomic.make false;
           stopping = Atomic.make false;
@@ -558,12 +600,8 @@ let load_views t =
       t.viewlog <- Some frames;
       compact_viewlog t
 
-let create session cfg =
-  match create_bound session cfg with
-  | Error _ as e -> e
-  | Ok t ->
-      load_views t;
-      Ok t
+(* [create] itself is defined after [run_op]: a restarted leader must
+   replay its recovered replication log through the op dispatch. *)
 
 let view_info_json (i : View.info) =
   Json.Obj
@@ -794,6 +832,51 @@ let run_op t (req : Wire.request) =
       [ ("slept_ms", Json.Int ms) ]
   | op -> raise (Invalid_argument (Printf.sprintf "no such field op %S" op))
 
+(* ---- replication -------------------------------------------------- *)
+
+(* The replication log stores the canonical request line of every
+   acknowledged mutation, stripped of client-only fields (id,
+   deadline_ms) so identical mutations replicate as identical bytes. *)
+let repl_line (req : Wire.request) =
+  Wire.request_to_line ?view:req.Wire.view ?text:req.Wire.text
+    ?base:req.Wire.base ?policy:req.Wire.policy req.Wire.op
+
+(* Apply one replicated frame to local state — the follower tail path
+   and the leader's restart self-replay.  Bypasses the queue and the
+   follower write gate by design: the stream is already serialized and
+   already acknowledged by the leader. *)
+let apply_repl t _seq line =
+  match Wire.request_of_line line with
+  | Error (_, e) -> Error e
+  | Ok req -> (
+      match run_op t req with
+      | (_ : (string * Json.t) list) -> Ok ()
+      | exception e -> Error (Printexc.to_string e))
+
+(* A leader restarting over a journal directory rebuilds its runtime
+   state by replaying the recovered replication log over the setup
+   snapshot — the same snapshot + log-shipping a follower does over the
+   wire.  Frames that no longer apply (a define_view already recovered
+   from views.journal) are skipped: the catalog replay and the history
+   replay converge on the same live set. *)
+let replay_repl_log t =
+  match t.repl_log with
+  | None -> ()
+  | Some log ->
+      for s = 1 to Replicate.Log.seq log do
+        match Replicate.Log.get log s with
+        | None -> ()
+        | Some line -> ignore (apply_repl t s line)
+      done
+
+let create session cfg =
+  match create_bound session cfg with
+  | Error _ as e -> e
+  | Ok t ->
+      load_views t;
+      replay_repl_log t;
+      Ok t
+
 (* Responses are built as values and rendered per-connection: the same
    [Json.t] goes out as a JSON line or a binary frame depending on what
    the connection negotiated. *)
@@ -802,7 +885,7 @@ let respond_ok t id payload =
   Obs.Counter.incr c_ok;
   Wire.ok_response ?id payload
 
-let respond_err t id code msg =
+let respond_err ?data t id code msg =
   (match code with
   | Wire.Overloaded ->
       Atomic.incr t.s_overloaded;
@@ -813,7 +896,7 @@ let respond_err t id code msg =
   | _ -> ());
   Atomic.incr t.s_err;
   Obs.Counter.incr c_err;
-  Wire.error_response ?id code msg
+  Wire.error_response ?id ?data code msg
 
 (* Runs on a pool domain; must never let an exception escape. *)
 let execute t (req : Wire.request) ~t_start ~deadline =
@@ -873,6 +956,146 @@ let health_payload t =
           );
         ] );
   ]
+  @
+  match (t.cfg.repl.role, t.repl_log) with
+  | Leader, Some log ->
+      [
+        ("role", Json.String "leader");
+        ("repl_seq", Json.Int (Replicate.Log.seq log));
+      ]
+  | Leader, None -> [ ("role", Json.String "leader") ]
+  | Follower _, _ ->
+      let p = t.repl_progress in
+      [
+        ("role", Json.String "follower");
+        ("applied_seq", Json.Int (Atomic.get p.Replicate.Follower.applied));
+        ("staleness_seq", Json.Int (Replicate.Follower.staleness p));
+        ("repl_connected", Json.Bool (Atomic.get p.Replicate.Follower.connected));
+      ]
+
+(* ---- replication operations (inline, never queued) ---------------- *)
+
+let not_leader_response t id =
+  match t.cfg.repl.role with
+  | Follower leader ->
+      respond_err t id
+        ~data:[ ("leader", Json.String (Wire.addr_to_string leader)) ]
+        Wire.Not_leader "this node is a follower; send writes to the leader"
+  | Leader ->
+      (* a leader without a log never exists; belt and braces *)
+      respond_err t id Wire.Internal "replication log unavailable"
+
+let repl_handshake t (req : Wire.request) =
+  let id = req.Wire.id in
+  match t.repl_log with
+  | None -> not_leader_response t id
+  | Some log ->
+      (match req.Wire.node with
+      | Some node -> Replicate.Log.ack log ~node 0 (* register the node *)
+      | None -> ());
+      respond_ok t id
+        [
+          ("role", Json.String "leader");
+          ("repl_seq", Json.Int (Replicate.Log.seq log));
+        ]
+
+let repl_pull t (req : Wire.request) =
+  let id = req.Wire.id in
+  match t.repl_log with
+  | None -> not_leader_response t id
+  | Some log -> (
+      match req.Wire.seq with
+      | None ->
+          respond_err t id Wire.Bad_request
+            "op \"repl_pull\" needs a \"seq\" field"
+      | Some from when from < 1 ->
+          respond_err t id Wire.Bad_request "\"seq\" must be >= 1"
+      | Some from ->
+          (* pulling from [from] acknowledges everything before it *)
+          (match req.Wire.node with
+          | Some node -> Replicate.Log.ack log ~node (from - 1)
+          | None -> ());
+          let batch = min 1024 (max 1 (Option.value ~default:64 req.Wire.max)) in
+          let wait_ms =
+            min 10_000 (max 0 (Option.value ~default:0 req.Wire.wait_ms))
+          in
+          let read () = Replicate.Log.from log from ~max:batch in
+          let frames = read () in
+          let frames =
+            (* long poll: block this connection thread until new frames
+               arrive or the budget runs out (a closing log returns
+               early, which is what lets drain finish) *)
+            if frames = [] && wait_ms > 0 && not (Atomic.get t.stopping)
+            then begin
+              ignore
+                (Replicate.Log.wait log ~from
+                   ~timeout_s:(float wait_ms /. 1000.));
+              read ()
+            end
+            else frames
+          in
+          respond_ok t id
+            [
+              ("repl_seq", Json.Int (Replicate.Log.seq log));
+              ( "frames",
+                Json.List
+                  (List.map
+                     (fun (s, f) ->
+                       Json.Obj
+                         [ ("seq", Json.Int s); ("frame", Json.String f) ])
+                     frames) );
+            ])
+
+let repl_frame t (req : Wire.request) =
+  let id = req.Wire.id in
+  match t.repl_log with
+  | None -> not_leader_response t id
+  | Some log -> (
+      match req.Wire.seq with
+      | None ->
+          respond_err t id Wire.Bad_request
+            "op \"repl_frame\" needs a \"seq\" field"
+      | Some s -> (
+          match Replicate.Log.get log s with
+          | Some f ->
+              respond_ok t id [ ("seq", Json.Int s); ("frame", Json.String f) ]
+          | None ->
+              respond_err t id Wire.Bad_request
+                (Printf.sprintf "no replicated frame %d (log is at %d)" s
+                   (Replicate.Log.seq log))))
+
+let repl_status t (req : Wire.request) =
+  let id = req.Wire.id in
+  match (t.cfg.repl.role, t.repl_log) with
+  | Leader, Some log ->
+      respond_ok t id
+        [
+          ("role", Json.String "leader");
+          ("repl_seq", Json.Int (Replicate.Log.seq log));
+          ("ack_replicas", Json.Int t.cfg.repl.ack_replicas);
+          ( "followers",
+            Json.List
+              (List.map
+                 (fun (node, acked) ->
+                   Json.Obj
+                     [
+                       ("node", Json.String node); ("acked", Json.Int acked);
+                     ])
+                 (Replicate.Log.acks log)) );
+        ]
+  | Leader, None ->
+      respond_ok t id [ ("role", Json.String "leader"); ("repl_seq", Json.Int 0) ]
+  | Follower leader, _ ->
+      let p = t.repl_progress in
+      respond_ok t id
+        [
+          ("role", Json.String "follower");
+          ("leader", Json.String (Wire.addr_to_string leader));
+          ("applied_seq", Json.Int (Atomic.get p.Replicate.Follower.applied));
+          ("leader_seq", Json.Int (Atomic.get p.Replicate.Follower.leader_seq));
+          ("staleness_seq", Json.Int (Replicate.Follower.staleness p));
+          ("connected", Json.Bool (Atomic.get p.Replicate.Follower.connected));
+        ]
 
 let handle_request t decoded =
   Atomic.incr t.s_requests;
@@ -889,8 +1112,20 @@ let handle_request t decoded =
           let meta = [ ("tool", Json.String "sit_serve") ] in
           respond_ok t id [ ("report", Obs.Report.to_json ~meta ()) ]
       | "view_stats" -> respond_ok t id (views_payload t)
+      | "repl_handshake" -> repl_handshake t req
+      | "repl_pull" -> repl_pull t req
+      | "repl_frame" -> repl_frame t req
+      | "repl_status" -> repl_status t req
       | "sleep" when not t.cfg.debug ->
           respond_err t id Wire.Unknown_op "unknown op \"sleep\""
+      | op
+        when Wire.mutating op
+             && (match t.cfg.repl.role with
+                | Follower _ -> true
+                | Leader -> false) ->
+          (* the follower write gate: a typed redirect, not an error the
+             client has to guess about *)
+          not_leader_response t id
       | "query" | "rewrite" | "update" | "migrate" | "define_view"
       | "drop_view" | "refresh_view" | "sleep" ->
           if Atomic.get t.stopping then
@@ -913,10 +1148,50 @@ let handle_request t decoded =
                     | Some _ as d -> d
                     | None -> t.cfg.deadline_ms
                   in
-                  let p =
-                    Par.async t.pool (fun () -> execute t req ~t_start ~deadline)
+                  let run () =
+                    let p =
+                      Par.async t.pool (fun () ->
+                          execute t req ~t_start ~deadline)
+                    in
+                    Par.await t.pool p
                   in
-                  let resp = Par.await t.pool p in
+                  let resp =
+                    match t.repl_log with
+                    | Some log when Wire.mutating req.Wire.op -> (
+                        (* serialize mutations end to end so the log
+                           order is exactly the application order *)
+                        let resp, seq =
+                          Mutex.protect t.repl_mu (fun () ->
+                              let resp = run () in
+                              match Json.member "ok" resp with
+                              | Some (Json.Bool true) ->
+                                  ( resp,
+                                    Some
+                                      (Replicate.Log.append log (repl_line req))
+                                  )
+                              | _ -> (resp, None))
+                        in
+                        match seq with
+                        | Some s when t.cfg.repl.ack_replicas > 0 ->
+                            (* semi-sync: hold the ack until enough
+                               followers have applied this seq *)
+                            if
+                              Replicate.Log.wait_acked log ~seq:s
+                                ~replicas:t.cfg.repl.ack_replicas
+                                ~timeout_s:
+                                  (float t.cfg.repl.ack_timeout_ms /. 1000.)
+                            then resp
+                            else
+                              respond_err t id Wire.Internal
+                                (Printf.sprintf
+                                   "write %d applied locally but fewer than \
+                                    %d replicas acknowledged it within %d ms \
+                                    — outcome is replicated-unknown"
+                                   s t.cfg.repl.ack_replicas
+                                   t.cfg.repl.ack_timeout_ms)
+                        | _ -> resp)
+                    | _ -> run ()
+                  in
                   observe_op req.Wire.op
                     ((Unix.gettimeofday () -. t_start) *. 1000.);
                   resp)
@@ -1031,6 +1306,11 @@ let drain t =
   in
   if not already then begin
     Atomic.set t.stopping true;
+    (* wake long-polling repl_pull waiters and stop the follower tail *)
+    (match t.repl_log with
+    | Some log -> Replicate.Log.close log
+    | None -> ());
+    Replicate.Follower.request_stop t.repl_progress;
     (* stop accepting *)
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     (match t.cfg.listen with
@@ -1056,6 +1336,13 @@ let drain t =
     in
     join_live ();
     reap_finished t;
+    (let tail =
+       Mutex.protect t.conns_mu (fun () ->
+           let th = t.follower_thread in
+           t.follower_thread <- None;
+           th)
+     in
+     match tail with Some th -> Thread.join th | None -> ());
     Par.shutdown t.pool;
     match t.viewlog with
     | Some frames ->
@@ -1066,9 +1353,42 @@ let drain t =
 
 let request_stop t = Atomic.set t.stop_requested true
 
+(* The node name a follower identifies itself with: its own listen
+   address (with the kernel-assigned port resolved), which is unique
+   per node and lets `repl_status` on the leader name its followers. *)
+let self_addr t =
+  match (t.cfg.listen, t.bound_port) with
+  | Wire.Tcp (host, _), Some port -> Wire.addr_to_string (Wire.Tcp (host, port))
+  | addr, _ -> Wire.addr_to_string addr
+
+(* Start the follower tail thread (idempotent; no-op on a leader).
+   The transport is the ordinary client, so the stream rides the same
+   wire — and the same error paths — every other consumer uses. *)
+let start_follower t =
+  match t.cfg.repl.role with
+  | Leader -> ()
+  | Follower leader ->
+      Mutex.protect t.conns_mu (fun () ->
+          if t.follower_thread = None then begin
+            let node = self_addr t in
+            let r = t.cfg.repl in
+            t.follower_thread <-
+              Some
+                (Thread.create
+                   (fun () ->
+                     Replicate.Follower.run ~node
+                       ~connect:(fun () -> Client.connect leader)
+                       ~close:Client.close ~roundtrip:Client.roundtrip
+                       ~apply:(fun seq frame -> apply_repl t seq frame)
+                       ~progress:t.repl_progress ~batch:r.batch
+                       ~wait_ms:r.wait_ms ~throttle_ms:r.throttle_ms ())
+                   ())
+          end)
+
 let serve t =
   (* a client that disconnects mid-write must not kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  start_follower t;
   let rec loop () =
     if Atomic.get t.stop_requested then ()
     else begin

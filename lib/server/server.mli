@@ -80,6 +80,32 @@ val load_session : setup -> (session, string) result
 
 (** {1 Server} *)
 
+(** Replication role (docs/ROBUSTNESS.md).  A [Leader] appends every
+    acknowledged mutation to its replication log and serves the
+    [repl_*] stream; a [Follower] tails the given leader address,
+    applies the stream to its own state, serves reads, and answers
+    every write with a typed [not_leader] redirect. *)
+type role = Leader | Follower of Wire.addr
+
+type repl_config = {
+  role : role;
+  ack_replicas : int;
+      (** leader only: hold each mutation's response until this many
+          followers have acknowledged its seq ([0] = asynchronous) *)
+  ack_timeout_ms : int;
+      (** bound on that wait; on expiry the mutation — already applied
+          locally — is answered [internal] ("replicated-unknown") *)
+  batch : int;  (** follower only: frames per [repl_pull] *)
+  wait_ms : int;  (** follower only: long-poll budget per pull *)
+  throttle_ms : int;
+      (** follower only, test hook: sleep between pulls so a catch-up
+          window is observable *)
+}
+
+val default_repl : repl_config
+(** [Leader], asynchronous (ack 0, timeout 10 s), batch 64, 200 ms
+    long-poll, no throttle. *)
+
 type config = {
   listen : Wire.addr;
   jobs : int;  (** domain-pool size for request execution *)
@@ -90,10 +116,12 @@ type config = {
       (** accept the test-only [sleep] op (a data operation of a chosen
           duration), used to pin down backpressure and drain behaviour
           deterministically; [false] everywhere but the test suite *)
+  repl : repl_config;
 }
 
 val default_config : Wire.addr -> config
-(** jobs [Par.default_jobs ()], queue 64, no deadline, cache 128. *)
+(** jobs [Par.default_jobs ()], queue 64, no deadline, cache 128,
+    replication {!default_repl}. *)
 
 type stats = {
   requests : int;
@@ -114,7 +142,15 @@ val create : session -> config -> (t, string) result
     port — see {!port}); no thread is started yet.  When the session
     has a [journal_dir], the view catalog logged to [views.journal] is
     replayed here (definitions the current session can no longer
-    satisfy are dropped) and the log compacted. *)
+    satisfy are dropped) and the log compacted.  A [Leader] with a
+    [journal_dir] also recovers [DIR/repl.journal] (longest valid
+    prefix) and replays it into its runtime state, so a restarted
+    leader serves exactly what it last acknowledged. *)
+
+val start_follower : t -> unit
+(** Starts the follower tail thread (no-op on a leader; idempotent).
+    {!serve} calls this itself — it is exposed for tests that drive a
+    follower without an accept loop. *)
 
 val define_view :
   t ->

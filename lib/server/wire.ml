@@ -36,6 +36,7 @@ type error_code =
   | Update_error
   | Overloaded
   | Deadline_exceeded
+  | Not_leader
   | Shutting_down
   | Internal
 
@@ -50,14 +51,15 @@ let code_to_string = function
   | Update_error -> "update_error"
   | Overloaded -> "overloaded"
   | Deadline_exceeded -> "deadline_exceeded"
+  | Not_leader -> "not_leader"
   | Shutting_down -> "shutting_down"
   | Internal -> "internal"
 
 let all_codes =
   [
     Bad_frame; Bad_request; Unknown_op; Unknown_view; Parse_error; Unmapped;
-    Eval_error; Update_error; Overloaded; Deadline_exceeded; Shutting_down;
-    Internal;
+    Eval_error; Update_error; Overloaded; Deadline_exceeded; Not_leader;
+    Shutting_down; Internal;
   ]
 
 let code_of_string s = List.find_opt (fun c -> code_to_string c = s) all_codes
@@ -71,7 +73,12 @@ let ops =
   [
     "query"; "rewrite"; "update"; "migrate"; "define_view"; "drop_view";
     "refresh_view"; "sleep"; "view_stats"; "health"; "metrics";
+    "repl_handshake"; "repl_pull"; "repl_frame"; "repl_status";
   ]
+
+let mutating = function
+  | "update" | "migrate" | "define_view" | "drop_view" | "refresh_view" -> true
+  | _ -> false
 
 type request = {
   id : Json.t option;
@@ -81,6 +88,10 @@ type request = {
   base : string option;
   policy : string option;
   deadline_ms : int option;
+  seq : int option;
+  max : int option;
+  wait_ms : int option;
+  node : string option;
 }
 
 let request_of_json = function
@@ -108,11 +119,15 @@ let request_of_json = function
       let* base = str_field "base" in
       let* policy = str_field "policy" in
       let* deadline_ms = int_field "deadline_ms" in
+      let* seq = int_field "seq" in
+      let* max = int_field "max" in
+      let* wait_ms = int_field "wait_ms" in
+      let* node = str_field "node" in
       match op with
       | None -> Error (Bad_request, "frame has no \"op\" field")
       | Some op ->
           let text = match q with Some _ -> q | None -> u in
-          Ok { id; op; view; text; base; policy; deadline_ms })
+          Ok { id; op; view; text; base; policy; deadline_ms; seq; max; wait_ms; node })
   | _ -> Error (Bad_frame, "frame must be a JSON object")
 
 let request_of_line line =
@@ -120,28 +135,40 @@ let request_of_line line =
   | Error e -> Error (Bad_frame, "frame is not valid JSON: " ^ e)
   | Ok v -> request_of_json v
 
-let request_to_json ?id ?view ?text ?base ?policy ?deadline_ms op =
+let request_to_json ?id ?view ?text ?base ?policy ?deadline_ms ?seq ?max
+    ?wait_ms ?node op =
+  let int_opt name = function
+    | Some i -> [ (name, Json.Int i) ]
+    | None -> []
+  in
+  let str_opt name = function
+    | Some s -> [ (name, Json.String s) ]
+    | None -> []
+  in
   let fields =
     (match id with Some v -> [ ("id", v) ] | None -> [])
     @ [ ("op", Json.String op) ]
-    @ (match view with Some v -> [ ("view", Json.String v) ] | None -> [])
+    @ str_opt "view" view
     @ (match text with
       | Some t ->
           (* updates travel in "u", everything else in "q" *)
           [ ((if op = "update" then "u" else "q"), Json.String t) ]
       | None -> [])
-    @ (match base with Some b -> [ ("base", Json.String b) ] | None -> [])
-    @ (match policy with Some p -> [ ("policy", Json.String p) ] | None -> [])
-    @
-    match deadline_ms with
-    | Some d -> [ ("deadline_ms", Json.Int d) ]
-    | None -> []
+    @ str_opt "base" base
+    @ str_opt "policy" policy
+    @ int_opt "deadline_ms" deadline_ms
+    @ int_opt "seq" seq
+    @ int_opt "max" max
+    @ int_opt "wait_ms" wait_ms
+    @ str_opt "node" node
   in
   Json.Obj fields
 
-let request_to_line ?id ?view ?text ?base ?policy ?deadline_ms op =
+let request_to_line ?id ?view ?text ?base ?policy ?deadline_ms ?seq ?max
+    ?wait_ms ?node op =
   Json.to_string
-    (request_to_json ?id ?view ?text ?base ?policy ?deadline_ms op)
+    (request_to_json ?id ?view ?text ?base ?policy ?deadline_ms ?seq ?max
+       ?wait_ms ?node op)
 
 let with_id id fields =
   match id with Some v -> ("id", v) :: fields | None -> fields
@@ -149,21 +176,24 @@ let with_id id fields =
 let ok_response ?id payload =
   Json.Obj (with_id id (("ok", Json.Bool true) :: payload))
 
-let error_response ?id code message =
+let error_response ?id ?(data = []) code message =
   Json.Obj
     (with_id id
        [
          ("ok", Json.Bool false);
          ( "error",
            Json.Obj
-             [
-               ("code", Json.String (code_to_string code));
-               ("message", Json.String message);
-             ] );
+             ([
+                ("code", Json.String (code_to_string code));
+                ("message", Json.String message);
+              ]
+             @ data) );
        ])
 
 let ok_line ?id payload = Json.to_string (ok_response ?id payload)
-let error_line ?id code message = Json.to_string (error_response ?id code message)
+
+let error_line ?id ?data code message =
+  Json.to_string (error_response ?id ?data code message)
 
 (* --- binary framing ------------------------------------------------
    The normative description of everything below is docs/WIRE.md; keep

@@ -33,6 +33,9 @@ type error_code =
   | Update_error  (** [Query.Update.Error] *)
   | Overloaded  (** bounded request queue is full — retry later *)
   | Deadline_exceeded
+  | Not_leader
+      (** a mutation reached a follower; the error payload carries a
+          ["leader"] field with the address to redirect to *)
   | Shutting_down
   | Internal
 
@@ -44,6 +47,12 @@ val ops : string list
     first.  The single source of truth for the operation table in
     [docs/SERVING.md]: [scripts/docs_check.sh] compares the two and
     fails [make check] on drift. *)
+
+val mutating : string -> bool
+(** Whether an operation changes server state ([update], [migrate] and
+    the view-catalog operations).  Exactly these are appended to the
+    replication log on a leader and redirected with {!Not_leader} on a
+    follower (docs/ROBUSTNESS.md). *)
 
 type request = {
   id : Obs.Json.t option;  (** echoed verbatim in the response *)
@@ -59,6 +68,12 @@ type request = {
   policy : string option;
       (** [define_view] only: ["eager"], ["lazy"] (default), ["manual"] *)
   deadline_ms : int option;
+  seq : int option;
+      (** [repl_pull]: first seq wanted; [repl_frame]: the seq wanted *)
+  max : int option;  (** [repl_pull] only: frames-per-pull cap *)
+  wait_ms : int option;
+      (** [repl_pull] only: long-poll budget when no frame is ready *)
+  node : string option;  (** the follower's identity on [repl_*] ops *)
 }
 
 val request_of_line : string -> (request, error_code * string) result
@@ -78,6 +93,10 @@ val request_to_line :
   ?base:string ->
   ?policy:string ->
   ?deadline_ms:int ->
+  ?seq:int ->
+  ?max:int ->
+  ?wait_ms:int ->
+  ?node:string ->
   string ->
   string
 (** [request_to_line op] builds the client-side frame (no trailing
@@ -90,6 +109,10 @@ val request_to_json :
   ?base:string ->
   ?policy:string ->
   ?deadline_ms:int ->
+  ?seq:int ->
+  ?max:int ->
+  ?wait_ms:int ->
+  ?node:string ->
   string ->
   Obs.Json.t
 (** The request value itself, for clients that frame it as binary. *)
@@ -97,13 +120,26 @@ val request_to_json :
 val ok_response : ?id:Obs.Json.t -> (string * Obs.Json.t) list -> Obs.Json.t
 (** The response value behind {!ok_line}, for binary framing. *)
 
-val error_response : ?id:Obs.Json.t -> error_code -> string -> Obs.Json.t
-(** The response value behind {!error_line}, for binary framing. *)
+val error_response :
+  ?id:Obs.Json.t ->
+  ?data:(string * Obs.Json.t) list ->
+  error_code ->
+  string ->
+  Obs.Json.t
+(** The response value behind {!error_line}, for binary framing.
+    [data] fields are appended inside the ["error"] object after
+    ["code"] and ["message"] — {!Not_leader} carries its ["leader"]
+    address this way. *)
 
 val ok_line : ?id:Obs.Json.t -> (string * Obs.Json.t) list -> string
 (** [{"id":..,"ok":true,<payload fields>}] (no trailing newline). *)
 
-val error_line : ?id:Obs.Json.t -> error_code -> string -> string
+val error_line :
+  ?id:Obs.Json.t ->
+  ?data:(string * Obs.Json.t) list ->
+  error_code ->
+  string ->
+  string
 (** [{"id":..,"ok":false,"error":{"code":..,"message":..}}]. *)
 
 (** {1 Binary framing}

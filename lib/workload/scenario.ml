@@ -510,7 +510,20 @@ let ops_total t =
 
 (* ---- files -------------------------------------------------------- *)
 
-type files = { ddl : string; script : string; data : string; schedule : string }
+type files = {
+  ddl : string;
+  script : string;
+  data : string;
+  schedule : string;
+  reads : string;
+}
+
+(* Every read-only frame of the schedule, in schedule order: the storm
+   phases are exactly the frames that are safe to replay against any
+   node at any time — the chaos harness replays them post-failover and
+   compares answers byte-for-byte against the single-node reference. *)
+let read_frames (t : t) =
+  List.concat_map (fun ph -> if ph.storm then ph.frames else []) t.schedule
 
 let write_string path s =
   let oc = open_out_bin path in
@@ -545,6 +558,7 @@ let write_files ~dir t =
       script = path "session.sit";
       data = path "instances.ecd";
       schedule = path "schedule.txt";
+      reads = path "reads.txt";
     }
   in
   Ddl.Printer.save files.ddl t.schemas;
@@ -553,6 +567,8 @@ let write_files ~dir t =
     (String.concat "\n"
        (List.map (fun (s, st) -> Instance.Loader.to_string s st) t.stores));
   write_string files.schedule (schedule_to_string t);
+  write_string files.reads
+    (String.concat "" (List.map (fun f -> f ^ "\n") (read_frames t)));
   files
 
 let parse_schedule text =

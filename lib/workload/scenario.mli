@@ -118,12 +118,21 @@ type files = {
   script : string;  (** the integration session *)
   data : string;  (** instance blocks for every schema *)
   schedule : string;  (** the schedule, {!parse_schedule} syntax *)
+  reads : string;
+      (** {!read_frames}, one frame per line — the post-failover replay
+          deck of [scripts/chaos_test.sh] *)
 }
 
 val write_files : dir:string -> t -> files
 (** Renders the scenario under [dir] (created if missing) and returns
-    the paths — exactly what [sit_serve] and [scripts/scenario_test.sh]
-    consume. *)
+    the paths — exactly what [sit_serve], [scripts/scenario_test.sh]
+    and [scripts/chaos_test.sh] consume. *)
+
+val read_frames : t -> string list
+(** Every read-only (storm-phase) frame of the schedule, in schedule
+    order: safe to replay against any node, any number of times, so the
+    chaos harness uses them to compare a survivor's answers
+    byte-for-byte against the single-node reference. *)
 
 val schedule_to_string : t -> string
 

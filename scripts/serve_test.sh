@@ -11,6 +11,7 @@ SERVE="$ROOT/_build/default/bin/sit_serve.exe"
 DATA="$ROOT/examples/data"
 SOCK="${TMPDIR:-/tmp}/sit_serve_test_$$.sock"
 LOG="${TMPDIR:-/tmp}/sit_serve_test_$$.log"
+TCPLOG="${TMPDIR:-/tmp}/sit_serve_test_tcp_$$.log"
 
 [ -x "$SERVE" ] || { echo "serve-test: build first (dune build)"; exit 1; }
 
@@ -19,9 +20,11 @@ LOG="${TMPDIR:-/tmp}/sit_serve_test_$$.log"
   --view "honors@eager:sc1=select Name from Student where GPA >= 3.0" \
   --listen "unix:$SOCK" --jobs 4 >"$LOG" 2>&1 &
 PID=$!
+TCPPID=""
 cleanup() {
   kill "$PID" 2>/dev/null || true
-  rm -f "$SOCK" "$LOG"
+  [ -n "$TCPPID" ] && kill "$TCPPID" 2>/dev/null || true
+  rm -f "$SOCK" "$LOG" "$TCPLOG"
 }
 trap cleanup EXIT
 
@@ -45,6 +48,30 @@ for PROTO in json bin; do
     --mat honors \
     || { RC=$?; echo "serve-test: $PROTO leg failed (exit $RC)"; cat "$LOG"; exit "$RC"; }
 done
+
+# TCP leg on an ephemeral port: the daemon asks the kernel for a free
+# port (:0) and advertises it on stderr; we parse that line and point
+# the drive client at it — no fixed port, so parallel runs of this
+# script (or anything else on the host) can never collide
+"$SERVE" "$DATA/sc1.ecr" "$DATA/sc2.ecr" \
+  --script "$DATA/paper_session.sit" --data "$DATA/paper_instances.ecd" \
+  --listen ":0" --jobs 2 >"$TCPLOG" 2>&1 &
+TCPPID=$!
+PORT=""
+i=0
+while [ -z "$PORT" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "serve-test: TCP daemon did not advertise a port"; cat "$TCPLOG"; exit 1; }
+  PORT=$(sed -n 's/^sit_serve: listening on port \([0-9][0-9]*\)$/\1/p' "$TCPLOG")
+  [ -n "$PORT" ] || sleep 0.1
+done
+"$SERVE" --drive "127.0.0.1:$PORT" --conns 4 --requests 200 --proto json \
+  --query "sc1: select Name, GPA from Student where GPA > 3.0" \
+  --global "select Name from Student" \
+  || { RC=$?; echo "serve-test: TCP ephemeral-port leg failed (exit $RC)"; cat "$TCPLOG"; exit "$RC"; }
+kill -TERM "$TCPPID"
+wait "$TCPPID" || { echo "serve-test: TCP daemon exited non-zero"; cat "$TCPLOG"; exit 1; }
+TCPPID=""
 
 # deliberate failure: an all-error workload must exit non-zero — this
 # smoke-checks that the per-leg propagation above can actually fire

@@ -1,0 +1,665 @@
+(* Tests for the replication tier (lib/replicate + the server's
+   leader/follower wiring): deterministic backoff, the seq-numbered
+   replication log (persistence, torn-tail recovery, acks), and
+   in-process leader + follower clusters — catch-up, staleness
+   observability, not_leader redirects, client failover, semi-sync
+   acks with a leader killed mid-read-storm, and leader restart
+   replaying its own log.  The out-of-process legs (real daemons,
+   kill -9, late-started followers) live in scripts/chaos_test.sh. *)
+
+open Ecr
+module S = Instance.Store
+module V = Instance.Value
+module Json = Obs.Json
+module Backoff = Replicate.Backoff
+module Log = Replicate.Log
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+(* ---- fixtures: the paper's sc1+sc2 session with instances --------- *)
+
+let sc1_store () =
+  let st = S.create Workload.Paper.sc1 in
+  let student name gpa = S.tuple [ ("Name", V.str name); ("GPA", V.real gpa) ] in
+  let st, ann = S.insert (Name.v "Student") (student "Ann" 3.9) st in
+  let st, ben = S.insert (Name.v "Student") (student "Ben" 2.5) st in
+  let st, cs =
+    S.insert (Name.v "Department") (S.tuple [ ("Name", V.str "CS") ]) st
+  in
+  let since y = S.tuple [ ("Since", V.date y 9 1) ] in
+  let st = S.relate (Name.v "Majors") [ ann; cs ] (since 2020) st in
+  let st = S.relate (Name.v "Majors") [ ben; cs ] (since 2021) st in
+  st
+
+let sc2_store () =
+  let st = S.create Workload.Paper.sc2 in
+  let st, _ =
+    S.insert (Name.v "Grad_student")
+      (S.tuple
+         [
+           ("Name", V.str "Ann"); ("GPA", V.real 3.9); ("Support_type", V.str "RA");
+         ])
+      st
+  in
+  st
+
+let fresh_session ?journal_dir () =
+  let result = Workload.Paper.integrate_sc1_sc2 () in
+  Server.make_session ?journal_dir ~result
+    ~stores:
+      [ (Workload.Paper.sc1, sc1_store ()); (Workload.Paper.sc2, sc2_store ()) ]
+    ()
+
+let local = Server.Wire.Tcp ("127.0.0.1", 0)
+
+let start_server ?journal_dir ?(repl = Server.default_repl) () =
+  let cfg =
+    {
+      Server.listen = local;
+      jobs = 2;
+      queue = 64;
+      deadline_ms = None;
+      cache = 16;
+      debug = false;
+      repl;
+    }
+  in
+  match Server.start (fresh_session ?journal_dir ()) cfg with
+  | Error msg -> Alcotest.fail ("server failed to start: " ^ msg)
+  | Ok t -> (
+      match Server.port t with
+      | Some p -> (t, Server.Wire.Tcp ("127.0.0.1", p))
+      | None -> Alcotest.fail "no bound port")
+
+let follower_of leader_addr =
+  { Server.default_repl with role = Server.Follower leader_addr }
+
+let with_client addr f =
+  let c = Server.Client.connect addr in
+  Fun.protect ~finally:(fun () -> Server.Client.close c) (fun () -> f c)
+
+let int_field name resp =
+  match Json.member name resp with
+  | Some (Json.Int n) -> n
+  | _ -> Alcotest.fail (Printf.sprintf "no %S field in response" name)
+
+(* Polls [f] until it returns true, failing the test after [timeout]. *)
+let eventually ?(timeout = 10.) what f =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if f () then ()
+    else if Unix.gettimeofday () -. t0 > timeout then
+      Alcotest.fail ("timed out waiting for " ^ what)
+    else begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    let base = Filename.temp_file "sit_repl" "" in
+    Sys.remove base;
+    Unix.mkdir base 0o755;
+    incr n;
+    base
+
+let rm_rf dir =
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+let insert_frame i =
+  Server.Wire.request_to_line ~view:"sc1"
+    ~text:(Printf.sprintf "insert into Student { Name = 'R%d', GPA = 3.0 }" i)
+    "update"
+
+let count_frame =
+  Server.Wire.request_to_line ~view:"sc1" ~text:"select Name from Student"
+    "query"
+
+let count_of resp = int_field "count" resp
+
+let student_count c =
+  count_of (Server.Client.request c ~view:"sc1" ~text:"select Name from Student" "query")
+
+(* ------------------------------------------------------------------ *)
+(* 1. Backoff.                                                         *)
+
+let backoff_tests =
+  [
+    tc "delays are deterministic, bounded and capped" (fun () ->
+        let p = { Backoff.default with attempts = 8; seed = 7 } in
+        let d1 = Backoff.delays p and d2 = Backoff.delays p in
+        check Alcotest.(list (float 0.0)) "same policy, same delays" d1 d2;
+        check Alcotest.int "attempts-1 delays" 7 (List.length d1);
+        List.iteri
+          (fun i d ->
+            let nominal =
+              Float.min p.Backoff.max_ms
+                (p.Backoff.base_ms *. (p.Backoff.factor ** float i))
+            in
+            check Alcotest.bool
+              (Printf.sprintf "delay %d in jitter band" i)
+              true
+              (d <= nominal +. 1e-9
+              && d >= (nominal *. (1. -. p.Backoff.jitter)) -. 1e-9))
+          d1;
+        let unjittered = Backoff.delays { p with jitter = 0. } in
+        List.iteri
+          (fun i d ->
+            let nominal =
+              Float.min p.Backoff.max_ms
+                (p.Backoff.base_ms *. (p.Backoff.factor ** float i))
+            in
+            check (Alcotest.float 1e-9)
+              (Printf.sprintf "unjittered delay %d is nominal" i)
+              nominal d)
+          unjittered);
+    tc "different seeds give different jitter" (fun () ->
+        let p = { Backoff.default with attempts = 6 } in
+        check Alcotest.bool "seeds decorrelate" true
+          (Backoff.delays { p with seed = 1 } <> Backoff.delays { p with seed = 2 }));
+    tc "run retries to success and reports exhaustion" (fun () ->
+        let slept = ref [] in
+        let sleep d = slept := d :: !slept in
+        let calls = ref 0 in
+        (match
+           Backoff.run ~sleep
+             { Backoff.default with attempts = 5 }
+             (fun k ->
+               incr calls;
+               if k < 2 then Error ("fail " ^ string_of_int k) else Ok (k * 10))
+         with
+        | Ok v ->
+            check Alcotest.int "succeeded on third try" 20 v;
+            check Alcotest.int "called thrice" 3 !calls;
+            check Alcotest.int "slept twice" 2 (List.length !slept)
+        | Error _ -> Alcotest.fail "should have succeeded");
+        match
+          Backoff.run ~sleep
+            { Backoff.default with attempts = 3 }
+            (fun k -> Error k)
+        with
+        | Ok _ -> Alcotest.fail "should have failed"
+        | Error f ->
+            check Alcotest.int "tried the whole budget" 3 f.Backoff.tried;
+            check Alcotest.int "last error reported" 2 f.Backoff.last);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* 2. The replication log.                                             *)
+
+let log_tests =
+  [
+    tc "append/get/from/seq, in memory" (fun () ->
+        let l = Log.create () in
+        check Alcotest.int "empty" 0 (Log.seq l);
+        check Alcotest.int "first seq" 1 (Log.append l "a");
+        check Alcotest.int "second seq" 2 (Log.append l "b");
+        check Alcotest.int "third seq" 3 (Log.append l "c");
+        check Alcotest.(option string) "get 2" (Some "b") (Log.get l 2);
+        check Alcotest.(option string) "get 0" None (Log.get l 0);
+        check Alcotest.(option string) "get 4" None (Log.get l 4);
+        check
+          Alcotest.(list (pair int string))
+          "from 2" [ (2, "b"); (3, "c") ] (Log.from l 2 ~max:10);
+        check
+          Alcotest.(list (pair int string))
+          "from 1 capped"
+          [ (1, "a") ]
+          (Log.from l 1 ~max:1);
+        Log.close l;
+        check Alcotest.bool "append after close raises" true
+          (match Log.append l "d" with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    tc "wait long-polls until a frame arrives, times out, wakes on close"
+      (fun () ->
+        let l = Log.create () in
+        check Alcotest.bool "timeout on empty" false
+          (Log.wait l ~from:1 ~timeout_s:0.05);
+        let appender =
+          Thread.create
+            (fun () ->
+              Thread.delay 0.05;
+              ignore (Log.append l "x"))
+            ()
+        in
+        check Alcotest.bool "woken by append" true
+          (Log.wait l ~from:1 ~timeout_s:5.);
+        Thread.join appender;
+        let closer =
+          Thread.create
+            (fun () ->
+              Thread.delay 0.05;
+              Log.close l)
+            ()
+        in
+        check Alcotest.bool "close wakes waiters with false" false
+          (Log.wait l ~from:2 ~timeout_s:5.);
+        Thread.join closer);
+    tc "acks are monotonic per node; wait_acked counts replicas" (fun () ->
+        let l = Log.create () in
+        ignore (Log.append l "a");
+        ignore (Log.append l "b");
+        Log.ack l ~node:"f1" 0;
+        Log.ack l ~node:"f2" 0;
+        check
+          Alcotest.(list (pair string int))
+          "registered at 0"
+          [ ("f1", 0); ("f2", 0) ]
+          (Log.acks l);
+        Log.ack l ~node:"f1" 2;
+        Log.ack l ~node:"f1" 1;
+        check
+          Alcotest.(list (pair string int))
+          "monotonic"
+          [ ("f1", 2); ("f2", 0) ]
+          (Log.acks l);
+        check Alcotest.int "one node at seq 2" 1 (Log.acked_by l 2);
+        check Alcotest.bool "1 replica is enough" true
+          (Log.wait_acked l ~seq:2 ~replicas:1 ~timeout_s:0.2);
+        check Alcotest.bool "2 replicas times out" false
+          (Log.wait_acked l ~seq:2 ~replicas:2 ~timeout_s:0.05);
+        let acker =
+          Thread.create
+            (fun () ->
+              Thread.delay 0.05;
+              Log.ack l ~node:"f2" 2)
+            ()
+        in
+        check Alcotest.bool "woken when the second ack lands" true
+          (Log.wait_acked l ~seq:2 ~replicas:2 ~timeout_s:5.);
+        Thread.join acker;
+        Log.close l);
+    tc "persisted log recovers; a torn tail is truncated, never fatal"
+      (fun () ->
+        let dir = fresh_dir () in
+        Fun.protect
+          ~finally:(fun () -> rm_rf dir)
+          (fun () ->
+            let path = Filename.concat dir "repl.journal" in
+            let l = Log.create ~persist:path () in
+            ignore (Log.append l "one");
+            ignore (Log.append l "two");
+            ignore (Log.append l "three");
+            Log.close l;
+            (* clean reopen: full prefix *)
+            let l2 = Log.create ~persist:path () in
+            check Alcotest.int "recovered seq" 3 (Log.seq l2);
+            check Alcotest.int "no truncation" 0 (Log.truncated_bytes l2);
+            check Alcotest.(option string) "frame 3" (Some "three")
+              (Log.get l2 3);
+            Log.close l2;
+            (* tear the tail: cut the last 2 bytes of the file *)
+            let data =
+              In_channel.with_open_bin path In_channel.input_all
+            in
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc
+                  (String.sub data 0 (String.length data - 2)));
+            let l3 = Log.create ~persist:path () in
+            check Alcotest.int "longest valid prefix" 2 (Log.seq l3);
+            check Alcotest.bool "torn bytes counted" true
+              (Log.truncated_bytes l3 > 0);
+            (* the log keeps appending over the healed tail *)
+            check Alcotest.int "next seq continues the prefix" 3
+              (Log.append l3 "three'");
+            Log.close l3;
+            let l4 = Log.create ~persist:path () in
+            check Alcotest.(option string) "healed frame persisted"
+              (Some "three'") (Log.get l4 3);
+            Log.close l4));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* 3. Wire surface.                                                    *)
+
+let wire_tests =
+  [
+    tc "mutating classifies exactly the replicated ops" (fun () ->
+        List.iter
+          (fun op ->
+            check Alcotest.bool (op ^ " is mutating") true
+              (Server.Wire.mutating op))
+          [ "update"; "migrate"; "define_view"; "drop_view"; "refresh_view" ];
+        List.iter
+          (fun op ->
+            check Alcotest.bool (op ^ " is not mutating") false
+              (Server.Wire.mutating op))
+          [
+            "query"; "rewrite"; "health"; "metrics"; "stats"; "view_stats";
+            "repl_handshake"; "repl_pull"; "repl_frame"; "repl_status";
+          ]);
+    tc "the op registry covers the repl operations" (fun () ->
+        List.iter
+          (fun op ->
+            check Alcotest.bool (op ^ " registered") true
+              (List.mem op Server.Wire.ops))
+          [ "repl_handshake"; "repl_pull"; "repl_frame"; "repl_status" ]);
+    tc "repl request fields roundtrip" (fun () ->
+        let line =
+          Server.Wire.request_to_line ~seq:7 ~max:32 ~wait_ms:150 ~node:"f1"
+            "repl_pull"
+        in
+        match Server.Wire.request_of_line line with
+        | Error _ -> Alcotest.fail "frame did not decode"
+        | Ok r ->
+            check Alcotest.(option int) "seq" (Some 7) r.Server.Wire.seq;
+            check Alcotest.(option int) "max" (Some 32) r.Server.Wire.max;
+            check Alcotest.(option int) "wait_ms" (Some 150)
+              r.Server.Wire.wait_ms;
+            check Alcotest.(option string) "node" (Some "f1")
+              r.Server.Wire.node);
+    tc "not_leader is a typed code and carries its data" (fun () ->
+        check
+          Alcotest.(option string)
+          "registered" (Some "not_leader")
+          (Option.map Server.Wire.code_to_string
+             (Server.Wire.code_of_string "not_leader"));
+        let line =
+          Server.Wire.error_line
+            ~data:[ ("leader", Json.String "127.0.0.1:7401") ]
+            Server.Wire.Not_leader "redirect"
+        in
+        match Json.of_string line with
+        | Error e -> Alcotest.fail e
+        | Ok v ->
+            check
+              Alcotest.(option string)
+              "code" (Some "not_leader") (Server.Client.error_code v);
+            check Alcotest.bool "leader field present" true
+              (Json.find [ "error"; "leader" ] v
+              = Some (Json.String "127.0.0.1:7401")));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* 4. Clusters: leader + followers in-process.                         *)
+
+let stop_all ts = List.iter (fun t -> try Server.stop t with _ -> ()) ts
+
+let cluster_tests =
+  [
+    tc "followers converge and answer byte-identically to the leader"
+      (fun () ->
+        let leader, laddr = start_server () in
+        let f1, a1 = start_server ~repl:(follower_of laddr) () in
+        let f2, a2 = start_server ~repl:(follower_of laddr) () in
+        Fun.protect
+          ~finally:(fun () -> stop_all [ f1; f2; leader ])
+          (fun () ->
+            with_client laddr (fun c ->
+                for i = 1 to 3 do
+                  let resp =
+                    Server.Client.request c ~view:"sc1"
+                      ~text:
+                        (Printf.sprintf
+                           "insert into Student { Name = 'R%d', GPA = 3.0 }" i)
+                      "update"
+                  in
+                  check Alcotest.bool
+                    (Printf.sprintf "update %d ok" i)
+                    true (Server.Client.is_ok resp)
+                done;
+                let resp =
+                  Server.Client.request c ~view:"hi" ~base:"sc1"
+                    ~text:"select Name from Student where GPA >= 3.5"
+                    "define_view"
+                in
+                check Alcotest.bool "define_view ok" true
+                  (Server.Client.is_ok resp));
+            (* each follower reports convergence through health *)
+            List.iter
+              (fun addr ->
+                with_client addr (fun c ->
+                    eventually "follower catch-up" (fun () ->
+                        let h = Server.Client.request c "health" in
+                        int_field "applied_seq" h = 4
+                        && int_field "staleness_seq" h = 0)))
+              [ a1; a2 ];
+            (* byte-identity: the same frames answered with the same bytes *)
+            let deck =
+              [|
+                count_frame;
+                Server.Wire.request_to_line ~view:"hi" "query";
+                Server.Wire.request_to_line
+                  ~text:"select Name from Student where GPA >= 3.5" "query";
+              |]
+            in
+            let answers addr =
+              with_client addr (fun c ->
+                  Array.map (Server.Client.roundtrip c) deck)
+            in
+            let want = answers laddr in
+            List.iter
+              (fun addr ->
+                let got = answers addr in
+                Array.iteri
+                  (fun i w ->
+                    check Alcotest.string
+                      (Printf.sprintf "frame %d byte-identical" i)
+                      w got.(i))
+                  want)
+              [ a1; a2 ];
+            (* the leader's status knows both followers *)
+            with_client laddr (fun c ->
+                let st = Server.Client.request c "repl_status" in
+                match Json.member "followers" st with
+                | Some (Json.List fs) ->
+                    check Alcotest.int "two followers" 2 (List.length fs)
+                | _ -> Alcotest.fail "no followers list")));
+    tc "a write to a follower answers not_leader with the leader address"
+      (fun () ->
+        let leader, laddr = start_server () in
+        let f1, a1 = start_server ~repl:(follower_of laddr) () in
+        Fun.protect
+          ~finally:(fun () -> stop_all [ f1; leader ])
+          (fun () ->
+            with_client a1 (fun c ->
+                let resp =
+                  Server.Client.request c ~view:"sc1"
+                    ~text:"insert into Student { Name = 'Nope', GPA = 1.0 }"
+                    "update"
+                in
+                check Alcotest.bool "rejected" false (Server.Client.is_ok resp);
+                check
+                  Alcotest.(option string)
+                  "typed code" (Some "not_leader")
+                  (Server.Client.error_code resp);
+                check Alcotest.bool "leader advertised" true
+                  (Json.find [ "error"; "leader" ] resp
+                  = Some
+                      (Json.String (Server.Wire.addr_to_string laddr))));
+            (* reads still work on the follower *)
+            with_client a1 (fun c ->
+                check Alcotest.bool "reads fine" true
+                  (Server.Client.is_ok
+                     (Server.Client.request c ~view:"sc1"
+                        ~text:"select Name from Student" "query")))));
+    tc "failover client walks dead endpoints and chases redirects" (fun () ->
+        let leader, laddr = start_server () in
+        let f1, a1 = start_server ~repl:(follower_of laddr) () in
+        Fun.protect
+          ~finally:(fun () -> stop_all [ f1; leader ])
+          (fun () ->
+            let dead = Server.Wire.Tcp ("127.0.0.1", 1) in
+            (* first endpoint dead, second a follower: a write must hop
+               dead -> follower -> (redirect) -> leader and succeed *)
+            let fo =
+              Server.Client.failover
+                ~retry:{ Backoff.default with base_ms = 1.; seed = 3 }
+                [ dead; a1; laddr ]
+            in
+            Fun.protect
+              ~finally:(fun () -> Server.Client.failover_close fo)
+              (fun () ->
+                let resp =
+                  Server.Client.failover_roundtrip fo (insert_frame 99)
+                in
+                (match Json.of_string resp with
+                | Ok v ->
+                    check Alcotest.bool "write landed on the leader" true
+                      (Server.Client.is_ok v)
+                | Error e -> Alcotest.fail e);
+                let failovers, redirects = Server.Client.failover_stats fo in
+                check Alcotest.bool "walked the dead endpoint" true
+                  (failovers >= 1);
+                check Alcotest.bool "chased the redirect" true (redirects >= 1));
+            (* all endpoints dead: typed Connection_error, not a hang *)
+            let all_dead =
+              Server.Client.failover
+                ~retry:{ Backoff.default with attempts = 3; base_ms = 1. }
+                [ dead ]
+            in
+            check Alcotest.bool "exhaustion raises Connection_error" true
+              (match Server.Client.failover_roundtrip all_dead count_frame with
+              | exception Server.Client.Connection_error _ -> true
+              | _ -> false)));
+    tc "semi-sync acks: leader killed mid-storm loses no acknowledged write"
+      (fun () ->
+        let leader, laddr =
+          start_server ~repl:{ Server.default_repl with ack_replicas = 2 } ()
+        in
+        let f1, a1 = start_server ~repl:(follower_of laddr) () in
+        let f2, a2 = start_server ~repl:(follower_of laddr) () in
+        Fun.protect
+          ~finally:(fun () -> stop_all [ f1; f2; leader ])
+          (fun () ->
+            let n = 5 in
+            with_client laddr (fun c ->
+                for i = 1 to n do
+                  let resp =
+                    match
+                      Json.of_string (Server.Client.roundtrip c (insert_frame i))
+                    with
+                    | Ok v -> v
+                    | Error e -> Alcotest.fail e
+                  in
+                  check Alcotest.bool
+                    (Printf.sprintf "write %d acked" i)
+                    true (Server.Client.is_ok resp)
+                done);
+            (* the reference answer, from the leader, before the kill *)
+            let reference =
+              with_client laddr (fun c -> Server.Client.roundtrip c count_frame)
+            in
+            (* storm reads through a failover client while the leader
+               dies mid-deck: every read must be answered, and answers
+               must equal the reference bytes *)
+            let fo =
+              Server.Client.failover
+                ~retry:{ Backoff.default with base_ms = 1.; seed = 11 }
+                [ laddr; a1; a2 ]
+            in
+            Fun.protect
+              ~finally:(fun () -> Server.Client.failover_close fo)
+              (fun () ->
+                let first = Server.Client.failover_roundtrip fo count_frame in
+                check Alcotest.string "pre-kill read matches" reference first;
+                Server.stop leader;
+                for i = 1 to 8 do
+                  let resp = Server.Client.failover_roundtrip fo count_frame in
+                  check Alcotest.string
+                    (Printf.sprintf
+                       "post-failover read %d byte-identical to the \
+                        acknowledged state"
+                       i)
+                    reference resp
+                done;
+                let failovers, _ = Server.Client.failover_stats fo in
+                check Alcotest.bool "failed over off the dead leader" true
+                  (failovers >= 1))));
+    tc "a throttled follower reports staleness honestly, then converges"
+      (fun () ->
+        let leader, laddr = start_server () in
+        let slow, a1 =
+          start_server
+            ~repl:
+              {
+                (follower_of laddr) with
+                batch = 1;
+                throttle_ms = 120;
+                wait_ms = 10;
+              }
+            ()
+        in
+        Fun.protect
+          ~finally:(fun () -> stop_all [ slow; leader ])
+          (fun () ->
+            (* register: wait until the follower has completed at least
+               one handshake (it knows the leader's seq) *)
+            with_client a1 (fun c ->
+                eventually "follower connected" (fun () ->
+                    match
+                      Json.member "repl_connected"
+                        (Server.Client.request c "health")
+                    with
+                    | Some (Json.Bool b) -> b
+                    | _ -> false));
+            with_client laddr (fun c ->
+                for i = 1 to 6 do
+                  ignore (Server.Client.roundtrip c (insert_frame i))
+                done);
+            with_client a1 (fun c ->
+                (* at 1 frame per >=120 ms the catch-up window is wide
+                   open: staleness must be visible... *)
+                eventually "staleness observed" (fun () ->
+                    int_field "staleness_seq" (Server.Client.request c "health")
+                    > 0);
+                (* ...and must close *)
+                eventually ~timeout:30. "convergence" (fun () ->
+                    let h = Server.Client.request c "health" in
+                    int_field "applied_seq" h = 6
+                    && int_field "staleness_seq" h = 0))));
+    tc "a restarted leader replays its replication log" (fun () ->
+        let dir = fresh_dir () in
+        Fun.protect
+          ~finally:(fun () -> rm_rf dir)
+          (fun () ->
+            let count1 =
+              let leader, laddr = start_server ~journal_dir:dir () in
+              Fun.protect
+                ~finally:(fun () -> Server.stop leader)
+                (fun () ->
+                  with_client laddr (fun c ->
+                      for i = 1 to 3 do
+                        let resp =
+                          match
+                            Json.of_string
+                              (Server.Client.roundtrip c (insert_frame i))
+                          with
+                          | Ok v -> v
+                          | Error e -> Alcotest.fail e
+                        in
+                        check Alcotest.bool "write ok" true
+                          (Server.Client.is_ok resp)
+                      done;
+                      student_count c))
+            in
+            (* restart from the same journal dir: the replayed leader
+               serves exactly what it last acknowledged *)
+            let leader, laddr = start_server ~journal_dir:dir () in
+            Fun.protect
+              ~finally:(fun () -> Server.stop leader)
+              (fun () ->
+                with_client laddr (fun c ->
+                    check Alcotest.int "state replayed" count1
+                      (student_count c);
+                    let h = Server.Client.request c "health" in
+                    check Alcotest.int "repl_seq recovered" 3
+                      (int_field "repl_seq" h)))));
+  ]
+
+let () =
+  Alcotest.run "replicate"
+    [
+      ("backoff", backoff_tests);
+      ("log", log_tests);
+      ("wire", wire_tests);
+      ("cluster", cluster_tests);
+    ]

@@ -61,7 +61,15 @@ let local = Server.Wire.Tcp ("127.0.0.1", 0)
 let with_server ?(jobs = 2) ?(queue = 64) ?deadline_ms ?(cache = 128)
     ?(debug = false) f =
   let cfg =
-    { Server.listen = local; jobs; queue; deadline_ms; cache; debug }
+    {
+      Server.listen = local;
+      jobs;
+      queue;
+      deadline_ms;
+      cache;
+      debug;
+      repl = Server.default_repl;
+    }
   in
   match Server.start (Lazy.force session) cfg with
   | Error msg -> Alcotest.fail ("server failed to start: " ^ msg)
@@ -291,6 +299,7 @@ let server_tests =
             deadline_ms = None;
             cache = 16;
             debug = true;
+            repl = Server.default_repl;
           }
         in
         match Server.start (Lazy.force session) cfg with
@@ -323,7 +332,7 @@ let server_tests =
             | Error e -> Alcotest.fail ("drained response unparseable: " ^ e));
             (* the listener is gone *)
             (match Server.Client.connect addr with
-            | exception Unix.Unix_error _ -> ()
+            | exception Server.Client.Connection_error _ -> ()
             | c2 ->
                 Server.Client.close c2;
                 Alcotest.fail "server still accepting after stop");

@@ -57,7 +57,17 @@ let local = Server.Wire.Tcp ("127.0.0.1", 0)
 
 let with_server ?(session = Lazy.force session) ?(jobs = 2) ?(queue = 64)
     ?deadline_ms ?(cache = 128) ?(debug = false) f =
-  let cfg = { Server.listen = local; jobs; queue; deadline_ms; cache; debug } in
+  let cfg =
+    {
+      Server.listen = local;
+      jobs;
+      queue;
+      deadline_ms;
+      cache;
+      debug;
+      repl = Server.default_repl;
+    }
+  in
   match Server.start session cfg with
   | Error msg -> Alcotest.fail ("server failed to start: " ^ msg)
   | Ok t ->
