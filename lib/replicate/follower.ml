@@ -6,6 +6,7 @@ type progress = {
   connected : bool Atomic.t;
   attempts : int Atomic.t;
   apply_errors : int Atomic.t;
+  last_error : string Atomic.t;
   stop : bool Atomic.t;
 }
 
@@ -16,10 +17,12 @@ let make_progress () =
     connected = Atomic.make false;
     attempts = Atomic.make 0;
     apply_errors = Atomic.make 0;
+    last_error = Atomic.make "";
     stop = Atomic.make false;
   }
 
 let staleness p = max 0 (Atomic.get p.leader_seq - Atomic.get p.applied)
+let last_error p = Atomic.get p.last_error
 let request_stop p = Atomic.set p.stop true
 
 (* Frames are built and parsed with Obs.Json directly: this module sits
@@ -51,6 +54,12 @@ let parse line =
   | Ok v -> v
   | Error e -> retry "unparseable response: %s" e
 
+let error_field name resp =
+  match Json.member "error" resp with
+  | Some err -> (
+      match Json.member name err with Some (Json.String s) -> Some s | _ -> None)
+  | None -> None
+
 let note_leader_seq progress resp =
   match Json.member "repl_seq" resp with
   | Some (Json.Int s) -> Atomic.set progress.leader_seq s
@@ -58,7 +67,7 @@ let note_leader_seq progress resp =
 
 let run ~node ~connect ~close ~roundtrip ~apply ~progress
     ?(backoff = Backoff.default) ?(batch = 64) ?(wait_ms = 200)
-    ?(throttle_ms = 0) () =
+    ?(throttle_ms = 0) ?(log = fun (_ : string) -> ()) () =
   let delays = Array.of_list (Backoff.delays backoff) in
   let delay_idx = ref 0 in
   (* sleep in small slices so request_stop stays responsive *)
@@ -75,6 +84,27 @@ let run ~node ~connect ~close ~roundtrip ~apply ~progress
       incr delay_idx
     end
   in
+  (* A refusal from a node that answers [not_leader] is not an outage:
+     the follower is (mis)configured to tail a non-leader.  Surface it
+     distinctly — named error, warning with the advertised leader — so
+     it is diagnosable from health/repl_status instead of looking like
+     "leader briefly down" forever. *)
+  let refused what resp =
+    match error_field "code" resp with
+    | Some "not_leader" ->
+        let where =
+          match error_field "leader" resp with
+          | Some addr -> Printf.sprintf " (it advertises leader %s)" addr
+          | None -> ""
+        in
+        log
+          (Printf.sprintf
+             "%s refused: the configured leader is itself a follower%s — \
+              check --follow"
+             what where);
+        retry "%s refused: peer is not a leader%s" what where
+    | _ -> retry "%s refused" what
+  in
   let apply_batch items =
     List.iter
       (fun item ->
@@ -82,24 +112,34 @@ let run ~node ~connect ~close ~roundtrip ~apply ~progress
         match (Json.member "seq" item, Json.member "frame" item) with
         | Some (Json.Int s), Some (Json.String _) when s < next ->
             () (* already applied: a duplicate after a reconnect *)
-        | Some (Json.Int s), Some (Json.String frame) when s = next ->
-            (match apply s frame with
-            | Ok () -> ()
-            | Error _ -> Atomic.incr progress.apply_errors);
-            Atomic.set progress.applied s
+        | Some (Json.Int s), Some (Json.String frame) when s = next -> (
+            match apply s frame with
+            | Ok () -> Atomic.set progress.applied s
+            | Error e ->
+                (* do NOT advance [applied]: the next pull's [from]
+                   acks everything before it, and a frame this node
+                   failed to apply must never count toward the
+                   leader's semi-sync quorum.  Stop the tail instead;
+                   the reconnect loop re-pulls from this exact seq, so
+                   the node wedges here — visibly (staleness grows,
+                   apply_errors counts, last_error names the frame) —
+                   rather than acking past a divergence. *)
+                Atomic.incr progress.apply_errors;
+                log (Printf.sprintf "frame %d failed to apply: %s" s e);
+                retry "frame %d failed to apply: %s" s e)
         | _ -> retry "gap or malformed frame in repl_pull response")
       items
   in
   let tail conn =
     let resp = parse (roundtrip conn (handshake_line ~node)) in
-    if not (is_ok resp) then retry "handshake refused";
+    if not (is_ok resp) then refused "handshake" resp;
     note_leader_seq progress resp;
     Atomic.set progress.connected true;
     delay_idx := 0;
     while not (Atomic.get progress.stop) do
       let from = Atomic.get progress.applied + 1 in
       let resp = parse (roundtrip conn (pull_line ~node ~from ~batch ~wait_ms)) in
-      if not (is_ok resp) then retry "pull refused";
+      if not (is_ok resp) then refused "pull" resp;
       note_leader_seq progress resp;
       (match Json.member "frames" resp with
       | Some (Json.List items) -> apply_batch items
@@ -107,18 +147,24 @@ let run ~node ~connect ~close ~roundtrip ~apply ~progress
       if throttle_ms > 0 then sleep_ms (float throttle_ms)
     done
   in
+  let note_error e =
+    Atomic.set progress.last_error
+      (match e with Retry msg -> msg | e -> Printexc.to_string e)
+  in
   while not (Atomic.get progress.stop) do
     match connect () with
-    | exception _ ->
+    | exception e ->
+        note_error e;
         Atomic.set progress.connected false;
         backoff_sleep ()
     | conn -> (
         match tail conn with
         | () -> ( try close conn with _ -> ())
-        | exception _ ->
+        | exception e ->
             (* the transport is opaque (the caller's connect/roundtrip
                raise their own exception types), so every failure is a
                disconnect: mark, back off, reconnect *)
+            note_error e;
             (try close conn with _ -> ());
             Atomic.set progress.connected false;
             backoff_sleep ())

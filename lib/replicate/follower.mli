@@ -23,6 +23,13 @@ type progress = {
   connected : bool Atomic.t;
   attempts : int Atomic.t;  (** (re)connect attempts that failed *)
   apply_errors : int Atomic.t;  (** replicated frames that failed to apply *)
+  last_error : string Atomic.t;
+      (** the most recent tail failure ([""] if none yet): transport
+          errors, a refused handshake/pull — distinguishing a peer
+          that answered [not_leader], i.e. a misconfigured [--follow]
+          — or a frame that failed to apply.  Sticky across
+          reconnects, so a wedged or flapping node stays diagnosable
+          from `health`/`repl_status`. *)
   stop : bool Atomic.t;
 }
 
@@ -30,6 +37,9 @@ val make_progress : unit -> progress
 
 val staleness : progress -> int
 (** [max 0 (leader_seq - applied)] — the `staleness_seq` of `health`. *)
+
+val last_error : progress -> string
+(** [Atomic.get last_error] — the `repl_last_error` of `health`. *)
 
 val request_stop : progress -> unit
 (** Makes {!run} return within roughly one pull round-trip. *)
@@ -45,11 +55,20 @@ val run :
   ?batch:int ->
   ?wait_ms:int ->
   ?throttle_ms:int ->
+  ?log:(string -> unit) ->
   unit ->
   unit
 (** Runs the tail loop on the calling thread until {!request_stop}.
     [apply seq frame] must apply frames sequentially (they arrive in
     seq order, each exactly once — duplicates after a reconnect are
-    skipped by seq).  [batch] caps frames per pull, [wait_ms] is the
-    long-poll budget sent to the leader, [throttle_ms] (test hook)
-    sleeps between pulls so a catch-up window is observable. *)
+    skipped by seq).  When [apply] returns [Error], [applied] is NOT
+    advanced: the tail disconnects and the reconnect loop re-pulls
+    from the failed seq, so a frame this node could not apply is never
+    acked to the leader (and never counts toward an [--ack-replicas]
+    quorum) — the node wedges at the failure point, visibly, instead
+    of silently diverging.  [batch] caps frames per pull, [wait_ms] is
+    the long-poll budget sent to the leader, [throttle_ms] (test hook)
+    sleeps between pulls so a catch-up window is observable.  [log]
+    (default: drop) receives warnings worth an operator's attention —
+    a peer answering [not_leader] to the handshake (a misconfigured
+    leader address) and frames that failed to apply. *)

@@ -11,7 +11,14 @@
     {!Journal.Frames} file (CRC-framed records, longest-valid-prefix
     recovery), so a restarted leader recovers exactly the acknowledged
     prefix — a torn tail from a mid-append crash is truncated, never
-    fatal — and can replay it into its own state before serving. *)
+    fatal — and can replay it into its own state before serving.
+
+    The log is {e uncompacted by design}: the full history is the
+    bootstrap snapshot a new follower (and a restarted leader) replays
+    from seq 1, so memory, disk and restart time grow with the total
+    write count, not with live state.  The bound and its operational
+    mitigation are documented in docs/ROBUSTNESS.md ("Log growth");
+    snapshot + prefix truncation is a ROADMAP item. *)
 
 type t
 

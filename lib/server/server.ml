@@ -898,13 +898,29 @@ let respond_err ?data t id code msg =
   Obs.Counter.incr c_err;
   Wire.error_response ?id ?data code msg
 
-(* Runs on a pool domain; must never let an exception escape. *)
+(* Test hook: artificial latency between [run_op] returning and the
+   post-execution deadline check, so "the op finished after its
+   deadline" is reachable deterministically from a test. *)
+let test_delay_after_op_ms = Atomic.make 0
+
+(* Runs on a pool domain; must never let an exception escape.
+
+   The post-execution deadline check applies to read ops only.  A
+   mutating op that [run_op] completed HAS changed state, and the [ok]
+   field of its response is what the leader uses to decide whether the
+   op joins the replication log — reporting [deadline_exceeded] after
+   the fact would skip the append and silently diverge every follower
+   (and the leader's own restart replay) from the applied state.  So
+   once a mutation is applied, the response says so; the deadline can
+   only reject a mutation before it runs. *)
 let execute t (req : Wire.request) ~t_start ~deadline =
   let id = req.Wire.id in
   try
     check_deadline ~t_start ~deadline;
     let payload = run_op t req in
-    check_deadline ~t_start ~deadline;
+    (let d = Atomic.get test_delay_after_op_ms in
+     if d > 0 then Thread.delay (float d /. 1000.));
+    if not (Wire.mutating req.Wire.op) then check_deadline ~t_start ~deadline;
     respond_ok t id payload
   with
   | Deadline ->
@@ -971,6 +987,9 @@ let health_payload t =
         ("applied_seq", Json.Int (Atomic.get p.Replicate.Follower.applied));
         ("staleness_seq", Json.Int (Replicate.Follower.staleness p));
         ("repl_connected", Json.Bool (Atomic.get p.Replicate.Follower.connected));
+        ( "repl_apply_errors",
+          Json.Int (Atomic.get p.Replicate.Follower.apply_errors) );
+        ("repl_last_error", Json.String (Replicate.Follower.last_error p));
       ]
 
 (* ---- replication operations (inline, never queued) ---------------- *)
@@ -1095,6 +1114,9 @@ let repl_status t (req : Wire.request) =
           ("leader_seq", Json.Int (Atomic.get p.Replicate.Follower.leader_seq));
           ("staleness_seq", Json.Int (Replicate.Follower.staleness p));
           ("connected", Json.Bool (Atomic.get p.Replicate.Follower.connected));
+          ( "apply_errors",
+            Json.Int (Atomic.get p.Replicate.Follower.apply_errors) );
+          ("last_error", Json.String (Replicate.Follower.last_error p));
         ]
 
 let handle_request t decoded =
@@ -1206,6 +1228,7 @@ let exec t line = Json.to_string (handle_request t (Wire.request_of_line line))
 
 module For_testing = struct
   let with_state t f = Mutex.protect t.state_mu (fun () -> f t.merged t.views)
+  let set_delay_after_op_ms ms = Atomic.set test_delay_after_op_ms (max 0 ms)
 end
 
 (* ---- connections and lifecycle ------------------------------------ *)
@@ -1381,7 +1404,10 @@ let start_follower t =
                        ~close:Client.close ~roundtrip:Client.roundtrip
                        ~apply:(fun seq frame -> apply_repl t seq frame)
                        ~progress:t.repl_progress ~batch:r.batch
-                       ~wait_ms:r.wait_ms ~throttle_ms:r.throttle_ms ())
+                       ~wait_ms:r.wait_ms ~throttle_ms:r.throttle_ms
+                       ~log:(fun msg ->
+                         Printf.eprintf "sit_serve: repl[%s]: %s\n%!" node msg)
+                       ())
                    ())
           end)
 

@@ -16,8 +16,11 @@
     is answered [overloaded] immediately instead of buffering without
     limit.  [health] and [metrics] bypass the bound so the daemon stays
     observable under load.  Per-request deadlines are checked when the
-    request reaches a domain and again after evaluation; either miss
-    answers [deadline_exceeded].
+    request reaches a domain and, for read ops, again after evaluation;
+    either miss answers [deadline_exceeded].  Mutating ops skip the
+    second check: once applied, a mutation is acknowledged (and, on a
+    leader, replicated) — the deadline can only reject it before it
+    runs, never misreport it after.
 
     Rewrite plans (view and global unfoldings) are cached in an LRU
     keyed by (view class, query shape) — the canonical printing of the
@@ -204,4 +207,12 @@ module For_testing : sig
   (** Runs [f merged views] under the state lock — lets the scenario
       harness compare materialized extents against recomputation at
       schedule barriers without going through the wire. *)
+
+  val set_delay_after_op_ms : int -> unit
+  (** Injects artificial latency (process-wide, [0] disables) between
+      an op completing and the post-execution deadline check, making
+      "finished after its deadline" deterministically reachable: reads
+      must then answer [deadline_exceeded], while mutations must still
+      answer [ok] and reach the replication log — an applied mutation
+      is never reported (or replicated) as if it had not happened. *)
 end

@@ -84,6 +84,16 @@ let int_field name resp =
   | Some (Json.Int n) -> n
   | _ -> Alcotest.fail (Printf.sprintf "no %S field in response" name)
 
+let string_field name resp =
+  match Json.member name resp with
+  | Some (Json.String s) -> s
+  | _ -> Alcotest.fail (Printf.sprintf "no %S field in response" name)
+
+let contains hay needle =
+  let h = String.length hay and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
 (* Polls [f] until it returns true, failing the test after [timeout]. *)
 let eventually ?(timeout = 10.) what f =
   let t0 = Unix.gettimeofday () in
@@ -379,7 +389,89 @@ let wire_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
-(* 4. Clusters: leader + followers in-process.                         *)
+(* 4. The tail loop against a scripted leader.                         *)
+
+module F = Replicate.Follower
+
+(* A transport whose "leader" is a canned two-frame log; [fail_at]
+   makes the follower's apply reject that seq forever. *)
+let scripted_tail ~fail_at () =
+  let progress = F.make_progress () in
+  let pulls = ref [] in
+  let obj fields = Json.to_string (Json.Obj (("ok", Json.Bool true) :: fields)) in
+  let roundtrip () line =
+    let v =
+      match Json.of_string line with Ok v -> v | Error e -> failwith e
+    in
+    match Json.member "op" v with
+    | Some (Json.String "repl_handshake") -> obj [ ("repl_seq", Json.Int 2) ]
+    | Some (Json.String "repl_pull") ->
+        let from =
+          match Json.member "seq" v with Some (Json.Int s) -> s | _ -> -1
+        in
+        pulls := from :: !pulls;
+        let frames =
+          List.filter (fun (s, _) -> s >= from) [ (1, "a"); (2, "b") ]
+        in
+        obj
+          [
+            ("repl_seq", Json.Int 2);
+            ( "frames",
+              Json.List
+                (List.map
+                   (fun (s, f) ->
+                     Json.Obj [ ("seq", Json.Int s); ("frame", Json.String f) ])
+                   frames) );
+          ]
+    | _ -> failwith "unexpected op"
+  in
+  let th =
+    Thread.create
+      (fun () ->
+        F.run ~node:"t" ~connect:Fun.id ~close:ignore ~roundtrip
+          ~apply:(fun s _ -> if s = fail_at then Error "boom" else Ok ())
+          ~progress
+          ~backoff:
+            { Backoff.default with base_ms = 1.; max_ms = 2.; attempts = 1000 }
+          ~wait_ms:0 ())
+      ()
+  in
+  (progress, pulls, th)
+
+let follower_tests =
+  [
+    tc "a frame that fails to apply is never acked past" (fun () ->
+        let progress, pulls, th = scripted_tail ~fail_at:2 () in
+        (* give the loop several disconnect/reconnect/re-pull rounds *)
+        eventually "repeated re-pulls of the failed frame" (fun () ->
+            Atomic.get progress.F.apply_errors >= 3);
+        F.request_stop progress;
+        Thread.join th;
+        check Alcotest.int "applied stops before the bad frame" 1
+          (Atomic.get progress.F.applied);
+        check Alcotest.int "the gap is honest staleness" 1 (F.staleness progress);
+        check Alcotest.bool "last_error names the frame" true
+          (contains (F.last_error progress) "frame 2");
+        (* the ack channel is the pull's [from]: it must never pass the
+           frame this node could not apply *)
+        check Alcotest.bool "no pull ever acked past the failure" true
+          (List.for_all (fun from -> from <= 2) !pulls);
+        check Alcotest.bool "the failed seq was re-pulled" true
+          (List.length (List.filter (fun from -> from = 2) !pulls) >= 2));
+    tc "a clean tail applies everything and acks it" (fun () ->
+        let progress, pulls, th = scripted_tail ~fail_at:0 () in
+        eventually "catch-up" (fun () -> Atomic.get progress.F.applied = 2);
+        (* one more pull carries the ack for seq 2 *)
+        eventually "ack pull" (fun () -> List.exists (fun f -> f = 3) !pulls);
+        F.request_stop progress;
+        Thread.join th;
+        check Alcotest.int "no apply errors" 0
+          (Atomic.get progress.F.apply_errors);
+        check Alcotest.int "no staleness" 0 (F.staleness progress));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* 5. Clusters: leader + followers in-process.                         *)
 
 let stop_all ts = List.iter (fun t -> try Server.stop t with _ -> ()) ts
 
@@ -616,6 +708,67 @@ let cluster_tests =
                     let h = Server.Client.request c "health" in
                     int_field "applied_seq" h = 6
                     && int_field "staleness_seq" h = 0))));
+    tc "a mutation that outlives its deadline is acknowledged and replicated"
+      (fun () ->
+        let leader, laddr = start_server () in
+        let f1, a1 = start_server ~repl:(follower_of laddr) () in
+        Fun.protect
+          ~finally:(fun () ->
+            Server.For_testing.set_delay_after_op_ms 0;
+            stop_all [ f1; leader ])
+          (fun () ->
+            (* every data op now finishes ~150 ms after run_op returns,
+               far beyond the 50 ms request deadline *)
+            Server.For_testing.set_delay_after_op_ms 150;
+            with_client laddr (fun c ->
+                (* control: a read across the same latency does miss *)
+                check
+                  Alcotest.(option string)
+                  "read misses its deadline" (Some "deadline_exceeded")
+                  (Server.Client.error_code
+                     (Server.Client.request c ~view:"sc1"
+                        ~text:"select Name from Student" ~deadline_ms:50
+                        "query"));
+                (* the mutation finished after the same deadline: it
+                   changed state, so it must be acknowledged ok and
+                   must reach the replication log — anything else
+                   diverges followers and the restart replay from the
+                   applied state *)
+                let resp =
+                  Server.Client.request c ~view:"sc1"
+                    ~text:"insert into Student { Name = 'Late', GPA = 3.2 }"
+                    ~deadline_ms:50 "update"
+                in
+                check Alcotest.bool "applied mutation acknowledged" true
+                  (Server.Client.is_ok resp);
+                check Alcotest.int "mutation reached the replication log" 1
+                  (int_field "repl_seq" (Server.Client.request c "health")));
+            Server.For_testing.set_delay_after_op_ms 0;
+            with_client a1 (fun c ->
+                eventually "follower applies the late write" (fun () ->
+                    int_field "applied_seq" (Server.Client.request c "health")
+                    = 1);
+                check Alcotest.int "follower serves the late write" 3
+                  (student_count c))));
+    tc "a follower pointed at a non-leader reports the misconfiguration"
+      (fun () ->
+        let leader, laddr = start_server () in
+        let f1, a1 = start_server ~repl:(follower_of laddr) () in
+        (* the misconfiguration: tailing a node that is itself a follower *)
+        let f2, a2 = start_server ~repl:(follower_of a1) () in
+        Fun.protect
+          ~finally:(fun () -> stop_all [ f2; f1; leader ])
+          (fun () ->
+            with_client a2 (fun c ->
+                eventually "refusal surfaces as a named error" (fun () ->
+                    let h = Server.Client.request c "health" in
+                    contains (string_field "repl_last_error" h) "not a leader");
+                (* the refusal carries the real leader's address, so the
+                   fix is one config edit away *)
+                let st = Server.Client.request c "repl_status" in
+                check Alcotest.bool "advertised leader named" true
+                  (contains (string_field "last_error" st)
+                     (Server.Wire.addr_to_string laddr)))));
     tc "a restarted leader replays its replication log" (fun () ->
         let dir = fresh_dir () in
         Fun.protect
@@ -661,5 +814,6 @@ let () =
       ("backoff", backoff_tests);
       ("log", log_tests);
       ("wire", wire_tests);
+      ("follower", follower_tests);
       ("cluster", cluster_tests);
     ]
