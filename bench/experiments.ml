@@ -1554,7 +1554,7 @@ let e24 () =
 (* journal stream costs the write path at each durability level, and   *)
 (* what a fresh client pays to fail over past a dead endpoint.         *)
 
-let e25_session () =
+let e25_session ?journal_dir () =
   let module St = Instance.Store in
   let module V = Instance.Value in
   let student name gpa =
@@ -1564,7 +1564,7 @@ let e25_session () =
   let store, _ = St.insert (Name.v "Student") (student "Ann" 3.9) store in
   let store, _ = St.insert (Name.v "Student") (student "Ben" 2.5) store in
   let result = Workload.Paper.integrate_sc1_sc2 () in
-  Server.make_session ~result
+  Server.make_session ?journal_dir ~result
     ~stores:
       [
         (Workload.Paper.sc1, store);
@@ -1818,10 +1818,178 @@ let e25 () =
     \ served off the request path; semi-sync pays the ack round per\n\
     \ write.  Both sweeps land in the BENCH json as meta.replication)"
 
+(* ------------------------------------------------------------------ *)
+(* E26: replication-log compaction — what a snapshot costs the leader, *)
+(* and what it buys a journalled restart and a fresh follower.         *)
+
+let e26_tmp_dir () =
+  let base = Filename.temp_file "sit_e26" "" in
+  Sys.remove base;
+  Unix.mkdir base 0o755;
+  base
+
+let e26_rm_rf dir =
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+type e26_compaction_point = {
+  cp_label : string;
+  cp_writes : int;
+  cp_base_seq : int;  (** truncated-away prefix after the run *)
+  cp_compact_ms : float;
+      (** the [repl_compact] roundtrip: serialize state, persist the
+          snapshot, truncate memory and disk (0 when never compacted) *)
+  cp_restart_ms : float;  (** leader restart from the same journal *)
+  cp_catchup_ms : float;  (** fresh follower start to [staleness_seq = 0] *)
+  cp_installs : int;  (** snapshot transfers that catch-up took *)
+}
+
+(* The same journalled write storm twice: once on an append-only log
+   (restart replays every frame, a fresh follower replays from seq 1)
+   and once compacted right after the storm (restart is snapshot +
+   suffix, the follower starts below the truncated base and must take
+   the snapshot-transfer leg).  The deltas are exactly what compaction
+   claims to buy — restart and bootstrap bounded by live state + the
+   compaction window instead of total write count. *)
+let e26_compaction ?(writes = 240) () =
+  let frames =
+    Array.init writes (fun i ->
+        Server.Wire.request_to_line ~view:"sc1"
+          ~text:
+            (Printf.sprintf "insert into Student { Name = 'C%d', GPA = 3.0 }" i)
+          "update")
+  in
+  List.map
+    (fun (label, compact) ->
+      let dir = e26_tmp_dir () in
+      Fun.protect
+        ~finally:(fun () -> e26_rm_rf dir)
+        (fun () ->
+          (* phase 1: the journalled write storm *)
+          let leader =
+            match
+              Server.start
+                (e25_session ~journal_dir:dir ())
+                (e25_cfg Server.default_repl)
+            with
+            | Error msg -> failwith ("E26: leader failed to start: " ^ msg)
+            | Ok t -> t
+          in
+          let compact_ms =
+            Fun.protect
+              ~finally:(fun () -> Server.stop leader)
+              (fun () ->
+                let laddr = e25_addr leader in
+                let st = Server.Client.drive ~addr:laddr ~conns:2 ~frames () in
+                if st.Server.Client.ok < st.Server.Client.sent then
+                  failwith ("E26: error responses on the write storm: " ^ label);
+                if not compact then 0.
+                else
+                  let c = Server.Client.connect laddr in
+                  Fun.protect
+                    ~finally:(fun () -> Server.Client.close c)
+                    (fun () ->
+                      let t0 = Unix.gettimeofday () in
+                      let resp = Server.Client.request c "repl_compact" in
+                      let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+                      if not (Server.Client.is_ok resp) then
+                        failwith "E26: repl_compact failed";
+                      ms))
+          in
+          (* phase 2: restart from the journal — full replay vs
+             snapshot + suffix *)
+          let t0 = Unix.gettimeofday () in
+          let leader2 =
+            match
+              Server.start
+                (e25_session ~journal_dir:dir ())
+                (e25_cfg Server.default_repl)
+            with
+            | Error msg -> failwith ("E26: leader failed to restart: " ^ msg)
+            | Ok t -> t
+          in
+          let restart_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+          Fun.protect
+            ~finally:(fun () -> Server.stop leader2)
+            (fun () ->
+              let laddr = e25_addr leader2 in
+              let base_seq =
+                let c = Server.Client.connect laddr in
+                Fun.protect
+                  ~finally:(fun () -> Server.Client.close c)
+                  (fun () ->
+                    e25_int_field "base_seq" (Server.Client.request c "health"))
+              in
+              (* phase 3: a fresh follower bootstraps — replay from
+                 seq 1 vs snapshot transfer + tail *)
+              let t0 = Unix.gettimeofday () in
+              let f =
+                match
+                  Server.start (e25_session ())
+                    (e25_cfg
+                       { Server.default_repl with role = Server.Follower laddr })
+                with
+                | Error msg -> failwith ("E26: follower failed to start: " ^ msg)
+                | Ok t -> t
+              in
+              Fun.protect
+                ~finally:(fun () -> Server.stop f)
+                (fun () ->
+                  let fc = Server.Client.connect (e25_addr f) in
+                  Fun.protect
+                    ~finally:(fun () -> Server.Client.close fc)
+                    (fun () ->
+                      e25_eventually "follower catch-up" (fun () ->
+                          let h = Server.Client.request fc "health" in
+                          e25_int_field "applied_seq" h > 0
+                          && e25_int_field "staleness_seq" h = 0);
+                      let catchup_ms =
+                        (Unix.gettimeofday () -. t0) *. 1000.
+                      in
+                      let installs =
+                        e25_int_field "snapshot_installs"
+                          (Server.Client.request fc "health")
+                      in
+                      {
+                        cp_label = label;
+                        cp_writes = writes;
+                        cp_base_seq = base_seq;
+                        cp_compact_ms = compact_ms;
+                        cp_restart_ms = restart_ms;
+                        cp_catchup_ms = catchup_ms;
+                        cp_installs = installs;
+                      })))))
+    [ ("append-only", false); ("compacted", true) ]
+
+let e26 () =
+  section "E26" "replication-log compaction: snapshot cost, restart, catch-up";
+  print_endline
+    "\n\
+     (the same journalled write storm twice: append-only, then compacted\n\
+    \ right after the storm.  restart = leader recovery from the journal\n\
+    \ — full replay vs snapshot + suffix; catch-up = a fresh follower to\n\
+    \ staleness 0 — replay from seq 1 vs a snapshot transfer)";
+  Printf.printf "\n%-13s %-7s %-9s %-11s %-11s %-11s %-9s\n" "config" "writes"
+    "base_seq" "compact ms" "restart ms" "catchup ms" "installs";
+  List.iter
+    (fun p ->
+      Printf.printf "%-13s %-7d %-9d %-11.1f %-11.1f %-11.1f %-9d\n" p.cp_label
+        p.cp_writes p.cp_base_seq p.cp_compact_ms p.cp_restart_ms
+        p.cp_catchup_ms p.cp_installs)
+    (e26_compaction ());
+  print_endline
+    "\n\
+     (compaction bounds leader disk and restart by live state + the\n\
+    \ compaction window; a follower behind the truncated base bootstraps\n\
+    \ from the snapshot instead of the full history.  Lands in the BENCH\n\
+    \ json as meta.compaction)"
+
 let all =
   [
     e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16; e17;
-    e18; e19; e20; e21; e22; e23; e24; e25;
+    e18; e19; e20; e21; e22; e23; e24; e25; e26;
   ]
 
 let by_id =
@@ -1831,4 +1999,5 @@ let by_id =
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
     ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21);
     ("e22", e22); ("e23", e23); ("e24", e24); ("e25", e25);
+    ("e26", e26);
   ]

@@ -1,5 +1,5 @@
 (* The benchmark harness: regenerates every figure and screen of the
-   paper (experiments E1-E25, printed as sections), times the
+   paper (experiments E1-E26, printed as sections), times the
    computational kernels with Bechamel, and dumps the lib/obs metrics
    report of an instrumented pipeline run.
 
@@ -11,7 +11,7 @@
 
    The metrics report (per-phase spans, counters, query-latency
    histograms — see docs/ARCHITECTURE.md and docs/PERFORMANCE.md) is
-   printed to stdout and saved to BENCH_pr6.json; override the path
+   printed to stdout and saved to BENCH_pr10.json; override the path
    with --out FILE.  Compare two reports mechanically with
    `dune exec bench/diff.exe -- OLD.json NEW.json` (make bench-diff).
    The instrumented run is pinned to --jobs 1 so its span tree stays
@@ -152,7 +152,7 @@ let run_timings () =
    as JSON by lib/obs.  This is the repo's perf trajectory artefact:
    each PR that touches a hot path regenerates it and compares. *)
 
-let default_metrics_out = "BENCH_pr9.json"
+let default_metrics_out = "BENCH_pr10.json"
 
 (* One journaled replay of the paper's session inside the metrics
    window, so the journal.* counters and the fsync histogram appear in
@@ -385,6 +385,24 @@ let run_metrics ?(out = default_metrics_out) () =
                (Experiments.e25_failover ())) );
       ]
   in
+  let compaction =
+    (* the E26 compaction sweep (snapshot cost, restart from snapshot +
+       suffix, snapshot-transfer catch-up), also outside the window *)
+    Obs.Json.List
+      (List.map
+         (fun p ->
+           Obs.Json.Obj
+             [
+               ("config", Obs.Json.String p.Experiments.cp_label);
+               ("writes", Obs.Json.Int p.Experiments.cp_writes);
+               ("base_seq", Obs.Json.Int p.Experiments.cp_base_seq);
+               ("compact_ms", Obs.Json.Float p.Experiments.cp_compact_ms);
+               ("restart_ms", Obs.Json.Float p.Experiments.cp_restart_ms);
+               ("catchup_ms", Obs.Json.Float p.Experiments.cp_catchup_ms);
+               ("snapshot_installs", Obs.Json.Int p.Experiments.cp_installs);
+             ])
+         (Experiments.e26_compaction ~writes:160 ()))
+  in
   let meta =
     [
       ("tool", Obs.Json.String "sit");
@@ -398,6 +416,7 @@ let run_metrics ?(out = default_metrics_out) () =
       ("dataplane", dataplane);
       ("scenarios", scenarios);
       ("replication", replication);
+      ("compaction", compaction);
       ( "workload",
         Obs.Json.Obj
           [
@@ -442,7 +461,7 @@ let () =
               run_metrics ?out ()
           | None when id = "metrics" -> run_metrics ?out ()
           | None ->
-              Printf.eprintf "unknown experiment %s (e1..e25, timings, metrics)\n"
+              Printf.eprintf "unknown experiment %s (e1..e26, timings, metrics)\n"
                 id;
               exit 2)
         ids

@@ -217,7 +217,8 @@ let parse_view_def spec =
       (name, policy, base, source)
 
 let serve files script data name journal listen jobs queue deadline_ms cache
-    metrics view_defs follow ack_replicas schedule phases_spec transcript_out =
+    metrics view_defs follow ack_replicas compact_every schedule phases_spec
+    transcript_out =
   (match files with
   | [] -> hard_fail "no DDL files given (pass at least one schema file)"
   | _ -> ());
@@ -239,6 +240,7 @@ let serve files script data name journal listen jobs queue deadline_ms cache
             | None -> Server.Leader
             | Some a -> Server.Follower (parse_addr a));
           ack_replicas;
+          compact_every;
         }
       in
       let cfg =
@@ -303,9 +305,9 @@ let serve files script data name journal listen jobs queue deadline_ms cache
               Printf.eprintf "metrics report written to %s\n" path)))
 
 let run files script data name journal listen jobs queue deadline_ms cache
-    metrics view_defs follow ack_replicas drive_addr endpoints timeout_ms conns
-    requests queries global_queries mat_views proto schedule phases_spec
-    transcript_out =
+    metrics view_defs follow ack_replicas compact_every drive_addr endpoints
+    timeout_ms conns requests queries global_queries mat_views proto schedule
+    phases_spec transcript_out =
   let endpoints = parse_endpoints endpoints in
   match (drive_addr, schedule) with
   | Some addr, Some file ->
@@ -316,8 +318,8 @@ let run files script data name journal listen jobs queue deadline_ms cache
         global_queries mat_views proto
   | None, _ ->
       serve files script data name journal (parse_addr listen) jobs queue
-        deadline_ms cache metrics view_defs follow ack_replicas schedule
-        phases_spec transcript_out
+        deadline_ms cache metrics view_defs follow ack_replicas compact_every
+        schedule phases_spec transcript_out
 
 open Cmdliner
 
@@ -437,6 +439,18 @@ let ack_replicas =
         ~doc:
           "Leader only: hold each write's response until $(docv) followers \
            have acknowledged it (0 = asynchronous replication).")
+
+let compact_every =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "compact-every" ] ~docv:"N"
+        ~doc:
+          "Leader only: every $(docv) acknowledged writes, snapshot the \
+           serving state to the journal directory and truncate the covered \
+           replication-log prefix (docs/ROBUSTNESS.md \"Log growth\").  0 \
+           disables automatic compaction; the $(b,repl_compact) operation \
+           triggers one on demand.")
 
 let drive_addr =
   Arg.(
@@ -558,7 +572,8 @@ let cmd =
     Term.(
       const run $ files $ script $ data $ integrated_name $ journal_dir
       $ listen $ jobs $ queue $ deadline_ms $ cache $ metrics $ view_defs
-      $ follow $ ack_replicas $ drive_addr $ endpoints $ timeout_ms_arg
+      $ follow $ ack_replicas $ compact_every $ drive_addr $ endpoints
+      $ timeout_ms_arg
       $ conns $ requests $ queries $ global_queries $ mat_views $ proto
       $ schedule $ phases_spec $ transcript_out)
 

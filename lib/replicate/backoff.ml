@@ -17,6 +17,23 @@ let default =
     seed = 0;
   }
 
+(* Per-process seed source for the [fresh] policies real clients and
+   followers default to.  A pinned seed 0 everywhere meant every
+   default-configured retry loop in a fleet drew the SAME jitter
+   sequence and hammered a recovering leader in lockstep; mixing the
+   pid, the wall clock at first use and a per-call counter gives every
+   connection its own stream while staying explicit (and overridable:
+   tests that need determinism pin [seed] themselves). *)
+let seed_counter = Atomic.make 0
+
+let fresh_seed () =
+  let n = Atomic.fetch_and_add seed_counter 1 in
+  let pid = try Unix.getpid () with _ -> 0 in
+  let now_us = int_of_float (Unix.gettimeofday () *. 1_000_000.) in
+  (now_us lxor (pid * 0x9E3779B9) lxor (n * 0x85EBCA6B)) land max_int
+
+let fresh () = { default with seed = fresh_seed () }
+
 (* SplitMix64: one multiply-xorshift pass per draw.  Self-contained so
    the delay sequence depends on nothing but the policy. *)
 let splitmix state =

@@ -19,7 +19,21 @@ type policy = {
 }
 
 val default : policy
-(** 5 attempts, 25 ms doubling to a 2 s cap, 50% jitter, seed 0. *)
+(** 5 attempts, 25 ms doubling to a 2 s cap, 50% jitter, seed 0.
+    Deterministic by construction — two loops built from [default]
+    retry in lockstep, which is exactly what a fleet must NOT do
+    against a recovering leader.  Use it (or a pinned [seed]) in tests;
+    production retry loops should default to {!fresh}. *)
+
+val fresh_seed : unit -> int
+(** A per-process, per-call seed: pid ⊕ first-use wall clock ⊕ an
+    atomic counter, so every call yields a distinct value and two
+    processes started together still diverge. *)
+
+val fresh : unit -> policy
+(** [{ default with seed = fresh_seed () }] — the default policy of
+    every client/follower retry loop in the serving tier, so no two
+    default-configured loops share a jitter stream. *)
 
 val delays : policy -> float list
 (** The inter-attempt delays in milliseconds ([attempts - 1] of them),

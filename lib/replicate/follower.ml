@@ -6,6 +6,7 @@ type progress = {
   connected : bool Atomic.t;
   attempts : int Atomic.t;
   apply_errors : int Atomic.t;
+  snapshots : int Atomic.t;
   last_error : string Atomic.t;
   stop : bool Atomic.t;
 }
@@ -17,6 +18,7 @@ let make_progress () =
     connected = Atomic.make false;
     attempts = Atomic.make 0;
     apply_errors = Atomic.make 0;
+    snapshots = Atomic.make 0;
     last_error = Atomic.make "";
     stop = Atomic.make false;
   }
@@ -43,6 +45,15 @@ let pull_line ~node ~from ~batch ~wait_ms =
          ("wait_ms", Json.Int wait_ms);
        ])
 
+let snapshot_line ~node ~chunk =
+  Json.to_string
+    (Json.Obj
+       [
+         ("op", Json.String "repl_snapshot");
+         ("node", Json.String node);
+         ("seq", Json.Int chunk);
+       ])
+
 let is_ok v = match Json.member "ok" v with Some (Json.Bool b) -> b | _ -> false
 
 exception Retry of string
@@ -66,8 +77,10 @@ let note_leader_seq progress resp =
   | _ -> ()
 
 let run ~node ~connect ~close ~roundtrip ~apply ~progress
-    ?(backoff = Backoff.default) ?(batch = 64) ?(wait_ms = 200)
-    ?(throttle_ms = 0) ?(log = fun (_ : string) -> ()) () =
+    ?(backoff = Backoff.fresh ()) ?(batch = 64) ?(wait_ms = 200)
+    ?(throttle_ms = 0)
+    ?(install = fun _ _ -> Error "this follower cannot install snapshots")
+    ?(log = fun (_ : string) -> ()) () =
   let delays = Array.of_list (Backoff.delays backoff) in
   let delay_idx = ref 0 in
   (* sleep in small slices so request_stop stays responsive *)
@@ -105,6 +118,16 @@ let run ~node ~connect ~close ~roundtrip ~apply ~progress
         retry "%s refused: peer is not a leader%s" what where
     | _ -> retry "%s refused" what
   in
+  (* The leader's truncation point, updated from every handshake/pull
+     response.  When [applied] falls at or below it, the frames this
+     node needs are gone — switch to the snapshot-transfer leg. *)
+  let base = ref 0 in
+  let note resp =
+    note_leader_seq progress resp;
+    match Json.member "base_seq" resp with
+    | Some (Json.Int b) -> base := b
+    | _ -> ()
+  in
   let apply_batch items =
     List.iter
       (fun item ->
@@ -130,17 +153,58 @@ let run ~node ~connect ~close ~roundtrip ~apply ~progress
         | _ -> retry "gap or malformed frame in repl_pull response")
       items
   in
+  (* Snapshot transfer: pull every chunk of the leader's current
+     snapshot (the chunk index rides the [seq] field), install the
+     reassembled payload, and resume the tail from its seq.  A failed
+     install wedges exactly like a failed frame apply: [applied] stays
+     put, the error is counted and named, and the reconnect loop
+     retries — the node never acks state it does not hold. *)
+  let fetch_snapshot conn =
+    let fetch i =
+      let resp = parse (roundtrip conn (snapshot_line ~node ~chunk:i)) in
+      if not (is_ok resp) then refused "snapshot" resp;
+      note resp;
+      match
+        ( Json.member "snapshot_seq" resp,
+          Json.member "chunks" resp,
+          Json.member "chunk" resp )
+      with
+      | Some (Json.Int sseq), Some (Json.Int total), Some (Json.String c)
+        when total >= 1 ->
+          (sseq, total, c)
+      | _ -> retry "malformed repl_snapshot response"
+    in
+    let sseq, total, c0 = fetch 0 in
+    let buf = Buffer.create (String.length c0 * total) in
+    Buffer.add_string buf c0;
+    for i = 1 to total - 1 do
+      let s, _, c = fetch i in
+      if s <> sseq then
+        retry "snapshot changed mid-transfer (seq %d became %d)" sseq s;
+      Buffer.add_string buf c
+    done;
+    match install sseq (Buffer.contents buf) with
+    | Ok () ->
+        Atomic.set progress.applied sseq;
+        Atomic.incr progress.snapshots;
+        log (Printf.sprintf "installed leader snapshot at seq %d" sseq)
+    | Error e ->
+        Atomic.incr progress.apply_errors;
+        log (Printf.sprintf "snapshot at seq %d failed to install: %s" sseq e);
+        retry "snapshot at seq %d failed to install: %s" sseq e
+  in
   let tail conn =
     let resp = parse (roundtrip conn (handshake_line ~node)) in
     if not (is_ok resp) then refused "handshake" resp;
-    note_leader_seq progress resp;
+    note resp;
     Atomic.set progress.connected true;
     delay_idx := 0;
     while not (Atomic.get progress.stop) do
+      if Atomic.get progress.applied < !base then fetch_snapshot conn;
       let from = Atomic.get progress.applied + 1 in
       let resp = parse (roundtrip conn (pull_line ~node ~from ~batch ~wait_ms)) in
       if not (is_ok resp) then refused "pull" resp;
-      note_leader_seq progress resp;
+      note resp;
       (match Json.member "frames" resp with
       | Some (Json.List items) -> apply_batch items
       | _ -> retry "repl_pull response has no frames");

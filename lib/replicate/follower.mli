@@ -22,7 +22,10 @@ type progress = {
   leader_seq : int Atomic.t;  (** highest seq the leader reported *)
   connected : bool Atomic.t;
   attempts : int Atomic.t;  (** (re)connect attempts that failed *)
-  apply_errors : int Atomic.t;  (** replicated frames that failed to apply *)
+  apply_errors : int Atomic.t;
+      (** replicated frames (or snapshots) that failed to apply *)
+  snapshots : int Atomic.t;
+      (** snapshot transfers installed (catch-up past a truncation) *)
   last_error : string Atomic.t;
       (** the most recent tail failure ([""] if none yet): transport
           errors, a refused handshake/pull — distinguishing a peer
@@ -55,6 +58,7 @@ val run :
   ?batch:int ->
   ?wait_ms:int ->
   ?throttle_ms:int ->
+  ?install:(int -> string -> (unit, string) result) ->
   ?log:(string -> unit) ->
   unit ->
   unit
@@ -66,9 +70,24 @@ val run :
     from the failed seq, so a frame this node could not apply is never
     acked to the leader (and never counts toward an [--ack-replicas]
     quorum) — the node wedges at the failure point, visibly, instead
-    of silently diverging.  [batch] caps frames per pull, [wait_ms] is
+    of silently diverging.
+
+    When the leader reports a [base_seq] above this node's [applied],
+    the needed frames have been compacted away: the loop fetches the
+    leader's snapshot chunk by chunk (`repl_snapshot`), hands the
+    reassembled payload to [install seq payload], and on [Ok] resumes
+    tailing from that seq ([snapshots] counts each install).  The
+    default [install] refuses, wedging visibly like a failed apply.
+    An [Error] from [install] is counted under [apply_errors] and
+    retried via the reconnect loop.
+
+    [backoff] defaults to {!Backoff.fresh}[ ()] — a per-call random
+    seed, so a fleet of followers restarting together does not retry
+    in lockstep; pass an explicit policy (e.g. {!Backoff.default}) for
+    deterministic tests.  [batch] caps frames per pull, [wait_ms] is
     the long-poll budget sent to the leader, [throttle_ms] (test hook)
     sleeps between pulls so a catch-up window is observable.  [log]
     (default: drop) receives warnings worth an operator's attention —
     a peer answering [not_leader] to the handshake (a misconfigured
-    leader address) and frames that failed to apply. *)
+    leader address), frames that failed to apply, and snapshot
+    installs. *)

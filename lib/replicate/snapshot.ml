@@ -1,0 +1,102 @@
+(* State snapshots for log compaction: an opaque payload (the serving
+   tier's serialized runtime state) stamped with the log seq it covers,
+   persisted one file per snapshot as DIR/repl.snap.<seq>.
+
+   Each file is a Journal.Frames log with its own magic: a header
+   record naming the seq and chunk count, the payload in bounded
+   chunks, and an explicit "end" trailer.  Frames recovery returns the
+   longest valid record prefix, so a torn tail simply loses the
+   trailer and the whole file reads as invalid — which is what lets
+   [load] fall back to the previous retained snapshot instead of
+   installing half a state.  Files are written to a temp path and
+   renamed into place, so a crash mid-write never shadows a good
+   snapshot. *)
+
+module Frames = Journal.Frames
+
+let magic = "SITSNAP1"
+let retain = 2
+let chunk_bytes = 1 lsl 20
+
+let header ~seq ~chunks = Printf.sprintf "snapshot %d %d" seq chunks
+let trailer = "end"
+
+let parse_header p = Scanf.sscanf_opt p "snapshot %d %d%!" (fun s n -> (s, n))
+
+let file_name seq = Printf.sprintf "repl.snap.%d" seq
+let prefix = "repl.snap."
+
+(* Retained snapshot seqs in [dir], newest first. *)
+let retained ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter_map (fun n ->
+             if
+               String.length n > String.length prefix
+               && String.sub n 0 (String.length prefix) = prefix
+               && Filename.extension n <> ".tmp"
+             then
+               int_of_string_opt
+                 (String.sub n (String.length prefix)
+                    (String.length n - String.length prefix))
+             else None)
+      |> List.sort (fun a b -> compare b a)
+
+let split_chunks payload =
+  let len = String.length payload in
+  if len = 0 then [ "" ]
+  else
+    List.init
+      ((len + chunk_bytes - 1) / chunk_bytes)
+      (fun i ->
+        String.sub payload (i * chunk_bytes) (min chunk_bytes (len - (i * chunk_bytes))))
+
+let save ~dir ~seq payload =
+  let final = Filename.concat dir (file_name seq) in
+  let tmp = final ^ ".tmp" in
+  (try Sys.remove tmp with Sys_error _ -> ());
+  let chunks = split_chunks payload in
+  let _, f = Frames.open_ ~fsync:Frames.Always ~magic tmp in
+  Frames.append f (header ~seq ~chunks:(List.length chunks));
+  List.iter (Frames.append f) chunks;
+  Frames.append f trailer;
+  Frames.close f;
+  Sys.rename tmp final;
+  (* keep the newest [retain] snapshots: the previous one is the
+     restart fallback when this one's tail turns out torn *)
+  let keep = retained ~dir in
+  let rec drop i = function
+    | [] -> ()
+    | s :: rest ->
+        if i >= retain then
+          (try Sys.remove (Filename.concat dir (file_name s))
+           with Sys_error _ -> ());
+        drop (i + 1) rest
+  in
+  drop 0 keep;
+  List.filteri (fun i _ -> i < retain) keep
+
+let read_one ~dir seq =
+  let path = Filename.concat dir (file_name seq) in
+  let r = Frames.recover ~magic path in
+  match r.Frames.payloads with
+  | h :: rest -> (
+      match parse_header h with
+      | Some (sseq, chunks)
+        when List.length rest = chunks + 1
+             && List.nth rest chunks = trailer ->
+          Some (sseq, String.concat "" (List.filteri (fun i _ -> i < chunks) rest))
+      | _ -> None)
+  | [] -> None
+
+let load ~dir =
+  let rec go = function
+    | [] -> None
+    | seq :: rest -> (
+        match read_one ~dir seq with
+        | Some _ as ok -> ok
+        | None -> go rest)
+  in
+  go (retained ~dir)

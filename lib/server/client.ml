@@ -144,7 +144,13 @@ type failover = {
   mutable redirects : int;
 }
 
-let failover ?(proto = Wire.Json) ?(retry = Replicate.Backoff.default)
+(* The default retry policy takes a fresh jitter seed per handle:
+   optional-argument defaults are evaluated at every call, so two clients
+   built at the same instant still back off on different schedules
+   instead of hammering a recovering leader in lockstep.  Tests that
+   need reproducible delays pass [Replicate.Backoff.default]
+   explicitly. *)
+let failover ?(proto = Wire.Json) ?(retry = Replicate.Backoff.fresh ())
     ?timeout_ms endpoints =
   if endpoints = [] then invalid_arg "Client.failover: no endpoints";
   {

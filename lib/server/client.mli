@@ -68,7 +68,10 @@ val failover :
   Wire.addr list ->
   failover
 (** Connections are opened lazily, starting from the first endpoint.
-    [retry] defaults to {!Replicate.Backoff.default}; [timeout_ms] is
+    [retry] defaults to {!Replicate.Backoff.fresh}[ ()] — a fresh
+    random jitter seed per handle, so concurrently-created clients do
+    not back off in lockstep; pass {!Replicate.Backoff.default}
+    explicitly for deterministic delays in tests.  [timeout_ms] is
     applied per connection as in {!connect}.  Raises [Invalid_argument]
     on an empty endpoint list. *)
 

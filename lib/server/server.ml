@@ -175,6 +175,8 @@ type repl_config = {
   batch : int;
   wait_ms : int;
   throttle_ms : int;
+  compact_every : int;
+  liveness_s : float;
 }
 
 let default_repl =
@@ -185,6 +187,8 @@ let default_repl =
     batch = 64;
     wait_ms = 200;
     throttle_ms = 0;
+    compact_every = 0;
+    liveness_s = 30.;
   }
 
 type config = {
@@ -234,12 +238,26 @@ type t = {
   state_mu : Mutex.t;
   cache : (string, plan) Lru.t;  (** under [cache_mu] *)
   cache_mu : Mutex.t;
+  cache_epoch : int Atomic.t;
+      (** bumped by every mutation; part of every plan key, so cached
+          plans from before a state change can never be served after it *)
   views : View.t;  (** under [state_mu], like the store they index *)
   mutable viewlog : Journal.Frames.t option;  (** under [state_mu] *)
   repl_log : Replicate.Log.t option;  (** [Some] iff this node leads *)
   repl_mu : Mutex.t;
       (** serializes mutating ops end to end (execute, then append to
-          [repl_log] on success), so log order is application order *)
+          [repl_log] on success), so log order is application order;
+          compaction runs under it too, so a snapshot never interleaves
+          with a mutation *)
+  node_id : string;
+      (** this node's stable replication identity: read from (or first
+          written to) DIR/node_id when journalled, generated per process
+          otherwise.  Sent in [repl_handshake]; the leader keys acks by
+          it, never by a transport address *)
+  snap_mu : Mutex.t;
+  mutable snapshot : (int * string) option;
+      (** the latest state snapshot (seq, payload) a leader serves to
+          catching-up followers; under [snap_mu] *)
   repl_progress : Replicate.Follower.progress;  (** follower tail state *)
   mutable follower_thread : Thread.t option;  (** under [conns_mu] *)
   inflight : int Atomic.t;
@@ -314,6 +332,44 @@ let bind_listen addr =
       in
       (fd, bound)
 
+(* The node's replication identity.  It must be stable across restarts
+   of the same data directory (so a rejoining follower re-registers as
+   itself instead of double-counting toward an ack quorum) and must NOT
+   be a transport address (two nodes can advertise the same address
+   through NAT/containers, and a restart can change an ephemeral port).
+   With a journal directory the id lives in DIR/node_id; without one
+   the node is ephemeral by construction, so a per-process id is the
+   correct lifetime. *)
+let fresh_node_id () =
+  let host = try Unix.gethostname () with _ -> "unknown" in
+  let pid = try Unix.getpid () with _ -> 0 in
+  let now = Unix.gettimeofday () in
+  Printf.sprintf "n-%08x"
+    (Hashtbl.hash (host, pid, now, Unix.times ()) land 0xffffffff)
+
+let load_node_id journal_dir =
+  match journal_dir with
+  | None -> fresh_node_id ()
+  | Some dir -> (
+      let path = Filename.concat dir "node_id" in
+      match
+        let ic = open_in path in
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+            String.trim (input_line ic))
+      with
+      | id when id <> "" -> id
+      | _ | (exception Sys_error _) | (exception End_of_file) -> (
+          let id = fresh_node_id () in
+          match
+            (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+             with Unix.Unix_error _ -> ());
+            let oc = open_out path in
+            Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+                output_string oc (id ^ "\n"))
+          with
+          | () -> id
+          | exception Sys_error _ -> id))
+
 (* Binds the socket and builds the record; the view catalog is replayed
    by [create] below, which needs the plan helpers defined after this. *)
 let create_bound session cfg =
@@ -336,6 +392,7 @@ let create_bound session cfg =
           state_mu = Mutex.create ();
           cache = Lru.create ~capacity:(max 0 cfg.cache);
           cache_mu = Mutex.create ();
+          cache_epoch = Atomic.make 0;
           views = View.create ();
           viewlog = None;
           repl_log =
@@ -347,8 +404,13 @@ let create_bound session cfg =
                     (fun dir -> Filename.concat dir "repl.journal")
                     session.journal_dir
                 in
-                Some (Replicate.Log.create ?persist ()));
+                Some
+                  (Replicate.Log.create ?persist
+                     ~liveness_s:cfg.repl.liveness_s ()));
           repl_mu = Mutex.create ();
+          node_id = load_node_id session.journal_dir;
+          snap_mu = Mutex.create ();
+          snapshot = None;
           repl_progress = Replicate.Follower.make_progress ();
           follower_thread = None;
           inflight = Atomic.make 0;
@@ -428,14 +490,25 @@ let cached_plan t key compute =
         | None -> ());
         plan
 
-(* Plans are keyed by (view class, query shape): the canonical printing
-   of the parsed query.  Printing normalises whitespace, keyword case
-   and predicate parenthesisation, so textually different spellings of
-   one query share a plan; the mapping is fixed for the server's
-   lifetime, so a plan never goes stale. *)
+(* Plans are keyed by (cache epoch, view class, query shape), the shape
+   being the canonical printing of the parsed query.  Printing
+   normalises whitespace, keyword case and predicate parenthesisation,
+   so textually different spellings of one query share a plan.  The
+   epoch is bumped by every mutation ([update], [migrate] and the
+   view-catalog ops — on a follower too, via the replicated-apply
+   path), which structurally prevents a plan computed against
+   pre-mutation state from being served afterwards: entries from an
+   older epoch can never be looked up again and simply age out of the
+   LRU.  Today's plans happen to depend only on the session mapping,
+   but that is an accident of the current rewrite engine, not a
+   contract — a stale-plan bug here surfaces as silently wrong answer
+   bytes after [migrate], which is the worst possible failure mode for
+   a differential tool. *)
+let plan_epoch t = Atomic.get t.cache_epoch
+
 let view_plan t view q =
   let key =
-    Printf.sprintf "view:%s\x00%s"
+    Printf.sprintf "e%d:view:%s\x00%s" (plan_epoch t)
       (Ecr.Name.to_string (Ecr.Schema.name view))
       (Query.Ast.to_string q)
   in
@@ -451,7 +524,9 @@ let view_plan t view q =
   | Global_plan _ -> assert false (* keys are namespaced by "view:"/"global:" *)
 
 let global_plan t q =
-  let key = Printf.sprintf "global:\x00%s" (Query.Ast.to_string q) in
+  let key =
+    Printf.sprintf "e%d:global:\x00%s" (plan_epoch t) (Query.Ast.to_string q)
+  in
   match
     cached_plan t key (fun () ->
         Global_plan
@@ -645,7 +720,7 @@ let named_stores t =
 (* The payload of one data operation; runs on a pool domain.  Raises
    only the typed query-layer exceptions (mapped to error responses by
    [execute]) — anything else is a bug answered as [internal]. *)
-let run_op t (req : Wire.request) =
+let run_op_inner t (req : Wire.request) =
   match req.Wire.op with
   | "query" -> (
       match (req.Wire.view, req.Wire.text) with
@@ -832,6 +907,14 @@ let run_op t (req : Wire.request) =
       [ ("slept_ms", Json.Int ms) ]
   | op -> raise (Invalid_argument (Printf.sprintf "no such field op %S" op))
 
+(* Every mutation that completes opens a new cache epoch — whether it
+   ran on the leader's write path or through the follower's
+   replicated-apply path, both of which land here. *)
+let run_op t (req : Wire.request) =
+  let payload = run_op_inner t req in
+  if Wire.mutating req.Wire.op then Atomic.incr t.cache_epoch;
+  payload
+
 (* ---- replication -------------------------------------------------- *)
 
 (* The replication log stores the canonical request line of every
@@ -859,23 +942,298 @@ let apply_repl t _seq line =
    wire.  Frames that no longer apply (a define_view already recovered
    from views.journal) are skipped: the catalog replay and the history
    replay converge on the same live set. *)
-let replay_repl_log t =
+let replay_repl_log t ~from =
   match t.repl_log with
   | None -> ()
   | Some log ->
-      for s = 1 to Replicate.Log.seq log do
+      for s = from to Replicate.Log.seq log do
         match Replicate.Log.get log s with
         | None -> ()
         | Some line -> ignore (apply_repl t s line)
       done
 
+(* ---- state snapshots ---------------------------------------------- *)
+
+(* A snapshot is the full serving state at a log seq: the merged store
+   (as Instance.Loader text, whose round-trip preserves query-answer
+   bytes) plus the view catalog with each materialized extent and
+   freshness flag carried {e verbatim} — a Manual view legitimately
+   serves a stale extent, and its [fresh] flag is part of read-response
+   bytes, so re-deriving extents on the installing node would change
+   what its clients see.  Component stores are not included: they are
+   immutable at runtime, and every node rebuilds them from its own
+   session inputs.
+
+   Values inside view rows use a tagged encoding ([{"s":..}] / ["i"] /
+   ["r"] / ["b"] / ["d"] / [null]) rather than [Wire.value_to_json],
+   which flattens [Date] and [Str] into the same JSON string and could
+   not be decoded back. *)
+
+let tagged_of_value = function
+  | Instance.Value.Null -> Json.Null
+  | Instance.Value.Str s -> Json.Obj [ ("s", Json.String s) ]
+  | Instance.Value.Int i -> Json.Obj [ ("i", Json.Int i) ]
+  | Instance.Value.Real r -> Json.Obj [ ("r", Json.Float r) ]
+  | Instance.Value.Bool b -> Json.Obj [ ("b", Json.Bool b) ]
+  | Instance.Value.Date (y, m, d) ->
+      Json.Obj [ ("d", Json.List [ Json.Int y; Json.Int m; Json.Int d ]) ]
+
+let value_of_tagged = function
+  | Json.Null -> Some Instance.Value.Null
+  | Json.Obj [ ("s", Json.String s) ] -> Some (Instance.Value.Str s)
+  | Json.Obj [ ("i", Json.Int i) ] -> Some (Instance.Value.Int i)
+  | Json.Obj [ ("r", Json.Float r) ] -> Some (Instance.Value.Real r)
+  | Json.Obj [ ("r", Json.Int r) ] -> Some (Instance.Value.Real (float_of_int r))
+  | Json.Obj [ ("b", Json.Bool b) ] -> Some (Instance.Value.Bool b)
+  | Json.Obj [ ("d", Json.List [ Json.Int y; Json.Int m; Json.Int d ]) ] ->
+      Some (Instance.Value.Date (y, m, d))
+  | _ -> None
+
+let snap_row_to_json (row : Query.Eval.row) =
+  Json.Obj
+    (List.map
+       (fun (k, v) -> (Ecr.Name.to_string k, tagged_of_value v))
+       (Ecr.Name.Map.bindings row))
+
+let snap_row_of_json = function
+  | Json.Obj fields ->
+      List.fold_left
+        (fun acc (k, v) ->
+          match (acc, Ecr.Name.of_string_opt k, value_of_tagged v) with
+          | Some m, Some name, Some value ->
+              Some (Ecr.Name.Map.add name value m)
+          | _ -> None)
+        (Some Ecr.Name.Map.empty) fields
+  | _ -> None
+
+let snapshot_payload t =
+  Mutex.protect t.state_mu (fun () ->
+      let schema = t.session.result.Integrate.Result.schema in
+      let store = Instance.Loader.to_string schema t.merged in
+      let views =
+        List.map
+          (fun ((i : View.info), rows) ->
+            Json.Obj
+              ([ ("name", Json.String i.View.name) ]
+              @ (match i.View.base with
+                | Some b -> [ ("base", Json.String b) ]
+                | None -> [])
+              @ [
+                  ("policy", Json.String (View.policy_to_string i.View.policy));
+                  ("q", Json.String i.View.source);
+                  ("fresh", Json.Bool i.View.fresh);
+                  ("rows", Json.List (List.map snap_row_to_json rows));
+                ]))
+          (View.dump t.views)
+      in
+      Json.to_string
+        (Json.Obj
+           [
+             ("v", Json.Int 1);
+             ("store", Json.String store);
+             ("views", Json.List views);
+           ]))
+
+(* Install a snapshot payload as this node's serving state: decode
+   everything first (store text through the loader, every view's plan
+   and rows), then swap under [state_mu] — a snapshot that fails to
+   decode never half-installs.  Runs on the follower's tail thread and
+   on a restarting leader before it serves. *)
+let install_snapshot t seq payload =
+  let ( let* ) = Result.bind in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match Json.of_string payload with
+  | Error e -> fail "snapshot %d does not parse: %s" seq e
+  | Ok o ->
+      let schema = t.session.result.Integrate.Result.schema in
+      let* store =
+        match Json.member "store" o with
+        | Some (Json.String text) -> (
+            match Instance.Loader.load_string ~schemas:[ schema ] text with
+            | [ (_, st) ] -> Ok st
+            | _ -> fail "snapshot %d: store text loaded to no store" seq
+            | exception (Instance.Loader.Error _ as e) ->
+                fail "snapshot %d: %s" seq (Instance.Loader.error_to_string e))
+        | _ -> fail "snapshot %d has no store" seq
+      in
+      let* decoded =
+        match Json.member "views" o with
+        | None -> Ok []
+        | Some (Json.List objs) ->
+            let* rev =
+              List.fold_left
+                (fun acc vo ->
+                  let* acc = acc in
+                  let str k =
+                    match Json.member k vo with
+                    | Some (Json.String s) -> Some s
+                    | _ -> None
+                  in
+                  match (str "name", str "q") with
+                  | Some name, Some source ->
+                      let base = str "base" in
+                      let policy =
+                        Option.value ~default:View.Lazy
+                          (Option.bind (str "policy") View.policy_of_string)
+                      in
+                      let fresh =
+                        match Json.member "fresh" vo with
+                        | Some (Json.Bool b) -> b
+                        | _ -> true
+                      in
+                      let* rows =
+                        match Json.member "rows" vo with
+                        | Some (Json.List rs) ->
+                            List.fold_left
+                              (fun acc r ->
+                                let* acc = acc in
+                                match snap_row_of_json r with
+                                | Some row -> Ok (row :: acc)
+                                | None ->
+                                    fail "snapshot %d: view %s has a bad row"
+                                      seq name)
+                              (Ok []) rs
+                            |> Result.map List.rev
+                        | _ -> fail "snapshot %d: view %s has no rows" seq name
+                      in
+                      (* rebuild the plan exactly as define_view would *)
+                      let* query, post =
+                        match Query.Parser.query_of_string source with
+                        | exception Query.Parser.Error msg ->
+                            fail "snapshot %d: view %s: %s" seq name msg
+                        | q -> (
+                            match base with
+                            | None -> Ok (q, fun rows -> rows)
+                            | Some b -> (
+                                match find_view t b with
+                                | None ->
+                                    fail "snapshot %d: view %s: unknown base %s"
+                                      seq name b
+                                | Some view -> (
+                                    match view_plan t view q with
+                                    | plan -> Ok plan
+                                    | exception Query.Rewrite.Unmapped msg ->
+                                        fail "snapshot %d: view %s: %s" seq
+                                          name msg)))
+                      in
+                      Ok ((name, base, policy, source, fresh, rows, query, post)
+                          :: acc)
+                  | _ -> fail "snapshot %d: malformed view entry" seq)
+                (Ok []) objs
+            in
+            Ok (List.rev rev)
+        | Some _ -> fail "snapshot %d: malformed views field" seq
+      in
+      let* () =
+        Mutex.protect t.state_mu (fun () ->
+            t.merged <- store;
+            List.iter
+              (fun n -> ignore (View.drop t.views n))
+              (View.names t.views);
+            List.fold_left
+              (fun acc (name, base, policy, source, fresh, rows, query, post) ->
+                let* () = acc in
+                View.install t.views ~name ?base ~policy ~source ~query ~post
+                  ~rows ~fresh ())
+              (Ok ()) decoded)
+      in
+      Atomic.incr t.cache_epoch;
+      compact_viewlog t;
+      Ok ()
+
+(* ---- compaction ---------------------------------------------------- *)
+
+let snapshot_seq t =
+  Mutex.protect t.snap_mu (fun () ->
+      match t.snapshot with Some (s, _) -> s | None -> 0)
+
+(* Take a snapshot at the current log seq, persist it (journalled
+   leaders), and truncate the prefix nothing still needs.  The caller
+   holds [repl_mu], so the snapshot never interleaves with a mutation
+   and the lock order (repl_mu, then state_mu inside
+   [snapshot_payload]) matches the write path.
+
+   The truncation bound is the minimum of three floors:
+   - the seq the snapshot covers (frames above it are not yet covered);
+   - the oldest {e retained} snapshot on disk — a restart that finds
+     the newest snapshot torn falls back to the previous one and must
+     still find the frames after it;
+   - the lowest live follower ack, so no tailing follower has its
+     next frame truncated out from under it (a dead follower's ack
+     expires with the log's liveness window rather than pinning the
+     bound forever). *)
+let compact_locked t log =
+  let seq = Replicate.Log.seq log in
+  let cur = snapshot_seq t in
+  let sseq, keep_floor =
+    if seq > cur then begin
+      let payload = snapshot_payload t in
+      let floor =
+        match t.session.journal_dir with
+        | Some dir ->
+            let retained = Replicate.Snapshot.save ~dir ~seq payload in
+            List.fold_left min seq retained
+        | None -> seq
+      in
+      Mutex.protect t.snap_mu (fun () -> t.snapshot <- Some (seq, payload));
+      (seq, floor)
+    end
+    else
+      ( cur,
+        match t.session.journal_dir with
+        | Some dir -> (
+            match Replicate.Snapshot.retained ~dir with
+            | [] -> cur
+            | l -> List.fold_left min cur l)
+        | None -> cur )
+  in
+  let ack_floor =
+    match Replicate.Log.lowest_live_ack log with Some a -> a | None -> sseq
+  in
+  let dropped = Replicate.Log.truncate log (min keep_floor ack_floor) in
+  (sseq, dropped)
+
+let maybe_compact_locked t log =
+  let n = t.cfg.repl.compact_every in
+  if n > 0 && Replicate.Log.seq log - snapshot_seq t >= n then
+    ignore (compact_locked t log)
+
 let create session cfg =
   match create_bound session cfg with
   | Error _ as e -> e
-  | Ok t ->
+  | Ok t -> (
       load_views t;
-      replay_repl_log t;
-      Ok t
+      match (t.repl_log, session.journal_dir) with
+      | Some log, Some dir -> (
+          let base = Replicate.Log.base_seq log in
+          match Replicate.Snapshot.load ~dir with
+          | Some (sseq, payload) when sseq >= base -> (
+              (* restart = snapshot + suffix, never a full-history
+                 replay: install the newest readable snapshot, then
+                 replay only the frames after it *)
+              match install_snapshot t sseq payload with
+              | Ok () ->
+                  Mutex.protect t.snap_mu (fun () ->
+                      t.snapshot <- Some (sseq, payload));
+                  replay_repl_log t ~from:(sseq + 1);
+                  Ok t
+              | Error msg ->
+                  Error (Printf.sprintf "cannot restart from snapshot: %s" msg)
+              )
+          | Some _ | None ->
+              if base = 0 then begin
+                replay_repl_log t ~from:1;
+                Ok t
+              end
+              else
+                Error
+                  (Printf.sprintf
+                     "the replication log is truncated to seq %d but no \
+                      valid snapshot could be read from %s"
+                     base dir))
+      | _ ->
+          replay_repl_log t ~from:1;
+          Ok t)
 
 (* Responses are built as values and rendered per-connection: the same
    [Json.t] goes out as a JSON line or a binary frame depending on what
@@ -978,6 +1336,8 @@ let health_payload t =
       [
         ("role", Json.String "leader");
         ("repl_seq", Json.Int (Replicate.Log.seq log));
+        ("base_seq", Json.Int (Replicate.Log.base_seq log));
+        ("snapshot_seq", Json.Int (snapshot_seq t));
       ]
   | Leader, None -> [ ("role", Json.String "leader") ]
   | Follower _, _ ->
@@ -989,6 +1349,8 @@ let health_payload t =
         ("repl_connected", Json.Bool (Atomic.get p.Replicate.Follower.connected));
         ( "repl_apply_errors",
           Json.Int (Atomic.get p.Replicate.Follower.apply_errors) );
+        ( "snapshot_installs",
+          Json.Int (Atomic.get p.Replicate.Follower.snapshots) );
         ("repl_last_error", Json.String (Replicate.Follower.last_error p));
       ]
 
@@ -1016,6 +1378,7 @@ let repl_handshake t (req : Wire.request) =
         [
           ("role", Json.String "leader");
           ("repl_seq", Json.Int (Replicate.Log.seq log));
+          ("base_seq", Json.Int (Replicate.Log.base_seq log));
         ]
 
 let repl_pull t (req : Wire.request) =
@@ -1056,6 +1419,7 @@ let repl_pull t (req : Wire.request) =
           respond_ok t id
             [
               ("repl_seq", Json.Int (Replicate.Log.seq log));
+              ("base_seq", Json.Int (Replicate.Log.base_seq log));
               ( "frames",
                 Json.List
                   (List.map
@@ -1083,6 +1447,63 @@ let repl_frame t (req : Wire.request) =
                 (Printf.sprintf "no replicated frame %d (log is at %d)" s
                    (Replicate.Log.seq log))))
 
+(* Snapshot transfer, one bounded chunk per round-trip so a frame never
+   outgrows the binary protocol's frame cap.  The chunk index rides the
+   request's [seq] field; every chunk repeats the covered seq and the
+   chunk count, so a follower detects a snapshot replaced mid-transfer
+   and restarts the fetch.  A pulling follower's liveness is refreshed
+   (ack at 0) so the transfer itself keeps the node registered. *)
+let snap_chunk_bytes = 1 lsl 20
+
+let repl_snapshot t (req : Wire.request) =
+  let id = req.Wire.id in
+  match t.repl_log with
+  | None -> not_leader_response t id
+  | Some log -> (
+      (match req.Wire.node with
+      | Some node -> Replicate.Log.ack log ~node 0
+      | None -> ());
+      match Mutex.protect t.snap_mu (fun () -> t.snapshot) with
+      | None ->
+          respond_err t id Wire.Bad_request
+            "no snapshot available (the log has never been compacted)"
+      | Some (sseq, payload) ->
+          let len = String.length payload in
+          let total = max 1 ((len + snap_chunk_bytes - 1) / snap_chunk_bytes) in
+          let i = Option.value ~default:0 req.Wire.seq in
+          if i < 0 || i >= total then
+            respond_err t id Wire.Bad_request
+              (Printf.sprintf "snapshot chunk %d out of range (0..%d)" i
+                 (total - 1))
+          else
+            let chunk =
+              String.sub payload (i * snap_chunk_bytes)
+                (min snap_chunk_bytes (len - (i * snap_chunk_bytes)))
+            in
+            respond_ok t id
+              [
+                ("snapshot_seq", Json.Int sseq);
+                ("chunks", Json.Int total);
+                ("chunk", Json.String chunk);
+                ("base_seq", Json.Int (Replicate.Log.base_seq log));
+                ("repl_seq", Json.Int (Replicate.Log.seq log));
+              ])
+
+let repl_compact t (req : Wire.request) =
+  let id = req.Wire.id in
+  match t.repl_log with
+  | None -> not_leader_response t id
+  | Some log ->
+      let sseq, dropped =
+        Mutex.protect t.repl_mu (fun () -> compact_locked t log)
+      in
+      respond_ok t id
+        [
+          ("snapshot_seq", Json.Int sseq);
+          ("base_seq", Json.Int (Replicate.Log.base_seq log));
+          ("dropped", Json.Int dropped);
+        ]
+
 let repl_status t (req : Wire.request) =
   let id = req.Wire.id in
   match (t.cfg.repl.role, t.repl_log) with
@@ -1091,6 +1512,8 @@ let repl_status t (req : Wire.request) =
         [
           ("role", Json.String "leader");
           ("repl_seq", Json.Int (Replicate.Log.seq log));
+          ("base_seq", Json.Int (Replicate.Log.base_seq log));
+          ("snapshot_seq", Json.Int (snapshot_seq t));
           ("ack_replicas", Json.Int t.cfg.repl.ack_replicas);
           ( "followers",
             Json.List
@@ -1116,7 +1539,10 @@ let repl_status t (req : Wire.request) =
           ("connected", Json.Bool (Atomic.get p.Replicate.Follower.connected));
           ( "apply_errors",
             Json.Int (Atomic.get p.Replicate.Follower.apply_errors) );
+          ( "snapshot_installs",
+            Json.Int (Atomic.get p.Replicate.Follower.snapshots) );
           ("last_error", Json.String (Replicate.Follower.last_error p));
+          ("node", Json.String t.node_id);
         ]
 
 let handle_request t decoded =
@@ -1138,6 +1564,8 @@ let handle_request t decoded =
       | "repl_pull" -> repl_pull t req
       | "repl_frame" -> repl_frame t req
       | "repl_status" -> repl_status t req
+      | "repl_snapshot" -> repl_snapshot t req
+      | "repl_compact" -> repl_compact t req
       | "sleep" when not t.cfg.debug ->
           respond_err t id Wire.Unknown_op "unknown op \"sleep\""
       | op
@@ -1187,10 +1615,16 @@ let handle_request t decoded =
                               let resp = run () in
                               match Json.member "ok" resp with
                               | Some (Json.Bool true) ->
-                                  ( resp,
-                                    Some
-                                      (Replicate.Log.append log (repl_line req))
-                                  )
+                                  let s =
+                                    Replicate.Log.append log (repl_line req)
+                                  in
+                                  (* compaction rides the write path,
+                                     still under [repl_mu]: every
+                                     [compact_every] acknowledged writes
+                                     the log re-snapshots and sheds its
+                                     covered prefix *)
+                                  maybe_compact_locked t log;
+                                  (resp, Some s)
                               | _ -> (resp, None))
                         in
                         match seq with
@@ -1376,24 +1810,19 @@ let drain t =
 
 let request_stop t = Atomic.set t.stop_requested true
 
-(* The node name a follower identifies itself with: its own listen
-   address (with the kernel-assigned port resolved), which is unique
-   per node and lets `repl_status` on the leader name its followers. *)
-let self_addr t =
-  match (t.cfg.listen, t.bound_port) with
-  | Wire.Tcp (host, _), Some port -> Wire.addr_to_string (Wire.Tcp (host, port))
-  | addr, _ -> Wire.addr_to_string addr
-
 (* Start the follower tail thread (idempotent; no-op on a leader).
    The transport is the ordinary client, so the stream rides the same
-   wire — and the same error paths — every other consumer uses. *)
+   wire — and the same error paths — every other consumer uses.  The
+   node identifies itself by its stable [node_id], never its listen
+   address: the leader keys quorum acks by this name, and an address
+   can be shared, reassigned, or change across restarts. *)
 let start_follower t =
   match t.cfg.repl.role with
   | Leader -> ()
   | Follower leader ->
       Mutex.protect t.conns_mu (fun () ->
           if t.follower_thread = None then begin
-            let node = self_addr t in
+            let node = t.node_id in
             let r = t.cfg.repl in
             t.follower_thread <-
               Some
@@ -1405,6 +1834,8 @@ let start_follower t =
                        ~apply:(fun seq frame -> apply_repl t seq frame)
                        ~progress:t.repl_progress ~batch:r.batch
                        ~wait_ms:r.wait_ms ~throttle_ms:r.throttle_ms
+                       ~install:(fun seq payload ->
+                         install_snapshot t seq payload)
                        ~log:(fun msg ->
                          Printf.eprintf "sit_serve: repl[%s]: %s\n%!" node msg)
                        ())

@@ -103,11 +103,23 @@ type repl_config = {
   throttle_ms : int;
       (** follower only, test hook: sleep between pulls so a catch-up
           window is observable *)
+  compact_every : int;
+      (** leader only: snapshot the serving state and truncate the
+          covered replication-log prefix every this many acknowledged
+          writes ([0] disables automatic compaction; the [repl_compact]
+          wire op always works).  Bounds leader memory, disk and
+          restart time by the compaction window instead of total write
+          count (docs/ROBUSTNESS.md "Log growth"). *)
+  liveness_s : float;
+      (** leader only: a follower that has not pulled for this long is
+          considered gone — its ack stops counting toward quorums and
+          stops pinning the compaction bound *)
 }
 
 val default_repl : repl_config
 (** [Leader], asynchronous (ack 0, timeout 10 s), batch 64, 200 ms
-    long-poll, no throttle. *)
+    long-poll, no throttle, no automatic compaction, 30 s follower
+    liveness. *)
 
 type config = {
   listen : Wire.addr;
@@ -148,7 +160,12 @@ val create : session -> config -> (t, string) result
     satisfy are dropped) and the log compacted.  A [Leader] with a
     [journal_dir] also recovers [DIR/repl.journal] (longest valid
     prefix) and replays it into its runtime state, so a restarted
-    leader serves exactly what it last acknowledged. *)
+    leader serves exactly what it last acknowledged.  When compaction
+    has run, recovery is snapshot + suffix: the newest readable
+    [DIR/repl.snap.<seq>] is installed and only frames after its seq
+    replay — a torn snapshot tail falls back to the previous retained
+    snapshot.  [Error] when the log is truncated past every readable
+    snapshot (state would be unreconstructible). *)
 
 val start_follower : t -> unit
 (** Starts the follower tail thread (no-op on a leader; idempotent).

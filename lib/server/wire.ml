@@ -74,6 +74,7 @@ let ops =
     "query"; "rewrite"; "update"; "migrate"; "define_view"; "drop_view";
     "refresh_view"; "sleep"; "view_stats"; "health"; "metrics";
     "repl_handshake"; "repl_pull"; "repl_frame"; "repl_status";
+    "repl_snapshot"; "repl_compact";
   ]
 
 let mutating = function

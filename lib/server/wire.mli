@@ -69,7 +69,8 @@ type request = {
       (** [define_view] only: ["eager"], ["lazy"] (default), ["manual"] *)
   deadline_ms : int option;
   seq : int option;
-      (** [repl_pull]: first seq wanted; [repl_frame]: the seq wanted *)
+      (** [repl_pull]: first seq wanted; [repl_frame]: the seq wanted;
+          [repl_snapshot]: the chunk index wanted (0-based) *)
   max : int option;  (** [repl_pull] only: frames-per-pull cap *)
   wait_ms : int option;
       (** [repl_pull] only: long-poll budget when no frame is ready *)

@@ -159,6 +159,50 @@ let define t ~name ?base ~policy ~source ~query ~post store =
             Obs.Counter.incr c_defines;
             Ok ())
 
+(* Snapshot install: register an entry with its extent and freshness
+   injected instead of evaluated.  Replication snapshots must carry the
+   materialized rows verbatim — a Manual view's extent may be stale
+   relative to the store, and re-deriving it on the installing node
+   would change the bytes (and the fresh flag) its reads serve. *)
+let install t ~name ?base ~policy ~source ~query ~post ~rows ~fresh () =
+  if name = "" then Error "view name must be non-empty"
+  else if mem t name then Error (Printf.sprintf "view %s already exists" name)
+  else
+    let key = shape_key query in
+    match Hashtbl.find_opt t.shapes key with
+    | Some other ->
+        Error
+          (Printf.sprintf "view %s already materializes this query shape"
+             other)
+    | None ->
+        let e =
+          {
+            e_name = name;
+            e_base = base;
+            e_policy = policy;
+            e_source = source;
+            query;
+            post;
+            rows;
+            fresh;
+            hits = 0;
+            stale_marks = 0;
+            refreshes = 0;
+            delta_appends = 0;
+            last_refresh_ms = 0.;
+          }
+        in
+        Hashtbl.replace t.entries name e;
+        Hashtbl.replace t.shapes key name;
+        t.order <- t.order @ [ name ];
+        Obs.Counter.incr c_defines;
+        Ok ()
+
+let dump t =
+  List.filter_map
+    (fun n -> Option.map (fun e -> (info_of e, e.rows)) (find t n))
+    t.order
+
 let drop t name =
   match find t name with
   | None -> false

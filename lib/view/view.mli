@@ -93,6 +93,33 @@ val define :
     duplicate name, a duplicate query shape (keyed on
     {!Query.Ast.to_string} of [query]) or an ill-typed [query]. *)
 
+val install :
+  t ->
+  name:string ->
+  ?base:string ->
+  policy:policy ->
+  source:string ->
+  query:Query.Ast.t ->
+  post:(Query.Eval.row list -> Query.Eval.row list) ->
+  rows:Query.Eval.row list ->
+  fresh:bool ->
+  unit ->
+  (unit, string) result
+(** Registers a view with its materialized extent and freshness
+    {e injected} rather than evaluated — the replication
+    snapshot-install path.  [rows] are raw (integrated column names, no
+    [post] applied), exactly what {!dump} exports; counters start at
+    zero.  Same duplicate-name/shape checks as {!define}.  Injection
+    matters for correctness: a [Manual] view's extent may legitimately
+    be stale relative to the store, so re-deriving it on the installing
+    node would change the served bytes and the freshness flag. *)
+
+val dump : t -> (info * Query.Eval.row list) list
+(** Every view's snapshot-relevant state in definition order: its
+    {!info} (name, base, policy, source, freshness) paired with the raw
+    materialized extent (integrated column names, no [post]) — the
+    source side of {!install}. *)
+
 val drop : t -> string -> bool
 (** Removes a view; [false] if the name is unknown. *)
 

@@ -19,6 +19,12 @@
 #         visible, every answer byte-identical to the reference
 #   leg 5 (late follower): a follower started after all mutations
 #         finished must catch up from seq 1 and converge the same way
+#   leg 6 (compaction): a journalled leader with --compact-every runs a
+#         write storm past the compaction window (base_seq > 0), is
+#         SIGKILLed and restarted — recovery is snapshot + suffix — and
+#         a fresh follower whose start point is below the truncated
+#         base must catch up through a snapshot transfer
+#         (snapshot_installs >= 1), byte-identical to the reference
 #
 # Seeds are pinned so the fault schedule is reproducible.  Run via
 # `make chaos-test` (part of `make check`).
@@ -205,4 +211,62 @@ converge "127.0.0.1:$F4PORT" "$OUT/f4_reads.txt" \
   || fail "late-started follower never converged"
 kill -TERM "$LEADER2_PID" 2>/dev/null || true
 
-echo "chaos-test: ok (seed $SEED; $(grep -c '^{' "$OUT/ref_reads.txt") read frames held byte-identical through failover)"
+# ---- leg 6: compaction, kill -9, snapshot-transfer catch-up ---------
+
+JDIR="$WORK/leader3_journal"
+mkdir -p "$JDIR"
+start_node "$WORK/leader3.log" --journal "$JDIR" --compact-every 4
+LPORT3=$PORT
+LEADER3_PID=$LAST_PID
+"$SERVE" --drive "127.0.0.1:$LPORT3" --conns 4 --proto json \
+  --schedule "$SCHED" --transcript "$OUT/l3.txt" \
+  || fail "compacting leader schedule leg failed"
+cmp -s "$OUT/ref.txt" "$OUT/l3.txt" \
+  || fail "compaction changed an answer: leg 6 diverged from the reference"
+
+# the storm must have driven the log past the compaction window
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$LPORT3" <<'EOF'
+import json, socket, sys
+s = socket.create_connection(("127.0.0.1", int(sys.argv[1])))
+f = s.makefile("rw")
+f.write('{"op":"repl_status"}\n'); f.flush()
+st = json.loads(f.readline())
+assert st["ok"] and st["role"] == "leader", st
+assert st["base_seq"] > 0, ("log was never truncated", st)
+assert st["snapshot_seq"] >= st["base_seq"], st
+s.close()
+EOF
+fi
+
+kill -9 "$LEADER3_PID" 2>/dev/null || true
+wait "$LEADER3_PID" 2>/dev/null || true
+
+# restart from the same journal: recovery must be snapshot + suffix,
+# and the recovered state must answer the read deck byte-identically
+start_node "$WORK/leader3b.log" --journal "$JDIR" --compact-every 4
+LPORT3B=$PORT
+converge "127.0.0.1:$LPORT3B" "$OUT/l3b_reads.txt" \
+  || fail "leader restarted from snapshot + suffix diverged"
+
+# a fresh follower starts below the truncated base: it must take the
+# snapshot-transfer leg and still converge on the reference bytes
+start_node "$WORK/f5.log" --follow "127.0.0.1:$LPORT3B"
+F5PORT=$PORT
+converge "127.0.0.1:$F5PORT" "$OUT/f5_reads.txt" \
+  || fail "follower behind the truncation never converged"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$F5PORT" <<'EOF'
+import json, socket, sys
+s = socket.create_connection(("127.0.0.1", int(sys.argv[1])))
+f = s.makefile("rw")
+f.write('{"op":"health"}\n'); f.flush()
+h = json.loads(f.readline())
+assert h["ok"] and h["role"] == "follower", h
+assert h["staleness_seq"] == 0, h
+assert h["snapshot_installs"] >= 1, ("catch-up did not go through a snapshot", h)
+s.close()
+EOF
+fi
+
+echo "chaos-test: ok (seed $SEED; $(grep -c '^{' "$OUT/ref_reads.txt") read frames held byte-identical through failover and compaction)"

@@ -199,6 +199,22 @@ let backoff_tests =
         | Error f ->
             check Alcotest.int "tried the whole budget" 3 f.Backoff.tried;
             check Alcotest.int "last error reported" 2 f.Backoff.last);
+    tc "fresh policies decorrelate two default clients" (fun () ->
+        (* the regression: clients built with the library default used
+           to share seed 0, so a thundering herd retried in lockstep *)
+        let p1 = Backoff.fresh () and p2 = Backoff.fresh () in
+        check Alcotest.bool "fresh seeds differ" true
+          (p1.Backoff.seed <> p2.Backoff.seed);
+        check Alcotest.bool "fresh differs from the deterministic default"
+          true
+          (p1.Backoff.seed <> Backoff.default.Backoff.seed);
+        let d1 = Backoff.delays { p1 with attempts = 8 }
+        and d2 = Backoff.delays { p2 with attempts = 8 } in
+        check Alcotest.bool "two default clients back off on different \
+                            schedules" true (d1 <> d2);
+        (* everything except the seed is still the default policy *)
+        check Alcotest.bool "only the seed is fresh" true
+          ({ p1 with seed = 0 } = Backoff.default));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -325,6 +341,195 @@ let log_tests =
             check Alcotest.(option string) "healed frame persisted"
               (Some "three'") (Log.get l4 3);
             Log.close l4));
+    tc "truncate sheds a prefix; reads clamp to base_seq" (fun () ->
+        let l = Log.create () in
+        for i = 1 to 6 do
+          ignore (Log.append l (Printf.sprintf "f%d" i))
+        done;
+        check Alcotest.int "four frames dropped" 4 (Log.truncate l 4);
+        check Alcotest.int "base moved" 4 (Log.base_seq l);
+        check Alcotest.int "seq unchanged" 6 (Log.seq l);
+        check Alcotest.(option string) "below the base is gone" None
+          (Log.get l 1);
+        check Alcotest.(option string) "at the base is gone" None (Log.get l 4);
+        check Alcotest.(option string) "first retained frame" (Some "f5")
+          (Log.get l 5);
+        check Alcotest.(option string) "last frame" (Some "f6") (Log.get l 6);
+        (* a pull from inside the truncated prefix clamps to the suffix *)
+        check
+          Alcotest.(list (pair int string))
+          "from 1 clamps to base+1"
+          [ (5, "f5"); (6, "f6") ]
+          (Log.from l 1 ~max:10);
+        check
+          Alcotest.(list (pair int string))
+          "from 5 capped" [ (5, "f5") ] (Log.from l 5 ~max:1);
+        check Alcotest.(list (pair int string)) "past the tip" []
+          (Log.from l 7 ~max:10);
+        (* wait is satisfied by seq, not by frame availability *)
+        check Alcotest.bool "wait below the base returns immediately" true
+          (Log.wait l ~from:3 ~timeout_s:0.2);
+        check Alcotest.int "re-truncating below the base drops nothing" 0
+          (Log.truncate l 2);
+        check Alcotest.int "truncation clamps to the tip" 2 (Log.truncate l 100);
+        check Alcotest.int "base clamped to seq" 6 (Log.base_seq l);
+        check Alcotest.(list (pair int string)) "nothing retained" []
+          (Log.from l 1 ~max:10);
+        (* appends continue the dense numbering over the hole *)
+        check Alcotest.int "append continues the numbering" 7 (Log.append l "f7");
+        check Alcotest.(option string) "new frame readable" (Some "f7")
+          (Log.get l 7);
+        Log.close l);
+    tc "a truncated log persists its base across reopen" (fun () ->
+        let dir = fresh_dir () in
+        Fun.protect
+          ~finally:(fun () -> rm_rf dir)
+          (fun () ->
+            let path = Filename.concat dir "repl.journal" in
+            let l = Log.create ~persist:path () in
+            for i = 1 to 4 do
+              ignore (Log.append l (Printf.sprintf "f%d" i))
+            done;
+            check Alcotest.int "dropped" 2 (Log.truncate l 2);
+            Log.close l;
+            let l2 = Log.create ~persist:path () in
+            check Alcotest.int "base recovered from the header" 2
+              (Log.base_seq l2);
+            check Alcotest.int "seq recovered" 4 (Log.seq l2);
+            check Alcotest.(option string) "suffix frame readable" (Some "f3")
+              (Log.get l2 3);
+            check Alcotest.(option string) "truncated frame stays gone" None
+              (Log.get l2 2);
+            check Alcotest.int "appends resume after the suffix" 5
+              (Log.append l2 "f5");
+            Log.close l2;
+            (* a torn tail after a truncation still recovers the base *)
+            let data = In_channel.with_open_bin path In_channel.input_all in
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc
+                  (String.sub data 0 (String.length data - 2)));
+            let l3 = Log.create ~persist:path () in
+            check Alcotest.int "base survives a torn tail" 2 (Log.base_seq l3);
+            check Alcotest.int "longest valid suffix" 4 (Log.seq l3);
+            check Alcotest.bool "torn bytes counted" true
+              (Log.truncated_bytes l3 > 0);
+            Log.close l3));
+    tc "acks expire past the liveness window" (fun () ->
+        let l = Log.create ~liveness_s:0.4 () in
+        ignore (Log.append l "a");
+        ignore (Log.append l "b");
+        Log.ack l ~node:"f1" 1;
+        Log.ack l ~node:"f2" 2;
+        check
+          Alcotest.(list (pair string int))
+          "both live"
+          [ ("f1", 1); ("f2", 2) ]
+          (Log.acks l);
+        check Alcotest.(option int) "truncation bound is the slowest ack"
+          (Some 1) (Log.lowest_live_ack l);
+        check Alcotest.int "both count at seq 1" 2 (Log.acked_by l 1);
+        Thread.delay 0.6;
+        (* f2 keeps pulling, f1 went silent for the whole window *)
+        Log.ack l ~node:"f2" 2;
+        check
+          Alcotest.(list (pair string int))
+          "the silent node is pruned"
+          [ ("f2", 2) ]
+          (Log.acks l);
+        check Alcotest.(option int) "the bound no longer pins on the dead node"
+          (Some 2) (Log.lowest_live_ack l);
+        check Alcotest.int "only the live node counts" 1 (Log.acked_by l 1);
+        Thread.delay 0.6;
+        check Alcotest.(list (pair string int)) "all gone" [] (Log.acks l);
+        check Alcotest.(option int) "no bound without followers" None
+          (Log.lowest_live_ack l);
+        check Alcotest.int "nobody counts toward a quorum" 0 (Log.acked_by l 1);
+        (* a node re-registering after expiry is one entry, not two *)
+        Log.ack l ~node:"f2" 0;
+        Log.ack l ~node:"f2" 1;
+        check
+          Alcotest.(list (pair string int))
+          "re-registration replaces"
+          [ ("f2", 1) ]
+          (Log.acks l);
+        Log.close l);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* 2b. Snapshots (the compaction companion of the log).                *)
+
+module Snap = Replicate.Snapshot
+
+let snapshot_tests =
+  [
+    tc "save/load round-trips, multi-chunk payloads, retention of two"
+      (fun () ->
+        let dir = fresh_dir () in
+        Fun.protect
+          ~finally:(fun () -> rm_rf dir)
+          (fun () ->
+            check
+              Alcotest.(option (pair int string))
+              "empty dir has no snapshot" None (Snap.load ~dir);
+            check Alcotest.(list int) "first save retained" [ 5 ]
+              (Snap.save ~dir ~seq:5 "five");
+            check
+              Alcotest.(option (pair int string))
+              "round-trip"
+              (Some (5, "five"))
+              (Snap.load ~dir);
+            (* a payload larger than one chunk reassembles exactly *)
+            let big =
+              String.init 2_500_000 (fun i -> Char.chr (33 + (i * 7 mod 90)))
+            in
+            check Alcotest.(list int) "retained newest first" [ 9; 5 ]
+              (Snap.save ~dir ~seq:9 big);
+            (match Snap.load ~dir with
+            | Some (9, p) ->
+                check Alcotest.bool "multi-chunk payload intact" true
+                  (String.equal p big)
+            | _ -> Alcotest.fail "big snapshot did not load");
+            check Alcotest.(list int) "retention caps at two" [ 12; 9 ]
+              (Snap.save ~dir ~seq:12 "twelve");
+            check Alcotest.bool "oldest file pruned" false
+              (Sys.file_exists (Filename.concat dir "repl.snap.5"));
+            check Alcotest.(list int) "disk agrees" [ 12; 9 ]
+              (Snap.retained ~dir);
+            (* an empty payload is a valid snapshot *)
+            ignore (Snap.save ~dir ~seq:13 "");
+            check
+              Alcotest.(option (pair int string))
+              "empty payload round-trips"
+              (Some (13, ""))
+              (Snap.load ~dir)));
+    tc "a torn newest snapshot falls back to the previous" (fun () ->
+        let dir = fresh_dir () in
+        Fun.protect
+          ~finally:(fun () -> rm_rf dir)
+          (fun () ->
+            ignore (Snap.save ~dir ~seq:5 "five");
+            ignore (Snap.save ~dir ~seq:9 "nine");
+            let tear seq =
+              let path =
+                Filename.concat dir (Printf.sprintf "repl.snap.%d" seq)
+              in
+              let data = In_channel.with_open_bin path In_channel.input_all in
+              Out_channel.with_open_bin path (fun oc ->
+                  Out_channel.output_string oc
+                    (String.sub data 0 (String.length data - 3)))
+            in
+            (* the torn tail loses the explicit trailer, so the whole
+               file reads invalid — half a state is never installable *)
+            tear 9;
+            check
+              Alcotest.(option (pair int string))
+              "fallback to the previous retained snapshot"
+              (Some (5, "five"))
+              (Snap.load ~dir);
+            tear 5;
+            check
+              Alcotest.(option (pair int string))
+              "no valid snapshot left" None (Snap.load ~dir)));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -345,13 +550,17 @@ let wire_tests =
           [
             "query"; "rewrite"; "health"; "metrics"; "stats"; "view_stats";
             "repl_handshake"; "repl_pull"; "repl_frame"; "repl_status";
+            "repl_snapshot"; "repl_compact";
           ]);
     tc "the op registry covers the repl operations" (fun () ->
         List.iter
           (fun op ->
             check Alcotest.bool (op ^ " registered") true
               (List.mem op Server.Wire.ops))
-          [ "repl_handshake"; "repl_pull"; "repl_frame"; "repl_status" ]);
+          [
+            "repl_handshake"; "repl_pull"; "repl_frame"; "repl_status";
+            "repl_snapshot"; "repl_compact";
+          ]);
     tc "repl request fields roundtrip" (fun () ->
         let line =
           Server.Wire.request_to_line ~seq:7 ~max:32 ~wait_ms:150 ~node:"f1"
@@ -806,6 +1015,385 @@ let cluster_tests =
                     let h = Server.Client.request c "health" in
                     check Alcotest.int "repl_seq recovered" 3
                       (int_field "repl_seq" h)))));
+    tc "repl_compact truncates the log; a late follower installs the snapshot"
+      (fun () ->
+        let dir = fresh_dir () in
+        let leader, laddr = start_server ~journal_dir:dir () in
+        let fref = ref None in
+        Fun.protect
+          ~finally:(fun () ->
+            (match !fref with Some f -> stop_all [ f ] | None -> ());
+            stop_all [ leader ];
+            rm_rf dir)
+          (fun () ->
+            with_client laddr (fun c ->
+                (* a manual view goes stale under the writes: its frozen
+                   extent is part of the served bytes and must survive
+                   the snapshot verbatim *)
+                check Alcotest.bool "manual view defined" true
+                  (Server.Client.is_ok
+                     (Server.Client.request c ~view:"frozen" ~base:"sc1"
+                        ~policy:"manual" ~text:"select Name from Student"
+                        "define_view"));
+                for i = 1 to 3 do
+                  check Alcotest.bool
+                    (Printf.sprintf "write %d ok" i)
+                    true
+                    (Server.Client.is_ok
+                       (match
+                          Json.of_string
+                            (Server.Client.roundtrip c (insert_frame i))
+                        with
+                       | Ok v -> v
+                       | Error e -> Alcotest.fail e))
+                done;
+                let resp = Server.Client.request c "repl_compact" in
+                check Alcotest.bool "compact ok" true
+                  (Server.Client.is_ok resp);
+                check Alcotest.int "snapshot covers the whole log" 4
+                  (int_field "snapshot_seq" resp);
+                check Alcotest.int "log truncated to the snapshot" 4
+                  (int_field "base_seq" resp);
+                check Alcotest.int "all four frames shed" 4
+                  (int_field "dropped" resp);
+                (* a second compaction with no new writes is a no-op *)
+                let again = Server.Client.request c "repl_compact" in
+                check Alcotest.int "idempotent" 0 (int_field "dropped" again);
+                (* the shed prefix is gone from the serving surface *)
+                let pruned =
+                  match
+                    Json.of_string
+                      (Server.Client.roundtrip c
+                         (Server.Wire.request_to_line ~seq:2 "repl_frame"))
+                  with
+                  | Ok v -> v
+                  | Error e -> Alcotest.fail e
+                in
+                check Alcotest.bool "pruned frame refused" false
+                  (Server.Client.is_ok pruned);
+                let h = Server.Client.request c "health" in
+                check Alcotest.int "health base_seq" 4 (int_field "base_seq" h);
+                check Alcotest.int "health snapshot_seq" 4
+                  (int_field "snapshot_seq" h));
+            (* a fresh follower starts below the base: it cannot tail
+               the truncated prefix and must take the snapshot leg *)
+            let f1, a1 = start_server ~repl:(follower_of laddr) () in
+            fref := Some f1;
+            with_client a1 (fun c ->
+                eventually "snapshot install + catch-up" (fun () ->
+                    let h = Server.Client.request c "health" in
+                    int_field "applied_seq" h = 4
+                    && int_field "staleness_seq" h = 0);
+                check Alcotest.bool "the catch-up went through a snapshot"
+                  true
+                  (int_field "snapshot_installs"
+                     (Server.Client.request c "health")
+                  >= 1));
+            (* byte identity, including the stale manual view *)
+            let deck =
+              [| count_frame; Server.Wire.request_to_line ~view:"frozen" "query" |]
+            in
+            let answers addr =
+              with_client addr (fun c ->
+                  Array.map (Server.Client.roundtrip c) deck)
+            in
+            let want = answers laddr and got = answers a1 in
+            Array.iteri
+              (fun i w ->
+                check Alcotest.string
+                  (Printf.sprintf "frame %d byte-identical after install" i)
+                  w got.(i))
+              want;
+            (* and the follower keeps tailing past the snapshot *)
+            with_client laddr (fun c ->
+                ignore (Server.Client.roundtrip c (insert_frame 9)));
+            with_client a1 (fun c ->
+                eventually "tail resumes after the snapshot" (fun () ->
+                    int_field "applied_seq" (Server.Client.request c "health")
+                    = 5);
+                check Alcotest.int "post-snapshot write served" 6
+                  (student_count c))));
+    tc "compact_every compacts on the write path; late joiners converge"
+      (fun () ->
+        let leader, laddr =
+          start_server
+            ~repl:{ Server.default_repl with compact_every = 3 }
+            ()
+        in
+        let fref = ref None in
+        Fun.protect
+          ~finally:(fun () ->
+            (match !fref with Some f -> stop_all [ f ] | None -> ());
+            stop_all [ leader ])
+          (fun () ->
+            with_client laddr (fun c ->
+                for i = 1 to 7 do
+                  ignore (Server.Client.roundtrip c (insert_frame i))
+                done;
+                let h = Server.Client.request c "health" in
+                check Alcotest.bool "auto-compaction ran" true
+                  (int_field "snapshot_seq" h >= 6);
+                check Alcotest.bool "log prefix shed" true
+                  (int_field "base_seq" h >= 3));
+            let f1, a1 = start_server ~repl:(follower_of laddr) () in
+            fref := Some f1;
+            with_client a1 (fun c ->
+                eventually "late joiner converges through the snapshot"
+                  (fun () ->
+                    let h = Server.Client.request c "health" in
+                    int_field "applied_seq" h = 7
+                    && int_field "staleness_seq" h = 0);
+                check Alcotest.bool "snapshot leg taken" true
+                  (int_field "snapshot_installs"
+                     (Server.Client.request c "health")
+                  >= 1));
+            let want =
+              with_client laddr (fun c -> Server.Client.roundtrip c count_frame)
+            in
+            let got =
+              with_client a1 (fun c -> Server.Client.roundtrip c count_frame)
+            in
+            check Alcotest.string "byte-identical after the snapshot leg" want
+              got));
+    tc "a restarted leader recovers snapshot + suffix, not full history"
+      (fun () ->
+        let dir = fresh_dir () in
+        Fun.protect
+          ~finally:(fun () -> rm_rf dir)
+          (fun () ->
+            let count1 =
+              let leader, laddr = start_server ~journal_dir:dir () in
+              Fun.protect
+                ~finally:(fun () -> Server.stop leader)
+                (fun () ->
+                  with_client laddr (fun c ->
+                      for i = 1 to 4 do
+                        ignore (Server.Client.roundtrip c (insert_frame i))
+                      done;
+                      ignore (Server.Client.request c "repl_compact");
+                      for i = 5 to 6 do
+                        ignore (Server.Client.roundtrip c (insert_frame i))
+                      done;
+                      (* the second snapshot retains the first as its
+                         fallback, so the log keeps the suffix after 4 *)
+                      let resp = Server.Client.request c "repl_compact" in
+                      check Alcotest.int "second snapshot" 6
+                        (int_field "snapshot_seq" resp);
+                      check Alcotest.int
+                        "truncation stops at the fallback snapshot" 4
+                        (int_field "base_seq" resp);
+                      ignore (Server.Client.roundtrip c (insert_frame 7));
+                      student_count c))
+            in
+            (* restart: snapshot 6 + frames 5..7, never seq 1 *)
+            let leader, laddr = start_server ~journal_dir:dir () in
+            Fun.protect
+              ~finally:(fun () -> Server.stop leader)
+              (fun () ->
+                with_client laddr (fun c ->
+                    check Alcotest.int "state recovered" count1
+                      (student_count c);
+                    let h = Server.Client.request c "health" in
+                    check Alcotest.int "repl_seq recovered" 7
+                      (int_field "repl_seq" h);
+                    check Alcotest.int "base survives the restart" 4
+                      (int_field "base_seq" h);
+                    check Alcotest.int "newest snapshot installed" 6
+                      (int_field "snapshot_seq" h)));
+            (* tear the newest snapshot's tail: the restart must fall
+               back to the previous one and replay the longer suffix *)
+            let tear path =
+              let data = In_channel.with_open_bin path In_channel.input_all in
+              Out_channel.with_open_bin path (fun oc ->
+                  Out_channel.output_string oc
+                    (String.sub data 0 (String.length data - 3)))
+            in
+            tear (Filename.concat dir "repl.snap.6");
+            let leader, laddr = start_server ~journal_dir:dir () in
+            Fun.protect
+              ~finally:(fun () -> Server.stop leader)
+              (fun () ->
+                with_client laddr (fun c ->
+                    check Alcotest.int "torn tail falls back" count1
+                      (student_count c);
+                    check Alcotest.int "suffix replayed to the tip" 7
+                      (int_field "repl_seq"
+                         (Server.Client.request c "health"))));
+            (* no readable snapshot at all: the state is
+               unreconstructible and the restart must refuse, not serve
+               a silently wrong prefix *)
+            Sys.remove (Filename.concat dir "repl.snap.4");
+            let cfg =
+              {
+                Server.listen = local;
+                jobs = 2;
+                queue = 64;
+                deadline_ms = None;
+                cache = 16;
+                debug = false;
+                repl = Server.default_repl;
+              }
+            in
+            match Server.start (fresh_session ~journal_dir:dir ()) cfg with
+            | Ok t ->
+                Server.stop t;
+                Alcotest.fail
+                  "a truncated log without a snapshot must refuse to start"
+            | Error msg ->
+                check Alcotest.bool "the refusal names the snapshot" true
+                  (contains msg "snapshot")));
+    tc "a re-handshaking follower cannot double-count toward the quorum"
+      (fun () ->
+        let leader, laddr =
+          start_server
+            ~repl:
+              {
+                Server.default_repl with
+                ack_replicas = 2;
+                ack_timeout_ms = 300;
+              }
+            ()
+        in
+        Fun.protect
+          ~finally:(fun () -> stop_all [ leader ])
+          (fun () ->
+            let parse line =
+              match Json.of_string line with
+              | Ok v -> v
+              | Error e -> Alcotest.fail e
+            in
+            let hs node =
+              Server.Wire.request_to_line ~node "repl_handshake"
+            in
+            (* pulling from seq [s+1] acknowledges seq [s] *)
+            let pull node s =
+              Server.Wire.request_to_line ~seq:(s + 1) ~max:1 ~wait_ms:0 ~node
+                "repl_pull"
+            in
+            let c1 = Server.Client.connect laddr in
+            let c2 = Server.Client.connect laddr in
+            Fun.protect
+              ~finally:(fun () ->
+                Server.Client.close c1;
+                Server.Client.close c2)
+              (fun () ->
+                (* one logical follower handshakes twice — a restart or
+                   reconnect — and acks through both connections *)
+                check Alcotest.bool "handshake 1" true
+                  (Server.Client.is_ok (parse (Server.Client.roundtrip c1 (hs "phoenix"))));
+                check Alcotest.bool "handshake 2" true
+                  (Server.Client.is_ok (parse (Server.Client.roundtrip c2 (hs "phoenix"))));
+                ignore (Server.Client.roundtrip c1 (pull "phoenix" 1));
+                ignore (Server.Client.roundtrip c2 (pull "phoenix" 1));
+                (* leader-side: one registered follower, not two *)
+                with_client laddr (fun c ->
+                    let st = Server.Client.request c "repl_status" in
+                    match Json.member "followers" st with
+                    | Some (Json.List fs) ->
+                        check Alcotest.int "one registered follower" 1
+                          (List.length fs)
+                    | _ -> Alcotest.fail "no followers list");
+                (* the write needs two replicas; one node acking over
+                   two connections must not satisfy it *)
+                with_client laddr (fun c ->
+                    let resp =
+                      parse (Server.Client.roundtrip c (insert_frame 1))
+                    in
+                    check Alcotest.bool "write not falsely quorum-acked" false
+                      (Server.Client.is_ok resp);
+                    check
+                      Alcotest.(option string)
+                      "typed internal error" (Some "internal")
+                      (Server.Client.error_code resp);
+                    match Json.find [ "error"; "message" ] resp with
+                    | Some (Json.String m) ->
+                        check Alcotest.bool "outcome is replicated-unknown"
+                          true
+                          (contains m "replicated-unknown")
+                    | _ -> Alcotest.fail "no error message");
+                (* a genuinely distinct second node closes the quorum *)
+                ignore (Server.Client.roundtrip c1 (pull "phoenix" 2));
+                let c3 = Server.Client.connect laddr in
+                Fun.protect
+                  ~finally:(fun () -> Server.Client.close c3)
+                  (fun () ->
+                    ignore (Server.Client.roundtrip c3 (hs "other"));
+                    ignore (Server.Client.roundtrip c3 (pull "other" 2));
+                    with_client laddr (fun c ->
+                        check Alcotest.bool
+                          "two distinct nodes satisfy the quorum" true
+                          (Server.Client.is_ok
+                             (parse
+                                (Server.Client.roundtrip c (insert_frame 2)))))))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* 6. The rewrite-plan cache across mutations.                         *)
+
+let cache_tests =
+  [
+    tc "a mutation opens a new plan-cache epoch" (fun () ->
+        let leader, laddr = start_server () in
+        Fun.protect
+          ~finally:(fun () -> stop_all [ leader ])
+          (fun () ->
+            with_client laddr (fun c ->
+                let q () =
+                  check Alcotest.bool "query ok" true
+                    (Server.Client.is_ok
+                       (Server.Client.request c ~view:"sc1"
+                          ~text:"select Name from Student" "query"))
+                in
+                let snap () =
+                  let s = Server.stats leader in
+                  (s.Server.cache_hits, s.Server.cache_misses)
+                in
+                q ();
+                let h1, m1 = snap () in
+                q ();
+                let h2, m2 = snap () in
+                check Alcotest.int "repeat is a cache hit" (h1 + 1) h2;
+                check Alcotest.int "no new miss on a repeat" m1 m2;
+                check Alcotest.bool "migrate ok" true
+                  (Server.Client.is_ok (Server.Client.request c "migrate"));
+                (* the regression: the cached plan predates the migrate;
+                   serving it again would be a stale epoch *)
+                q ();
+                let h3, m3 = snap () in
+                check Alcotest.int "post-migrate repeat misses" (m2 + 1) m3;
+                check Alcotest.int "post-migrate repeat does not hit" h2 h3;
+                q ();
+                let h4, m4 = snap () in
+                check Alcotest.int "the new epoch caches again" (h3 + 1) h4;
+                check Alcotest.int "one rebuild only" m3 m4;
+                check Alcotest.bool "update ok" true
+                  (Server.Client.is_ok
+                     (Server.Client.request c ~view:"sc1"
+                        ~text:
+                          "insert into Student { Name = 'Zed', GPA = 3.1 }"
+                        "update"));
+                q ();
+                let h5, m5 = snap () in
+                check Alcotest.int "post-update repeat misses" (m4 + 1) m5;
+                check Alcotest.int "post-update repeat does not hit" h4 h5)));
+    tc "after migrate a warm daemon answers byte-identically to a cold one"
+      (fun () ->
+        let run_daemon warm =
+          let t, addr = start_server () in
+          Fun.protect
+            ~finally:(fun () -> stop_all [ t ])
+            (fun () ->
+              with_client addr (fun c ->
+                  ignore (Server.Client.roundtrip c (insert_frame 1));
+                  if warm then
+                    (* populate the plan cache before the migrate *)
+                    ignore (Server.Client.roundtrip c count_frame);
+                  check Alcotest.bool "migrate ok" true
+                    (Server.Client.is_ok (Server.Client.request c "migrate"));
+                  Server.Client.roundtrip c count_frame))
+        in
+        let warm = run_daemon true and cold = run_daemon false in
+        check Alcotest.string "identical bytes through the migrate" cold warm);
   ]
 
 let () =
@@ -813,7 +1401,9 @@ let () =
     [
       ("backoff", backoff_tests);
       ("log", log_tests);
+      ("snapshot", snapshot_tests);
       ("wire", wire_tests);
       ("follower", follower_tests);
       ("cluster", cluster_tests);
+      ("plan-cache", cache_tests);
     ]
